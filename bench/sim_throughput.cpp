@@ -1,0 +1,95 @@
+// Simulator micro-throughput (google-benchmark): engine rounds/second across
+// network shapes and adversary classes. Not a paper experiment — this keeps
+// the harness honest about the cost of the attack sweeps.
+
+#include <benchmark/benchmark.h>
+
+#include "adversary/bracelet_presim.hpp"
+#include "adversary/dense_sparse.hpp"
+#include "adversary/offline_collider.hpp"
+#include "adversary/static_adversaries.hpp"
+#include "core/factories.hpp"
+#include "graph/generators.hpp"
+#include "sim/execution.hpp"
+#include "util/rng.hpp"
+
+namespace dualcast {
+namespace {
+
+DecayGlobalConfig persistent() {
+  DecayGlobalConfig cfg = DecayGlobalConfig::fast(ScheduleKind::fixed);
+  cfg.calls = DecayGlobalConfig::kUnbounded;
+  return cfg;
+}
+
+std::unique_ptr<LinkProcess> adversary_by_id(int id) {
+  switch (id) {
+    case 0: return std::make_unique<NoExtraEdges>();
+    case 1: return std::make_unique<RandomIidEdges>(0.3);
+    case 2: return std::make_unique<DenseSparseOnline>(DenseSparseConfig{0.5});
+    default: return std::make_unique<GreedyColliderOffline>();
+  }
+}
+
+void BM_DualCliqueRounds(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int adversary = static_cast<int>(state.range(1));
+  const DualCliqueNet dc = dual_clique(n, n / 4);
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    Execution exec(dc.net, decay_global_factory(persistent()),
+                   std::make_shared<AssignmentProblem>(n, 0, std::vector<int>{}),
+                   adversary_by_id(adversary), {7, 256, {}});
+    exec.run();
+    rounds += exec.round();
+    benchmark::DoNotOptimize(exec.history().rounds());
+  }
+  state.counters["rounds/s"] = benchmark::Counter(
+      static_cast<double>(rounds), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DualCliqueRounds)
+    ->Args({64, 0})
+    ->Args({64, 2})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 3})
+    ->Args({1024, 2});
+
+void BM_GeoLocalRounds(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const GeoNet geo = jittered_grid_geo(side, side, 0.5, 0.05, 2.0, rng);
+  std::vector<int> b;
+  for (int v = 0; v < geo.net.n(); v += 3) b.push_back(v);
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    Execution exec(geo.net, geo_local_factory(GeoLocalConfig::fast()),
+                   std::make_shared<LocalBroadcastProblem>(geo.net, b),
+                   std::make_unique<RandomIidEdges>(0.3), {11, 512, {}});
+    exec.run();
+    rounds += exec.round();
+  }
+  state.counters["rounds/s"] = benchmark::Counter(
+      static_cast<double>(rounds), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GeoLocalRounds)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_BraceletPresimSetup(benchmark::State& state) {
+  const BraceletNet br = bracelet(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Execution exec(br.net, decay_local_factory(DecayLocalConfig{}),
+                   std::make_shared<LocalBroadcastProblem>(br.net, br.heads_a),
+                   std::make_unique<BraceletPresimOblivious>(
+                       br, BraceletPresimConfig{0.3, true}),
+                   {13, 1, {}});
+    exec.step();
+    benchmark::DoNotOptimize(exec.round());
+  }
+}
+BENCHMARK(BM_BraceletPresimSetup)->Arg(512)->Arg(2048);
+
+}  // namespace
+}  // namespace dualcast
+
+BENCHMARK_MAIN();

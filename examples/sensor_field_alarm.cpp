@@ -1,0 +1,88 @@
+// Sensor-field alarm dissemination — the workload the paper's introduction
+// motivates: omnidirectional radios in the plane, links that flicker with
+// the environment, and a local broadcast primitive that must keep working.
+//
+// A random geometric sensor field is deployed; a subset of sensors detect an
+// event (the broadcast set B) and must alert every neighbor (the set R).
+// We run the §4.3 geographic local broadcast — seed-dissemination
+// initialization followed by coordinated permuted decay — under increasingly
+// hostile (but oblivious) link weather, and report per-phase diagnostics.
+
+#include <algorithm>
+#include <iostream>
+
+#include "adversary/static_adversaries.hpp"
+#include "analysis/table.hpp"
+#include "core/factories.hpp"
+#include "graph/generators.hpp"
+#include "graph/regions.hpp"
+#include "util/strfmt.hpp"
+#include "sim/execution.hpp"
+
+int main() {
+  using namespace dualcast;
+
+  // Deploy ~180 sensors uniformly in a 9x9 field; resample until the
+  // reliable layer is connected (a standard deployment assumption).
+  Rng rng(2026);
+  const GeoNet field = random_geometric(
+      {.n = 180, .side = 9.0, .r = 2.0, .max_attempts = 64}, rng);
+  std::cout << "sensor field: n = " << field.net.n()
+            << ", Delta = " << field.net.max_degree()
+            << ", grey-zone links = " << field.net.gp_only_edges().size()
+            << "\n";
+
+  // The §4.3 analysis partitions the field into regions; show the constants.
+  const RegionDecomposition regions(field);
+  std::cout << "region decomposition: " << regions.region_count()
+            << " regions, max neighboring regions = "
+            << regions.max_neighboring_regions() << " (bound "
+            << RegionDecomposition::gamma_bound(field.r) << ")\n\n";
+
+  // Every 4th sensor detects the event.
+  std::vector<int> detectors;
+  for (int v = 0; v < field.net.n(); v += 4) detectors.push_back(v);
+
+  struct Weather {
+    const char* name;
+    std::function<std::unique_ptr<LinkProcess>()> make;
+  };
+  const std::vector<Weather> conditions{
+      {"calm (grey links off)",
+       [] { return std::make_unique<NoExtraEdges>(); }},
+      {"clear (grey links on)",
+       [] { return std::make_unique<AllExtraEdges>(); }},
+      {"gusty (iid half-on)",
+       [] { return std::make_unique<RandomIidEdges>(0.5); }},
+      {"stormy (2-on/5-off flicker)",
+       [] { return std::make_unique<FlickerEdges>(2, 5); }},
+  };
+
+  Table table({"link weather", "solved", "rounds", "alerted/|R|",
+               "transmissions"});
+  for (const Weather& weather : conditions) {
+    auto problem = std::make_shared<LocalBroadcastProblem>(field.net, detectors);
+    Execution exec(field.net, geo_local_factory(GeoLocalConfig::fast()),
+                   problem, weather.make(),
+                   ExecutionConfig{/*seed=*/11, /*max_rounds=*/1 << 21, {}});
+    const auto* proc = dynamic_cast<const GeoLocalBroadcast*>(&exec.process(0));
+    const RunResult result = exec.run();
+    table.add_row({weather.name, result.solved ? "yes" : "NO",
+                   cell(result.rounds),
+                   str(problem->satisfied_count(), "/",
+                       problem->receivers().size()),
+                   cell(exec.history().total_transmissions())});
+    if (weather.name == conditions.front().name) {
+      std::cout << "schedule: " << proc->phases()
+                << " election phases x " << proc->phase_length()
+                << " rounds, then " << proc->iterations()
+                << " decay iterations x " << proc->iteration_length()
+                << " rounds\n\n";
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nEvery weather pattern above is an oblivious adversary — "
+               "precisely the model §4.3 is designed for: the alarm reaches "
+               "all neighbors in O(log^2 n log Delta) rounds regardless.\n";
+  return 0;
+}

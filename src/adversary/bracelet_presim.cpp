@@ -1,0 +1,87 @@
+#include "adversary/bracelet_presim.hpp"
+
+#include <memory>
+
+#include "adversary/static_adversaries.hpp"
+#include "sim/execution.hpp"
+#include "sim/problem.hpp"
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+
+namespace dualcast {
+
+BraceletPresimOblivious::BraceletPresimOblivious(const BraceletNet& bracelet,
+                                                 BraceletPresimConfig config)
+    : bracelet_(&bracelet), config_(config) {
+  DC_EXPECTS(config.threshold_factor > 0.0);
+}
+
+void BraceletPresimOblivious::on_execution_start(const ExecutionSetup& setup,
+                                                 Rng& rng) {
+  DC_EXPECTS_MSG(setup.net == &bracelet_->net,
+                 "adversary must be constructed for the execution's network");
+  const int k = bracelet_->band_len;
+  const int n = setup.net->n();
+  counts_.assign(static_cast<std::size_t>(k), 0);
+
+  // Isolated per-band simulation (the Lemma 4.4 construction): run each band
+  // as a standalone reliable line with the processes' *original* identities,
+  // using fresh coins from the adversary's private stream — one evaluation of
+  // each isolated broadcast function on a random support sequence.
+  const Graph band_line = line_graph(k);
+  for (const auto& band : bracelet_->bands) {
+    const DualGraph band_net = DualGraph::protocol(band_line);
+
+    ExecutionConfig sub_cfg;
+    sub_cfg.seed = rng.next_u64();
+    sub_cfg.max_rounds = k;
+    sub_cfg.env_override = [&, this](ProcessEnv env) {
+      const int global_id = band[static_cast<std::size_t>(env.id)];
+      ProcessEnv out;
+      out.id = global_id;
+      out.n = n;
+      out.max_degree = setup.net->max_degree();
+      out.is_global_source = setup.problem->is_source(global_id);
+      out.in_broadcast_set = setup.problem->in_broadcast_set(global_id);
+      out.initial_message = setup.problem->initial_message(global_id);
+      return out;
+    };
+
+    Execution sub(band_net, *setup.factory,
+                  std::make_shared<AssignmentProblem>(k, -1, std::vector<int>{}),
+                  std::make_unique<NoExtraEdges>(), sub_cfg);
+    while (!sub.done()) sub.step();
+
+    // Band heads occupy local id 0.
+    for (int r = 0; r < k; ++r) {
+      const auto& tx = sub.history().round(r).transmitters;
+      for (const int v : tx) {
+        if (v == 0) {
+          ++counts_[static_cast<std::size_t>(r)];
+          break;
+        }
+      }
+    }
+  }
+
+  const double threshold =
+      config_.threshold_factor *
+      static_cast<double>(clog2(static_cast<std::uint64_t>(n > 1 ? n : 2)));
+  dense_.assign(static_cast<std::size_t>(k), 0);
+  for (int r = 0; r < k; ++r) {
+    dense_[static_cast<std::size_t>(r)] =
+        static_cast<double>(counts_[static_cast<std::size_t>(r)]) > threshold
+            ? 1
+            : 0;
+  }
+}
+
+EdgeSet BraceletPresimOblivious::choose_oblivious(int round, Rng& /*rng*/) {
+  if (round < static_cast<int>(dense_.size())) {
+    return dense_[static_cast<std::size_t>(round)] ? EdgeSet::all()
+                                                   : EdgeSet::none();
+  }
+  return config_.fallback_none ? EdgeSet::none() : EdgeSet::all();
+}
+
+}  // namespace dualcast

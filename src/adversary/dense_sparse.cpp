@@ -1,0 +1,30 @@
+#include "adversary/dense_sparse.hpp"
+
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+
+namespace dualcast {
+
+DenseSparseOnline::DenseSparseOnline(DenseSparseConfig config)
+    : config_(config) {
+  DC_EXPECTS(config.threshold_factor > 0.0);
+}
+
+void DenseSparseOnline::on_execution_start(const ExecutionSetup& setup,
+                                           Rng& /*rng*/) {
+  threshold_ = config_.threshold_factor *
+               static_cast<double>(clog2(static_cast<std::uint64_t>(
+                   setup.net->n() > 1 ? setup.net->n() : 2)));
+}
+
+EdgeSet DenseSparseOnline::choose_online(int round,
+                                         const ExecutionHistory& /*history*/,
+                                         const StateInspector& inspector,
+                                         Rng& /*rng*/) {
+  const double expected = inspector.expected_transmitters(round);
+  const bool dense = expected > threshold_;
+  labels_.push_back(dense ? 1 : 0);
+  return dense ? EdgeSet::all() : EdgeSet::none();
+}
+
+}  // namespace dualcast

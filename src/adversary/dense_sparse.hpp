@@ -1,0 +1,51 @@
+#pragma once
+
+// The online adaptive dense/sparse adversary of Theorem 3.1.
+//
+// At the start of each round it computes E[|X| | S] — the expected number of
+// transmitters given node state before the round's coins — via the engine's
+// StateInspector. If that expectation exceeds a Θ(log n) threshold it labels
+// the round *dense* and activates every unreliable edge (with ≥ 2
+// transmitters, whp, everyone near the flood collides); otherwise the round
+// is *sparse* and it activates none (so progress across a G'-separated cut
+// requires the few expected transmitters to include the one reliable bridge
+// endpoint, which happens with probability O(log n / n) for symmetric
+// algorithms). On the §3 dual clique this forces Ω(n / log n) rounds.
+//
+// Optionally records its per-round labels so the Theorem 3.1 reduction
+// player can consume them (the labels define its guessing rule).
+
+#include <vector>
+
+#include "sim/link_process.hpp"
+
+namespace dualcast {
+
+struct DenseSparseConfig {
+  /// Dense iff E[|X| | S] > threshold_factor * log2(n).
+  double threshold_factor = 1.0;
+};
+
+class DenseSparseOnline final : public LinkProcess {
+ public:
+  explicit DenseSparseOnline(DenseSparseConfig config = {});
+
+  AdversaryClass adversary_class() const override {
+    return AdversaryClass::online_adaptive;
+  }
+  void on_execution_start(const ExecutionSetup& setup, Rng& rng) override;
+  EdgeSet choose_online(int round, const ExecutionHistory& history,
+                        const StateInspector& inspector, Rng& rng) override;
+
+  /// Per-round labels (true = dense), filled as rounds execute.
+  const std::vector<char>& labels() const { return labels_; }
+  /// The threshold in effect (resolved at execution start).
+  double threshold() const { return threshold_; }
+
+ private:
+  DenseSparseConfig config_;
+  double threshold_ = 0.0;
+  std::vector<char> labels_;
+};
+
+}  // namespace dualcast

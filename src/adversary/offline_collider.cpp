@@ -1,0 +1,12 @@
+#include "adversary/offline_collider.hpp"
+
+namespace dualcast {
+
+EdgeSet GreedyColliderOffline::choose_offline(
+    int /*round*/, const ExecutionHistory& /*history*/,
+    const StateInspector& /*inspector*/, const RoundActions& actions,
+    Rng& /*rng*/) {
+  return actions.transmitters->size() >= 2 ? EdgeSet::all() : EdgeSet::none();
+}
+
+}  // namespace dualcast

@@ -1,0 +1,29 @@
+#pragma once
+
+// The offline adaptive greedy collider.
+//
+// This is the strongest-class adversary used as the representative for the
+// first row of Figure 1 (the Ω(n) regime of [11]): having seen the round's
+// actual transmissions, it activates every unreliable edge whenever at least
+// two nodes transmit — maximizing collisions — and activates none otherwise
+// (when a single node transmits it cannot be silenced, but at least its reach
+// is restricted to its reliable neighborhood). On the dual clique, global
+// progress across the bridge then requires the bridge endpoint to be the
+// *unique* transmitter in the network, which for Decay-style algorithms
+// happens with probability O(1/n) per round.
+
+#include "sim/link_process.hpp"
+
+namespace dualcast {
+
+class GreedyColliderOffline final : public LinkProcess {
+ public:
+  AdversaryClass adversary_class() const override {
+    return AdversaryClass::offline_adaptive;
+  }
+  EdgeSet choose_offline(int round, const ExecutionHistory& history,
+                         const StateInspector& inspector,
+                         const RoundActions& actions, Rng& rng) override;
+};
+
+}  // namespace dualcast

@@ -1,0 +1,26 @@
+#include "adversary/schedule_attack.hpp"
+
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+
+namespace dualcast {
+
+ScheduleAttackOblivious::ScheduleAttackOblivious(ScheduleAttackConfig config)
+    : config_(std::move(config)) {
+  DC_EXPECTS(config_.predicted_transmitters != nullptr);
+  DC_EXPECTS(config_.threshold_factor > 0.0);
+}
+
+void ScheduleAttackOblivious::on_execution_start(const ExecutionSetup& setup,
+                                                 Rng& /*rng*/) {
+  threshold_ = config_.threshold_factor *
+               static_cast<double>(clog2(static_cast<std::uint64_t>(
+                   setup.net->n() > 1 ? setup.net->n() : 2)));
+}
+
+EdgeSet ScheduleAttackOblivious::choose_oblivious(int round, Rng& /*rng*/) {
+  return config_.predicted_transmitters(round) > threshold_ ? EdgeSet::all()
+                                                            : EdgeSet::none();
+}
+
+}  // namespace dualcast

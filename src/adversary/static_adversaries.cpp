@@ -1,0 +1,44 @@
+#include "adversary/static_adversaries.hpp"
+
+#include "util/assert.hpp"
+
+namespace dualcast {
+
+EdgeSet NoExtraEdges::choose_oblivious(int /*round*/, Rng& /*rng*/) {
+  return EdgeSet::none();
+}
+
+EdgeSet AllExtraEdges::choose_oblivious(int /*round*/, Rng& /*rng*/) {
+  return EdgeSet::all();
+}
+
+RandomIidEdges::RandomIidEdges(double p) : p_(p) {
+  DC_EXPECTS(p >= 0.0 && p <= 1.0);
+}
+
+void RandomIidEdges::on_execution_start(const ExecutionSetup& setup,
+                                        Rng& /*rng*/) {
+  edge_count_ = static_cast<std::int64_t>(setup.net->gp_only_edges().size());
+}
+
+EdgeSet RandomIidEdges::choose_oblivious(int /*round*/, Rng& rng) {
+  if (p_ <= 0.0) return EdgeSet::none();
+  if (p_ >= 1.0) return EdgeSet::all();
+  std::vector<std::int32_t> selected;
+  for (std::int64_t idx = 0; idx < edge_count_; ++idx) {
+    if (rng.bernoulli(p_)) selected.push_back(static_cast<std::int32_t>(idx));
+  }
+  return EdgeSet::some(std::move(selected));
+}
+
+FlickerEdges::FlickerEdges(int on_rounds, int off_rounds)
+    : on_rounds_(on_rounds), off_rounds_(off_rounds) {
+  DC_EXPECTS(on_rounds >= 1 && off_rounds >= 1);
+}
+
+EdgeSet FlickerEdges::choose_oblivious(int round, Rng& /*rng*/) {
+  const int period = on_rounds_ + off_rounds_;
+  return (round % period) < on_rounds_ ? EdgeSet::all() : EdgeSet::none();
+}
+
+}  // namespace dualcast

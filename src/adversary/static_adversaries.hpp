@@ -1,0 +1,68 @@
+#pragma once
+
+// Baseline oblivious link processes.
+//
+// These model the "environmental" unreliability the paper argues an oblivious
+// adversary generalizes: none/all (degenerate static worlds), independent
+// random loss (the simple model §1 argues is too weak), and periodic
+// flicker. All are oblivious: their choices are functions of the round
+// number and private coins only.
+
+#include "sim/link_process.hpp"
+
+namespace dualcast {
+
+/// Never activates a G'-only edge: the protocol model on G.
+class NoExtraEdges final : public LinkProcess {
+ public:
+  AdversaryClass adversary_class() const override {
+    return AdversaryClass::oblivious;
+  }
+  EdgeSet choose_oblivious(int round, Rng& rng) override;
+};
+
+/// Always activates every G'-only edge: the protocol model on G'.
+class AllExtraEdges final : public LinkProcess {
+ public:
+  AdversaryClass adversary_class() const override {
+    return AdversaryClass::oblivious;
+  }
+  EdgeSet choose_oblivious(int round, Rng& rng) override;
+};
+
+/// Each G'-only edge is present independently with probability p each round
+/// (fresh randomness per round, from the adversary's private stream).
+class RandomIidEdges final : public LinkProcess {
+ public:
+  /// Requires 0 <= p <= 1.
+  explicit RandomIidEdges(double p);
+
+  AdversaryClass adversary_class() const override {
+    return AdversaryClass::oblivious;
+  }
+  void on_execution_start(const ExecutionSetup& setup, Rng& rng) override;
+  EdgeSet choose_oblivious(int round, Rng& rng) override;
+
+ private:
+  double p_;
+  std::int64_t edge_count_ = 0;
+};
+
+/// Periodic all-on / all-off square wave: all G'-only edges are active for
+/// `on_rounds` rounds, then inactive for `off_rounds`, repeating.
+class FlickerEdges final : public LinkProcess {
+ public:
+  /// Requires on_rounds >= 1 and off_rounds >= 1.
+  FlickerEdges(int on_rounds, int off_rounds);
+
+  AdversaryClass adversary_class() const override {
+    return AdversaryClass::oblivious;
+  }
+  EdgeSet choose_oblivious(int round, Rng& rng) override;
+
+ private:
+  int on_rounds_;
+  int off_rounds_;
+};
+
+}  // namespace dualcast

@@ -1,0 +1,83 @@
+#include "analysis/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace dualcast {
+
+std::vector<ScalingModel> standard_models() {
+  const auto lg = [](double x) { return std::log2(std::max(2.0, x)); };
+  return {
+      {"1", [](double) { return 1.0; }},
+      {"log n", [lg](double x) { return lg(x); }},
+      {"log^2 n", [lg](double x) { return lg(x) * lg(x); }},
+      {"log^3 n", [lg](double x) { return lg(x) * lg(x) * lg(x); }},
+      {"sqrt(n)", [](double x) { return std::sqrt(x); }},
+      {"sqrt(n)/log n", [lg](double x) { return std::sqrt(x) / lg(x); }},
+      {"n/log n", [lg](double x) { return x / lg(x); }},
+      {"n", [](double x) { return x; }},
+      {"n log n", [lg](double x) { return x * lg(x); }},
+      {"n^2", [](double x) { return x * x; }},
+  };
+}
+
+FitResult fit_model(const std::vector<double>& xs, const std::vector<double>& ys,
+                    const ScalingModel& model) {
+  DC_EXPECTS(!xs.empty());
+  DC_EXPECTS(xs.size() == ys.size());
+
+  // Minimize sum ((y_i - c g_i) / y_i)^2 over c:
+  //   c = sum(g_i / y_i) / sum((g_i / y_i)^2).
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    DC_EXPECTS(ys[i] > 0.0);
+    const double g = model.shape(xs[i]);
+    DC_EXPECTS_MSG(g > 0.0, "model shape must be positive on the sweep");
+    const double ratio = g / ys[i];
+    num += ratio;
+    den += ratio * ratio;
+  }
+  FitResult out;
+  out.model = model.name;
+  out.scale = den > 0.0 ? num / den : 0.0;
+
+  double rel_sq = 0.0;
+  double y_mean = 0.0;
+  for (const double y : ys) y_mean += y;
+  y_mean /= static_cast<double>(ys.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = out.scale * model.shape(xs[i]);
+    const double rel = (ys[i] - pred) / ys[i];
+    rel_sq += rel * rel;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - y_mean) * (ys[i] - y_mean);
+  }
+  out.rel_rmse = std::sqrt(rel_sq / static_cast<double>(xs.size()));
+  out.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+  return out;
+}
+
+std::vector<FitResult> rank_models(const std::vector<double>& xs,
+                                   const std::vector<double>& ys,
+                                   const std::vector<ScalingModel>& models) {
+  std::vector<FitResult> results;
+  results.reserve(models.size());
+  for (const auto& model : models) results.push_back(fit_model(xs, ys, model));
+  std::sort(results.begin(), results.end(),
+            [](const FitResult& a, const FitResult& b) {
+              return a.rel_rmse < b.rel_rmse;
+            });
+  return results;
+}
+
+std::string best_fit_name(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  return rank_models(xs, ys, standard_models()).front().model;
+}
+
+}  // namespace dualcast

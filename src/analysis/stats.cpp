@@ -1,0 +1,47 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace dualcast {
+
+double quantile(std::vector<double> values, double q) {
+  DC_EXPECTS(!values.empty());
+  DC_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+Summary summarize(const std::vector<double>& values) {
+  DC_EXPECTS(!values.empty());
+  Summary s;
+  s.count = static_cast<int>(values.size());
+  double sum = 0.0;
+  s.min = values[0];
+  s.max = values[0];
+  for (const double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double sq = 0.0;
+  for (const double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = s.count > 1
+                 ? std::sqrt(sq / static_cast<double>(s.count - 1))
+                 : 0.0;
+  s.median = quantile(values, 0.5);
+  s.p25 = quantile(values, 0.25);
+  s.p75 = quantile(values, 0.75);
+  s.p95 = quantile(values, 0.95);
+  return s;
+}
+
+}  // namespace dualcast

@@ -1,0 +1,58 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/assert.hpp"
+#include "util/strfmt.hpp"
+
+namespace dualcast {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DC_EXPECTS(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DC_EXPECTS_MSG(cells.size() == headers_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ")
+         << pad(row[c], static_cast<int>(widths[c]));
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string cell(const std::string& s) { return s; }
+std::string cell(const char* s) { return s; }
+std::string cell(int v) { return str(v); }
+std::string cell(std::int64_t v) { return str(v); }
+std::string cell(double v, int precision) { return fmt_double(v, precision); }
+
+}  // namespace dualcast

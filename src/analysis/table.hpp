@@ -1,0 +1,39 @@
+#pragma once
+
+// Aligned console tables (and CSV) for bench output, so every bench prints
+// Figure-1-style rows without ad-hoc formatting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dualcast {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  int rows() const { return static_cast<int>(rows_.size()); }
+
+  /// Prints with column alignment and a header underline.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated (no quoting; callers avoid commas in cells).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Cell helpers.
+std::string cell(const std::string& s);
+std::string cell(const char* s);
+std::string cell(int v);
+std::string cell(std::int64_t v);
+std::string cell(double v, int precision = 1);
+
+}  // namespace dualcast

@@ -1,0 +1,24 @@
+#include "analysis/trials.hpp"
+
+#include "util/assert.hpp"
+
+namespace dualcast {
+
+TrialSet run_trials(int count, std::uint64_t base_seed, const TrialFn& fn) {
+  DC_EXPECTS(count >= 1);
+  DC_EXPECTS(fn != nullptr);
+  TrialSet out;
+  out.values.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double value = fn(base_seed + static_cast<std::uint64_t>(i));
+    if (value < 0.0) {
+      ++out.failures;
+    } else {
+      out.values.push_back(value);
+    }
+  }
+  if (!out.values.empty()) out.summary = summarize(out.values);
+  return out;
+}
+
+}  // namespace dualcast

@@ -1,0 +1,34 @@
+#pragma once
+
+// Repeated-trial experiment runner: run a measurement function under
+// independent seeds and summarize. Benches use this for every table cell.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analysis/stats.hpp"
+
+namespace dualcast {
+
+/// One trial: given a seed, produce a measurement (e.g. rounds to solve).
+/// A negative return marks the trial as failed/censored.
+using TrialFn = std::function<double(std::uint64_t seed)>;
+
+struct TrialSet {
+  std::vector<double> values;  ///< successful measurements
+  int failures = 0;            ///< trials that returned < 0
+  Summary summary;             ///< over `values` (undefined if all failed)
+
+  bool all_failed() const { return values.empty(); }
+  double success_rate(int total) const {
+    return total > 0
+               ? static_cast<double>(values.size()) / static_cast<double>(total)
+               : 0.0;
+  }
+};
+
+/// Runs `count` trials with seeds base_seed, base_seed+1, ...
+TrialSet run_trials(int count, std::uint64_t base_seed, const TrialFn& fn);
+
+}  // namespace dualcast

@@ -1,0 +1,43 @@
+#pragma once
+
+// Decay probability schedules.
+//
+// The Decay subroutine of Bar-Yehuda et al. [2] has message holders step
+// through the probability ladder {1/2, 1/4, ..., 2^-ladder} so that every
+// receiver, whatever its contender count <= 2^ladder, sees a round with
+// roughly the right probability. Two ways to pick the ladder index per round:
+//
+//   * fixed    — i(r) = 1 + (r mod ladder). Deterministic and public: an
+//                oblivious adversary can compute the whole schedule offline
+//                (the §4.1 attack; see ScheduleAttackOblivious).
+//   * permuted — i(r) drawn from shared random bits S carried in the message
+//                (the paper's Permuted Decay): i(r) = 1 + (chunk_r mod
+//                ladder) where chunk_r is a fresh log2(ladder)-bit slice of
+//                S. All holders of the same message agree on i(r) in every
+//                round (the chunk index is the absolute round number), but a
+//                pre-committed adversary knows nothing about it.
+
+#include <cstdint>
+
+#include "util/bitstring.hpp"
+
+namespace dualcast {
+
+enum class ScheduleKind : std::uint8_t { fixed, permuted };
+
+/// Bit width of the per-round chunk needed to select from `ladder`
+/// probabilities (the paper's "log log n new bits").
+int schedule_chunk_width(int ladder);
+
+/// Fixed schedule: 1 + (round mod ladder). Requires ladder >= 1, round >= 0.
+int fixed_decay_index(int round, int ladder);
+
+/// Permuted schedule: index derived from the shared bits at the absolute
+/// round position. Requires a non-empty bit string, ladder >= 1, round >= 0.
+int permuted_decay_index(const BitString& bits, int round, int ladder);
+
+/// The transmit probability 2^-i for the fixed schedule at `round` — what an
+/// oblivious attacker can compute offline per holder.
+double fixed_decay_probability(int round, int ladder);
+
+}  // namespace dualcast

@@ -1,0 +1,31 @@
+#include "core/factories.hpp"
+
+#include <memory>
+
+namespace dualcast {
+
+ProcessFactory decay_global_factory(DecayGlobalConfig config) {
+  return [config](const ProcessEnv&) {
+    return std::make_unique<DecayGlobalBroadcast>(config);
+  };
+}
+
+ProcessFactory decay_local_factory(DecayLocalConfig config) {
+  return [config](const ProcessEnv&) {
+    return std::make_unique<DecayLocalBroadcast>(config);
+  };
+}
+
+ProcessFactory round_robin_factory(RoundRobinConfig config) {
+  return [config](const ProcessEnv&) {
+    return std::make_unique<RoundRobinBroadcast>(config);
+  };
+}
+
+ProcessFactory geo_local_factory(GeoLocalConfig config) {
+  return [config](const ProcessEnv&) {
+    return std::make_unique<GeoLocalBroadcast>(config);
+  };
+}
+
+}  // namespace dualcast

@@ -1,0 +1,65 @@
+#include "game/hitting_game.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace dualcast {
+
+HittingGame::HittingGame(int beta, int target) : beta_(beta), target_(target) {
+  DC_EXPECTS(beta >= 2);
+  DC_EXPECTS(target >= 0 && target < beta);
+}
+
+HittingGame HittingGame::with_random_target(int beta, Rng& rng) {
+  DC_EXPECTS(beta >= 2);
+  return HittingGame(beta, static_cast<int>(rng.uniform_int(0, beta - 1)));
+}
+
+bool HittingGame::guess(int value) {
+  DC_EXPECTS_MSG(!won_, "guessing after the game is won");
+  DC_EXPECTS(value >= 0 && value < beta_);
+  ++rounds_;
+  if (value == target_) won_ = true;
+  return won_;
+}
+
+int UniformPlayer::next_guess(int beta, Rng& rng) {
+  return static_cast<int>(rng.uniform_int(0, beta - 1));
+}
+
+int SequentialPlayer::next_guess(int beta, Rng& /*rng*/) {
+  const int guess = next_ % beta;
+  ++next_;
+  return guess;
+}
+
+int ShuffledPlayer::next_guess(int beta, Rng& rng) {
+  if (order_.empty()) {
+    order_.resize(static_cast<std::size_t>(beta));
+    std::iota(order_.begin(), order_.end(), 0);
+    // Fisher-Yates with the game rng.
+    for (std::size_t i = order_.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(order_[i - 1], order_[j]);
+    }
+  }
+  const int guess = order_[cursor_ % order_.size()];
+  ++cursor_;
+  return guess;
+}
+
+int play_hitting_game(HittingGame& game, HittingPlayer& player, int max_rounds,
+                      Rng& rng) {
+  DC_EXPECTS(max_rounds >= 1);
+  for (int round = 0; round < max_rounds; ++round) {
+    if (game.guess(player.next_guess(game.beta(), rng))) {
+      return game.rounds();
+    }
+  }
+  return -1;
+}
+
+}  // namespace dualcast

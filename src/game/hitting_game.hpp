@@ -1,0 +1,85 @@
+#pragma once
+
+// The β-hitting game (§3).
+//
+// An adversary fixes a secret target t ∈ {0, ..., β-1}. The player outputs
+// one guess per game round and is told only whether it has won. Lemma 3.2
+// (from [11]): no player wins within k rounds with probability greater than
+// k/(β-1). The game is the abstract core of both new lower bounds: a fast
+// broadcast algorithm would yield (via simulation) a player beating this
+// bound — a contradiction.
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dualcast {
+
+class HittingGame {
+ public:
+  /// Fixed target (for deterministic tests). Requires beta >= 2 and
+  /// 0 <= target < beta.
+  HittingGame(int beta, int target);
+
+  /// The standard instance: a uniformly random secret target.
+  static HittingGame with_random_target(int beta, Rng& rng);
+
+  int beta() const { return beta_; }
+  bool won() const { return won_; }
+  /// Game rounds consumed so far (one per guess).
+  int rounds() const { return rounds_; }
+
+  /// Submits one guess; returns true iff the game is (now) won. Guessing
+  /// after winning is a contract violation.
+  bool guess(int value);
+
+  /// Diagnostic access for tests/benches — a real player must not call this.
+  int reveal_target_for_diagnostics() const { return target_; }
+
+ private:
+  int beta_;
+  int target_;
+  int rounds_ = 0;
+  bool won_ = false;
+};
+
+/// Interface for baseline players.
+class HittingPlayer {
+ public:
+  virtual ~HittingPlayer() = default;
+  /// Produces the next guess in [0, beta).
+  virtual int next_guess(int beta, Rng& rng) = 0;
+};
+
+/// Guesses uniformly at random (with replacement).
+class UniformPlayer final : public HittingPlayer {
+ public:
+  int next_guess(int beta, Rng& rng) override;
+};
+
+/// Guesses 0, 1, 2, ... in order.
+class SequentialPlayer final : public HittingPlayer {
+ public:
+  int next_guess(int beta, Rng& rng) override;
+
+ private:
+  int next_ = 0;
+};
+
+/// Guesses a uniformly random permutation of [0, beta) (no repeats) — the
+/// optimal strategy, meeting Lemma 3.2's k/(β-1) bound up to its slack.
+class ShuffledPlayer final : public HittingPlayer {
+ public:
+  int next_guess(int beta, Rng& rng) override;
+
+ private:
+  std::vector<int> order_;
+  std::size_t cursor_ = 0;
+};
+
+/// Runs `player` against `game` for at most `max_rounds` guesses.
+/// Returns the number of rounds used if the player won, or -1.
+int play_hitting_game(HittingGame& game, HittingPlayer& player, int max_rounds,
+                      Rng& rng);
+
+}  // namespace dualcast

@@ -1,0 +1,40 @@
+#include "graph/dual_graph.hpp"
+
+#include "util/assert.hpp"
+
+namespace dualcast {
+
+DualGraph::DualGraph(Graph g, Graph gprime)
+    : g_(std::move(g)), gp_(std::move(gprime)) {
+  DC_EXPECTS(g_.finalized() && gp_.finalized());
+  DC_EXPECTS_MSG(g_.n() == gp_.n(), "G and G' must share a vertex set");
+
+  gp_only_adj_.resize(static_cast<std::size_t>(n()));
+  for (int u = 0; u < n(); ++u) {
+    for (const int v : g_.neighbors(u)) {
+      DC_EXPECTS_MSG(gp_.has_edge(u, v), "dual graph requires E(G) ⊆ E(G')");
+    }
+    for (const int v : gp_.neighbors(u)) {
+      if (u < v && !g_.has_edge(u, v)) {
+        gp_only_edges_.emplace_back(u, v);
+        gp_only_adj_[static_cast<std::size_t>(u)].push_back(v);
+        gp_only_adj_[static_cast<std::size_t>(v)].push_back(u);
+      }
+    }
+  }
+  gp_max_degree_ = gp_.max_degree();
+  gp_complete_ = (gp_.edge_count() ==
+                  static_cast<std::int64_t>(n()) * (n() - 1) / 2);
+}
+
+DualGraph DualGraph::protocol(Graph g) {
+  Graph copy = g;
+  return DualGraph(std::move(g), std::move(copy));
+}
+
+std::span<const int> DualGraph::gp_only_neighbors(int v) const {
+  DC_EXPECTS(v >= 0 && v < n());
+  return gp_only_adj_[static_cast<std::size_t>(v)];
+}
+
+}  // namespace dualcast

@@ -1,0 +1,64 @@
+#pragma once
+
+// The dual graph (G, G') of §2: two graphs on the same vertex set with
+// E ⊆ E'. Edges in G are reliable and present in every round; edges in
+// E' \ E ("G'-only" edges) appear per round at the discretion of the link
+// process (the adversary).
+//
+// The class validates the containment at construction, indexes the G'-only
+// edges (adversaries select them by index), and caches structural facts the
+// engine uses for fast paths.
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dualcast {
+
+class DualGraph {
+ public:
+  /// Empty dual graph (n == 0); useful as a placeholder before assignment.
+  DualGraph() = default;
+
+  /// Builds a dual graph from a reliable layer `g` and a superset layer
+  /// `gprime`. Both must be finalized, on the same vertex count, with
+  /// E(g) ⊆ E(gprime). The model also requires G connected for broadcast
+  /// problems; that is checked by the Problem, not here, so lower-bound
+  /// constructions (e.g. the bridgeless dual clique used by the reduction
+  /// player) can be represented too.
+  DualGraph(Graph g, Graph gprime);
+
+  /// The protocol (static) model: G' == G, i.e. no unreliable links.
+  static DualGraph protocol(Graph g);
+
+  int n() const { return g_.n(); }
+  const Graph& g() const { return g_; }
+  const Graph& gprime() const { return gp_; }
+
+  /// Δ: maximum degree in G' (known to processes per §2).
+  int max_degree() const { return gp_max_degree_; }
+
+  /// The G'-only edges (E' \ E), indexed 0..count-1 with u < v.
+  const std::vector<std::pair<int, int>>& gp_only_edges() const {
+    return gp_only_edges_;
+  }
+
+  /// Adjacency restricted to G'-only edges (used by the delivery sweep when
+  /// the adversary turns all unreliable links on).
+  std::span<const int> gp_only_neighbors(int v) const;
+
+  /// True if G' is the complete graph — enables the engine's O(1) dense-round
+  /// fast path on clique-like lower-bound networks.
+  bool gprime_complete() const { return gp_complete_; }
+
+ private:
+  Graph g_;
+  Graph gp_;
+  std::vector<std::pair<int, int>> gp_only_edges_;
+  std::vector<std::vector<int>> gp_only_adj_;
+  int gp_max_degree_ = 0;
+  bool gp_complete_ = false;
+};
+
+}  // namespace dualcast

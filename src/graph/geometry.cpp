@@ -1,0 +1,35 @@
+#include "graph/geometry.hpp"
+
+#include <cmath>
+
+#include "graph/dual_graph.hpp"
+#include "util/assert.hpp"
+
+namespace dualcast {
+
+double distance(const Point2D& a, const Point2D& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+GeoCheckResult check_geographic(const DualGraph& net,
+                                const std::vector<Point2D>& points, double r) {
+  DC_EXPECTS(static_cast<int>(points.size()) == net.n());
+  DC_EXPECTS(r >= 1.0);
+  for (int u = 0; u < net.n(); ++u) {
+    for (int v = u + 1; v < net.n(); ++v) {
+      const double d = distance(points[static_cast<std::size_t>(u)],
+                                points[static_cast<std::size_t>(v)]);
+      if (d <= 1.0 && !net.g().has_edge(u, v)) {
+        return {false, u, v, "pair within unit distance missing from G"};
+      }
+      if (d > r && net.gprime().has_edge(u, v)) {
+        return {false, u, v, "pair beyond r present in G'"};
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace dualcast

@@ -1,0 +1,40 @@
+#pragma once
+
+// 2-D geometry for geographic dual graphs (§2).
+//
+// The geographic constraint generalizes the unit disk model: there is a
+// constant r >= 1 and an embedding of the vertices in the plane such that
+//   d(u, v) <= 1  =>  {u,v} ∈ E(G)        (close nodes always hear each other)
+//   d(u, v) >  r  =>  {u,v} ∉ E(G')       (far nodes never do)
+// and pairs in the "grey zone" (1, r] may appear in G' at the adversary's
+// whim. `check_geographic` verifies an embedding against a dual graph.
+
+#include <vector>
+
+namespace dualcast {
+
+class DualGraph;
+
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Euclidean distance.
+double distance(const Point2D& a, const Point2D& b);
+
+/// Result of validating the geographic constraint.
+struct GeoCheckResult {
+  bool ok = true;
+  /// First violating pair when !ok (for diagnostics).
+  int u = -1;
+  int v = -1;
+  const char* reason = "";
+};
+
+/// Verifies that (net, points, r) satisfies the geographic constraint.
+/// points.size() must equal net.n(); requires r >= 1.
+GeoCheckResult check_geographic(const DualGraph& net,
+                                const std::vector<Point2D>& points, double r);
+
+}  // namespace dualcast

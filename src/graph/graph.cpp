@@ -1,0 +1,123 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace dualcast {
+
+Graph::Graph(int n) {
+  DC_EXPECTS(n >= 1);
+  adj_.resize(static_cast<std::size_t>(n));
+}
+
+void Graph::check_vertex(int v) const {
+  DC_EXPECTS_MSG(v >= 0 && v < n(), "vertex id out of range");
+}
+
+void Graph::add_edge(int u, int v) {
+  check_vertex(u);
+  check_vertex(v);
+  DC_EXPECTS_MSG(u != v, "self-loops are not allowed");
+  adj_[static_cast<std::size_t>(u)].push_back(v);
+  adj_[static_cast<std::size_t>(v)].push_back(u);
+  finalized_ = false;
+}
+
+void Graph::finalize() {
+  for (auto& list : adj_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  finalized_ = true;
+}
+
+std::int64_t Graph::edge_count() const {
+  DC_EXPECTS(finalized_);
+  std::int64_t total = 0;
+  for (const auto& list : adj_) total += static_cast<std::int64_t>(list.size());
+  return total / 2;
+}
+
+std::span<const int> Graph::neighbors(int v) const {
+  DC_EXPECTS(finalized_);
+  check_vertex(v);
+  return adj_[static_cast<std::size_t>(v)];
+}
+
+int Graph::degree(int v) const {
+  return static_cast<int>(neighbors(v).size());
+}
+
+int Graph::max_degree() const {
+  DC_EXPECTS(finalized_);
+  int best = 0;
+  for (const auto& list : adj_) best = std::max(best, static_cast<int>(list.size()));
+  return best;
+}
+
+bool Graph::has_edge(int u, int v) const {
+  DC_EXPECTS(finalized_);
+  check_vertex(u);
+  check_vertex(v);
+  const auto& list = adj_[static_cast<std::size_t>(u)];
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+std::vector<int> Graph::bfs_distances(int src) const {
+  DC_EXPECTS(finalized_);
+  check_vertex(src);
+  std::vector<int> dist(static_cast<std::size_t>(n()), -1);
+  std::queue<int> frontier;
+  dist[static_cast<std::size_t>(src)] = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const int v = frontier.front();
+    frontier.pop();
+    for (const int w : adj_[static_cast<std::size_t>(v)]) {
+      if (dist[static_cast<std::size_t>(w)] == -1) {
+        dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(v)] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Graph::is_connected() const {
+  if (n() <= 1) return true;
+  const auto dist = bfs_distances(0);
+  return std::all_of(dist.begin(), dist.end(), [](int d) { return d >= 0; });
+}
+
+int Graph::eccentricity(int src) const {
+  const auto dist = bfs_distances(src);
+  int ecc = 0;
+  for (const int d : dist) {
+    DC_EXPECTS_MSG(d >= 0, "eccentricity requires reachability from src");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+int Graph::diameter() const {
+  DC_EXPECTS(is_connected());
+  int diam = 0;
+  for (int v = 0; v < n(); ++v) diam = std::max(diam, eccentricity(v));
+  return diam;
+}
+
+std::vector<std::pair<int, int>> Graph::edges() const {
+  DC_EXPECTS(finalized_);
+  std::vector<std::pair<int, int>> out;
+  out.reserve(static_cast<std::size_t>(edge_count()));
+  for (int u = 0; u < n(); ++u) {
+    for (const int v : neighbors(u)) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace dualcast

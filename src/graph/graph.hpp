@@ -1,0 +1,73 @@
+#pragma once
+
+// Undirected simple graph on vertices {0, ..., n-1}, stored as sorted
+// adjacency lists. This is the substrate for both layers of the dual graph
+// model (§2): G (reliable links) and G' (reliable + unreliable links).
+//
+// Usage pattern: add edges, then `finalize()` (sorts and deduplicates),
+// then query. Query methods require a finalized graph.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dualcast {
+
+class Graph {
+ public:
+  Graph() = default;
+  /// Creates an edgeless graph on n >= 1 vertices.
+  explicit Graph(int n);
+
+  /// Adds the undirected edge {u, v}. Requires 0 <= u,v < n and u != v.
+  /// Duplicate additions are tolerated and removed by finalize().
+  void add_edge(int u, int v);
+
+  /// Sorts and deduplicates adjacency lists. Must be called before queries;
+  /// idempotent.
+  void finalize();
+
+  int n() const { return static_cast<int>(adj_.size()); }
+  bool finalized() const { return finalized_; }
+
+  /// Number of (undirected) edges. Requires finalized().
+  std::int64_t edge_count() const;
+
+  /// Sorted neighbors of v. Requires finalized().
+  std::span<const int> neighbors(int v) const;
+
+  /// Degree of v. Requires finalized().
+  int degree(int v) const;
+
+  /// Maximum degree over all vertices. Requires finalized().
+  int max_degree() const;
+
+  /// True if {u, v} is an edge (binary search). Requires finalized().
+  bool has_edge(int u, int v) const;
+
+  /// BFS hop distances from src; unreachable vertices get -1.
+  std::vector<int> bfs_distances(int src) const;
+
+  /// True if the graph is connected (n == 0/1 counts as connected).
+  bool is_connected() const;
+
+  /// Exact diameter via all-sources BFS. Requires a connected graph.
+  /// O(n * (n + m)); intended for test/bench-scale graphs.
+  int diameter() const;
+
+  /// Largest BFS distance from `src` (eccentricity). Requires connectivity
+  /// from src.
+  int eccentricity(int src) const;
+
+  /// All edges as (u, v) pairs with u < v. Requires finalized().
+  std::vector<std::pair<int, int>> edges() const;
+
+ private:
+  void check_vertex(int v) const;
+
+  std::vector<std::vector<int>> adj_;
+  bool finalized_ = true;  // an edgeless graph is trivially finalized
+};
+
+}  // namespace dualcast

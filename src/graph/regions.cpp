@@ -1,0 +1,79 @@
+#include "graph/regions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace dualcast {
+
+namespace {
+constexpr double kCellSide = 0.70710678118654752440;  // 1/sqrt(2)
+}
+
+RegionDecomposition::RegionDecomposition(const GeoNet& geo) {
+  const int n = geo.net.n();
+  DC_EXPECTS(static_cast<int>(geo.points.size()) == n);
+
+  // Assign nodes to grid cells, compacting to the non-empty ones.
+  std::map<std::pair<long, long>, int> cell_index;
+  region_of_.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    const auto& p = geo.points[static_cast<std::size_t>(v)];
+    const std::pair<long, long> cell{
+        static_cast<long>(std::floor(p.x / kCellSide)),
+        static_cast<long>(std::floor(p.y / kCellSide))};
+    auto [it, inserted] =
+        cell_index.emplace(cell, static_cast<int>(members_.size()));
+    if (inserted) members_.emplace_back();
+    region_of_[static_cast<std::size_t>(v)] = it->second;
+    members_[static_cast<std::size_t>(it->second)].push_back(v);
+  }
+
+  // Region adjacency through G' edges.
+  neighbors_.resize(members_.size());
+  for (int u = 0; u < n; ++u) {
+    const int ru = region_of_[static_cast<std::size_t>(u)];
+    for (const int v : geo.net.gprime().neighbors(u)) {
+      const int rv = region_of_[static_cast<std::size_t>(v)];
+      if (rv != ru) neighbors_[static_cast<std::size_t>(ru)].push_back(rv);
+    }
+  }
+  for (auto& list : neighbors_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+}
+
+int RegionDecomposition::region_of(int v) const {
+  DC_EXPECTS(v >= 0 && v < static_cast<int>(region_of_.size()));
+  return region_of_[static_cast<std::size_t>(v)];
+}
+
+const std::vector<int>& RegionDecomposition::members(int region) const {
+  DC_EXPECTS(region >= 0 && region < region_count());
+  return members_[static_cast<std::size_t>(region)];
+}
+
+const std::vector<int>& RegionDecomposition::neighboring_regions(
+    int region) const {
+  DC_EXPECTS(region >= 0 && region < region_count());
+  return neighbors_[static_cast<std::size_t>(region)];
+}
+
+int RegionDecomposition::max_neighboring_regions() const {
+  int best = 0;
+  for (const auto& list : neighbors_) {
+    best = std::max(best, static_cast<int>(list.size()));
+  }
+  return best;
+}
+
+int RegionDecomposition::gamma_bound(double r) {
+  DC_EXPECTS(r >= 1.0);
+  const int reach = static_cast<int>(std::ceil(r * 1.41421356237309504880));
+  return (2 * reach + 1) * (2 * reach + 1) - 1;
+}
+
+}  // namespace dualcast

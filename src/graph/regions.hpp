@@ -1,0 +1,53 @@
+#pragma once
+
+// Region decomposition of geographic dual graphs (§4.3, after [3]).
+//
+// The analysis of the geographic local broadcast algorithm partitions the
+// nodes into regions such that (a) nodes sharing a region are G-neighbors,
+// and (b) each region has at most a constant number γ_r of neighboring
+// regions (regions containing a G'-neighbor of one of its nodes).
+//
+// We realize the partition with square cells of side 1/√2: any two points in
+// a cell are within distance 1, giving (a); and any G'-neighbor lies within
+// distance r of a member, so neighboring regions live in cells at Chebyshev
+// distance at most ceil(√2 · r) from the member's cell, giving (b) with
+//   γ_r <= (2·ceil(√2 · r) + 1)² - 1.
+
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace dualcast {
+
+class RegionDecomposition {
+ public:
+  /// Decomposes the embedded network `geo` into grid cells of side 1/√2.
+  explicit RegionDecomposition(const GeoNet& geo);
+
+  /// Number of non-empty regions.
+  int region_count() const { return static_cast<int>(members_.size()); }
+
+  /// Region index of node v (0 <= region_of(v) < region_count()).
+  int region_of(int v) const;
+
+  /// Nodes in region i.
+  const std::vector<int>& members(int region) const;
+
+  /// Indices of regions adjacent to `region`: regions containing a
+  /// G'-neighbor of one of its members (excluding itself).
+  const std::vector<int>& neighboring_regions(int region) const;
+
+  /// max over regions of the neighboring-region count (empirical γ_r).
+  int max_neighboring_regions() const;
+
+  /// The theoretical constant bound for grey-zone radius r:
+  /// (2·ceil(√2 r) + 1)² - 1.
+  static int gamma_bound(double r);
+
+ private:
+  std::vector<int> region_of_;
+  std::vector<std::vector<int>> members_;
+  std::vector<std::vector<int>> neighbors_;
+};
+
+}  // namespace dualcast

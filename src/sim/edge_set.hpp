@@ -1,0 +1,29 @@
+#pragma once
+
+// The adversary's per-round choice: which G'-only edges join the
+// communication topology this round (§2: "the edges in E plus some subset of
+// the edges in E' \ E"). Edges are referenced by their index in
+// DualGraph::gp_only_edges(). `none` and `all` are first-class so the engine
+// can fast-path the common adversary strategies.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dualcast {
+
+struct EdgeSet {
+  enum class Kind : std::uint8_t { none, all, some };
+
+  Kind kind = Kind::none;
+  /// Indices into DualGraph::gp_only_edges(); meaningful when kind == some.
+  std::vector<std::int32_t> indices;
+
+  static EdgeSet none() { return {}; }
+  static EdgeSet all() { return EdgeSet{Kind::all, {}}; }
+  static EdgeSet some(std::vector<std::int32_t> idx) {
+    return EdgeSet{Kind::some, std::move(idx)};
+  }
+};
+
+}  // namespace dualcast

@@ -1,0 +1,263 @@
+#include "sim/execution.hpp"
+
+#include "util/assert.hpp"
+
+namespace dualcast {
+
+Execution::Execution(const DualGraph& net, ProcessFactory factory,
+                     std::shared_ptr<Problem> problem,
+                     std::unique_ptr<LinkProcess> link_process,
+                     ExecutionConfig config)
+    : net_(&net),
+      problem_(std::move(problem)),
+      link_process_(std::move(link_process)),
+      config_(config),
+      adversary_rng_(0),
+      inspector_(&processes_) {
+  DC_EXPECTS(net.n() >= 1);
+  DC_EXPECTS(factory != nullptr);
+  DC_EXPECTS(problem_ != nullptr);
+  DC_EXPECTS(link_process_ != nullptr);
+  DC_EXPECTS(config_.max_rounds >= 1);
+
+  factory_holder_ = std::move(factory);
+
+  Rng master(config_.seed);
+  const int n = net.n();
+  processes_.reserve(static_cast<std::size_t>(n));
+  node_rngs_.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    node_rngs_.push_back(master.fork(static_cast<std::uint64_t>(v)));
+  }
+  adversary_rng_ = master.fork("link-process");
+
+  for (int v = 0; v < n; ++v) {
+    ProcessEnv env;
+    env.id = v;
+    env.n = n;
+    env.max_degree = net.max_degree();
+    env.is_global_source = problem_->is_source(v);
+    env.in_broadcast_set = problem_->in_broadcast_set(v);
+    env.initial_message = problem_->initial_message(v);
+    if (config_.env_override) env = config_.env_override(env);
+    auto proc = factory_holder_(env);
+    DC_EXPECTS_MSG(proc != nullptr, "process factory returned null");
+    proc->init(env, node_rngs_[static_cast<std::size_t>(v)]);
+    processes_.push_back(std::move(proc));
+  }
+
+  // The adversary "knows the algorithm" (§2): it receives the process
+  // factory and may privately instantiate and simulate it.
+  ExecutionSetup setup;
+  setup.net = net_;
+  setup.factory = &factory_holder_;
+  setup.problem = problem_.get();
+  setup.max_rounds = config_.max_rounds;
+  link_process_->on_execution_start(setup, adversary_rng_);
+
+  first_receive_round_.assign(static_cast<std::size_t>(n), -1);
+  transmitting_.assign(static_cast<std::size_t>(n), 0);
+  hear_count_.assign(static_cast<std::size_t>(n), 0);
+  last_sender_.assign(static_cast<std::size_t>(n), -1);
+  last_tx_index_.assign(static_cast<std::size_t>(n), -1);
+
+  solved_ = problem_->solved(processes_);
+}
+
+const Process& Execution::process(int v) const {
+  DC_EXPECTS(v >= 0 && v < static_cast<int>(processes_.size()));
+  return *processes_[static_cast<std::size_t>(v)];
+}
+
+EdgeSet Execution::select_edges_pre_actions() {
+  // Only the online adaptive class chooses before seeing actions; its view is
+  // history through round-1 plus start-of-round node state.
+  return link_process_->choose_online(round_, history_, inspector_,
+                                      adversary_rng_);
+}
+
+EdgeSet Execution::select_edges_post_actions(
+    const std::vector<Action>& actions, const std::vector<int>& transmitters) {
+  switch (link_process_->adversary_class()) {
+    case AdversaryClass::oblivious:
+      return link_process_->choose_oblivious(round_, adversary_rng_);
+    case AdversaryClass::offline_adaptive: {
+      RoundActions ra;
+      ra.actions = &actions;
+      ra.transmitters = &transmitters;
+      return link_process_->choose_offline(round_, history_, inspector_, ra,
+                                           adversary_rng_);
+    }
+    case AdversaryClass::online_adaptive:
+      DC_ASSERT_MSG(false, "online edges must be chosen before actions");
+  }
+  return EdgeSet::none();
+}
+
+void Execution::resolve_deliveries(const std::vector<Action>& actions,
+                                   const std::vector<int>& transmitters,
+                                   const EdgeSet& edges, RoundRecord& record) {
+  const int n = net_->n();
+  const int tx_count = static_cast<int>(transmitters.size());
+
+  colliders_.clear();
+
+  // Fast path: with all G'-only edges active on a complete G', either the
+  // unique transmitter reaches everyone or >= 2 transmitters collide
+  // everywhere. This keeps dense-round attacks on clique networks O(1).
+  if (edges.kind == EdgeSet::Kind::all && net_->gprime_complete()) {
+    if (tx_count == 1) {
+      const int v = transmitters[0];
+      record.deliveries.reserve(static_cast<std::size_t>(n - 1));
+      for (int u = 0; u < n; ++u) {
+        if (u != v) record.deliveries.push_back(Delivery{u, v, 0});
+      }
+    } else if (tx_count >= 2 && config_.collision_detection) {
+      for (int u = 0; u < n; ++u) {
+        if (!transmitting_[static_cast<std::size_t>(u)]) colliders_.push_back(u);
+      }
+    }
+    return;
+  }
+
+  touched_.clear();
+  const auto bump = [&](int u, int sender, int tx_index) {
+    if (hear_count_[static_cast<std::size_t>(u)] == 0) touched_.push_back(u);
+    ++hear_count_[static_cast<std::size_t>(u)];
+    last_sender_[static_cast<std::size_t>(u)] = sender;
+    last_tx_index_[static_cast<std::size_t>(u)] = tx_index;
+  };
+
+  for (int ti = 0; ti < tx_count; ++ti) {
+    const int v = transmitters[static_cast<std::size_t>(ti)];
+    for (const int u : net_->g().neighbors(v)) bump(u, v, ti);
+    if (edges.kind == EdgeSet::Kind::all) {
+      for (const int u : net_->gp_only_neighbors(v)) bump(u, v, ti);
+    }
+  }
+  if (edges.kind == EdgeSet::Kind::some) {
+    const auto& gp_only = net_->gp_only_edges();
+    // Locate transmitter indices lazily: only needed for selected edges.
+    for (const std::int32_t idx : edges.indices) {
+      DC_EXPECTS(idx >= 0 &&
+                 idx < static_cast<std::int32_t>(gp_only.size()));
+      const auto [a, b] = gp_only[static_cast<std::size_t>(idx)];
+      if (transmitting_[static_cast<std::size_t>(a)]) {
+        // Find a's index among transmitters (transmitter lists are short in
+        // sparse rounds; linear scan is fine and keeps no extra state).
+        for (int ti = 0; ti < tx_count; ++ti) {
+          if (transmitters[static_cast<std::size_t>(ti)] == a) {
+            bump(b, a, ti);
+            break;
+          }
+        }
+      }
+      if (transmitting_[static_cast<std::size_t>(b)]) {
+        for (int ti = 0; ti < tx_count; ++ti) {
+          if (transmitters[static_cast<std::size_t>(ti)] == b) {
+            bump(a, b, ti);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  for (const int u : touched_) {
+    if (transmitting_[static_cast<std::size_t>(u)]) continue;
+    if (hear_count_[static_cast<std::size_t>(u)] == 1) {
+      record.deliveries.push_back(
+          Delivery{u, last_sender_[static_cast<std::size_t>(u)],
+                   last_tx_index_[static_cast<std::size_t>(u)]});
+    } else if (config_.collision_detection &&
+               hear_count_[static_cast<std::size_t>(u)] >= 2) {
+      colliders_.push_back(u);
+    }
+  }
+  // Reset scratch.
+  for (const int u : touched_) {
+    hear_count_[static_cast<std::size_t>(u)] = 0;
+    last_sender_[static_cast<std::size_t>(u)] = -1;
+    last_tx_index_[static_cast<std::size_t>(u)] = -1;
+  }
+  (void)actions;
+}
+
+void Execution::step() {
+  DC_EXPECTS_MSG(!done(), "step() on a finished execution");
+  const int n = net_->n();
+
+  // 1. Online adaptive adversaries commit before any coin is drawn.
+  EdgeSet edges;
+  const bool online =
+      link_process_->adversary_class() == AdversaryClass::online_adaptive;
+  if (online) edges = select_edges_pre_actions();
+
+  // 2. Draw actions.
+  std::vector<Action> actions(static_cast<std::size_t>(n));
+  std::vector<int> transmitters;
+  for (int v = 0; v < n; ++v) {
+    actions[static_cast<std::size_t>(v)] =
+        processes_[static_cast<std::size_t>(v)]->on_round(
+            round_, node_rngs_[static_cast<std::size_t>(v)]);
+    const bool tx = actions[static_cast<std::size_t>(v)].transmit;
+    transmitting_[static_cast<std::size_t>(v)] = tx ? 1 : 0;
+    if (tx) transmitters.push_back(v);
+  }
+
+  // 3. Oblivious / offline adaptive adversaries commit now.
+  if (!online) edges = select_edges_post_actions(actions, transmitters);
+
+  // 4. Resolve deliveries under the §2 receive rule.
+  RoundRecord record;
+  record.transmitters = transmitters;
+  record.sent.reserve(transmitters.size());
+  for (const int v : transmitters) {
+    record.sent.push_back(actions[static_cast<std::size_t>(v)].message);
+  }
+  record.activated = edges.kind;
+  record.activated_count =
+      edges.kind == EdgeSet::Kind::all
+          ? static_cast<std::int64_t>(net_->gp_only_edges().size())
+          : static_cast<std::int64_t>(edges.indices.size());
+  if (edges.kind == EdgeSet::Kind::some) {
+    record.activated_indices = edges.indices;
+  }
+  resolve_deliveries(actions, transmitters, edges, record);
+
+  // 5. Feedback, bookkeeping, monitoring.
+  std::vector<RoundFeedback> feedback(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    feedback[static_cast<std::size_t>(v)].transmitted =
+        transmitting_[static_cast<std::size_t>(v)] != 0;
+  }
+  for (const Delivery& d : record.deliveries) {
+    auto& fb = feedback[static_cast<std::size_t>(d.receiver)];
+    fb.received = record.sent[static_cast<std::size_t>(d.transmitter_index)];
+    fb.sender = d.sender;
+    if (first_receive_round_[static_cast<std::size_t>(d.receiver)] == -1) {
+      first_receive_round_[static_cast<std::size_t>(d.receiver)] = round_;
+    }
+  }
+  for (const int u : colliders_) {
+    feedback[static_cast<std::size_t>(u)].collision = true;
+  }
+  for (int v = 0; v < n; ++v) {
+    processes_[static_cast<std::size_t>(v)]->on_feedback(
+        round_, feedback[static_cast<std::size_t>(v)],
+        node_rngs_[static_cast<std::size_t>(v)]);
+    transmitting_[static_cast<std::size_t>(v)] = 0;
+  }
+
+  problem_->observe_round(record, processes_);
+  history_.push(std::move(record));
+  ++round_;
+  solved_ = problem_->solved(processes_);
+}
+
+RunResult Execution::run() {
+  while (!done()) step();
+  return RunResult{solved_, round_};
+}
+
+}  // namespace dualcast

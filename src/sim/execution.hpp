@@ -1,0 +1,122 @@
+#pragma once
+
+// The synchronous execution engine for the dual graph model (§2).
+//
+// Round structure (enforcing each adversary class's information access):
+//
+//   1. online adaptive adversaries choose the round's G'-only edges first,
+//      seeing history + start-of-round state but no round-r coins;
+//   2. every process draws its action (transmit/listen) from its private
+//      stream;
+//   3. oblivious adversaries' choices are read from their precommitted
+//      schedule (they never see any execution information); offline adaptive
+//      adversaries choose now, seeing the drawn actions;
+//   4. deliveries are resolved under the §2 receive rule: u receives m from v
+//      iff u listens, v transmits m, and v is the *only* transmitter among
+//      u's neighbors in G ∪ (selected G'-only edges). Silence and collision
+//      are indistinguishable to processes (no collision detection);
+//   5. feedback is delivered, the round is recorded, and the problem monitor
+//      updates its solved state.
+//
+// The engine is deterministic: a master seed forks one stream per node plus
+// one for the adversary, so identical configurations replay identically.
+
+#include <memory>
+#include <vector>
+
+#include "graph/dual_graph.hpp"
+#include "sim/history.hpp"
+#include "sim/link_process.hpp"
+#include "sim/problem.hpp"
+#include "sim/process.hpp"
+
+namespace dualcast {
+
+struct ExecutionConfig {
+  std::uint64_t seed = 1;
+  int max_rounds = 100000;
+  /// Optional rewrite of each node's ProcessEnv before process creation.
+  /// Used by isolated sub-simulations (Lemma 4.4) that run a fragment of a
+  /// network but must present processes with their *original* identity
+  /// (global id, n, Δ, role).
+  std::function<ProcessEnv(ProcessEnv)> env_override;
+  /// Model variant: listeners with >= 2 transmitting neighbors learn that a
+  /// collision happened (RoundFeedback::collision). The paper's model is
+  /// without collision detection — leave false to reproduce it.
+  bool collision_detection = false;
+};
+
+struct RunResult {
+  bool solved = false;
+  /// Rounds executed: the 1-based round count at which the problem was
+  /// solved, or max_rounds if it was not.
+  int rounds = 0;
+};
+
+class Execution {
+ public:
+  /// The problem and link process are owned by the execution; the network
+  /// must outlive it.
+  Execution(const DualGraph& net, ProcessFactory factory,
+            std::shared_ptr<Problem> problem,
+            std::unique_ptr<LinkProcess> link_process, ExecutionConfig config);
+
+  /// Executes one round. Requires !done().
+  void step();
+
+  /// Runs until the problem is solved or max_rounds is reached.
+  RunResult run();
+
+  bool solved() const { return solved_; }
+  bool done() const { return solved_ || round_ >= config_.max_rounds; }
+  /// Rounds executed so far.
+  int round() const { return round_; }
+
+  const ExecutionHistory& history() const { return history_; }
+  const Problem& problem() const { return *problem_; }
+  const DualGraph& net() const { return *net_; }
+  const StateInspector& inspector() const { return inspector_; }
+
+  /// First round (0-based) in which each node successfully received any
+  /// message; -1 if it never has.
+  const std::vector<int>& first_receive_round() const {
+    return first_receive_round_;
+  }
+
+  /// Access to a process, e.g. for algorithm-specific assertions in tests.
+  const Process& process(int v) const;
+
+ private:
+  EdgeSet select_edges_pre_actions();
+  EdgeSet select_edges_post_actions(const std::vector<Action>& actions,
+                                    const std::vector<int>& transmitters);
+  void resolve_deliveries(const std::vector<Action>& actions,
+                          const std::vector<int>& transmitters,
+                          const EdgeSet& edges, RoundRecord& record);
+
+  const DualGraph* net_;
+  std::shared_ptr<Problem> problem_;
+  std::unique_ptr<LinkProcess> link_process_;
+  ExecutionConfig config_;
+  ProcessFactory factory_holder_;
+
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<Rng> node_rngs_;
+  Rng adversary_rng_;
+  StateInspector inspector_;
+  ExecutionHistory history_;
+
+  int round_ = 0;
+  bool solved_ = false;
+  std::vector<int> first_receive_round_;
+
+  // Scratch buffers reused across rounds.
+  std::vector<char> transmitting_;
+  std::vector<int> hear_count_;
+  std::vector<int> last_sender_;
+  std::vector<int> last_tx_index_;
+  std::vector<int> touched_;
+  std::vector<int> colliders_;
+};
+
+}  // namespace dualcast

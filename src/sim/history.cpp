@@ -1,0 +1,28 @@
+#include "sim/history.hpp"
+
+#include "util/assert.hpp"
+
+namespace dualcast {
+
+const RoundRecord& ExecutionHistory::round(int r) const {
+  DC_EXPECTS(r >= 0 && r < rounds());
+  return records_[static_cast<std::size_t>(r)];
+}
+
+std::int64_t ExecutionHistory::total_transmissions() const {
+  std::int64_t total = 0;
+  for (const auto& rec : records_) {
+    total += static_cast<std::int64_t>(rec.transmitters.size());
+  }
+  return total;
+}
+
+std::int64_t ExecutionHistory::total_deliveries() const {
+  std::int64_t total = 0;
+  for (const auto& rec : records_) {
+    total += static_cast<std::int64_t>(rec.deliveries.size());
+  }
+  return total;
+}
+
+}  // namespace dualcast

@@ -1,0 +1,53 @@
+#pragma once
+
+// Execution history: the per-round record of externally observable events.
+// This is the "execution history through round r-1" that §2 grants to
+// adaptive link processes, and it doubles as the trace used by tests,
+// benches, and diagnostics.
+
+#include <vector>
+
+#include "sim/edge_set.hpp"
+#include "sim/message.hpp"
+
+namespace dualcast {
+
+/// One successful delivery: `receiver` heard `sender`'s message.
+struct Delivery {
+  int receiver = -1;
+  int sender = -1;
+  /// Index into the round's `transmitters`/`sent` arrays.
+  int transmitter_index = -1;
+};
+
+/// Everything observable about one round.
+struct RoundRecord {
+  std::vector<int> transmitters;   ///< node ids that transmitted
+  std::vector<Message> sent;       ///< parallel to `transmitters`
+  std::vector<Delivery> deliveries;
+  EdgeSet::Kind activated = EdgeSet::Kind::none;  ///< adversary's choice kind
+  std::int64_t activated_count = 0;  ///< number of G'-only edges activated
+  /// Exact activated edge indices when activated == Kind::some (for `none`
+  /// and `all` the set is implicit). Lets tests recompute deliveries from
+  /// first principles.
+  std::vector<std::int32_t> activated_indices;
+};
+
+class ExecutionHistory {
+ public:
+  int rounds() const { return static_cast<int>(records_.size()); }
+  const RoundRecord& round(int r) const;
+  const std::vector<RoundRecord>& records() const { return records_; }
+
+  /// Total transmissions across all rounds.
+  std::int64_t total_transmissions() const;
+  /// Total successful deliveries across all rounds.
+  std::int64_t total_deliveries() const;
+
+  void push(RoundRecord record) { records_.push_back(std::move(record)); }
+
+ private:
+  std::vector<RoundRecord> records_;
+};
+
+}  // namespace dualcast

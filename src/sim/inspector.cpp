@@ -1,0 +1,34 @@
+#include "sim/inspector.hpp"
+
+#include <memory>
+
+#include "sim/process.hpp"
+#include "util/assert.hpp"
+
+namespace dualcast {
+
+int StateInspector::n() const { return static_cast<int>(processes_->size()); }
+
+double StateInspector::transmit_probability(int v, int round) const {
+  DC_EXPECTS(v >= 0 && v < n());
+  const auto* proc = dynamic_cast<const InspectableProcess*>(
+      (*processes_)[static_cast<std::size_t>(v)].get());
+  DC_EXPECTS_MSG(proc != nullptr,
+                 "adaptive adversaries require InspectableProcess algorithms");
+  const double p = proc->transmit_probability(round);
+  DC_ENSURES(p >= 0.0 && p <= 1.0);
+  return p;
+}
+
+double StateInspector::expected_transmitters(int round) const {
+  double sum = 0.0;
+  for (int v = 0; v < n(); ++v) sum += transmit_probability(v, round);
+  return sum;
+}
+
+bool StateInspector::has_message(int v) const {
+  DC_EXPECTS(v >= 0 && v < n());
+  return (*processes_)[static_cast<std::size_t>(v)]->has_message();
+}
+
+}  // namespace dualcast

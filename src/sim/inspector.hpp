@@ -1,0 +1,44 @@
+#pragma once
+
+// StateInspector: the engine-provided oracle through which adaptive
+// adversaries observe node state.
+//
+// §3 defines the online adaptive adversary's knowledge as "the state of the
+// nodes at the beginning of this round ... not the random bits the nodes
+// will use in round r", and its key derived quantity is E[|X| | S] — the
+// expected number of transmitters given that state. The inspector exposes
+// exactly that: per-node transmit probabilities (for InspectableProcess
+// algorithms) and message possession, evaluated strictly before the round's
+// coins are drawn.
+
+#include <memory>
+#include <vector>
+
+namespace dualcast {
+
+class Process;
+
+class StateInspector {
+ public:
+  explicit StateInspector(
+      const std::vector<std::unique_ptr<Process>>* processes)
+      : processes_(processes) {}
+
+  int n() const;
+
+  /// P[node v transmits in `round` | its state now]. Requires the process to
+  /// be an InspectableProcess (all algorithms in this library are); throws
+  /// ContractViolation otherwise, so an adversary cannot silently miscompute.
+  double transmit_probability(int v, int round) const;
+
+  /// Sum of transmit probabilities over all nodes: E[|X| | S].
+  double expected_transmitters(int round) const;
+
+  /// Whether node v currently holds the broadcast message.
+  bool has_message(int v) const;
+
+ private:
+  const std::vector<std::unique_ptr<Process>>* processes_;
+};
+
+}  // namespace dualcast

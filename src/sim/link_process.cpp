@@ -1,0 +1,44 @@
+#include "sim/link_process.hpp"
+
+#include "util/assert.hpp"
+
+namespace dualcast {
+
+const char* to_string(AdversaryClass cls) {
+  switch (cls) {
+    case AdversaryClass::oblivious:
+      return "oblivious";
+    case AdversaryClass::online_adaptive:
+      return "online-adaptive";
+    case AdversaryClass::offline_adaptive:
+      return "offline-adaptive";
+  }
+  return "?";
+}
+
+void LinkProcess::on_execution_start(const ExecutionSetup& /*setup*/,
+                                     Rng& /*rng*/) {}
+
+EdgeSet LinkProcess::choose_oblivious(int /*round*/, Rng& /*rng*/) {
+  DC_ASSERT_MSG(false, "oblivious adversary must override choose_oblivious");
+  return EdgeSet::none();
+}
+
+EdgeSet LinkProcess::choose_online(int /*round*/,
+                                   const ExecutionHistory& /*history*/,
+                                   const StateInspector& /*inspector*/,
+                                   Rng& /*rng*/) {
+  DC_ASSERT_MSG(false, "online adversary must override choose_online");
+  return EdgeSet::none();
+}
+
+EdgeSet LinkProcess::choose_offline(int /*round*/,
+                                    const ExecutionHistory& /*history*/,
+                                    const StateInspector& /*inspector*/,
+                                    const RoundActions& /*actions*/,
+                                    Rng& /*rng*/) {
+  DC_ASSERT_MSG(false, "offline adversary must override choose_offline");
+  return EdgeSet::none();
+}
+
+}  // namespace dualcast

@@ -1,0 +1,85 @@
+#pragma once
+
+// Link processes: the adversary that controls the unreliable edges (§2).
+//
+// The three classical adversary classes differ only in what information they
+// may consult when choosing the round's G'-only edges:
+//
+//   oblivious        — nothing about the execution: it must be expressible as
+//                      a function of (network, algorithm, problem, round,
+//                      private coins), all fixed before round 0;
+//   online adaptive  — additionally the execution history through r-1 and the
+//                      node states at the start of r (via StateInspector),
+//                      but NOT the round-r coins;
+//   offline adaptive — additionally the actual round-r actions.
+//
+// This hierarchy is enforced *by construction*: the engine invokes exactly
+// one of the class-specific hooks below, passing only the arguments that
+// class is entitled to. A subclass can only see what its declared class
+// allows. (Tests verify the dispatch.)
+
+#include <memory>
+
+#include "graph/dual_graph.hpp"
+#include "sim/edge_set.hpp"
+#include "sim/history.hpp"
+#include "sim/inspector.hpp"
+#include "sim/process.hpp"
+
+namespace dualcast {
+
+class Problem;
+
+enum class AdversaryClass {
+  oblivious,
+  online_adaptive,
+  offline_adaptive,
+};
+
+const char* to_string(AdversaryClass cls);
+
+/// Everything an adversary is allowed to know before the execution begins:
+/// the network topology, the algorithm (as its process factory — adversaries
+/// may instantiate and privately simulate it), the problem instance, and the
+/// round budget. Handed to every class at on_execution_start.
+struct ExecutionSetup {
+  const DualGraph* net = nullptr;
+  const ProcessFactory* factory = nullptr;
+  const Problem* problem = nullptr;
+  int max_rounds = 0;
+};
+
+/// The actions the nodes chose in the current round (offline adaptive only).
+struct RoundActions {
+  const std::vector<Action>* actions = nullptr;   ///< indexed by node id
+  const std::vector<int>* transmitters = nullptr; ///< ids with transmit==true
+};
+
+class LinkProcess {
+ public:
+  virtual ~LinkProcess() = default;
+
+  virtual AdversaryClass adversary_class() const = 0;
+
+  /// Called once before round 0. `rng` is the adversary's private stream
+  /// (independent of all node streams).
+  virtual void on_execution_start(const ExecutionSetup& setup, Rng& rng);
+
+  /// Oblivious hook: may depend only on the round number, the setup, and the
+  /// adversary's private coins (all fixed before the execution).
+  virtual EdgeSet choose_oblivious(int round, Rng& rng);
+
+  /// Online adaptive hook: history through round-1 plus start-of-round state.
+  virtual EdgeSet choose_online(int round, const ExecutionHistory& history,
+                                const StateInspector& inspector, Rng& rng);
+
+  /// Offline adaptive hook: everything online gets, plus the round's actions.
+  virtual EdgeSet choose_offline(int round, const ExecutionHistory& history,
+                                 const StateInspector& inspector,
+                                 const RoundActions& actions, Rng& rng);
+};
+
+/// Factory signature so benches can instantiate a fresh adversary per trial.
+using LinkProcessFactory = std::function<std::unique_ptr<LinkProcess>()>;
+
+}  // namespace dualcast

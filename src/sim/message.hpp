@@ -1,0 +1,41 @@
+#pragma once
+
+// Messages exchanged in the radio network.
+//
+// A message is a value type. The optional `shared_bits` payload carries the
+// random coordination bits of §4.1 (global broadcast) and §4.3 (seeds); it is
+// ref-counted and immutable, so forwarding a message is cheap and every
+// holder reads the *same* bits — exactly the paper's shared-randomness
+// mechanism.
+
+#include <cstdint>
+#include <memory>
+
+#include "util/bitstring.hpp"
+
+namespace dualcast {
+
+enum class MessageKind : std::uint8_t {
+  data,  ///< an application broadcast message
+  seed,  ///< a §4.3 initialization-stage seed announcement
+};
+
+struct Message {
+  MessageKind kind = MessageKind::data;
+  /// Node id of the original creator (the broadcast source / the leader).
+  int source = -1;
+  /// Opaque application payload tag.
+  std::uint64_t payload = 0;
+  /// Shared random bits (may be null).
+  std::shared_ptr<const BitString> shared_bits;
+
+  friend bool operator==(const Message& a, const Message& b) {
+    const bool bits_equal =
+        (a.shared_bits == b.shared_bits) ||
+        (a.shared_bits && b.shared_bits && *a.shared_bits == *b.shared_bits);
+    return a.kind == b.kind && a.source == b.source &&
+           a.payload == b.payload && bits_equal;
+  }
+};
+
+}  // namespace dualcast

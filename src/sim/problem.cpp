@@ -1,0 +1,160 @@
+#include "sim/problem.hpp"
+
+#include <algorithm>
+
+#include "sim/process.hpp"
+#include "util/assert.hpp"
+#include "util/strfmt.hpp"
+
+namespace dualcast {
+
+Message Problem::initial_message(int /*v*/) const { return {}; }
+
+void Problem::observe_round(
+    const RoundRecord& /*record*/,
+    const std::vector<std::unique_ptr<Process>>& /*procs*/) {}
+
+// ---------------------------------------------------------------------------
+// Global broadcast.
+// ---------------------------------------------------------------------------
+
+GlobalBroadcastProblem::GlobalBroadcastProblem(const DualGraph& net, int source)
+    : source_(source) {
+  DC_EXPECTS(source >= 0 && source < net.n());
+  DC_EXPECTS_MSG(net.g().is_connected(),
+                 "global broadcast requires a connected G");
+}
+
+std::string GlobalBroadcastProblem::name() const {
+  return str("global-broadcast(source=", source_, ")");
+}
+
+Message GlobalBroadcastProblem::initial_message(int v) const {
+  if (v != source_) return {};
+  Message m;
+  m.kind = MessageKind::data;
+  m.source = source_;
+  m.payload = 0xB40ADCA57ull;  // arbitrary tag: "broadcast"
+  return m;
+}
+
+bool GlobalBroadcastProblem::solved(
+    const std::vector<std::unique_ptr<Process>>& procs) const {
+  return std::all_of(procs.begin(), procs.end(),
+                     [](const auto& p) { return p->has_message(); });
+}
+
+// ---------------------------------------------------------------------------
+// Assignment-only problem.
+// ---------------------------------------------------------------------------
+
+AssignmentProblem::AssignmentProblem(int n, int source,
+                                     std::vector<int> broadcast_set)
+    : source_(source) {
+  DC_EXPECTS(n >= 1);
+  DC_EXPECTS(source >= -1 && source < n);
+  in_b_.assign(static_cast<std::size_t>(n), 0);
+  for (const int v : broadcast_set) {
+    DC_EXPECTS(v >= 0 && v < n);
+    in_b_[static_cast<std::size_t>(v)] = 1;
+  }
+}
+
+std::string AssignmentProblem::name() const { return "assignment"; }
+
+bool AssignmentProblem::in_broadcast_set(int v) const {
+  DC_EXPECTS(v >= 0 && v < static_cast<int>(in_b_.size()));
+  return in_b_[static_cast<std::size_t>(v)] != 0;
+}
+
+Message AssignmentProblem::initial_message(int v) const {
+  Message m;
+  m.kind = MessageKind::data;
+  m.source = v;
+  m.payload = static_cast<std::uint64_t>(v);
+  if (v == source_ || in_broadcast_set(v)) return m;
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Local broadcast.
+// ---------------------------------------------------------------------------
+
+LocalBroadcastProblem::LocalBroadcastProblem(const DualGraph& net,
+                                             std::vector<int> broadcast_set,
+                                             ReceiverCredit credit)
+    : net_(&net), b_(std::move(broadcast_set)), credit_(credit) {
+  DC_EXPECTS_MSG(!b_.empty(), "broadcast set must be non-empty");
+  DC_EXPECTS_MSG(net.g().is_connected(),
+                 "local broadcast requires a connected G");
+  in_b_.assign(static_cast<std::size_t>(net.n()), 0);
+  for (const int v : b_) {
+    DC_EXPECTS(v >= 0 && v < net.n());
+    DC_EXPECTS_MSG(!in_b_[static_cast<std::size_t>(v)],
+                   "broadcast set contains duplicates");
+    in_b_[static_cast<std::size_t>(v)] = 1;
+  }
+  // R: nodes with at least one G-neighbor in B.
+  in_r_.assign(static_cast<std::size_t>(net.n()), 0);
+  for (int v = 0; v < net.n(); ++v) {
+    for (const int w : net.g().neighbors(v)) {
+      if (in_b_[static_cast<std::size_t>(w)]) {
+        in_r_[static_cast<std::size_t>(v)] = 1;
+        r_.push_back(v);
+        break;
+      }
+    }
+  }
+  satisfied_.assign(static_cast<std::size_t>(net.n()), 0);
+}
+
+std::string LocalBroadcastProblem::name() const {
+  return str("local-broadcast(|B|=", b_.size(), ", |R|=", r_.size(), ")");
+}
+
+bool LocalBroadcastProblem::in_broadcast_set(int v) const {
+  DC_EXPECTS(v >= 0 && v < static_cast<int>(in_b_.size()));
+  return in_b_[static_cast<std::size_t>(v)] != 0;
+}
+
+Message LocalBroadcastProblem::initial_message(int v) const {
+  if (!in_broadcast_set(v)) return {};
+  Message m;
+  m.kind = MessageKind::data;
+  m.source = v;
+  m.payload = static_cast<std::uint64_t>(v);
+  return m;
+}
+
+void LocalBroadcastProblem::observe_round(
+    const RoundRecord& record,
+    const std::vector<std::unique_ptr<Process>>& /*procs*/) {
+  for (const Delivery& d : record.deliveries) {
+    if (!in_r_[static_cast<std::size_t>(d.receiver)]) continue;
+    if (satisfied_[static_cast<std::size_t>(d.receiver)]) continue;
+    const Message& m = record.sent[static_cast<std::size_t>(d.transmitter_index)];
+    if (m.kind != MessageKind::data) continue;
+    if (!in_b_[static_cast<std::size_t>(d.sender)]) continue;
+    if (credit_ == ReceiverCredit::g_neighbor_only &&
+        !net_->g().has_edge(d.receiver, d.sender)) {
+      continue;
+    }
+    satisfied_[static_cast<std::size_t>(d.receiver)] = 1;
+    ++satisfied_count_;
+  }
+}
+
+bool LocalBroadcastProblem::solved(
+    const std::vector<std::unique_ptr<Process>>& /*procs*/) const {
+  return satisfied_count_ == static_cast<int>(r_.size());
+}
+
+std::vector<int> LocalBroadcastProblem::unsatisfied() const {
+  std::vector<int> out;
+  for (const int v : r_) {
+    if (!satisfied_[static_cast<std::size_t>(v)]) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace dualcast

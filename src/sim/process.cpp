@@ -1,0 +1,10 @@
+#include "sim/process.hpp"
+
+namespace dualcast {
+
+void Process::init(const ProcessEnv& env, Rng& /*rng*/) { env_ = env; }
+
+void Process::on_feedback(int /*round*/, const RoundFeedback& /*feedback*/,
+                          Rng& /*rng*/) {}
+
+}  // namespace dualcast

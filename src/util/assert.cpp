@@ -1,0 +1,15 @@
+#include "util/assert.hpp"
+
+#include <sstream>
+
+namespace dualcast::detail {
+
+void contract_failure(const char* kind, const char* expr, const char* file,
+                      int line, const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace dualcast::detail

@@ -1,0 +1,65 @@
+#pragma once
+
+// Contract-checking macros in the style of the C++ Core Guidelines
+// (I.6 Expects / I.8 Ensures). Violations throw `dualcast::ContractViolation`
+// so that tests can assert on precondition enforcement, and so that a bad
+// experiment configuration fails loudly instead of producing silent garbage.
+
+#include <stdexcept>
+#include <string>
+
+namespace dualcast {
+
+/// Thrown when a DC_EXPECTS / DC_ENSURES / DC_ASSERT condition fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line,
+                                   const std::string& message);
+}  // namespace detail
+
+}  // namespace dualcast
+
+/// Precondition check: argument/state requirements at function entry.
+#define DC_EXPECTS(cond)                                                     \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::dualcast::detail::contract_failure("precondition", #cond, __FILE__, \
+                                           __LINE__, {});                    \
+  } while (false)
+
+/// Precondition check with an explanatory message.
+#define DC_EXPECTS_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::dualcast::detail::contract_failure("precondition", #cond, __FILE__, \
+                                           __LINE__, (msg));                 \
+  } while (false)
+
+/// Postcondition check: result guarantees at function exit.
+#define DC_ENSURES(cond)                                                      \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::dualcast::detail::contract_failure("postcondition", #cond, __FILE__, \
+                                           __LINE__, {});                     \
+  } while (false)
+
+/// Internal invariant check.
+#define DC_ASSERT(cond)                                                   \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::dualcast::detail::contract_failure("invariant", #cond, __FILE__, \
+                                           __LINE__, {});                 \
+  } while (false)
+
+/// Internal invariant check with an explanatory message.
+#define DC_ASSERT_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::dualcast::detail::contract_failure("invariant", #cond, __FILE__, \
+                                           __LINE__, (msg));              \
+  } while (false)

@@ -1,0 +1,69 @@
+#include "util/bitstring.hpp"
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace dualcast {
+
+BitString BitString::random(Rng& rng, std::size_t nbits) {
+  BitString out;
+  out.size_ = nbits;
+  const std::size_t words = (nbits + 63) / 64;
+  out.words_.resize(words);
+  for (std::size_t w = 0; w < words; ++w) out.words_[w] = rng.next_u64();
+  // Zero the unused tail bits so equality comparison is well defined.
+  const int tail = static_cast<int>(nbits % 64);
+  if (words > 0 && tail != 0) {
+    out.words_.back() &= (~std::uint64_t{0}) << (64 - tail) >> (64 - tail);
+  }
+  return out;
+}
+
+void BitString::append_bit(bool bit) {
+  const std::size_t word = size_ / 64;
+  const int offset = static_cast<int>(size_ % 64);
+  if (word == words_.size()) words_.push_back(0);
+  if (bit) words_[word] |= (std::uint64_t{1} << offset);
+  ++size_;
+}
+
+void BitString::append_bits(std::uint64_t value, int width) {
+  DC_EXPECTS(width >= 0 && width <= 64);
+  for (int i = width - 1; i >= 0; --i) {
+    append_bit(((value >> i) & 1u) != 0);
+  }
+}
+
+bool BitString::bit(std::size_t pos) const {
+  DC_EXPECTS(pos < size_);
+  return ((words_[pos / 64] >> (pos % 64)) & 1u) != 0;
+}
+
+std::uint64_t BitString::chunk(std::size_t pos, int width) const {
+  DC_EXPECTS(width >= 0 && width <= 64);
+  DC_EXPECTS(pos + static_cast<std::size_t>(width) <= size_);
+  std::uint64_t out = 0;
+  for (int i = 0; i < width; ++i) {
+    out = (out << 1) | static_cast<std::uint64_t>(bit(pos + i));
+  }
+  return out;
+}
+
+std::uint64_t BitString::chunk_cyclic(std::size_t pos, int width) const {
+  DC_EXPECTS(!empty());
+  DC_EXPECTS(width > 0 && width <= 64);
+  std::uint64_t out = 0;
+  for (int i = 0; i < width; ++i) {
+    out = (out << 1) |
+          static_cast<std::uint64_t>(bit((pos + static_cast<std::size_t>(i)) % size_));
+  }
+  return out;
+}
+
+std::uint64_t BitReader::take(int width) {
+  const std::uint64_t out = bits_->chunk_cyclic(pos_, width);
+  pos_ += static_cast<std::size_t>(width);
+  return out;
+}
+
+}  // namespace dualcast

@@ -1,0 +1,80 @@
+#pragma once
+
+// Packed bit strings.
+//
+// The paper's central mechanism (§4.1) is a string of random bits generated
+// by the broadcast source *after the execution begins* and shipped inside the
+// message; nodes index into it to coordinate their Decay probability
+// schedule while the oblivious adversary, having committed its link schedule
+// before round 1, cannot predict it. `BitString` is that object: an
+// immutable-once-built, cheaply shareable, exactly reproducible bag of bits
+// with both sequential (`BitReader`) and random / cyclic (`chunk`,
+// `chunk_cyclic`) access.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dualcast {
+
+class Rng;
+
+/// A packed sequence of bits with append and windowed read access.
+class BitString {
+ public:
+  BitString() = default;
+
+  /// Builds a string of `nbits` uniformly random bits drawn from `rng`.
+  static BitString random(Rng& rng, std::size_t nbits);
+
+  /// Appends a single bit (0 or 1).
+  void append_bit(bool bit);
+
+  /// Appends the low `width` bits of `value`, most significant first.
+  /// Requires 0 <= width <= 64.
+  void append_bits(std::uint64_t value, int width);
+
+  /// Number of bits stored.
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Bit at position `pos` (0-based). Requires pos < size().
+  bool bit(std::size_t pos) const;
+
+  /// Reads `width` consecutive bits starting at `pos`, most significant
+  /// first. Requires width <= 64 and pos + width <= size().
+  std::uint64_t chunk(std::size_t pos, int width) const;
+
+  /// Reads `width` bits starting at bit position `pos mod size()`, wrapping
+  /// around the end of the string. Requires a non-empty string and
+  /// 0 < width <= 64. Wrapping reuse is sound for adversary-obliviousness
+  /// purposes: the bits remain unknown to a schedule committed in advance.
+  std::uint64_t chunk_cyclic(std::size_t pos, int width) const;
+
+  friend bool operator==(const BitString& a, const BitString& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+/// Sequential cursor over a BitString, for consuming "fresh bits from S"
+/// the way the paper's pseudocode does.
+class BitReader {
+ public:
+  explicit BitReader(const BitString& bits) : bits_(&bits) {}
+
+  /// Reads the next `width` bits (cyclically wrapping past the end).
+  std::uint64_t take(int width);
+
+  /// Bits consumed so far.
+  std::size_t position() const { return pos_; }
+
+ private:
+  const BitString* bits_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dualcast

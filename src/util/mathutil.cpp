@@ -1,0 +1,45 @@
+#include "util/mathutil.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace dualcast {
+
+int floor_log2(std::uint64_t x) {
+  DC_EXPECTS(x >= 1);
+  return 63 - std::countl_zero(x);
+}
+
+int ceil_log2(std::uint64_t x) {
+  DC_EXPECTS(x >= 1);
+  const int fl = floor_log2(x);
+  return is_pow2(x) ? fl : fl + 1;
+}
+
+int clog2(std::uint64_t x) {
+  const int c = ceil_log2(x);
+  return c < 1 ? 1 : c;
+}
+
+bool is_pow2(std::uint64_t x) { return x >= 1 && (x & (x - 1)) == 0; }
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  DC_EXPECTS(b > 0);
+  return (a >= 0) ? (a + b - 1) / b : a / b;
+}
+
+double pow2_neg(int i) {
+  DC_EXPECTS(i >= 0 && i <= 1023);
+  return std::ldexp(1.0, -i);
+}
+
+std::int64_t round_up(std::int64_t x, std::int64_t m) {
+  DC_EXPECTS(m > 0);
+  const std::int64_t rem = x % m;
+  if (rem == 0) return x;
+  return x >= 0 ? x + (m - rem) : x - rem;
+}
+
+}  // namespace dualcast

@@ -1,0 +1,36 @@
+#pragma once
+
+// Small integer/real math helpers shared across the library.
+//
+// The paper's algorithms are parameterized by `log n` and `log Δ`; we follow
+// the usual convention for non-powers-of-two: `clog2(x) = max(1, ceil(log2
+// x))`, so probability ladders like {1/2, 1/4, ..., 1/2^L} are always
+// non-empty and cover the contention range.
+
+#include <cstdint>
+
+namespace dualcast {
+
+/// floor(log2(x)); requires x >= 1.
+int floor_log2(std::uint64_t x);
+
+/// ceil(log2(x)); requires x >= 1. ceil_log2(1) == 0.
+int ceil_log2(std::uint64_t x);
+
+/// max(1, ceil(log2(x))): the "log n" of the paper's probability ladders.
+int clog2(std::uint64_t x);
+
+/// True if x is a power of two (x >= 1).
+bool is_pow2(std::uint64_t x);
+
+/// ceil(a / b) for positive integers; requires b > 0.
+std::int64_t ceil_div(std::int64_t a, std::int64_t b);
+
+/// 2^-i as a double; requires 0 <= i <= 1023.
+double pow2_neg(int i);
+
+/// Round x up to the next multiple of m (m > 0). round_up(6, 4) == 8;
+/// round_up(8, 4) == 8.
+std::int64_t round_up(std::int64_t x, std::int64_t m);
+
+}  // namespace dualcast

@@ -1,0 +1,73 @@
+#pragma once
+
+// Deterministic, forkable pseudo-random number generation.
+//
+// Every stochastic component of the simulator (each node process, each
+// adversary, each pre-simulation an adversary runs privately) draws from its
+// own `Rng` stream forked from a single master seed. This gives:
+//   * reproducibility — one seed determines the whole execution;
+//   * independence in the model-theoretic sense — an oblivious adversary's
+//     stream shares no state with node streams, so it provably cannot depend
+//     on node coin flips;
+//   * exact power-of-two Bernoulli coins (`coin_pow2`), which the Decay
+//     family of algorithms uses, avoiding floating-point edge cases.
+//
+// The generator is xoshiro256** seeded via SplitMix64 — fast, high quality,
+// and trivially portable.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace dualcast {
+
+/// One step of the SplitMix64 sequence; also used as a mixing function.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless mix of a value (SplitMix64 finalizer). Used for stream derivation.
+std::uint64_t mix64(std::uint64_t x);
+
+/// A forkable pseudo-random stream (xoshiro256**).
+class Rng {
+ public:
+  /// Creates a stream from a 64-bit seed (expanded via SplitMix64).
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform integer in the inclusive range [lo, hi]. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Bernoulli trial with probability exactly 2^-i, i >= 0, via i fair bits.
+  /// i = 0 always succeeds. Requires 0 <= i <= 63.
+  bool coin_pow2(int i);
+
+  /// k uniformly random bits packed into the low bits of the result.
+  /// Requires 0 <= k <= 64; k == 0 yields 0.
+  std::uint64_t bits(int k);
+
+  /// Derives an independent child stream. Distinct tags (or successive calls
+  /// with the same tag) give statistically independent streams; forking does
+  /// not perturb this stream's own sequence.
+  Rng fork(std::uint64_t tag);
+
+  /// Derives an independent child stream from a string tag.
+  Rng fork(std::string_view tag);
+
+  /// The seed this stream was constructed from (for diagnostics/logging).
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::uint64_t fork_counter_ = 0;
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace dualcast

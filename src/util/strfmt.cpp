@@ -1,0 +1,21 @@
+#include "util/strfmt.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dualcast {
+
+std::string fmt_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision < 0 ? 0 : precision, value);
+  return buf;
+}
+
+std::string pad(const std::string& s, int width) {
+  const std::size_t target = static_cast<std::size_t>(width < 0 ? -width : width);
+  if (s.size() >= target) return s;
+  const std::string fill(target - s.size(), ' ');
+  return width < 0 ? fill + s : s + fill;
+}
+
+}  // namespace dualcast

@@ -1,0 +1,36 @@
+#pragma once
+
+// Minimal string-building helpers (GCC 12's <format> is incomplete, so we
+// provide the small subset the library needs).
+
+#include <sstream>
+#include <string>
+
+namespace dualcast {
+
+namespace detail {
+inline void str_append(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void str_append(std::ostringstream& os, const T& value, const Rest&... rest) {
+  os << value;
+  str_append(os, rest...);
+}
+}  // namespace detail
+
+/// Concatenates all arguments through operator<<.
+template <typename... Args>
+std::string str(const Args&... args) {
+  std::ostringstream os;
+  detail::str_append(os, args...);
+  return os.str();
+}
+
+/// Fixed-precision decimal rendering of a double (e.g. fmt_double(3.14159, 2)
+/// == "3.14").
+std::string fmt_double(double value, int precision);
+
+/// Right-pads (positive width) or left-pads (negative width) with spaces.
+std::string pad(const std::string& s, int width);
+
+}  // namespace dualcast

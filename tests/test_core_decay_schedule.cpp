@@ -1,0 +1,100 @@
+#include "core/decay_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+#include "util/rng.hpp"
+
+namespace dualcast {
+namespace {
+
+TEST(FixedSchedule, CyclesTheLadder) {
+  const int ladder = 4;
+  for (int r = 0; r < 20; ++r) {
+    const int i = fixed_decay_index(r, ladder);
+    EXPECT_EQ(i, 1 + (r % ladder));
+    EXPECT_GE(i, 1);
+    EXPECT_LE(i, ladder);
+  }
+}
+
+TEST(FixedSchedule, ProbabilityMatchesIndex) {
+  for (int r = 0; r < 12; ++r) {
+    EXPECT_DOUBLE_EQ(fixed_decay_probability(r, 4),
+                     pow2_neg(fixed_decay_index(r, 4)));
+  }
+}
+
+TEST(FixedSchedule, ContractChecks) {
+  EXPECT_THROW(fixed_decay_index(-1, 4), ContractViolation);
+  EXPECT_THROW(fixed_decay_index(0, 0), ContractViolation);
+}
+
+TEST(PermutedSchedule, DeterministicGivenBits) {
+  Rng rng(3);
+  const BitString bits = BitString::random(rng, 512);
+  for (int r = 0; r < 50; ++r) {
+    EXPECT_EQ(permuted_decay_index(bits, r, 8),
+              permuted_decay_index(bits, r, 8));
+  }
+}
+
+TEST(PermutedSchedule, IndicesInRange) {
+  Rng rng(5);
+  const BitString bits = BitString::random(rng, 512);
+  for (const int ladder : {1, 2, 3, 7, 8, 13}) {
+    for (int r = 0; r < 100; ++r) {
+      const int i = permuted_decay_index(bits, r, ladder);
+      ASSERT_GE(i, 1);
+      ASSERT_LE(i, ladder);
+    }
+  }
+}
+
+TEST(PermutedSchedule, RequiresBits) {
+  const BitString empty;
+  EXPECT_THROW(permuted_decay_index(empty, 0, 4), ContractViolation);
+}
+
+TEST(PermutedSchedule, DifferentBitsDifferentSchedules) {
+  Rng rng(7);
+  const BitString a = BitString::random(rng, 1024);
+  const BitString b = BitString::random(rng, 1024);
+  int agreements = 0;
+  const int rounds = 200;
+  for (int r = 0; r < rounds; ++r) {
+    if (permuted_decay_index(a, r, 8) == permuted_decay_index(b, r, 8)) {
+      ++agreements;
+    }
+  }
+  // Two independent schedules over 8 values agree on ~1/8 of the rounds.
+  EXPECT_LT(agreements, rounds / 2);
+}
+
+TEST(PermutedSchedule, RoughlyUniformOverLadder) {
+  Rng rng(11);
+  const BitString bits = BitString::random(rng, 1 << 16);
+  const int ladder = 8;
+  std::map<int, int> counts;
+  const int rounds = 20000;
+  for (int r = 0; r < rounds; ++r) {
+    ++counts[permuted_decay_index(bits, r, ladder)];
+  }
+  for (int i = 1; i <= ladder; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / rounds, 1.0 / ladder, 0.02)
+        << "index " << i;
+  }
+}
+
+TEST(ChunkWidth, CoversLadder) {
+  EXPECT_EQ(schedule_chunk_width(1), 1);
+  EXPECT_EQ(schedule_chunk_width(2), 2);
+  EXPECT_EQ(schedule_chunk_width(8), 4);  // needs to span [0, 8]
+  EXPECT_GE((1 << schedule_chunk_width(13)), 13);
+}
+
+}  // namespace
+}  // namespace dualcast

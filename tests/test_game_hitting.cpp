@@ -1,0 +1,131 @@
+// The β-hitting game and Lemma 3.2's k/(β-1) bound, checked empirically for
+// the baseline players.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "game/hitting_game.hpp"
+#include "util/assert.hpp"
+
+namespace dualcast {
+namespace {
+
+TEST(HittingGame, WinsOnExactGuess) {
+  HittingGame game(10, 7);
+  EXPECT_FALSE(game.guess(3));
+  EXPECT_FALSE(game.won());
+  EXPECT_TRUE(game.guess(7));
+  EXPECT_TRUE(game.won());
+  EXPECT_EQ(game.rounds(), 2);
+}
+
+TEST(HittingGame, RejectsInvalidConstruction) {
+  EXPECT_THROW(HittingGame(1, 0), ContractViolation);
+  EXPECT_THROW(HittingGame(5, 5), ContractViolation);
+  EXPECT_THROW(HittingGame(5, -1), ContractViolation);
+}
+
+TEST(HittingGame, RejectsGuessAfterWin) {
+  HittingGame game(4, 2);
+  game.guess(2);
+  EXPECT_THROW(game.guess(1), ContractViolation);
+}
+
+TEST(HittingGame, RejectsOutOfRangeGuess) {
+  HittingGame game(4, 2);
+  EXPECT_THROW(game.guess(4), ContractViolation);
+  EXPECT_THROW(game.guess(-1), ContractViolation);
+}
+
+TEST(HittingGame, RandomTargetIsUniform) {
+  Rng rng(3);
+  std::vector<int> counts(8, 0);
+  const int trials = 80000;
+  for (int t = 0; t < trials; ++t) {
+    ++counts[static_cast<std::size_t>(
+        HittingGame::with_random_target(8, rng)
+            .reveal_target_for_diagnostics())];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.125, 0.01);
+  }
+}
+
+TEST(SequentialPlayer, AlwaysWinsWithinBeta) {
+  Rng rng(5);
+  for (int target = 0; target < 16; ++target) {
+    HittingGame game(16, target);
+    SequentialPlayer player;
+    const int rounds = play_hitting_game(game, player, 16, rng);
+    EXPECT_EQ(rounds, target + 1);
+  }
+}
+
+TEST(ShuffledPlayer, AlwaysWinsWithinBeta) {
+  Rng rng(7);
+  for (int t = 0; t < 50; ++t) {
+    HittingGame game = HittingGame::with_random_target(32, rng);
+    ShuffledPlayer player;
+    const int rounds = play_hitting_game(game, player, 32, rng);
+    ASSERT_GE(rounds, 1);
+    ASSERT_LE(rounds, 32);
+  }
+}
+
+/// Empirical verification of Lemma 3.2: no player strategy wins within k
+/// rounds with probability exceeding k/(β-1). (The optimal no-repeat player
+/// achieves k/β; we check the upper bound with sampling slack.)
+class Lemma32Param : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Lemma32Param, WinProbabilityWithinBound) {
+  const auto [beta, k] = GetParam();
+  const int trials = 4000;
+  Rng rng(100 + static_cast<std::uint64_t>(beta * 31 + k));
+
+  const auto measure = [&](auto make_player) {
+    int wins = 0;
+    for (int t = 0; t < trials; ++t) {
+      HittingGame game = HittingGame::with_random_target(beta, rng);
+      auto player = make_player();
+      if (play_hitting_game(game, *player, k, rng) > 0) ++wins;
+    }
+    return static_cast<double>(wins) / trials;
+  };
+
+  const double bound = static_cast<double>(k) / (beta - 1);
+  const double slack = 4.0 * std::sqrt(bound * (1 - bound) / trials) + 0.01;
+  EXPECT_LE(measure([] { return std::make_unique<UniformPlayer>(); }),
+            bound + slack);
+  EXPECT_LE(measure([] { return std::make_unique<SequentialPlayer>(); }),
+            bound + slack);
+  EXPECT_LE(measure([] { return std::make_unique<ShuffledPlayer>(); }),
+            bound + slack);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BetaAndBudget, Lemma32Param,
+    ::testing::Values(std::make_tuple(16, 4), std::make_tuple(64, 8),
+                      std::make_tuple(64, 32), std::make_tuple(256, 16),
+                      std::make_tuple(256, 128)));
+
+TEST(Lemma32, ShuffledPlayerIsNearOptimal) {
+  // The permutation player's win probability is exactly k/β; verify it gets
+  // close to the bound, i.e. the bound is nearly tight.
+  const int beta = 64;
+  const int k = 16;
+  const int trials = 8000;
+  Rng rng(999);
+  int wins = 0;
+  for (int t = 0; t < trials; ++t) {
+    HittingGame game = HittingGame::with_random_target(beta, rng);
+    ShuffledPlayer player;
+    if (play_hitting_game(game, player, k, rng) > 0) ++wins;
+  }
+  const double rate = static_cast<double>(wins) / trials;
+  EXPECT_NEAR(rate, static_cast<double>(k) / beta, 0.02);
+}
+
+}  // namespace
+}  // namespace dualcast

@@ -1,0 +1,126 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace dualcast {
+namespace {
+
+Graph triangle_plus_tail() {
+  // 0-1-2 triangle with a tail 2-3.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.finalize();
+  return g;
+}
+
+TEST(Graph, VertexAndEdgeCounts) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_EQ(g.n(), 4);
+  EXPECT_EQ(g.edge_count(), 4);
+}
+
+TEST(Graph, NeighborsSortedAndDeduplicated) {
+  Graph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);  // duplicate
+  g.finalize();
+  const auto nb = g.neighbors(0);
+  ASSERT_EQ(nb.size(), 2u);
+  EXPECT_EQ(nb[0], 1);
+  EXPECT_EQ(nb[1], 2);
+}
+
+TEST(Graph, HasEdgeSymmetric) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(3, 0));
+}
+
+TEST(Graph, Degrees) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(2), 3);
+  EXPECT_EQ(g.degree(3), 1);
+  EXPECT_EQ(g.max_degree(), 3);
+}
+
+TEST(Graph, RejectsSelfLoopsAndBadVertices) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), ContractViolation);
+  EXPECT_THROW(g.add_edge(0, 3), ContractViolation);
+  EXPECT_THROW(g.add_edge(-1, 0), ContractViolation);
+}
+
+TEST(Graph, QueriesRequireFinalize) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.neighbors(0), ContractViolation);
+  EXPECT_THROW(g.has_edge(0, 1), ContractViolation);
+  g.finalize();
+  EXPECT_NO_THROW(g.neighbors(0));
+}
+
+TEST(Graph, BfsDistances) {
+  const Graph g = triangle_plus_tail();
+  const auto dist = g.bfs_distances(0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 1);
+  EXPECT_EQ(dist[3], 2);
+}
+
+TEST(Graph, BfsUnreachableIsMinusOne) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.finalize();
+  const auto dist = g.bfs_distances(0);
+  EXPECT_EQ(dist[2], -1);
+  EXPECT_EQ(dist[3], -1);
+}
+
+TEST(Graph, Connectivity) {
+  EXPECT_TRUE(triangle_plus_tail().is_connected());
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.finalize();
+  EXPECT_FALSE(g.is_connected());
+  Graph single(1);
+  single.finalize();
+  EXPECT_TRUE(single.is_connected());
+}
+
+TEST(Graph, DiameterAndEccentricity) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_EQ(g.diameter(), 2);
+  EXPECT_EQ(g.eccentricity(3), 2);
+  EXPECT_EQ(g.eccentricity(2), 1);
+}
+
+TEST(Graph, EdgesListOrdered) {
+  const Graph g = triangle_plus_tail();
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 4u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(Graph, EmptyGraphQueriesAreSafe) {
+  Graph g(5);
+  g.finalize();
+  EXPECT_EQ(g.edge_count(), 0);
+  EXPECT_EQ(g.max_degree(), 0);
+  EXPECT_FALSE(g.is_connected());
+  EXPECT_TRUE(g.edges().empty());
+}
+
+}  // namespace
+}  // namespace dualcast

@@ -1,0 +1,109 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace dualcast {
+namespace {
+
+class LineParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(LineParam, StructureAndDiameter) {
+  const int n = GetParam();
+  const Graph g = line_graph(n);
+  EXPECT_EQ(g.n(), n);
+  EXPECT_EQ(g.edge_count(), n - 1);
+  EXPECT_TRUE(g.is_connected());
+  if (n >= 2) {
+    EXPECT_EQ(g.diameter(), n - 1);
+    EXPECT_EQ(g.degree(0), 1);
+    EXPECT_EQ(g.degree(n - 1), 1);
+  }
+  for (int v = 1; v + 1 < n; ++v) EXPECT_EQ(g.degree(v), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LineParam, ::testing::Values(1, 2, 5, 32, 101));
+
+class RingParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingParam, EveryVertexHasDegreeTwo) {
+  const int n = GetParam();
+  const Graph g = ring_graph(n);
+  EXPECT_EQ(g.edge_count(), n);
+  EXPECT_TRUE(g.is_connected());
+  for (int v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), 2);
+  EXPECT_EQ(g.diameter(), n / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingParam, ::testing::Values(3, 4, 9, 64));
+
+TEST(Generators, Grid) {
+  const Graph g = grid_graph(3, 4);
+  EXPECT_EQ(g.n(), 12);
+  EXPECT_EQ(g.edge_count(), 3 * 3 + 2 * 4);  // horizontal + vertical
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.diameter(), 3 - 1 + 4 - 1);
+  EXPECT_EQ(g.degree(0), 2);   // corner
+  EXPECT_EQ(g.degree(5), 4);   // interior (row 1, col 1)
+}
+
+TEST(Generators, Star) {
+  const Graph g = star_graph(10);
+  EXPECT_EQ(g.edge_count(), 9);
+  EXPECT_EQ(g.degree(0), 9);
+  for (int v = 1; v < 10; ++v) EXPECT_EQ(g.degree(v), 1);
+  EXPECT_EQ(g.diameter(), 2);
+}
+
+TEST(Generators, Complete) {
+  const Graph g = complete_graph(8);
+  EXPECT_EQ(g.edge_count(), 28);
+  EXPECT_EQ(g.max_degree(), 7);
+  EXPECT_EQ(g.diameter(), 1);
+}
+
+class TreeParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeParam, IsATree) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n));
+  const Graph g = random_tree(n, rng);
+  EXPECT_EQ(g.n(), n);
+  EXPECT_EQ(g.edge_count(), n - 1);
+  EXPECT_TRUE(g.is_connected());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeParam, ::testing::Values(1, 2, 17, 256));
+
+TEST(Generators, RandomTreeDeterministicPerSeed) {
+  Rng r1(42);
+  Rng r2(42);
+  const Graph a = random_tree(50, r1);
+  const Graph b = random_tree(50, r2);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(Generators, WithRandomGPrimeContainsG) {
+  Rng rng(7);
+  const Graph g = ring_graph(20);
+  const DualGraph net = with_random_gprime(g, 0.2, rng);
+  EXPECT_EQ(net.n(), 20);
+  for (const auto& [u, v] : g.edges()) {
+    EXPECT_TRUE(net.gprime().has_edge(u, v));
+  }
+  EXPECT_GE(net.gprime().edge_count(), g.edge_count());
+}
+
+TEST(Generators, WithRandomGPrimeZeroAndOne) {
+  Rng rng(9);
+  const Graph g = ring_graph(12);
+  const DualGraph none = with_random_gprime(g, 0.0, rng);
+  EXPECT_EQ(none.gp_only_edges().size(), 0u);
+  const DualGraph full = with_random_gprime(g, 1.0, rng);
+  EXPECT_EQ(full.gprime().edge_count(), 12 * 11 / 2);
+  EXPECT_TRUE(full.gprime_complete());
+}
+
+}  // namespace
+}  // namespace dualcast

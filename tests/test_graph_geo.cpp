@@ -1,0 +1,148 @@
+// Geographic networks: grey-zone construction, the §2 geographic constraint,
+// and the §4.3 region decomposition.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/geometry.hpp"
+#include "graph/regions.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace dualcast {
+namespace {
+
+TEST(Geometry, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(GeoNet, RandomGeometricSatisfiesConstraintAndConnectivity) {
+  Rng rng(11);
+  const GeoNet geo = random_geometric({.n = 120, .side = 6.0, .r = 2.0}, rng);
+  EXPECT_EQ(geo.net.n(), 120);
+  EXPECT_TRUE(geo.net.g().is_connected());
+  const GeoCheckResult check = check_geographic(geo.net, geo.points, geo.r);
+  EXPECT_TRUE(check.ok) << check.reason << " (" << check.u << "," << check.v
+                        << ")";
+}
+
+TEST(GeoNet, GreyZonePairsAreGPrimeOnly) {
+  Rng rng(13);
+  const GeoNet geo = random_geometric({.n = 100, .side = 5.0, .r = 2.0}, rng);
+  for (const auto& [u, v] : geo.net.gp_only_edges()) {
+    const double d = distance(geo.points[static_cast<std::size_t>(u)],
+                              geo.points[static_cast<std::size_t>(v)]);
+    EXPECT_GT(d, 1.0);
+    EXPECT_LE(d, geo.r);
+  }
+}
+
+TEST(GeoNet, ImpossibleDensityThrows) {
+  Rng rng(17);
+  // 4 points in a 100x100 box will essentially never form a connected unit
+  // disk graph.
+  EXPECT_THROW(
+      random_geometric({.n = 4, .side = 100.0, .r = 2.0, .max_attempts = 3},
+                       rng),
+      ContractViolation);
+}
+
+class JitteredGridParam
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(JitteredGridParam, ConnectedAndGeographic) {
+  const auto [rows, cols, spacing] = GetParam();
+  Rng rng(19);
+  const GeoNet geo = jittered_grid_geo(rows, cols, spacing, 0.05, 2.0, rng);
+  EXPECT_EQ(geo.net.n(), rows * cols);
+  EXPECT_TRUE(geo.net.g().is_connected());
+  const GeoCheckResult check = check_geographic(geo.net, geo.points, geo.r);
+  EXPECT_TRUE(check.ok) << check.reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, JitteredGridParam,
+    ::testing::Values(std::make_tuple(4, 4, 0.8), std::make_tuple(8, 8, 0.5),
+                      std::make_tuple(3, 20, 0.7), std::make_tuple(10, 10, 0.3)));
+
+TEST(GeoNet, DenserSpacingRaisesDegree) {
+  Rng rng(23);
+  const GeoNet sparse = jittered_grid_geo(10, 10, 0.9, 0.0, 1.5, rng);
+  const GeoNet dense = jittered_grid_geo(10, 10, 0.4, 0.0, 1.5, rng);
+  EXPECT_GT(dense.net.max_degree(), sparse.net.max_degree());
+}
+
+TEST(GeoCheck, DetectsMissingGEdge) {
+  // Two nodes within unit distance but no G edge.
+  Graph g(2);
+  g.finalize();
+  Graph gp(2);
+  gp.finalize();
+  const DualGraph net(std::move(g), std::move(gp));
+  const GeoCheckResult check =
+      check_geographic(net, {{0.0, 0.0}, {0.5, 0.0}}, 2.0);
+  EXPECT_FALSE(check.ok);
+}
+
+TEST(GeoCheck, DetectsFarGPrimeEdge) {
+  // A G'-only edge between nodes at distance 9 violates the constraint for
+  // r = 2.
+  Graph g(2);
+  g.finalize();
+  Graph gp(2);
+  gp.add_edge(0, 1);
+  gp.finalize();
+  const DualGraph net(std::move(g), std::move(gp));
+  const GeoCheckResult check =
+      check_geographic(net, {{0.0, 0.0}, {9.0, 0.0}}, 2.0);
+  EXPECT_FALSE(check.ok);
+}
+
+TEST(Regions, PartitionCoversAllNodes) {
+  Rng rng(29);
+  const GeoNet geo = jittered_grid_geo(8, 8, 0.6, 0.05, 2.0, rng);
+  const RegionDecomposition regions(geo);
+  int total = 0;
+  for (int r = 0; r < regions.region_count(); ++r) {
+    total += static_cast<int>(regions.members(r).size());
+    for (const int v : regions.members(r)) {
+      EXPECT_EQ(regions.region_of(v), r);
+    }
+  }
+  EXPECT_EQ(total, geo.net.n());
+}
+
+TEST(Regions, SameRegionNodesAreGNeighbors) {
+  Rng rng(31);
+  const GeoNet geo = jittered_grid_geo(10, 10, 0.5, 0.05, 2.0, rng);
+  const RegionDecomposition regions(geo);
+  for (int r = 0; r < regions.region_count(); ++r) {
+    const auto& members = regions.members(r);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        EXPECT_TRUE(geo.net.g().has_edge(members[i], members[j]))
+            << "region " << r << " members " << members[i] << ","
+            << members[j];
+      }
+    }
+  }
+}
+
+TEST(Regions, NeighborCountWithinConstantBound) {
+  Rng rng(37);
+  const double r = 2.0;
+  const GeoNet geo = jittered_grid_geo(12, 12, 0.45, 0.05, r, rng);
+  const RegionDecomposition regions(geo);
+  EXPECT_LE(regions.max_neighboring_regions(),
+            RegionDecomposition::gamma_bound(r));
+  EXPECT_GE(regions.max_neighboring_regions(), 1);
+}
+
+TEST(Regions, GammaBoundGrowsWithR) {
+  EXPECT_LT(RegionDecomposition::gamma_bound(1.0),
+            RegionDecomposition::gamma_bound(3.0));
+}
+
+}  // namespace
+}  // namespace dualcast

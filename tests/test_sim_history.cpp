@@ -1,0 +1,135 @@
+// ExecutionHistory bookkeeping: totals, per-round records, adversary-choice
+// accounting, and bounds checking.
+
+#include <gtest/gtest.h>
+
+#include "adversary/static_adversaries.hpp"
+#include "graph/generators.hpp"
+#include "sim/execution.hpp"
+#include "test_support.hpp"
+#include "util/assert.hpp"
+
+namespace dualcast {
+namespace {
+
+using testing::scripted_factory;
+
+std::shared_ptr<Problem> assign(int n) {
+  return std::make_shared<AssignmentProblem>(n, -1, std::vector<int>{});
+}
+
+TEST(History, TotalsMatchRecords) {
+  const DualGraph net = DualGraph::protocol(line_graph(4));
+  // Rounds: r0 nodes {0}, r1 {0,2}, r2 {} transmit.
+  Execution exec(net,
+                 scripted_factory({{1, 1, 0}, {0, 0, 0}, {0, 1, 0}, {0, 0, 0}}),
+                 assign(4), std::make_unique<NoExtraEdges>(), {1, 3, {}});
+  exec.run();
+  EXPECT_EQ(exec.history().rounds(), 3);
+  EXPECT_EQ(exec.history().total_transmissions(), 3);
+  // r0: 0 -> 1 delivered. r1: 0 and 2 collide at 1, but 3 hears only 2.
+  EXPECT_EQ(exec.history().total_deliveries(), 2);
+}
+
+TEST(History, RoundAccessorBoundsChecked) {
+  const DualGraph net = DualGraph::protocol(line_graph(2));
+  Execution exec(net, scripted_factory({{1}, {0}}), assign(2),
+                 std::make_unique<NoExtraEdges>(), {1, 1, {}});
+  exec.run();
+  EXPECT_NO_THROW(exec.history().round(0));
+  EXPECT_THROW(exec.history().round(1), ContractViolation);
+  EXPECT_THROW(exec.history().round(-1), ContractViolation);
+}
+
+TEST(History, SentMessagesParallelTransmitters) {
+  const DualGraph net = DualGraph::protocol(line_graph(3));
+  Execution exec(net, scripted_factory({{1}, {0}, {1}}), assign(3),
+                 std::make_unique<NoExtraEdges>(), {1, 1, {}});
+  exec.run();
+  const RoundRecord& rec = exec.history().round(0);
+  ASSERT_EQ(rec.transmitters.size(), rec.sent.size());
+  for (std::size_t i = 0; i < rec.transmitters.size(); ++i) {
+    EXPECT_EQ(rec.sent[i].source, rec.transmitters[i]);
+  }
+}
+
+TEST(History, ActivatedAccountingPerKind) {
+  Graph g = line_graph(3);
+  Graph gp = g;
+  gp.add_edge(0, 2);
+  gp.finalize();
+  const DualGraph net(std::move(g), std::move(gp));
+  {
+    Execution exec(net, scripted_factory({{1}, {0}, {0}}), assign(3),
+                   std::make_unique<NoExtraEdges>(), {1, 1, {}});
+    exec.run();
+    EXPECT_EQ(exec.history().round(0).activated, EdgeSet::Kind::none);
+    EXPECT_EQ(exec.history().round(0).activated_count, 0);
+    EXPECT_TRUE(exec.history().round(0).activated_indices.empty());
+  }
+  {
+    Execution exec(net, scripted_factory({{1}, {0}, {0}}), assign(3),
+                   std::make_unique<AllExtraEdges>(), {1, 1, {}});
+    exec.run();
+    EXPECT_EQ(exec.history().round(0).activated, EdgeSet::Kind::all);
+    EXPECT_EQ(exec.history().round(0).activated_count, 1);
+  }
+  {
+    Execution exec(net, scripted_factory({{1}, {0}, {0}}), assign(3),
+                   std::make_unique<RandomIidEdges>(1.0), {1, 1, {}});
+    exec.run();
+    // p=1.0 short-circuits to Kind::all inside RandomIidEdges.
+    EXPECT_EQ(exec.history().round(0).activated, EdgeSet::Kind::all);
+  }
+}
+
+TEST(History, SomeKindRecordsExactIndices) {
+  Graph g = line_graph(4);
+  Graph gp = g;
+  gp.add_edge(0, 2);
+  gp.add_edge(1, 3);
+  gp.finalize();
+  const DualGraph net(std::move(g), std::move(gp));
+
+  class PickFirst final : public LinkProcess {
+   public:
+    AdversaryClass adversary_class() const override {
+      return AdversaryClass::oblivious;
+    }
+    EdgeSet choose_oblivious(int, Rng&) override {
+      return EdgeSet::some({0});
+    }
+  };
+  Execution exec(net, scripted_factory({{1}, {0}, {0}, {0}}), assign(4),
+                 std::make_unique<PickFirst>(), {1, 1, {}});
+  exec.run();
+  const RoundRecord& rec = exec.history().round(0);
+  EXPECT_EQ(rec.activated, EdgeSet::Kind::some);
+  EXPECT_EQ(rec.activated_count, 1);
+  ASSERT_EQ(rec.activated_indices.size(), 1u);
+  EXPECT_EQ(rec.activated_indices[0], 0);
+}
+
+TEST(History, EngineRejectsOutOfRangeEdgeIndices) {
+  Graph g = line_graph(3);
+  Graph gp = g;
+  gp.add_edge(0, 2);
+  gp.finalize();
+  const DualGraph net(std::move(g), std::move(gp));
+
+  class BadIndices final : public LinkProcess {
+   public:
+    AdversaryClass adversary_class() const override {
+      return AdversaryClass::oblivious;
+    }
+    EdgeSet choose_oblivious(int, Rng&) override {
+      return EdgeSet::some({5});  // only index 0 exists
+    }
+  };
+  Execution exec(net, scripted_factory({{1}, {0}, {0}}), assign(3),
+                 std::make_unique<BadIndices>(), {1, 1, {}});
+  EXPECT_THROW(exec.step(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dualcast

@@ -1,0 +1,241 @@
+// Reference-model fuzzing: replay randomized executions and recompute every
+// round's outcome from first principles (the §2 receive rule applied naively
+// in O(n²)), comparing against the engine — including its complete-topology
+// fast path. Also covers the collision-detection model variant.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "adversary/offline_collider.hpp"
+#include "adversary/static_adversaries.hpp"
+#include "graph/generators.hpp"
+#include "sim/execution.hpp"
+#include "test_support.hpp"
+
+namespace dualcast {
+namespace {
+
+using testing::scripted_factory;
+
+/// Recomputes the deliveries of one recorded round per the §2 rule.
+std::set<std::pair<int, int>> reference_deliveries(const DualGraph& net,
+                                                   const RoundRecord& record) {
+  // Build the round's topology adjacency test.
+  const auto& gp_only = net.gp_only_edges();
+  std::set<std::pair<int, int>> extra;
+  if (record.activated == EdgeSet::Kind::all) {
+    for (const auto& [a, b] : gp_only) extra.insert({a, b});
+  } else if (record.activated == EdgeSet::Kind::some) {
+    for (const std::int32_t idx : record.activated_indices) {
+      extra.insert(gp_only[static_cast<std::size_t>(idx)]);
+    }
+  }
+  const auto connected = [&](int u, int v) {
+    if (net.g().has_edge(u, v)) return true;
+    return extra.count({std::min(u, v), std::max(u, v)}) > 0;
+  };
+
+  std::set<int> transmitting(record.transmitters.begin(),
+                             record.transmitters.end());
+  std::set<std::pair<int, int>> out;  // (receiver, sender)
+  for (int u = 0; u < net.n(); ++u) {
+    if (transmitting.count(u)) continue;  // half-duplex
+    int heard = 0;
+    int sender = -1;
+    for (const int v : record.transmitters) {
+      if (connected(u, v)) {
+        ++heard;
+        sender = v;
+      }
+    }
+    if (heard == 1) out.insert({u, sender});
+  }
+  return out;
+}
+
+/// Random-script fuzz over a given network + adversary; checks every round.
+void fuzz_network(const DualGraph& net, std::unique_ptr<LinkProcess> adversary,
+                  std::uint64_t seed, int rounds) {
+  Rng rng(seed);
+  std::vector<std::vector<char>> scripts(static_cast<std::size_t>(net.n()));
+  for (auto& script : scripts) {
+    script.resize(static_cast<std::size_t>(rounds));
+    for (auto& bit : script) bit = rng.bernoulli(0.35) ? 1 : 0;
+  }
+  Execution exec(net, scripted_factory(scripts),
+                 std::make_shared<AssignmentProblem>(net.n(), -1,
+                                                     std::vector<int>{}),
+                 std::move(adversary), {seed, rounds, {}});
+  exec.run();
+  ASSERT_EQ(exec.history().rounds(), rounds);
+  for (int r = 0; r < rounds; ++r) {
+    const RoundRecord& record = exec.history().round(r);
+    const auto expected = reference_deliveries(net, record);
+    std::set<std::pair<int, int>> actual;
+    for (const Delivery& d : record.deliveries) {
+      actual.insert({d.receiver, d.sender});
+      // Delivery metadata must be internally consistent.
+      ASSERT_GE(d.transmitter_index, 0);
+      ASSERT_LT(d.transmitter_index,
+                static_cast<int>(record.transmitters.size()));
+      ASSERT_EQ(record.transmitters[static_cast<std::size_t>(
+                    d.transmitter_index)],
+                d.sender);
+    }
+    ASSERT_EQ(actual, expected) << "round " << r;
+  }
+}
+
+class FuzzSeedParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeedParam, RandomGeoNetworkWithIidAdversary) {
+  Rng rng(GetParam());
+  const GeoNet geo = jittered_grid_geo(5, 5, 0.7, 0.05, 2.0, rng);
+  fuzz_network(geo.net, std::make_unique<RandomIidEdges>(0.4), GetParam(), 40);
+}
+
+TEST_P(FuzzSeedParam, DualCliqueWithCollider) {
+  const DualCliqueNet dc = dual_clique(12, 3);
+  fuzz_network(dc.net, std::make_unique<GreedyColliderOffline>(),
+               GetParam() + 500, 40);
+}
+
+TEST_P(FuzzSeedParam, DualCliqueWithAllEdges) {
+  // Exercises the complete-topology fast path against the reference model.
+  const DualCliqueNet dc = dual_clique(10);
+  fuzz_network(dc.net, std::make_unique<AllExtraEdges>(), GetParam() + 900,
+               40);
+}
+
+TEST_P(FuzzSeedParam, BraceletWithFlicker) {
+  const BraceletNet br = bracelet(32);
+  fuzz_network(br.net, std::make_unique<FlickerEdges>(2, 3), GetParam() + 1300,
+               40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedParam,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// ---------------------------------------------------------------------------
+// Collision-detection model variant.
+// ---------------------------------------------------------------------------
+
+class CollisionProbe final : public InspectableProcess {
+ public:
+  explicit CollisionProbe(std::vector<char> script)
+      : script_(std::move(script)) {}
+  Action on_round(int round, Rng&) override {
+    if (round < static_cast<int>(script_.size()) &&
+        script_[static_cast<std::size_t>(round)]) {
+      Message m;
+      m.source = env_.id;
+      return Action::send(m);
+    }
+    return Action::listen();
+  }
+  void on_feedback(int, const RoundFeedback& fb, Rng&) override {
+    collisions_.push_back(fb.collision);
+    receptions_.push_back(fb.received.has_value());
+  }
+  double transmit_probability(int round) const override {
+    return (round < static_cast<int>(script_.size()) &&
+            script_[static_cast<std::size_t>(round)])
+               ? 1.0
+               : 0.0;
+  }
+  std::vector<bool> collisions_;
+  std::vector<bool> receptions_;
+
+ private:
+  std::vector<char> script_;
+};
+
+TEST(CollisionDetection, ListenersLearnOfCollisionsWhenEnabled) {
+  // Star: both leaves transmit; the center hears a collision.
+  const DualGraph net = DualGraph::protocol(star_graph(3));
+  std::vector<CollisionProbe*> probes;
+  ProcessFactory factory = [&probes](const ProcessEnv& env) {
+    auto proc = std::make_unique<CollisionProbe>(
+        env.id == 0 ? std::vector<char>{0} : std::vector<char>{1});
+    probes.push_back(proc.get());
+    return proc;
+  };
+  ExecutionConfig cfg{1, 1, {}};
+  cfg.collision_detection = true;
+  Execution exec(net, factory,
+                 std::make_shared<AssignmentProblem>(3, -1, std::vector<int>{}),
+                 std::make_unique<NoExtraEdges>(), cfg);
+  exec.run();
+  ASSERT_EQ(probes.size(), 3u);
+  EXPECT_TRUE(probes[0]->collisions_[0]);   // center: two neighbors collided
+  EXPECT_FALSE(probes[0]->receptions_[0]);
+  EXPECT_FALSE(probes[1]->collisions_[0]);  // transmitters learn nothing
+  EXPECT_FALSE(probes[2]->collisions_[0]);
+}
+
+TEST(CollisionDetection, DisabledByDefaultPerThePaperModel) {
+  const DualGraph net = DualGraph::protocol(star_graph(3));
+  std::vector<CollisionProbe*> probes;
+  ProcessFactory factory = [&probes](const ProcessEnv& env) {
+    auto proc = std::make_unique<CollisionProbe>(
+        env.id == 0 ? std::vector<char>{0} : std::vector<char>{1});
+    probes.push_back(proc.get());
+    return proc;
+  };
+  Execution exec(net, factory,
+                 std::make_shared<AssignmentProblem>(3, -1, std::vector<int>{}),
+                 std::make_unique<NoExtraEdges>(), {1, 1, {}});
+  exec.run();
+  EXPECT_FALSE(probes[0]->collisions_[0]);  // silence == collision
+}
+
+TEST(CollisionDetection, FastPathReportsCollisionsToo) {
+  // Complete G' + all edges on + two transmitters: with detection enabled,
+  // every listener must see the collision flag (fast path branch).
+  const DualCliqueNet dc = dual_clique(8);
+  std::vector<CollisionProbe*> probes;
+  ProcessFactory factory = [&probes](const ProcessEnv& env) {
+    auto proc = std::make_unique<CollisionProbe>(
+        env.id <= 1 ? std::vector<char>{1} : std::vector<char>{0});
+    probes.push_back(proc.get());
+    return proc;
+  };
+  ExecutionConfig cfg{1, 1, {}};
+  cfg.collision_detection = true;
+  Execution exec(dc.net, factory,
+                 std::make_shared<AssignmentProblem>(8, -1, std::vector<int>{}),
+                 std::make_unique<AllExtraEdges>(), cfg);
+  exec.run();
+  for (int v = 2; v < 8; ++v) {
+    EXPECT_TRUE(probes[static_cast<std::size_t>(v)]->collisions_[0])
+        << "listener " << v;
+  }
+  EXPECT_FALSE(probes[0]->collisions_[0]);
+  EXPECT_FALSE(probes[1]->collisions_[0]);
+}
+
+TEST(CollisionDetection, SingleTransmitterNeverFlagsCollision) {
+  const DualGraph net = DualGraph::protocol(line_graph(4));
+  std::vector<CollisionProbe*> probes;
+  ProcessFactory factory = [&probes](const ProcessEnv& env) {
+    auto proc = std::make_unique<CollisionProbe>(
+        env.id == 0 ? std::vector<char>{1} : std::vector<char>{0});
+    probes.push_back(proc.get());
+    return proc;
+  };
+  ExecutionConfig cfg{1, 1, {}};
+  cfg.collision_detection = true;
+  Execution exec(net, factory,
+                 std::make_shared<AssignmentProblem>(4, -1, std::vector<int>{}),
+                 std::make_unique<NoExtraEdges>(), cfg);
+  exec.run();
+  for (const auto* probe : probes) {
+    EXPECT_FALSE(probe->collisions_[0]);
+  }
+  EXPECT_TRUE(probes[1]->receptions_[0]);
+}
+
+}  // namespace
+}  // namespace dualcast

@@ -1,0 +1,120 @@
+#include "util/bitstring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace dualcast {
+namespace {
+
+TEST(BitString, EmptyByDefault) {
+  BitString bits;
+  EXPECT_TRUE(bits.empty());
+  EXPECT_EQ(bits.size(), 0u);
+}
+
+TEST(BitString, AppendAndReadSingleBits) {
+  BitString bits;
+  const std::vector<bool> pattern{true, false, true, true, false, false, true};
+  for (const bool b : pattern) bits.append_bit(b);
+  ASSERT_EQ(bits.size(), pattern.size());
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    EXPECT_EQ(bits.bit(i), pattern[i]) << "position " << i;
+  }
+}
+
+TEST(BitString, AppendBitsRoundTrip) {
+  BitString bits;
+  bits.append_bits(0b1011, 4);
+  bits.append_bits(0b001, 3);
+  ASSERT_EQ(bits.size(), 7u);
+  EXPECT_EQ(bits.chunk(0, 4), 0b1011u);
+  EXPECT_EQ(bits.chunk(4, 3), 0b001u);
+}
+
+TEST(BitString, ChunkAcrossWordBoundary) {
+  BitString bits;
+  for (int i = 0; i < 130; ++i) bits.append_bit(i % 3 == 0);
+  // Read a window straddling the 64-bit word boundary and verify bit by bit.
+  const std::uint64_t chunk = bits.chunk(60, 10);
+  for (int i = 0; i < 10; ++i) {
+    const bool expected = (60 + i) % 3 == 0;
+    const bool got = ((chunk >> (9 - i)) & 1u) != 0;
+    EXPECT_EQ(got, expected) << "offset " << i;
+  }
+}
+
+TEST(BitString, ChunkBoundsChecked) {
+  BitString bits;
+  bits.append_bits(0xFF, 8);
+  EXPECT_THROW(bits.chunk(1, 8), ContractViolation);
+  EXPECT_THROW(bits.chunk(0, 65), ContractViolation);
+  EXPECT_NO_THROW(bits.chunk(0, 8));
+}
+
+TEST(BitString, CyclicWrapsAround) {
+  BitString bits;
+  bits.append_bits(0b101, 3);
+  // Positions: 1,0,1 repeating. Reading 6 bits from 2 -> 1 1 0 1 1 0.
+  EXPECT_EQ(bits.chunk_cyclic(2, 6), 0b110110u);
+  // Position far beyond the length reduces mod size.
+  EXPECT_EQ(bits.chunk_cyclic(2 + 3 * 100, 6), 0b110110u);
+}
+
+TEST(BitString, CyclicRequiresNonEmpty) {
+  BitString bits;
+  EXPECT_THROW(bits.chunk_cyclic(0, 1), ContractViolation);
+}
+
+TEST(BitString, RandomIsDeterministicPerSeed) {
+  Rng r1(5);
+  Rng r2(5);
+  const BitString a = BitString::random(r1, 1000);
+  const BitString b = BitString::random(r2, 1000);
+  EXPECT_EQ(a, b);
+  Rng r3(6);
+  const BitString c = BitString::random(r3, 1000);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BitString, RandomHasRequestedSize) {
+  Rng rng(9);
+  for (const std::size_t n : {0u, 1u, 63u, 64u, 65u, 1000u}) {
+    EXPECT_EQ(BitString::random(rng, n).size(), n);
+  }
+}
+
+TEST(BitString, RandomRoughlyBalanced) {
+  Rng rng(13);
+  const BitString bits = BitString::random(rng, 100000);
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) ones += bits.bit(i) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / static_cast<double>(bits.size()), 0.5,
+              0.01);
+}
+
+TEST(BitString, EqualityIncludesTailBits) {
+  BitString a;
+  BitString b;
+  a.append_bits(0b1010, 4);
+  b.append_bits(0b1010, 4);
+  EXPECT_TRUE(a == b);
+  b.append_bit(true);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(BitReader, SequentialTake) {
+  BitString bits;
+  bits.append_bits(0b110, 3);
+  bits.append_bits(0b01, 2);
+  BitReader reader(bits);
+  EXPECT_EQ(reader.take(3), 0b110u);
+  EXPECT_EQ(reader.take(2), 0b01u);
+  EXPECT_EQ(reader.position(), 5u);
+  // Further reads wrap cyclically.
+  EXPECT_EQ(reader.take(3), 0b110u);
+}
+
+}  // namespace
+}  // namespace dualcast

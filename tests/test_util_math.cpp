@@ -1,0 +1,102 @@
+#include "util/mathutil.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/strfmt.hpp"
+
+namespace dualcast {
+namespace {
+
+TEST(MathUtil, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(4), 2);
+  EXPECT_EQ(floor_log2(1023), 9);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_THROW(floor_log2(0), ContractViolation);
+}
+
+TEST(MathUtil, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+  EXPECT_THROW(ceil_log2(0), ContractViolation);
+}
+
+TEST(MathUtil, CLog2NeverBelowOne) {
+  EXPECT_EQ(clog2(1), 1);
+  EXPECT_EQ(clog2(2), 1);
+  EXPECT_EQ(clog2(3), 2);
+  EXPECT_EQ(clog2(256), 8);
+}
+
+TEST(MathUtil, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1u << 20));
+  EXPECT_FALSE(is_pow2((1u << 20) + 1));
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 5), 2);
+  EXPECT_EQ(ceil_div(11, 5), 3);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+  EXPECT_THROW(ceil_div(1, 0), ContractViolation);
+}
+
+TEST(MathUtil, Pow2Neg) {
+  EXPECT_DOUBLE_EQ(pow2_neg(0), 1.0);
+  EXPECT_DOUBLE_EQ(pow2_neg(1), 0.5);
+  EXPECT_DOUBLE_EQ(pow2_neg(10), 1.0 / 1024.0);
+  EXPECT_THROW(pow2_neg(-1), ContractViolation);
+}
+
+TEST(MathUtil, RoundUp) {
+  EXPECT_EQ(round_up(0, 4), 0);
+  EXPECT_EQ(round_up(1, 4), 4);
+  EXPECT_EQ(round_up(4, 4), 4);
+  EXPECT_EQ(round_up(5, 4), 8);
+  EXPECT_EQ(round_up(6, 3), 6);
+  EXPECT_THROW(round_up(5, 0), ContractViolation);
+}
+
+TEST(StrFmt, Str) {
+  EXPECT_EQ(str("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(str(), "");
+}
+
+TEST(StrFmt, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+  EXPECT_EQ(fmt_double(-1.005, 1), "-1.0");
+}
+
+TEST(StrFmt, Pad) {
+  EXPECT_EQ(pad("ab", 5), "ab   ");
+  EXPECT_EQ(pad("ab", -5), "   ab");
+  EXPECT_EQ(pad("abcdef", 3), "abcdef");
+}
+
+TEST(Contracts, ViolationMessageNamesKindAndExpression) {
+  try {
+    DC_EXPECTS_MSG(1 == 2, "should never hold");
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("should never hold"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dualcast

@@ -1,0 +1,216 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace dualcast {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64()) << "diverged at step " << i;
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-2, 5);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u) << "all values in [-2,5] should occur";
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, UniformIntRejectsBadRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(3, 2), ContractViolation);
+}
+
+TEST(Rng, UniformIntRoughlyUniform) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  const double p = 0.3;
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.bernoulli(p)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, p, 0.01);
+}
+
+TEST(Rng, CoinPow2Frequencies) {
+  Rng rng(31);
+  const int trials = 200000;
+  for (const int i : {0, 1, 2, 4}) {
+    int hits = 0;
+    for (int t = 0; t < trials; ++t) {
+      if (rng.coin_pow2(i)) ++hits;
+    }
+    const double expected = std::ldexp(1.0, -i);
+    EXPECT_NEAR(static_cast<double>(hits) / trials, expected,
+                0.01 + expected * 0.05)
+        << "i=" << i;
+  }
+}
+
+TEST(Rng, CoinPow2ZeroAlwaysTrue) {
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(rng.coin_pow2(0));
+}
+
+TEST(Rng, CoinPow2RejectsBadExponent) {
+  Rng rng(37);
+  EXPECT_THROW(rng.coin_pow2(-1), ContractViolation);
+  EXPECT_THROW(rng.coin_pow2(64), ContractViolation);
+}
+
+TEST(Rng, BitsWidth) {
+  Rng rng(41);
+  EXPECT_EQ(rng.bits(0), 0u);
+  for (int k = 1; k <= 64; ++k) {
+    const std::uint64_t v = rng.bits(k);
+    if (k < 64) {
+      ASSERT_LT(v, std::uint64_t{1} << k) << "k=" << k;
+    }
+  }
+}
+
+TEST(Rng, ForkIndependentOfParentConsumption) {
+  // fork(tag) must not perturb the parent stream's own outputs.
+  Rng a(99);
+  Rng b(99);
+  (void)a.fork(1);
+  std::vector<std::uint64_t> va;
+  std::vector<std::uint64_t> vb;
+  for (int i = 0; i < 100; ++i) {
+    va.push_back(a.next_u64());
+    vb.push_back(b.next_u64());
+  }
+  EXPECT_EQ(va, vb);
+}
+
+TEST(Rng, ForkDistinctTagsDistinctStreams) {
+  Rng parent(123);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1.next_u64() == c2.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, ForkSameTagTwiceStillDistinct) {
+  // The fork counter makes successive forks independent even with equal tags.
+  Rng parent(123);
+  Rng c1 = parent.fork(7);
+  Rng c2 = parent.fork(7);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1.next_u64() == c2.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, ForkByStringTag) {
+  Rng parent(55);
+  Rng a = parent.fork("adversary");
+  Rng b = parent.fork("node");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, ForkReproducible) {
+  Rng p1(77);
+  Rng p2(77);
+  Rng a = p1.fork(3);
+  Rng b = p2.fork(3);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+class RngPow2Param : public ::testing::TestWithParam<int> {};
+
+TEST_P(RngPow2Param, MatchesExpectedProbability) {
+  const int i = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(i));
+  const int trials = 400000;
+  int hits = 0;
+  for (int t = 0; t < trials; ++t) {
+    if (rng.coin_pow2(i)) ++hits;
+  }
+  const double expected = std::ldexp(1.0, -i);
+  const double sigma =
+      std::sqrt(expected * (1 - expected) / trials);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, expected, 6 * sigma + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ladder, RngPow2Param, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace dualcast
