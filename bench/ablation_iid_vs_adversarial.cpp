@@ -1,82 +1,10 @@
-// Ablation A-model: why the dual graph model is adversarial, not stochastic
-// (§1: "simpler assumptions, such as independent loss probabilities, do a
-// poor job of capturing the unpredictable and sometimes highly-correlated
-// nature of dynamic behavior").
-//
-// On the same dual clique, the same persistent-Decay algorithm faces
-// (a) i.i.d. random G'-edge availability across the full probability range
-// and (b) the adaptive/oblivious attacks. If unreliability were benign
-// noise, some loss probability would reproduce the attack delays; none
-// comes close.
+// Ablation A-model: i.i.d. loss across the whole probability range vs the
+// adaptive attacks, same algorithm, same network (§1's "simpler assumptions
+// ... do a poor job" claim, measured).
 
-#include <iostream>
+#include "scenario/cli.hpp"
 
-#include "adversary/dense_sparse.hpp"
-#include "adversary/offline_collider.hpp"
-#include "adversary/static_adversaries.hpp"
-#include "bench_support.hpp"
-#include "core/factories.hpp"
-#include "graph/generators.hpp"
-
-namespace dualcast::bench {
-namespace {
-
-constexpr int kTrials = 9;
-constexpr int kN = 512;
-
-DecayGlobalConfig persistent() {
-  DecayGlobalConfig cfg = DecayGlobalConfig::fast(ScheduleKind::fixed);
-  cfg.calls = DecayGlobalConfig::kUnbounded;
-  return cfg;
-}
-
-}  // namespace
-}  // namespace dualcast::bench
-
-int main() {
-  using namespace dualcast;
-  using namespace dualcast::bench;
-  banner("Ablation: i.i.d. loss vs adversarial links (n = 512, dual clique)",
-         "adversarial link control is qualitatively harder than random loss");
-
-  const DualCliqueNet dc = dual_clique(kN, kN / 4);
-  const int max_rounds = 300 * kN;
-  Table table({"link behavior", "median rounds", "p95", "failures"});
-
-  for (const double p : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
-    const Measurement m =
-        measure(kTrials, 150, max_rounds, [&](std::uint64_t seed) {
-          return run_global_once(dc.net, decay_global_factory(persistent()),
-                                 std::make_unique<RandomIidEdges>(p),
-                                 /*source=*/1, seed, max_rounds);
-        });
-    table.add_row({str("iid p=", fmt_double(p, 2)), cell(m.median, 0),
-                   cell(m.p95, 0), cell(m.failures)});
-  }
-  {
-    const Measurement m =
-        measure(kTrials, 150, max_rounds, [&](std::uint64_t seed) {
-          return run_global_once(
-              dc.net, decay_global_factory(persistent()),
-              std::make_unique<DenseSparseOnline>(DenseSparseConfig{0.5}),
-              /*source=*/1, seed, max_rounds);
-        });
-    table.add_row({"dense/sparse (online adaptive)", cell(m.median, 0),
-                   cell(m.p95, 0), cell(m.failures)});
-  }
-  {
-    const Measurement m =
-        measure(kTrials, 150, max_rounds, [&](std::uint64_t seed) {
-          return run_global_once(dc.net, decay_global_factory(persistent()),
-                                 std::make_unique<GreedyColliderOffline>(),
-                                 /*source=*/1, seed, max_rounds);
-        });
-    table.add_row({"greedy collider (offline adaptive)", cell(m.median, 0),
-                   cell(m.p95, 0), cell(m.failures)});
-  }
-  table.print(std::cout);
-  std::cout << "\nexpectation: every iid row stays polylog; the adversarial "
-               "rows are one to two orders of magnitude slower — adversarial "
-               "unreliability is not reducible to a loss rate.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return dualcast::scenario::run_main(argc, argv,
+                                      {"ablation/iid-vs-adversarial"});
 }

@@ -1,83 +1,9 @@
 // Ablation A-permute: the paper's core mechanism — random permutation bits
-// generated after execution start (§4.1) — isolated.
-//
-// Matrix: {fixed, permuted} schedule × {benign iid, oblivious anti-schedule,
-// online adaptive dense/sparse} on the dual clique. The permutation bits
-// should matter against exactly one column: the oblivious schedule attack.
+// generated after execution start (§4.1) — isolated in a
+// {fixed, permuted} x {benign, oblivious attack, online attack} matrix.
 
-#include <iostream>
+#include "scenario/cli.hpp"
 
-#include "adversary/dense_sparse.hpp"
-#include "adversary/schedule_attack.hpp"
-#include "adversary/static_adversaries.hpp"
-#include "bench_support.hpp"
-#include "core/factories.hpp"
-#include "graph/generators.hpp"
-#include "util/mathutil.hpp"
-
-namespace dualcast::bench {
-namespace {
-
-constexpr int kTrials = 9;
-constexpr int kN = 512;
-
-DecayGlobalConfig persistent(ScheduleKind kind) {
-  DecayGlobalConfig cfg = DecayGlobalConfig::fast(kind);
-  cfg.calls = DecayGlobalConfig::kUnbounded;
-  return cfg;
-}
-
-std::unique_ptr<LinkProcess> make_adversary(int id) {
-  switch (id) {
-    case 0: return std::make_unique<RandomIidEdges>(0.5);
-    case 1: {
-      const int ladder = clog2(static_cast<std::uint64_t>(kN));
-      const int window_start = 4 * ladder;
-      ScheduleAttackConfig cfg;
-      cfg.predicted_transmitters = [ladder, window_start](int round) {
-        if (round == 0) return 1.0;
-        if (round < window_start) return 0.0;
-        return (kN / 2.0) * fixed_decay_probability(round, ladder);
-      };
-      cfg.threshold_factor = 0.5;
-      return std::make_unique<ScheduleAttackOblivious>(cfg);
-    }
-    default:
-      return std::make_unique<DenseSparseOnline>(DenseSparseConfig{0.5});
-  }
-}
-
-}  // namespace
-}  // namespace dualcast::bench
-
-int main() {
-  using namespace dualcast;
-  using namespace dualcast::bench;
-  banner("Ablation: permutation bits (fixed vs permuted Decay), n = 512",
-         "permutation helps against oblivious schedule attacks only (§4.1 vs "
-         "§3)");
-
-  const DualCliqueNet dc = dual_clique(kN, kN / 4);
-  const int max_rounds = 300 * kN;
-  Table table({"schedule", "iid(0.5)", "anti-schedule(oblivious)",
-               "dense/sparse(online)"});
-  for (const ScheduleKind kind : {ScheduleKind::fixed, ScheduleKind::permuted}) {
-    std::vector<std::string> row{
-        kind == ScheduleKind::fixed ? "fixed" : "permuted"};
-    for (int adversary = 0; adversary < 3; ++adversary) {
-      const Measurement m =
-          measure(kTrials, 130, max_rounds, [&](std::uint64_t seed) {
-            return run_global_once(dc.net, decay_global_factory(persistent(kind)),
-                                   make_adversary(adversary), /*source=*/1,
-                                   seed, max_rounds);
-          });
-      row.push_back(cell(m.median, 0));
-    }
-    table.add_row(row);
-  }
-  table.print(std::cout);
-  std::cout << "\nexpectation: the permuted row improves the anti-schedule "
-               "column by an order of magnitude and changes little "
-               "elsewhere.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return dualcast::scenario::run_main(argc, argv, {"ablation/permutation"});
 }

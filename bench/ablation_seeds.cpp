@@ -1,95 +1,8 @@
-// Ablation A-seeds: the §4.3 initialization stage (shared seeds) isolated.
-//
-// GeoLocalBroadcast with shared seeds vs the private-seed variant (no
-// initialization, independent participation decisions) on geographic graphs
-// under oblivious adversaries. Shared seeds buy coordinated participation:
-// a receiver's O(log n) seed groups thin contention to a single coordinated
-// cluster with probability Ω(1/log n) per iteration.
+// Ablation A-seeds: the §4.3 initialization stage (shared seeds) vs the
+// private-seed variant under the oblivious suite.
 
-#include <iostream>
+#include "scenario/cli.hpp"
 
-#include "adversary/static_adversaries.hpp"
-#include "bench_support.hpp"
-#include "core/factories.hpp"
-#include "graph/generators.hpp"
-#include "util/rng.hpp"
-
-namespace dualcast::bench {
-namespace {
-
-constexpr int kTrials = 9;
-
-std::vector<int> every_kth(int n, int k) {
-  std::vector<int> out;
-  for (int v = 0; v < n; v += k) out.push_back(v);
-  return out;
-}
-
-std::unique_ptr<LinkProcess> make_adversary(int id) {
-  switch (id) {
-    case 0: return std::make_unique<NoExtraEdges>();
-    case 1: return std::make_unique<RandomIidEdges>(0.5);
-    default: return std::make_unique<FlickerEdges>(2, 3);
-  }
-}
-
-const char* kAdversaryNames[] = {"none", "iid(0.5)", "flicker(2,3)"};
-
-}  // namespace
-}  // namespace dualcast::bench
-
-int main() {
-  using namespace dualcast;
-  using namespace dualcast::bench;
-  banner("Ablation: shared seeds vs private seeds (GeoLocalBroadcast)",
-         "the initialization stage is what makes §4.3's coordination work");
-
-  // Dense broadcast set on a dense geo graph: contention is the bottleneck.
-  Rng rng(99);
-  const GeoNet geo = jittered_grid_geo(14, 14, 0.4, 0.04, 2.0, rng);
-  const int n = geo.net.n();
-  const std::vector<int> b = every_kth(n, 2);
-  const int max_rounds = 1 << 21;
-
-  Table table({"variant", "adversary", "median rounds", "p95",
-               "broadcast-stage rounds (median)", "failures"});
-  for (const bool shared : {true, false}) {
-    GeoLocalConfig cfg = GeoLocalConfig::fast();
-    cfg.shared_seeds = shared;
-
-    // Initialization length is a fixed schedule; subtract it to compare the
-    // broadcast stages on equal footing.
-    Execution probe(geo.net, geo_local_factory(cfg),
-                    std::make_shared<LocalBroadcastProblem>(geo.net, b),
-                    std::make_unique<NoExtraEdges>(), {1, 10, {}});
-    const auto* proc = dynamic_cast<const GeoLocalBroadcast*>(&probe.process(0));
-    const int init_len = proc->init_length();
-
-    for (int adversary = 0; adversary < 3; ++adversary) {
-      const Measurement m =
-          measure(kTrials, 140, max_rounds, [&](std::uint64_t seed) {
-            return run_local_once(geo.net, geo_local_factory(cfg),
-                                  make_adversary(adversary), b, seed,
-                                  max_rounds);
-          });
-      table.add_row({shared ? "shared seeds" : "private seeds",
-                     kAdversaryNames[adversary], cell(m.median, 0),
-                     cell(m.p95, 0), cell(m.median - init_len, 0),
-                     cell(m.failures)});
-    }
-  }
-  table.print(std::cout);
-  std::cout
-      << "\nreading guide: this ablation prices the paper's coordination\n"
-         "machinery. Both variants beat every adversary here (0 failures),\n"
-         "but the shared-seed algorithm pays its fixed initialization\n"
-         "schedule plus group-level participation thinning, while the\n"
-         "private-seed variant free-rides on the benign-ness of these\n"
-         "adversaries. The shared seeds are worst-case insurance: they are\n"
-         "what makes the *proof* of Theorem 4.6 go through for every\n"
-         "oblivious adversary, and no pre-computation attack of the\n"
-         "Theorem 4.3 kind can touch them — the premium is measured here,\n"
-         "honestly, as overhead at benign operating points (see\n"
-         "EXPERIMENTS.md, A-seeds).\n";
-  return 0;
+int main(int argc, char** argv) {
+  return dualcast::scenario::run_main(argc, argv, {"ablation/seeds"});
 }

@@ -1,81 +1,18 @@
 #pragma once
 
-// Shared harness for the Figure-1 reproduction benches: one-call runners,
-// median-over-seeds measurement with censoring, and fitted-shape reporting.
+// Minimal shared helpers for the few benches that are not plain scenario
+// drivers (the hitting game plays an abstract game, not an Execution).
+// Everything measurement-shaped lives in src/analysis (run_censored_trials)
+// and src/scenario (ScenarioRunner); this header only keeps the banner.
 
 #include <iostream>
-#include <memory>
 #include <string>
-#include <vector>
 
-#include "analysis/fit.hpp"
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
-#include "sim/execution.hpp"
-#include "sim/problem.hpp"
 #include "util/strfmt.hpp"
 
 namespace dualcast::bench {
-
-struct Measurement {
-  double median = 0.0;
-  double p95 = 0.0;
-  int failures = 0;  ///< runs that hit max_rounds unsolved (censored)
-  int trials = 0;
-};
-
-/// Median rounds over seeds; unsolved runs are censored at max_rounds and
-/// counted in `failures`.
-template <typename RunOnce>
-Measurement measure(int trials, std::uint64_t base_seed, int max_rounds,
-                    RunOnce run_once) {
-  std::vector<double> rounds;
-  Measurement out;
-  out.trials = trials;
-  for (int t = 0; t < trials; ++t) {
-    const RunResult result = run_once(base_seed + static_cast<std::uint64_t>(t));
-    if (!result.solved) ++out.failures;
-    rounds.push_back(result.solved ? static_cast<double>(result.rounds)
-                                   : static_cast<double>(max_rounds));
-  }
-  out.median = quantile(rounds, 0.5);
-  out.p95 = quantile(rounds, 0.95);
-  return out;
-}
-
-/// Convenience constructor for an execution over a global broadcast problem.
-inline RunResult run_global_once(const DualGraph& net, ProcessFactory factory,
-                                 std::unique_ptr<LinkProcess> adversary,
-                                 int source, std::uint64_t seed,
-                                 int max_rounds) {
-  Execution exec(net, std::move(factory),
-                 std::make_shared<GlobalBroadcastProblem>(net, source),
-                 std::move(adversary), ExecutionConfig{seed, max_rounds, {}});
-  return exec.run();
-}
-
-inline RunResult run_local_once(const DualGraph& net, ProcessFactory factory,
-                                std::unique_ptr<LinkProcess> adversary,
-                                std::vector<int> broadcast_set,
-                                std::uint64_t seed, int max_rounds) {
-  Execution exec(net, std::move(factory),
-                 std::make_shared<LocalBroadcastProblem>(
-                     net, std::move(broadcast_set)),
-                 std::move(adversary), ExecutionConfig{seed, max_rounds, {}});
-  return exec.run();
-}
-
-/// Prints "best shape: <model> (scale c, rel-rmse e)" for a measured series.
-inline void report_fit(const std::string& label, const std::vector<double>& xs,
-                       const std::vector<double>& ys) {
-  if (xs.size() < 3) return;
-  const auto ranked = rank_models(xs, ys, standard_models());
-  std::cout << "  " << label << ": best-fit shape = " << ranked[0].model
-            << "  (scale " << fmt_double(ranked[0].scale, 3) << ", rel-rmse "
-            << fmt_double(ranked[0].rel_rmse, 3) << "; runner-up "
-            << ranked[1].model << " @ " << fmt_double(ranked[1].rel_rmse, 3)
-            << ")\n";
-}
 
 /// Standard bench banner.
 inline void banner(const std::string& title, const std::string& paper_claim) {

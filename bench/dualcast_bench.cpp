@@ -1,0 +1,12 @@
+// The one bench driver: runs any registered scenario by name.
+//
+//   dualcast_bench --list
+//   dualcast_bench fig1/oblivious-global
+//   dualcast_bench fig1 --threads 4 --json fig1.json
+//   dualcast_bench --smoke        (every scenario, tiny scale — CI wiring)
+
+#include "scenario/cli.hpp"
+
+int main(int argc, char** argv) {
+  return dualcast::scenario::run_main(argc, argv, {});
+}

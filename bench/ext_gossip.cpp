@@ -1,122 +1,10 @@
-// Extension bench (paper's conclusion / future work): k-gossip (rumor
-// spreading) in the dual graph model. Not a Figure 1 cell — this measures
-// the library's answer to the paper's first open question: how the
-// adversary-class hierarchy transfers from broadcast to rumor spreading.
+// Extension bench: k-gossip (rumor spreading) in the dual graph model —
+// the paper's first "future work" problem. Token-count and network-size
+// sweeps against the adversary hierarchy.
 
-#include <iostream>
+#include "scenario/cli.hpp"
 
-#include "adversary/dense_sparse.hpp"
-#include "adversary/offline_collider.hpp"
-#include "adversary/static_adversaries.hpp"
-#include "bench_support.hpp"
-#include "core/gossip.hpp"
-#include "graph/generators.hpp"
-
-namespace dualcast::bench {
-namespace {
-
-constexpr int kTrials = 7;
-
-RunResult run_gossip(const DualGraph& net, std::vector<int> sources,
-                     std::unique_ptr<LinkProcess> adversary,
-                     std::uint64_t seed, int max_rounds) {
-  Execution exec(net, gossip_factory(GossipConfig{}),
-                 std::make_shared<GossipProblem>(net, std::move(sources)),
-                 std::move(adversary), {seed, max_rounds, {}});
-  return exec.run();
-}
-
-std::vector<int> spread_sources(int n, int k) {
-  std::vector<int> out;
-  for (int t = 0; t < k; ++t) out.push_back(t * n / k);
-  return out;
-}
-
-void k_sweep() {
-  const int n = 128;
-  const DualCliqueNet dc = dual_clique(n, n / 4);
-  Table table({"k", "protocol model", "iid(0.5)", "dense/sparse (online)"});
-  std::vector<double> xs;
-  std::vector<double> ys;
-  for (const int k : {1, 2, 4, 8, 16}) {
-    const int max_rounds = 3000 * k + 20000;
-    const Measurement none =
-        measure(kTrials, 160, max_rounds, [&](std::uint64_t seed) {
-          return run_gossip(dc.net, spread_sources(n, k),
-                            std::make_unique<NoExtraEdges>(), seed, max_rounds);
-        });
-    const Measurement iid =
-        measure(kTrials, 160, max_rounds, [&](std::uint64_t seed) {
-          return run_gossip(dc.net, spread_sources(n, k),
-                            std::make_unique<RandomIidEdges>(0.5), seed,
-                            max_rounds);
-        });
-    const Measurement attack =
-        measure(kTrials, 160, max_rounds, [&](std::uint64_t seed) {
-          return run_gossip(dc.net, spread_sources(n, k),
-                            std::make_unique<DenseSparseOnline>(
-                                DenseSparseConfig{0.5}),
-                            seed, max_rounds);
-        });
-    table.add_row({cell(k), cell(none.median, 0), cell(iid.median, 0),
-                   cell(attack.median, 0)});
-    xs.push_back(k);
-    ys.push_back(iid.median);
-  }
-  std::cout << "-- token-count sweep, dual clique n=128 --\n";
-  table.print(std::cout);
-  std::cout << "  note: k >= 2 saturates the cliques (every node ends up "
-               "relaying every token forever), so the bridge endpoint must "
-               "out-shout its whole side — rounds grow ~k x n-ish rather "
-               "than k x polylog. A quiescing gossip protocol is the obvious "
-               "next extension.\n\n";
-  (void)xs;
-  (void)ys;
-}
-
-void n_sweep() {
-  Table table({"n", "k=4: protocol", "iid(0.5)", "dense/sparse"});
-  for (const int n : {32, 64, 128, 256}) {
-    const DualCliqueNet dc = dual_clique(n, n / 4);
-    const int max_rounds = 400 * n;
-    const Measurement none =
-        measure(kTrials, 170, max_rounds, [&](std::uint64_t seed) {
-          return run_gossip(dc.net, spread_sources(n, 4),
-                            std::make_unique<NoExtraEdges>(), seed, max_rounds);
-        });
-    const Measurement iid =
-        measure(kTrials, 170, max_rounds, [&](std::uint64_t seed) {
-          return run_gossip(dc.net, spread_sources(n, 4),
-                            std::make_unique<RandomIidEdges>(0.5), seed,
-                            max_rounds);
-        });
-    const Measurement attack =
-        measure(kTrials, 170, max_rounds, [&](std::uint64_t seed) {
-          return run_gossip(dc.net, spread_sources(n, 4),
-                            std::make_unique<DenseSparseOnline>(
-                                DenseSparseConfig{0.5}),
-                            seed, max_rounds);
-        });
-    table.add_row({cell(n), cell(none.median, 0), cell(iid.median, 0),
-                   cell(attack.median, 0)});
-  }
-  std::cout << "-- network-size sweep, k=4 --\n";
-  table.print(std::cout);
-}
-
-}  // namespace
-}  // namespace dualcast::bench
-
-int main() {
-  using namespace dualcast;
-  using namespace dualcast::bench;
-  banner("Extension: k-gossip (rumor spreading) in the dual graph model",
-         "future work per the paper's conclusion; expectation: the adversary "
-         "hierarchy transfers");
-  k_sweep();
-  n_sweep();
-  std::cout << "\nexpectation: oblivious columns stay within small factors of "
-               "the protocol model while the online adaptive column inherits "
-               "the broadcast lower bound's ~linear blow-up.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return dualcast::scenario::run_main(argc, argv,
+                                      {"ext/gossip-k", "ext/gossip-n"});
 }

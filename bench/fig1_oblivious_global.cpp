@@ -1,135 +1,12 @@
-// Figure 1, third row, global column — NEW in this paper (Theorem 4.1):
-// dual graph + OBLIVIOUS global broadcast in O(D log n + log² n) rounds,
-// via Permuted Decay.
-//
-// Permuted Decay is run against a suite of oblivious adversaries — static
-// extremes, i.i.d. loss, flicker, and the anti-schedule attacker built from
-// the public algorithm description — on constant-diameter dual cliques
-// (log²n regime) and on lines with a random unreliable overlay (D·log n
-// regime).
+// Figure 1, third row, global column — Theorem 4.1: O(D log n + log² n) by
+// Permuted Decay against any oblivious adversary. Two regimes, two
+// scenarios: constant-diameter dual cliques (log² n) and lines with a
+// random unreliable overlay (D log n).
 
-#include <iostream>
+#include "scenario/cli.hpp"
 
-#include "adversary/schedule_attack.hpp"
-#include "adversary/static_adversaries.hpp"
-#include "bench_support.hpp"
-#include "core/factories.hpp"
-#include "core/decay_schedule.hpp"
-#include "graph/generators.hpp"
-#include "util/mathutil.hpp"
-#include "util/rng.hpp"
-
-namespace dualcast::bench {
-namespace {
-
-constexpr int kTrials = 9;
-
-DecayGlobalConfig persistent() {
-  DecayGlobalConfig cfg = DecayGlobalConfig::fast(ScheduleKind::permuted);
-  cfg.calls = DecayGlobalConfig::kUnbounded;
-  return cfg;
-}
-
-std::unique_ptr<LinkProcess> make_adversary(int id, int n) {
-  switch (id) {
-    case 0: return std::make_unique<NoExtraEdges>();
-    case 1: return std::make_unique<AllExtraEdges>();
-    case 2: return std::make_unique<RandomIidEdges>(0.5);
-    case 3: return std::make_unique<FlickerEdges>(3, 5);
-    default: {
-      const int ladder = clog2(static_cast<std::uint64_t>(n));
-      const int window_start = 4 * ladder;
-      ScheduleAttackConfig cfg;
-      cfg.predicted_transmitters = [n, ladder, window_start](int round) {
-        if (round == 0) return 1.0;
-        if (round < window_start) return 0.0;
-        return (n / 2.0) * fixed_decay_probability(round, ladder);
-      };
-      cfg.threshold_factor = 0.5;
-      return std::make_unique<ScheduleAttackOblivious>(cfg);
-    }
-  }
-}
-
-const char* kAdversaryNames[] = {"none", "all", "iid(0.5)", "flicker(3,5)",
-                                 "anti-schedule"};
-
-void clique_sweep() {
-  Table table({"n", "none", "all", "iid(0.5)", "flicker", "anti-schedule"});
-  std::vector<double> xs;
-  std::vector<std::vector<double>> series(5);
-  for (const int n : {32, 64, 128, 256, 512, 1024}) {
-    const DualCliqueNet dc = dual_clique(n, n / 4);
-    const int max_rounds = 100 * n;
-    std::vector<std::string> row{cell(n)};
-    for (int adversary = 0; adversary < 5; ++adversary) {
-      const Measurement m =
-          measure(kTrials, 90, max_rounds, [&](std::uint64_t seed) {
-            return run_global_once(dc.net, decay_global_factory(persistent()),
-                                   make_adversary(adversary, n), /*source=*/1,
-                                   seed, max_rounds);
-          });
-      row.push_back(cell(m.median, 0));
-      series[static_cast<std::size_t>(adversary)].push_back(m.median);
-    }
-    table.add_row(row);
-    xs.push_back(n);
-  }
-  std::cout << "-- dual clique (D<=3): permuted decay vs oblivious suite --\n";
-  table.print(std::cout);
-  for (int adversary = 0; adversary < 5; ++adversary) {
-    report_fit(kAdversaryNames[adversary], xs,
-               series[static_cast<std::size_t>(adversary)]);
-  }
-  std::cout << "\n";
-}
-
-void line_sweep() {
-  // The overlay's unreliable shortcuts can only help a correct algorithm:
-  // the oblivious worst case is keeping them all OFF ("none"), which
-  // recovers the static-line D log n behavior; i.i.d. availability shrinks
-  // the effective diameter and beats it.
-  Table table({"n (=D+1)", "none (worst case)", "iid(0.3)", "rounds/D (none)"});
-  std::vector<double> xs;
-  std::vector<double> worst;
-  for (const int n : {32, 64, 128, 256}) {
-    Rng rng(static_cast<std::uint64_t>(n));
-    const DualGraph net = with_random_gprime(line_graph(n), 4.0 / n, rng);
-    const int max_rounds = 2000 * n;
-    const Measurement none =
-        measure(5, 95, max_rounds, [&](std::uint64_t seed) {
-          return run_global_once(net, decay_global_factory(persistent()),
-                                 std::make_unique<NoExtraEdges>(),
-                                 /*source=*/0, seed, max_rounds);
-        });
-    const Measurement iid =
-        measure(5, 95, max_rounds, [&](std::uint64_t seed) {
-          return run_global_once(net, decay_global_factory(persistent()),
-                                 std::make_unique<RandomIidEdges>(0.3),
-                                 /*source=*/0, seed, max_rounds);
-        });
-    table.add_row({cell(n), cell(none.median, 0), cell(iid.median, 0),
-                   cell(none.median / (n - 1), 1)});
-    xs.push_back(n);
-    worst.push_back(none.median);
-  }
-  std::cout << "-- lines + random G' overlay: D-scaling --\n";
-  table.print(std::cout);
-  report_fit("rounds(D), shortcuts off", xs, worst);
-}
-
-}  // namespace
-}  // namespace dualcast::bench
-
-int main() {
-  using namespace dualcast;
-  using namespace dualcast::bench;
-  banner("Figure 1 / DG + oblivious / global broadcast  [Theorem 4.1]",
-         "O(D log n + log^2 n) by permuted decay");
-  clique_sweep();
-  line_sweep();
-  std::cout << "\nexpectation: polylog fits against every oblivious adversary "
-               "on constant-D networks (including the anti-schedule attack); "
-               "~linear-in-D on lines.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return dualcast::scenario::run_main(
+      argc, argv,
+      {"fig1/oblivious-global-clique", "fig1/oblivious-global-line"});
 }

@@ -1,114 +1,47 @@
-// Figure 1, third row, local column, general graphs — NEW in this paper
-// (Theorem 4.3): dual graph + OBLIVIOUS local broadcast requires
-// Ω(√n / log n) rounds on general graphs.
+// Figure 1, third row, local column, general graphs — Theorem 4.3:
+// Ω(√n / log n) via the bracelet network + pre-simulation adversary.
 //
-// The bracelet network + the pre-simulation adversary (isolated broadcast
-// functions of Lemma 4.4). The reported quantity is the latency of the clasp
-// receiver b_t — exactly what the theorem bounds; the in-band receivers are
-// served in O(1) and would otherwise mask the effect.
+// Runs the declarative scenario, then derives the "window held" statistic —
+// the fraction of trials where the clasp receiver stayed silent for >= 80%
+// of the k-round prediction window — from the raw per-trial values the
+// runner already carries.
 
 #include <iostream>
 
-#include "adversary/bracelet_presim.hpp"
-#include "adversary/static_adversaries.hpp"
-#include "bench_support.hpp"
-#include "core/factories.hpp"
-#include "graph/generators.hpp"
+#include "analysis/table.hpp"
+#include "scenario/scenario.hpp"
 
-namespace dualcast::bench {
-namespace {
+int main(int argc, char** argv) {
+  using namespace dualcast;
+  using namespace dualcast::scenario;
 
-constexpr int kTrials = 25;
-
-double clasp_latency(const BraceletNet& br, ScheduleKind kind, bool attack,
-                     std::uint64_t seed, int max_rounds) {
-  std::unique_ptr<LinkProcess> adversary;
-  if (attack) {
-    adversary = std::make_unique<BraceletPresimOblivious>(
-        br, BraceletPresimConfig{/*threshold_factor=*/0.3,
-                                 /*fallback_none=*/true});
-  } else {
-    adversary = std::make_unique<NoExtraEdges>();
+  RunOptions options;
+  options.out = &std::cout;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") options.smoke = true;
   }
-  Execution exec(br.net, decay_local_factory(DecayLocalConfig{kind, 0, 0}),
-                 std::make_shared<LocalBroadcastProblem>(br.net, br.heads_a),
-                 std::move(adversary), {seed, max_rounds, {}});
-  while (!exec.done() &&
-         exec.first_receive_round()[static_cast<std::size_t>(br.clasp_b)] < 0) {
-    exec.step();
-  }
-  const int r =
-      exec.first_receive_round()[static_cast<std::size_t>(br.clasp_b)];
-  return r >= 0 ? static_cast<double>(r + 1) : static_cast<double>(max_rounds);
-}
 
-struct LatencyStats {
-  double median = 0.0;
-  double held = 0.0;  ///< fraction of trials with latency >= 0.8 * window
-};
+  const ScenarioResult result =
+      run_scenario(scenarios().get("fig1/oblivious-local-general"), options);
 
-LatencyStats latency_stats(const BraceletNet& br, ScheduleKind kind,
-                           bool attack, std::uint64_t base_seed,
-                           int max_rounds) {
-  std::vector<double> values;
-  int held = 0;
-  for (int t = 0; t < kTrials; ++t) {
-    const double latency = clasp_latency(
-        br, kind, attack, base_seed + static_cast<std::uint64_t>(t),
-        max_rounds);
-    values.push_back(latency);
-    if (latency >= 0.8 * br.band_len) ++held;
+  Table held({"n", "k=sqrt(n/2)", "window held (fixed:attack)"});
+  for (const PointResult& point : result.points) {
+    const int band_len = point.marks.at("band_len");
+    for (const CellResult& c : point.cells) {
+      if (c.label != "fixed:attack") continue;
+      int kept = 0;
+      for (const double latency : c.values) {
+        if (latency >= 0.8 * band_len) ++kept;
+      }
+      held.add_row({cell(point.n), cell(band_len),
+                    cell(static_cast<double>(kept) / c.trials, 2)});
+    }
   }
-  return {quantile(values, 0.5), static_cast<double>(held) / kTrials};
-}
-
-void sweep() {
-  Table table({"n", "k=sqrt(n/2)", "fixed:attack", "window held",
-               "fixed:benign", "permuted:attack", "permuted:benign"});
-  std::vector<double> xs;
-  std::vector<double> attacked_series;
-  // Smallest size is k = 12: below that the √n window is only a handful of
-  // rounds and the construction has no room to bite.
-  for (const int n_target : {288, 512, 1152, 2048, 4608, 8192}) {
-    const BraceletNet br = bracelet(n_target);
-    const int max_rounds = 200 * br.band_len;
-    const LatencyStats fa =
-        latency_stats(br, ScheduleKind::fixed, true, 100, max_rounds);
-    const LatencyStats fb =
-        latency_stats(br, ScheduleKind::fixed, false, 100, max_rounds);
-    const LatencyStats pa =
-        latency_stats(br, ScheduleKind::permuted, true, 200, max_rounds);
-    const LatencyStats pb =
-        latency_stats(br, ScheduleKind::permuted, false, 200, max_rounds);
-    table.add_row({cell(br.net.n()), cell(br.band_len), cell(fa.median, 0),
-                   cell(fa.held, 2), cell(fb.median, 0), cell(pa.median, 0),
-                   cell(pb.median, 0)});
-    xs.push_back(br.net.n());
-    attacked_series.push_back(fa.median);
-  }
-  table.print(std::cout);
-  report_fit("clasp latency under pre-simulation attack", xs, attacked_series);
+  std::cout << "\n";
+  held.print(std::cout);
   std::cout << "  ('window held' = fraction of trials where the clasp stayed "
                "silent for >= 80% of the k-round prediction window; in-window "
                "escapes are the lone-transmitter-in-a-dense-round leak, whose "
-               "rate ~tau*e^-tau saturates at feasible sizes — see "
-               "EXPERIMENTS.md)\n";
-}
-
-}  // namespace
-}  // namespace dualcast::bench
-
-int main() {
-  using namespace dualcast;
-  using namespace dualcast::bench;
-  banner(
-      "Figure 1 / DG + oblivious / local broadcast, general graphs "
-      "[Theorem 4.3]",
-      "Omega(sqrt(n)/log n); bracelet network + isolated-broadcast-function "
-      "pre-simulation");
-  sweep();
-  std::cout << "\nexpectation: attacked clasp latency grows ~sqrt(n)-family "
-               "while benign latency stays flat; private permutation bits do "
-               "not help (Lemma 4.5 concentration).\n";
+               "rate ~tau*e^-tau saturates at feasible sizes)\n";
   return 0;
 }

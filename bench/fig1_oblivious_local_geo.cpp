@@ -1,117 +1,10 @@
-// Figure 1, third row, local column, geographic graphs — NEW in this paper
-// (Theorem 4.6): dual graph + OBLIVIOUS local broadcast on geographic graphs
-// in O(log² n · log Δ) rounds, via seed dissemination + coordinated
-// permuted decay.
-//
-// Sweeps n (fixed density) and Δ (fixed n), against the oblivious suite.
-// Stage lengths (initialization vs broadcast) are reported separately.
+// Figure 1, third row, local column, geographic graphs — Theorem 4.6:
+// O(log² n · log Δ) via seed dissemination + coordinated permuted decay.
 
-#include <iostream>
+#include "scenario/cli.hpp"
 
-#include "adversary/static_adversaries.hpp"
-#include "bench_support.hpp"
-#include "core/factories.hpp"
-#include "graph/generators.hpp"
-#include "util/rng.hpp"
-
-namespace dualcast::bench {
-namespace {
-
-constexpr int kTrials = 7;
-
-std::vector<int> every_kth(int n, int k) {
-  std::vector<int> out;
-  for (int v = 0; v < n; v += k) out.push_back(v);
-  return out;
-}
-
-std::unique_ptr<LinkProcess> make_adversary(int id) {
-  switch (id) {
-    case 0: return std::make_unique<NoExtraEdges>();
-    case 1: return std::make_unique<AllExtraEdges>();
-    case 2: return std::make_unique<RandomIidEdges>(0.5);
-    default: return std::make_unique<FlickerEdges>(2, 3);
-  }
-}
-
-void n_sweep() {
-  Table table({"n", "Delta", "init len", "median rounds", "vs iid(0.5)",
-               "vs flicker", "failures"});
-  std::vector<double> xs;
-  std::vector<double> ys;
-  for (const int side : {5, 7, 10, 14, 20, 28}) {
-    Rng rng(static_cast<std::uint64_t>(side) * 7);
-    const GeoNet geo = jittered_grid_geo(side, side, 0.6, 0.05, 2.0, rng);
-    const int n = geo.net.n();
-    const std::vector<int> b = every_kth(n, 3);
-    const int max_rounds = 1 << 21;
-
-    // Stage layout (identical across nodes): probe one process.
-    Execution probe(geo.net, geo_local_factory(GeoLocalConfig::fast()),
-                    std::make_shared<LocalBroadcastProblem>(geo.net, b),
-                    std::make_unique<NoExtraEdges>(), {1, 10, {}});
-    const auto* proc = dynamic_cast<const GeoLocalBroadcast*>(&probe.process(0));
-
-    const auto run_with = [&](int adversary) {
-      return measure(kTrials, 110, max_rounds, [&](std::uint64_t seed) {
-        return run_local_once(geo.net, geo_local_factory(GeoLocalConfig::fast()),
-                              make_adversary(adversary), b, seed, max_rounds);
-      });
-    };
-    const Measurement none = run_with(0);
-    const Measurement iid = run_with(2);
-    const Measurement flicker = run_with(3);
-
-    table.add_row({cell(n), cell(geo.net.max_degree()),
-                   cell(proc->init_length()), cell(none.median, 0),
-                   cell(iid.median, 0), cell(flicker.median, 0),
-                   cell(none.failures + iid.failures + flicker.failures)});
-    xs.push_back(n);
-    ys.push_back(iid.median);
-  }
-  std::cout << "-- n sweep at fixed density (spacing 0.6) --\n";
-  table.print(std::cout);
-  report_fit("rounds(n) vs iid adversary", xs, ys);
-  std::cout << "\n";
-}
-
-void delta_sweep() {
-  Table table({"spacing", "n", "Delta", "median rounds (iid)", "failures"});
-  for (const double spacing : {0.9, 0.65, 0.45, 0.3}) {
-    Rng rng(4242);
-    const GeoNet geo = jittered_grid_geo(12, 12, spacing, 0.04, 2.0, rng);
-    const int n = geo.net.n();
-    const std::vector<int> b = every_kth(n, 3);
-    const int max_rounds = 1 << 21;
-    const Measurement m =
-        measure(kTrials, 120, max_rounds, [&](std::uint64_t seed) {
-          return run_local_once(geo.net,
-                                geo_local_factory(GeoLocalConfig::fast()),
-                                std::make_unique<RandomIidEdges>(0.5), b, seed,
-                                max_rounds);
-        });
-    table.add_row({cell(spacing, 2), cell(n), cell(geo.net.max_degree()),
-                   cell(m.median, 0), cell(m.failures)});
-  }
-  std::cout << "-- Delta sweep at fixed n (12x12 grid) --\n";
-  table.print(std::cout);
-  std::cout << "  expectation: rounds grow gently (log Delta factor).\n";
-}
-
-}  // namespace
-}  // namespace dualcast::bench
-
-int main() {
-  using namespace dualcast;
-  using namespace dualcast::bench;
-  banner(
-      "Figure 1 / DG + oblivious / local broadcast, geographic graphs "
-      "[Theorem 4.6]",
-      "O(log^2 n log Delta) by seed dissemination + coordinated permuted "
-      "decay");
-  n_sweep();
-  delta_sweep();
-  std::cout << "\nexpectation: polylog growth in n; no adversary in the "
-               "oblivious suite defeats the coordination.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return dualcast::scenario::run_main(
+      argc, argv,
+      {"fig1/oblivious-local-geo-n", "fig1/oblivious-local-geo-delta"});
 }

@@ -1,83 +1,8 @@
-// Figure 1, first row, global column: dual graph + OFFLINE ADAPTIVE —
-// Ω(n) [11] / O(n log² n) [12, 13].
-//
-// The greedy collider (sees the round's transmissions; floods G' whenever
-// two or more nodes transmit) drives Decay to ~linear-or-worse rounds on the
-// dual clique, while round robin — contention-free by construction — meets
-// the regime's O(n) upper bound unharmed.
+// Figure 1, first row, global column — Ω(n) [11] / O(n log² n) [12, 13].
+// Declarative scenario: see "fig1/offline-global" in src/scenario/catalog.cpp.
 
-#include <iostream>
+#include "scenario/cli.hpp"
 
-#include "adversary/offline_collider.hpp"
-#include "adversary/static_adversaries.hpp"
-#include "bench_support.hpp"
-#include "core/factories.hpp"
-#include "graph/generators.hpp"
-
-namespace dualcast::bench {
-namespace {
-
-constexpr int kTrials = 7;
-
-DecayGlobalConfig persistent(ScheduleKind kind) {
-  DecayGlobalConfig cfg = DecayGlobalConfig::fast(kind);
-  cfg.calls = DecayGlobalConfig::kUnbounded;
-  return cfg;
-}
-
-void sweep() {
-  Table table({"n", "decay+collider", "decay+iid(0.5)", "roundrobin+collider",
-               "censored(decay)"});
-  std::vector<double> xs;
-  std::vector<double> decay_attacked;
-  std::vector<double> rr;
-  for (const int n : {32, 64, 128, 256, 512}) {
-    const DualCliqueNet dc = dual_clique(n, n / 4);
-    const int max_rounds = 600 * n;
-
-    const Measurement attacked =
-        measure(kTrials, 50, max_rounds, [&](std::uint64_t seed) {
-          return run_global_once(dc.net,
-                                 decay_global_factory(persistent(ScheduleKind::fixed)),
-                                 std::make_unique<GreedyColliderOffline>(),
-                                 /*source=*/1, seed, max_rounds);
-        });
-    const Measurement benign =
-        measure(kTrials, 50, max_rounds, [&](std::uint64_t seed) {
-          return run_global_once(dc.net,
-                                 decay_global_factory(persistent(ScheduleKind::fixed)),
-                                 std::make_unique<RandomIidEdges>(0.5),
-                                 /*source=*/1, seed, max_rounds);
-        });
-    const Measurement robin =
-        measure(kTrials, 50, 4 * n, [&](std::uint64_t seed) {
-          return run_global_once(dc.net,
-                                 round_robin_factory(RoundRobinConfig{true}),
-                                 std::make_unique<GreedyColliderOffline>(),
-                                 /*source=*/1, seed, 4 * n);
-        });
-
-    table.add_row({cell(n), cell(attacked.median, 0), cell(benign.median, 0),
-                   cell(robin.median, 0), cell(attacked.failures)});
-    xs.push_back(n);
-    decay_attacked.push_back(attacked.median);
-    rr.push_back(robin.median);
-  }
-  table.print(std::cout);
-  report_fit("decay under collider", xs, decay_attacked);
-  report_fit("round robin under collider", xs, rr);
-}
-
-}  // namespace
-}  // namespace dualcast::bench
-
-int main() {
-  using namespace dualcast;
-  using namespace dualcast::bench;
-  banner("Figure 1 / DG + offline adaptive / global broadcast",
-         "Omega(n) [11], O(n log^2 n) [12,13]; dual clique network");
-  sweep();
-  std::cout << "\nexpectation: decay-under-collider fits a linear-or-worse "
-               "shape; round robin stays ~n and never fails.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return dualcast::scenario::run_main(argc, argv, {"fig1/offline-global"});
 }

@@ -1,71 +1,8 @@
-// Figure 1, first row, local column: dual graph + OFFLINE ADAPTIVE —
-// Ω(n) [11] / O(n log n) [8] (and O(n) by round robin, footnote 4).
-//
-// Local broadcast on the dual clique with B = side A: the collider makes the
-// clasp receiver wait for the bridge endpoint to transmit *alone in the
-// whole network*.
+// Figure 1, first row, local column — Ω(n) [11] / O(n log n) [8].
+// Declarative scenario: see "fig1/offline-local" in src/scenario/catalog.cpp.
 
-#include <iostream>
+#include "scenario/cli.hpp"
 
-#include "adversary/offline_collider.hpp"
-#include "adversary/static_adversaries.hpp"
-#include "bench_support.hpp"
-#include "core/factories.hpp"
-#include "graph/generators.hpp"
-
-namespace dualcast::bench {
-namespace {
-
-constexpr int kTrials = 7;
-
-void sweep() {
-  Table table({"n", "decay+collider", "decay+iid(0.5)", "roundrobin+collider",
-               "censored(decay)"});
-  std::vector<double> xs;
-  std::vector<double> attacked_series;
-  for (const int n : {32, 64, 128, 256, 512}) {
-    const DualCliqueNet dc = dual_clique(n, n / 4);
-    const int max_rounds = 600 * n;
-
-    const Measurement attacked =
-        measure(kTrials, 60, max_rounds, [&](std::uint64_t seed) {
-          return run_local_once(dc.net, decay_local_factory(DecayLocalConfig{}),
-                                std::make_unique<GreedyColliderOffline>(),
-                                dc.side_a, seed, max_rounds);
-        });
-    const Measurement benign =
-        measure(kTrials, 60, max_rounds, [&](std::uint64_t seed) {
-          return run_local_once(dc.net, decay_local_factory(DecayLocalConfig{}),
-                                std::make_unique<RandomIidEdges>(0.5),
-                                dc.side_a, seed, max_rounds);
-        });
-    const Measurement robin =
-        measure(kTrials, 60, 2 * n, [&](std::uint64_t seed) {
-          return run_local_once(dc.net,
-                                round_robin_factory(RoundRobinConfig{false}),
-                                std::make_unique<GreedyColliderOffline>(),
-                                dc.side_a, seed, 2 * n);
-        });
-
-    table.add_row({cell(n), cell(attacked.median, 0), cell(benign.median, 0),
-                   cell(robin.median, 0), cell(attacked.failures)});
-    xs.push_back(n);
-    attacked_series.push_back(attacked.median);
-  }
-  table.print(std::cout);
-  report_fit("local decay under collider", xs, attacked_series);
-}
-
-}  // namespace
-}  // namespace dualcast::bench
-
-int main() {
-  using namespace dualcast;
-  using namespace dualcast::bench;
-  banner("Figure 1 / DG + offline adaptive / local broadcast",
-         "Omega(n) [11], O(n log n) [8]; dual clique, B = side A");
-  sweep();
-  std::cout << "\nexpectation: attacked local decay ~linear-or-worse; round "
-               "robin completes within one pass (n rounds).\n";
-  return 0;
+int main(int argc, char** argv) {
+  return dualcast::scenario::run_main(argc, argv, {"fig1/offline-local"});
 }

@@ -1,94 +1,9 @@
-// Figure 1, second row, global column — NEW in this paper (Theorem 3.1):
-// dual graph + ONLINE ADAPTIVE global broadcast requires Ω(n / log n) rounds.
-//
-// The dense/sparse adversary conditions only on E[|X| | S] — state before the
-// round's coins — and defeats both fixed and permuted Decay (it reads the
-// permutation bits out of the execution history). Round robin, with zero
-// contention, still finishes in O(n): the lower bound is tight up to log
-// factors.
+// Figure 1, second row, global column — Theorem 3.1: Ω(n / log n) against
+// the online adaptive dense/sparse adversary.
+// Declarative scenario: see "fig1/online-global" in src/scenario/catalog.cpp.
 
-#include <iostream>
+#include "scenario/cli.hpp"
 
-#include "adversary/dense_sparse.hpp"
-#include "adversary/static_adversaries.hpp"
-#include "bench_support.hpp"
-#include "core/factories.hpp"
-#include "graph/generators.hpp"
-
-namespace dualcast::bench {
-namespace {
-
-constexpr int kTrials = 11;
-constexpr double kThreshold = 0.5;  // τ = 0.5·log2(n): finite-size calibration
-
-DecayGlobalConfig persistent(ScheduleKind kind) {
-  DecayGlobalConfig cfg = DecayGlobalConfig::fast(kind);
-  cfg.calls = DecayGlobalConfig::kUnbounded;
-  return cfg;
-}
-
-void sweep() {
-  Table table({"n", "fixed+attack", "permuted+attack", "permuted+iid(0.5)",
-               "roundrobin+attack"});
-  std::vector<double> xs;
-  std::vector<double> fixed_series;
-  std::vector<double> permuted_series;
-  for (const int n : {32, 64, 128, 256, 512, 1024}) {
-    const DualCliqueNet dc = dual_clique(n, n / 4);
-    const int max_rounds = 300 * n;
-    const auto attack = [] {
-      return std::make_unique<DenseSparseOnline>(
-          DenseSparseConfig{kThreshold});
-    };
-
-    const Measurement fixed =
-        measure(kTrials, 70, max_rounds, [&](std::uint64_t seed) {
-          return run_global_once(dc.net,
-                                 decay_global_factory(persistent(ScheduleKind::fixed)),
-                                 attack(), /*source=*/1, seed, max_rounds);
-        });
-    const Measurement permuted =
-        measure(kTrials, 70, max_rounds, [&](std::uint64_t seed) {
-          return run_global_once(dc.net,
-                                 decay_global_factory(persistent(ScheduleKind::permuted)),
-                                 attack(), /*source=*/1, seed, max_rounds);
-        });
-    const Measurement benign =
-        measure(kTrials, 70, max_rounds, [&](std::uint64_t seed) {
-          return run_global_once(dc.net,
-                                 decay_global_factory(persistent(ScheduleKind::permuted)),
-                                 std::make_unique<RandomIidEdges>(0.5),
-                                 /*source=*/1, seed, max_rounds);
-        });
-    const Measurement robin =
-        measure(kTrials, 70, 4 * n, [&](std::uint64_t seed) {
-          return run_global_once(dc.net,
-                                 round_robin_factory(RoundRobinConfig{true}),
-                                 attack(), /*source=*/1, seed, 4 * n);
-        });
-
-    table.add_row({cell(n), cell(fixed.median, 0), cell(permuted.median, 0),
-                   cell(benign.median, 0), cell(robin.median, 0)});
-    xs.push_back(n);
-    fixed_series.push_back(fixed.median);
-    permuted_series.push_back(permuted.median);
-  }
-  table.print(std::cout);
-  report_fit("fixed decay under online attack", xs, fixed_series);
-  report_fit("permuted decay under online attack", xs, permuted_series);
-}
-
-}  // namespace
-}  // namespace dualcast::bench
-
-int main() {
-  using namespace dualcast;
-  using namespace dualcast::bench;
-  banner("Figure 1 / DG + online adaptive / global broadcast  [Theorem 3.1]",
-         "Omega(n / log n); dual clique + dense/sparse adversary");
-  sweep();
-  std::cout << "\nexpectation: both decay variants fit a ~linear shape "
-               "(permutation bits are useless once broadcast — the online "
-               "adversary reads them from history); round robin stays O(n).\n";
-  return 0;
+int main(int argc, char** argv) {
+  return dualcast::scenario::run_main(argc, argv, {"fig1/online-global"});
 }

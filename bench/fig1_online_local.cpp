@@ -1,70 +1,8 @@
-// Figure 1, second row, local column — NEW in this paper (Theorem 3.1):
-// dual graph + ONLINE ADAPTIVE local broadcast requires Ω(n / log n) rounds.
-//
-// Same dense/sparse adversary, local roles: B = side A of the dual clique,
-// so the clasp receiver t_B must hear across the bridge.
+// Figure 1, second row, local column — Theorem 3.1: Ω(n / log n).
+// Declarative scenario: see "fig1/online-local" in src/scenario/catalog.cpp.
 
-#include <iostream>
+#include "scenario/cli.hpp"
 
-#include "adversary/dense_sparse.hpp"
-#include "adversary/static_adversaries.hpp"
-#include "bench_support.hpp"
-#include "core/factories.hpp"
-#include "graph/generators.hpp"
-
-namespace dualcast::bench {
-namespace {
-
-constexpr int kTrials = 11;
-
-void sweep() {
-  Table table({"n", "decay+attack", "decay+iid(0.5)", "roundrobin+attack"});
-  std::vector<double> xs;
-  std::vector<double> attacked_series;
-  for (const int n : {32, 64, 128, 256, 512, 1024}) {
-    const DualCliqueNet dc = dual_clique(n, n / 4);
-    const int max_rounds = 300 * n;
-    const auto attack = [] {
-      return std::make_unique<DenseSparseOnline>(DenseSparseConfig{0.5});
-    };
-
-    const Measurement attacked =
-        measure(kTrials, 80, max_rounds, [&](std::uint64_t seed) {
-          return run_local_once(dc.net, decay_local_factory(DecayLocalConfig{}),
-                                attack(), dc.side_a, seed, max_rounds);
-        });
-    const Measurement benign =
-        measure(kTrials, 80, max_rounds, [&](std::uint64_t seed) {
-          return run_local_once(dc.net, decay_local_factory(DecayLocalConfig{}),
-                                std::make_unique<RandomIidEdges>(0.5),
-                                dc.side_a, seed, max_rounds);
-        });
-    const Measurement robin =
-        measure(kTrials, 80, 2 * n, [&](std::uint64_t seed) {
-          return run_local_once(dc.net,
-                                round_robin_factory(RoundRobinConfig{false}),
-                                attack(), dc.side_a, seed, 2 * n);
-        });
-
-    table.add_row({cell(n), cell(attacked.median, 0), cell(benign.median, 0),
-                   cell(robin.median, 0)});
-    xs.push_back(n);
-    attacked_series.push_back(attacked.median);
-  }
-  table.print(std::cout);
-  report_fit("local decay under online attack", xs, attacked_series);
-}
-
-}  // namespace
-}  // namespace dualcast::bench
-
-int main() {
-  using namespace dualcast;
-  using namespace dualcast::bench;
-  banner("Figure 1 / DG + online adaptive / local broadcast  [Theorem 3.1]",
-         "Omega(n / log n); dual clique, B = side A");
-  sweep();
-  std::cout << "\nexpectation: attacked decay ~linear; benign oblivious loss "
-               "stays polylog; round robin one pass.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return dualcast::scenario::run_main(argc, argv, {"fig1/online-local"});
 }

@@ -1,89 +1,9 @@
-// Figure 1, bottom row, global column: "No Dynamic Links" —
-// Θ(D log(n/D) + log² n) global broadcast in the protocol model [2, 10, 1, 15].
-//
-// Two sweeps isolate the two terms:
-//   * complete graphs (D = 1): rounds should track log² n;
-//   * lines at fixed-ish log n: rounds should track D.
+// Figure 1, bottom row, global column — protocol model,
+// Θ(D log(n/D) + log² n). Two scenarios isolate the two terms.
 
-#include <iostream>
+#include "scenario/cli.hpp"
 
-#include "adversary/static_adversaries.hpp"
-#include "bench_support.hpp"
-#include "core/factories.hpp"
-#include "graph/generators.hpp"
-
-namespace dualcast::bench {
-namespace {
-
-constexpr int kTrials = 9;
-
-void clique_sweep(ScheduleKind kind, const char* label) {
-  // The G layer of the dual clique (two cliques + one bridge, D <= 3) run as
-  // a protocol-model network: constant diameter, heavy contention — the
-  // log²n term in isolation. (A complete graph would be degenerate: the
-  // source reaches everyone in round 0.)
-  Table table({"n", "D", "median rounds", "p95", "failures"});
-  std::vector<double> xs;
-  std::vector<double> ys;
-  for (const int n : {32, 64, 128, 256, 512, 1024}) {
-    const DualCliqueNet dc = dual_clique(n, n / 4);
-    const DualGraph net = DualGraph::protocol(dc.net.g());
-    const int max_rounds = 20000;
-    const Measurement m =
-        measure(kTrials, 10, max_rounds, [&](std::uint64_t seed) {
-          return run_global_once(net,
-                                 decay_global_factory(DecayGlobalConfig::fast(kind)),
-                                 std::make_unique<NoExtraEdges>(), 1, seed,
-                                 max_rounds);
-        });
-    table.add_row({cell(n), cell(net.g().diameter()), cell(m.median, 0),
-                   cell(m.p95, 0), cell(m.failures)});
-    xs.push_back(n);
-    ys.push_back(m.median);
-  }
-  std::cout << "-- dual-clique G layer (D<=3), " << label << " decay --\n";
-  table.print(std::cout);
-  report_fit("rounds(n)", xs, ys);
-  std::cout << "\n";
-}
-
-void line_sweep(ScheduleKind kind, const char* label) {
-  Table table({"n (=D+1)", "median rounds", "p95", "rounds/D", "failures"});
-  std::vector<double> xs;
-  std::vector<double> ys;
-  for (const int n : {32, 64, 128, 256, 512}) {
-    const DualGraph net = DualGraph::protocol(line_graph(n));
-    const int max_rounds = 1200 * n;
-    const Measurement m =
-        measure(5, 20, max_rounds, [&](std::uint64_t seed) {
-          return run_global_once(net,
-                                 decay_global_factory(DecayGlobalConfig::fast(kind)),
-                                 std::make_unique<NoExtraEdges>(), 0, seed,
-                                 max_rounds);
-        });
-    table.add_row({cell(n), cell(m.median, 0), cell(m.p95, 0),
-                   cell(m.median / (n - 1), 1), cell(m.failures)});
-    xs.push_back(n);
-    ys.push_back(m.median);
-  }
-  std::cout << "-- lines (D=n-1), " << label << " decay --\n";
-  table.print(std::cout);
-  report_fit("rounds(D)", xs, ys);
-  std::cout << "\n";
-}
-
-}  // namespace
-}  // namespace dualcast::bench
-
-int main() {
-  using namespace dualcast;
-  using namespace dualcast::bench;
-  banner("Figure 1 / bottom row / global broadcast (protocol model)",
-         "Theta(D log(n/D) + log^2 n)   [2, 10, 1, 15]");
-  clique_sweep(ScheduleKind::fixed, "fixed");
-  clique_sweep(ScheduleKind::permuted, "permuted");
-  line_sweep(ScheduleKind::permuted, "permuted");
-  std::cout << "expectation: log^2-family fit on cliques; ~linear-in-D fit on "
-               "lines.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return dualcast::scenario::run_main(
+      argc, argv, {"fig1/static-global-clique", "fig1/static-global-line"});
 }

@@ -1,86 +1,9 @@
-// Figure 1, bottom row, local column: "No Dynamic Links" —
-// Θ(log n · log Δ) local broadcast in the protocol model [2, 8].
-//
-// Sweep 1 fixes Δ (bounded-degree geo grids) and grows n: rounds ~ log n.
-// Sweep 2 fixes n and grows Δ (denser grids): rounds ~ log Δ.
+// Figure 1, bottom row, local column — protocol model, Θ(log n · log Δ).
+// Two scenarios: fixed Δ growing n, and fixed n growing Δ.
 
-#include <iostream>
+#include "scenario/cli.hpp"
 
-#include "adversary/static_adversaries.hpp"
-#include "bench_support.hpp"
-#include "core/factories.hpp"
-#include "graph/generators.hpp"
-#include "util/rng.hpp"
-
-namespace dualcast::bench {
-namespace {
-
-constexpr int kTrials = 9;
-
-std::vector<int> every_kth(int n, int k) {
-  std::vector<int> out;
-  for (int v = 0; v < n; v += k) out.push_back(v);
-  return out;
-}
-
-void n_sweep() {
-  Table table({"n", "Delta", "median rounds", "p95", "failures"});
-  std::vector<double> xs;
-  std::vector<double> ys;
-  for (const int side : {5, 8, 12, 18, 27, 40}) {
-    Rng rng(static_cast<std::uint64_t>(side));
-    const GeoNet geo = jittered_grid_geo(side, side, 0.7, 0.05, 2.0, rng);
-    const int n = geo.net.n();
-    const int max_rounds = 20000;
-    const Measurement m =
-        measure(kTrials, 30, max_rounds, [&](std::uint64_t seed) {
-          return run_local_once(geo.net,
-                                decay_local_factory(DecayLocalConfig{}),
-                                std::make_unique<NoExtraEdges>(),
-                                every_kth(n, 3), seed, max_rounds);
-        });
-    table.add_row({cell(n), cell(geo.net.max_degree()), cell(m.median, 0),
-                   cell(m.p95, 0), cell(m.failures)});
-    xs.push_back(n);
-    ys.push_back(m.median);
-  }
-  std::cout << "-- fixed Delta (spacing 0.7 grid), growing n --\n";
-  table.print(std::cout);
-  report_fit("rounds(n) at fixed Delta", xs, ys);
-  std::cout << "\n";
-}
-
-void delta_sweep() {
-  Table table({"spacing", "n", "Delta", "median rounds", "p95", "failures"});
-  for (const double spacing : {0.9, 0.7, 0.5, 0.35, 0.25}) {
-    Rng rng(777);
-    const GeoNet geo = jittered_grid_geo(14, 14, spacing, 0.04, 2.0, rng);
-    const int n = geo.net.n();
-    const int max_rounds = 40000;
-    const Measurement m =
-        measure(kTrials, 40, max_rounds, [&](std::uint64_t seed) {
-          return run_local_once(geo.net,
-                                decay_local_factory(DecayLocalConfig{}),
-                                std::make_unique<NoExtraEdges>(),
-                                every_kth(n, 3), seed, max_rounds);
-        });
-    table.add_row({cell(spacing, 2), cell(n), cell(geo.net.max_degree()),
-                   cell(m.median, 0), cell(m.p95, 0), cell(m.failures)});
-  }
-  std::cout << "-- fixed n (14x14 grid), growing Delta via density --\n";
-  table.print(std::cout);
-  std::cout << "  expectation: rounds grow gently (log-like) with Delta.\n\n";
-}
-
-}  // namespace
-}  // namespace dualcast::bench
-
-int main() {
-  using namespace dualcast;
-  using namespace dualcast::bench;
-  banner("Figure 1 / bottom row / local broadcast (protocol model)",
-         "Theta(log n log Delta)   [2, 8]");
-  n_sweep();
-  delta_sweep();
-  return 0;
+int main(int argc, char** argv) {
+  return dualcast::scenario::run_main(
+      argc, argv, {"fig1/static-local-n", "fig1/static-local-delta"});
 }

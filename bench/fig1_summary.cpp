@@ -1,178 +1,26 @@
 // Figure 1, reproduced end-to-end: one representative measurement per cell
-// of the paper's results table, at n = 256 (bracelet: 2048 for a visible
-// √n window; geographic: 196-node grid).
-//
-// The point of this table is the *ordering*: reading down each column, the
-// adaptive rows cost ~two orders of magnitude more than the oblivious and
-// static rows — the paper's exact message (efficiency becomes possible once
-// the adversary is oblivious).
+// of the paper's results table, assembled from the registered summary
+// scenarios. The point of this table is the *ordering*: the adaptive rows
+// cost ~two orders of magnitude more than the oblivious and static rows —
+// the paper's exact message.
 
 #include <iostream>
 
-#include "adversary/bracelet_presim.hpp"
-#include "adversary/dense_sparse.hpp"
-#include "adversary/offline_collider.hpp"
-#include "adversary/static_adversaries.hpp"
-#include "bench_support.hpp"
-#include "core/factories.hpp"
-#include "graph/generators.hpp"
-#include "util/rng.hpp"
+#include "scenario/cli.hpp"
 
-namespace dualcast::bench {
-namespace {
-
-constexpr int kTrials = 9;
-constexpr int kN = 256;
-
-DecayGlobalConfig persistent(ScheduleKind kind) {
-  DecayGlobalConfig cfg = DecayGlobalConfig::fast(kind);
-  cfg.calls = DecayGlobalConfig::kUnbounded;
-  return cfg;
-}
-
-std::string global_cell(LinkProcessFactory adversary, ScheduleKind kind,
-                        std::uint64_t base) {
-  const DualCliqueNet dc = dual_clique(kN, kN / 4);
-  const int max_rounds = 600 * kN;
-  const Measurement m = measure(kTrials, base, max_rounds,
-                                [&](std::uint64_t seed) {
-                                  return run_global_once(
-                                      dc.net,
-                                      decay_global_factory(persistent(kind)),
-                                      adversary(), 1, seed, max_rounds);
-                                });
-  return str(m.median, " rounds");
-}
-
-std::string local_cell(LinkProcessFactory adversary, std::uint64_t base) {
-  const DualCliqueNet dc = dual_clique(kN, kN / 4);
-  const int max_rounds = 600 * kN;
-  const Measurement m = measure(kTrials, base, max_rounds,
-                                [&](std::uint64_t seed) {
-                                  return run_local_once(
-                                      dc.net,
-                                      decay_local_factory(DecayLocalConfig{}),
-                                      adversary(), dc.side_a, seed,
-                                      max_rounds);
-                                });
-  return str(m.median, " rounds");
-}
-
-std::string bracelet_cell() {
-  const BraceletNet br = bracelet(2048);
-  const int max_rounds = 200 * br.band_len;
-  std::vector<double> values;
-  for (int t = 0; t < kTrials; ++t) {
-    Execution exec(br.net, decay_local_factory(DecayLocalConfig{}),
-                   std::make_shared<LocalBroadcastProblem>(br.net, br.heads_a),
-                   std::make_unique<BraceletPresimOblivious>(
-                       br, BraceletPresimConfig{0.3, true}),
-                   {300 + static_cast<std::uint64_t>(t), max_rounds, {}});
-    while (!exec.done() &&
-           exec.first_receive_round()[static_cast<std::size_t>(br.clasp_b)] <
-               0) {
-      exec.step();
-    }
-    const int r =
-        exec.first_receive_round()[static_cast<std::size_t>(br.clasp_b)];
-    values.push_back(r >= 0 ? r + 1 : max_rounds);
+int main(int argc, char** argv) {
+  const int status = dualcast::scenario::run_main(
+      argc, argv,
+      {"fig1/summary-clique", "fig1/summary-bracelet", "fig1/summary-geo",
+       "fig1/summary-static-global", "fig1/summary-static-local"});
+  if (status == 0) {
+    std::cout
+        << "\nReading guide: the adaptive cells (attacked Decay) sit one to "
+           "two\norders of magnitude above the oblivious cells (permuted "
+           "decay /\ncoordinated geo local broadcast), which match the "
+           "static cells up\nto log factors — the paper's headline: "
+           "obliviousness is the\nthreshold at which efficient broadcast "
+           "becomes possible.\n";
   }
-  return str(quantile(values, 0.5), " rounds (clasp, n=", br.net.n(), ")");
-}
-
-std::string geo_cell() {
-  Rng rng(5);
-  const GeoNet geo = jittered_grid_geo(14, 14, 0.6, 0.05, 2.0, rng);
-  std::vector<int> b;
-  for (int v = 0; v < geo.net.n(); v += 3) b.push_back(v);
-  const int max_rounds = 1 << 21;
-  const Measurement m = measure(kTrials, 310, max_rounds,
-                                [&](std::uint64_t seed) {
-                                  return run_local_once(
-                                      geo.net,
-                                      geo_local_factory(GeoLocalConfig::fast()),
-                                      std::make_unique<RandomIidEdges>(0.5), b,
-                                      seed, max_rounds);
-                                });
-  return str(m.median, " rounds (geo, n=", geo.net.n(), ")");
-}
-
-std::string static_local_cell() {
-  Rng rng(6);
-  const GeoNet geo = jittered_grid_geo(14, 14, 0.6, 0.05, 2.0, rng);
-  std::vector<int> b;
-  for (int v = 0; v < geo.net.n(); v += 3) b.push_back(v);
-  const DualGraph protocol = DualGraph::protocol(geo.net.g());
-  const Measurement m = measure(kTrials, 320, 40000,
-                                [&](std::uint64_t seed) {
-                                  return run_local_once(
-                                      protocol,
-                                      decay_local_factory(DecayLocalConfig{}),
-                                      std::make_unique<NoExtraEdges>(), b,
-                                      seed, 40000);
-                                });
-  return str(m.median, " rounds (geo, n=", protocol.n(), ")");
-}
-
-std::string static_global_cell() {
-  // 16x16 grid: D = 30, so both the D log n and log^2 n terms are visible
-  // (a complete graph would degenerate to one round).
-  const DualGraph net = DualGraph::protocol(grid_graph(16, 16));
-  const Measurement m = measure(kTrials, 330, 200000,
-                                [&](std::uint64_t seed) {
-                                  return run_global_once(
-                                      net,
-                                      decay_global_factory(
-                                          DecayGlobalConfig::fast()),
-                                      std::make_unique<NoExtraEdges>(), 0,
-                                      seed, 200000);
-                                });
-  return str(m.median, " rounds (grid 16x16, D=30)");
-}
-
-}  // namespace
-}  // namespace dualcast::bench
-
-int main() {
-  using namespace dualcast;
-  using namespace dualcast::bench;
-  banner("FIGURE 1 — measured reproduction (dual clique n=256 unless noted)",
-         "rows: adversary model; columns: problem; paper bounds in brackets");
-
-  Table table({"model", "global broadcast", "local broadcast"});
-  table.add_row({"DG + offline adaptive  [Omega(n) / O(n log^2 n)]",
-                 global_cell([] { return std::make_unique<GreedyColliderOffline>(); },
-                             ScheduleKind::fixed, 340),
-                 local_cell([] { return std::make_unique<GreedyColliderOffline>(); },
-                            350)});
-  table.add_row(
-      {"DG + online adaptive   [Omega(n/log n)]",
-       global_cell(
-           [] {
-             return std::make_unique<DenseSparseOnline>(DenseSparseConfig{0.5});
-           },
-           ScheduleKind::permuted, 360),
-       local_cell(
-           [] {
-             return std::make_unique<DenseSparseOnline>(DenseSparseConfig{0.5});
-           },
-           370)});
-  table.add_row(
-      {"DG + oblivious         [O(D log n + log^2 n) | Omega(sqrt n/log n) "
-       "gen, O(log^2 n log D) geo]",
-       global_cell([] { return std::make_unique<RandomIidEdges>(0.5); },
-                   ScheduleKind::permuted, 380),
-       str(bracelet_cell(), "  /  ", geo_cell())});
-  table.add_row({"no dynamic links       [Theta(D log(n/D)+log^2 n) | "
-                 "Theta(log n log D)]",
-                 static_global_cell(), static_local_cell()});
-  table.print(std::cout);
-
-  std::cout
-      << "\nReading guide: the adaptive rows (attacked Decay) sit one to two\n"
-         "orders of magnitude above the oblivious row (permuted decay /\n"
-         "coordinated geo local broadcast), which matches the static row up\n"
-         "to log factors — the paper's headline: obliviousness is the\n"
-         "threshold at which efficient broadcast becomes possible.\n";
-  return 0;
+  return status;
 }

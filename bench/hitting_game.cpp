@@ -12,9 +12,9 @@
 
 #include "analysis/table.hpp"
 #include "bench_support.hpp"
-#include "core/factories.hpp"
 #include "game/hitting_game.hpp"
 #include "game/reduction_player.hpp"
+#include "scenario/registries.hpp"
 #include "util/mathutil.hpp"
 
 namespace dualcast::bench {
@@ -68,14 +68,9 @@ void reduction_table() {
         ReductionConfig cfg;
         cfg.beta = beta;
         cfg.seed = 500 + static_cast<std::uint64_t>(t);
-        ProcessFactory factory;
-        if (algo == 0) {
-          factory = round_robin_factory(RoundRobinConfig{true});
-        } else {
-          DecayGlobalConfig dcfg = DecayGlobalConfig::fast(ScheduleKind::fixed);
-          dcfg.calls = DecayGlobalConfig::kUnbounded;
-          factory = decay_global_factory(dcfg);
-        }
+        // Simulated algorithms come from the scenario AlgorithmRegistry.
+        ProcessFactory factory = scenario::algorithms().build(
+            algo == 0 ? "round_robin" : "decay_global(fixed,persistent)");
         BroadcastReductionPlayer player(cfg, std::move(factory));
         const ReductionOutcome outcome = player.play(game);
         wins += outcome.won ? 1 : 0;

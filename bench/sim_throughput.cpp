@@ -1,45 +1,42 @@
 // Simulator micro-throughput (google-benchmark): engine rounds/second across
-// network shapes and adversary classes. Not a paper experiment — this keeps
-// the harness honest about the cost of the attack sweeps.
+// network shapes and adversary classes, with every piece built from the
+// scenario registries. Not a paper experiment — this keeps the harness
+// honest about the cost of the attack sweeps.
 
 #include <benchmark/benchmark.h>
 
-#include "adversary/bracelet_presim.hpp"
-#include "adversary/dense_sparse.hpp"
-#include "adversary/offline_collider.hpp"
-#include "adversary/static_adversaries.hpp"
-#include "core/factories.hpp"
-#include "graph/generators.hpp"
+#include "scenario/registries.hpp"
 #include "sim/execution.hpp"
-#include "util/rng.hpp"
+#include "util/strfmt.hpp"
 
 namespace dualcast {
 namespace {
 
-DecayGlobalConfig persistent() {
-  DecayGlobalConfig cfg = DecayGlobalConfig::fast(ScheduleKind::fixed);
-  cfg.calls = DecayGlobalConfig::kUnbounded;
-  return cfg;
-}
+using scenario::Topology;
 
-std::unique_ptr<LinkProcess> adversary_by_id(int id) {
+const char* adversary_spec(int id) {
   switch (id) {
-    case 0: return std::make_unique<NoExtraEdges>();
-    case 1: return std::make_unique<RandomIidEdges>(0.3);
-    case 2: return std::make_unique<DenseSparseOnline>(DenseSparseConfig{0.5});
-    default: return std::make_unique<GreedyColliderOffline>();
+    case 0: return "none";
+    case 1: return "iid(0.3)";
+    case 2: return "dense_sparse(0.5)";
+    default: return "collider";
   }
 }
 
 void BM_DualCliqueRounds(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  const int adversary = static_cast<int>(state.range(1));
-  const DualCliqueNet dc = dual_clique(n, n / 4);
+  const Topology topo =
+      scenario::topologies().build(str("dual_clique(", n, ")"), 1);
+  const ProcessFactory factory =
+      scenario::algorithms().build("decay_global(fixed,persistent)");
+  const LinkProcessFactory adversary = scenario::adversaries().build(
+      adversary_spec(static_cast<int>(state.range(1))), topo);
+  const scenario::ProblemFactory problem =
+      scenario::problems().build("assignment(0)", topo);
   std::int64_t rounds = 0;
   for (auto _ : state) {
-    Execution exec(dc.net, decay_global_factory(persistent()),
-                   std::make_shared<AssignmentProblem>(n, 0, std::vector<int>{}),
-                   adversary_by_id(adversary), {7, 256, {}});
+    Execution exec(topo.net(), factory, problem(), adversary(),
+                   ExecutionConfig{}.with_seed(7).with_max_rounds(256));
     exec.run();
     rounds += exec.round();
     benchmark::DoNotOptimize(exec.history().rounds());
@@ -58,15 +55,17 @@ BENCHMARK(BM_DualCliqueRounds)
 
 void BM_GeoLocalRounds(benchmark::State& state) {
   const int side = static_cast<int>(state.range(0));
-  Rng rng(3);
-  const GeoNet geo = jittered_grid_geo(side, side, 0.5, 0.05, 2.0, rng);
-  std::vector<int> b;
-  for (int v = 0; v < geo.net.n(); v += 3) b.push_back(v);
+  const Topology topo = scenario::topologies().build(
+      str("jgrid(", side, ",", side, ",0.5,0.05,2.0)"), 3);
+  const ProcessFactory factory = scenario::algorithms().build("geo_local");
+  const LinkProcessFactory adversary =
+      scenario::adversaries().build("iid(0.3)", topo);
+  const scenario::ProblemFactory problem =
+      scenario::problems().build("local(every(3))", topo);
   std::int64_t rounds = 0;
   for (auto _ : state) {
-    Execution exec(geo.net, geo_local_factory(GeoLocalConfig::fast()),
-                   std::make_shared<LocalBroadcastProblem>(geo.net, b),
-                   std::make_unique<RandomIidEdges>(0.3), {11, 512, {}});
+    Execution exec(topo.net(), factory, problem(), adversary(),
+                   ExecutionConfig{}.with_seed(11).with_max_rounds(512));
     exec.run();
     rounds += exec.round();
   }
@@ -76,13 +75,16 @@ void BM_GeoLocalRounds(benchmark::State& state) {
 BENCHMARK(BM_GeoLocalRounds)->Arg(8)->Arg(16)->Arg(24);
 
 void BM_BraceletPresimSetup(benchmark::State& state) {
-  const BraceletNet br = bracelet(static_cast<int>(state.range(0)));
+  const Topology topo = scenario::topologies().build(
+      str("bracelet(", state.range(0), ")"), 1);
+  const ProcessFactory factory = scenario::algorithms().build("decay_local");
+  const LinkProcessFactory adversary =
+      scenario::adversaries().build("bracelet_presim(0.3)", topo);
+  const scenario::ProblemFactory problem =
+      scenario::problems().build("local(heads_a)", topo);
   for (auto _ : state) {
-    Execution exec(br.net, decay_local_factory(DecayLocalConfig{}),
-                   std::make_shared<LocalBroadcastProblem>(br.net, br.heads_a),
-                   std::make_unique<BraceletPresimOblivious>(
-                       br, BraceletPresimConfig{0.3, true}),
-                   {13, 1, {}});
+    Execution exec(topo.net(), factory, problem(), adversary(),
+                   ExecutionConfig{}.with_seed(13).with_max_rounds(1));
     exec.step();
     benchmark::DoNotOptimize(exec.round());
   }

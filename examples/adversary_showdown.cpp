@@ -1,111 +1,30 @@
 // Adversary showdown: the paper's Figure 1, live.
 //
 // One network (the §3 dual clique), one problem (global broadcast), three
-// algorithms and four adversaries — every combination, one table. This is
-// the fastest way to *see* the paper's message: the adversary's information
-// access, not the topology, decides whether broadcast is cheap.
+// algorithms and four adversaries — every combination, one registered
+// scenario ("example/showdown"). This is the fastest way to *see* the
+// paper's message: the adversary's information access, not the topology,
+// decides whether broadcast is cheap.
 
 #include <iostream>
 
-#include "adversary/dense_sparse.hpp"
-#include "adversary/offline_collider.hpp"
-#include "adversary/schedule_attack.hpp"
-#include "adversary/static_adversaries.hpp"
-#include "analysis/stats.hpp"
-#include "analysis/table.hpp"
-#include "core/factories.hpp"
-#include "graph/generators.hpp"
-#include "sim/execution.hpp"
-#include "util/mathutil.hpp"
+#include "scenario/cli.hpp"
 
-int main() {
-  using namespace dualcast;
-
-  constexpr int kN = 256;
-  const DualCliqueNet dc = dual_clique(kN, kN / 4);
-  std::cout << "network: dual clique, n = " << kN << ", bridge ("
-            << dc.bridge_a << "," << dc.bridge_b << "), G' complete\n\n";
-
-  const auto persistent = [](ScheduleKind kind) {
-    DecayGlobalConfig cfg = DecayGlobalConfig::fast(kind);
-    cfg.calls = DecayGlobalConfig::kUnbounded;
-    return cfg;
-  };
-
-  struct Algo {
-    const char* name;
-    ProcessFactory factory;
-  };
-  const std::vector<Algo> algorithms{
-      {"decay (fixed)",
-       decay_global_factory(persistent(ScheduleKind::fixed))},
-      {"decay (permuted)",
-       decay_global_factory(persistent(ScheduleKind::permuted))},
-      {"round robin", round_robin_factory(RoundRobinConfig{true})},
-  };
-
-  const auto make_anti_schedule = [] {
-    const int ladder = clog2(kN);
-    const int window_start = 4 * ladder;
-    ScheduleAttackConfig cfg;
-    cfg.predicted_transmitters = [ladder, window_start](int round) {
-      if (round == 0) return 1.0;
-      if (round < window_start) return 0.0;
-      return (kN / 2.0) * fixed_decay_probability(round, ladder);
-    };
-    cfg.threshold_factor = 0.5;
-    return std::make_unique<ScheduleAttackOblivious>(cfg);
-  };
-
-  struct Adversary {
-    const char* name;
-    std::function<std::unique_ptr<LinkProcess>()> make;
-  };
-  const std::vector<Adversary> adversaries{
-      {"iid(0.5) [oblivious]",
-       [] { return std::make_unique<RandomIidEdges>(0.5); }},
-      {"anti-schedule [oblivious]",
-       [&] { return make_anti_schedule(); }},
-      {"dense/sparse [online adaptive]",
-       [] {
-         return std::make_unique<DenseSparseOnline>(DenseSparseConfig{0.5});
-       }},
-      {"greedy collider [offline adaptive]",
-       [] { return std::make_unique<GreedyColliderOffline>(); }},
-  };
-
-  Table table({"algorithm \\ adversary", adversaries[0].name,
-               adversaries[1].name, adversaries[2].name, adversaries[3].name});
-  for (const Algo& algo : algorithms) {
-    std::vector<std::string> row{algo.name};
-    for (const Adversary& adversary : adversaries) {
-      // Median of 5 seeds.
-      std::vector<double> rounds;
-      const int max_rounds = 600 * kN;
-      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-        Execution exec(dc.net, algo.factory,
-                       std::make_shared<GlobalBroadcastProblem>(dc.net, 1),
-                       adversary.make(),
-                       ExecutionConfig{seed, max_rounds, {}});
-        const RunResult result = exec.run();
-        rounds.push_back(result.solved ? result.rounds : max_rounds);
-      }
-      row.push_back(cell(quantile(rounds, 0.5), 0));
-    }
-    table.add_row(row);
+int main(int argc, char** argv) {
+  const int status =
+      dualcast::scenario::run_main(argc, argv, {"example/showdown"});
+  if (status == 0) {
+    std::cout
+        << "\nHow to read this (Figure 1 in miniature):\n"
+           "  * iid columns: benign oblivious noise — everything is fast.\n"
+           "  * anti-sched: the §4.1 oblivious attack kills the *fixed*\n"
+           "    public schedule but not the permuted one (its bits postdate\n"
+           "    the adversary's commitment) — the paper's core mechanism.\n"
+           "  * dense/sparse + collider: adaptive adversaries defeat both\n"
+           "    decay variants (Theorem 3.1's Omega(n/log n) regime; the\n"
+           "    online attacker reads the permutation bits from history).\n"
+           "  * round robin never contends, so no adversary class can slow\n"
+           "    it beyond its deterministic O(n) schedule.\n";
   }
-  table.print(std::cout);
-
-  std::cout
-      << "\nHow to read this (Figure 1 in miniature):\n"
-         "  * column 1: benign oblivious noise — everything is fast.\n"
-         "  * column 2: the §4.1 oblivious attack kills the *fixed* public\n"
-         "    schedule but not the permuted one (its bits postdate the\n"
-         "    adversary's commitment) — the paper's core mechanism.\n"
-         "  * columns 3-4: adaptive adversaries defeat both decay variants\n"
-         "    (Theorem 3.1's Omega(n/log n) regime; the online attacker\n"
-         "    reads the permutation bits from the broadcast history).\n"
-         "  * round robin never contends, so no adversary class can slow\n"
-         "    it beyond its deterministic O(n) schedule.\n";
-  return 0;
+  return status;
 }

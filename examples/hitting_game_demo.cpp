@@ -7,9 +7,9 @@
 
 #include <iostream>
 
-#include "core/factories.hpp"
 #include "game/hitting_game.hpp"
 #include "game/reduction_player.hpp"
+#include "scenario/registries.hpp"
 #include "util/mathutil.hpp"
 #include "util/strfmt.hpp"
 
@@ -54,14 +54,9 @@ int main() {
     cfg.beta = kBeta;
     cfg.problem = ReductionProblem::global_broadcast;
     cfg.seed = 99;
-    ProcessFactory factory;
-    if (use_decay) {
-      DecayGlobalConfig dcfg = DecayGlobalConfig::fast(ScheduleKind::fixed);
-      dcfg.calls = DecayGlobalConfig::kUnbounded;
-      factory = decay_global_factory(dcfg);
-    } else {
-      factory = round_robin_factory(RoundRobinConfig{true});
-    }
+    // The simulated broadcast algorithm, by registry name.
+    ProcessFactory factory = scenario::algorithms().build(
+        use_decay ? "decay_global(fixed,persistent)" : "round_robin");
     BroadcastReductionPlayer player(cfg, std::move(factory));
     const ReductionOutcome outcome = player.play(game);
     std::cout << (use_decay ? "persistent decay" : "round robin      ")

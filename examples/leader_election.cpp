@@ -22,10 +22,9 @@
 #include <memory>
 #include <set>
 
-#include "adversary/static_adversaries.hpp"
 #include "analysis/table.hpp"
 #include "core/decay_schedule.hpp"
-#include "graph/generators.hpp"
+#include "scenario/registries.hpp"
 #include "sim/execution.hpp"
 #include "util/mathutil.hpp"
 
@@ -90,38 +89,40 @@ class MinIdElection final : public InspectableProcess {
 
 int main() {
   using namespace dualcast;
+  namespace sc = dualcast::scenario;
 
-  Rng rng(777);
-  const GeoNet geo = jittered_grid_geo(10, 10, 0.6, 0.05, 2.0, rng);
-  std::cout << "electing a leader among " << geo.net.n()
+  // Registering the custom algorithm is the whole integration surface:
+  // after these few lines "min_id_election" works anywhere a built-in
+  // algorithm name does — in ScenarioSpec columns, in the dualcast_bench
+  // CLI, and below.
+  sc::algorithms().add(
+      "min_id_election", "minimum-id election by permuted-decay flooding",
+      [](const sc::SpecArgs&) {
+        return ProcessFactory(
+            [](const ProcessEnv&) { return std::make_unique<MinIdElection>(); });
+      });
+
+  const sc::Topology geo =
+      sc::topologies().build("jgrid(10,10,0.6,0.05,2.0)", /*seed=*/777);
+  std::cout << "electing a leader among " << geo.n()
             << " radios (geographic network, diameter "
-            << geo.net.g().diameter() << ")\n\n";
+            << geo.net().g().diameter() << ")\n\n";
 
-  struct Weather {
-    const char* name;
-    std::function<std::unique_ptr<LinkProcess>()> make;
-  };
-  const std::vector<Weather> conditions{
-      {"grey links off", [] { return std::make_unique<NoExtraEdges>(); }},
-      {"iid(0.5)", [] { return std::make_unique<RandomIidEdges>(0.5); }},
-      {"flicker(1,7)", [] { return std::make_unique<FlickerEdges>(1, 7); }},
-  };
+  const std::vector<const char*> conditions{"none", "iid(0.5)",
+                                            "flicker(1,7)"};
 
   Table table({"link weather", "agreed", "convergence round",
                "distinct beliefs at end"});
-  for (const Weather& weather : conditions) {
-    ProcessFactory factory = [](const ProcessEnv&) {
-      return std::make_unique<MinIdElection>();
-    };
-    Execution exec(
-        geo.net, factory,
-        std::make_shared<AssignmentProblem>(geo.net.n(), -1, std::vector<int>{}),
-        weather.make(), ExecutionConfig{/*seed=*/5, /*max_rounds=*/4000, {}});
+  for (const char* weather : conditions) {
+    Execution exec(geo.net(), sc::algorithms().build("min_id_election"),
+                   sc::problems().build("assignment", geo)(),
+                   sc::adversaries().build(weather, geo)(),
+                   ExecutionConfig{}.with_seed(5).with_max_rounds(4000));
 
     int last_change_round = 0;
     while (!exec.done()) {
       exec.step();
-      for (int v = 0; v < geo.net.n(); ++v) {
+      for (int v = 0; v < geo.n(); ++v) {
         auto* proc = dynamic_cast<MinIdElection*>(
             const_cast<Process*>(&exec.process(v)));
         if (proc->take_change_flag()) last_change_round = exec.round();
@@ -130,14 +131,13 @@ int main() {
 
     std::set<std::uint64_t> beliefs;
     std::uint64_t min_identity = ~std::uint64_t{0};
-    for (int v = 0; v < geo.net.n(); ++v) {
+    for (int v = 0; v < geo.n(); ++v) {
       const auto* proc = dynamic_cast<const MinIdElection*>(&exec.process(v));
       beliefs.insert(proc->belief());
       min_identity = std::min(min_identity, proc->identity());
     }
     const bool agreed = beliefs.size() == 1 && *beliefs.begin() == min_identity;
-    table.add_row({weather.name, agreed ? "yes" : "NO",
-                   cell(last_change_round),
+    table.add_row({weather, agreed ? "yes" : "NO", cell(last_change_round),
                    cell(static_cast<int>(beliefs.size()))});
   }
   table.print(std::cout);

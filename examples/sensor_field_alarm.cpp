@@ -2,87 +2,48 @@
 // motivates: omnidirectional radios in the plane, links that flicker with
 // the environment, and a local broadcast primitive that must keep working.
 //
-// A random geometric sensor field is deployed; a subset of sensors detect an
-// event (the broadcast set B) and must alert every neighbor (the set R).
-// We run the §4.3 geographic local broadcast — seed-dissemination
-// initialization followed by coordinated permuted decay — under increasingly
-// hostile (but oblivious) link weather, and report per-phase diagnostics.
+// The weather table is the registered "example/sensor-field" scenario; this
+// driver additionally rebuilds the same topology by name to print the §4.3
+// region-decomposition constants and the algorithm's stage schedule.
 
-#include <algorithm>
 #include <iostream>
 
-#include "adversary/static_adversaries.hpp"
-#include "analysis/table.hpp"
-#include "core/factories.hpp"
-#include "graph/generators.hpp"
+#include "core/geo_local.hpp"
 #include "graph/regions.hpp"
-#include "util/strfmt.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/execution.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dualcast;
+  namespace sc = dualcast::scenario;
 
-  // Deploy ~180 sensors uniformly in a 9x9 field; resample until the
-  // reliable layer is connected (a standard deployment assumption).
-  Rng rng(2026);
-  const GeoNet field = random_geometric(
-      {.n = 180, .side = 9.0, .r = 2.0, .max_attempts = 64}, rng);
-  std::cout << "sensor field: n = " << field.net.n()
-            << ", Delta = " << field.net.max_degree()
-            << ", grey-zone links = " << field.net.gp_only_edges().size()
+  // Deploy ~180 sensors uniformly in a 9x9 field (resampled until the
+  // reliable layer is connected) — the same build the scenario performs.
+  const sc::Topology field =
+      sc::topologies().build("random_geo(180,9,2)", /*seed=*/2026);
+  std::cout << "sensor field: n = " << field.n()
+            << ", Delta = " << field.net().max_degree()
+            << ", grey-zone links = " << field.net().gp_only_edges().size()
             << "\n";
 
   // The §4.3 analysis partitions the field into regions; show the constants.
-  const RegionDecomposition regions(field);
+  const RegionDecomposition regions(*field.geo);
   std::cout << "region decomposition: " << regions.region_count()
             << " regions, max neighboring regions = "
             << regions.max_neighboring_regions() << " (bound "
-            << RegionDecomposition::gamma_bound(field.r) << ")\n\n";
+            << RegionDecomposition::gamma_bound(field.geo->r) << ")\n";
 
-  // Every 4th sensor detects the event.
-  std::vector<int> detectors;
-  for (int v = 0; v < field.net.n(); v += 4) detectors.push_back(v);
+  // Probe one process for the stage layout (identical across nodes).
+  Execution probe(field.net(), sc::algorithms().build("geo_local"),
+                  sc::problems().build("local(every(4))", field)(),
+                  sc::adversaries().build("none", field)(),
+                  ExecutionConfig{}.with_seed(1).with_max_rounds(10));
+  const auto* proc = dynamic_cast<const GeoLocalBroadcast*>(&probe.process(0));
+  std::cout << "schedule: " << proc->phases() << " election phases x "
+            << proc->phase_length() << " rounds, then " << proc->iterations()
+            << " decay iterations x " << proc->iteration_length()
+            << " rounds\n";
 
-  struct Weather {
-    const char* name;
-    std::function<std::unique_ptr<LinkProcess>()> make;
-  };
-  const std::vector<Weather> conditions{
-      {"calm (grey links off)",
-       [] { return std::make_unique<NoExtraEdges>(); }},
-      {"clear (grey links on)",
-       [] { return std::make_unique<AllExtraEdges>(); }},
-      {"gusty (iid half-on)",
-       [] { return std::make_unique<RandomIidEdges>(0.5); }},
-      {"stormy (2-on/5-off flicker)",
-       [] { return std::make_unique<FlickerEdges>(2, 5); }},
-  };
-
-  Table table({"link weather", "solved", "rounds", "alerted/|R|",
-               "transmissions"});
-  for (const Weather& weather : conditions) {
-    auto problem = std::make_shared<LocalBroadcastProblem>(field.net, detectors);
-    Execution exec(field.net, geo_local_factory(GeoLocalConfig::fast()),
-                   problem, weather.make(),
-                   ExecutionConfig{/*seed=*/11, /*max_rounds=*/1 << 21, {}});
-    const auto* proc = dynamic_cast<const GeoLocalBroadcast*>(&exec.process(0));
-    const RunResult result = exec.run();
-    table.add_row({weather.name, result.solved ? "yes" : "NO",
-                   cell(result.rounds),
-                   str(problem->satisfied_count(), "/",
-                       problem->receivers().size()),
-                   cell(exec.history().total_transmissions())});
-    if (weather.name == conditions.front().name) {
-      std::cout << "schedule: " << proc->phases()
-                << " election phases x " << proc->phase_length()
-                << " rounds, then " << proc->iterations()
-                << " decay iterations x " << proc->iteration_length()
-                << " rounds\n\n";
-    }
-  }
-  table.print(std::cout);
-  std::cout << "\nEvery weather pattern above is an oblivious adversary — "
-               "precisely the model §4.3 is designed for: the alarm reaches "
-               "all neighbors in O(log^2 n log Delta) rounds regardless.\n";
-  return 0;
+  return sc::run_main(argc, argv, {"example/sensor-field"});
 }

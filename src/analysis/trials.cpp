@@ -1,16 +1,63 @@
 #include "analysis/trials.hpp"
 
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
 #include "util/assert.hpp"
 
 namespace dualcast {
 
-TrialSet run_trials(int count, std::uint64_t base_seed, const TrialFn& fn) {
+std::vector<double> run_raw_trials(int count, std::uint64_t base_seed,
+                                   const TrialFn& fn, int threads) {
   DC_EXPECTS(count >= 1);
   DC_EXPECTS(fn != nullptr);
+  std::vector<double> out(static_cast<std::size_t>(count));
+  const auto run_one = [&](int i) {
+    out[static_cast<std::size_t>(i)] =
+        fn(base_seed + static_cast<std::uint64_t>(i));
+  };
+  if (threads <= 1 || count == 1) {
+    for (int i = 0; i < count; ++i) run_one(i);
+    return out;
+  }
+  // A trial that throws must propagate to the caller exactly as in the
+  // sequential path, not escape a thread entry point (std::terminate): the
+  // first exception is captured, the remaining trials drain, and it is
+  // rethrown after the join.
+  std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  const auto worker = [&] {
+    for (int i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+      if (failed.load()) return;
+      try {
+        run_one(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true);
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  const int workers = threads < count ? threads : count;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+  return out;
+}
+
+TrialSet run_trials(int count, std::uint64_t base_seed, const TrialFn& fn,
+                    int threads) {
+  const std::vector<double> raw = run_raw_trials(count, base_seed, fn, threads);
   TrialSet out;
-  out.values.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    const double value = fn(base_seed + static_cast<std::uint64_t>(i));
+  out.values.reserve(raw.size());
+  for (const double value : raw) {
     if (value < 0.0) {
       ++out.failures;
     } else {
@@ -18,6 +65,22 @@ TrialSet run_trials(int count, std::uint64_t base_seed, const TrialFn& fn) {
     }
   }
   if (!out.values.empty()) out.summary = summarize(out.values);
+  return out;
+}
+
+CensoredTrials run_censored_trials(int count, std::uint64_t base_seed,
+                                   double cap, const TrialFn& fn,
+                                   int threads) {
+  CensoredTrials out;
+  out.values = run_raw_trials(count, base_seed, fn, threads);
+  for (double& value : out.values) {
+    if (value < 0.0) {
+      ++out.failures;
+      value = cap;
+    }
+  }
+  out.median = quantile(out.values, 0.5);
+  out.p95 = quantile(out.values, 0.95);
   return out;
 }
 

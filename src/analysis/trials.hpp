@@ -1,7 +1,11 @@
 #pragma once
 
 // Repeated-trial experiment runner: run a measurement function under
-// independent seeds and summarize. Benches use this for every table cell.
+// independent seeds and summarize. This is the single trial loop shared by
+// the scenario runner, the benches, and the test suite; it supports
+// censoring (failed trials clamped to a cap) and optional parallelism over
+// trials. Because each trial is keyed by its seed — never by scheduling
+// order — a parallel run produces bit-identical results to a sequential one.
 
 #include <cstdint>
 #include <functional>
@@ -14,6 +18,13 @@ namespace dualcast {
 /// One trial: given a seed, produce a measurement (e.g. rounds to solve).
 /// A negative return marks the trial as failed/censored.
 using TrialFn = std::function<double(std::uint64_t seed)>;
+
+/// Runs `count` trials with seeds base_seed, base_seed+1, ... and returns
+/// the raw fn values in seed order. `threads > 1` distributes trials over a
+/// pool; `fn` must then be safe to call concurrently (every Execution built
+/// from a distinct seed is).
+std::vector<double> run_raw_trials(int count, std::uint64_t base_seed,
+                                   const TrialFn& fn, int threads = 1);
 
 struct TrialSet {
   std::vector<double> values;  ///< successful measurements
@@ -28,7 +39,25 @@ struct TrialSet {
   }
 };
 
-/// Runs `count` trials with seeds base_seed, base_seed+1, ...
-TrialSet run_trials(int count, std::uint64_t base_seed, const TrialFn& fn);
+/// Runs `count` trials with seeds base_seed, base_seed+1, ...; failed trials
+/// are dropped from `values`.
+TrialSet run_trials(int count, std::uint64_t base_seed, const TrialFn& fn,
+                    int threads = 1);
+
+/// Censoring-aware variant: failed trials are kept, recorded at `cap`
+/// (typically max_rounds), so medians stay meaningful when a few runs time
+/// out. `values` is in seed order and includes every trial.
+struct CensoredTrials {
+  std::vector<double> values;
+  int failures = 0;
+  double median = 0.0;
+  double p95 = 0.0;
+
+  int trials() const { return static_cast<int>(values.size()); }
+};
+
+CensoredTrials run_censored_trials(int count, std::uint64_t base_seed,
+                                   double cap, const TrialFn& fn,
+                                   int threads = 1);
 
 }  // namespace dualcast

@@ -1,0 +1,156 @@
+#include "scenario/cli.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <set>
+
+#include "scenario/scenario.hpp"
+#include "util/strfmt.hpp"
+
+namespace dualcast::scenario {
+namespace {
+
+void print_usage(std::ostream& os, const char* binary) {
+  os << "usage: " << binary
+     << " [scenario-name-or-prefix ...] [options]\n"
+        "\n"
+        "options:\n"
+        "  --list        list registered scenarios and exit\n"
+        "  --all         run every registered scenario\n"
+        "  --smoke       tiny-scale run of the selection (default: all):\n"
+        "                one small sweep point, 1 trial, capped rounds\n"
+        "  --json FILE   also write machine-readable result rows to FILE\n"
+        "  --threads N   thread-pool width over trials (default 1;\n"
+        "                results are identical for every N)\n"
+        "  --trials N    override each scenario's trial count\n";
+}
+
+void print_list(std::ostream& os) {
+  os << "registered scenarios:\n";
+  for (const ScenarioSpec* spec : scenarios().all()) {
+    os << "  " << spec->name << "\n      " << spec->title << "\n";
+  }
+}
+
+int parse_int_flag(const std::string& flag, const char* value) {
+  if (value == nullptr) {
+    throw ScenarioError(str(flag, " requires a value"));
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || parsed < 1 ||
+      parsed > std::numeric_limits<int>::max()) {
+    throw ScenarioError(str(flag, ": bad value \"", value, "\""));
+  }
+  return static_cast<int>(parsed);
+}
+
+}  // namespace
+
+int run_main(int argc, char** argv,
+             const std::vector<std::string>& default_names) {
+  std::vector<std::string> names;
+  std::string json_path;
+  RunOptions options;
+  options.out = &std::cout;
+  bool list_only = false;
+  bool run_all = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--list") {
+        list_only = true;
+      } else if (arg == "--all") {
+        run_all = true;
+      } else if (arg == "--smoke") {
+        options.smoke = true;
+      } else if (arg == "--json") {
+        if (++i >= argc) throw ScenarioError("--json requires a file path");
+        json_path = argv[i];
+      } else if (arg == "--threads") {
+        options.threads =
+            parse_int_flag("--threads", ++i < argc ? argv[i] : nullptr);
+      } else if (arg == "--trials") {
+        options.trials_override =
+            parse_int_flag("--trials", ++i < argc ? argv[i] : nullptr);
+      } else if (arg == "--help" || arg == "-h") {
+        print_usage(std::cout, argv[0]);
+        return 0;
+      } else if (!arg.empty() && arg[0] == '-') {
+        throw ScenarioError(str("unknown option \"", arg, "\""));
+      } else {
+        names.push_back(arg);
+      }
+    }
+
+    if (list_only) {
+      print_list(std::cout);
+      return 0;
+    }
+
+    // Resolve the selection: explicit names (by prefix), --all/--smoke
+    // (everything), or the binary's defaults.
+    std::vector<const ScenarioSpec*> selection;
+    std::set<std::string> seen;
+    const auto select = [&](const ScenarioSpec* spec) {
+      if (seen.insert(spec->name).second) selection.push_back(spec);
+    };
+    if (!names.empty()) {
+      for (const std::string& name : names) {
+        const auto matched = scenarios().match(name);
+        if (matched.empty()) {
+          // get() throws with the list of known names.
+          scenarios().get(name);
+        }
+        for (const ScenarioSpec* spec : matched) select(spec);
+      }
+    } else if (run_all || (options.smoke && default_names.empty())) {
+      for (const ScenarioSpec* spec : scenarios().all()) select(spec);
+    } else {
+      for (const std::string& name : default_names) {
+        select(&scenarios().get(name));
+      }
+    }
+    if (selection.empty()) {
+      print_usage(std::cerr, argv[0]);
+      std::cerr << "\n";
+      print_list(std::cerr);
+      return 1;
+    }
+
+    std::vector<std::string> json_rows;
+    for (const ScenarioSpec* spec : selection) {
+      const ScenarioResult result = run_scenario(*spec, options);
+      if (!json_path.empty()) append_json_rows(result, json_rows);
+    }
+
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "error: cannot write " << json_path << "\n";
+        return 1;
+      }
+      out << "[";
+      for (std::size_t i = 0; i < json_rows.size(); ++i) {
+        out << (i > 0 ? ",\n " : "\n ") << json_rows[i];
+      }
+      out << "\n]\n";
+      std::cout << "\nwrote " << json_rows.size() << " result rows to "
+                << json_path << "\n";
+    }
+  } catch (const std::exception& error) {
+    // ScenarioError for spec/flag problems, but also engine contract
+    // violations and allocation failures: every failure gets a diagnostic
+    // instead of a raw terminate.
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace dualcast::scenario

@@ -1,0 +1,22 @@
+#pragma once
+
+// Shared command-line driver for every bench binary.
+//
+//   <bench> [names...] [--list] [--all] [--smoke] [--json FILE]
+//           [--threads N] [--trials N]
+//
+// Positional names select scenarios by exact name or prefix
+// ("fig1/oblivious-global" runs both the clique and line sweeps). With no
+// names, `default_names` runs — the thin per-bench mains pass their
+// scenarios there; the generic `dualcast_bench` driver passes none and
+// requires an explicit selection (or --all / --smoke / --list).
+
+#include <string>
+#include <vector>
+
+namespace dualcast::scenario {
+
+int run_main(int argc, char** argv,
+             const std::vector<std::string>& default_names);
+
+}  // namespace dualcast::scenario

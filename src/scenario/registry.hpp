@@ -1,0 +1,79 @@
+#pragma once
+
+// The string-keyed registry template behind the scenario subsystem.
+//
+// A Registry<Product, Context...> maps a name to a builder that turns a
+// parsed argument list (plus optional context, e.g. the topology an
+// adversary will attack) into a Product. Lookup is by call-style spec
+// string: registry.build("iid(0.5)") parses the call, finds the entry
+// registered under "iid", and invokes its builder with the arguments.
+//
+// The concrete registries (algorithms, adversaries, topologies, problems,
+// scenarios) are lazy singletons seeded with the library's built-ins on
+// first access — see registries.hpp. Downstream code extends them at
+// runtime:
+//
+//   algorithms().add("my_algo", "my custom broadcast",
+//                    [](const SpecArgs& args) { return my_factory(); });
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "util/strfmt.hpp"
+
+namespace dualcast::scenario {
+
+template <typename Product, typename... Context>
+class Registry {
+ public:
+  using Builder = std::function<Product(const SpecArgs& args, Context...)>;
+
+  struct Entry {
+    std::string name;
+    std::string help;
+    Builder build;
+  };
+
+  /// Registers a builder. Throws ScenarioError on duplicate names.
+  void add(const std::string& name, const std::string& help, Builder builder) {
+    if (entries_.count(name) > 0) {
+      throw ScenarioError(str("registry: duplicate name \"", name, "\""));
+    }
+    entries_[name] = Entry{name, help, std::move(builder)};
+  }
+
+  bool contains(const std::string& name) const {
+    return entries_.count(name) > 0;
+  }
+
+  /// Parses `spec` ("name(arg,...)"), looks the name up, and invokes the
+  /// builder. Throws ScenarioError for unknown names or bad arguments.
+  Product build(const std::string& spec, Context... context) const {
+    const SpecCall call = parse_call(spec);
+    const auto it = entries_.find(call.name);
+    if (it == entries_.end()) {
+      throw ScenarioError(
+          str("unknown name \"", call.name, "\" in spec \"", spec,
+              "\"; known: ",
+              join_names(entries_, [](const auto& kv) { return kv.first; })));
+    }
+    return it->second.build(SpecArgs(call), context...);
+  }
+
+  /// All entries, sorted by name (std::map order).
+  std::vector<const Entry*> entries() const {
+    std::vector<const Entry*> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) out.push_back(&entry);
+    return out;
+  }
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace dualcast::scenario

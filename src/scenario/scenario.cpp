@@ -1,0 +1,291 @@
+#include "scenario/scenario.hpp"
+
+#include <cmath>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/fit.hpp"
+#include "analysis/table.hpp"
+#include "analysis/trials.hpp"
+#include "sim/execution.hpp"
+#include "util/strfmt.hpp"
+
+namespace dualcast::scenario {
+namespace {
+
+/// The per-trial measurement, resolved from ScenarioSpec::metric.
+struct Metric {
+  bool first_receive = false;
+  std::string mark;  ///< mark name when first_receive
+};
+
+Metric parse_metric(const std::string& metric_spec) {
+  const SpecCall call = parse_call(metric_spec);
+  const SpecArgs args(call);
+  Metric metric;
+  if (call.name == "rounds") {
+    args.expect_count(0, 0);
+    return metric;
+  }
+  if (call.name == "first_receive") {
+    args.expect_count(1, 1);
+    metric.first_receive = true;
+    metric.mark = args.str_at(0);
+    return metric;
+  }
+  throw ScenarioError(str("metric \"", metric_spec,
+                          "\": expected \"rounds\" or "
+                          "\"first_receive(<mark>)\""));
+}
+
+double run_one_trial(const Topology& topo, const ProcessFactory& factory,
+                     const LinkProcessFactory& adversary,
+                     const ProblemFactory& problem, const Metric& metric,
+                     int watch_node, std::uint64_t seed, int max_rounds) {
+  Execution exec(topo.net(), factory, problem(), adversary(),
+                 ExecutionConfig{}.with_seed(seed).with_max_rounds(max_rounds));
+  if (!metric.first_receive) {
+    const RunResult result = exec.run();
+    return result.solved ? static_cast<double>(result.rounds) : -1.0;
+  }
+  const auto received = [&] {
+    return exec.first_receive_round()[static_cast<std::size_t>(watch_node)] >=
+           0;
+  };
+  while (!exec.done() && !received()) exec.step();
+  return received()
+             ? static_cast<double>(
+                   exec.first_receive_round()[static_cast<std::size_t>(
+                       watch_node)] +
+                   1)
+             : -1.0;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (std::floor(v) == v && std::fabs(v) < 1e15) {
+    return str(static_cast<std::int64_t>(v));
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& original,
+                            const RunOptions& options) {
+  ScenarioSpec spec = original;
+  if (spec.sweep.empty()) {
+    throw ScenarioError(
+        str("scenario \"", spec.name, "\": sweep must be non-empty"));
+  }
+  if (spec.columns.empty()) {
+    throw ScenarioError(
+        str("scenario \"", spec.name, "\": columns must be non-empty"));
+  }
+  if (options.trials_override > 0) spec.trials = options.trials_override;
+  if (options.smoke) {
+    spec.sweep = {spec.smoke_x != 0.0 ? spec.smoke_x : spec.sweep.front()};
+    spec.trials = 1;
+    spec.fit.clear();
+  }
+
+  const Metric metric = parse_metric(spec.metric);
+
+  ScenarioResult result;
+  result.spec = spec;
+  for (std::size_t i = 0; i < spec.sweep.size(); ++i) {
+    const double x = spec.sweep[i];
+    const Topology topo = topologies().build(
+        substitute_x(spec.topology, x),
+        spec.topology_seed + static_cast<std::uint64_t>(i));
+
+    std::map<std::string, double> vars;
+    vars["x"] = x;
+    vars["n"] = topo.n();
+    for (const auto& [name, value] : topo.marks) {
+      vars[name] = static_cast<double>(value);
+    }
+    int max_rounds = resolve_rounds(spec.max_rounds, vars);
+    if (options.smoke && max_rounds > options.smoke_max_rounds) {
+      max_rounds = options.smoke_max_rounds;
+    }
+    const int watch_node =
+        metric.first_receive ? topo.mark(metric.mark) : -1;
+
+    PointResult point;
+    point.x = x;
+    point.n = topo.n();
+    point.max_rounds = max_rounds;
+    point.marks = topo.marks;
+    for (const ScenarioColumn& column : spec.columns) {
+      const ProcessFactory factory =
+          algorithms().build(substitute_x(column.algorithm, x));
+      const LinkProcessFactory adversary =
+          adversaries().build(substitute_x(column.adversary, x), topo);
+      const ProblemFactory problem = problems().build(
+          substitute_x(column.problem.empty() ? spec.problem : column.problem,
+                       x),
+          topo);
+
+      const CensoredTrials trials = run_censored_trials(
+          spec.trials, spec.base_seed, static_cast<double>(max_rounds),
+          [&](std::uint64_t seed) {
+            return run_one_trial(topo, factory, adversary, problem, metric,
+                                 watch_node, seed, max_rounds);
+          },
+          options.threads);
+
+      CellResult cell;
+      cell.label = column.label;
+      cell.median = trials.median;
+      cell.p95 = trials.p95;
+      cell.failures = trials.failures;
+      cell.trials = trials.trials();
+      cell.values = trials.values;
+      point.cells.push_back(std::move(cell));
+    }
+    result.points.push_back(std::move(point));
+  }
+
+  if (options.out != nullptr) print_result(result, *options.out);
+  return result;
+}
+
+void print_result(const ScenarioResult& result, std::ostream& os) {
+  const ScenarioSpec& spec = result.spec;
+  os << "\n=== " << (spec.title.empty() ? spec.name : spec.title) << " ===\n";
+  if (!spec.paper_claim.empty()) {
+    os << "paper claim: " << spec.paper_claim << "\n";
+  }
+  os << "scenario: " << spec.name << "  (trials " << spec.trials
+     << ", metric " << spec.metric << ")\n\n";
+
+  const bool axis_is_n = spec.axis == "n";
+  std::vector<std::string> headers{spec.axis};
+  if (!axis_is_n) headers.push_back("n");
+  for (const ScenarioColumn& column : spec.columns) {
+    headers.push_back(column.label);
+  }
+  Table table(headers);
+  for (const PointResult& point : result.points) {
+    std::vector<std::string> row{format_x(point.x)};
+    if (!axis_is_n) row.push_back(cell(point.n));
+    for (const CellResult& c : point.cells) {
+      std::string text = cell(c.median, 0);
+      if (c.failures > 0) text += str(" (", c.failures, " censored)");
+      row.push_back(text);
+    }
+    table.add_row(row);
+  }
+  table.print(os);
+
+  for (const std::string& label : spec.fit) {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const PointResult& point : result.points) {
+      for (const CellResult& c : point.cells) {
+        if (c.label == label) {
+          xs.push_back(point.x);
+          ys.push_back(c.median);
+        }
+      }
+    }
+    if (xs.size() < 3) continue;
+    const auto ranked = rank_models(xs, ys, standard_models());
+    os << "  " << label << ": best-fit shape = " << ranked[0].model
+       << "  (scale " << fmt_double(ranked[0].scale, 3) << ", rel-rmse "
+       << fmt_double(ranked[0].rel_rmse, 3) << "; runner-up "
+       << ranked[1].model << " @ " << fmt_double(ranked[1].rel_rmse, 3)
+       << ")\n";
+  }
+  if (!spec.note.empty()) os << "\n" << spec.note << "\n";
+}
+
+void append_json_rows(const ScenarioResult& result,
+                      std::vector<std::string>& rows) {
+  const ScenarioSpec& spec = result.spec;
+  for (const PointResult& point : result.points) {
+    for (const CellResult& c : point.cells) {
+      std::ostringstream os;
+      os << "{\"scenario\":\"" << json_escape(spec.name) << "\""
+         << ",\"axis\":\"" << json_escape(spec.axis) << "\""
+         << ",\"x\":" << json_number(point.x) << ",\"n\":" << point.n
+         << ",\"max_rounds\":" << point.max_rounds << ",\"column\":\""
+         << json_escape(c.label) << "\",\"metric\":\""
+         << json_escape(spec.metric) << "\",\"trials\":" << c.trials
+         << ",\"failures\":" << c.failures
+         << ",\"median\":" << json_number(c.median)
+         << ",\"p95\":" << json_number(c.p95) << ",\"values\":[";
+      for (std::size_t i = 0; i < c.values.size(); ++i) {
+        if (i > 0) os << ",";
+        os << json_number(c.values[i]);
+      }
+      os << "]}";
+      rows.push_back(os.str());
+    }
+  }
+}
+
+void ScenarioCatalog::add(ScenarioSpec spec) {
+  if (spec.name.empty()) throw ScenarioError("scenario: empty name");
+  if (index_.count(spec.name) > 0) {
+    throw ScenarioError(str("scenario: duplicate name \"", spec.name, "\""));
+  }
+  index_[spec.name] = order_.size();
+  order_.push_back(std::move(spec));
+}
+
+bool ScenarioCatalog::contains(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+const ScenarioSpec& ScenarioCatalog::get(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    throw ScenarioError(str(
+        "unknown scenario \"", name, "\"; known: ",
+        join_names(order_, [](const ScenarioSpec& spec) { return spec.name; })));
+  }
+  return order_[it->second];
+}
+
+std::vector<const ScenarioSpec*> ScenarioCatalog::all() const {
+  std::vector<const ScenarioSpec*> out;
+  out.reserve(order_.size());
+  for (const ScenarioSpec& spec : order_) out.push_back(&spec);
+  return out;
+}
+
+std::vector<const ScenarioSpec*> ScenarioCatalog::match(
+    const std::string& prefix) const {
+  std::vector<const ScenarioSpec*> out;
+  for (const ScenarioSpec& spec : order_) {
+    if (spec.name.compare(0, prefix.size(), prefix) == 0) {
+      out.push_back(&spec);
+    }
+  }
+  return out;
+}
+
+ScenarioCatalog& scenarios() {
+  static ScenarioCatalog& catalog = *[] {
+    auto* c = new ScenarioCatalog();
+    register_builtin_scenarios(*c);
+    return c;
+  }();
+  return catalog;
+}
+
+}  // namespace dualcast::scenario

@@ -1,0 +1,215 @@
+#include "scenario/spec.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "util/strfmt.hpp"
+
+namespace dualcast::scenario {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool valid_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.' || c == '/';
+}
+
+}  // namespace
+
+SpecCall parse_call(const std::string& text) {
+  const std::string spec = trim(text);
+  SpecCall call;
+  call.raw = spec;
+  if (spec.empty()) throw ScenarioError("empty spec string");
+
+  std::size_t i = 0;
+  while (i < spec.size() && valid_name_char(spec[i])) ++i;
+  call.name = spec.substr(0, i);
+  if (call.name.empty()) {
+    throw ScenarioError(str("spec \"", spec, "\": expected a name"));
+  }
+  if (i == spec.size()) return call;  // bare name, no argument list
+  if (spec[i] != '(') {
+    throw ScenarioError(
+        str("spec \"", spec, "\": unexpected character '", spec[i], "'"));
+  }
+  if (spec.back() != ')') {
+    throw ScenarioError(str("spec \"", spec, "\": missing closing ')'"));
+  }
+
+  // Split the argument body on top-level commas only (args may nest calls).
+  const std::string body = spec.substr(i + 1, spec.size() - i - 2);
+  int depth = 0;
+  std::string current;
+  bool any = false;
+  for (const char c : body) {
+    if (c == '(') ++depth;
+    if (c == ')') {
+      --depth;
+      if (depth < 0) {
+        throw ScenarioError(str("spec \"", spec, "\": unbalanced ')'"));
+      }
+    }
+    if (c == ',' && depth == 0) {
+      call.args.push_back(trim(current));
+      current.clear();
+      any = true;
+    } else {
+      current += c;
+    }
+  }
+  if (depth != 0) {
+    throw ScenarioError(str("spec \"", spec, "\": unbalanced '('"));
+  }
+  current = trim(current);
+  if (!current.empty() || any) call.args.push_back(current);
+  for (const std::string& arg : call.args) {
+    if (arg.empty()) {
+      throw ScenarioError(str("spec \"", spec, "\": empty argument"));
+    }
+  }
+  return call;
+}
+
+void SpecArgs::expect_count(int lo, int hi) const {
+  const int have = count();
+  if (have < lo || have > hi) {
+    std::ostringstream os;
+    os << "spec \"" << call_->raw << "\": expected ";
+    if (lo == hi) {
+      os << lo;
+    } else {
+      os << lo << ".." << hi;
+    }
+    os << " argument(s), got " << have;
+    throw ScenarioError(os.str());
+  }
+}
+
+const std::string& SpecArgs::str_at(int i) const {
+  if (i < 0 || i >= count()) {
+    throw ScenarioError(
+        str("spec \"", call_->raw, "\": missing argument #", i + 1));
+  }
+  return call_->args[static_cast<std::size_t>(i)];
+}
+
+int SpecArgs::int_at(int i) const {
+  const std::string& s = str_at(i);
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE ||
+      value < std::numeric_limits<int>::min() ||
+      value > std::numeric_limits<int>::max()) {
+    throw ScenarioError(str("spec \"", call_->raw, "\": argument #", i + 1,
+                            " (\"", s, "\") is not a valid integer"));
+  }
+  return static_cast<int>(value);
+}
+
+double SpecArgs::double_at(int i) const {
+  const std::string& s = str_at(i);
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    throw ScenarioError(str("spec \"", call_->raw, "\": argument #", i + 1,
+                            " (\"", s, "\") is not a number"));
+  }
+  return value;
+}
+
+std::string SpecArgs::str_or(int i, const std::string& fallback) const {
+  return i < count() ? str_at(i) : fallback;
+}
+
+int SpecArgs::int_or(int i, int fallback) const {
+  return i < count() ? int_at(i) : fallback;
+}
+
+double SpecArgs::double_or(int i, double fallback) const {
+  return i < count() ? double_at(i) : fallback;
+}
+
+std::string format_x(double x) {
+  if (std::floor(x) == x && std::fabs(x) < 1e15) {
+    return str(static_cast<std::int64_t>(x));
+  }
+  std::ostringstream os;
+  os << x;
+  return os.str();
+}
+
+std::string substitute_x(const std::string& text, double x) {
+  const std::string rendered = format_x(x);
+  std::string out;
+  out.reserve(text.size());
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text.compare(i, 3, "{x}") == 0) {
+      out += rendered;
+      i += 3;
+    } else {
+      out += text[i];
+      ++i;
+    }
+  }
+  return out;
+}
+
+int resolve_rounds(const std::string& expr,
+                   const std::map<std::string, double>& vars) {
+  const auto value_of = [&](const std::string& token) -> double {
+    const std::string t = trim(token);
+    if (t.empty()) {
+      throw ScenarioError(str("rounds \"", expr, "\": empty term"));
+    }
+    if (std::isdigit(static_cast<unsigned char>(t[0]))) {
+      char* end = nullptr;
+      const double v = std::strtod(t.c_str(), &end);
+      if (*end != '\0') {
+        throw ScenarioError(
+            str("rounds \"", expr, "\": bad number \"", t, "\""));
+      }
+      return v;
+    }
+    const auto it = vars.find(t);
+    if (it == vars.end()) {
+      throw ScenarioError(
+          str("rounds \"", expr, "\": unknown variable \"", t, "\""));
+    }
+    return it->second;
+  };
+
+  double total = 0.0;
+  std::size_t pos = 0;
+  while (pos <= expr.size()) {
+    const std::size_t plus = expr.find('+', pos);
+    const std::string term =
+        expr.substr(pos, plus == std::string::npos ? std::string::npos
+                                                   : plus - pos);
+    const std::size_t star = term.find('*');
+    if (star == std::string::npos) {
+      total += value_of(term);
+    } else {
+      total += value_of(term.substr(0, star)) * value_of(term.substr(star + 1));
+    }
+    if (plus == std::string::npos) break;
+    pos = plus + 1;
+  }
+  const double clamped = total < 1.0 ? 1.0 : total;
+  return static_cast<int>(clamped);
+}
+
+}  // namespace dualcast::scenario

@@ -1,0 +1,97 @@
+#pragma once
+
+// Spec-string parsing for the scenario subsystem.
+//
+// Every registry entry is addressed by a call-style spec string:
+//
+//   "iid(0.5)"              -> name "iid",         args ["0.5"]
+//   "dual_clique({x})"      -> name "dual_clique", args ["{x}"]
+//   "local(every(3))"       -> name "local",       args ["every(3)"]
+//   "none"                  -> name "none",        args []
+//
+// Argument lists nest (commas inside inner parentheses do not split), so a
+// problem spec can carry a node-set spec, etc. The `{x}` placeholder is the
+// scenario sweep axis: substitute_x() replaces it before parsing.
+//
+// Round budgets are small linear expressions over named variables
+// ("300*n", "200*band_len", "3000*x+20000", "2097152"), resolved against the
+// per-sweep-point variable table by resolve_rounds().
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dualcast::scenario {
+
+/// Error type for every user-facing failure in the scenario subsystem:
+/// malformed spec strings, unknown registry names, bad parameters.
+class ScenarioError : public std::runtime_error {
+ public:
+  explicit ScenarioError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A parsed "name(arg, ...)" call.
+struct SpecCall {
+  std::string name;
+  std::vector<std::string> args;  ///< raw argument strings, outer whitespace trimmed
+  std::string raw;                ///< the original spec text (for messages)
+};
+
+/// Parses a call-style spec string. Throws ScenarioError on malformed input
+/// (empty name, unbalanced parentheses, trailing garbage).
+SpecCall parse_call(const std::string& text);
+
+/// Typed accessors over a SpecCall's arguments, with error messages that
+/// name the offending spec.
+class SpecArgs {
+ public:
+  explicit SpecArgs(const SpecCall& call) : call_(&call) {}
+
+  int count() const { return static_cast<int>(call_->args.size()); }
+  const std::string& spec() const { return call_->raw; }
+
+  /// Requires between `lo` and `hi` arguments (inclusive); throws otherwise.
+  void expect_count(int lo, int hi) const;
+
+  const std::string& str_at(int i) const;
+  int int_at(int i) const;
+  double double_at(int i) const;
+
+  /// Defaulted variants for optional trailing arguments.
+  std::string str_or(int i, const std::string& fallback) const;
+  int int_or(int i, int fallback) const;
+  double double_or(int i, double fallback) const;
+
+ private:
+  const SpecCall* call_;
+};
+
+/// Replaces every "{x}" in `text` with `x` rendered compactly (integral
+/// values print without a decimal point).
+std::string substitute_x(const std::string& text, double x);
+
+/// Renders a sweep value the same way substitute_x() injects it.
+std::string format_x(double x);
+
+/// Evaluates a round-budget expression: a '+'-separated sum of terms, each
+/// "INT", "IDENT", or "INT*IDENT", where IDENT is looked up in `vars`
+/// (e.g. x, n, band_len). Throws ScenarioError on malformed expressions or
+/// unknown variables; the result is clamped to >= 1.
+int resolve_rounds(const std::string& expr,
+                   const std::map<std::string, double>& vars);
+
+/// Comma-joins a projection of a container's elements — the "known: a, b, c"
+/// tail every unknown-name error message carries. "(none)" when empty.
+template <typename Container, typename NameOf>
+std::string join_names(const Container& container, NameOf name_of) {
+  std::string out;
+  for (const auto& item : container) {
+    if (!out.empty()) out += ", ";
+    out += name_of(item);
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+}  // namespace dualcast::scenario

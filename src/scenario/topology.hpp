@@ -1,0 +1,57 @@
+#pragma once
+
+// The topology value produced by TopologyRegistry builders: the dual graph
+// plus the named metadata scenarios address symbolically — node sets
+// ("side_a", "heads_a"), single-node marks ("bridge_b", "clasp_b"), and
+// integer facts ("band_len") used by round-budget expressions. Builders for
+// the paper's constructions also attach the full construction struct so
+// construction-aware adversaries (e.g. the bracelet pre-simulation attack)
+// can consume it.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/dual_graph.hpp"
+#include "graph/generators.hpp"
+
+namespace dualcast::scenario {
+
+struct Topology {
+  std::string spec;        ///< the spec string that built it
+  int default_source = 0;  ///< global-broadcast source when none is named
+
+  /// Named node sets, e.g. "side_a" on the dual clique, "heads_a" on the
+  /// bracelet. Resolved by problem specs like "local(side_a)".
+  std::map<std::string, std::vector<int>> node_sets;
+
+  /// Named integer facts: single-node marks ("bridge_a", "clasp_b") and
+  /// scalars ("band_len"). Available to round-budget expressions and to the
+  /// "first_receive(<mark>)" metric.
+  std::map<std::string, int> marks;
+
+  /// Full construction structs, present when the topology is one of the
+  /// paper's networks (for construction-aware adversaries).
+  std::shared_ptr<const DualCliqueNet> dual_clique;
+  std::shared_ptr<const BraceletNet> bracelet;
+  std::shared_ptr<const GeoNet> geo;
+
+  /// The network executions run on. Held by shared_ptr — aliased into the
+  /// construction struct when one is attached — so construction-aware
+  /// adversaries (which contract on network *identity*, not just shape) see
+  /// the exact object the engine uses.
+  std::shared_ptr<const DualGraph> net_holder;
+
+  const DualGraph& net() const { return *net_holder; }
+  int n() const { return net().n(); }
+
+  /// Looks up a named node set; throws ScenarioError with the known names.
+  const std::vector<int>& node_set(const std::string& name) const;
+
+  /// Looks up a named mark; throws ScenarioError with the known names.
+  int mark(const std::string& name) const;
+};
+
+}  // namespace dualcast::scenario

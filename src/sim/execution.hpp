@@ -44,6 +44,26 @@ struct ExecutionConfig {
   /// collision happened (RoundFeedback::collision). The paper's model is
   /// without collision detection — leave false to reproduce it.
   bool collision_detection = false;
+
+  // Named-field construction, so call sites never depend on member order:
+  //   ExecutionConfig{}.with_seed(7).with_max_rounds(4000)
+  ExecutionConfig& with_seed(std::uint64_t s) {
+    seed = s;
+    return *this;
+  }
+  ExecutionConfig& with_max_rounds(int rounds) {
+    max_rounds = rounds;
+    return *this;
+  }
+  ExecutionConfig& with_env_override(
+      std::function<ProcessEnv(ProcessEnv)> fn) {
+    env_override = std::move(fn);
+    return *this;
+  }
+  ExecutionConfig& with_collision_detection(bool on) {
+    collision_detection = on;
+    return *this;
+  }
 };
 
 struct RunResult {

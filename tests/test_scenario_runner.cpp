@@ -1,0 +1,195 @@
+// ScenarioRunner: determinism (identical JSON rows for identical specs,
+// single- vs multi-threaded), censoring, metric handling, smoke scaling,
+// and the scenario catalog's acceptance surface.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scenario/scenario.hpp"
+
+namespace dualcast::scenario {
+namespace {
+
+ScenarioSpec small_spec() {
+  ScenarioSpec spec;
+  spec.name = "test/small";
+  spec.topology = "dual_clique({x})";
+  spec.problem = "global(1)";
+  spec.sweep = {16, 32};
+  spec.trials = 4;
+  spec.base_seed = 9;
+  spec.max_rounds = "200*n";
+  spec.columns = {
+      {"decay+iid", "decay_global(permuted,persistent)", "iid(0.5)", ""},
+      {"robin+collider", "round_robin", "collider", ""},
+  };
+  return spec;
+}
+
+std::vector<std::string> rows_of(const ScenarioResult& result) {
+  std::vector<std::string> rows;
+  append_json_rows(result, rows);
+  return rows;
+}
+
+TEST(ScenarioRunner, SameSpecSameSeedSameRows) {
+  const ScenarioResult a = run_scenario(small_spec());
+  const ScenarioResult b = run_scenario(small_spec());
+  EXPECT_EQ(rows_of(a), rows_of(b));
+}
+
+TEST(ScenarioRunner, MultiThreadedMatchesSingleThreadedBitForBit) {
+  RunOptions sequential;
+  sequential.threads = 1;
+  RunOptions pooled;
+  pooled.threads = 4;
+  const ScenarioResult a = run_scenario(small_spec(), sequential);
+  const ScenarioResult b = run_scenario(small_spec(), pooled);
+  const std::vector<std::string> rows_a = rows_of(a);
+  EXPECT_EQ(rows_a, rows_of(b));
+  ASSERT_FALSE(rows_a.empty());
+  // Medians and raw trial values agree point by point, cell by cell.
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    ASSERT_EQ(a.points[p].cells.size(), b.points[p].cells.size());
+    for (std::size_t c = 0; c < a.points[p].cells.size(); ++c) {
+      EXPECT_EQ(a.points[p].cells[c].median, b.points[p].cells[c].median);
+      EXPECT_EQ(a.points[p].cells[c].values, b.points[p].cells[c].values);
+    }
+  }
+}
+
+TEST(ScenarioRunner, DifferentSeedsChangeValues) {
+  ScenarioSpec spec = small_spec();
+  const ScenarioResult a = run_scenario(spec);
+  spec.base_seed += 1000;
+  const ScenarioResult b = run_scenario(spec);
+  EXPECT_NE(rows_of(a), rows_of(b));
+}
+
+TEST(ScenarioRunner, CensorsAtRoundBudget) {
+  ScenarioSpec spec = small_spec();
+  spec.sweep = {32};
+  spec.max_rounds = "3";  // nothing solves a 32-node clique in 3 rounds
+  const ScenarioResult result = run_scenario(spec);
+  for (const CellResult& cell : result.points[0].cells) {
+    EXPECT_EQ(cell.failures, spec.trials);
+    for (const double v : cell.values) EXPECT_EQ(v, 3.0);
+  }
+}
+
+TEST(ScenarioRunner, FirstReceiveMetric) {
+  ScenarioSpec spec;
+  spec.name = "test/first-receive";
+  spec.topology = "bracelet(128)";
+  spec.problem = "local(heads_a)";
+  spec.metric = "first_receive(clasp_b)";
+  spec.sweep = {128};
+  spec.trials = 3;
+  spec.max_rounds = "200*band_len";
+  spec.columns = {{"benign", "decay_local", "none", ""}};
+  const ScenarioResult result = run_scenario(spec);
+  const CellResult& cell = result.points[0].cells[0];
+  EXPECT_EQ(cell.trials, 3);
+  for (const double v : cell.values) EXPECT_GE(v, 1.0);
+  EXPECT_EQ(result.points[0].marks.at("band_len"), 8);
+}
+
+TEST(ScenarioRunner, TrialsOverrideAndSmoke) {
+  ScenarioSpec spec = small_spec();
+  spec.smoke_x = 16;
+  RunOptions options;
+  options.trials_override = 2;
+  const ScenarioResult overridden = run_scenario(spec, options);
+  EXPECT_EQ(overridden.points[0].cells[0].trials, 2);
+
+  RunOptions smoke;
+  smoke.smoke = true;
+  const ScenarioResult tiny = run_scenario(spec, smoke);
+  ASSERT_EQ(tiny.points.size(), 1u);
+  EXPECT_EQ(tiny.points[0].n, 16);
+  EXPECT_EQ(tiny.points[0].cells[0].trials, 1);
+}
+
+TEST(ScenarioRunner, SpecErrors) {
+  ScenarioSpec spec = small_spec();
+  spec.sweep.clear();
+  EXPECT_THROW(run_scenario(spec), ScenarioError);
+
+  spec = small_spec();
+  spec.columns.clear();
+  EXPECT_THROW(run_scenario(spec), ScenarioError);
+
+  spec = small_spec();
+  spec.metric = "no_such_metric";
+  EXPECT_THROW(run_scenario(spec), ScenarioError);
+
+  spec = small_spec();
+  spec.max_rounds = "300*bogus_var";
+  EXPECT_THROW(run_scenario(spec), ScenarioError);
+}
+
+TEST(ScenarioRunner, PrintsTableAndNote) {
+  ScenarioSpec spec = small_spec();
+  spec.title = "printable";
+  spec.note = "the-note-text";
+  std::ostringstream os;
+  RunOptions options;
+  options.out = &os;
+  run_scenario(spec, options);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("printable"), std::string::npos);
+  EXPECT_NE(text.find("decay+iid"), std::string::npos);
+  EXPECT_NE(text.find("the-note-text"), std::string::npos);
+}
+
+TEST(ScenarioCatalogTest, BuiltinsCoverFigureOneAndMore) {
+  // The acceptance bar: every former bench behavior reachable by name,
+  // with at least 14 registered scenarios.
+  EXPECT_GE(scenarios().all().size(), 14u);
+  for (const char* name :
+       {"fig1/offline-global", "fig1/offline-local", "fig1/online-global",
+        "fig1/online-local", "fig1/oblivious-global-clique",
+        "fig1/oblivious-global-line", "fig1/oblivious-local-general",
+        "fig1/oblivious-local-geo-n", "fig1/oblivious-local-geo-delta",
+        "fig1/static-global-clique", "fig1/static-global-line",
+        "fig1/static-local-n", "fig1/static-local-delta",
+        "ablation/iid-vs-adversarial", "ablation/permutation",
+        "ablation/seeds", "ext/gossip-k", "ext/gossip-n"}) {
+    EXPECT_TRUE(scenarios().contains(name)) << name;
+  }
+  EXPECT_THROW(scenarios().get("fig1/no-such-cell"), ScenarioError);
+  EXPECT_GE(scenarios().match("fig1/").size(), 9u);
+  EXPECT_TRUE(scenarios().match("zzz/none").empty());
+}
+
+TEST(ScenarioCatalogTest, EverySpecParsesAgainstItsRegistries) {
+  // Static validation of the whole catalog: topology, algorithm, adversary,
+  // and problem specs all resolve at the smoke sweep point.
+  for (const ScenarioSpec* spec : scenarios().all()) {
+    const double x =
+        spec->smoke_x != 0.0 ? spec->smoke_x : spec->sweep.front();
+    const Topology topo = topologies().build(
+        substitute_x(spec->topology, x), spec->topology_seed);
+    std::map<std::string, double> vars{{"x", x},
+                                       {"n", static_cast<double>(topo.n())}};
+    for (const auto& [name, value] : topo.marks) {
+      vars[name] = static_cast<double>(value);
+    }
+    EXPECT_GE(resolve_rounds(spec->max_rounds, vars), 1) << spec->name;
+    for (const ScenarioColumn& column : spec->columns) {
+      EXPECT_NO_THROW({
+        algorithms().build(substitute_x(column.algorithm, x));
+        adversaries().build(substitute_x(column.adversary, x), topo);
+        problems().build(
+            substitute_x(
+                column.problem.empty() ? spec->problem : column.problem, x),
+            topo);
+      }) << spec->name << " / " << column.label;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dualcast::scenario
