@@ -1,7 +1,11 @@
 // Simulator micro-throughput (google-benchmark): engine rounds/second across
-// network shapes and adversary classes, with every piece built from the
-// scenario registries. Not a paper experiment — this keeps the harness
-// honest about the cost of the attack sweeps.
+// network shapes, adversary classes, and history policies, with every piece
+// built from the scenario registries. Not a paper experiment — this keeps
+// the harness honest about the cost of the attack sweeps.
+//
+// The third argument of the network benchmarks selects the history policy
+// (0 = full trace, 1 = lean aggregates); lean is what the scenario runner
+// uses by default for every adversary that does not read the trace.
 
 #include <benchmark/benchmark.h>
 
@@ -23,6 +27,10 @@ const char* adversary_spec(int id) {
   }
 }
 
+HistoryPolicy history_policy_arg(int id) {
+  return id == 0 ? HistoryPolicy::full : HistoryPolicy::lean;
+}
+
 void BM_DualCliqueRounds(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const Topology topo =
@@ -33,10 +41,15 @@ void BM_DualCliqueRounds(benchmark::State& state) {
       adversary_spec(static_cast<int>(state.range(1))), topo);
   const scenario::ProblemFactory problem =
       scenario::problems().build("assignment(0)", topo);
+  const HistoryPolicy history =
+      history_policy_arg(static_cast<int>(state.range(2)));
   std::int64_t rounds = 0;
   for (auto _ : state) {
     Execution exec(topo.net(), factory, problem(), adversary(),
-                   ExecutionConfig{}.with_seed(7).with_max_rounds(256));
+                   ExecutionConfig{}
+                       .with_seed(7)
+                       .with_max_rounds(256)
+                       .with_history_policy(history));
     exec.run();
     rounds += exec.round();
     benchmark::DoNotOptimize(exec.history().rounds());
@@ -45,13 +58,16 @@ void BM_DualCliqueRounds(benchmark::State& state) {
       static_cast<double>(rounds), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_DualCliqueRounds)
-    ->Args({64, 0})
-    ->Args({64, 2})
-    ->Args({256, 0})
-    ->Args({256, 1})
-    ->Args({256, 2})
-    ->Args({256, 3})
-    ->Args({1024, 2});
+    ->Args({64, 0, 0})
+    ->Args({64, 2, 0})
+    ->Args({256, 0, 0})
+    ->Args({256, 1, 0})
+    ->Args({256, 1, 1})
+    ->Args({256, 2, 0})
+    ->Args({256, 2, 1})
+    ->Args({256, 3, 0})
+    ->Args({1024, 2, 0})
+    ->Args({1024, 2, 1});
 
 void BM_GeoLocalRounds(benchmark::State& state) {
   const int side = static_cast<int>(state.range(0));
@@ -62,17 +78,28 @@ void BM_GeoLocalRounds(benchmark::State& state) {
       scenario::adversaries().build("iid(0.3)", topo);
   const scenario::ProblemFactory problem =
       scenario::problems().build("local(every(3))", topo);
+  const HistoryPolicy history =
+      history_policy_arg(static_cast<int>(state.range(1)));
   std::int64_t rounds = 0;
   for (auto _ : state) {
     Execution exec(topo.net(), factory, problem(), adversary(),
-                   ExecutionConfig{}.with_seed(11).with_max_rounds(512));
+                   ExecutionConfig{}
+                       .with_seed(11)
+                       .with_max_rounds(512)
+                       .with_history_policy(history));
     exec.run();
     rounds += exec.round();
   }
   state.counters["rounds/s"] = benchmark::Counter(
       static_cast<double>(rounds), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_GeoLocalRounds)->Arg(8)->Arg(16)->Arg(24);
+BENCHMARK(BM_GeoLocalRounds)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({24, 0})
+    ->Args({24, 1});
 
 void BM_BraceletPresimSetup(benchmark::State& state) {
   const Topology topo = scenario::topologies().build(

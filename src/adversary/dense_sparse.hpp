@@ -34,6 +34,8 @@ class DenseSparseOnline final : public LinkProcess {
     return AdversaryClass::online_adaptive;
   }
   void on_execution_start(const ExecutionSetup& setup, Rng& rng) override;
+  /// Reads only the StateInspector (E[|X| | S]), never the stored trace.
+  bool needs_history() const override { return false; }
   EdgeSet choose_online(int round, const ExecutionHistory& history,
                         const StateInspector& inspector, Rng& rng) override;
 

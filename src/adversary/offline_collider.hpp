@@ -21,6 +21,8 @@ class GreedyColliderOffline final : public LinkProcess {
   AdversaryClass adversary_class() const override {
     return AdversaryClass::offline_adaptive;
   }
+  /// Reads only the round's actions, never the stored trace.
+  bool needs_history() const override { return false; }
   EdgeSet choose_offline(int round, const ExecutionHistory& history,
                          const StateInspector& inspector,
                          const RoundActions& actions, Rng& rng) override;

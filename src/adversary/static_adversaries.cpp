@@ -1,5 +1,7 @@
 #include "adversary/static_adversaries.hpp"
 
+#include <cmath>
+
 #include "util/assert.hpp"
 
 namespace dualcast {
@@ -19,14 +21,29 @@ RandomIidEdges::RandomIidEdges(double p) : p_(p) {
 void RandomIidEdges::on_execution_start(const ExecutionSetup& setup,
                                         Rng& /*rng*/) {
   edge_count_ = static_cast<std::int64_t>(setup.net->gp_only_edges().size());
+  // ln(1-p): the geometric-gap denominator, hoisted out of the round loop.
+  inv_log_miss_ = (p_ > 0.0 && p_ < 1.0) ? std::log1p(-p_) : 0.0;
 }
 
 EdgeSet RandomIidEdges::choose_oblivious(int /*round*/, Rng& rng) {
   if (p_ <= 0.0) return EdgeSet::none();
   if (p_ >= 1.0) return EdgeSet::all();
+  // Also guards the un-started state (inv_log_miss_ == 0), where the gap
+  // division below would be undefined.
+  if (edge_count_ <= 0) return EdgeSet::some({});
+  // Geometric skip sampling: instead of one Bernoulli draw per edge (O(m)
+  // rng calls per round), draw the gaps between selected edges directly —
+  // floor(ln(U) / ln(1-p)) with U uniform on (0,1] is exactly the number of
+  // misses before the next hit. Expected cost is O(p·m) draws per round,
+  // and the selected set has the same i.i.d.-per-edge distribution.
   std::vector<std::int32_t> selected;
-  for (std::int64_t idx = 0; idx < edge_count_; ++idx) {
-    if (rng.bernoulli(p_)) selected.push_back(static_cast<std::int32_t>(idx));
+  selected.reserve(static_cast<std::size_t>(p_ * static_cast<double>(edge_count_)) + 8);
+  std::int64_t idx = -1;
+  while (true) {
+    const double u = 1.0 - rng.uniform01();  // (0, 1]
+    idx += 1 + static_cast<std::int64_t>(std::log(u) / inv_log_miss_);
+    if (idx >= edge_count_) break;
+    selected.push_back(static_cast<std::int32_t>(idx));
   }
   return EdgeSet::some(std::move(selected));
 }

@@ -46,6 +46,7 @@ class RandomIidEdges final : public LinkProcess {
  private:
   double p_;
   std::int64_t edge_count_ = 0;
+  double inv_log_miss_ = 0.0;  ///< ln(1-p), cached for geometric skips
 };
 
 /// Periodic all-on / all-off square wave: all G'-only edges are active for

@@ -9,22 +9,17 @@
 
 namespace dualcast {
 
-std::vector<double> run_raw_trials(int count, std::uint64_t base_seed,
-                                   const TrialFn& fn, int threads) {
-  DC_EXPECTS(count >= 1);
+void run_tasks(int count, int threads, const std::function<void(int)>& fn) {
+  DC_EXPECTS(count >= 0);
   DC_EXPECTS(fn != nullptr);
-  std::vector<double> out(static_cast<std::size_t>(count));
-  const auto run_one = [&](int i) {
-    out[static_cast<std::size_t>(i)] =
-        fn(base_seed + static_cast<std::uint64_t>(i));
-  };
+  if (count == 0) return;
   if (threads <= 1 || count == 1) {
-    for (int i = 0; i < count; ++i) run_one(i);
-    return out;
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
   }
-  // A trial that throws must propagate to the caller exactly as in the
+  // A task that throws must propagate to the caller exactly as in the
   // sequential path, not escape a thread entry point (std::terminate): the
-  // first exception is captured, the remaining trials drain, and it is
+  // first exception is captured, the remaining tasks drain, and it is
   // rethrown after the join.
   std::atomic<int> next{0};
   std::atomic<bool> failed{false};
@@ -34,7 +29,7 @@ std::vector<double> run_raw_trials(int count, std::uint64_t base_seed,
     for (int i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
       if (failed.load()) return;
       try {
-        run_one(i);
+        fn(i);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();
@@ -49,6 +44,17 @@ std::vector<double> run_raw_trials(int count, std::uint64_t base_seed,
   for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
   if (error) std::rethrow_exception(error);
+}
+
+std::vector<double> run_raw_trials(int count, std::uint64_t base_seed,
+                                   const TrialFn& fn, int threads) {
+  DC_EXPECTS(count >= 1);
+  DC_EXPECTS(fn != nullptr);
+  std::vector<double> out(static_cast<std::size_t>(count));
+  run_tasks(count, threads, [&](int i) {
+    out[static_cast<std::size_t>(i)] =
+        fn(base_seed + static_cast<std::uint64_t>(i));
+  });
   return out;
 }
 
@@ -68,11 +74,9 @@ TrialSet run_trials(int count, std::uint64_t base_seed, const TrialFn& fn,
   return out;
 }
 
-CensoredTrials run_censored_trials(int count, std::uint64_t base_seed,
-                                   double cap, const TrialFn& fn,
-                                   int threads) {
+CensoredTrials censor_trials(std::vector<double> values, double cap) {
   CensoredTrials out;
-  out.values = run_raw_trials(count, base_seed, fn, threads);
+  out.values = std::move(values);
   for (double& value : out.values) {
     if (value < 0.0) {
       ++out.failures;
@@ -82,6 +86,12 @@ CensoredTrials run_censored_trials(int count, std::uint64_t base_seed,
   out.median = quantile(out.values, 0.5);
   out.p95 = quantile(out.values, 0.95);
   return out;
+}
+
+CensoredTrials run_censored_trials(int count, std::uint64_t base_seed,
+                                   double cap, const TrialFn& fn,
+                                   int threads) {
+  return censor_trials(run_raw_trials(count, base_seed, fn, threads), cap);
 }
 
 }  // namespace dualcast

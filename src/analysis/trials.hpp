@@ -19,6 +19,15 @@ namespace dualcast {
 /// A negative return marks the trial as failed/censored.
 using TrialFn = std::function<double(std::uint64_t seed)>;
 
+/// Runs tasks 0..count-1, distributing them over `threads` workers pulling
+/// from one shared atomic queue (threads <= 1 runs inline). `fn` must be
+/// safe to call concurrently when threads > 1. Exceptions propagate to the
+/// caller exactly as in the sequential path: the first one is captured, the
+/// remaining tasks drain, and it is rethrown after the join. This is the
+/// work-queue primitive under both the trial loop below and the scenario
+/// runner's sweep-point-level scheduler.
+void run_tasks(int count, int threads, const std::function<void(int)>& fn);
+
 /// Runs `count` trials with seeds base_seed, base_seed+1, ... and returns
 /// the raw fn values in seed order. `threads > 1` distributes trials over a
 /// pool; `fn` must then be safe to call concurrently (every Execution built
@@ -59,5 +68,10 @@ struct CensoredTrials {
 CensoredTrials run_censored_trials(int count, std::uint64_t base_seed,
                                    double cap, const TrialFn& fn,
                                    int threads = 1);
+
+/// Censors an already-measured value vector (negatives recorded at `cap`)
+/// and summarizes. Shared by run_censored_trials and schedulers that fill
+/// the raw values themselves, so every path censors identically.
+CensoredTrials censor_trials(std::vector<double> values, double cap);
 
 }  // namespace dualcast

@@ -1,5 +1,7 @@
 #include "graph/dual_graph.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace dualcast {
@@ -9,19 +11,45 @@ DualGraph::DualGraph(Graph g, Graph gprime)
   DC_EXPECTS(g_.finalized() && gp_.finalized());
   DC_EXPECTS_MSG(g_.n() == gp_.n(), "G and G' must share a vertex set");
 
-  gp_only_adj_.resize(static_cast<std::size_t>(n()));
   for (int u = 0; u < n(); ++u) {
     for (const int v : g_.neighbors(u)) {
       DC_EXPECTS_MSG(gp_.has_edge(u, v), "dual graph requires E(G) ⊆ E(G')");
     }
     for (const int v : gp_.neighbors(u)) {
-      if (u < v && !g_.has_edge(u, v)) {
-        gp_only_edges_.emplace_back(u, v);
-        gp_only_adj_[static_cast<std::size_t>(u)].push_back(v);
-        gp_only_adj_[static_cast<std::size_t>(v)].push_back(u);
-      }
+      if (u < v && !g_.has_edge(u, v)) gp_only_edges_.emplace_back(u, v);
     }
   }
+
+  // Pack the G'-only adjacency into CSR: degree pass, prefix sums, scatter,
+  // then sort each row (rows are short; construction cost only).
+  gp_only_offsets_.assign(static_cast<std::size_t>(n()) + 1, 0);
+  for (const auto& [u, v] : gp_only_edges_) {
+    ++gp_only_offsets_[static_cast<std::size_t>(u) + 1];
+    ++gp_only_offsets_[static_cast<std::size_t>(v) + 1];
+  }
+  for (int v = 0; v < n(); ++v) {
+    gp_only_offsets_[static_cast<std::size_t>(v) + 1] +=
+        gp_only_offsets_[static_cast<std::size_t>(v)];
+  }
+  gp_only_neighbors_.resize(
+      static_cast<std::size_t>(2 * gp_only_edges_.size()));
+  std::vector<std::int64_t> cursor(gp_only_offsets_.begin(),
+                                   gp_only_offsets_.end() - 1);
+  for (const auto& [u, v] : gp_only_edges_) {
+    gp_only_neighbors_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(u)]++)] = v;
+    gp_only_neighbors_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(v)]++)] = u;
+  }
+  for (int v = 0; v < n(); ++v) {
+    std::sort(gp_only_neighbors_.begin() +
+                  static_cast<std::ptrdiff_t>(
+                      gp_only_offsets_[static_cast<std::size_t>(v)]),
+              gp_only_neighbors_.begin() +
+                  static_cast<std::ptrdiff_t>(
+                      gp_only_offsets_[static_cast<std::size_t>(v) + 1]));
+  }
+
   gp_max_degree_ = gp_.max_degree();
   gp_complete_ = (gp_.edge_count() ==
                   static_cast<std::int64_t>(n()) * (n() - 1) / 2);
@@ -34,7 +62,10 @@ DualGraph DualGraph::protocol(Graph g) {
 
 std::span<const int> DualGraph::gp_only_neighbors(int v) const {
   DC_EXPECTS(v >= 0 && v < n());
-  return gp_only_adj_[static_cast<std::size_t>(v)];
+  const std::int64_t begin = gp_only_offsets_[static_cast<std::size_t>(v)];
+  const std::int64_t end = gp_only_offsets_[static_cast<std::size_t>(v) + 1];
+  return {gp_only_neighbors_.data() + begin,
+          static_cast<std::size_t>(end - begin)};
 }
 
 }  // namespace dualcast

@@ -7,8 +7,12 @@
 //
 // The class validates the containment at construction, indexes the G'-only
 // edges (adversaries select them by index), and caches structural facts the
-// engine uses for fast paths.
+// engine uses for fast paths. The G'-only adjacency is stored in the same
+// flat CSR layout as Graph (one offsets array + one neighbors array), so the
+// engine's delivery sweep walks both layers cache-linearly.
 
+#include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -45,8 +49,17 @@ class DualGraph {
   }
 
   /// Adjacency restricted to G'-only edges (used by the delivery sweep when
-  /// the adversary turns all unreliable links on).
+  /// the adversary turns all unreliable links on). Served from one flat CSR
+  /// buffer.
   std::span<const int> gp_only_neighbors(int v) const;
+
+  /// Raw CSR views of the G'-only overlay (offsets has size n+1).
+  std::span<const std::int64_t> gp_only_csr_offsets() const {
+    return gp_only_offsets_;
+  }
+  std::span<const int> gp_only_csr_neighbors() const {
+    return gp_only_neighbors_;
+  }
 
   /// True if G' is the complete graph — enables the engine's O(1) dense-round
   /// fast path on clique-like lower-bound networks.
@@ -56,7 +69,8 @@ class DualGraph {
   Graph g_;
   Graph gp_;
   std::vector<std::pair<int, int>> gp_only_edges_;
-  std::vector<std::vector<int>> gp_only_adj_;
+  std::vector<std::int64_t> gp_only_offsets_;
+  std::vector<int> gp_only_neighbors_;
   int gp_max_degree_ = 0;
   bool gp_complete_ = false;
 };

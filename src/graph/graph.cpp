@@ -9,7 +9,8 @@ namespace dualcast {
 
 Graph::Graph(int n) {
   DC_EXPECTS(n >= 1);
-  adj_.resize(static_cast<std::size_t>(n));
+  n_ = n;
+  offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
 }
 
 void Graph::check_vertex(int v) const {
@@ -20,30 +21,73 @@ void Graph::add_edge(int u, int v) {
   check_vertex(u);
   check_vertex(v);
   DC_EXPECTS_MSG(u != v, "self-loops are not allowed");
-  adj_[static_cast<std::size_t>(u)].push_back(v);
-  adj_[static_cast<std::size_t>(v)].push_back(u);
+  if (finalized_ && pending_.empty() && !neighbors_.empty()) {
+    // Re-opening a finalized graph: seed the pending list with the packed
+    // edges so finalize() can rebuild from scratch.
+    pending_ = edges();
+    neighbors_.clear();
+  }
+  pending_.emplace_back(u, v);
   finalized_ = false;
 }
 
 void Graph::finalize() {
-  for (auto& list : adj_) {
-    std::sort(list.begin(), list.end());
-    list.erase(std::unique(list.begin(), list.end()), list.end());
+  if (finalized_) return;
+
+  // Counting sort into CSR: degree pass, prefix sums, scatter, then per-
+  // vertex sort + dedup with the offsets rebuilt over the compacted data.
+  std::vector<std::int64_t> degree(static_cast<std::size_t>(n_) + 1, 0);
+  for (const auto& [u, v] : pending_) {
+    ++degree[static_cast<std::size_t>(u)];
+    ++degree[static_cast<std::size_t>(v)];
   }
+  offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (int v = 0; v < n_; ++v) {
+    offsets_[static_cast<std::size_t>(v) + 1] =
+        offsets_[static_cast<std::size_t>(v)] +
+        degree[static_cast<std::size_t>(v)];
+  }
+  neighbors_.resize(static_cast<std::size_t>(offsets_[static_cast<std::size_t>(n_)]));
+  std::vector<std::int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [u, v] : pending_) {
+    neighbors_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = v;
+    neighbors_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = u;
+  }
+
+  std::int64_t write = 0;
+  std::int64_t read_begin = 0;
+  for (int v = 0; v < n_; ++v) {
+    const std::int64_t read_end = offsets_[static_cast<std::size_t>(v) + 1];
+    auto* first = neighbors_.data() + read_begin;
+    auto* last = neighbors_.data() + read_end;
+    std::sort(first, last);
+    auto* unique_end = std::unique(first, last);
+    const std::int64_t new_begin = write;
+    for (auto* it = first; it != unique_end; ++it) {
+      neighbors_[static_cast<std::size_t>(write++)] = *it;
+    }
+    offsets_[static_cast<std::size_t>(v)] = new_begin;
+    read_begin = read_end;
+  }
+  offsets_[static_cast<std::size_t>(n_)] = write;
+  neighbors_.resize(static_cast<std::size_t>(write));
+  neighbors_.shrink_to_fit();
+  pending_.clear();
+  pending_.shrink_to_fit();
   finalized_ = true;
 }
 
 std::int64_t Graph::edge_count() const {
   DC_EXPECTS(finalized_);
-  std::int64_t total = 0;
-  for (const auto& list : adj_) total += static_cast<std::int64_t>(list.size());
-  return total / 2;
+  return static_cast<std::int64_t>(neighbors_.size()) / 2;
 }
 
 std::span<const int> Graph::neighbors(int v) const {
   DC_EXPECTS(finalized_);
   check_vertex(v);
-  return adj_[static_cast<std::size_t>(v)];
+  const std::int64_t begin = offsets_[static_cast<std::size_t>(v)];
+  const std::int64_t end = offsets_[static_cast<std::size_t>(v) + 1];
+  return {neighbors_.data() + begin, static_cast<std::size_t>(end - begin)};
 }
 
 int Graph::degree(int v) const {
@@ -53,7 +97,11 @@ int Graph::degree(int v) const {
 int Graph::max_degree() const {
   DC_EXPECTS(finalized_);
   int best = 0;
-  for (const auto& list : adj_) best = std::max(best, static_cast<int>(list.size()));
+  for (int v = 0; v < n_; ++v) {
+    best = std::max(best,
+                    static_cast<int>(offsets_[static_cast<std::size_t>(v) + 1] -
+                                     offsets_[static_cast<std::size_t>(v)]));
+  }
   return best;
 }
 
@@ -61,7 +109,7 @@ bool Graph::has_edge(int u, int v) const {
   DC_EXPECTS(finalized_);
   check_vertex(u);
   check_vertex(v);
-  const auto& list = adj_[static_cast<std::size_t>(u)];
+  const auto list = neighbors(u);
   return std::binary_search(list.begin(), list.end(), v);
 }
 
@@ -75,7 +123,7 @@ std::vector<int> Graph::bfs_distances(int src) const {
   while (!frontier.empty()) {
     const int v = frontier.front();
     frontier.pop();
-    for (const int w : adj_[static_cast<std::size_t>(v)]) {
+    for (const int w : neighbors(v)) {
       if (dist[static_cast<std::size_t>(w)] == -1) {
         dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(v)] + 1;
         frontier.push(w);
@@ -118,6 +166,16 @@ std::vector<std::pair<int, int>> Graph::edges() const {
     }
   }
   return out;
+}
+
+std::span<const std::int64_t> Graph::csr_offsets() const {
+  DC_EXPECTS(finalized_);
+  return offsets_;
+}
+
+std::span<const int> Graph::csr_neighbors() const {
+  DC_EXPECTS(finalized_);
+  return neighbors_;
 }
 
 }  // namespace dualcast

@@ -1,11 +1,17 @@
 #pragma once
 
-// Undirected simple graph on vertices {0, ..., n-1}, stored as sorted
-// adjacency lists. This is the substrate for both layers of the dual graph
-// model (§2): G (reliable links) and G' (reliable + unreliable links).
+// Undirected simple graph on vertices {0, ..., n-1}, stored in compressed
+// sparse row (CSR) form: one flat `neighbors_` array plus an `offsets_`
+// array of size n+1, so vertex v's sorted neighbor list is the contiguous
+// slice neighbors_[offsets_[v] .. offsets_[v+1]). This is the substrate for
+// both layers of the dual graph model (§2): G (reliable links) and G'
+// (reliable + unreliable links). The flat layout keeps the engine's
+// delivery sweep cache-linear: consecutive adjacency lists share cache
+// lines instead of chasing one heap allocation per vertex.
 //
-// Usage pattern: add edges, then `finalize()` (sorts and deduplicates),
-// then query. Query methods require a finalized graph.
+// Usage pattern: add edges, then `finalize()` (sorts, deduplicates, and
+// packs the CSR arrays), then query. Query methods require a finalized
+// graph.
 
 #include <cstdint>
 #include <span>
@@ -24,11 +30,11 @@ class Graph {
   /// Duplicate additions are tolerated and removed by finalize().
   void add_edge(int u, int v);
 
-  /// Sorts and deduplicates adjacency lists. Must be called before queries;
-  /// idempotent.
+  /// Sorts, deduplicates, and packs the CSR arrays. Must be called before
+  /// queries; idempotent.
   void finalize();
 
-  int n() const { return static_cast<int>(adj_.size()); }
+  int n() const { return n_; }
   bool finalized() const { return finalized_; }
 
   /// Number of (undirected) edges. Requires finalized().
@@ -63,10 +69,22 @@ class Graph {
   /// All edges as (u, v) pairs with u < v. Requires finalized().
   std::vector<std::pair<int, int>> edges() const;
 
+  /// Raw CSR views (offsets has size n+1; neighbors has size 2m). Requires
+  /// finalized(). For consumers that want to walk the whole adjacency
+  /// structure linearly without per-vertex calls.
+  std::span<const std::int64_t> csr_offsets() const;
+  std::span<const int> csr_neighbors() const;
+
  private:
   void check_vertex(int v) const;
 
-  std::vector<std::vector<int>> adj_;
+  int n_ = 0;
+  /// Edges awaiting finalize(), as added (both orientations implied).
+  std::vector<std::pair<int, int>> pending_;
+  /// CSR arrays; valid when finalized_. offsets_ has size n_+1 (or is empty
+  /// for the default-constructed n == 0 graph).
+  std::vector<std::int64_t> offsets_;
+  std::vector<int> neighbors_;
   bool finalized_ = true;  // an edgeless graph is trivially finalized
 };
 

@@ -25,6 +25,14 @@ void print_usage(std::ostream& os, const char* binary) {
         "  --json FILE   also write machine-readable result rows to FILE\n"
         "  --threads N   thread-pool width over trials (default 1;\n"
         "                results are identical for every N)\n"
+        "  --sweep-threads N\n"
+        "                sweep-point-level scheduler: flatten every\n"
+        "                (sweep point x column x trial) into one work queue\n"
+        "                over N workers (default 1; results are identical\n"
+        "                for every N)\n"
+        "  --history P   history retention per trial: \"lean\" (default;\n"
+        "                O(n) aggregates, auto-falls back to full for\n"
+        "                adversaries that read the trace) or \"full\"\n"
         "  --trials N    override each scenario's trial count\n";
 }
 
@@ -75,6 +83,26 @@ int run_main(int argc, char** argv,
       } else if (arg == "--threads") {
         options.threads =
             parse_int_flag("--threads", ++i < argc ? argv[i] : nullptr);
+      } else if (arg == "--sweep-threads") {
+        options.sweep_threads =
+            parse_int_flag("--sweep-threads", ++i < argc ? argv[i] : nullptr);
+      } else if (arg == "--history" || arg.rfind("--history=", 0) == 0) {
+        std::string value;
+        if (arg == "--history") {
+          if (++i >= argc) throw ScenarioError("--history requires a value");
+          value = argv[i];
+        } else {
+          value = arg.substr(std::string("--history=").size());
+        }
+        if (value == "full") {
+          options.history = HistoryPolicy::full;
+        } else if (value == "lean") {
+          options.history = HistoryPolicy::lean;
+        } else {
+          throw ScenarioError(
+              str("--history: expected \"full\" or \"lean\", got \"", value,
+                  "\""));
+        }
       } else if (arg == "--trials") {
         options.trials_override =
             parse_int_flag("--trials", ++i < argc ? argv[i] : nullptr);

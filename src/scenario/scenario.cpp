@@ -41,9 +41,13 @@ Metric parse_metric(const std::string& metric_spec) {
 double run_one_trial(const Topology& topo, const ProcessFactory& factory,
                      const LinkProcessFactory& adversary,
                      const ProblemFactory& problem, const Metric& metric,
-                     int watch_node, std::uint64_t seed, int max_rounds) {
+                     int watch_node, std::uint64_t seed, int max_rounds,
+                     HistoryPolicy history) {
   Execution exec(topo.net(), factory, problem(), adversary(),
-                 ExecutionConfig{}.with_seed(seed).with_max_rounds(max_rounds));
+                 ExecutionConfig{}
+                     .with_seed(seed)
+                     .with_max_rounds(max_rounds)
+                     .with_history_policy(history));
   if (!metric.first_receive) {
     const RunResult result = exec.run();
     return result.solved ? static_cast<double>(result.rounds) : -1.0;
@@ -103,60 +107,140 @@ ScenarioResult run_scenario(const ScenarioSpec& original,
 
   const Metric metric = parse_metric(spec.metric);
 
-  ScenarioResult result;
-  result.spec = spec;
-  for (std::size_t i = 0; i < spec.sweep.size(); ++i) {
+  // One sweep point's execution plan: its topology plus each column's
+  // resolved factories. Factories capture values and shared_ptrs only, so a
+  // plan is safe to consult from worker threads (and to relocate before
+  // they start).
+  struct CellPlan {
+    ProcessFactory factory;
+    LinkProcessFactory adversary;
+    ProblemFactory problem;
+  };
+  struct PointPlan {
+    Topology topo;
+    int max_rounds = 0;
+    int watch_node = -1;
+    std::vector<CellPlan> cells;
+  };
+  const auto build_point = [&](std::size_t i) {
     const double x = spec.sweep[i];
-    const Topology topo = topologies().build(
+    PointPlan point;
+    point.topo = topologies().build(
         substitute_x(spec.topology, x),
         spec.topology_seed + static_cast<std::uint64_t>(i));
 
     std::map<std::string, double> vars;
     vars["x"] = x;
-    vars["n"] = topo.n();
-    for (const auto& [name, value] : topo.marks) {
+    vars["n"] = point.topo.n();
+    for (const auto& [name, value] : point.topo.marks) {
       vars[name] = static_cast<double>(value);
     }
-    int max_rounds = resolve_rounds(spec.max_rounds, vars);
-    if (options.smoke && max_rounds > options.smoke_max_rounds) {
-      max_rounds = options.smoke_max_rounds;
+    point.max_rounds = resolve_rounds(spec.max_rounds, vars);
+    if (options.smoke && point.max_rounds > options.smoke_max_rounds) {
+      point.max_rounds = options.smoke_max_rounds;
     }
-    const int watch_node =
-        metric.first_receive ? topo.mark(metric.mark) : -1;
+    point.watch_node =
+        metric.first_receive ? point.topo.mark(metric.mark) : -1;
 
-    PointResult point;
-    point.x = x;
-    point.n = topo.n();
-    point.max_rounds = max_rounds;
-    point.marks = topo.marks;
     for (const ScenarioColumn& column : spec.columns) {
-      const ProcessFactory factory =
-          algorithms().build(substitute_x(column.algorithm, x));
-      const LinkProcessFactory adversary =
-          adversaries().build(substitute_x(column.adversary, x), topo);
-      const ProblemFactory problem = problems().build(
+      CellPlan cell;
+      cell.factory = algorithms().build(substitute_x(column.algorithm, x));
+      cell.adversary =
+          adversaries().build(substitute_x(column.adversary, x), point.topo);
+      cell.problem = problems().build(
           substitute_x(column.problem.empty() ? spec.problem : column.problem,
                        x),
-          topo);
-
-      const CensoredTrials trials = run_censored_trials(
-          spec.trials, spec.base_seed, static_cast<double>(max_rounds),
-          [&](std::uint64_t seed) {
-            return run_one_trial(topo, factory, adversary, problem, metric,
-                                 watch_node, seed, max_rounds);
-          },
-          options.threads);
-
-      CellResult cell;
-      cell.label = column.label;
-      cell.median = trials.median;
-      cell.p95 = trials.p95;
-      cell.failures = trials.failures;
-      cell.trials = trials.trials();
-      cell.values = trials.values;
+          point.topo);
       point.cells.push_back(std::move(cell));
     }
-    result.points.push_back(std::move(point));
+    return point;
+  };
+
+  // Measurement. Every trial is keyed by (point, column, seed) alone —
+  // never by scheduling order — so both paths below produce bit-identical
+  // raw value vectors, and censoring goes through the one shared helper.
+  const int n_cols = static_cast<int>(spec.columns.size());
+  const int n_trials = spec.trials;
+  const auto measure = [&](const PointPlan& point, int col,
+                           int trial) {
+    const CellPlan& cell = point.cells[static_cast<std::size_t>(col)];
+    return run_one_trial(point.topo, cell.factory, cell.adversary,
+                         cell.problem, metric, point.watch_node,
+                         spec.base_seed + static_cast<std::uint64_t>(trial),
+                         point.max_rounds, options.history);
+  };
+  const auto make_point_result =
+      [&](double x, const PointPlan& planned,
+          std::vector<std::vector<double>> raw_cells) {
+        PointResult point;
+        point.x = x;
+        point.n = planned.topo.n();
+        point.max_rounds = planned.max_rounds;
+        point.marks = planned.topo.marks;
+        for (int col = 0; col < n_cols; ++col) {
+          const CensoredTrials trials = censor_trials(
+              std::move(raw_cells[static_cast<std::size_t>(col)]),
+              static_cast<double>(planned.max_rounds));
+          CellResult cell;
+          cell.label = spec.columns[static_cast<std::size_t>(col)].label;
+          cell.median = trials.median;
+          cell.p95 = trials.p95;
+          cell.failures = trials.failures;
+          cell.trials = trials.trials();
+          cell.values = trials.values;
+          point.cells.push_back(std::move(cell));
+        }
+        return point;
+      };
+
+  ScenarioResult result;
+  result.spec = spec;
+  if (options.sweep_threads > 1) {
+    // Sweep-point-level scheduler: every point's plan is built up front
+    // (the pool needs them all alive), then one flat work queue over every
+    // (point × column × trial) is consumed by a shared pool.
+    std::vector<PointPlan> plan;
+    plan.reserve(spec.sweep.size());
+    for (std::size_t i = 0; i < spec.sweep.size(); ++i) {
+      plan.push_back(build_point(i));
+    }
+    std::vector<std::vector<std::vector<double>>> raw(plan.size());
+    for (std::size_t p = 0; p < plan.size(); ++p) {
+      raw[p].assign(static_cast<std::size_t>(n_cols),
+                    std::vector<double>(static_cast<std::size_t>(n_trials)));
+    }
+    const int total = static_cast<int>(plan.size()) * n_cols * n_trials;
+    run_tasks(total, options.sweep_threads, [&](int task) {
+      const int trial = task % n_trials;
+      const int col = (task / n_trials) % n_cols;
+      const int p = task / (n_trials * n_cols);
+      raw[static_cast<std::size_t>(p)][static_cast<std::size_t>(col)]
+         [static_cast<std::size_t>(trial)] =
+             measure(plan[static_cast<std::size_t>(p)], col, trial);
+    });
+    for (std::size_t p = 0; p < plan.size(); ++p) {
+      result.points.push_back(
+          make_point_result(spec.sweep[p], plan[p], std::move(raw[p])));
+    }
+  } else {
+    // Sequential / per-cell trial-pool path: one point alive at a time, so
+    // peak memory stays O(largest topology) however long the sweep is.
+    for (std::size_t i = 0; i < spec.sweep.size(); ++i) {
+      const PointPlan point = build_point(i);
+      std::vector<std::vector<double>> raw_cells;
+      raw_cells.reserve(static_cast<std::size_t>(n_cols));
+      for (int col = 0; col < n_cols; ++col) {
+        raw_cells.push_back(run_raw_trials(
+            n_trials, spec.base_seed,
+            [&](std::uint64_t seed) {
+              return measure(point, col,
+                             static_cast<int>(seed - spec.base_seed));
+            },
+            options.threads));
+      }
+      result.points.push_back(
+          make_point_result(spec.sweep[i], point, std::move(raw_cells)));
+    }
   }
 
   if (options.out != nullptr) print_result(result, *options.out);

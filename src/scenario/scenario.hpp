@@ -91,7 +91,20 @@ struct ScenarioResult {
 };
 
 struct RunOptions {
-  int threads = 1;         ///< thread-pool width over trials
+  int threads = 1;         ///< thread-pool width over trials (within one cell)
+  /// Sweep-point-level scheduler: when > 1, every (sweep point × column ×
+  /// trial) of the scenario is flattened into one work queue consumed by a
+  /// shared pool of this many workers, so many-core boxes stay saturated
+  /// even on low-trial sweeps. Results are bit-identical to the sequential
+  /// runner (trials are keyed by seed, never by scheduling order). When
+  /// <= 1, the legacy per-cell trial pool (`threads`) is used.
+  int sweep_threads = 1;
+  /// History retention requested for every trial execution. `lean` keeps
+  /// O(n) running aggregates instead of the O(rounds·n) trace; the engine
+  /// falls back to `full` automatically for adversaries/problems that
+  /// declare needs_history(), so this is always safe and never changes
+  /// measured results.
+  HistoryPolicy history = HistoryPolicy::lean;
   int trials_override = 0; ///< > 0 replaces spec.trials
   bool smoke = false;      ///< single tiny sweep point, 1 trial, capped budget
   int smoke_max_rounds = 50000;

@@ -55,8 +55,16 @@ Execution::Execution(const DualGraph& net, ProcessFactory factory,
   setup.max_rounds = config_.max_rounds;
   link_process_->on_execution_start(setup, adversary_rng_);
 
+  // Lean retention is honored only when nobody reads the stored trace.
+  const bool lean_ok = config_.history_policy == HistoryPolicy::lean &&
+                       !link_process_->needs_history() &&
+                       !problem_->needs_history();
+  history_.reset(lean_ok ? HistoryPolicy::lean : HistoryPolicy::full);
+
   first_receive_round_.assign(static_cast<std::size_t>(n), -1);
-  transmitting_.assign(static_cast<std::size_t>(n), 0);
+  actions_.resize(static_cast<std::size_t>(n));
+  feedback_.resize(static_cast<std::size_t>(n));
+  tx_index_of_.assign(static_cast<std::size_t>(n), -1);
   hear_count_.assign(static_cast<std::size_t>(n), 0);
   last_sender_.assign(static_cast<std::size_t>(n), -1);
   last_tx_index_.assign(static_cast<std::size_t>(n), -1);
@@ -94,8 +102,7 @@ EdgeSet Execution::select_edges_post_actions(
   return EdgeSet::none();
 }
 
-void Execution::resolve_deliveries(const std::vector<Action>& actions,
-                                   const std::vector<int>& transmitters,
+void Execution::resolve_deliveries(const std::vector<int>& transmitters,
                                    const EdgeSet& edges, RoundRecord& record) {
   const int n = net_->n();
   const int tx_count = static_cast<int>(transmitters.size());
@@ -114,7 +121,9 @@ void Execution::resolve_deliveries(const std::vector<Action>& actions,
       }
     } else if (tx_count >= 2 && config_.collision_detection) {
       for (int u = 0; u < n; ++u) {
-        if (!transmitting_[static_cast<std::size_t>(u)]) colliders_.push_back(u);
+        if (tx_index_of_[static_cast<std::size_t>(u)] < 0) {
+          colliders_.push_back(u);
+        }
       }
     }
     return;
@@ -137,34 +146,22 @@ void Execution::resolve_deliveries(const std::vector<Action>& actions,
   }
   if (edges.kind == EdgeSet::Kind::some) {
     const auto& gp_only = net_->gp_only_edges();
-    // Locate transmitter indices lazily: only needed for selected edges.
     for (const std::int32_t idx : edges.indices) {
       DC_EXPECTS(idx >= 0 &&
                  idx < static_cast<std::int32_t>(gp_only.size()));
       const auto [a, b] = gp_only[static_cast<std::size_t>(idx)];
-      if (transmitting_[static_cast<std::size_t>(a)]) {
-        // Find a's index among transmitters (transmitter lists are short in
-        // sparse rounds; linear scan is fine and keeps no extra state).
-        for (int ti = 0; ti < tx_count; ++ti) {
-          if (transmitters[static_cast<std::size_t>(ti)] == a) {
-            bump(b, a, ti);
-            break;
-          }
-        }
-      }
-      if (transmitting_[static_cast<std::size_t>(b)]) {
-        for (int ti = 0; ti < tx_count; ++ti) {
-          if (transmitters[static_cast<std::size_t>(ti)] == b) {
-            bump(a, b, ti);
-            break;
-          }
-        }
-      }
+      // tx_index_of_ maps each endpoint straight to its transmitter slot,
+      // so activating an edge costs O(1) instead of a scan over the round's
+      // transmitter list.
+      const int ta = tx_index_of_[static_cast<std::size_t>(a)];
+      if (ta >= 0) bump(b, a, ta);
+      const int tb = tx_index_of_[static_cast<std::size_t>(b)];
+      if (tb >= 0) bump(a, b, tb);
     }
   }
 
   for (const int u : touched_) {
-    if (transmitting_[static_cast<std::size_t>(u)]) continue;
+    if (tx_index_of_[static_cast<std::size_t>(u)] >= 0) continue;
     if (hear_count_[static_cast<std::size_t>(u)] == 1) {
       record.deliveries.push_back(
           Delivery{u, last_sender_[static_cast<std::size_t>(u)],
@@ -180,7 +177,6 @@ void Execution::resolve_deliveries(const std::vector<Action>& actions,
     last_sender_[static_cast<std::size_t>(u)] = -1;
     last_tx_index_[static_cast<std::size_t>(u)] = -1;
   }
-  (void)actions;
 }
 
 void Execution::step() {
@@ -193,46 +189,50 @@ void Execution::step() {
       link_process_->adversary_class() == AdversaryClass::online_adaptive;
   if (online) edges = select_edges_pre_actions();
 
-  // 2. Draw actions.
-  std::vector<Action> actions(static_cast<std::size_t>(n));
-  std::vector<int> transmitters;
+  // 2. Draw actions. The round record's transmitter/message arrays are built
+  // in the same pass, straight into the reusable scratch record.
+  RoundRecord& record = record_;
+  record.clear();
   for (int v = 0; v < n; ++v) {
-    actions[static_cast<std::size_t>(v)] =
+    actions_[static_cast<std::size_t>(v)] =
         processes_[static_cast<std::size_t>(v)]->on_round(
             round_, node_rngs_[static_cast<std::size_t>(v)]);
-    const bool tx = actions[static_cast<std::size_t>(v)].transmit;
-    transmitting_[static_cast<std::size_t>(v)] = tx ? 1 : 0;
-    if (tx) transmitters.push_back(v);
+    if (actions_[static_cast<std::size_t>(v)].transmit) {
+      tx_index_of_[static_cast<std::size_t>(v)] =
+          static_cast<int>(record.transmitters.size());
+      record.transmitters.push_back(v);
+      record.sent.push_back(actions_[static_cast<std::size_t>(v)].message);
+    } else {
+      tx_index_of_[static_cast<std::size_t>(v)] = -1;
+    }
   }
 
   // 3. Oblivious / offline adaptive adversaries commit now.
-  if (!online) edges = select_edges_post_actions(actions, transmitters);
+  if (!online) edges = select_edges_post_actions(actions_, record.transmitters);
 
   // 4. Resolve deliveries under the §2 receive rule.
-  RoundRecord record;
-  record.transmitters = transmitters;
-  record.sent.reserve(transmitters.size());
-  for (const int v : transmitters) {
-    record.sent.push_back(actions[static_cast<std::size_t>(v)].message);
-  }
   record.activated = edges.kind;
   record.activated_count =
       edges.kind == EdgeSet::Kind::all
           ? static_cast<std::int64_t>(net_->gp_only_edges().size())
           : static_cast<std::int64_t>(edges.indices.size());
+  resolve_deliveries(record.transmitters, edges, record);
   if (edges.kind == EdgeSet::Kind::some) {
-    record.activated_indices = edges.indices;
+    // The EdgeSet is dead after delivery resolution: move the index vector
+    // into the record instead of copying it.
+    record.activated_indices = std::move(edges.indices);
   }
-  resolve_deliveries(actions, transmitters, edges, record);
 
   // 5. Feedback, bookkeeping, monitoring.
-  std::vector<RoundFeedback> feedback(static_cast<std::size_t>(n));
   for (int v = 0; v < n; ++v) {
-    feedback[static_cast<std::size_t>(v)].transmitted =
-        transmitting_[static_cast<std::size_t>(v)] != 0;
+    RoundFeedback& fb = feedback_[static_cast<std::size_t>(v)];
+    fb.transmitted = tx_index_of_[static_cast<std::size_t>(v)] >= 0;
+    fb.received.reset();
+    fb.sender = -1;
+    fb.collision = false;
   }
   for (const Delivery& d : record.deliveries) {
-    auto& fb = feedback[static_cast<std::size_t>(d.receiver)];
+    auto& fb = feedback_[static_cast<std::size_t>(d.receiver)];
     fb.received = record.sent[static_cast<std::size_t>(d.transmitter_index)];
     fb.sender = d.sender;
     if (first_receive_round_[static_cast<std::size_t>(d.receiver)] == -1) {
@@ -240,17 +240,16 @@ void Execution::step() {
     }
   }
   for (const int u : colliders_) {
-    feedback[static_cast<std::size_t>(u)].collision = true;
+    feedback_[static_cast<std::size_t>(u)].collision = true;
   }
   for (int v = 0; v < n; ++v) {
     processes_[static_cast<std::size_t>(v)]->on_feedback(
-        round_, feedback[static_cast<std::size_t>(v)],
+        round_, feedback_[static_cast<std::size_t>(v)],
         node_rngs_[static_cast<std::size_t>(v)]);
-    transmitting_[static_cast<std::size_t>(v)] = 0;
   }
 
   problem_->observe_round(record, processes_);
-  history_.push(std::move(record));
+  history_.push_reuse(record);
   ++round_;
   solved_ = problem_->solved(processes_);
 }

@@ -44,6 +44,12 @@ struct ExecutionConfig {
   /// collision happened (RoundFeedback::collision). The paper's model is
   /// without collision detection — leave false to reproduce it.
   bool collision_detection = false;
+  /// Requested history retention. `lean` is honored only when neither the
+  /// link process nor the problem declares needs_history(); otherwise the
+  /// engine silently falls back to `full` so adaptive adversaries always
+  /// see the trace they are entitled to. Execution::history_policy()
+  /// reports the effective choice.
+  HistoryPolicy history_policy = HistoryPolicy::full;
 
   // Named-field construction, so call sites never depend on member order:
   //   ExecutionConfig{}.with_seed(7).with_max_rounds(4000)
@@ -62,6 +68,10 @@ struct ExecutionConfig {
   }
   ExecutionConfig& with_collision_detection(bool on) {
     collision_detection = on;
+    return *this;
+  }
+  ExecutionConfig& with_history_policy(HistoryPolicy policy) {
+    history_policy = policy;
     return *this;
   }
 };
@@ -93,6 +103,8 @@ class Execution {
   int round() const { return round_; }
 
   const ExecutionHistory& history() const { return history_; }
+  /// The effective retention policy (after the needs_history() fallback).
+  HistoryPolicy history_policy() const { return history_.policy(); }
   const Problem& problem() const { return *problem_; }
   const DualGraph& net() const { return *net_; }
   const StateInspector& inspector() const { return inspector_; }
@@ -110,8 +122,7 @@ class Execution {
   EdgeSet select_edges_pre_actions();
   EdgeSet select_edges_post_actions(const std::vector<Action>& actions,
                                     const std::vector<int>& transmitters);
-  void resolve_deliveries(const std::vector<Action>& actions,
-                          const std::vector<int>& transmitters,
+  void resolve_deliveries(const std::vector<int>& transmitters,
                           const EdgeSet& edges, RoundRecord& record);
 
   const DualGraph* net_;
@@ -130,8 +141,17 @@ class Execution {
   bool solved_ = false;
   std::vector<int> first_receive_round_;
 
-  // Scratch buffers reused across rounds.
-  std::vector<char> transmitting_;
+  // Scratch buffers reused across rounds, so a steady-state step() performs
+  // no allocations of its own (the stored RoundRecord under the full history
+  // policy, and whatever the adversary allocates inside its choose_* hook,
+  // are the only remaining per-round allocations).
+  std::vector<Action> actions_;
+  std::vector<RoundFeedback> feedback_;
+  RoundRecord record_;
+  /// tx_index_of_[v]: v's index into the round's transmitters/sent arrays,
+  /// or -1 when v listens. Replaces both the `transmitting_` bitmap and the
+  /// per-endpoint linear transmitter scans in the sparse-edge path.
+  std::vector<int> tx_index_of_;
   std::vector<int> hear_count_;
   std::vector<int> last_sender_;
   std::vector<int> last_tx_index_;

@@ -4,7 +4,22 @@
 // This is the "execution history through round r-1" that §2 grants to
 // adaptive link processes, and it doubles as the trace used by tests,
 // benches, and diagnostics.
+//
+// Two storage policies:
+//
+//   full — every RoundRecord is retained (O(rounds · n) memory). Required
+//          when anything reads the per-round trace: adaptive adversaries
+//          that declare needs_history(), tests, diagnostics.
+//   lean — only running aggregates (round count, transmission/delivery
+//          totals) plus the most recent record are retained, so memory is
+//          O(n) no matter how many rounds execute. The engine selects lean
+//          only when it can prove nobody reads the trace (see
+//          ExecutionConfig::history_policy and needs_history()).
+//
+// In both policies the aggregate counters are maintained incrementally, so
+// total_transmissions()/total_deliveries() are O(1).
 
+#include <cstddef>
 #include <vector>
 
 #include "sim/edge_set.hpp"
@@ -31,23 +46,69 @@ struct RoundRecord {
   /// and `all` the set is implicit). Lets tests recompute deliveries from
   /// first principles.
   std::vector<std::int32_t> activated_indices;
+
+  /// Resets to an empty record while keeping vector capacity, so the engine
+  /// can refill the same buffers round after round without allocating.
+  void clear() {
+    transmitters.clear();
+    sent.clear();
+    deliveries.clear();
+    activated = EdgeSet::Kind::none;
+    activated_count = 0;
+    activated_indices.clear();
+  }
 };
+
+/// History retention policy (see file comment).
+enum class HistoryPolicy : std::uint8_t { full, lean };
+
+const char* to_string(HistoryPolicy policy);
 
 class ExecutionHistory {
  public:
-  int rounds() const { return static_cast<int>(records_.size()); }
+  ExecutionHistory() = default;
+
+  /// Drops all stored state and switches policy. The engine calls this once
+  /// before round 0.
+  void reset(HistoryPolicy policy);
+
+  HistoryPolicy policy() const { return policy_; }
+  int rounds() const { return rounds_; }
+
+  /// Per-round access; requires the full policy (lean keeps no trace).
   const RoundRecord& round(int r) const;
-  const std::vector<RoundRecord>& records() const { return records_; }
+  const std::vector<RoundRecord>& records() const;
 
-  /// Total transmissions across all rounds.
-  std::int64_t total_transmissions() const;
-  /// Total successful deliveries across all rounds.
-  std::int64_t total_deliveries() const;
+  /// The most recent record. Available under both policies; requires
+  /// rounds() >= 1.
+  const RoundRecord& last() const;
 
-  void push(RoundRecord record) { records_.push_back(std::move(record)); }
+  /// Total transmissions across all rounds. O(1).
+  std::int64_t total_transmissions() const { return total_transmissions_; }
+  /// Total successful deliveries across all rounds. O(1).
+  std::int64_t total_deliveries() const { return total_deliveries_; }
+
+  /// Appends a record (copy/move-in form, for tests and non-hot-path use).
+  void push(RoundRecord record);
+
+  /// Hot-path append: consumes `record` by swap. On return `record` is
+  /// cleared but retains usable buffer capacity — under the lean policy it
+  /// holds the previous round's buffers, so a steady-state engine loop
+  /// allocates nothing. Under lean the history itself stays O(n): only the
+  /// aggregates and the latest record are kept, regardless of round count.
+  void push_reuse(RoundRecord& record);
+
+  /// Approximate heap footprint of the stored trace, in bytes. The lean
+  /// policy's O(n) memory guarantee is asserted against this in tests.
+  std::size_t approx_bytes() const;
 
  private:
-  std::vector<RoundRecord> records_;
+  HistoryPolicy policy_ = HistoryPolicy::full;
+  int rounds_ = 0;
+  std::int64_t total_transmissions_ = 0;
+  std::int64_t total_deliveries_ = 0;
+  std::vector<RoundRecord> records_;  ///< full policy only
+  RoundRecord last_;                  ///< lean policy only
 };
 
 }  // namespace dualcast

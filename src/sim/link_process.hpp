@@ -61,6 +61,17 @@ class LinkProcess {
 
   virtual AdversaryClass adversary_class() const = 0;
 
+  /// Capability declaration: does this adversary actually *read* the
+  /// ExecutionHistory it is handed? When every history consumer (adversary
+  /// and problem) returns false, the engine may honor
+  /// HistoryPolicy::lean and keep only O(n) running aggregates instead of
+  /// the full O(rounds·n) trace. The default is conservative: adaptive
+  /// classes are entitled to the history, so they claim it unless they
+  /// override; oblivious adversaries never see it.
+  virtual bool needs_history() const {
+    return adversary_class() != AdversaryClass::oblivious;
+  }
+
   /// Called once before round 0. `rng` is the adversary's private stream
   /// (independent of all node streams).
   virtual void on_execution_start(const ExecutionSetup& setup, Rng& rng);

@@ -34,6 +34,13 @@ class Problem {
   /// Human-readable description for traces and bench tables.
   virtual std::string name() const = 0;
 
+  /// Capability declaration: does this problem read the stored
+  /// ExecutionHistory (beyond the per-round record it is handed in
+  /// observe_round)? False permits the engine to honor
+  /// HistoryPolicy::lean. None of the built-in problems keep a back
+  /// reference to the trace, so the default is false.
+  virtual bool needs_history() const { return false; }
+
   /// True if node v is the global-broadcast source.
   virtual bool is_source(int v) const { return v >= 0 && false; }
 

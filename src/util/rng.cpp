@@ -18,35 +18,12 @@ std::uint64_t mix64(std::uint64_t x) {
   return splitmix64(state);
 }
 
-namespace {
-inline std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64(sm);
   // xoshiro's all-zero state is degenerate; SplitMix64 cannot produce four
   // zero outputs in a row, but guard anyway.
   if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
-}
-
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform01() {
-  // 53 high bits -> double in [0,1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
@@ -62,24 +39,6 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
     draw = next_u64();
   } while (draw >= limit);
   return lo + static_cast<std::int64_t>(draw % span);
-}
-
-bool Rng::bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform01() < p;
-}
-
-bool Rng::coin_pow2(int i) {
-  DC_EXPECTS(i >= 0 && i <= 63);
-  if (i == 0) return true;
-  return bits(i) == 0;
-}
-
-std::uint64_t Rng::bits(int k) {
-  DC_EXPECTS(k >= 0 && k <= 64);
-  if (k == 0) return 0;
-  return next_u64() >> (64 - k);
 }
 
 Rng Rng::fork(std::uint64_t tag) {

@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "util/assert.hpp"
+
 namespace dualcast {
 
 /// One step of the SplitMix64 sequence; also used as a mixing function.
@@ -33,25 +35,54 @@ class Rng {
   /// Creates a stream from a 64-bit seed (expanded via SplitMix64).
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
 
+  // The draw methods are defined inline: they sit on the engine's
+  // per-node-per-round and per-edge-per-round hot paths, where a function
+  // call per draw is measurable.
+
   /// Next raw 64-bit value.
-  std::uint64_t next_u64();
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1).
-  double uniform01();
+  double uniform01() {
+    // 53 high bits -> double in [0,1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform integer in the inclusive range [lo, hi]. Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
   /// Bernoulli trial with probability p (clamped to [0,1]).
-  bool bernoulli(double p);
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
 
   /// Bernoulli trial with probability exactly 2^-i, i >= 0, via i fair bits.
   /// i = 0 always succeeds. Requires 0 <= i <= 63.
-  bool coin_pow2(int i);
+  bool coin_pow2(int i) {
+    DC_EXPECTS(i >= 0 && i <= 63);
+    if (i == 0) return true;
+    return bits(i) == 0;
+  }
 
   /// k uniformly random bits packed into the low bits of the result.
   /// Requires 0 <= k <= 64; k == 0 yields 0.
-  std::uint64_t bits(int k);
+  std::uint64_t bits(int k) {
+    DC_EXPECTS(k >= 0 && k <= 64);
+    if (k == 0) return 0;
+    return next_u64() >> (64 - k);
+  }
 
   /// Derives an independent child stream. Distinct tags (or successive calls
   /// with the same tag) give statistically independent streams; forking does
@@ -65,6 +96,10 @@ class Rng {
   std::uint64_t seed() const { return seed_; }
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t seed_ = 0;
   std::uint64_t fork_counter_ = 0;
   std::array<std::uint64_t, 4> s_{};

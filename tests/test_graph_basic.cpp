@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
 #include "util/assert.hpp"
+#include "util/rng.hpp"
 
 namespace dualcast {
 namespace {
@@ -120,6 +124,94 @@ TEST(Graph, EmptyGraphQueriesAreSafe) {
   EXPECT_EQ(g.max_degree(), 0);
   EXPECT_FALSE(g.is_connected());
   EXPECT_TRUE(g.edges().empty());
+}
+
+TEST(Graph, CsrViewsMatchPerVertexQueries) {
+  const Graph g = triangle_plus_tail();
+  const auto offsets = g.csr_offsets();
+  const auto flat = g.csr_neighbors();
+  ASSERT_EQ(offsets.size(), static_cast<std::size_t>(g.n()) + 1);
+  EXPECT_EQ(offsets.front(), 0);
+  EXPECT_EQ(offsets.back(), static_cast<std::int64_t>(flat.size()));
+  EXPECT_EQ(static_cast<std::int64_t>(flat.size()), 2 * g.edge_count());
+  for (int v = 0; v < g.n(); ++v) {
+    const auto nb = g.neighbors(v);
+    ASSERT_EQ(static_cast<std::int64_t>(nb.size()),
+              offsets[static_cast<std::size_t>(v) + 1] -
+                  offsets[static_cast<std::size_t>(v)]);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      EXPECT_EQ(nb[i],
+                flat[static_cast<std::size_t>(
+                    offsets[static_cast<std::size_t>(v)]) + i]);
+    }
+  }
+}
+
+TEST(Graph, AddEdgeAfterFinalizeMergesWithExistingEdges) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.finalize();
+  ASSERT_EQ(g.edge_count(), 2);
+  g.add_edge(3, 4);
+  g.add_edge(0, 1);  // duplicate of a packed edge
+  EXPECT_FALSE(g.finalized());
+  g.finalize();
+  EXPECT_EQ(g.edge_count(), 3);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(3, 4));
+}
+
+TEST(Graph, RandomizedCrossCheckAgainstReferenceAdjacency) {
+  // The CSR implementation must be observably identical to the reference
+  // sorted-adjacency-list semantics on arbitrary graphs with duplicate
+  // insertions and multi-phase finalization.
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 39));
+    Graph g(n);
+    std::set<std::pair<int, int>> reference;
+    const int attempts = static_cast<int>(rng.uniform_int(0, 3 * n));
+    for (int a = 0; a < attempts; ++a) {
+      const int u = static_cast<int>(rng.uniform_int(0, n - 1));
+      const int v = static_cast<int>(rng.uniform_int(0, n - 1));
+      if (u == v) continue;
+      g.add_edge(u, v);
+      reference.insert({std::min(u, v), std::max(u, v)});
+      if (rng.bernoulli(0.05)) g.finalize();  // interleave re-finalization
+    }
+    g.finalize();
+
+    ASSERT_EQ(g.edge_count(), static_cast<std::int64_t>(reference.size()));
+    std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+    for (const auto& [u, v] : reference) {
+      adj[static_cast<std::size_t>(u)].push_back(v);
+      adj[static_cast<std::size_t>(v)].push_back(u);
+    }
+    int max_deg = 0;
+    for (int v = 0; v < n; ++v) {
+      auto& expected = adj[static_cast<std::size_t>(v)];
+      std::sort(expected.begin(), expected.end());
+      const auto got = g.neighbors(v);
+      ASSERT_EQ(std::vector<int>(got.begin(), got.end()), expected)
+          << "trial " << trial << " vertex " << v;
+      EXPECT_EQ(g.degree(v), static_cast<int>(expected.size()));
+      max_deg = std::max(max_deg, static_cast<int>(expected.size()));
+    }
+    EXPECT_EQ(g.max_degree(), max_deg);
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        const bool expected =
+            u != v &&
+            reference.count({std::min(u, v), std::max(u, v)}) > 0;
+        ASSERT_EQ(g.has_edge(u, v), expected);
+      }
+    }
+    const auto edges = g.edges();
+    const std::set<std::pair<int, int>> edge_set(edges.begin(), edges.end());
+    ASSERT_EQ(edge_set, reference);
+  }
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "graph/generators.hpp"
 #include "util/assert.hpp"
 
@@ -70,6 +72,34 @@ TEST(DualGraph, CompleteFlagDetection) {
   EXPECT_TRUE(complete.gprime_complete());
   const DualGraph ring = DualGraph::protocol(ring_graph(6));
   EXPECT_FALSE(ring.gprime_complete());
+}
+
+TEST(DualGraph, OverlayCsrViewsMatchPerVertexQueries) {
+  Graph g = ring_graph(8);
+  Graph gp = ring_graph(8);
+  gp.add_edge(0, 4);
+  gp.add_edge(1, 5);
+  gp.add_edge(1, 3);
+  gp.finalize();
+  const DualGraph net(std::move(g), std::move(gp));
+  const auto offsets = net.gp_only_csr_offsets();
+  const auto flat = net.gp_only_csr_neighbors();
+  ASSERT_EQ(offsets.size(), static_cast<std::size_t>(net.n()) + 1);
+  EXPECT_EQ(offsets.front(), 0);
+  EXPECT_EQ(offsets.back(), static_cast<std::int64_t>(flat.size()));
+  EXPECT_EQ(flat.size(), 2 * net.gp_only_edges().size());
+  for (int v = 0; v < net.n(); ++v) {
+    const auto nb = net.gp_only_neighbors(v);
+    ASSERT_EQ(static_cast<std::int64_t>(nb.size()),
+              offsets[static_cast<std::size_t>(v) + 1] -
+                  offsets[static_cast<std::size_t>(v)]);
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      EXPECT_EQ(nb[i],
+                flat[static_cast<std::size_t>(
+                    offsets[static_cast<std::size_t>(v)]) + i]);
+    }
+  }
 }
 
 TEST(DualGraph, MaxDegreeIsGPrimeDegree) {

@@ -60,6 +60,69 @@ TEST(ScenarioRunner, MultiThreadedMatchesSingleThreadedBitForBit) {
   }
 }
 
+TEST(ScenarioRunner, SweepSchedulerBitIdenticalAcrossWorkerCounts) {
+  // The sweep-point-level scheduler flattens (point × column × trial) into
+  // one queue; every worker count must reproduce the sequential runner's
+  // rows bit for bit.
+  RunOptions sequential;
+  const std::vector<std::string> reference =
+      rows_of(run_scenario(small_spec(), sequential));
+  ASSERT_FALSE(reference.empty());
+  for (const int workers : {1, 2, 8}) {
+    RunOptions swept;
+    swept.sweep_threads = workers;
+    EXPECT_EQ(rows_of(run_scenario(small_spec(), swept)), reference)
+        << "sweep_threads=" << workers;
+  }
+  // The two pools compose: a sweep scheduler result also matches the
+  // legacy per-cell trial pool.
+  RunOptions trial_pool;
+  trial_pool.threads = 4;
+  EXPECT_EQ(rows_of(run_scenario(small_spec(), trial_pool)), reference);
+}
+
+TEST(ScenarioRunner, LeanAndFullHistoryProduceIdenticalResults) {
+  RunOptions lean;
+  lean.history = HistoryPolicy::lean;
+  RunOptions full;
+  full.history = HistoryPolicy::full;
+  EXPECT_EQ(rows_of(run_scenario(small_spec(), lean)),
+            rows_of(run_scenario(small_spec(), full)));
+}
+
+TEST(ScenarioCatalogTest, LeanHistoryMatchesFullOnEveryCatalogScenario) {
+  // Measured results may never depend on history retention: for every
+  // catalog scenario (smoke scale), a lean run — which each execution
+  // honors or falls back from per its adversary's/problem's
+  // needs_history() — must match a forced-full run row for row.
+  for (const ScenarioSpec* spec : scenarios().all()) {
+    RunOptions lean;
+    lean.smoke = true;
+    lean.history = HistoryPolicy::lean;
+    RunOptions full;
+    full.smoke = true;
+    full.history = HistoryPolicy::full;
+    EXPECT_EQ(rows_of(run_scenario(*spec, lean)),
+              rows_of(run_scenario(*spec, full)))
+        << spec->name;
+  }
+}
+
+TEST(ScenarioCatalogTest, SweepSchedulerMatchesSequentialOnEveryCatalogScenario) {
+  // The parallel sweep scheduler must be bit-identical to the sequential
+  // runner on every catalog scenario, not just hand-picked specs.
+  for (const ScenarioSpec* spec : scenarios().all()) {
+    RunOptions sequential;
+    sequential.smoke = true;
+    RunOptions swept;
+    swept.smoke = true;
+    swept.sweep_threads = 8;
+    EXPECT_EQ(rows_of(run_scenario(*spec, swept)),
+              rows_of(run_scenario(*spec, sequential)))
+        << spec->name;
+  }
+}
+
 TEST(ScenarioRunner, DifferentSeedsChangeValues) {
   ScenarioSpec spec = small_spec();
   const ScenarioResult a = run_scenario(spec);

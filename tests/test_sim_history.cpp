@@ -1,8 +1,10 @@
 // ExecutionHistory bookkeeping: totals, per-round records, adversary-choice
-// accounting, and bounds checking.
+// accounting, bounds checking, and the lean (aggregates-only) retention
+// policy including its O(n)-memory guarantee.
 
 #include <gtest/gtest.h>
 
+#include "adversary/dense_sparse.hpp"
 #include "adversary/static_adversaries.hpp"
 #include "graph/generators.hpp"
 #include "sim/execution.hpp"
@@ -16,6 +18,41 @@ using testing::scripted_factory;
 
 std::shared_ptr<Problem> assign(int n) {
   return std::make_shared<AssignmentProblem>(n, -1, std::vector<int>{});
+}
+
+/// Transmits every `period` rounds, forever. Keeps long-horizon executions
+/// cheap (no per-round state accumulation, unlike ScriptedProcess).
+ProcessFactory periodic_factory(int period) {
+  return [period](const ProcessEnv&) {
+    class Periodic final : public InspectableProcess {
+     public:
+      explicit Periodic(int period) : period_(period) {}
+      bool transmits(int round) const {
+        return (round + env_.id) % period_ == 0;
+      }
+      Action on_round(int round, Rng&) override {
+        if (!transmits(round)) return Action::listen();
+        Message m;
+        m.source = env_.id;
+        return Action::send(m);
+      }
+      double transmit_probability(int round) const override {
+        return transmits(round) ? 1.0 : 0.0;
+      }
+
+     private:
+      int period_;
+    };
+    return std::make_unique<Periodic>(period);
+  };
+}
+
+DualGraph ring_with_chords(int n) {
+  Graph g = ring_graph(n);
+  Graph gp = ring_graph(n);
+  for (int v = 0; v + 2 < n; v += 2) gp.add_edge(v, v + 2);
+  gp.finalize();
+  return DualGraph(std::move(g), std::move(gp));
 }
 
 TEST(History, TotalsMatchRecords) {
@@ -129,6 +166,111 @@ TEST(History, EngineRejectsOutOfRangeEdgeIndices) {
   Execution exec(net, scripted_factory({{1}, {0}, {0}}), assign(3),
                  std::make_unique<BadIndices>(), {1, 1, {}});
   EXPECT_THROW(exec.step(), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// HistoryPolicy::lean
+// ---------------------------------------------------------------------------
+
+TEST(HistoryPolicyTest, LeanKeepsAggregatesDropsTrace) {
+  // Two executions with the same seed replay identically, so lean must
+  // reproduce every aggregate the full policy computes.
+  const DualGraph net = ring_with_chords(8);
+  const auto make = [&](HistoryPolicy policy) {
+    return std::make_unique<Execution>(
+        net, periodic_factory(3), assign(8),
+        std::make_unique<RandomIidEdges>(0.5),
+        ExecutionConfig{}
+            .with_seed(21)
+            .with_max_rounds(40)
+            .with_history_policy(policy));
+  };
+  const auto full = make(HistoryPolicy::full);
+  const auto lean = make(HistoryPolicy::lean);
+  full->run();
+  lean->run();
+  EXPECT_EQ(full->history_policy(), HistoryPolicy::full);
+  EXPECT_EQ(lean->history_policy(), HistoryPolicy::lean);
+  EXPECT_EQ(lean->history().rounds(), full->history().rounds());
+  EXPECT_EQ(lean->history().total_transmissions(),
+            full->history().total_transmissions());
+  EXPECT_EQ(lean->history().total_deliveries(),
+            full->history().total_deliveries());
+  EXPECT_EQ(lean->first_receive_round(), full->first_receive_round());
+  // The per-round trace is gone under lean — accessing it is a contract
+  // violation, not a silent empty read...
+  EXPECT_THROW(lean->history().round(0), ContractViolation);
+  EXPECT_THROW(lean->history().records(), ContractViolation);
+  // ...but the most recent record stays available under both policies.
+  EXPECT_EQ(lean->history().last().transmitters,
+            full->history().last().transmitters);
+  EXPECT_EQ(lean->history().last().activated,
+            full->history().last().activated);
+}
+
+TEST(HistoryPolicyTest, LeanMemoryIsIndependentOfRoundCountOver50kRounds) {
+  // The history_cap guard: under lean the trace must not grow with the
+  // round count. Run 50k rounds (with a `some`-kind adversary so record
+  // buffers are exercised every round) and assert the history footprint is
+  // O(n) — identical to a 1k-round run and far below the full trace.
+  const DualGraph net = ring_with_chords(16);
+  const auto footprint_after = [&](int rounds) {
+    Execution exec(net, periodic_factory(4), assign(16),
+                   std::make_unique<RandomIidEdges>(0.5),
+                   ExecutionConfig{}
+                       .with_seed(5)
+                       .with_max_rounds(rounds)
+                       .with_history_policy(HistoryPolicy::lean));
+    exec.run();
+    EXPECT_EQ(exec.history().rounds(), rounds);
+    return exec.history().approx_bytes();
+  };
+  const std::size_t small = footprint_after(1000);
+  const std::size_t large = footprint_after(50000);
+  // 50x the rounds, same O(n) footprint. (Buffer capacities track the
+  // largest single round seen, never the round count, so allow only the
+  // slack of one doubling.)
+  EXPECT_LE(large, 2 * small);
+  EXPECT_LT(large, 64u * 1024u);
+}
+
+TEST(HistoryPolicyTest, AdaptiveAdversaryForcesFullFallback) {
+  // An adaptive adversary that does not override needs_history() claims the
+  // trace, so a lean request silently falls back to full.
+  class TraceReader final : public LinkProcess {
+   public:
+    AdversaryClass adversary_class() const override {
+      return AdversaryClass::online_adaptive;
+    }
+    EdgeSet choose_online(int, const ExecutionHistory&, const StateInspector&,
+                          Rng&) override {
+      return EdgeSet::none();
+    }
+  };
+  const DualGraph net = ring_with_chords(6);
+  Execution exec(net, periodic_factory(2), assign(6),
+                 std::make_unique<TraceReader>(),
+                 ExecutionConfig{}
+                     .with_seed(3)
+                     .with_max_rounds(10)
+                     .with_history_policy(HistoryPolicy::lean));
+  exec.run();
+  EXPECT_EQ(exec.history_policy(), HistoryPolicy::full);
+  EXPECT_NO_THROW(exec.history().round(9));
+}
+
+TEST(HistoryPolicyTest, DeclaredNonReadersHonorLean) {
+  // DenseSparseOnline is adaptive but declares needs_history() == false
+  // (it reads only the StateInspector), so lean is honored.
+  const DualGraph net = ring_with_chords(8);
+  Execution exec(net, periodic_factory(2), assign(8),
+                 std::make_unique<DenseSparseOnline>(DenseSparseConfig{}),
+                 ExecutionConfig{}
+                     .with_seed(3)
+                     .with_max_rounds(10)
+                     .with_history_policy(HistoryPolicy::lean));
+  exec.run();
+  EXPECT_EQ(exec.history_policy(), HistoryPolicy::lean);
 }
 
 }  // namespace
