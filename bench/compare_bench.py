@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Diff two bench artifacts and fail on regressions.
+
+Supports both artifact formats produced by this repository's CI bench job:
+
+  BENCH_scenarios.json      — dualcast_bench --json rows: per
+                              (scenario, column, x) medians of *measured
+                              rounds* (lower is better; a higher median
+                              means the algorithm got slower in simulated
+                              rounds, i.e. behavior drifted).
+  BENCH_sim_throughput.json — sim_throughput rows: per (scenario, engine)
+                              rounds_per_sec (higher is better; a lower
+                              value means the engine got slower).
+
+Usage:
+  compare_bench.py BASELINE CURRENT [--threshold 0.15]
+
+Exits nonzero when any key regresses by more than the threshold
+(default 15%). Keys present in only one file are reported but do not fail
+the comparison (scenarios and bench cases come and go across PRs).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def keyed_metrics(rows):
+    """Returns {key: (value, higher_is_better)} for either artifact format."""
+    out = {}
+    for row in rows:
+        if "rounds_per_sec" in row:
+            key = f"{row['scenario']}/{row.get('engine', '?')}"
+            out[key] = (float(row["rounds_per_sec"]), True)
+        elif "median" in row:
+            key = f"{row['scenario']}/{row['column']}/x={row.get('x')}"
+            out[key] = (float(row["median"]), False)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative regression threshold (default 0.15)")
+    args = parser.parse_args()
+
+    base = keyed_metrics(load_rows(args.baseline))
+    curr = keyed_metrics(load_rows(args.current))
+
+    regressions = []
+    improvements = []
+    for key, (curr_value, higher_is_better) in sorted(curr.items()):
+        if key not in base:
+            print(f"  new       {key}: {curr_value:g}")
+            continue
+        base_value, _ = base[key]
+        if base_value == 0:
+            continue
+        change = (curr_value - base_value) / base_value
+        regressed = change < -args.threshold if higher_is_better \
+            else change > args.threshold
+        improved = change > args.threshold if higher_is_better \
+            else change < -args.threshold
+        line = f"{key}: {base_value:g} -> {curr_value:g} ({change:+.1%})"
+        if regressed:
+            regressions.append(line)
+            print(f"  REGRESSED {line}")
+        elif improved:
+            improvements.append(line)
+            print(f"  improved  {line}")
+    for key in sorted(set(base) - set(curr)):
+        print(f"  removed   {key}")
+
+    print(f"\n{len(curr)} keys compared against {args.baseline}: "
+          f"{len(regressions)} regression(s), "
+          f"{len(improvements)} improvement(s) beyond "
+          f"{args.threshold:.0%}")
+    if regressions:
+        print("FAIL: regressions above threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

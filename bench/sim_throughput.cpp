@@ -1,124 +1,190 @@
-// Simulator micro-throughput (google-benchmark): engine rounds/second across
-// network shapes, adversary classes, and history policies, with every piece
+// Engine micro-throughput: rounds/second across network shapes, adversary
+// classes, and both execution engines (scalar vs batch kernel), every piece
 // built from the scenario registries. Not a paper experiment — this keeps
-// the harness honest about the cost of the attack sweeps.
+// the harness honest about the cost of the attack sweeps, and its JSON
+// artifact is the machine-readable perf trajectory CI diffs per commit
+// (bench/compare_bench.py).
 //
-// The third argument of the network benchmarks selects the history policy
-// (0 = full trace, 1 = lean aggregates); lean is what the scenario runner
-// uses by default for every adversary that does not read the trace.
+//   sim_throughput [--out FILE] [--min-time SECONDS] [--filter SUBSTR]
+//
+// Emits one JSON row per (scenario, engine): {"scenario", "engine",
+// "rounds_per_sec", "rounds", "reps"}. The headline row is
+// jgrid-geo-iid-n576 — Figure-1-cell-shaped local broadcast under i.i.d.
+// link loss — whose kernel-path rounds/s is the number quoted in README
+// "Performance".
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "scenario/registries.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/execution.hpp"
+#include "sim/kernel_execution.hpp"
 #include "util/strfmt.hpp"
 
 namespace dualcast {
 namespace {
 
+using scenario::EnginePath;
 using scenario::Topology;
 
-const char* adversary_spec(int id) {
-  switch (id) {
-    case 0: return "none";
-    case 1: return "iid(0.3)";
-    case 2: return "dense_sparse(0.5)";
-    default: return "collider";
-  }
+struct BenchCase {
+  std::string name;
+  std::string topology;
+  std::string algorithm;
+  std::string adversary;
+  std::string problem;
+  int max_rounds = 256;
+  std::uint64_t seed = 7;
+};
+
+std::vector<BenchCase> bench_cases() {
+  return {
+      {"dual_clique-decay-none-n256", "dual_clique(256)",
+       "decay_global(fixed,persistent)", "none", "assignment(0)", 256, 7},
+      {"dual_clique-decay-iid-n256", "dual_clique(256)",
+       "decay_global(fixed,persistent)", "iid(0.3)", "assignment(0)", 256, 7},
+      {"dual_clique-decay-dense_sparse-n256", "dual_clique(256)",
+       "decay_global(fixed,persistent)", "dense_sparse(0.5)", "assignment(0)",
+       256, 7},
+      {"dual_clique-decay-collider-n256", "dual_clique(256)",
+       "decay_global(fixed,persistent)", "collider", "assignment(0)", 256, 7},
+      {"dual_clique-decay-dense_sparse-n1024", "dual_clique(1024)",
+       "decay_global(fixed,persistent)", "dense_sparse(0.5)", "assignment(0)",
+       128, 7},
+      {"jgrid-geo-iid-n64", "jgrid(8,8,0.5,0.05,2.0)", "geo_local",
+       "iid(0.3)", "local(every(3))", 512, 11},
+      {"jgrid-geo-iid-n576", "jgrid(24,24,0.5,0.05,2.0)", "geo_local",
+       "iid(0.3)", "local(every(3))", 512, 11},
+      {"jgrid-robin-iid-n576", "jgrid(24,24,0.5,0.05,2.0)", "round_robin",
+       "iid(0.3)", "local(every(3))", 512, 11},
+  };
 }
 
-HistoryPolicy history_policy_arg(int id) {
-  return id == 0 ? HistoryPolicy::full : HistoryPolicy::lean;
-}
+struct Measurement {
+  double rounds_per_sec = 0.0;
+  std::int64_t rounds = 0;
+  int reps = 0;
+};
 
-void BM_DualCliqueRounds(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const Topology topo =
-      scenario::topologies().build(str("dual_clique(", n, ")"), 1);
+Measurement run_case(const BenchCase& bench, EnginePath engine,
+                     double min_seconds) {
+  using Clock = std::chrono::steady_clock;
+  const Topology topo = scenario::topologies().build(bench.topology, 3);
   const ProcessFactory factory =
-      scenario::algorithms().build("decay_global(fixed,persistent)");
-  const LinkProcessFactory adversary = scenario::adversaries().build(
-      adversary_spec(static_cast<int>(state.range(1))), topo);
-  const scenario::ProblemFactory problem =
-      scenario::problems().build("assignment(0)", topo);
-  const HistoryPolicy history =
-      history_policy_arg(static_cast<int>(state.range(2)));
-  std::int64_t rounds = 0;
-  for (auto _ : state) {
-    Execution exec(topo.net(), factory, problem(), adversary(),
-                   ExecutionConfig{}
-                       .with_seed(7)
-                       .with_max_rounds(256)
-                       .with_history_policy(history));
-    exec.run();
-    rounds += exec.round();
-    benchmark::DoNotOptimize(exec.history().rounds());
-  }
-  state.counters["rounds/s"] = benchmark::Counter(
-      static_cast<double>(rounds), benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_DualCliqueRounds)
-    ->Args({64, 0, 0})
-    ->Args({64, 2, 0})
-    ->Args({256, 0, 0})
-    ->Args({256, 1, 0})
-    ->Args({256, 1, 1})
-    ->Args({256, 2, 0})
-    ->Args({256, 2, 1})
-    ->Args({256, 3, 0})
-    ->Args({1024, 2, 0})
-    ->Args({1024, 2, 1});
-
-void BM_GeoLocalRounds(benchmark::State& state) {
-  const int side = static_cast<int>(state.range(0));
-  const Topology topo = scenario::topologies().build(
-      str("jgrid(", side, ",", side, ",0.5,0.05,2.0)"), 3);
-  const ProcessFactory factory = scenario::algorithms().build("geo_local");
+      scenario::algorithms().build(bench.algorithm);
+  const KernelFactory kernel = scenario::build_kernel_or_null(bench.algorithm);
   const LinkProcessFactory adversary =
-      scenario::adversaries().build("iid(0.3)", topo);
+      scenario::adversaries().build(bench.adversary, topo);
   const scenario::ProblemFactory problem =
-      scenario::problems().build("local(every(3))", topo);
-  const HistoryPolicy history =
-      history_policy_arg(static_cast<int>(state.range(1)));
-  std::int64_t rounds = 0;
-  for (auto _ : state) {
-    Execution exec(topo.net(), factory, problem(), adversary(),
-                   ExecutionConfig{}
-                       .with_seed(11)
-                       .with_max_rounds(512)
-                       .with_history_policy(history));
-    exec.run();
-    rounds += exec.round();
-  }
-  state.counters["rounds/s"] = benchmark::Counter(
-      static_cast<double>(rounds), benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_GeoLocalRounds)
-    ->Args({8, 0})
-    ->Args({8, 1})
-    ->Args({16, 0})
-    ->Args({16, 1})
-    ->Args({24, 0})
-    ->Args({24, 1});
+      scenario::problems().build(bench.problem, topo);
+  const auto config = [&] {
+    return ExecutionConfig{}
+        .with_seed(bench.seed)
+        .with_max_rounds(bench.max_rounds)
+        .with_history_policy(HistoryPolicy::lean);
+  };
 
-void BM_BraceletPresimSetup(benchmark::State& state) {
-  const Topology topo = scenario::topologies().build(
-      str("bracelet(", state.range(0), ")"), 1);
-  const ProcessFactory factory = scenario::algorithms().build("decay_local");
-  const LinkProcessFactory adversary =
-      scenario::adversaries().build("bracelet_presim(0.3)", topo);
-  const scenario::ProblemFactory problem =
-      scenario::problems().build("local(heads_a)", topo);
-  for (auto _ : state) {
-    Execution exec(topo.net(), factory, problem(), adversary(),
-                   ExecutionConfig{}.with_seed(13).with_max_rounds(1));
-    exec.step();
-    benchmark::DoNotOptimize(exec.round());
+  Measurement m;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  while (elapsed < min_seconds) {
+    if (engine == EnginePath::scalar) {
+      Execution exec(topo.net(), factory, problem(), adversary(), config());
+      exec.run();
+      m.rounds += exec.round();
+    } else {
+      std::shared_ptr<Problem> prob = problem();
+      std::unique_ptr<AlgorithmKernel> k =
+          scenario::select_kernel(kernel, *prob, factory);
+      KernelExecution exec(topo.net(), factory, std::move(k),
+                           std::move(prob), adversary(), config());
+      exec.run();
+      m.rounds += exec.round();
+    }
+    ++m.reps;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
   }
+  m.rounds_per_sec = static_cast<double>(m.rounds) / elapsed;
+  return m;
 }
-BENCHMARK(BM_BraceletPresimSetup)->Arg(512)->Arg(2048);
+
+int run_main(int argc, char** argv) {
+  std::string out_path = "BENCH_sim_throughput.json";
+  std::string filter;
+  double min_seconds = 0.3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " requires a value\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--min-time") {
+      const char* text = value();
+      char* end = nullptr;
+      min_seconds = std::strtod(text, &end);
+      if (end == text || *end != '\0' || !(min_seconds > 0.0)) {
+        std::cerr << "error: --min-time: expected a positive number, got \""
+                  << text << "\"\n";
+        return 1;
+      }
+    } else if (arg == "--filter") {
+      filter = value();
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--out FILE] [--min-time SECONDS] [--filter SUBSTR]\n";
+      return arg == "--help" || arg == "-h" ? 0 : 1;
+    }
+  }
+
+  std::vector<std::string> rows;
+  std::printf("%-40s %-8s %14s\n", "scenario", "engine", "rounds/s");
+  for (const BenchCase& bench : bench_cases()) {
+    if (!filter.empty() && bench.name.find(filter) == std::string::npos) {
+      continue;
+    }
+    for (const EnginePath engine :
+         {EnginePath::scalar, EnginePath::kernel}) {
+      const Measurement m = run_case(bench, engine, min_seconds);
+      std::printf("%-40s %-8s %13.1fk\n", bench.name.c_str(),
+                  scenario::to_string(engine), m.rounds_per_sec / 1e3);
+      std::fflush(stdout);
+      rows.push_back(str("{\"scenario\":\"", bench.name, "\",\"engine\":\"",
+                         scenario::to_string(engine),
+                         "\",\"rounds_per_sec\":",
+                         static_cast<std::int64_t>(m.rounds_per_sec),
+                         ",\"rounds\":", m.rounds, ",\"reps\":", m.reps,
+                         "}"));
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << (i > 0 ? ",\n " : "\n ") << rows[i];
+  }
+  out << "\n]\n";
+  std::cout << "\nwrote " << rows.size() << " rows to " << out_path << "\n";
+  return 0;
+}
 
 }  // namespace
 }  // namespace dualcast
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return dualcast::run_main(argc, argv); }

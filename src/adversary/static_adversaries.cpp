@@ -1,6 +1,7 @@
 #include "adversary/static_adversaries.hpp"
 
-#include <cmath>
+#include <algorithm>
+#include <bit>
 
 #include "util/assert.hpp"
 
@@ -16,34 +17,55 @@ EdgeSet AllExtraEdges::choose_oblivious(int /*round*/, Rng& /*rng*/) {
 
 RandomIidEdges::RandomIidEdges(double p) : p_(p) {
   DC_EXPECTS(p >= 0.0 && p <= 1.0);
+  // Unroll p's binary expansion: doubling a double is exact, so the loop
+  // terminates (p is a dyadic rational) with the exact bit sequence.
+  double frac = p;
+  while (frac > 0.0 && frac < 1.0) {
+    frac *= 2.0;
+    const bool bit = frac >= 1.0;
+    if (bit) frac -= 1.0;
+    p_bits_.push_back(bit ? 1 : 0);
+  }
 }
 
 void RandomIidEdges::on_execution_start(const ExecutionSetup& setup,
                                         Rng& /*rng*/) {
   edge_count_ = static_cast<std::int64_t>(setup.net->gp_only_edges().size());
-  // ln(1-p): the geometric-gap denominator, hoisted out of the round loop.
-  inv_log_miss_ = (p_ > 0.0 && p_ < 1.0) ? std::log1p(-p_) : 0.0;
 }
 
 EdgeSet RandomIidEdges::choose_oblivious(int /*round*/, Rng& rng) {
   if (p_ <= 0.0) return EdgeSet::none();
   if (p_ >= 1.0) return EdgeSet::all();
-  // Also guards the un-started state (inv_log_miss_ == 0), where the gap
-  // division below would be undefined.
   if (edge_count_ <= 0) return EdgeSet::some({});
-  // Geometric skip sampling: instead of one Bernoulli draw per edge (O(m)
-  // rng calls per round), draw the gaps between selected edges directly —
-  // floor(ln(U) / ln(1-p)) with U uniform on (0,1] is exactly the number of
-  // misses before the next hit. Expected cost is O(p·m) draws per round,
-  // and the selected set has the same i.i.d.-per-edge distribution.
   std::vector<std::int32_t> selected;
-  selected.reserve(static_cast<std::size_t>(p_ * static_cast<double>(edge_count_)) + 8);
-  std::int64_t idx = -1;
-  while (true) {
-    const double u = 1.0 - rng.uniform01();  // (0, 1]
-    idx += 1 + static_cast<std::int64_t>(std::log(u) / inv_log_miss_);
-    if (idx >= edge_count_) break;
-    selected.push_back(static_cast<std::int32_t>(idx));
+  selected.reserve(
+      static_cast<std::size_t>(p_ * static_cast<double>(edge_count_)) + 8);
+  for (std::int64_t base = 0; base < edge_count_; base += 64) {
+    const int lanes = static_cast<int>(std::min<std::int64_t>(
+        64, edge_count_ - base));
+    // Lane j undecided means its uniform X agrees with p on every bit
+    // consumed so far. p-bit 1 with X-bit 0 decides X < p (present); p-bit
+    // 0 with X-bit 1 decides X > p (absent). Lanes still undecided when
+    // the expansion runs out have X's prefix equal to all of p, i.e.
+    // X >= p: absent.
+    std::uint64_t undecided =
+        lanes == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << lanes) - 1;
+    std::uint64_t present = 0;
+    for (const std::uint8_t bit : p_bits_) {
+      if (undecided == 0) break;
+      const std::uint64_t r = rng.next_u64();
+      if (bit) {
+        present |= undecided & ~r;
+        undecided &= r;
+      } else {
+        undecided &= ~r;
+      }
+    }
+    while (present != 0) {
+      const int j = std::countr_zero(present);
+      selected.push_back(static_cast<std::int32_t>(base + j));
+      present &= present - 1;
+    }
   }
   return EdgeSet::some(std::move(selected));
 }

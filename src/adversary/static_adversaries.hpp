@@ -8,6 +8,9 @@
 // flicker. All are oblivious: their choices are functions of the round
 // number and private coins only.
 
+#include <cstdint>
+#include <vector>
+
 #include "sim/link_process.hpp"
 
 namespace dualcast {
@@ -32,6 +35,16 @@ class AllExtraEdges final : public LinkProcess {
 
 /// Each G'-only edge is present independently with probability p each round
 /// (fresh randomness per round, from the adversary's private stream).
+///
+/// Sampling is word-parallel: edges are processed 64 at a time as bit
+/// lanes. Interpreting each lane's (lazily drawn) random bits as a uniform
+/// X in [0, 1), the edge is present iff X < p; a lane is decided at the
+/// first bit position where X's bit differs from p's binary expansion, so
+/// one 64-lane block consumes ~log2(64) + 2 words in expectation —
+/// amortized ~0.15 RNG draws per edge instead of one draw (plus a log())
+/// per selected edge under geometric skip sampling, and the per-edge
+/// distribution is *exactly* Bernoulli(p) (p's expansion is finite: it is
+/// a double).
 class RandomIidEdges final : public LinkProcess {
  public:
   /// Requires 0 <= p <= 1.
@@ -46,7 +59,9 @@ class RandomIidEdges final : public LinkProcess {
  private:
   double p_;
   std::int64_t edge_count_ = 0;
-  double inv_log_miss_ = 0.0;  ///< ln(1-p), cached for geometric skips
+  /// p's binary expansion 0.b1 b2 ... (finite for any double), precomputed
+  /// for the lane-decision loop.
+  std::vector<std::uint8_t> p_bits_;
 };
 
 /// Periodic all-on / all-off square wave: all G'-only edges are active for

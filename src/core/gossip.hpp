@@ -42,6 +42,10 @@ class GossipProblem final : public Problem {
   void observe_round(const RoundRecord& record,
                      const std::vector<std::unique_ptr<Process>>& procs) override;
   bool solved(const std::vector<std::unique_ptr<Process>>& procs) const override;
+  bool batch_compatible() const override { return true; }
+  bool solved_batch(const NodeStateView&) const override {
+    return missing_ == 0;
+  }
 
   int tokens() const { return static_cast<int>(sources_.size()); }
   /// Number of (node, token) pairs still missing.

@@ -1,0 +1,822 @@
+#include "core/kernels.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+
+// Each kernel below is a line-by-line port of its scalar algorithm's
+// init/on_round/on_feedback, restructured around flat state arrays and
+// candidate lists. Comments point back to the scalar class only where the
+// restructuring is non-obvious; the probability/schedule logic itself is
+// documented once, in the scalar headers.
+
+namespace dualcast {
+namespace {
+
+/// Keeps candidate lists in ascending node order (kernels must emit
+/// transmitters in the scalar engine's node-visit order).
+void insert_sorted(std::vector<int>& list, int v) {
+  list.insert(std::upper_bound(list.begin(), list.end(), v), v);
+}
+
+// ---------------------------------------------------------------------------
+// Round robin (RoundRobinBroadcast).
+// ---------------------------------------------------------------------------
+
+class RoundRobinKernel final : public AlgorithmKernel {
+ public:
+  explicit RoundRobinKernel(RoundRobinConfig config) : config_(config) {}
+
+  void init(const KernelSetup& setup, std::span<Rng> /*rngs*/) override {
+    n_ = static_cast<int>(setup.envs.size());
+    has_.assign(static_cast<std::size_t>(n_), 0);
+    may_.assign(static_cast<std::size_t>(n_), 0);
+    message_.resize(static_cast<std::size_t>(n_));
+    for (int v = 0; v < n_; ++v) {
+      const ProcessEnv& env = setup.envs[static_cast<std::size_t>(v)];
+      const bool starts = env.is_global_source || env.in_broadcast_set;
+      has_[static_cast<std::size_t>(v)] = starts;
+      may_[static_cast<std::size_t>(v)] = starts;
+      message_[static_cast<std::size_t>(v)] = env.initial_message;
+    }
+  }
+
+  void on_round_batch(int round, TxBatch& out, std::span<Rng> /*rngs*/) override {
+    const int slot = round % n_;
+    if (may_[static_cast<std::size_t>(slot)]) {
+      out.transmit(slot, message_[static_cast<std::size_t>(slot)]);
+    }
+  }
+
+  void on_feedback_batch(const FeedbackView& fb, std::span<Rng> /*rngs*/) override {
+    for (const Delivery& d : fb.deliveries) {
+      const std::size_t u = static_cast<std::size_t>(d.receiver);
+      if (has_[u]) continue;
+      const Message& m = fb.sent[static_cast<std::size_t>(d.transmitter_index)];
+      if (m.kind != MessageKind::data) continue;
+      has_[u] = 1;
+      if (config_.relay) {
+        message_[u] = m;
+        may_[u] = 1;
+      }
+    }
+  }
+
+  bool has_message(int v) const override {
+    return has_[static_cast<std::size_t>(v)] != 0;
+  }
+
+  double transmit_probability(int v, int round) const override {
+    return (may_[static_cast<std::size_t>(v)] && round % n_ == v) ? 1.0 : 0.0;
+  }
+
+ private:
+  RoundRobinConfig config_;
+  int n_ = 0;
+  std::vector<char> has_;
+  std::vector<char> may_;
+  std::vector<Message> message_;
+};
+
+// ---------------------------------------------------------------------------
+// Local Decay (DecayLocalBroadcast).
+// ---------------------------------------------------------------------------
+
+class DecayLocalKernel final : public AlgorithmKernel {
+ public:
+  explicit DecayLocalKernel(DecayLocalConfig config) : config_(config) {}
+
+  void init(const KernelSetup& setup, std::span<Rng> rngs) override {
+    const int n = static_cast<int>(setup.envs.size());
+    message_.resize(static_cast<std::size_t>(n));
+    if (config_.schedule == ScheduleKind::permuted) {
+      private_bits_.resize(static_cast<std::size_t>(n));
+    }
+    for (int v = 0; v < n; ++v) {
+      const ProcessEnv& env = setup.envs[static_cast<std::size_t>(v)];
+      if (v == 0) {
+        ladder_ = config_.ladder > 0
+                      ? config_.ladder
+                      : clog2(2 * static_cast<std::uint64_t>(
+                                      env.max_degree > 0 ? env.max_degree : 1));
+      }
+      if (!env.in_broadcast_set) continue;
+      b_nodes_.push_back(v);
+      message_[static_cast<std::size_t>(v)] = env.initial_message;
+      if (config_.schedule == ScheduleKind::permuted) {
+        const int width = schedule_chunk_width(ladder_);
+        const int nbits = config_.seed_bits > 0 ? config_.seed_bits
+                                                : 64 * ladder_ * width;
+        private_bits_[static_cast<std::size_t>(v)] = BitString::random(
+            rngs[static_cast<std::size_t>(v)],
+            static_cast<std::size_t>(nbits));
+      }
+    }
+  }
+
+  void on_round_batch(int round, TxBatch& out, std::span<Rng> rngs) override {
+    const bool fixed = config_.schedule == ScheduleKind::fixed;
+    const int shared_index = fixed ? fixed_decay_index(round, ladder_) : 0;
+    for (const int v : b_nodes_) {
+      const int index =
+          fixed ? shared_index
+                : permuted_decay_index(
+                      private_bits_[static_cast<std::size_t>(v)], round,
+                      ladder_);
+      if (rngs[static_cast<std::size_t>(v)].coin_pow2(index)) {
+        out.transmit(v, message_[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
+
+  void on_feedback_batch(const FeedbackView& /*fb*/,
+                         std::span<Rng> /*rngs*/) override {}
+
+  bool has_message(int v) const override {
+    return std::binary_search(b_nodes_.begin(), b_nodes_.end(), v);
+  }
+
+  double transmit_probability(int v, int round) const override {
+    if (!std::binary_search(b_nodes_.begin(), b_nodes_.end(), v)) return 0.0;
+    const int index =
+        config_.schedule == ScheduleKind::fixed
+            ? fixed_decay_index(round, ladder_)
+            : permuted_decay_index(private_bits_[static_cast<std::size_t>(v)],
+                                   round, ladder_);
+    return pow2_neg(index);
+  }
+
+ private:
+  DecayLocalConfig config_;
+  int ladder_ = 0;
+  std::vector<int> b_nodes_;  ///< ascending; only these ever act
+  std::vector<Message> message_;
+  std::vector<BitString> private_bits_;
+};
+
+// ---------------------------------------------------------------------------
+// Global Decay (DecayGlobalBroadcast).
+// ---------------------------------------------------------------------------
+
+/// SoA decay-holder state shared by the global-decay kernel and the decay
+/// half of the robust-mix kernel (whose decay clock is the engine round
+/// halved).
+struct DecayGlobalState {
+  DecayGlobalConfig config;
+  int ladder = 0;
+  int calls = 0;
+  std::vector<char> is_source;
+  std::vector<char> has;
+  std::vector<int> window_start;
+  std::vector<int> window_end;
+  std::vector<Message> message;
+  std::vector<int> sources;  ///< ascending
+  std::vector<int> holders;  ///< ascending non-source holders
+
+  void init_node(int v, const ProcessEnv& env, Rng& rng) {
+    is_source[static_cast<std::size_t>(v)] = env.is_global_source;
+    if (!env.is_global_source) return;
+    has[static_cast<std::size_t>(v)] = 1;
+    sources.push_back(v);
+    Message m = env.initial_message;
+    if (config.schedule == ScheduleKind::permuted && m.shared_bits == nullptr) {
+      const int width = schedule_chunk_width(ladder);
+      const int default_bits = 2 * config.gamma * ladder * ladder * width;
+      const int nbits = config.seed_bits > 0 ? config.seed_bits : default_bits;
+      m.shared_bits = std::make_shared<const BitString>(
+          BitString::random(rng, static_cast<std::size_t>(nbits)));
+    }
+    message[static_cast<std::size_t>(v)] = std::move(m);
+  }
+
+  void resize(int n, const DecayGlobalConfig& cfg, int env_n) {
+    config = cfg;
+    ladder = clog2(static_cast<std::uint64_t>(env_n > 1 ? env_n : 2));
+    calls = cfg.calls == 0 ? 2 * ladder : cfg.calls;
+    is_source.assign(static_cast<std::size_t>(n), 0);
+    has.assign(static_cast<std::size_t>(n), 0);
+    window_start.assign(static_cast<std::size_t>(n), -1);
+    window_end.assign(static_cast<std::size_t>(n), -1);
+    message.resize(static_cast<std::size_t>(n));
+  }
+
+  int period() const { return config.gamma * ladder; }
+
+  bool active_in(int v, int round) const {
+    const std::size_t i = static_cast<std::size_t>(v);
+    return has[i] && !is_source[i] && window_start[i] >= 0 &&
+           round >= window_start[i] && round < window_end[i];
+  }
+
+  int schedule_index(int v, int round) const {
+    if (config.schedule == ScheduleKind::fixed) {
+      return fixed_decay_index(round, ladder);
+    }
+    const auto& bits = message[static_cast<std::size_t>(v)].shared_bits;
+    DC_ASSERT_MSG(bits != nullptr, "permuted decay holder without shared bits");
+    return permuted_decay_index(*bits, round, ladder);
+  }
+
+  /// Transmissions of one decay round at clock `round` (ascending order:
+  /// sources act only in round 0, when no holder exists yet).
+  template <typename Emit>
+  void round(int round, std::span<Rng> rngs, Emit&& emit) {
+    if (round == 0) {
+      for (const int v : sources) emit(v, message[static_cast<std::size_t>(v)]);
+      return;
+    }
+    for (const int v : holders) {
+      if (!active_in(v, round)) continue;
+      const int index = schedule_index(v, round);
+      if (rngs[static_cast<std::size_t>(v)].coin_pow2(index)) {
+        emit(v, message[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
+
+  /// One node's receipt at decay clock `round` (mirrors
+  /// DecayGlobalBroadcast::on_feedback).
+  void receive(int v, const Message& m, int round) {
+    const std::size_t i = static_cast<std::size_t>(v);
+    if (has[i] || m.kind != MessageKind::data) return;
+    has[i] = 1;
+    message[i] = m;
+    window_start[i] = static_cast<int>(
+        round_up(static_cast<std::int64_t>(round) + 1, period()));
+    window_end[i] = calls == DecayGlobalConfig::kUnbounded
+                        ? std::numeric_limits<int>::max()
+                        : window_start[i] + calls * period();
+    insert_sorted(holders, v);
+  }
+
+  double probability(int v, int round) const {
+    if (is_source[static_cast<std::size_t>(v)]) {
+      return round == 0 ? 1.0 : 0.0;
+    }
+    if (!active_in(v, round)) return 0.0;
+    return pow2_neg(schedule_index(v, round));
+  }
+};
+
+class DecayGlobalKernel final : public AlgorithmKernel {
+ public:
+  explicit DecayGlobalKernel(DecayGlobalConfig config) : config_(config) {}
+
+  void init(const KernelSetup& setup, std::span<Rng> rngs) override {
+    const int n = static_cast<int>(setup.envs.size());
+    state_.resize(n, config_, setup.envs.empty() ? 2 : setup.envs[0].n);
+    for (int v = 0; v < n; ++v) {
+      state_.init_node(v, setup.envs[static_cast<std::size_t>(v)],
+                       rngs[static_cast<std::size_t>(v)]);
+    }
+  }
+
+  void on_round_batch(int round, TxBatch& out, std::span<Rng> rngs) override {
+    state_.round(round, rngs,
+                 [&](int v, const Message& m) { out.transmit(v, m); });
+  }
+
+  void on_feedback_batch(const FeedbackView& fb, std::span<Rng> /*rngs*/) override {
+    for (const Delivery& d : fb.deliveries) {
+      state_.receive(d.receiver,
+                     fb.sent[static_cast<std::size_t>(d.transmitter_index)],
+                     fb.round);
+    }
+  }
+
+  bool has_message(int v) const override {
+    return state_.has[static_cast<std::size_t>(v)] != 0;
+  }
+
+  double transmit_probability(int v, int round) const override {
+    return state_.probability(v, round);
+  }
+
+ private:
+  DecayGlobalConfig config_;
+  DecayGlobalState state_;
+};
+
+// ---------------------------------------------------------------------------
+// RobustMix (RobustMixBroadcast): round robin on even engine rounds, decay
+// on odd ones, each half running on its own halved round clock.
+// ---------------------------------------------------------------------------
+
+class RobustMixKernel final : public AlgorithmKernel {
+ public:
+  explicit RobustMixKernel(RobustMixConfig config) : config_(config) {}
+
+  void init(const KernelSetup& setup, std::span<Rng> rngs) override {
+    n_ = static_cast<int>(setup.envs.size());
+    robin_has_.assign(static_cast<std::size_t>(n_), 0);
+    robin_may_.assign(static_cast<std::size_t>(n_), 0);
+    robin_message_.resize(static_cast<std::size_t>(n_));
+    decay_.resize(n_, config_.decay, setup.envs.empty() ? 2 : setup.envs[0].n);
+    for (int v = 0; v < n_; ++v) {
+      const ProcessEnv& env = setup.envs[static_cast<std::size_t>(v)];
+      Rng& rng = rngs[static_cast<std::size_t>(v)];
+      // RobustMixBroadcast::init attaches the shared permutation bits to the
+      // source's message *before* either half initializes, drawing them from
+      // the node's own stream.
+      ProcessEnv shared_env = env;
+      if (env.is_global_source &&
+          config_.decay.schedule == ScheduleKind::permuted &&
+          shared_env.initial_message.shared_bits == nullptr) {
+        const int ladder =
+            clog2(static_cast<std::uint64_t>(env.n > 1 ? env.n : 2));
+        const int width = schedule_chunk_width(ladder);
+        const int nbits =
+            config_.decay.seed_bits > 0
+                ? config_.decay.seed_bits
+                : 2 * config_.decay.gamma * ladder * ladder * width;
+        shared_env.initial_message.shared_bits =
+            std::make_shared<const BitString>(
+                BitString::random(rng, static_cast<std::size_t>(nbits)));
+      }
+      // (The scalar class forks one sub-stream per half here; neither half
+      // ever draws from them, and forking leaves the parent stream's draw
+      // sequence untouched, so the kernel skips the forks.)
+      const bool starts = env.is_global_source || env.in_broadcast_set;
+      robin_has_[static_cast<std::size_t>(v)] = starts;
+      robin_may_[static_cast<std::size_t>(v)] = starts;
+      robin_message_[static_cast<std::size_t>(v)] =
+          shared_env.initial_message;
+      decay_.init_node(v, shared_env, rng);
+    }
+  }
+
+  void on_round_batch(int round, TxBatch& out, std::span<Rng> rngs) override {
+    const int rr = round / 2;
+    if (round % 2 == 0) {
+      const int slot = rr % n_;
+      if (robin_may_[static_cast<std::size_t>(slot)]) {
+        out.transmit(slot, robin_message_[static_cast<std::size_t>(slot)]);
+      }
+      return;
+    }
+    decay_.round(rr, rngs,
+                 [&](int v, const Message& m) { out.transmit(v, m); });
+  }
+
+  void on_feedback_batch(const FeedbackView& fb, std::span<Rng> /*rngs*/) override {
+    // Both halves learn from every reception, whichever half's round it was.
+    const int rr = fb.round / 2;
+    for (const Delivery& d : fb.deliveries) {
+      const Message& m = fb.sent[static_cast<std::size_t>(d.transmitter_index)];
+      const std::size_t u = static_cast<std::size_t>(d.receiver);
+      if (!robin_has_[u] && m.kind == MessageKind::data) {
+        robin_has_[u] = 1;
+        robin_message_[u] = m;
+        robin_may_[u] = 1;
+      }
+      decay_.receive(d.receiver, m, rr);
+    }
+  }
+
+  bool has_message(int v) const override {
+    return robin_has_[static_cast<std::size_t>(v)] ||
+           decay_.has[static_cast<std::size_t>(v)];
+  }
+
+  double transmit_probability(int v, int round) const override {
+    const int rr = round / 2;
+    if (round % 2 == 0) {
+      return (robin_may_[static_cast<std::size_t>(v)] && rr % n_ == v) ? 1.0
+                                                                       : 0.0;
+    }
+    return decay_.probability(v, rr);
+  }
+
+ private:
+  RobustMixConfig config_;
+  int n_ = 0;
+  std::vector<char> robin_has_;
+  std::vector<char> robin_may_;
+  std::vector<Message> robin_message_;
+  DecayGlobalState decay_;
+};
+
+// ---------------------------------------------------------------------------
+// Gossip (GossipBroadcast).
+// ---------------------------------------------------------------------------
+
+class GossipKernel final : public AlgorithmKernel {
+ public:
+  explicit GossipKernel(GossipConfig config) : config_(config) {}
+
+  void init(const KernelSetup& setup, std::span<Rng> rngs) override {
+    const int n = static_cast<int>(setup.envs.size());
+    held_.resize(static_cast<std::size_t>(n));
+    seen_.resize(static_cast<std::size_t>(n));
+    next_offer_.assign(static_cast<std::size_t>(n), 0);
+    if (config_.schedule == ScheduleKind::permuted) {
+      private_bits_.resize(static_cast<std::size_t>(n));
+    }
+    for (int v = 0; v < n; ++v) {
+      const ProcessEnv& env = setup.envs[static_cast<std::size_t>(v)];
+      if (v == 0) {
+        ladder_ = config_.ladder > 0
+                      ? config_.ladder
+                      : clog2(static_cast<std::uint64_t>(
+                            env.n > 1 ? env.n : 2));
+      }
+      if (env.initial_message.kind == MessageKind::data &&
+          env.initial_message.source == v) {
+        acquire(v, env.initial_message);
+      }
+      if (config_.schedule == ScheduleKind::permuted) {
+        const int width = schedule_chunk_width(ladder_);
+        const int nbits = config_.seed_bits > 0 ? config_.seed_bits
+                                                : 64 * ladder_ * width;
+        private_bits_[static_cast<std::size_t>(v)] = BitString::random(
+            rngs[static_cast<std::size_t>(v)],
+            static_cast<std::size_t>(nbits));
+      }
+    }
+  }
+
+  void on_round_batch(int round, TxBatch& out, std::span<Rng> rngs) override {
+    const bool fixed = config_.schedule == ScheduleKind::fixed;
+    const int shared_index = fixed ? fixed_decay_index(round, ladder_) : 0;
+    for (const int v : holders_) {
+      const std::size_t i = static_cast<std::size_t>(v);
+      const int index =
+          fixed ? shared_index
+                : permuted_decay_index(private_bits_[i], round, ladder_);
+      if (!rngs[i].coin_pow2(index)) continue;
+      const std::vector<Message>& held = held_[i];
+      Message m = held[next_offer_[i] % held.size()];
+      ++next_offer_[i];
+      m.source = v;  // gossip relays re-originate (receiver credits token)
+      out.transmit(v, std::move(m));
+    }
+  }
+
+  void on_feedback_batch(const FeedbackView& fb, std::span<Rng> /*rngs*/) override {
+    for (const Delivery& d : fb.deliveries) {
+      const Message& m = fb.sent[static_cast<std::size_t>(d.transmitter_index)];
+      if (m.kind == MessageKind::data) acquire(d.receiver, m);
+    }
+  }
+
+  bool has_message(int v) const override {
+    return !held_[static_cast<std::size_t>(v)].empty();
+  }
+
+  double transmit_probability(int v, int round) const override {
+    const std::size_t i = static_cast<std::size_t>(v);
+    if (held_[i].empty()) return 0.0;
+    const int index =
+        config_.schedule == ScheduleKind::fixed
+            ? fixed_decay_index(round, ladder_)
+            : permuted_decay_index(private_bits_[i], round, ladder_);
+    return pow2_neg(index);
+  }
+
+ private:
+  void acquire(int v, const Message& m) {
+    const std::size_t i = static_cast<std::size_t>(v);
+    if (std::find(seen_[i].begin(), seen_[i].end(), m.payload) !=
+        seen_[i].end()) {
+      return;
+    }
+    seen_[i].push_back(m.payload);
+    if (held_[i].empty()) insert_sorted(holders_, v);
+    held_[i].push_back(m);
+  }
+
+  GossipConfig config_;
+  int ladder_ = 0;
+  std::vector<int> holders_;  ///< nodes with a non-empty held set, ascending
+  std::vector<std::vector<Message>> held_;
+  std::vector<std::vector<std::uint64_t>> seen_;
+  std::vector<std::size_t> next_offer_;
+  std::vector<BitString> private_bits_;
+};
+
+// ---------------------------------------------------------------------------
+// Geographic local broadcast (GeoLocalBroadcast).
+// ---------------------------------------------------------------------------
+
+class GeoLocalKernel final : public AlgorithmKernel {
+ public:
+  explicit GeoLocalKernel(GeoLocalConfig config) : config_(config) {}
+
+  void init(const KernelSetup& setup, std::span<Rng> rngs) override {
+    const int n = static_cast<int>(setup.envs.size());
+    const ProcessEnv& env0 = setup.envs[0];
+    logn_ = clog2(static_cast<std::uint64_t>(env0.n > 1 ? env0.n : 2));
+    ladder_ = config_.ladder > 0
+                  ? config_.ladder
+                  : clog2(2 * static_cast<std::uint64_t>(
+                                  env0.max_degree > 0 ? env0.max_degree : 1));
+    phases_ = clog2(static_cast<std::uint64_t>(
+        env0.max_degree > 1 ? env0.max_degree : 2));
+    phase_rounds_ =
+        config_.phase_rounds > 0
+            ? config_.phase_rounds
+            : std::max(1, static_cast<int>(config_.c_init * logn_ * logn_));
+    iterations_ =
+        config_.iterations > 0
+            ? config_.iterations
+            : std::max(1, static_cast<int>(config_.c_iter * logn_ * logn_));
+    const int width = schedule_chunk_width(ladder_);
+    const int stride = kParticipationWidth + iteration_length() * width;
+    seed_bits_ = config_.seed_bits > 0 ? config_.seed_bits
+                                       : std::max(64, iterations_ * stride);
+
+    in_b_.assign(static_cast<std::size_t>(n), 0);
+    message_.resize(static_cast<std::size_t>(n));
+    active_.assign(static_cast<std::size_t>(n), 1);
+    leader_now_.assign(static_cast<std::size_t>(n), 0);
+    was_leader_.assign(static_cast<std::size_t>(n), 0);
+    own_seed_.resize(static_cast<std::size_t>(n));
+    pending_seed_.resize(static_cast<std::size_t>(n));
+    pending_origin_.assign(static_cast<std::size_t>(n), -1);
+    seed_.resize(static_cast<std::size_t>(n));
+    seed_origin_.assign(static_cast<std::size_t>(n), -1);
+
+    for (int v = 0; v < n; ++v) {
+      const ProcessEnv& env = setup.envs[static_cast<std::size_t>(v)];
+      const std::size_t i = static_cast<std::size_t>(v);
+      in_b_[i] = env.in_broadcast_set;
+      if (env.in_broadcast_set) {
+        b_nodes_.push_back(v);
+        message_[i] = env.initial_message;
+      }
+      if (!config_.shared_seeds) {
+        // Ablation: private, uncoordinated seeds; no initialization stage.
+        commit(v, fresh_seed(rngs[i]), v);
+        active_[i] = 0;
+      } else {
+        uncommitted_.push_back(v);
+      }
+    }
+  }
+
+  void on_round_batch(int round, TxBatch& out, std::span<Rng> rngs) override {
+    const RoundPosition pos = locate(round);
+    switch (pos.stage) {
+      case Stage::init_election: {
+        // In-place partition keeps `uncommitted_` ascending: elected nodes
+        // move to `leaders_`, the rest stay.
+        const double p = pow2_neg(phases_ - pos.phase);
+        std::size_t keep = 0;
+        for (const int v : uncommitted_) {
+          const std::size_t i = static_cast<std::size_t>(v);
+          if (rngs[i].bernoulli(p)) {
+            leader_now_[i] = 1;
+            was_leader_[i] = 1;
+            own_seed_[i] = fresh_seed(rngs[i]);
+            commit(v, own_seed_[i], v);
+            leaders_.push_back(v);
+          } else {
+            uncommitted_[keep++] = v;
+          }
+        }
+        uncommitted_.resize(keep);
+        return;  // everyone listens in an election round
+      }
+      case Stage::init_dissemination: {
+        const double p = 1.0 / static_cast<double>(logn_);
+        for (const int v : leaders_) {
+          const std::size_t i = static_cast<std::size_t>(v);
+          if (rngs[i].bernoulli(p)) {
+            Message m;
+            m.kind = MessageKind::seed;
+            m.source = v;
+            m.payload = static_cast<std::uint64_t>(pos.phase);
+            m.shared_bits = own_seed_[i];
+            out.transmit(v, std::move(m));
+          }
+        }
+        return;
+      }
+      case Stage::broadcast: {
+        if (pos.iteration != cached_iteration_) {
+          // The participation decision is per (node, iteration) and derived
+          // from the committed seed, so the participant list is rebuilt
+          // once per iteration, not per round.
+          participants_.clear();
+          for (const int v : b_nodes_) {
+            if (seed_[static_cast<std::size_t>(v)] != nullptr &&
+                participates(v, pos.iteration)) {
+              participants_.push_back(v);
+            }
+          }
+          cached_iteration_ = pos.iteration;
+        }
+        for (const int v : participants_) {
+          const int index = broadcast_index(v, pos.iteration, pos.offset);
+          if (rngs[static_cast<std::size_t>(v)].coin_pow2(index)) {
+            out.transmit(v, message_[static_cast<std::size_t>(v)]);
+          }
+        }
+        return;
+      }
+      case Stage::done:
+        return;
+    }
+  }
+
+  void on_feedback_batch(const FeedbackView& fb, std::span<Rng> rngs) override {
+    // Capture the first seed heard while active and not a leader.
+    for (const Delivery& d : fb.deliveries) {
+      const std::size_t u = static_cast<std::size_t>(d.receiver);
+      if (!active_[u] || leader_now_[u] || pending_seed_[u] != nullptr) {
+        continue;
+      }
+      const Message& m = fb.sent[static_cast<std::size_t>(d.transmitter_index)];
+      if (m.kind != MessageKind::seed || m.shared_bits == nullptr) continue;
+      pending_seed_[u] = m.shared_bits;
+      pending_origin_[u] = m.source;
+    }
+
+    const RoundPosition pos = locate(fb.round);
+    const bool end_of_phase = pos.stage == Stage::init_dissemination &&
+                              pos.offset == phase_length() - 1;
+    if (!end_of_phase) return;
+    // Leaders finish their phase and become inactive (seed already
+    // committed at election).
+    for (const int v : leaders_) {
+      leader_now_[static_cast<std::size_t>(v)] = 0;
+      active_[static_cast<std::size_t>(v)] = 0;
+    }
+    leaders_.clear();
+    // Active non-leaders that heard a seed commit to it.
+    std::size_t keep = 0;
+    for (const int v : uncommitted_) {
+      const std::size_t i = static_cast<std::size_t>(v);
+      if (pending_seed_[i] != nullptr) {
+        commit(v, pending_seed_[i], pending_origin_[i]);
+        active_[i] = 0;
+      } else {
+        uncommitted_[keep++] = v;
+      }
+    }
+    uncommitted_.resize(keep);
+    // Stage end: anyone still uncommitted self-commits (§4.3).
+    if (fb.round == init_length() - 1) {
+      for (const int v : uncommitted_) {
+        const std::size_t i = static_cast<std::size_t>(v);
+        commit(v, fresh_seed(rngs[i]), v);
+        active_[i] = 0;
+      }
+      uncommitted_.clear();
+    }
+  }
+
+  bool has_message(int v) const override {
+    return in_b_[static_cast<std::size_t>(v)] != 0;
+  }
+
+  double transmit_probability(int v, int round) const override {
+    const std::size_t i = static_cast<std::size_t>(v);
+    const RoundPosition pos = locate(round);
+    switch (pos.stage) {
+      case Stage::init_election:
+        return 0.0;
+      case Stage::init_dissemination:
+        return leader_now_[i] ? 1.0 / static_cast<double>(logn_) : 0.0;
+      case Stage::broadcast: {
+        if (!in_b_[i] || seed_[i] == nullptr) return 0.0;
+        if (!participates(v, pos.iteration)) return 0.0;
+        return pow2_neg(broadcast_index(v, pos.iteration, pos.offset));
+      }
+      case Stage::done:
+        return 0.0;
+    }
+    return 0.0;
+  }
+
+ private:
+  static constexpr int kParticipationWidth = 16;
+
+  enum class Stage { init_election, init_dissemination, broadcast, done };
+  struct RoundPosition {
+    Stage stage = Stage::done;
+    int phase = 0;
+    int iteration = 0;
+    int offset = 0;
+  };
+
+  int phase_length() const { return 1 + phase_rounds_; }
+  int iteration_length() const { return config_.gamma * ladder_; }
+  int init_length() const {
+    return config_.shared_seeds ? phases_ * phase_length() : 0;
+  }
+
+  RoundPosition locate(int round) const {
+    RoundPosition pos;
+    const int init_len = init_length();
+    if (round < init_len) {
+      pos.phase = round / phase_length();
+      pos.offset = round % phase_length();
+      pos.stage = pos.offset == 0 ? Stage::init_election
+                                  : Stage::init_dissemination;
+      return pos;
+    }
+    const int r = round - init_len;
+    const int iter = r / iteration_length();
+    if (iter >= iterations_) return pos;  // done
+    pos.stage = Stage::broadcast;
+    pos.iteration = iter;
+    pos.offset = r % iteration_length();
+    return pos;
+  }
+
+  std::shared_ptr<const BitString> fresh_seed(Rng& rng) const {
+    return std::make_shared<const BitString>(
+        BitString::random(rng, static_cast<std::size_t>(seed_bits_)));
+  }
+
+  void commit(int v, std::shared_ptr<const BitString> seed, int origin) {
+    DC_ASSERT(seed != nullptr);
+    seed_[static_cast<std::size_t>(v)] = std::move(seed);
+    seed_origin_[static_cast<std::size_t>(v)] = origin;
+  }
+
+  bool participates(int v, int iteration) const {
+    const auto& seed = seed_[static_cast<std::size_t>(v)];
+    DC_ASSERT(seed != nullptr);
+    const int width = schedule_chunk_width(ladder_);
+    const std::size_t stride = static_cast<std::size_t>(
+        kParticipationWidth + iteration_length() * width);
+    const std::uint64_t chunk = seed->chunk_cyclic(
+        static_cast<std::size_t>(iteration) * stride, kParticipationWidth);
+    const std::uint64_t threshold =
+        (std::uint64_t{1} << kParticipationWidth) /
+        static_cast<std::uint64_t>(logn_);
+    return chunk < threshold;
+  }
+
+  int broadcast_index(int v, int iteration, int offset) const {
+    const auto& seed = seed_[static_cast<std::size_t>(v)];
+    DC_ASSERT(seed != nullptr);
+    const int width = schedule_chunk_width(ladder_);
+    const std::size_t stride = static_cast<std::size_t>(
+        kParticipationWidth + iteration_length() * width);
+    const std::size_t pos = static_cast<std::size_t>(iteration) * stride +
+                            static_cast<std::size_t>(kParticipationWidth) +
+                            static_cast<std::size_t>(offset) *
+                                static_cast<std::size_t>(width);
+    const std::uint64_t chunk = seed->chunk_cyclic(pos, width);
+    return 1 + static_cast<int>(chunk % static_cast<std::uint64_t>(ladder_));
+  }
+
+  GeoLocalConfig config_;
+  int logn_ = 0;
+  int ladder_ = 0;
+  int phases_ = 0;
+  int phase_rounds_ = 0;
+  int iterations_ = 0;
+  int seed_bits_ = 0;
+
+  std::vector<char> in_b_;
+  std::vector<Message> message_;
+  std::vector<char> active_;
+  std::vector<char> leader_now_;
+  std::vector<char> was_leader_;
+  std::vector<std::shared_ptr<const BitString>> own_seed_;
+  std::vector<std::shared_ptr<const BitString>> pending_seed_;
+  std::vector<int> pending_origin_;
+  std::vector<std::shared_ptr<const BitString>> seed_;
+  std::vector<int> seed_origin_;
+
+  std::vector<int> b_nodes_;      ///< ascending
+  std::vector<int> uncommitted_;  ///< active && !seed, ascending
+  std::vector<int> leaders_;      ///< current-phase leaders, ascending
+  std::vector<int> participants_; ///< current-iteration B participants
+  int cached_iteration_ = -1;
+};
+
+}  // namespace
+
+KernelFactory decay_global_kernel_factory(DecayGlobalConfig config) {
+  return [config] { return std::make_unique<DecayGlobalKernel>(config); };
+}
+
+KernelFactory decay_local_kernel_factory(DecayLocalConfig config) {
+  return [config] { return std::make_unique<DecayLocalKernel>(config); };
+}
+
+KernelFactory round_robin_kernel_factory(RoundRobinConfig config) {
+  return [config] { return std::make_unique<RoundRobinKernel>(config); };
+}
+
+KernelFactory robust_mix_kernel_factory(RobustMixConfig config) {
+  return [config] { return std::make_unique<RobustMixKernel>(config); };
+}
+
+KernelFactory gossip_kernel_factory(GossipConfig config) {
+  return [config] { return std::make_unique<GossipKernel>(config); };
+}
+
+KernelFactory geo_local_kernel_factory(GeoLocalConfig config) {
+  return [config] { return std::make_unique<GeoLocalKernel>(config); };
+}
+
+}  // namespace dualcast

@@ -1,0 +1,37 @@
+#include "graph/adjacency_bitmap.hpp"
+
+#include "graph/graph.hpp"
+#include "util/assert.hpp"
+
+namespace dualcast {
+
+AdjacencyBitmap::AdjacencyBitmap(const Graph& graph)
+    : n_(graph.n()), words_((graph.n() + 63) / 64) {
+  DC_EXPECTS(graph.finalized());
+  bits_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(words_),
+               0);
+  for (int v = 0; v < n_; ++v) {
+    for (const int u : graph.neighbors(v)) set_edge(v, u);
+  }
+}
+
+AdjacencyBitmap::AdjacencyBitmap(int n,
+                                 std::span<const std::pair<int, int>> edges)
+    : n_(n), words_((n + 63) / 64) {
+  DC_EXPECTS(n >= 1);
+  bits_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(words_),
+               0);
+  for (const auto& [u, v] : edges) {
+    DC_EXPECTS(u >= 0 && u < n_ && v >= 0 && v < n_ && u != v);
+    set_edge(u, v);
+    set_edge(v, u);
+  }
+}
+
+void AdjacencyBitmap::set_edge(int u, int v) {
+  bits_[static_cast<std::size_t>(u) * static_cast<std::size_t>(words_) +
+        static_cast<std::size_t>(v) / 64] |=
+      std::uint64_t{1} << (static_cast<std::size_t>(v) % 64);
+}
+
+}  // namespace dualcast

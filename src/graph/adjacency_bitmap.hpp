@@ -1,0 +1,65 @@
+#pragma once
+
+// Blocked adjacency bitmaps: each vertex's neighbor set as a row of n bits
+// packed into 64-bit words. This is the substrate for the engine's
+// word-parallel delivery resolver — given the round's transmitter set as a
+// bit vector T, a listener's contending-transmitter count is
+//
+//   sum_w popcount(row(u)[w] & T[w])
+//
+// i.e. O(n/64) per listener instead of one scalar visit per (transmitter,
+// neighbor) pair. On dense rounds (many transmitters, e.g. the first rungs
+// of a Decay ladder on a clique-like network) this beats the CSR sweep by up
+// to the word width; sparse rounds keep using CSR (see DeliveryResolver).
+//
+// Memory is n^2/8 bytes per layer, so DualGraph only materializes bitmaps up
+// to a size cap; consumers must handle their absence.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dualcast {
+
+class Graph;
+
+class AdjacencyBitmap {
+ public:
+  /// Builds the bitmap rows from a finalized graph's adjacency.
+  explicit AdjacencyBitmap(const Graph& graph);
+
+  /// Builds rows from an explicit undirected edge list over n vertices
+  /// (both orientations are set). Used for the G'-only overlay, whose edges
+  /// live in DualGraph rather than a Graph object.
+  AdjacencyBitmap(int n, std::span<const std::pair<int, int>> edges);
+
+  int n() const { return n_; }
+  /// Words per row: ceil(n / 64).
+  int words_per_row() const { return words_; }
+
+  /// Row of vertex v: words_per_row() packed words, bit u of word u/64 set
+  /// iff {v, u} is an edge.
+  std::span<const std::uint64_t> row(int v) const {
+    return {bits_.data() + static_cast<std::size_t>(v) *
+                               static_cast<std::size_t>(words_),
+            static_cast<std::size_t>(words_)};
+  }
+
+  bool test(int v, int u) const {
+    return (row(v)[static_cast<std::size_t>(u) / 64] >>
+            (static_cast<std::size_t>(u) % 64)) &
+           1u;
+  }
+
+  /// Heap footprint in bytes (for the DualGraph size cap and diagnostics).
+  std::size_t approx_bytes() const { return bits_.size() * sizeof(std::uint64_t); }
+
+ private:
+  void set_edge(int u, int v);
+
+  int n_ = 0;
+  int words_ = 0;
+  std::vector<std::uint64_t> bits_;  ///< n rows x words_, row-major
+};
+
+}  // namespace dualcast

@@ -53,6 +53,12 @@ DualGraph::DualGraph(Graph g, Graph gprime)
   gp_max_degree_ = gp_.max_degree();
   gp_complete_ = (gp_.edge_count() ==
                   static_cast<std::int64_t>(n()) * (n() - 1) / 2);
+
+  if (n() >= 1 && n() <= kBitmapMaxN) {
+    g_bitmap_ = std::make_shared<const AdjacencyBitmap>(g_);
+    gp_only_bitmap_ = std::make_shared<const AdjacencyBitmap>(
+        n(), std::span<const std::pair<int, int>>(gp_only_edges_));
+  }
 }
 
 DualGraph DualGraph::protocol(Graph g) {

@@ -12,10 +12,12 @@
 // engine's delivery sweep walks both layers cache-linearly.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "graph/adjacency_bitmap.hpp"
 #include "graph/graph.hpp"
 
 namespace dualcast {
@@ -65,12 +67,25 @@ class DualGraph {
   /// fast path on clique-like lower-bound networks.
   bool gprime_complete() const { return gp_complete_; }
 
+  /// Blocked adjacency bitmaps of G and the G'-only overlay, for the
+  /// word-parallel delivery resolver. Materialized at construction for
+  /// networks up to kBitmapMaxN vertices (n^2/4 bytes for the pair);
+  /// nullptr above the cap — callers must fall back to the CSR sweep.
+  /// Shared between copies of the dual graph (they are immutable).
+  static constexpr int kBitmapMaxN = 4096;
+  const AdjacencyBitmap* g_bitmap() const { return g_bitmap_.get(); }
+  const AdjacencyBitmap* gp_only_bitmap() const {
+    return gp_only_bitmap_.get();
+  }
+
  private:
   Graph g_;
   Graph gp_;
   std::vector<std::pair<int, int>> gp_only_edges_;
   std::vector<std::int64_t> gp_only_offsets_;
   std::vector<int> gp_only_neighbors_;
+  std::shared_ptr<const AdjacencyBitmap> g_bitmap_;
+  std::shared_ptr<const AdjacencyBitmap> gp_only_bitmap_;
   int gp_max_degree_ = 0;
   bool gp_complete_ = false;
 };

@@ -14,6 +14,8 @@
 #include "adversary/static_adversaries.hpp"
 #include "core/factories.hpp"
 #include "core/gossip.hpp"
+#include "core/kernels.hpp"
+#include "core/robust_mix.hpp"
 #include "scenario/registries.hpp"
 #include "util/mathutil.hpp"
 #include "util/rng.hpp"
@@ -169,63 +171,124 @@ ScheduleKind parse_schedule(const SpecArgs& args, int i, ScheduleKind fallback) 
                           "\"fixed\" or \"permuted\", got \"", kind, "\""));
 }
 
+// Config parsing is shared between the scalar-algorithm and batch-kernel
+// registries so the same spec string always resolves to the same
+// configuration on both engine paths.
+
+DecayGlobalConfig parse_decay_global(const SpecArgs& args) {
+  args.expect_count(0, 2);
+  DecayGlobalConfig cfg = DecayGlobalConfig::fast(
+      parse_schedule(args, 0, ScheduleKind::permuted));
+  const std::string mode = args.str_or(1, "windowed");
+  if (mode == "persistent") {
+    cfg.calls = DecayGlobalConfig::kUnbounded;
+  } else if (mode != "windowed") {
+    throw ScenarioError(str("spec \"", args.spec(),
+                            "\": mode must be \"windowed\" or "
+                            "\"persistent\", got \"", mode, "\""));
+  }
+  return cfg;
+}
+
+DecayLocalConfig parse_decay_local(const SpecArgs& args) {
+  args.expect_count(0, 1);
+  DecayLocalConfig cfg;
+  cfg.schedule = parse_schedule(args, 0, ScheduleKind::fixed);
+  return cfg;
+}
+
+GeoLocalConfig parse_geo_local(const SpecArgs& args) {
+  args.expect_count(0, 1);
+  GeoLocalConfig cfg = GeoLocalConfig::fast();
+  const std::string seeds = args.str_or(0, "shared");
+  if (seeds == "private") {
+    cfg.shared_seeds = false;
+  } else if (seeds != "shared") {
+    throw ScenarioError(str("spec \"", args.spec(),
+                            "\": seed mode must be \"shared\" or "
+                            "\"private\", got \"", seeds, "\""));
+  }
+  return cfg;
+}
+
+RoundRobinConfig parse_round_robin(const SpecArgs& args) {
+  args.expect_count(0, 1);
+  const std::string mode = args.str_or(0, "relay");
+  if (mode != "relay" && mode != "norelay") {
+    throw ScenarioError(str("spec \"", args.spec(),
+                            "\": mode must be \"relay\" or "
+                            "\"norelay\", got \"", mode, "\""));
+  }
+  return RoundRobinConfig{mode == "relay"};
+}
+
+GossipConfig parse_gossip(const SpecArgs& args) {
+  args.expect_count(0, 0);
+  return GossipConfig{};
+}
+
+RobustMixConfig parse_robust_mix(const SpecArgs& args) {
+  args.expect_count(0, 0);
+  return RobustMixConfig{};
+}
+
 void add_algorithms(AlgorithmRegistry& r) {
   r.add("decay_global",
         "§4.1 (permuted) Decay global broadcast: "
         "decay_global([fixed|permuted][,persistent])",
         [](const SpecArgs& args) {
-          args.expect_count(0, 2);
-          DecayGlobalConfig cfg = DecayGlobalConfig::fast(
-              parse_schedule(args, 0, ScheduleKind::permuted));
-          const std::string mode = args.str_or(1, "windowed");
-          if (mode == "persistent") {
-            cfg.calls = DecayGlobalConfig::kUnbounded;
-          } else if (mode != "windowed") {
-            throw ScenarioError(str("spec \"", args.spec(),
-                                    "\": mode must be \"windowed\" or "
-                                    "\"persistent\", got \"", mode, "\""));
-          }
-          return decay_global_factory(cfg);
+          return decay_global_factory(parse_decay_global(args));
         });
   r.add("decay_local",
         "[8] Decay local broadcast: decay_local([fixed|permuted])",
         [](const SpecArgs& args) {
-          args.expect_count(0, 1);
-          DecayLocalConfig cfg;
-          cfg.schedule = parse_schedule(args, 0, ScheduleKind::fixed);
-          return decay_local_factory(cfg);
+          return decay_local_factory(parse_decay_local(args));
         });
   r.add("geo_local",
         "§4.3 geographic local broadcast: geo_local([shared|private])",
         [](const SpecArgs& args) {
-          args.expect_count(0, 1);
-          GeoLocalConfig cfg = GeoLocalConfig::fast();
-          const std::string seeds = args.str_or(0, "shared");
-          if (seeds == "private") {
-            cfg.shared_seeds = false;
-          } else if (seeds != "shared") {
-            throw ScenarioError(str("spec \"", args.spec(),
-                                    "\": seed mode must be \"shared\" or "
-                                    "\"private\", got \"", seeds, "\""));
-          }
-          return geo_local_factory(cfg);
+          return geo_local_factory(parse_geo_local(args));
         });
   r.add("round_robin",
         "deterministic round robin (footnote 4): round_robin([relay|norelay])",
         [](const SpecArgs& args) {
-          args.expect_count(0, 1);
-          const std::string mode = args.str_or(0, "relay");
-          if (mode != "relay" && mode != "norelay") {
-            throw ScenarioError(str("spec \"", args.spec(),
-                                    "\": mode must be \"relay\" or "
-                                    "\"norelay\", got \"", mode, "\""));
-          }
-          return round_robin_factory(RoundRobinConfig{mode == "relay"});
+          return round_robin_factory(parse_round_robin(args));
         });
   r.add("gossip", "decay-style k-gossip rumor spreading: gossip()",
         [](const SpecArgs& args) {
-          args.expect_count(0, 0);
-          return gossip_factory(GossipConfig{});
+          return gossip_factory(parse_gossip(args));
+        });
+  r.add("robust_mix",
+        "round-robin/permuted-Decay interleaving hedge: robust_mix()",
+        [](const SpecArgs& args) {
+          return robust_mix_factory(parse_robust_mix(args));
+        });
+}
+
+void add_kernels(KernelRegistry& r) {
+  r.add("decay_global",
+        "batch kernel of decay_global([fixed|permuted][,persistent])",
+        [](const SpecArgs& args) {
+          return decay_global_kernel_factory(parse_decay_global(args));
+        });
+  r.add("decay_local", "batch kernel of decay_local([fixed|permuted])",
+        [](const SpecArgs& args) {
+          return decay_local_kernel_factory(parse_decay_local(args));
+        });
+  r.add("geo_local", "batch kernel of geo_local([shared|private])",
+        [](const SpecArgs& args) {
+          return geo_local_kernel_factory(parse_geo_local(args));
+        });
+  r.add("round_robin", "batch kernel of round_robin([relay|norelay])",
+        [](const SpecArgs& args) {
+          return round_robin_kernel_factory(parse_round_robin(args));
+        });
+  r.add("gossip", "batch kernel of gossip()", [](const SpecArgs& args) {
+    return gossip_kernel_factory(parse_gossip(args));
+  });
+  r.add("robust_mix", "batch kernel of robust_mix()",
+        [](const SpecArgs& args) {
+          return robust_mix_kernel_factory(parse_robust_mix(args));
         });
 }
 
@@ -452,6 +515,9 @@ void register_builtin_adversaries(AdversaryRegistry& registry) {
 }
 void register_builtin_problems(ProblemRegistry& registry) {
   add_problems(registry);
+}
+void register_builtin_kernels(KernelRegistry& registry) {
+  add_kernels(registry);
 }
 
 }  // namespace dualcast::scenario

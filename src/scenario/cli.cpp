@@ -33,6 +33,10 @@ void print_usage(std::ostream& os, const char* binary) {
         "  --history P   history retention per trial: \"lean\" (default;\n"
         "                O(n) aggregates, auto-falls back to full for\n"
         "                adversaries that read the trace) or \"full\"\n"
+        "  --engine E    execution engine: \"kernel\" (default; batch SoA\n"
+        "                kernels, scalar-adapter fallback for algorithms\n"
+        "                without a port) or \"scalar\" (reference engine).\n"
+        "                Results are byte-identical for both\n"
         "  --trials N    override each scenario's trial count\n";
 }
 
@@ -103,6 +107,23 @@ int run_main(int argc, char** argv,
               str("--history: expected \"full\" or \"lean\", got \"", value,
                   "\""));
         }
+      } else if (arg == "--engine" || arg.rfind("--engine=", 0) == 0) {
+        std::string value;
+        if (arg == "--engine") {
+          if (++i >= argc) throw ScenarioError("--engine requires a value");
+          value = argv[i];
+        } else {
+          value = arg.substr(std::string("--engine=").size());
+        }
+        if (value == "kernel") {
+          options.engine = EnginePath::kernel;
+        } else if (value == "scalar") {
+          options.engine = EnginePath::scalar;
+        } else {
+          throw ScenarioError(
+              str("--engine: expected \"kernel\" or \"scalar\", got \"",
+                  value, "\""));
+        }
       } else if (arg == "--trials") {
         options.trials_override =
             parse_int_flag("--trials", ++i < argc ? argv[i] : nullptr);
@@ -151,10 +172,16 @@ int run_main(int argc, char** argv,
       return 1;
     }
 
+    // run_scenarios is the scenario-level scheduler: with --sweep-threads,
+    // every (scenario × point × column × trial) of the whole selection
+    // drains from one shared work queue.
     std::vector<std::string> json_rows;
-    for (const ScenarioSpec* spec : selection) {
-      const ScenarioResult result = run_scenario(*spec, options);
-      if (!json_path.empty()) append_json_rows(result, json_rows);
+    const std::vector<ScenarioResult> results =
+        run_scenarios(selection, options);
+    if (!json_path.empty()) {
+      for (const ScenarioResult& result : results) {
+        append_json_rows(result, json_rows);
+      }
     }
 
     if (!json_path.empty()) {

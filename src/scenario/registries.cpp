@@ -59,4 +59,26 @@ ProblemRegistry& problems() {
   return registry;
 }
 
+KernelRegistry& kernels() {
+  static KernelRegistry& registry = *[] {
+    auto* r = new KernelRegistry();
+    register_builtin_kernels(*r);
+    return r;
+  }();
+  return registry;
+}
+
+KernelFactory build_kernel_or_null(const std::string& algorithm_spec) {
+  const SpecCall call = parse_call(algorithm_spec);
+  if (!kernels().contains(call.name)) return {};
+  return kernels().build(algorithm_spec);
+}
+
+std::unique_ptr<AlgorithmKernel> select_kernel(const KernelFactory& kernel,
+                                               const Problem& problem,
+                                               const ProcessFactory& factory) {
+  if (kernel && problem.batch_compatible()) return kernel();
+  return make_scalar_kernel_adapter(factory);
+}
+
 }  // namespace dualcast::scenario

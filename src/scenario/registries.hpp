@@ -19,6 +19,7 @@
 
 #include "scenario/registry.hpp"
 #include "scenario/topology.hpp"
+#include "sim/kernel.hpp"
 #include "sim/link_process.hpp"
 #include "sim/problem.hpp"
 #include "sim/process.hpp"
@@ -34,11 +35,31 @@ using TopologyRegistry = Registry<Topology, std::uint64_t>;
 using AlgorithmRegistry = Registry<ProcessFactory>;
 using AdversaryRegistry = Registry<LinkProcessFactory, const Topology&>;
 using ProblemRegistry = Registry<ProblemFactory, const Topology&>;
+/// Batch-kernel ports of algorithms, keyed by the *same* names and argument
+/// grammar as algorithms() — "decay_global(permuted,persistent)" builds the
+/// scalar factory from one registry and the kernel from the other.
+/// Algorithms without an entry here run on the batch engine through the
+/// scalar adapter (see build_kernel_or_null).
+using KernelRegistry = Registry<KernelFactory>;
 
 TopologyRegistry& topologies();
 AlgorithmRegistry& algorithms();
 AdversaryRegistry& adversaries();
 ProblemRegistry& problems();
+KernelRegistry& kernels();
+
+/// Builds the kernel for an algorithm spec when a batch port is registered
+/// under the spec's name; returns an empty factory otherwise (callers fall
+/// back to make_scalar_kernel_adapter around the scalar factory).
+KernelFactory build_kernel_or_null(const std::string& algorithm_spec);
+
+/// THE kernel-selection rule of the batch engine path, shared by the
+/// scenario runner and the throughput bench so they always measure the
+/// same thing: the registered kernel when the problem can run without
+/// Process objects, the scalar-adapter kernel otherwise.
+std::unique_ptr<AlgorithmKernel> select_kernel(const KernelFactory& kernel,
+                                               const Problem& problem,
+                                               const ProcessFactory& factory);
 
 // Built-in registration hooks (called once by the accessors above; defined
 // in builtins.cpp).
@@ -46,5 +67,6 @@ void register_builtin_topologies(TopologyRegistry& registry);
 void register_builtin_algorithms(AlgorithmRegistry& registry);
 void register_builtin_adversaries(AdversaryRegistry& registry);
 void register_builtin_problems(ProblemRegistry& registry);
+void register_builtin_kernels(KernelRegistry& registry);
 
 }  // namespace dualcast::scenario

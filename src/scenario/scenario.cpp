@@ -8,6 +8,7 @@
 #include "analysis/table.hpp"
 #include "analysis/trials.hpp"
 #include "sim/execution.hpp"
+#include "sim/kernel_execution.hpp"
 #include "util/strfmt.hpp"
 
 namespace dualcast::scenario {
@@ -38,16 +39,10 @@ Metric parse_metric(const std::string& metric_spec) {
                           "\"first_receive(<mark>)\""));
 }
 
-double run_one_trial(const Topology& topo, const ProcessFactory& factory,
-                     const LinkProcessFactory& adversary,
-                     const ProblemFactory& problem, const Metric& metric,
-                     int watch_node, std::uint64_t seed, int max_rounds,
-                     HistoryPolicy history) {
-  Execution exec(topo.net(), factory, problem(), adversary(),
-                 ExecutionConfig{}
-                     .with_seed(seed)
-                     .with_max_rounds(max_rounds)
-                     .with_history_policy(history));
+/// One trial's measurement, over either engine (they share the API the
+/// metric needs).
+template <typename Exec>
+double measure_execution(Exec& exec, const Metric& metric, int watch_node) {
   if (!metric.first_receive) {
     const RunResult result = exec.run();
     return result.solved ? static_cast<double>(result.rounds) : -1.0;
@@ -63,6 +58,49 @@ double run_one_trial(const Topology& topo, const ProcessFactory& factory,
                        watch_node)] +
                    1)
              : -1.0;
+}
+
+/// One measured cell's resolved factories. Factories capture values and
+/// shared_ptrs only, so a plan is safe to consult from worker threads (and
+/// to relocate before they start).
+struct CellPlan {
+  ProcessFactory factory;
+  KernelFactory kernel;  ///< empty when no batch port is registered
+  LinkProcessFactory adversary;
+  ProblemFactory problem;
+};
+
+/// One sweep point's execution plan: its topology plus each column's
+/// resolved factories.
+struct PointPlan {
+  Topology topo;
+  int max_rounds = 0;
+  int watch_node = -1;
+  std::vector<CellPlan> cells;
+};
+
+double run_one_trial(const Topology& topo, const CellPlan& cell,
+                     const Metric& metric, int watch_node, std::uint64_t seed,
+                     int max_rounds, HistoryPolicy history,
+                     EnginePath engine) {
+  const ExecutionConfig config = ExecutionConfig{}
+                                     .with_seed(seed)
+                                     .with_max_rounds(max_rounds)
+                                     .with_history_policy(history);
+  if (engine == EnginePath::scalar) {
+    Execution exec(topo.net(), cell.factory, cell.problem(), cell.adversary(),
+                   config);
+    return measure_execution(exec, metric, watch_node);
+  }
+  std::shared_ptr<Problem> problem = cell.problem();
+  // Batch path: select_kernel picks the registered kernel or the
+  // scalar-adapter fallback (bit-identical either way; the adapter just
+  // carries real processes along).
+  std::unique_ptr<AlgorithmKernel> kernel =
+      select_kernel(cell.kernel, *problem, cell.factory);
+  KernelExecution exec(topo.net(), cell.factory, std::move(kernel),
+                       std::move(problem), cell.adversary(), config);
+  return measure_execution(exec, metric, watch_node);
 }
 
 std::string json_escape(const std::string& s) {
@@ -85,10 +123,25 @@ std::string json_number(double v) {
   return os.str();
 }
 
-}  // namespace
+/// A scenario after option overrides, with its parsed metric and (once
+/// prepared) its per-sweep-point execution plans and raw trial values.
+/// This is the unit both schedulers operate on: run_scenario fills one,
+/// run_scenarios fills a batch of them against a single shared queue.
+struct ScenarioPlan {
+  ScenarioSpec spec;
+  Metric metric;
+  std::vector<PointPlan> points;
+  /// raw[point][column][trial], filled by the schedulers in seed order.
+  std::vector<std::vector<std::vector<double>>> raw;
 
-ScenarioResult run_scenario(const ScenarioSpec& original,
-                            const RunOptions& options) {
+  int n_cols() const { return static_cast<int>(spec.columns.size()); }
+  int tasks() const {
+    return static_cast<int>(points.size()) * n_cols() * spec.trials;
+  }
+};
+
+ScenarioSpec apply_options(const ScenarioSpec& original,
+                           const RunOptions& options) {
   ScenarioSpec spec = original;
   if (spec.sweep.empty()) {
     throw ScenarioError(
@@ -104,147 +157,205 @@ ScenarioResult run_scenario(const ScenarioSpec& original,
     spec.trials = 1;
     spec.fit.clear();
   }
+  return spec;
+}
 
-  const Metric metric = parse_metric(spec.metric);
+PointPlan build_point(const ScenarioSpec& spec, const Metric& metric,
+                      std::size_t i, const RunOptions& options) {
+  const double x = spec.sweep[i];
+  PointPlan point;
+  point.topo = topologies().build(
+      substitute_x(spec.topology, x),
+      spec.topology_seed + static_cast<std::uint64_t>(i));
 
-  // One sweep point's execution plan: its topology plus each column's
-  // resolved factories. Factories capture values and shared_ptrs only, so a
-  // plan is safe to consult from worker threads (and to relocate before
-  // they start).
-  struct CellPlan {
-    ProcessFactory factory;
-    LinkProcessFactory adversary;
-    ProblemFactory problem;
-  };
-  struct PointPlan {
-    Topology topo;
-    int max_rounds = 0;
-    int watch_node = -1;
-    std::vector<CellPlan> cells;
-  };
-  const auto build_point = [&](std::size_t i) {
-    const double x = spec.sweep[i];
-    PointPlan point;
-    point.topo = topologies().build(
-        substitute_x(spec.topology, x),
-        spec.topology_seed + static_cast<std::uint64_t>(i));
+  std::map<std::string, double> vars;
+  vars["x"] = x;
+  vars["n"] = point.topo.n();
+  for (const auto& [name, value] : point.topo.marks) {
+    vars[name] = static_cast<double>(value);
+  }
+  point.max_rounds = resolve_rounds(spec.max_rounds, vars);
+  if (options.smoke && point.max_rounds > options.smoke_max_rounds) {
+    point.max_rounds = options.smoke_max_rounds;
+  }
+  point.watch_node = metric.first_receive ? point.topo.mark(metric.mark) : -1;
 
-    std::map<std::string, double> vars;
-    vars["x"] = x;
-    vars["n"] = point.topo.n();
-    for (const auto& [name, value] : point.topo.marks) {
-      vars[name] = static_cast<double>(value);
-    }
-    point.max_rounds = resolve_rounds(spec.max_rounds, vars);
-    if (options.smoke && point.max_rounds > options.smoke_max_rounds) {
-      point.max_rounds = options.smoke_max_rounds;
-    }
-    point.watch_node =
-        metric.first_receive ? point.topo.mark(metric.mark) : -1;
+  for (const ScenarioColumn& column : spec.columns) {
+    CellPlan cell;
+    const std::string algorithm_spec = substitute_x(column.algorithm, x);
+    cell.factory = algorithms().build(algorithm_spec);
+    cell.kernel = build_kernel_or_null(algorithm_spec);
+    cell.adversary =
+        adversaries().build(substitute_x(column.adversary, x), point.topo);
+    cell.problem = problems().build(
+        substitute_x(column.problem.empty() ? spec.problem : column.problem,
+                     x),
+        point.topo);
+    point.cells.push_back(std::move(cell));
+  }
+  return point;
+}
 
-    for (const ScenarioColumn& column : spec.columns) {
-      CellPlan cell;
-      cell.factory = algorithms().build(substitute_x(column.algorithm, x));
-      cell.adversary =
-          adversaries().build(substitute_x(column.adversary, x), point.topo);
-      cell.problem = problems().build(
-          substitute_x(column.problem.empty() ? spec.problem : column.problem,
-                       x),
-          point.topo);
-      point.cells.push_back(std::move(cell));
-    }
-    return point;
-  };
+/// Measurement. Every trial is keyed by (point, column, seed) alone —
+/// never by scheduling order — so every scheduler produces bit-identical
+/// raw value vectors, and censoring goes through the one shared helper.
+double measure(const ScenarioSpec& spec, const Metric& metric,
+               const PointPlan& point, int col, int trial,
+               const RunOptions& options) {
+  const CellPlan& cell = point.cells[static_cast<std::size_t>(col)];
+  return run_one_trial(point.topo, cell, metric, point.watch_node,
+                       spec.base_seed + static_cast<std::uint64_t>(trial),
+                       point.max_rounds, options.history, options.engine);
+}
 
-  // Measurement. Every trial is keyed by (point, column, seed) alone —
-  // never by scheduling order — so both paths below produce bit-identical
-  // raw value vectors, and censoring goes through the one shared helper.
-  const int n_cols = static_cast<int>(spec.columns.size());
-  const int n_trials = spec.trials;
-  const auto measure = [&](const PointPlan& point, int col,
-                           int trial) {
-    const CellPlan& cell = point.cells[static_cast<std::size_t>(col)];
-    return run_one_trial(point.topo, cell.factory, cell.adversary,
-                         cell.problem, metric, point.watch_node,
-                         spec.base_seed + static_cast<std::uint64_t>(trial),
-                         point.max_rounds, options.history);
-  };
-  const auto make_point_result =
-      [&](double x, const PointPlan& planned,
-          std::vector<std::vector<double>> raw_cells) {
-        PointResult point;
-        point.x = x;
-        point.n = planned.topo.n();
-        point.max_rounds = planned.max_rounds;
-        point.marks = planned.topo.marks;
-        for (int col = 0; col < n_cols; ++col) {
-          const CensoredTrials trials = censor_trials(
-              std::move(raw_cells[static_cast<std::size_t>(col)]),
-              static_cast<double>(planned.max_rounds));
-          CellResult cell;
-          cell.label = spec.columns[static_cast<std::size_t>(col)].label;
-          cell.median = trials.median;
-          cell.p95 = trials.p95;
-          cell.failures = trials.failures;
-          cell.trials = trials.trials();
-          cell.values = trials.values;
-          point.cells.push_back(std::move(cell));
-        }
-        return point;
-      };
+PointResult make_point_result(const ScenarioSpec& spec, double x,
+                              const PointPlan& planned,
+                              std::vector<std::vector<double>> raw_cells) {
+  PointResult point;
+  point.x = x;
+  point.n = planned.topo.n();
+  point.max_rounds = planned.max_rounds;
+  point.marks = planned.topo.marks;
+  for (std::size_t col = 0; col < spec.columns.size(); ++col) {
+    const CensoredTrials trials =
+        censor_trials(std::move(raw_cells[col]),
+                      static_cast<double>(planned.max_rounds));
+    CellResult cell;
+    cell.label = spec.columns[col].label;
+    cell.median = trials.median;
+    cell.p95 = trials.p95;
+    cell.failures = trials.failures;
+    cell.trials = trials.trials();
+    cell.values = trials.values;
+    point.cells.push_back(std::move(cell));
+  }
+  return point;
+}
+
+/// Builds every point plan up front (pool schedulers need them all alive)
+/// and sizes the raw value store.
+void prepare_points(ScenarioPlan& plan, const RunOptions& options) {
+  plan.points.reserve(plan.spec.sweep.size());
+  for (std::size_t i = 0; i < plan.spec.sweep.size(); ++i) {
+    plan.points.push_back(build_point(plan.spec, plan.metric, i, options));
+  }
+  plan.raw.resize(plan.points.size());
+  for (auto& point_raw : plan.raw) {
+    point_raw.assign(
+        static_cast<std::size_t>(plan.n_cols()),
+        std::vector<double>(static_cast<std::size_t>(plan.spec.trials)));
+  }
+}
+
+/// Executes flat task `task` of a prepared plan (trial-major order).
+void run_plan_task(ScenarioPlan& plan, int task, const RunOptions& options) {
+  const int n_trials = plan.spec.trials;
+  const int trial = task % n_trials;
+  const int col = (task / n_trials) % plan.n_cols();
+  const int p = task / (n_trials * plan.n_cols());
+  plan.raw[static_cast<std::size_t>(p)][static_cast<std::size_t>(col)]
+      [static_cast<std::size_t>(trial)] =
+          measure(plan.spec, plan.metric,
+                  plan.points[static_cast<std::size_t>(p)], col, trial,
+                  options);
+}
+
+ScenarioResult assemble(ScenarioPlan& plan) {
+  ScenarioResult result;
+  result.spec = plan.spec;
+  for (std::size_t p = 0; p < plan.points.size(); ++p) {
+    result.points.push_back(make_point_result(plan.spec, plan.spec.sweep[p],
+                                              plan.points[p],
+                                              std::move(plan.raw[p])));
+  }
+  return result;
+}
+
+}  // namespace
+
+const char* to_string(EnginePath engine) {
+  return engine == EnginePath::kernel ? "kernel" : "scalar";
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& original,
+                            const RunOptions& options) {
+  ScenarioPlan plan;
+  plan.spec = apply_options(original, options);
+  plan.metric = parse_metric(plan.spec.metric);
 
   ScenarioResult result;
-  result.spec = spec;
   if (options.sweep_threads > 1) {
-    // Sweep-point-level scheduler: every point's plan is built up front
-    // (the pool needs them all alive), then one flat work queue over every
-    // (point × column × trial) is consumed by a shared pool.
-    std::vector<PointPlan> plan;
-    plan.reserve(spec.sweep.size());
-    for (std::size_t i = 0; i < spec.sweep.size(); ++i) {
-      plan.push_back(build_point(i));
-    }
-    std::vector<std::vector<std::vector<double>>> raw(plan.size());
-    for (std::size_t p = 0; p < plan.size(); ++p) {
-      raw[p].assign(static_cast<std::size_t>(n_cols),
-                    std::vector<double>(static_cast<std::size_t>(n_trials)));
-    }
-    const int total = static_cast<int>(plan.size()) * n_cols * n_trials;
-    run_tasks(total, options.sweep_threads, [&](int task) {
-      const int trial = task % n_trials;
-      const int col = (task / n_trials) % n_cols;
-      const int p = task / (n_trials * n_cols);
-      raw[static_cast<std::size_t>(p)][static_cast<std::size_t>(col)]
-         [static_cast<std::size_t>(trial)] =
-             measure(plan[static_cast<std::size_t>(p)], col, trial);
-    });
-    for (std::size_t p = 0; p < plan.size(); ++p) {
-      result.points.push_back(
-          make_point_result(spec.sweep[p], plan[p], std::move(raw[p])));
-    }
+    // Sweep-point-level scheduler: one flat work queue over every
+    // (point × column × trial), consumed by a shared pool.
+    prepare_points(plan, options);
+    run_tasks(plan.tasks(), options.sweep_threads,
+              [&](int task) { run_plan_task(plan, task, options); });
+    result = assemble(plan);
   } else {
     // Sequential / per-cell trial-pool path: one point alive at a time, so
     // peak memory stays O(largest topology) however long the sweep is.
+    const ScenarioSpec& spec = plan.spec;
+    result.spec = spec;
+    const int n_cols = plan.n_cols();
     for (std::size_t i = 0; i < spec.sweep.size(); ++i) {
-      const PointPlan point = build_point(i);
+      const PointPlan point = build_point(spec, plan.metric, i, options);
       std::vector<std::vector<double>> raw_cells;
       raw_cells.reserve(static_cast<std::size_t>(n_cols));
       for (int col = 0; col < n_cols; ++col) {
         raw_cells.push_back(run_raw_trials(
-            n_trials, spec.base_seed,
+            spec.trials, spec.base_seed,
             [&](std::uint64_t seed) {
-              return measure(point, col,
-                             static_cast<int>(seed - spec.base_seed));
+              return measure(spec, plan.metric, point, col,
+                             static_cast<int>(seed - spec.base_seed),
+                             options);
             },
             options.threads));
       }
-      result.points.push_back(
-          make_point_result(spec.sweep[i], point, std::move(raw_cells)));
+      result.points.push_back(make_point_result(
+          spec, spec.sweep[i], point, std::move(raw_cells)));
     }
   }
 
   if (options.out != nullptr) print_result(result, *options.out);
   return result;
+}
+
+std::vector<ScenarioResult> run_scenarios(
+    const std::vector<const ScenarioSpec*>& specs,
+    const RunOptions& options) {
+  std::vector<ScenarioResult> results;
+  results.reserve(specs.size());
+  if (options.sweep_threads <= 1) {
+    for (const ScenarioSpec* spec : specs) {
+      results.push_back(run_scenario(*spec, options));
+    }
+    return results;
+  }
+
+  // Scenario-level scheduler: prepare every selected scenario, then drain
+  // one queue over the concatenated (scenario × point × column × trial)
+  // space. Printing happens afterwards, in selection order, so the output
+  // is indistinguishable from the sequential run.
+  std::vector<ScenarioPlan> plans(specs.size());
+  std::vector<int> task_offset(specs.size() + 1, 0);
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    plans[s].spec = apply_options(*specs[s], options);
+    plans[s].metric = parse_metric(plans[s].spec.metric);
+    prepare_points(plans[s], options);
+    task_offset[s + 1] = task_offset[s] + plans[s].tasks();
+  }
+  run_tasks(task_offset.back(), options.sweep_threads, [&](int task) {
+    // Scenario lookup: selections are small (tens), so a linear scan is
+    // cheaper than it looks next to a trial execution.
+    std::size_t s = 0;
+    while (task >= task_offset[s + 1]) ++s;
+    run_plan_task(plans[s], task - task_offset[s], options);
+  });
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    results.push_back(assemble(plans[s]));
+    if (options.out != nullptr) print_result(results.back(), *options.out);
+  }
+  return results;
 }
 
 void print_result(const ScenarioResult& result, std::ostream& os) {

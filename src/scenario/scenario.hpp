@@ -90,6 +90,15 @@ struct ScenarioResult {
   std::vector<PointResult> points;
 };
 
+/// Which execution engine measures the trials. Both produce byte-identical
+/// results for every registered algorithm: trials are keyed by seed, and
+/// kernels contract to draw-for-draw parity with their scalar algorithms
+/// (the catalog-wide equality test enforces it). `kernel` is the fast
+/// path; `scalar` keeps the reference engine one flag away.
+enum class EnginePath : std::uint8_t { kernel, scalar };
+
+const char* to_string(EnginePath engine);
+
 struct RunOptions {
   int threads = 1;         ///< thread-pool width over trials (within one cell)
   /// Sweep-point-level scheduler: when > 1, every (sweep point × column ×
@@ -98,7 +107,12 @@ struct RunOptions {
   /// even on low-trial sweeps. Results are bit-identical to the sequential
   /// runner (trials are keyed by seed, never by scheduling order). When
   /// <= 1, the legacy per-cell trial pool (`threads`) is used.
+  /// run_scenarios() extends the same queue across *scenarios*.
   int sweep_threads = 1;
+  /// Engine selection (see EnginePath). Algorithms without a registered
+  /// kernel, and problems that read Process objects, transparently run
+  /// through the scalar-adapter kernel on the kernel path.
+  EnginePath engine = EnginePath::kernel;
   /// History retention requested for every trial execution. `lean` keeps
   /// O(n) running aggregates instead of the O(rounds·n) trace; the engine
   /// falls back to `full` automatically for adversaries/problems that
@@ -114,6 +128,19 @@ struct RunOptions {
 /// Executes a scenario. Throws ScenarioError on spec errors.
 ScenarioResult run_scenario(const ScenarioSpec& spec,
                             const RunOptions& options = {});
+
+/// Executes several scenarios. With options.sweep_threads > 1 this is the
+/// scenario-level scheduler: every (scenario × sweep point × column ×
+/// trial) across the whole selection is flattened into ONE work queue over
+/// a shared pool, so `--all` runs keep many-core boxes saturated across
+/// scenario boundaries instead of draining per scenario. Results (and
+/// printed output, emitted in selection order after the queue drains) are
+/// bit-identical to running each scenario sequentially, at any worker
+/// count. Plans for the whole selection are alive at once — peak memory is
+/// the sum of the selection's largest sweep topologies.
+std::vector<ScenarioResult> run_scenarios(
+    const std::vector<const ScenarioSpec*>& specs,
+    const RunOptions& options = {});
 
 /// Prints the banner, per-point table, fits, and note.
 void print_result(const ScenarioResult& result, std::ostream& os);

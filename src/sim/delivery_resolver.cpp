@@ -1,0 +1,193 @@
+#include "sim/delivery_resolver.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace dualcast {
+
+void DeliveryResolver::reset(const DualGraph* net, bool collision_detection) {
+  DC_EXPECTS(net != nullptr && net->n() >= 1);
+  net_ = net;
+  collision_detection_ = collision_detection;
+  const std::size_t n = static_cast<std::size_t>(net->n());
+  hear_count_.assign(n, 0);
+  last_sender_.assign(n, -1);
+  last_tx_index_.assign(n, -1);
+  touched_.clear();
+  colliders_.clear();
+  tx_bits_.assign((n + 63) / 64, 0);
+}
+
+void DeliveryResolver::resolve(const std::vector<int>& tx_index_of,
+                               const EdgeSet& edges, RoundRecord& record) {
+  DC_EXPECTS(net_ != nullptr);
+  const int n = net_->n();
+  const std::vector<int>& transmitters = record.transmitters;
+  const int tx_count = static_cast<int>(transmitters.size());
+
+  colliders_.clear();
+
+  // Fast path: with all G'-only edges active on a complete G', either the
+  // unique transmitter reaches everyone or >= 2 transmitters collide
+  // everywhere. This keeps dense-round attacks on clique networks O(1).
+  if (edges.kind == EdgeSet::Kind::all && net_->gprime_complete()) {
+    last_ = Path::sweep;
+    if (tx_count == 1) {
+      const int v = transmitters[0];
+      record.deliveries.reserve(static_cast<std::size_t>(n - 1));
+      for (int u = 0; u < n; ++u) {
+        if (u != v) record.deliveries.push_back(Delivery{u, v, 0});
+      }
+    } else if (tx_count >= 2 && collision_detection_) {
+      for (int u = 0; u < n; ++u) {
+        if (tx_index_of[static_cast<std::size_t>(u)] < 0) {
+          colliders_.push_back(u);
+        }
+      }
+    }
+    return;
+  }
+
+  bool use_bitmap = false;
+  const bool overlay = edges.kind == EdgeSet::Kind::all;
+  if (forced_ == Path::bitmap) {
+    DC_EXPECTS_MSG(net_->g_bitmap() != nullptr,
+                   "bitmap path forced on a network without bitmaps");
+    use_bitmap = true;
+  } else if (forced_ == Path::auto_select && net_->g_bitmap() != nullptr) {
+    // Exact sweep cost: scalar adjacency visits over the active layers.
+    std::int64_t sweep_visits = 0;
+    const auto g_off = net_->g().csr_offsets();
+    const auto gp_off = net_->gp_only_csr_offsets();
+    for (const int v : transmitters) {
+      sweep_visits += g_off[static_cast<std::size_t>(v) + 1] -
+                      g_off[static_cast<std::size_t>(v)];
+      if (overlay) {
+        sweep_visits += gp_off[static_cast<std::size_t>(v) + 1] -
+                        gp_off[static_cast<std::size_t>(v)];
+      }
+    }
+    // Bitmap cost: one (or two, with the overlay) row scans of n/64 words
+    // per node. The early exit at 2 contenders makes this an upper bound.
+    const std::int64_t bitmap_words =
+        static_cast<std::int64_t>(n) *
+        static_cast<std::int64_t>(net_->g_bitmap()->words_per_row()) *
+        (overlay ? 2 : 1);
+    use_bitmap = sweep_visits > bitmap_words;
+  }
+
+  touched_.clear();
+  last_ = use_bitmap ? Path::bitmap : Path::sweep;
+  if (use_bitmap) {
+    resolve_bitmap(tx_index_of, edges, record);
+  } else {
+    resolve_sweep(tx_index_of, edges, record);
+  }
+}
+
+void DeliveryResolver::resolve_sweep(const std::vector<int>& tx_index_of,
+                                     const EdgeSet& edges,
+                                     RoundRecord& record) {
+  const std::vector<int>& transmitters = record.transmitters;
+  const int tx_count = static_cast<int>(transmitters.size());
+  for (int ti = 0; ti < tx_count; ++ti) {
+    const int v = transmitters[static_cast<std::size_t>(ti)];
+    for (const int u : net_->g().neighbors(v)) bump(u, v, ti);
+    if (edges.kind == EdgeSet::Kind::all) {
+      for (const int u : net_->gp_only_neighbors(v)) bump(u, v, ti);
+    }
+  }
+  apply_sparse_edges(tx_index_of, edges);
+  finalize(tx_index_of, record);
+}
+
+void DeliveryResolver::resolve_bitmap(const std::vector<int>& tx_index_of,
+                                      const EdgeSet& edges,
+                                      RoundRecord& record) {
+  const int n = net_->n();
+  const AdjacencyBitmap* g_rows = net_->g_bitmap();
+  const AdjacencyBitmap* gp_rows = net_->gp_only_bitmap();
+  const bool overlay = edges.kind == EdgeSet::Kind::all;
+  const int words = g_rows->words_per_row();
+
+  for (std::uint64_t& w : tx_bits_) w = 0;
+  for (const int v : record.transmitters) {
+    tx_bits_[static_cast<std::size_t>(v) / 64] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(v) % 64);
+  }
+
+  for (int u = 0; u < n; ++u) {
+    if (tx_index_of[static_cast<std::size_t>(u)] >= 0) continue;
+    const std::uint64_t* grow = g_rows->row(u).data();
+    const std::uint64_t* prow = overlay ? gp_rows->row(u).data() : nullptr;
+    int count = 0;
+    std::uint64_t hit_word = 0;
+    int hit_index = 0;
+    for (int w = 0; w < words; ++w) {
+      std::uint64_t m = grow[w] & tx_bits_[static_cast<std::size_t>(w)];
+      if (overlay) m |= prow[w] & tx_bits_[static_cast<std::size_t>(w)];
+      if (m == 0) continue;
+      count += std::popcount(m);
+      hit_word = m;
+      hit_index = w;
+      // Counts are only consumed as {0, 1, >= 2} (delivery / collision), so
+      // cap at 2: later sparse bumps can only push the count further up.
+      if (count >= 2) {
+        count = 2;
+        break;
+      }
+    }
+    if (count == 0) continue;
+    hear_count_[static_cast<std::size_t>(u)] = count;
+    touched_.push_back(u);
+    if (count == 1) {
+      const int sender = hit_index * 64 + std::countr_zero(hit_word);
+      last_sender_[static_cast<std::size_t>(u)] = sender;
+      last_tx_index_[static_cast<std::size_t>(u)] =
+          tx_index_of[static_cast<std::size_t>(sender)];
+    }
+  }
+  apply_sparse_edges(tx_index_of, edges);
+  finalize(tx_index_of, record);
+}
+
+void DeliveryResolver::apply_sparse_edges(const std::vector<int>& tx_index_of,
+                                          const EdgeSet& edges) {
+  if (edges.kind != EdgeSet::Kind::some) return;
+  const auto& gp_only = net_->gp_only_edges();
+  for (const std::int32_t idx : edges.indices) {
+    DC_EXPECTS(idx >= 0 && idx < static_cast<std::int32_t>(gp_only.size()));
+    const auto [a, b] = gp_only[static_cast<std::size_t>(idx)];
+    // tx_index_of maps each endpoint straight to its transmitter slot, so
+    // activating an edge costs O(1) instead of a scan over the round's
+    // transmitter list.
+    const int ta = tx_index_of[static_cast<std::size_t>(a)];
+    if (ta >= 0) bump(b, a, ta);
+    const int tb = tx_index_of[static_cast<std::size_t>(b)];
+    if (tb >= 0) bump(a, b, tb);
+  }
+}
+
+void DeliveryResolver::finalize(const std::vector<int>& tx_index_of,
+                                RoundRecord& record) {
+  for (const int u : touched_) {
+    if (tx_index_of[static_cast<std::size_t>(u)] >= 0) continue;
+    if (hear_count_[static_cast<std::size_t>(u)] == 1) {
+      record.deliveries.push_back(
+          Delivery{u, last_sender_[static_cast<std::size_t>(u)],
+                   last_tx_index_[static_cast<std::size_t>(u)]});
+    } else if (collision_detection_ &&
+               hear_count_[static_cast<std::size_t>(u)] >= 2) {
+      colliders_.push_back(u);
+    }
+  }
+  // Reset scratch.
+  for (const int u : touched_) {
+    hear_count_[static_cast<std::size_t>(u)] = 0;
+    last_sender_[static_cast<std::size_t>(u)] = -1;
+    last_tx_index_[static_cast<std::size_t>(u)] = -1;
+  }
+}
+
+}  // namespace dualcast

@@ -1,0 +1,101 @@
+#pragma once
+
+// The §2 receive rule, factored out of the engines so the scalar and batch
+// execution paths resolve deliveries identically:
+//
+//   u receives m from v iff u listens, v transmits m, and v is the *only*
+//   transmitter among u's neighbors in G ∪ (selected G'-only edges).
+//
+// Two interchangeable strategies, selected per round:
+//
+//   sweep  — walk each transmitter's CSR adjacency, bumping per-listener
+//            hear counts. O(Σ deg(t) + |activated edges|); optimal for
+//            sparse rounds (few transmitters).
+//   bitmap — build the round's transmitter set as an n-bit vector T and
+//            compute every listener's contending-transmitter count as
+//            popcount(row(u) & T) over the blocked adjacency bitmaps.
+//            O(n·n/64) with early exit at 2 contenders; wins on dense
+//            rounds, where the sweep's scalar visits exceed n²/64.
+//
+// The per-round heuristic compares the sweep's exact visit count (Σ over
+// transmitters of their active-layer degree) against the bitmap's word
+// count, so the choice is a deterministic function of the round's
+// transmitter set and edge kind — replays stay bit-identical. Both paths
+// produce the same delivery set; only the order of record.deliveries may
+// differ (receiver-major for bitmap, transmitter-major for sweep), which no
+// consumer depends on (per-receiver feedback is unique because a delivery
+// requires a *sole* contender; the problem monitors are order-insensitive).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dual_graph.hpp"
+#include "sim/edge_set.hpp"
+#include "sim/history.hpp"
+
+namespace dualcast {
+
+class DeliveryResolver {
+ public:
+  enum class Path : std::uint8_t {
+    auto_select,  ///< per-round cost heuristic (default)
+    sweep,        ///< force the CSR sweep (tests, no-bitmap graphs)
+    bitmap,       ///< force the word-parallel path (tests; requires bitmaps)
+  };
+
+  /// Binds the resolver to a network and sizes the scratch. Must be called
+  /// before resolve(); the network must outlive the resolver.
+  void reset(const DualGraph* net, bool collision_detection);
+
+  /// Resolves one round: appends this round's deliveries to `record`
+  /// (which carries the transmitters/sent arrays already filled by the
+  /// engine) and refills colliders() with the listeners that heard >= 2
+  /// transmitters (only when collision detection is on).
+  /// `tx_index_of[v]` must be v's index into record.transmitters, or -1.
+  void resolve(const std::vector<int>& tx_index_of, const EdgeSet& edges,
+               RoundRecord& record);
+
+  /// Listeners with >= 2 contending transmitters in the last resolved round
+  /// (empty unless collision detection is on).
+  const std::vector<int>& colliders() const { return colliders_; }
+
+  /// Test hook: pin the strategy. bitmap requires the network to have
+  /// adjacency bitmaps (n <= DualGraph::kBitmapMaxN).
+  void force_path(Path path) { forced_ = path; }
+  /// The strategy taken by the last resolve() call (diagnostics/tests).
+  Path last_path() const { return last_; }
+
+ private:
+  /// Registers one heard transmission for listener u (the shared
+  /// hear-count/touched/last-sender invariant of the sweep and sparse-edge
+  /// paths).
+  void bump(int u, int sender, int tx_index) {
+    if (hear_count_[static_cast<std::size_t>(u)] == 0) touched_.push_back(u);
+    ++hear_count_[static_cast<std::size_t>(u)];
+    last_sender_[static_cast<std::size_t>(u)] = sender;
+    last_tx_index_[static_cast<std::size_t>(u)] = tx_index;
+  }
+
+  void resolve_sweep(const std::vector<int>& tx_index_of, const EdgeSet& edges,
+                     RoundRecord& record);
+  void resolve_bitmap(const std::vector<int>& tx_index_of,
+                      const EdgeSet& edges, RoundRecord& record);
+  void apply_sparse_edges(const std::vector<int>& tx_index_of,
+                          const EdgeSet& edges);
+  void finalize(const std::vector<int>& tx_index_of, RoundRecord& record);
+
+  const DualGraph* net_ = nullptr;
+  bool collision_detection_ = false;
+  Path forced_ = Path::auto_select;
+  Path last_ = Path::sweep;
+
+  // Scratch reused across rounds (see Execution's zero-allocation contract).
+  std::vector<int> hear_count_;
+  std::vector<int> last_sender_;
+  std::vector<int> last_tx_index_;
+  std::vector<int> touched_;
+  std::vector<int> colliders_;
+  std::vector<std::uint64_t> tx_bits_;  ///< bitmap path: transmitter set
+};
+
+}  // namespace dualcast

@@ -65,9 +65,7 @@ Execution::Execution(const DualGraph& net, ProcessFactory factory,
   actions_.resize(static_cast<std::size_t>(n));
   feedback_.resize(static_cast<std::size_t>(n));
   tx_index_of_.assign(static_cast<std::size_t>(n), -1);
-  hear_count_.assign(static_cast<std::size_t>(n), 0);
-  last_sender_.assign(static_cast<std::size_t>(n), -1);
-  last_tx_index_.assign(static_cast<std::size_t>(n), -1);
+  resolver_.reset(net_, config_.collision_detection);
 
   solved_ = problem_->solved(processes_);
 }
@@ -100,83 +98,6 @@ EdgeSet Execution::select_edges_post_actions(
       DC_ASSERT_MSG(false, "online edges must be chosen before actions");
   }
   return EdgeSet::none();
-}
-
-void Execution::resolve_deliveries(const std::vector<int>& transmitters,
-                                   const EdgeSet& edges, RoundRecord& record) {
-  const int n = net_->n();
-  const int tx_count = static_cast<int>(transmitters.size());
-
-  colliders_.clear();
-
-  // Fast path: with all G'-only edges active on a complete G', either the
-  // unique transmitter reaches everyone or >= 2 transmitters collide
-  // everywhere. This keeps dense-round attacks on clique networks O(1).
-  if (edges.kind == EdgeSet::Kind::all && net_->gprime_complete()) {
-    if (tx_count == 1) {
-      const int v = transmitters[0];
-      record.deliveries.reserve(static_cast<std::size_t>(n - 1));
-      for (int u = 0; u < n; ++u) {
-        if (u != v) record.deliveries.push_back(Delivery{u, v, 0});
-      }
-    } else if (tx_count >= 2 && config_.collision_detection) {
-      for (int u = 0; u < n; ++u) {
-        if (tx_index_of_[static_cast<std::size_t>(u)] < 0) {
-          colliders_.push_back(u);
-        }
-      }
-    }
-    return;
-  }
-
-  touched_.clear();
-  const auto bump = [&](int u, int sender, int tx_index) {
-    if (hear_count_[static_cast<std::size_t>(u)] == 0) touched_.push_back(u);
-    ++hear_count_[static_cast<std::size_t>(u)];
-    last_sender_[static_cast<std::size_t>(u)] = sender;
-    last_tx_index_[static_cast<std::size_t>(u)] = tx_index;
-  };
-
-  for (int ti = 0; ti < tx_count; ++ti) {
-    const int v = transmitters[static_cast<std::size_t>(ti)];
-    for (const int u : net_->g().neighbors(v)) bump(u, v, ti);
-    if (edges.kind == EdgeSet::Kind::all) {
-      for (const int u : net_->gp_only_neighbors(v)) bump(u, v, ti);
-    }
-  }
-  if (edges.kind == EdgeSet::Kind::some) {
-    const auto& gp_only = net_->gp_only_edges();
-    for (const std::int32_t idx : edges.indices) {
-      DC_EXPECTS(idx >= 0 &&
-                 idx < static_cast<std::int32_t>(gp_only.size()));
-      const auto [a, b] = gp_only[static_cast<std::size_t>(idx)];
-      // tx_index_of_ maps each endpoint straight to its transmitter slot,
-      // so activating an edge costs O(1) instead of a scan over the round's
-      // transmitter list.
-      const int ta = tx_index_of_[static_cast<std::size_t>(a)];
-      if (ta >= 0) bump(b, a, ta);
-      const int tb = tx_index_of_[static_cast<std::size_t>(b)];
-      if (tb >= 0) bump(a, b, tb);
-    }
-  }
-
-  for (const int u : touched_) {
-    if (tx_index_of_[static_cast<std::size_t>(u)] >= 0) continue;
-    if (hear_count_[static_cast<std::size_t>(u)] == 1) {
-      record.deliveries.push_back(
-          Delivery{u, last_sender_[static_cast<std::size_t>(u)],
-                   last_tx_index_[static_cast<std::size_t>(u)]});
-    } else if (config_.collision_detection &&
-               hear_count_[static_cast<std::size_t>(u)] >= 2) {
-      colliders_.push_back(u);
-    }
-  }
-  // Reset scratch.
-  for (const int u : touched_) {
-    hear_count_[static_cast<std::size_t>(u)] = 0;
-    last_sender_[static_cast<std::size_t>(u)] = -1;
-    last_tx_index_[static_cast<std::size_t>(u)] = -1;
-  }
 }
 
 void Execution::step() {
@@ -216,7 +137,7 @@ void Execution::step() {
       edges.kind == EdgeSet::Kind::all
           ? static_cast<std::int64_t>(net_->gp_only_edges().size())
           : static_cast<std::int64_t>(edges.indices.size());
-  resolve_deliveries(record.transmitters, edges, record);
+  resolver_.resolve(tx_index_of_, edges, record);
   if (edges.kind == EdgeSet::Kind::some) {
     // The EdgeSet is dead after delivery resolution: move the index vector
     // into the record instead of copying it.
@@ -239,7 +160,7 @@ void Execution::step() {
       first_receive_round_[static_cast<std::size_t>(d.receiver)] = round_;
     }
   }
-  for (const int u : colliders_) {
+  for (const int u : resolver_.colliders()) {
     feedback_[static_cast<std::size_t>(u)].collision = true;
   }
   for (int v = 0; v < n; ++v) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "graph/dual_graph.hpp"
+#include "sim/delivery_resolver.hpp"
 #include "sim/history.hpp"
 #include "sim/link_process.hpp"
 #include "sim/problem.hpp"
@@ -122,8 +123,6 @@ class Execution {
   EdgeSet select_edges_pre_actions();
   EdgeSet select_edges_post_actions(const std::vector<Action>& actions,
                                     const std::vector<int>& transmitters);
-  void resolve_deliveries(const std::vector<int>& transmitters,
-                          const EdgeSet& edges, RoundRecord& record);
 
   const DualGraph* net_;
   std::shared_ptr<Problem> problem_;
@@ -152,11 +151,9 @@ class Execution {
   /// or -1 when v listens. Replaces both the `transmitting_` bitmap and the
   /// per-endpoint linear transmitter scans in the sparse-edge path.
   std::vector<int> tx_index_of_;
-  std::vector<int> hear_count_;
-  std::vector<int> last_sender_;
-  std::vector<int> last_tx_index_;
-  std::vector<int> touched_;
-  std::vector<int> colliders_;
+  /// The §2 receive rule (CSR sweep / word-parallel bitmap), shared with
+  /// the batch engine; owns the per-round hear-count scratch.
+  DeliveryResolver resolver_;
 };
 
 }  // namespace dualcast

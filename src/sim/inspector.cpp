@@ -2,20 +2,30 @@
 
 #include <memory>
 
+#include "sim/kernel.hpp"
 #include "sim/process.hpp"
 #include "util/assert.hpp"
 
 namespace dualcast {
 
-int StateInspector::n() const { return static_cast<int>(processes_->size()); }
+int StateInspector::n() const {
+  return processes_ != nullptr ? static_cast<int>(processes_->size())
+                               : kernel_n_;
+}
 
 double StateInspector::transmit_probability(int v, int round) const {
   DC_EXPECTS(v >= 0 && v < n());
-  const auto* proc = dynamic_cast<const InspectableProcess*>(
-      (*processes_)[static_cast<std::size_t>(v)].get());
-  DC_EXPECTS_MSG(proc != nullptr,
-                 "adaptive adversaries require InspectableProcess algorithms");
-  const double p = proc->transmit_probability(round);
+  double p = 0.0;
+  if (processes_ != nullptr) {
+    const auto* proc = dynamic_cast<const InspectableProcess*>(
+        (*processes_)[static_cast<std::size_t>(v)].get());
+    DC_EXPECTS_MSG(
+        proc != nullptr,
+        "adaptive adversaries require InspectableProcess algorithms");
+    p = proc->transmit_probability(round);
+  } else {
+    p = kernel_->transmit_probability(v, round);
+  }
   DC_ENSURES(p >= 0.0 && p <= 1.0);
   return p;
 }
@@ -28,7 +38,9 @@ double StateInspector::expected_transmitters(int round) const {
 
 bool StateInspector::has_message(int v) const {
   DC_EXPECTS(v >= 0 && v < n());
-  return (*processes_)[static_cast<std::size_t>(v)]->has_message();
+  return processes_ != nullptr
+             ? (*processes_)[static_cast<std::size_t>(v)]->has_message()
+             : kernel_->has_message(v);
 }
 
 }  // namespace dualcast

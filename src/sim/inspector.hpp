@@ -17,12 +17,19 @@
 namespace dualcast {
 
 class Process;
+class AlgorithmKernel;
 
 class StateInspector {
  public:
   explicit StateInspector(
       const std::vector<std::unique_ptr<Process>>* processes)
       : processes_(processes) {}
+
+  /// Batch-engine backend: state is read from the algorithm kernel (which
+  /// mirrors the scalar transmit_probability/has_message semantics) instead
+  /// of per-node Process objects.
+  StateInspector(const AlgorithmKernel* kernel, int n)
+      : kernel_(kernel), kernel_n_(n) {}
 
   int n() const;
 
@@ -38,7 +45,9 @@ class StateInspector {
   bool has_message(int v) const;
 
  private:
-  const std::vector<std::unique_ptr<Process>>* processes_;
+  const std::vector<std::unique_ptr<Process>>* processes_ = nullptr;
+  const AlgorithmKernel* kernel_ = nullptr;
+  int kernel_n_ = 0;
 };
 
 }  // namespace dualcast

@@ -1,0 +1,123 @@
+#pragma once
+
+// The batch execution interface: one object drives all n nodes of an
+// algorithm with two calls per round, replacing n virtual Process
+// dispatches, n Action constructions, and n RoundFeedback deliveries.
+//
+//   on_round_batch    — append this round's transmitters (ascending node
+//                       order, exactly the order the scalar engine visits
+//                       nodes) into the engine's reusable round record;
+//   on_feedback_batch — consume the resolved round from flat arrays:
+//                       deliveries, collision listeners, transmit flags.
+//
+// Kernels keep node state in structure-of-arrays form (counters, phase
+// indices, has-message bits, per-node windows) and touch only the nodes
+// that actually act in a round, so steady-state cost is O(actors), not
+// O(n).
+//
+// RNG discipline — the bit-for-bit contract with the scalar engine: a
+// kernel draws from the same per-node forked streams (`rngs[v]`) and must
+// consume, for every node and round, exactly the draws the scalar
+// algorithm's init/on_round/on_feedback would consume from that node's
+// stream. Node streams are independent, so the order in which a kernel
+// visits nodes within a round is free; the per-stream draw sequence is
+// not. Engines verify nothing here — the equivalence test suite does
+// (tests/test_sim_kernel_engine.cpp runs both engines and compares whole
+// histories).
+//
+// Any scalar ProcessFactory runs unmodified on the batch engine through
+// make_scalar_kernel_adapter(); the adapter additionally exposes its
+// Process vector so history-era consumers (problems that inspect
+// processes, the StateInspector) keep working.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/dual_graph.hpp"
+#include "sim/history.hpp"
+#include "sim/process.hpp"
+
+namespace dualcast {
+
+/// Everything a kernel sees at construction time: the network and each
+/// node's resolved environment (env_override already applied).
+struct KernelSetup {
+  const DualGraph* net = nullptr;
+  std::span<const ProcessEnv> envs;
+};
+
+/// Sink for a round's transmissions, writing straight into the engine's
+/// reusable RoundRecord and tx-index map. Kernels must emit transmitters in
+/// ascending node order (the scalar engine's visit order).
+class TxBatch {
+ public:
+  TxBatch(RoundRecord& record, std::vector<int>& tx_index_of)
+      : record_(&record), tx_index_of_(&tx_index_of) {}
+
+  void transmit(int v, Message message) {
+    (*tx_index_of_)[static_cast<std::size_t>(v)] =
+        static_cast<int>(record_->transmitters.size());
+    record_->transmitters.push_back(v);
+    record_->sent.push_back(std::move(message));
+  }
+
+ private:
+  RoundRecord* record_;
+  std::vector<int>* tx_index_of_;
+};
+
+/// The resolved round, handed to on_feedback_batch as flat arrays.
+struct FeedbackView {
+  int round = 0;
+  std::span<const Delivery> deliveries;  ///< unique receiver per entry
+  std::span<const Message> sent;         ///< indexed by transmitter_index
+  std::span<const int> colliders;        ///< listeners with >= 2 contenders
+                                         ///< (collision detection only)
+  std::span<const int> tx_index_of;      ///< v transmitted iff [v] >= 0
+};
+
+class AlgorithmKernel {
+ public:
+  virtual ~AlgorithmKernel() = default;
+
+  /// Called once before round 0. Must perform, per node, exactly the draws
+  /// the scalar algorithm's init() performs on that node's stream.
+  virtual void init(const KernelSetup& setup, std::span<Rng> rngs) = 0;
+
+  /// Emits the round's transmissions (ascending node order) into `out`.
+  virtual void on_round_batch(int round, TxBatch& out,
+                              std::span<Rng> rngs) = 0;
+
+  /// Consumes the resolved round.
+  virtual void on_feedback_batch(const FeedbackView& feedback,
+                                 std::span<Rng> rngs) = 0;
+
+  /// Mirror of Process::has_message for node v.
+  virtual bool has_message(int v) const = 0;
+
+  /// Mirror of InspectableProcess::transmit_probability for node v: the
+  /// probability, given v's state at the start of `round`, that v will
+  /// transmit. What adaptive adversaries condition on (Theorem 3.1).
+  virtual double transmit_probability(int v, int round) const = 0;
+
+  /// Non-null when the kernel is backed by real Process objects (the
+  /// scalar compatibility adapter). Lets problems that predate the batch
+  /// interface — Problem::batch_compatible() == false — keep working on
+  /// the batch engine.
+  virtual const std::vector<std::unique_ptr<Process>>* processes() const {
+    return nullptr;
+  }
+};
+
+/// Creates the kernel for one execution (kernels are stateful; one per
+/// trial, like the process vector they replace).
+using KernelFactory = std::function<std::unique_ptr<AlgorithmKernel>()>;
+
+/// Wraps a scalar ProcessFactory as a kernel: creates one Process per node
+/// and forwards init/on_round/on_feedback node by node. No batch speedup —
+/// full compatibility, bit-identical by construction.
+std::unique_ptr<AlgorithmKernel> make_scalar_kernel_adapter(
+    ProcessFactory factory);
+
+}  // namespace dualcast

@@ -1,0 +1,204 @@
+#include "sim/kernel_execution.hpp"
+
+#include "util/assert.hpp"
+
+namespace dualcast {
+
+namespace {
+const std::vector<std::unique_ptr<Process>>& empty_processes() {
+  static const std::vector<std::unique_ptr<Process>> empty;
+  return empty;
+}
+}  // namespace
+
+/// NodeStateView over the kernel, for batch-compatible problems.
+class KernelExecution::KernelStateView final : public NodeStateView {
+ public:
+  KernelStateView(const AlgorithmKernel* kernel, int n)
+      : kernel_(kernel), n_(n) {}
+  int n() const override { return n_; }
+  bool has_message(int v) const override { return kernel_->has_message(v); }
+
+ private:
+  const AlgorithmKernel* kernel_;
+  int n_;
+};
+
+KernelExecution::KernelExecution(const DualGraph& net, ProcessFactory factory,
+                                 std::unique_ptr<AlgorithmKernel> kernel,
+                                 std::shared_ptr<Problem> problem,
+                                 std::unique_ptr<LinkProcess> link_process,
+                                 ExecutionConfig config)
+    : net_(&net),
+      problem_(std::move(problem)),
+      link_process_(std::move(link_process)),
+      config_(config),
+      kernel_(std::move(kernel)),
+      adversary_rng_(0),
+      inspector_(nullptr, 0) {
+  DC_EXPECTS(net.n() >= 1);
+  DC_EXPECTS(factory != nullptr);
+  DC_EXPECTS(kernel_ != nullptr);
+  DC_EXPECTS(problem_ != nullptr);
+  DC_EXPECTS(link_process_ != nullptr);
+  DC_EXPECTS(config_.max_rounds >= 1);
+  DC_EXPECTS_MSG(
+      kernel_->processes() != nullptr || problem_->batch_compatible(),
+      "batch engine: the problem reads Process objects but the kernel has "
+      "none; use the scalar adapter kernel for this pairing");
+
+  factory_holder_ = std::move(factory);
+
+  // Stream forks in the exact scalar-engine order: node 0..n-1, then the
+  // adversary.
+  Rng master(config_.seed);
+  const int n = net.n();
+  node_rngs_.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    node_rngs_.push_back(master.fork(static_cast<std::uint64_t>(v)));
+  }
+  adversary_rng_ = master.fork("link-process");
+
+  std::vector<ProcessEnv> envs(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    ProcessEnv env;
+    env.id = v;
+    env.n = n;
+    env.max_degree = net.max_degree();
+    env.is_global_source = problem_->is_source(v);
+    env.in_broadcast_set = problem_->in_broadcast_set(v);
+    env.initial_message = problem_->initial_message(v);
+    if (config_.env_override) env = config_.env_override(env);
+    envs[static_cast<std::size_t>(v)] = std::move(env);
+  }
+  KernelSetup setup;
+  setup.net = net_;
+  setup.envs = envs;
+  kernel_->init(setup, node_rngs_);
+
+  state_view_ = std::make_unique<KernelStateView>(kernel_.get(), n);
+  inspector_ = kernel_->processes() != nullptr
+                   ? StateInspector(kernel_->processes())
+                   : StateInspector(kernel_.get(), n);
+
+  // The adversary "knows the algorithm" (§2): it receives the process
+  // factory and may privately instantiate and simulate it.
+  ExecutionSetup adv_setup;
+  adv_setup.net = net_;
+  adv_setup.factory = &factory_holder_;
+  adv_setup.problem = problem_.get();
+  adv_setup.max_rounds = config_.max_rounds;
+  link_process_->on_execution_start(adv_setup, adversary_rng_);
+
+  const bool lean_ok = config_.history_policy == HistoryPolicy::lean &&
+                       !link_process_->needs_history() &&
+                       !problem_->needs_history();
+  history_.reset(lean_ok ? HistoryPolicy::lean : HistoryPolicy::full);
+
+  offline_actions_ =
+      link_process_->adversary_class() == AdversaryClass::offline_adaptive;
+  if (offline_actions_) actions_.resize(static_cast<std::size_t>(n));
+  first_receive_round_.assign(static_cast<std::size_t>(n), -1);
+  tx_index_of_.assign(static_cast<std::size_t>(n), -1);
+  resolver_.reset(net_, config_.collision_detection);
+
+  solved_ = problem_solved();
+}
+
+KernelExecution::~KernelExecution() = default;
+
+bool KernelExecution::problem_solved() const {
+  const auto* procs = kernel_->processes();
+  return procs != nullptr ? problem_->solved(*procs)
+                          : problem_->solved_batch(*state_view_);
+}
+
+EdgeSet KernelExecution::select_edges_post_actions() {
+  switch (link_process_->adversary_class()) {
+    case AdversaryClass::oblivious:
+      return link_process_->choose_oblivious(round_, adversary_rng_);
+    case AdversaryClass::offline_adaptive: {
+      RoundActions ra;
+      ra.actions = &actions_;
+      ra.transmitters = &record_.transmitters;
+      return link_process_->choose_offline(round_, history_, inspector_, ra,
+                                           adversary_rng_);
+    }
+    case AdversaryClass::online_adaptive:
+      DC_ASSERT_MSG(false, "online edges must be chosen before actions");
+  }
+  return EdgeSet::none();
+}
+
+void KernelExecution::step() {
+  DC_EXPECTS_MSG(!done(), "step() on a finished execution");
+
+  // 1. Online adaptive adversaries commit before any coin is drawn.
+  EdgeSet edges;
+  const bool online =
+      link_process_->adversary_class() == AdversaryClass::online_adaptive;
+  if (online) {
+    edges = link_process_->choose_online(round_, history_, inspector_,
+                                         adversary_rng_);
+  }
+
+  // 2. Draw actions into the (already reset) scratch with one batch call.
+  RoundRecord& record = record_;
+  record.clear();
+  TxBatch batch(record, tx_index_of_);
+  kernel_->on_round_batch(round_, batch, node_rngs_);
+  if (offline_actions_) {
+    for (std::size_t i = 0; i < record.transmitters.size(); ++i) {
+      actions_[static_cast<std::size_t>(record.transmitters[i])] =
+          Action{true, record.sent[i]};
+    }
+  }
+
+  // 3. Oblivious / offline adaptive adversaries commit now.
+  if (!online) edges = select_edges_post_actions();
+
+  // 4. Resolve deliveries under the §2 receive rule.
+  record.activated = edges.kind;
+  record.activated_count =
+      edges.kind == EdgeSet::Kind::all
+          ? static_cast<std::int64_t>(net_->gp_only_edges().size())
+          : static_cast<std::int64_t>(edges.indices.size());
+  resolver_.resolve(tx_index_of_, edges, record);
+  if (edges.kind == EdgeSet::Kind::some) {
+    record.activated_indices = std::move(edges.indices);
+  }
+
+  // 5. Feedback, bookkeeping, monitoring.
+  for (const Delivery& d : record.deliveries) {
+    if (first_receive_round_[static_cast<std::size_t>(d.receiver)] == -1) {
+      first_receive_round_[static_cast<std::size_t>(d.receiver)] = round_;
+    }
+  }
+  FeedbackView fb;
+  fb.round = round_;
+  fb.deliveries = record.deliveries;
+  fb.sent = record.sent;
+  fb.colliders = resolver_.colliders();
+  fb.tx_index_of = tx_index_of_;
+  kernel_->on_feedback_batch(fb, node_rngs_);
+
+  const auto* procs = kernel_->processes();
+  problem_->observe_round(record,
+                          procs != nullptr ? *procs : empty_processes());
+  // Reset the transmitter-indexed scratch before the record is consumed:
+  // only transmitter entries ever leave their default state.
+  for (const int v : record.transmitters) {
+    tx_index_of_[static_cast<std::size_t>(v)] = -1;
+    if (offline_actions_) actions_[static_cast<std::size_t>(v)] = Action{};
+  }
+  history_.push_reuse(record);
+  ++round_;
+  solved_ = problem_solved();
+}
+
+RunResult KernelExecution::run() {
+  while (!done()) step();
+  return RunResult{solved_, round_};
+}
+
+}  // namespace dualcast

@@ -14,6 +14,13 @@ void Problem::observe_round(
     const RoundRecord& /*record*/,
     const std::vector<std::unique_ptr<Process>>& /*procs*/) {}
 
+bool Problem::solved_batch(const NodeStateView& /*nodes*/) const {
+  DC_ASSERT_MSG(false,
+                "solved_batch called on a problem without batch support; "
+                "declare batch_compatible() and override solved_batch");
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // Global broadcast.
 // ---------------------------------------------------------------------------
@@ -42,6 +49,13 @@ bool GlobalBroadcastProblem::solved(
     const std::vector<std::unique_ptr<Process>>& procs) const {
   return std::all_of(procs.begin(), procs.end(),
                      [](const auto& p) { return p->has_message(); });
+}
+
+bool GlobalBroadcastProblem::solved_batch(const NodeStateView& nodes) const {
+  for (int v = 0; v < nodes.n(); ++v) {
+    if (!nodes.has_message(v)) return false;
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------

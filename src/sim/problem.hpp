@@ -27,6 +27,16 @@ namespace dualcast {
 
 class Process;
 
+/// Read-only per-node algorithm state, as exposed by the batch engine's
+/// kernel (mirrors the scalar engine's Process vector for the queries
+/// problems actually make).
+class NodeStateView {
+ public:
+  virtual ~NodeStateView() = default;
+  virtual int n() const = 0;
+  virtual bool has_message(int v) const = 0;
+};
+
 class Problem {
  public:
   virtual ~Problem() = default;
@@ -57,6 +67,19 @@ class Problem {
   /// Has the problem been solved?
   virtual bool solved(
       const std::vector<std::unique_ptr<Process>>& procs) const = 0;
+
+  /// Capability declaration for the batch (kernel) engine: true when this
+  /// problem never reads the Process vector it is handed — observe_round()
+  /// ignores `procs` and solved() needs at most the per-node state a
+  /// NodeStateView provides (via solved_batch). All built-in problems
+  /// qualify; the conservative default makes custom problems fall back to
+  /// the scalar-adapter path, which supplies real processes.
+  virtual bool batch_compatible() const { return false; }
+
+  /// solved() for the batch engine. Called instead of solved(procs) when
+  /// the kernel has no Process objects; only invoked on problems declaring
+  /// batch_compatible().
+  virtual bool solved_batch(const NodeStateView& nodes) const;
 };
 
 /// Global broadcast from a designated source.
@@ -69,6 +92,8 @@ class GlobalBroadcastProblem final : public Problem {
   bool is_source(int v) const override { return v == source_; }
   Message initial_message(int v) const override;
   bool solved(const std::vector<std::unique_ptr<Process>>& procs) const override;
+  bool batch_compatible() const override { return true; }
+  bool solved_batch(const NodeStateView& nodes) const override;
 
   int source() const { return source_; }
 
@@ -94,6 +119,8 @@ class AssignmentProblem final : public Problem {
   bool solved(const std::vector<std::unique_ptr<Process>>&) const override {
     return false;
   }
+  bool batch_compatible() const override { return true; }
+  bool solved_batch(const NodeStateView&) const override { return false; }
 
  private:
   int source_ = -1;
@@ -121,6 +148,10 @@ class LocalBroadcastProblem final : public Problem {
   void observe_round(const RoundRecord& record,
                      const std::vector<std::unique_ptr<Process>>& procs) override;
   bool solved(const std::vector<std::unique_ptr<Process>>& procs) const override;
+  bool batch_compatible() const override { return true; }
+  bool solved_batch(const NodeStateView&) const override {
+    return satisfied_count_ == static_cast<int>(r_.size());
+  }
 
   const std::vector<int>& broadcast_set() const { return b_; }
   /// R: every node with at least one G-neighbor in B.

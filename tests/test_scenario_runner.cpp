@@ -123,6 +123,53 @@ TEST(ScenarioCatalogTest, SweepSchedulerMatchesSequentialOnEveryCatalogScenario)
   }
 }
 
+TEST(ScenarioCatalogTest, KernelEngineMatchesScalarOnEveryCatalogScenario) {
+  // The batch-kernel engine must reproduce the scalar engine's rows byte
+  // for byte on every catalog scenario — the bit-identical contract of the
+  // kernel ports (and of the scalar-adapter fallback behind them).
+  for (const ScenarioSpec* spec : scenarios().all()) {
+    RunOptions scalar;
+    scalar.smoke = true;
+    scalar.engine = EnginePath::scalar;
+    RunOptions kernel;
+    kernel.smoke = true;
+    kernel.engine = EnginePath::kernel;
+    EXPECT_EQ(rows_of(run_scenario(*spec, kernel)),
+              rows_of(run_scenario(*spec, scalar)))
+        << spec->name;
+  }
+}
+
+TEST(ScenarioRunner, ScenarioLevelSchedulerBitIdentical) {
+  // run_scenarios flattens (scenario × point × column × trial) into one
+  // queue; any worker count must reproduce the per-scenario sequential
+  // rows, in selection order.
+  ScenarioSpec a = small_spec();
+  ScenarioSpec b = small_spec();
+  b.name = "test/small-2";
+  b.base_seed = 77;
+  ScenarioSpec c = small_spec();
+  c.name = "test/small-3";
+  c.topology = "line_overlay({x},3)";
+  const std::vector<const ScenarioSpec*> selection{&a, &b, &c};
+
+  std::vector<std::string> reference;
+  for (const ScenarioSpec* spec : selection) {
+    const ScenarioResult result = run_scenario(*spec);
+    append_json_rows(result, reference);
+  }
+  ASSERT_FALSE(reference.empty());
+  for (const int workers : {2, 8}) {
+    RunOptions options;
+    options.sweep_threads = workers;
+    std::vector<std::string> rows;
+    for (const ScenarioResult& result : run_scenarios(selection, options)) {
+      append_json_rows(result, rows);
+    }
+    EXPECT_EQ(rows, reference) << "sweep_threads=" << workers;
+  }
+}
+
 TEST(ScenarioRunner, DifferentSeedsChangeValues) {
   ScenarioSpec spec = small_spec();
   const ScenarioResult a = run_scenario(spec);

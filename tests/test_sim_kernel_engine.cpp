@@ -1,0 +1,236 @@
+// Batch-engine equivalence: for every ported kernel, KernelExecution must
+// replay bit-identically against the scalar Execution — same transmitters,
+// messages, deliveries, solve round — across topologies, adversary classes
+// (including adaptive ones, which also exercises the kernel-backed
+// StateInspector), and problems. Plus the scalar-adapter path for custom
+// algorithms and the batch-compatibility contract for problems.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "scenario/registries.hpp"
+#include "sim/execution.hpp"
+#include "sim/kernel_execution.hpp"
+#include "test_support.hpp"
+#include "util/assert.hpp"
+
+namespace dualcast {
+namespace {
+
+using scenario::Topology;
+
+struct Combo {
+  std::string topology;
+  std::string algorithm;
+  std::string adversary;
+  std::string problem;
+  int max_rounds;
+};
+
+/// Runs `max_rounds` (or to solve) on both engines and compares the full
+/// observable trace.
+void expect_engines_agree(const Combo& combo, std::uint64_t seed) {
+  SCOPED_TRACE(combo.topology + " | " + combo.algorithm + " | " +
+               combo.adversary + " | " + combo.problem);
+  const Topology topo = scenario::topologies().build(combo.topology, 5);
+  const ProcessFactory factory =
+      scenario::algorithms().build(combo.algorithm);
+  const KernelFactory kernel_factory =
+      scenario::build_kernel_or_null(combo.algorithm);
+  ASSERT_TRUE(kernel_factory) << "no kernel registered for "
+                              << combo.algorithm;
+  const auto adversary = [&] {
+    return scenario::adversaries().build(combo.adversary, topo)();
+  };
+  const auto problem = [&] {
+    return scenario::problems().build(combo.problem, topo)();
+  };
+  const auto config = [&] {
+    return ExecutionConfig{}
+        .with_seed(seed)
+        .with_max_rounds(combo.max_rounds)
+        .with_history_policy(HistoryPolicy::full);
+  };
+
+  Execution scalar(topo.net(), factory, problem(), adversary(), config());
+  const RunResult scalar_result = scalar.run();
+  KernelExecution kernel(topo.net(), factory, kernel_factory(), problem(),
+                         adversary(), config());
+  const RunResult kernel_result = kernel.run();
+
+  ASSERT_EQ(scalar_result.solved, kernel_result.solved);
+  ASSERT_EQ(scalar_result.rounds, kernel_result.rounds);
+  EXPECT_EQ(scalar.first_receive_round(), kernel.first_receive_round());
+
+  const auto& s_records = scalar.history().records();
+  const auto& k_records = kernel.history().records();
+  ASSERT_EQ(s_records.size(), k_records.size());
+  for (std::size_t r = 0; r < s_records.size(); ++r) {
+    const RoundRecord& a = s_records[r];
+    const RoundRecord& b = k_records[r];
+    ASSERT_EQ(a.transmitters, b.transmitters) << "round " << r;
+    ASSERT_EQ(a.sent.size(), b.sent.size()) << "round " << r;
+    for (std::size_t i = 0; i < a.sent.size(); ++i) {
+      ASSERT_TRUE(a.sent[i] == b.sent[i]) << "round " << r << " tx " << i;
+    }
+    ASSERT_EQ(a.activated, b.activated) << "round " << r;
+    ASSERT_EQ(a.activated_count, b.activated_count) << "round " << r;
+    ASSERT_EQ(a.activated_indices, b.activated_indices) << "round " << r;
+    // The delivery *set* is engine-invariant; the emission order depends on
+    // the resolver strategy.
+    const auto key = [](const Delivery& d) {
+      return std::tuple(d.receiver, d.sender, d.transmitter_index);
+    };
+    std::vector<std::tuple<int, int, int>> da;
+    std::vector<std::tuple<int, int, int>> db;
+    for (const Delivery& d : a.deliveries) da.push_back(key(d));
+    for (const Delivery& d : b.deliveries) db.push_back(key(d));
+    std::sort(da.begin(), da.end());
+    std::sort(db.begin(), db.end());
+    ASSERT_EQ(da, db) << "round " << r;
+  }
+}
+
+TEST(KernelEngineEquivalence, DecayGlobalAcrossAdversaryClasses) {
+  for (const char* adversary :
+       {"none", "all", "iid(0.4)", "flicker(3,2)", "anti_schedule",
+        "dense_sparse", "collider"}) {
+    expect_engines_agree({"dual_clique(32)", "decay_global(fixed,persistent)",
+                          adversary, "global(1)", 600},
+                         11);
+    expect_engines_agree({"dual_clique(32)",
+                          "decay_global(permuted,persistent)", adversary,
+                          "global(1)", 600},
+                         12);
+  }
+  expect_engines_agree(
+      {"line_overlay(48,4)", "decay_global(permuted)", "iid(0.5)",
+       "global(0)", 800},
+      13);
+}
+
+TEST(KernelEngineEquivalence, LocalDecayAndRoundRobin) {
+  for (const char* adversary : {"none", "iid(0.3)", "dense_sparse"}) {
+    expect_engines_agree({"dual_clique(24)", "decay_local", adversary,
+                          "local(side_a)", 400},
+                         21);
+    expect_engines_agree({"dual_clique(24)", "decay_local(permuted)",
+                          adversary, "local(side_a)", 400},
+                         22);
+    expect_engines_agree({"dual_clique(24)", "round_robin", adversary,
+                          "global(1)", 400},
+                         23);
+    expect_engines_agree({"dual_clique(24)", "round_robin(norelay)",
+                          adversary, "local(side_a)", 400},
+                         24);
+  }
+}
+
+TEST(KernelEngineEquivalence, RobustMixAndGossip) {
+  for (const char* adversary : {"none", "iid(0.4)", "collider"}) {
+    expect_engines_agree({"dual_clique(24)", "robust_mix", adversary,
+                          "global(1)", 700},
+                         31);
+    expect_engines_agree(
+        {"line_overlay(32,3)", "gossip", adversary, "gossip(4)", 2500}, 32);
+  }
+}
+
+TEST(KernelEngineEquivalence, GeoLocalBothSeedModes) {
+  for (const char* adversary : {"none", "iid(0.3)", "flicker(2,2)"}) {
+    expect_engines_agree({"jgrid(8,8,0.5,0.05,2.0)", "geo_local", adversary,
+                          "local(every(3))", 2000},
+                         41);
+    expect_engines_agree({"jgrid(8,8,0.5,0.05,2.0)", "geo_local(private)",
+                          adversary, "local(every(3))", 2000},
+                         42);
+  }
+  // Bracelet pre-simulation: construction-aware oblivious attack.
+  expect_engines_agree({"bracelet(96)", "decay_local", "bracelet_presim(0.3)",
+                        "local(heads_a)", 600},
+                       43);
+}
+
+TEST(KernelEngineEquivalence, MultipleSeedsSpotCheck) {
+  for (std::uint64_t seed = 100; seed < 106; ++seed) {
+    expect_engines_agree({"jgrid(6,6,0.5,0.05,2.0)", "geo_local", "iid(0.5)",
+                          "local(every(2))", 1500},
+                         seed);
+    expect_engines_agree({"dual_clique(48)",
+                          "decay_global(permuted,persistent)", "dense_sparse",
+                          "global(1)", 800},
+                         seed);
+  }
+}
+
+TEST(KernelEngineAdapter, CustomProcessRunsIdentically) {
+  // A scripted (non-ported) algorithm through the adapter: the batch engine
+  // must reproduce the scalar run including per-process feedback.
+  const Topology topo = scenario::topologies().build("dual_clique(16)", 5);
+  const ProcessFactory factory = testing::scripted_factory([&] {
+    std::vector<std::vector<char>> scripts(16);
+    scripts[1] = {1, 0, 1, 0, 1};
+    scripts[5] = {0, 1, 1, 0, 0};
+    scripts[9] = {0, 0, 1, 1, 0};
+    return scripts;
+  }());
+  const auto run = [&](auto&& make) {
+    auto exec = make();
+    exec->run();
+    std::vector<std::vector<int>> tx;
+    for (const auto& rec : exec->history().records()) {
+      tx.push_back(rec.transmitters);
+    }
+    return tx;
+  };
+  const auto problem = scenario::problems().build("assignment(1)", topo);
+  const auto adversary = scenario::adversaries().build("iid(0.5)", topo);
+  const auto cfg =
+      ExecutionConfig{}.with_seed(3).with_max_rounds(5).with_history_policy(
+          HistoryPolicy::full);
+  const auto scalar_tx = run([&] {
+    return std::make_unique<Execution>(topo.net(), factory, problem(),
+                                       adversary(), cfg);
+  });
+  const auto kernel_tx = run([&] {
+    return std::make_unique<KernelExecution>(
+        topo.net(), factory, make_scalar_kernel_adapter(factory), problem(),
+        adversary(), cfg);
+  });
+  EXPECT_EQ(scalar_tx, kernel_tx);
+}
+
+TEST(KernelEngineContract, NonBatchProblemRequiresAdapter) {
+  // A problem that does not declare batch_compatible() cannot run on a
+  // process-less kernel...
+  class OpaqueProblem final : public Problem {
+   public:
+    std::string name() const override { return "opaque"; }
+    bool is_source(int v) const override { return v == 0; }
+    bool solved(
+        const std::vector<std::unique_ptr<Process>>& procs) const override {
+      return !procs.empty() && procs[0]->has_message();
+    }
+  };
+  const Topology topo = scenario::topologies().build("dual_clique(8)", 5);
+  const ProcessFactory factory = scenario::algorithms().build("round_robin");
+  const KernelFactory kernel = scenario::build_kernel_or_null("round_robin");
+  const auto adversary = scenario::adversaries().build("none", topo);
+  EXPECT_THROW(KernelExecution(topo.net(), factory, kernel(),
+                               std::make_shared<OpaqueProblem>(), adversary(),
+                               ExecutionConfig{}.with_seed(1)),
+               ContractViolation);
+  // ...and runs fine through the scalar adapter.
+  KernelExecution exec(topo.net(), factory,
+                       make_scalar_kernel_adapter(factory),
+                       std::make_shared<OpaqueProblem>(), adversary(),
+                       ExecutionConfig{}.with_seed(1).with_max_rounds(4));
+  exec.run();
+  EXPECT_TRUE(exec.solved());
+}
+
+}  // namespace
+}  // namespace dualcast

@@ -1,0 +1,216 @@
+// DeliveryResolver: the word-parallel bitmap path must agree with the CSR
+// sweep — and both with a from-first-principles reference — on random
+// graphs, random transmit sets, every edge kind, with and without
+// collision detection.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "sim/delivery_resolver.hpp"
+#include "util/rng.hpp"
+
+namespace dualcast {
+namespace {
+
+struct Resolved {
+  /// (receiver, sender, transmitter_index), sorted: the two strategies emit
+  /// deliveries in different orders (transmitter-major vs receiver-major);
+  /// the *set* must match.
+  std::vector<std::tuple<int, int, int>> deliveries;
+  std::vector<int> colliders;
+};
+
+void canonicalize(Resolved& r) {
+  std::sort(r.deliveries.begin(), r.deliveries.end());
+  std::sort(r.colliders.begin(), r.colliders.end());
+}
+
+Resolved resolve_with(DeliveryResolver::Path path, const DualGraph& net,
+                      const std::vector<int>& transmitters,
+                      const EdgeSet& edges, bool collision_detection) {
+  DeliveryResolver resolver;
+  resolver.reset(&net, collision_detection);
+  resolver.force_path(path);
+  RoundRecord record;
+  record.transmitters = transmitters;
+  std::vector<int> tx_index_of(static_cast<std::size_t>(net.n()), -1);
+  for (std::size_t i = 0; i < transmitters.size(); ++i) {
+    tx_index_of[static_cast<std::size_t>(transmitters[i])] =
+        static_cast<int>(i);
+  }
+  resolver.resolve(tx_index_of, edges, record);
+  Resolved out;
+  for (const Delivery& d : record.deliveries) {
+    out.deliveries.emplace_back(d.receiver, d.sender, d.transmitter_index);
+  }
+  out.colliders = resolver.colliders();
+  canonicalize(out);
+  return out;
+}
+
+/// First-principles §2 receive rule: u receives from v iff u listens, v
+/// transmits, {u,v} is in G or an activated G'-only edge, and v is u's only
+/// such transmitting neighbor.
+Resolved resolve_reference(const DualGraph& net,
+                           const std::vector<int>& transmitters,
+                           const EdgeSet& edges, bool collision_detection) {
+  const auto edge_active = [&](int u, int v) {
+    if (net.g().has_edge(u, v)) return true;
+    if (edges.kind == EdgeSet::Kind::none) return false;
+    if (edges.kind == EdgeSet::Kind::all) return net.gprime().has_edge(u, v);
+    for (const std::int32_t idx : edges.indices) {
+      const auto [a, b] = net.gp_only_edges()[static_cast<std::size_t>(idx)];
+      if ((a == u && b == v) || (a == v && b == u)) return true;
+    }
+    return false;
+  };
+  std::vector<char> is_tx(static_cast<std::size_t>(net.n()), 0);
+  for (const int v : transmitters) is_tx[static_cast<std::size_t>(v)] = 1;
+  Resolved out;
+  for (int u = 0; u < net.n(); ++u) {
+    if (is_tx[static_cast<std::size_t>(u)]) continue;
+    int count = 0;
+    int sender = -1;
+    for (std::size_t i = 0; i < transmitters.size(); ++i) {
+      if (edge_active(u, transmitters[i])) {
+        ++count;
+        sender = transmitters[i];
+      }
+    }
+    if (count == 1) {
+      const auto it =
+          std::find(transmitters.begin(), transmitters.end(), sender);
+      out.deliveries.emplace_back(
+          u, sender, static_cast<int>(it - transmitters.begin()));
+    } else if (count >= 2 && collision_detection) {
+      out.colliders.push_back(u);
+    }
+  }
+  canonicalize(out);
+  return out;
+}
+
+DualGraph random_dual(int n, double p_g, double p_extra, Rng& rng) {
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p_g)) g.add_edge(u, v);
+    }
+  }
+  g.finalize();
+  Graph gp = g;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (!g.has_edge(u, v) && rng.bernoulli(p_extra)) gp.add_edge(u, v);
+    }
+  }
+  gp.finalize();
+  return DualGraph(std::move(g), std::move(gp));
+}
+
+TEST(DeliveryResolverDifferential, BitmapMatchesSweepAndReference) {
+  Rng rng(2024);
+  int rounds_checked = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 8 + static_cast<int>(rng.uniform_int(0, 56));
+    const DualGraph net =
+        random_dual(n, 0.05 + 0.4 * rng.uniform01(),
+                    0.05 + 0.4 * rng.uniform01(), rng);
+    ASSERT_NE(net.g_bitmap(), nullptr);
+    const std::int64_t m_extra =
+        static_cast<std::int64_t>(net.gp_only_edges().size());
+    for (int round = 0; round < 8; ++round) {
+      // Random transmit set, dense and sparse alike.
+      const double p_tx = rng.uniform01();
+      std::vector<int> transmitters;
+      for (int v = 0; v < n; ++v) {
+        if (rng.bernoulli(p_tx)) transmitters.push_back(v);
+      }
+      // Random edge kind.
+      EdgeSet edges;
+      const int kind = static_cast<int>(rng.uniform_int(0, 2));
+      if (kind == 1) {
+        edges = EdgeSet::all();
+      } else if (kind == 2 && m_extra > 0) {
+        std::vector<std::int32_t> idx;
+        for (std::int64_t e = 0; e < m_extra; ++e) {
+          if (rng.bernoulli(0.4)) idx.push_back(static_cast<std::int32_t>(e));
+        }
+        edges = EdgeSet::some(std::move(idx));
+      }
+      for (const bool collision : {false, true}) {
+        const Resolved reference =
+            resolve_reference(net, transmitters, edges, collision);
+        const Resolved sweep = resolve_with(DeliveryResolver::Path::sweep,
+                                            net, transmitters, edges,
+                                            collision);
+        const Resolved bitmap = resolve_with(DeliveryResolver::Path::bitmap,
+                                             net, transmitters, edges,
+                                             collision);
+        ASSERT_EQ(sweep.deliveries, reference.deliveries)
+            << "sweep vs reference, n=" << n << " trial=" << trial;
+        ASSERT_EQ(sweep.colliders, reference.colliders);
+        ASSERT_EQ(bitmap.deliveries, reference.deliveries)
+            << "bitmap vs reference, n=" << n << " trial=" << trial;
+        ASSERT_EQ(bitmap.colliders, reference.colliders);
+        ++rounds_checked;
+      }
+    }
+  }
+  EXPECT_GE(rounds_checked, 600);
+}
+
+TEST(DeliveryResolverHeuristic, AutoSelectsBitmapOnDenseRounds) {
+  Rng rng(7);
+  const DualGraph net = random_dual(256, 0.5, 0.2, rng);
+  ASSERT_NE(net.g_bitmap(), nullptr);
+  DeliveryResolver resolver;
+  resolver.reset(&net, false);
+
+  std::vector<int> tx_index_of(256, -1);
+  RoundRecord record;
+  // Dense round: every other node transmits over a half-dense G.
+  for (int v = 0; v < 256; v += 2) {
+    tx_index_of[static_cast<std::size_t>(v)] =
+        static_cast<int>(record.transmitters.size());
+    record.transmitters.push_back(v);
+  }
+  resolver.resolve(tx_index_of, EdgeSet::none(), record);
+  EXPECT_EQ(resolver.last_path(), DeliveryResolver::Path::bitmap);
+
+  // Sparse round: a single transmitter stays on the CSR sweep.
+  for (const int v : record.transmitters) {
+    tx_index_of[static_cast<std::size_t>(v)] = -1;
+  }
+  record.clear();
+  record.transmitters.push_back(3);
+  tx_index_of[3] = 0;
+  resolver.resolve(tx_index_of, EdgeSet::none(), record);
+  EXPECT_EQ(resolver.last_path(), DeliveryResolver::Path::sweep);
+}
+
+TEST(DeliveryResolverHeuristic, LargeNetworksFallBackToSweep) {
+  // Above the bitmap cap no bitmaps exist; auto must keep working.
+  Graph g(DualGraph::kBitmapMaxN + 1);
+  for (int v = 0; v + 1 <= DualGraph::kBitmapMaxN; ++v) g.add_edge(v, v + 1);
+  g.finalize();
+  const DualGraph net = DualGraph::protocol(std::move(g));
+  EXPECT_EQ(net.g_bitmap(), nullptr);
+  DeliveryResolver resolver;
+  resolver.reset(&net, false);
+  std::vector<int> tx_index_of(static_cast<std::size_t>(net.n()), -1);
+  RoundRecord record;
+  record.transmitters.push_back(0);
+  tx_index_of[0] = 0;
+  resolver.resolve(tx_index_of, EdgeSet::none(), record);
+  EXPECT_EQ(resolver.last_path(), DeliveryResolver::Path::sweep);
+  ASSERT_EQ(record.deliveries.size(), 1u);
+  EXPECT_EQ(record.deliveries[0].receiver, 1);
+}
+
+}  // namespace
+}  // namespace dualcast
