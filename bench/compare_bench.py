@@ -16,8 +16,12 @@ Usage:
   compare_bench.py BASELINE CURRENT [--threshold 0.15]
 
 Exits nonzero when any key regresses by more than the threshold
-(default 15%). Keys present in only one file are reported but do not fail
-the comparison (scenarios and bench cases come and go across PRs).
+(default 15%). One-sided keys never fail the comparison: scenarios and
+bench cases come and go across PRs (a new scale/ tier, a renamed case), so
+keys present in only one artifact are warned about and skipped, as are
+rows that do not parse. An unreadable or malformed *baseline* also only
+warns (there is nothing sound to diff against — same as the no-baseline
+first run); an unreadable *current* artifact is a real failure.
 """
 
 import argparse
@@ -27,19 +31,25 @@ import sys
 
 def load_rows(path):
     with open(path) as f:
-        return json.load(f)
+        rows = json.load(f)
+    if not isinstance(rows, list):
+        raise ValueError(f"{path}: expected a JSON array of result rows")
+    return rows
 
 
 def keyed_metrics(rows):
     """Returns {key: (value, higher_is_better)} for either artifact format."""
     out = {}
     for row in rows:
-        if "rounds_per_sec" in row:
-            key = f"{row['scenario']}/{row.get('engine', '?')}"
-            out[key] = (float(row["rounds_per_sec"]), True)
-        elif "median" in row:
-            key = f"{row['scenario']}/{row['column']}/x={row.get('x')}"
-            out[key] = (float(row["median"]), False)
+        try:
+            if "rounds_per_sec" in row:
+                key = f"{row['scenario']}/{row.get('engine', '?')}"
+                out[key] = (float(row["rounds_per_sec"]), True)
+            elif "median" in row:
+                key = f"{row['scenario']}/{row['column']}/x={row.get('x')}"
+                out[key] = (float(row["median"]), False)
+        except (KeyError, TypeError, ValueError) as error:
+            print(f"  warning: skipping unparseable row {row!r}: {error}")
     return out
 
 
@@ -51,18 +61,35 @@ def main():
                         help="relative regression threshold (default 0.15)")
     args = parser.parse_args()
 
-    base = keyed_metrics(load_rows(args.baseline))
-    curr = keyed_metrics(load_rows(args.current))
+    try:
+        base = keyed_metrics(load_rows(args.baseline))
+    except (OSError, ValueError) as error:
+        print(f"warning: cannot read baseline {args.baseline}: {error}")
+        print("nothing to compare against; skipping comparison")
+        return 0
+    try:
+        curr = keyed_metrics(load_rows(args.current))
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read current artifact {args.current}: {error}",
+              file=sys.stderr)
+        return 2
 
     regressions = []
     improvements = []
+    compared = 0
+    skipped = 0
     for key, (curr_value, higher_is_better) in sorted(curr.items()):
         if key not in base:
-            print(f"  new       {key}: {curr_value:g}")
+            skipped += 1
+            print(f"  warning: only in current (skipped)   {key}: "
+                  f"{curr_value:g}")
             continue
         base_value, _ = base[key]
         if base_value == 0:
+            skipped += 1
+            print(f"  warning: zero baseline (skipped)     {key}")
             continue
+        compared += 1
         change = (curr_value - base_value) / base_value
         regressed = change < -args.threshold if higher_is_better \
             else change > args.threshold
@@ -76,9 +103,11 @@ def main():
             improvements.append(line)
             print(f"  improved  {line}")
     for key in sorted(set(base) - set(curr)):
-        print(f"  removed   {key}")
+        skipped += 1
+        print(f"  warning: only in baseline (skipped)  {key}")
 
-    print(f"\n{len(curr)} keys compared against {args.baseline}: "
+    print(f"\n{compared} keys compared against {args.baseline} "
+          f"({skipped} one-sided/unusable key(s) skipped): "
           f"{len(regressions)} regression(s), "
           f"{len(improvements)} improvement(s) beyond "
           f"{args.threshold:.0%}")

@@ -5,6 +5,6 @@
 #include "scenario/cli.hpp"
 
 int main(int argc, char** argv) {
-  return dualcast::scenario::run_main(argc, argv,
-                                      {"ext/gossip-k", "ext/gossip-n"});
+  return dualcast::scenario::run_main(
+      argc, argv, {"ext/gossip-k", "ext/gossip-quiesce", "ext/gossip-n"});
 }

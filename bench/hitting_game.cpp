@@ -68,10 +68,14 @@ void reduction_table() {
         ReductionConfig cfg;
         cfg.beta = beta;
         cfg.seed = 500 + static_cast<std::uint64_t>(t);
-        // Simulated algorithms come from the scenario AlgorithmRegistry.
-        ProcessFactory factory = scenario::algorithms().build(
-            algo == 0 ? "round_robin" : "decay_global(fixed,persistent)");
-        BroadcastReductionPlayer player(cfg, std::move(factory));
+        // Simulated algorithms come from the scenario registries; the
+        // kernels() entry puts the inner simulation on the batch engine
+        // (bit-identical outcomes, several times the rounds/s).
+        const std::string spec =
+            algo == 0 ? "round_robin" : "decay_global(fixed,persistent)";
+        BroadcastReductionPlayer player(
+            cfg, scenario::algorithms().build(spec),
+            scenario::build_kernel_or_null(spec));
         const ReductionOutcome outcome = player.play(game);
         wins += outcome.won ? 1 : 0;
         if (outcome.won) {

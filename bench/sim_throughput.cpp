@@ -6,12 +6,20 @@
 // (bench/compare_bench.py).
 //
 //   sim_throughput [--out FILE] [--min-time SECONDS] [--filter SUBSTR]
+//                  [--scale]
 //
 // Emits one JSON row per (scenario, engine): {"scenario", "engine",
 // "rounds_per_sec", "rounds", "reps"}. The headline row is
 // jgrid-geo-iid-n576 — Figure-1-cell-shaped local broadcast under i.i.d.
 // link loss — whose kernel-path rounds/s is the number quoted in README
 // "Performance".
+//
+// The scale/ cases mirror the catalog's scale/ scenario tier (blocked
+// bitmaps + word-parallel RNG at n >= 4096). They are measured on the
+// batch engine only, as {kernel, kernel-word} — the kernel-word /
+// kernel ratio is the word-RNG speedup the README quotes. The default run
+// includes the smallest (n = 4096) sizes so CI's BENCH artifact tracks the
+// regime; --scale adds the n = 16384 / 65536 grids.
 
 #include <chrono>
 #include <cstdio>
@@ -43,10 +51,14 @@ struct BenchCase {
   std::string problem;
   int max_rounds = 256;
   std::uint64_t seed = 7;
+  /// scale/ tier: batch-engine only ({kernel, kernel-word} rows); the
+  /// heaviest sizes additionally hide behind --scale.
+  bool scale_tier = false;
+  bool heavy = false;
 };
 
-std::vector<BenchCase> bench_cases() {
-  return {
+std::vector<BenchCase> bench_cases(bool include_heavy) {
+  std::vector<BenchCase> cases = {
       {"dual_clique-decay-none-n256", "dual_clique(256)",
        "decay_global(fixed,persistent)", "none", "assignment(0)", 256, 7},
       {"dual_clique-decay-iid-n256", "dual_clique(256)",
@@ -65,7 +77,43 @@ std::vector<BenchCase> bench_cases() {
        "iid(0.3)", "local(every(3))", 512, 11},
       {"jgrid-robin-iid-n576", "jgrid(24,24,0.5,0.05,2.0)", "round_robin",
        "iid(0.3)", "local(every(3))", 512, 11},
+      // The scale/ tier (see the catalog's scale/ scenarios). Fixed round
+      // caps keep a rep's cost bounded — throughput, not completion, is
+      // measured here.
+      {"scale/dual_clique-decay-dense_sparse-n4096", "dual_clique(4096)",
+       "decay_global(fixed,persistent)", "dense_sparse(0.5)", "assignment(0)",
+       128, 7, true},
+      {"scale/dual_clique-decay-collider-n4096", "dual_clique(4096)",
+       "decay_global(fixed,persistent)", "collider", "assignment(0)", 128, 7,
+       true},
+      {"scale/jgrid-decay-iid-n4096", "jgrid(64,64,0.5,0.05,2.0)",
+       "decay_local", "iid(0.3)", "local(every(3))", 512, 11, true},
+      {"scale/jgrid-decay-iid-n16384", "jgrid(128,128,0.5,0.05,2.0)",
+       "decay_local", "iid(0.3)", "local(every(3))", 256, 11, true, true},
+      {"scale/jgrid-decay-iid-n65536", "jgrid(256,256,0.5,0.05,2.0)",
+       "decay_local", "iid(0.3)", "local(every(3))", 128, 11, true, true},
   };
+  if (!include_heavy) {
+    std::erase_if(cases, [](const BenchCase& c) { return c.heavy; });
+  }
+  return cases;
+}
+
+/// An engine variant measured for one case: the execution path plus the
+/// kernel-path RNG discipline.
+struct EngineVariant {
+  EnginePath path = EnginePath::kernel;
+  RngMode rng = RngMode::per_node;
+  const char* label = "kernel";
+};
+
+std::vector<EngineVariant> engine_variants(const BenchCase& bench) {
+  if (bench.scale_tier) {
+    return {{EnginePath::kernel, RngMode::per_node, "kernel"},
+            {EnginePath::kernel, RngMode::word, "kernel-word"}};
+  }
+  return {{EnginePath::scalar, RngMode::per_node, "scalar"},
+          {EnginePath::kernel, RngMode::per_node, "kernel"}};
 }
 
 struct Measurement {
@@ -74,10 +122,9 @@ struct Measurement {
   int reps = 0;
 };
 
-Measurement run_case(const BenchCase& bench, EnginePath engine,
-                     double min_seconds) {
+Measurement run_case(const BenchCase& bench, const Topology& topo,
+                     const EngineVariant& engine, double min_seconds) {
   using Clock = std::chrono::steady_clock;
-  const Topology topo = scenario::topologies().build(bench.topology, 3);
   const ProcessFactory factory =
       scenario::algorithms().build(bench.algorithm);
   const KernelFactory kernel = scenario::build_kernel_or_null(bench.algorithm);
@@ -89,14 +136,15 @@ Measurement run_case(const BenchCase& bench, EnginePath engine,
     return ExecutionConfig{}
         .with_seed(bench.seed)
         .with_max_rounds(bench.max_rounds)
-        .with_history_policy(HistoryPolicy::lean);
+        .with_history_policy(HistoryPolicy::lean)
+        .with_rng_mode(engine.rng);
   };
 
   Measurement m;
   const auto start = Clock::now();
   double elapsed = 0.0;
   while (elapsed < min_seconds) {
-    if (engine == EnginePath::scalar) {
+    if (engine.path == EnginePath::scalar) {
       Execution exec(topo.net(), factory, problem(), adversary(), config());
       exec.run();
       m.rounds += exec.round();
@@ -120,6 +168,7 @@ int run_main(int argc, char** argv) {
   std::string out_path = "BENCH_sim_throughput.json";
   std::string filter;
   double min_seconds = 0.3;
+  bool include_heavy = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> const char* {
@@ -131,6 +180,8 @@ int run_main(int argc, char** argv) {
     };
     if (arg == "--out") {
       out_path = value();
+    } else if (arg == "--scale") {
+      include_heavy = true;
     } else if (arg == "--min-time") {
       const char* text = value();
       char* end = nullptr;
@@ -144,25 +195,28 @@ int run_main(int argc, char** argv) {
       filter = value();
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--out FILE] [--min-time SECONDS] [--filter SUBSTR]\n";
+                << " [--out FILE] [--min-time SECONDS] [--filter SUBSTR]"
+                   " [--scale]\n";
       return arg == "--help" || arg == "-h" ? 0 : 1;
     }
   }
 
   std::vector<std::string> rows;
-  std::printf("%-40s %-8s %14s\n", "scenario", "engine", "rounds/s");
-  for (const BenchCase& bench : bench_cases()) {
+  std::printf("%-44s %-12s %14s\n", "scenario", "engine", "rounds/s");
+  for (const BenchCase& bench : bench_cases(include_heavy)) {
     if (!filter.empty() && bench.name.find(filter) == std::string::npos) {
       continue;
     }
-    for (const EnginePath engine :
-         {EnginePath::scalar, EnginePath::kernel}) {
-      const Measurement m = run_case(bench, engine, min_seconds);
-      std::printf("%-40s %-8s %13.1fk\n", bench.name.c_str(),
-                  scenario::to_string(engine), m.rounds_per_sec / 1e3);
+    // One topology per case, shared by its engine variants (the scale
+    // grids/cliques are the expensive part of a case).
+    const Topology topo = scenario::topologies().build(bench.topology, 3);
+    for (const EngineVariant& engine : engine_variants(bench)) {
+      const Measurement m = run_case(bench, topo, engine, min_seconds);
+      std::printf("%-44s %-12s %13.1fk\n", bench.name.c_str(), engine.label,
+                  m.rounds_per_sec / 1e3);
       std::fflush(stdout);
       rows.push_back(str("{\"scenario\":\"", bench.name, "\",\"engine\":\"",
-                         scenario::to_string(engine),
+                         engine.label,
                          "\",\"rounds_per_sec\":",
                          static_cast<std::int64_t>(m.rounds_per_sec),
                          ",\"rounds\":", m.rounds, ",\"reps\":", m.reps,

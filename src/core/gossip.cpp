@@ -102,6 +102,10 @@ void GossipBroadcast::init(const ProcessEnv& env, Rng& rng) {
   ladder_ = config_.ladder > 0
                 ? config_.ladder
                 : clog2(static_cast<std::uint64_t>(env.n > 1 ? env.n : 2));
+  offer_budget_ =
+      config_.quiesce
+          ? (config_.quiesce_calls > 0 ? config_.quiesce_calls : 4 * ladder_)
+          : -1;
   if (env.initial_message.kind == MessageKind::data &&
       env.initial_message.source == env.id) {
     acquire(env.initial_message);
@@ -121,6 +125,14 @@ void GossipBroadcast::acquire(const Message& message) {
   }
   seen_tokens_.push_back(message.payload);
   held_.push_back(message);
+  offers_left_.push_back(offer_budget_);
+}
+
+void GossipBroadcast::active_tokens(std::vector<std::size_t>& out) const {
+  out.clear();
+  for (std::size_t i = 0; i < held_.size(); ++i) {
+    if (token_active(i)) out.push_back(i);
+  }
 }
 
 int GossipBroadcast::schedule_index(int round) const {
@@ -132,12 +144,24 @@ int GossipBroadcast::schedule_index(int round) const {
 
 Action GossipBroadcast::on_round(int round, Rng& rng) {
   if (held_.empty()) return Action::listen();
+  // Quiescing holders with no live token listen without spending a coin
+  // (their transmit probability is 0, and the kernel port mirrors the draw
+  // discipline exactly).
+  const bool quiescing = offer_budget_ >= 0;
+  if (quiescing) {
+    active_tokens(active_scratch_);
+    if (active_scratch_.empty()) return Action::listen();
+  }
   if (!rng.coin_pow2(schedule_index(round))) return Action::listen();
-  // Fair token scheduler: cycle the held set in acquisition order, so every
-  // token a node carries keeps circulating no matter how many it collects.
-  const Message& offer = held_[next_offer_ % held_.size()];
+  // Fair token scheduler: cycle the offered set in acquisition order, so
+  // every live token a node carries keeps circulating no matter how many it
+  // collects.
+  const std::size_t slot =
+      quiescing ? active_scratch_[next_offer_ % active_scratch_.size()]
+                : next_offer_ % held_.size();
   ++next_offer_;
-  Message m = offer;
+  if (quiescing) --offers_left_[slot];
+  Message m = held_[slot];
   m.source = env_.id;  // gossip relays re-originate (receiver credits token)
   return Action::send(m);
 }
@@ -152,6 +176,16 @@ void GossipBroadcast::on_feedback(int /*round*/, const RoundFeedback& feedback,
 
 double GossipBroadcast::transmit_probability(int round) const {
   if (held_.empty()) return 0.0;
+  if (offer_budget_ >= 0) {
+    bool any_active = false;
+    for (std::size_t i = 0; i < held_.size(); ++i) {
+      if (token_active(i)) {
+        any_active = true;
+        break;
+      }
+    }
+    if (!any_active) return 0.0;
+  }
   return pow2_neg(schedule_index(round));
 }
 

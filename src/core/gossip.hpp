@@ -74,6 +74,24 @@ struct GossipConfig {
   int ladder = 0;
   /// Private permutation bits (permuted schedule); 0 = derived.
   int seed_bits = 0;
+  /// Quiescing extension (registered as "gossip(quiesce)"): a holder
+  /// retires a token after *offering* (transmitting) it quiesce_calls
+  /// times, and falls silent once every held token is retired. This is the
+  /// fix for the ext/gossip-k saturation note (k >= 2 makes every clique
+  /// node relay every token forever, so the bridge endpoint must out-shout
+  /// its whole side): total transmissions per node are bounded by
+  /// k * quiesce_calls, so steady-state contention drains to zero, while
+  /// each fresh receiver re-arms the token with its own budget and keeps it
+  /// moving. Budgeting offers rather than rounds makes the retirement
+  /// adapt to contention and to the token rotation (a holder juggling many
+  /// tokens spends each budget more slowly) — a round-windowed variant
+  /// strands tokens whose window lapses before a quiet slot, measurably so
+  /// even on lines.
+  bool quiesce = false;
+  /// Offers a holder spends per token before retiring it; 0 = derived
+  /// (4 * ladder — the expected transmission count of a windowed Decay
+  /// call budget, see DecayGlobalConfig::calls).
+  int quiesce_calls = 0;
 };
 
 class GossipBroadcast final : public InspectableProcess {
@@ -92,13 +110,23 @@ class GossipBroadcast final : public InspectableProcess {
  private:
   int schedule_index(int round) const;
   void acquire(const Message& message);
+  /// Live = still offered: unlimited budget, or offers remaining.
+  bool token_active(std::size_t i) const {
+    return offers_left_[i] != 0;  // -1 (no quiescing) stays active forever
+  }
+  /// Indices into held_ of the tokens still offered (all of them unless
+  /// quiescing).
+  void active_tokens(std::vector<std::size_t>& out) const;
 
   GossipConfig config_;
   int ladder_ = 0;
+  int offer_budget_ = -1;  ///< per-token offer budget; -1 = unbounded
   std::vector<Message> held_;
+  std::vector<int> offers_left_;  ///< per held token; -1 = unbounded
   std::vector<std::uint64_t> seen_tokens_;
   std::size_t next_offer_ = 0;
   BitString private_bits_;
+  std::vector<std::size_t> active_scratch_;
 };
 
 /// Factory for plugging GossipBroadcast into an Execution.

@@ -1,26 +1,37 @@
 #include "core/kernels.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <memory>
+#include <optional>
 
 #include "util/assert.hpp"
+#include "util/bitset64.hpp"
 #include "util/mathutil.hpp"
 
 // Each kernel below is a line-by-line port of its scalar algorithm's
 // init/on_round/on_feedback, restructured around flat state arrays and
-// candidate lists. Comments point back to the scalar class only where the
+// holder bitmaps. Comments point back to the scalar class only where the
 // restructuring is non-obvious; the probability/schedule logic itself is
 // documented once, in the scalar headers.
+//
+// Holder sets are kept as bitmaps (one 64-bit block per 64 nodes) rather
+// than sorted index vectors: ascending block/bit iteration reproduces the
+// scalar engine's node-visit order for free, membership updates are O(1),
+// and — the point — the per-round transmit coins can be drawn word-parallel
+// in the engine's `word` RNG mode (KernelSetup::rng_mode): one
+// Pow2MaskLadder per 64-node block serves every holder in the block at a
+// cost of max-consumed-ladder-index draws instead of one draw per holder.
+// In `per_node` mode the same loops draw per-node coin_pow2 from the
+// holder's own stream, preserving byte-identical scalar parity.
 
 namespace dualcast {
 namespace {
 
-/// Keeps candidate lists in ascending node order (kernels must emit
-/// transmitters in the scalar engine's node-visit order).
-void insert_sorted(std::vector<int>& list, int v) {
-  list.insert(std::upper_bound(list.begin(), list.end(), v), v);
-}
+/// A node set as packed 64-bit blocks (see util/bitset64.hpp): ascending
+/// block/bit iteration visits members in ascending node order.
+using NodeBitmap = Bitset64;
 
 // ---------------------------------------------------------------------------
 // Round robin (RoundRobinBroadcast).
@@ -32,52 +43,54 @@ class RoundRobinKernel final : public AlgorithmKernel {
 
   void init(const KernelSetup& setup, std::span<Rng> /*rngs*/) override {
     n_ = static_cast<int>(setup.envs.size());
-    has_.assign(static_cast<std::size_t>(n_), 0);
-    may_.assign(static_cast<std::size_t>(n_), 0);
+    has_.resize(n_);
+    may_.resize(n_);
     message_.resize(static_cast<std::size_t>(n_));
     for (int v = 0; v < n_; ++v) {
       const ProcessEnv& env = setup.envs[static_cast<std::size_t>(v)];
-      const bool starts = env.is_global_source || env.in_broadcast_set;
-      has_[static_cast<std::size_t>(v)] = starts;
-      may_[static_cast<std::size_t>(v)] = starts;
+      if (env.is_global_source || env.in_broadcast_set) {
+        has_.set(v);
+        may_.set(v);
+      }
       message_[static_cast<std::size_t>(v)] = env.initial_message;
     }
   }
 
   void on_round_batch(int round, TxBatch& out, std::span<Rng> /*rngs*/) override {
     const int slot = round % n_;
-    if (may_[static_cast<std::size_t>(slot)]) {
+    if (may_.test(slot)) {
       out.transmit(slot, message_[static_cast<std::size_t>(slot)]);
     }
   }
 
   void on_feedback_batch(const FeedbackView& fb, std::span<Rng> /*rngs*/) override {
     for (const Delivery& d : fb.deliveries) {
-      const std::size_t u = static_cast<std::size_t>(d.receiver);
-      if (has_[u]) continue;
+      if (has_.test(d.receiver)) continue;
       const Message& m = fb.sent[static_cast<std::size_t>(d.transmitter_index)];
       if (m.kind != MessageKind::data) continue;
-      has_[u] = 1;
+      has_.set(d.receiver);
       if (config_.relay) {
-        message_[u] = m;
-        may_[u] = 1;
+        message_[static_cast<std::size_t>(d.receiver)] = m;
+        may_.set(d.receiver);
       }
     }
   }
 
-  bool has_message(int v) const override {
-    return has_[static_cast<std::size_t>(v)] != 0;
-  }
+  bool has_message(int v) const override { return has_.test(v); }
 
   double transmit_probability(int v, int round) const override {
-    return (may_[static_cast<std::size_t>(v)] && round % n_ == v) ? 1.0 : 0.0;
+    return (may_.test(v) && round % n_ == v) ? 1.0 : 0.0;
+  }
+
+  double expected_transmitters(int round) const override {
+    return may_.test(round % n_) ? 1.0 : 0.0;
   }
 
  private:
   RoundRobinConfig config_;
   int n_ = 0;
-  std::vector<char> has_;
-  std::vector<char> may_;
+  NodeBitmap has_;
+  NodeBitmap may_;
   std::vector<Message> message_;
 };
 
@@ -91,6 +104,9 @@ class DecayLocalKernel final : public AlgorithmKernel {
 
   void init(const KernelSetup& setup, std::span<Rng> rngs) override {
     const int n = static_cast<int>(setup.envs.size());
+    word_coins_ = setup.rng_mode == RngMode::word && !setup.block_rngs.empty();
+    block_rngs_ = setup.block_rngs;
+    b_bits_.resize(n);
     message_.resize(static_cast<std::size_t>(n));
     if (config_.schedule == ScheduleKind::permuted) {
       private_bits_.resize(static_cast<std::size_t>(n));
@@ -104,7 +120,8 @@ class DecayLocalKernel final : public AlgorithmKernel {
                                       env.max_degree > 0 ? env.max_degree : 1));
       }
       if (!env.in_broadcast_set) continue;
-      b_nodes_.push_back(v);
+      b_bits_.set(v);
+      ++b_count_;
       message_[static_cast<std::size_t>(v)] = env.initial_message;
       if (config_.schedule == ScheduleKind::permuted) {
         const int width = schedule_chunk_width(ladder_);
@@ -120,27 +137,51 @@ class DecayLocalKernel final : public AlgorithmKernel {
   void on_round_batch(int round, TxBatch& out, std::span<Rng> rngs) override {
     const bool fixed = config_.schedule == ScheduleKind::fixed;
     const int shared_index = fixed ? fixed_decay_index(round, ladder_) : 0;
-    for (const int v : b_nodes_) {
-      const int index =
-          fixed ? shared_index
-                : permuted_decay_index(
-                      private_bits_[static_cast<std::size_t>(v)], round,
-                      ladder_);
-      if (rngs[static_cast<std::size_t>(v)].coin_pow2(index)) {
-        out.transmit(v, message_[static_cast<std::size_t>(v)]);
+    for (int b = 0; b < b_bits_.blocks(); ++b) {
+      const std::uint64_t holders = b_bits_.word(b);
+      if (holders == 0) continue;
+      const int base = b * 64;
+      if (word_coins_) {
+        Pow2MaskLadder coins(block_rngs_[static_cast<std::size_t>(b)]);
+        if (fixed) {
+          // All holders share one ladder index: one mask decides the block.
+          for_each_bit(holders & coins.mask(shared_index), base,
+                       [&](int v, std::uint64_t) {
+                         out.transmit(v, message_[static_cast<std::size_t>(v)]);
+                       });
+        } else {
+          // Divergent per-node indices: each holder reads its own lane of
+          // the lazily deepened prefix-mask ladder.
+          for_each_bit(holders, base, [&](int v, std::uint64_t lane) {
+            const int index = permuted_decay_index(
+                private_bits_[static_cast<std::size_t>(v)], round, ladder_);
+            if (coins.mask(index) & lane) {
+              out.transmit(v, message_[static_cast<std::size_t>(v)]);
+            }
+          });
+        }
+        continue;
       }
+      for_each_bit(holders, base, [&](int v, std::uint64_t) {
+        const int index =
+            fixed ? shared_index
+                  : permuted_decay_index(
+                        private_bits_[static_cast<std::size_t>(v)], round,
+                        ladder_);
+        if (rngs[static_cast<std::size_t>(v)].coin_pow2(index)) {
+          out.transmit(v, message_[static_cast<std::size_t>(v)]);
+        }
+      });
     }
   }
 
   void on_feedback_batch(const FeedbackView& /*fb*/,
                          std::span<Rng> /*rngs*/) override {}
 
-  bool has_message(int v) const override {
-    return std::binary_search(b_nodes_.begin(), b_nodes_.end(), v);
-  }
+  bool has_message(int v) const override { return b_bits_.test(v); }
 
   double transmit_probability(int v, int round) const override {
-    if (!std::binary_search(b_nodes_.begin(), b_nodes_.end(), v)) return 0.0;
+    if (!b_bits_.test(v)) return 0.0;
     const int index =
         config_.schedule == ScheduleKind::fixed
             ? fixed_decay_index(round, ladder_)
@@ -149,10 +190,30 @@ class DecayLocalKernel final : public AlgorithmKernel {
     return pow2_neg(index);
   }
 
+  double expected_transmitters(int round) const override {
+    if (config_.schedule == ScheduleKind::fixed) {
+      // k holders at one shared power-of-two probability: k * 2^-i is exact
+      // and equals the sequential per-node sum.
+      return static_cast<double>(b_count_) *
+             pow2_neg(fixed_decay_index(round, ladder_));
+    }
+    double sum = 0.0;
+    for (int b = 0; b < b_bits_.blocks(); ++b) {
+      for_each_bit(b_bits_.word(b), b * 64, [&](int v, std::uint64_t) {
+        sum += pow2_neg(permuted_decay_index(
+            private_bits_[static_cast<std::size_t>(v)], round, ladder_));
+      });
+    }
+    return sum;
+  }
+
  private:
   DecayLocalConfig config_;
   int ladder_ = 0;
-  std::vector<int> b_nodes_;  ///< ascending; only these ever act
+  int b_count_ = 0;
+  bool word_coins_ = false;
+  std::span<Rng> block_rngs_;
+  NodeBitmap b_bits_;  ///< the broadcast set; only these ever act
   std::vector<Message> message_;
   std::vector<BitString> private_bits_;
 };
@@ -168,13 +229,47 @@ struct DecayGlobalState {
   DecayGlobalConfig config;
   int ladder = 0;
   int calls = 0;
+  bool word_coins = false;       ///< engine word RNG mode (coins only)
+  std::span<Rng> block_rngs;
   std::vector<char> is_source;
   std::vector<char> has;
   std::vector<int> window_start;
   std::vector<int> window_end;
   std::vector<Message> message;
-  std::vector<int> sources;  ///< ascending
-  std::vector<int> holders;  ///< ascending non-source holders
+  std::vector<int> sources;   ///< ascending
+  NodeBitmap holder_bits;     ///< non-source holders
+
+  // Incremental active-window tracking. A holder's window [start, end) is
+  // fixed at receipt, and both bounds arrive in non-decreasing order
+  // (round_up of a monotone round), so two FIFO event queues advance the
+  // active set in O(changes) instead of re-checking every holder's window
+  // every round. `mutable`: expected() is a const observer but shares the
+  // clock. Queries are monotone in practice (the engine's round clock); a
+  // non-monotone caller falls back to the per-holder window scan.
+  mutable NodeBitmap active_bits;          ///< holders with start <= r < end
+  mutable std::int64_t active_count = 0;
+  mutable int synced_round = 0;
+  mutable std::size_t start_head = 0;
+  mutable std::size_t end_head = 0;
+  std::vector<std::pair<int, int>> start_events;  ///< (window_start, v)
+  std::vector<std::pair<int, int>> end_events;    ///< (window_end, v)
+
+  /// Advances the active set to `round`. Requires round >= synced_round.
+  void sync(int round) const {
+    while (start_head < start_events.size() &&
+           start_events[start_head].first <= round) {
+      active_bits.set(start_events[start_head].second);
+      ++active_count;
+      ++start_head;
+    }
+    while (end_head < end_events.size() &&
+           end_events[end_head].first <= round) {
+      active_bits.clear(end_events[end_head].second);
+      --active_count;
+      ++end_head;
+    }
+    synced_round = round;
+  }
 
   void init_node(int v, const ProcessEnv& env, Rng& rng) {
     is_source[static_cast<std::size_t>(v)] = env.is_global_source;
@@ -192,15 +287,21 @@ struct DecayGlobalState {
     message[static_cast<std::size_t>(v)] = std::move(m);
   }
 
-  void resize(int n, const DecayGlobalConfig& cfg, int env_n) {
+  void resize(int n, const DecayGlobalConfig& cfg, int env_n,
+              const KernelSetup& setup) {
     config = cfg;
     ladder = clog2(static_cast<std::uint64_t>(env_n > 1 ? env_n : 2));
     calls = cfg.calls == 0 ? 2 * ladder : cfg.calls;
+    word_coins =
+        setup.rng_mode == RngMode::word && !setup.block_rngs.empty();
+    block_rngs = setup.block_rngs;
     is_source.assign(static_cast<std::size_t>(n), 0);
     has.assign(static_cast<std::size_t>(n), 0);
     window_start.assign(static_cast<std::size_t>(n), -1);
     window_end.assign(static_cast<std::size_t>(n), -1);
     message.resize(static_cast<std::size_t>(n));
+    holder_bits.resize(n);
+    active_bits.resize(n);
   }
 
   int period() const { return config.gamma * ladder; }
@@ -228,12 +329,40 @@ struct DecayGlobalState {
       for (const int v : sources) emit(v, message[static_cast<std::size_t>(v)]);
       return;
     }
-    for (const int v : holders) {
-      if (!active_in(v, round)) continue;
-      const int index = schedule_index(v, round);
-      if (rngs[static_cast<std::size_t>(v)].coin_pow2(index)) {
-        emit(v, message[static_cast<std::size_t>(v)]);
+    if (round < synced_round) {
+      // Non-monotone driver (not the engine): the per-holder window scan
+      // stays correct whatever the event queues say.
+      for (int b = 0; b < holder_bits.blocks(); ++b) {
+        for_each_bit(holder_bits.word(b), b * 64, [&](int v, std::uint64_t) {
+          if (!active_in(v, round)) return;
+          if (rngs[static_cast<std::size_t>(v)].coin_pow2(
+                  schedule_index(v, round))) {
+            emit(v, message[static_cast<std::size_t>(v)]);
+          }
+        });
       }
+      return;
+    }
+    sync(round);
+    for (int b = 0; b < active_bits.blocks(); ++b) {
+      const std::uint64_t word = active_bits.word(b);
+      if (word == 0) continue;
+      const int base = b * 64;
+      if (word_coins) {
+        Pow2MaskLadder coins(block_rngs[static_cast<std::size_t>(b)]);
+        for_each_bit(word, base, [&](int v, std::uint64_t lane) {
+          if (coins.mask(schedule_index(v, round)) & lane) {
+            emit(v, message[static_cast<std::size_t>(v)]);
+          }
+        });
+        continue;
+      }
+      for_each_bit(word, base, [&](int v, std::uint64_t) {
+        const int index = schedule_index(v, round);
+        if (rngs[static_cast<std::size_t>(v)].coin_pow2(index)) {
+          emit(v, message[static_cast<std::size_t>(v)]);
+        }
+      });
     }
   }
 
@@ -249,7 +378,11 @@ struct DecayGlobalState {
     window_end[i] = calls == DecayGlobalConfig::kUnbounded
                         ? std::numeric_limits<int>::max()
                         : window_start[i] + calls * period();
-    insert_sorted(holders, v);
+    holder_bits.set(v);
+    start_events.emplace_back(window_start[i], v);
+    if (calls != DecayGlobalConfig::kUnbounded) {
+      end_events.emplace_back(window_end[i], v);
+    }
   }
 
   double probability(int v, int round) const {
@@ -259,6 +392,35 @@ struct DecayGlobalState {
     if (!active_in(v, round)) return 0.0;
     return pow2_neg(schedule_index(v, round));
   }
+
+  /// E[|X| | S] at decay clock `round`: non-zero contributors summed in
+  /// ascending node order (bit-identical to the full per-node scan; for the
+  /// fixed schedule every active holder shares one power-of-two p, so
+  /// count * p is the exact sequential sum).
+  double expected(int round) const {
+    if (round == 0) return static_cast<double>(sources.size());
+    if (round < synced_round) {
+      double sum = 0.0;
+      for (int b = 0; b < holder_bits.blocks(); ++b) {
+        for_each_bit(holder_bits.word(b), b * 64, [&](int v, std::uint64_t) {
+          if (active_in(v, round)) sum += pow2_neg(schedule_index(v, round));
+        });
+      }
+      return sum;
+    }
+    sync(round);
+    if (config.schedule == ScheduleKind::fixed) {
+      return static_cast<double>(active_count) *
+             pow2_neg(fixed_decay_index(round, ladder));
+    }
+    double sum = 0.0;
+    for (int b = 0; b < active_bits.blocks(); ++b) {
+      for_each_bit(active_bits.word(b), b * 64, [&](int v, std::uint64_t) {
+        sum += pow2_neg(schedule_index(v, round));
+      });
+    }
+    return sum;
+  }
 };
 
 class DecayGlobalKernel final : public AlgorithmKernel {
@@ -267,7 +429,8 @@ class DecayGlobalKernel final : public AlgorithmKernel {
 
   void init(const KernelSetup& setup, std::span<Rng> rngs) override {
     const int n = static_cast<int>(setup.envs.size());
-    state_.resize(n, config_, setup.envs.empty() ? 2 : setup.envs[0].n);
+    state_.resize(n, config_, setup.envs.empty() ? 2 : setup.envs[0].n,
+                  setup);
     for (int v = 0; v < n; ++v) {
       state_.init_node(v, setup.envs[static_cast<std::size_t>(v)],
                        rngs[static_cast<std::size_t>(v)]);
@@ -295,6 +458,10 @@ class DecayGlobalKernel final : public AlgorithmKernel {
     return state_.probability(v, round);
   }
 
+  double expected_transmitters(int round) const override {
+    return state_.expected(round);
+  }
+
  private:
   DecayGlobalConfig config_;
   DecayGlobalState state_;
@@ -311,10 +478,11 @@ class RobustMixKernel final : public AlgorithmKernel {
 
   void init(const KernelSetup& setup, std::span<Rng> rngs) override {
     n_ = static_cast<int>(setup.envs.size());
-    robin_has_.assign(static_cast<std::size_t>(n_), 0);
-    robin_may_.assign(static_cast<std::size_t>(n_), 0);
+    robin_has_.resize(n_);
+    robin_may_.resize(n_);
     robin_message_.resize(static_cast<std::size_t>(n_));
-    decay_.resize(n_, config_.decay, setup.envs.empty() ? 2 : setup.envs[0].n);
+    decay_.resize(n_, config_.decay, setup.envs.empty() ? 2 : setup.envs[0].n,
+                  setup);
     for (int v = 0; v < n_; ++v) {
       const ProcessEnv& env = setup.envs[static_cast<std::size_t>(v)];
       Rng& rng = rngs[static_cast<std::size_t>(v)];
@@ -339,9 +507,10 @@ class RobustMixKernel final : public AlgorithmKernel {
       // (The scalar class forks one sub-stream per half here; neither half
       // ever draws from them, and forking leaves the parent stream's draw
       // sequence untouched, so the kernel skips the forks.)
-      const bool starts = env.is_global_source || env.in_broadcast_set;
-      robin_has_[static_cast<std::size_t>(v)] = starts;
-      robin_may_[static_cast<std::size_t>(v)] = starts;
+      if (env.is_global_source || env.in_broadcast_set) {
+        robin_has_.set(v);
+        robin_may_.set(v);
+      }
       robin_message_[static_cast<std::size_t>(v)] =
           shared_env.initial_message;
       decay_.init_node(v, shared_env, rng);
@@ -352,7 +521,7 @@ class RobustMixKernel final : public AlgorithmKernel {
     const int rr = round / 2;
     if (round % 2 == 0) {
       const int slot = rr % n_;
-      if (robin_may_[static_cast<std::size_t>(slot)]) {
+      if (robin_may_.test(slot)) {
         out.transmit(slot, robin_message_[static_cast<std::size_t>(slot)]);
       }
       return;
@@ -366,35 +535,38 @@ class RobustMixKernel final : public AlgorithmKernel {
     const int rr = fb.round / 2;
     for (const Delivery& d : fb.deliveries) {
       const Message& m = fb.sent[static_cast<std::size_t>(d.transmitter_index)];
-      const std::size_t u = static_cast<std::size_t>(d.receiver);
-      if (!robin_has_[u] && m.kind == MessageKind::data) {
-        robin_has_[u] = 1;
-        robin_message_[u] = m;
-        robin_may_[u] = 1;
+      if (!robin_has_.test(d.receiver) && m.kind == MessageKind::data) {
+        robin_has_.set(d.receiver);
+        robin_message_[static_cast<std::size_t>(d.receiver)] = m;
+        robin_may_.set(d.receiver);
       }
       decay_.receive(d.receiver, m, rr);
     }
   }
 
   bool has_message(int v) const override {
-    return robin_has_[static_cast<std::size_t>(v)] ||
-           decay_.has[static_cast<std::size_t>(v)];
+    return robin_has_.test(v) || decay_.has[static_cast<std::size_t>(v)];
   }
 
   double transmit_probability(int v, int round) const override {
     const int rr = round / 2;
     if (round % 2 == 0) {
-      return (robin_may_[static_cast<std::size_t>(v)] && rr % n_ == v) ? 1.0
-                                                                       : 0.0;
+      return (robin_may_.test(v) && rr % n_ == v) ? 1.0 : 0.0;
     }
     return decay_.probability(v, rr);
+  }
+
+  double expected_transmitters(int round) const override {
+    const int rr = round / 2;
+    if (round % 2 == 0) return robin_may_.test(rr % n_) ? 1.0 : 0.0;
+    return decay_.expected(rr);
   }
 
  private:
   RobustMixConfig config_;
   int n_ = 0;
-  std::vector<char> robin_has_;
-  std::vector<char> robin_may_;
+  NodeBitmap robin_has_;
+  NodeBitmap robin_may_;
   std::vector<Message> robin_message_;
   DecayGlobalState decay_;
 };
@@ -409,7 +581,12 @@ class GossipKernel final : public AlgorithmKernel {
 
   void init(const KernelSetup& setup, std::span<Rng> rngs) override {
     const int n = static_cast<int>(setup.envs.size());
+    word_coins_ = setup.rng_mode == RngMode::word && !setup.block_rngs.empty();
+    block_rngs_ = setup.block_rngs;
+    holder_bits_.resize(n);
     held_.resize(static_cast<std::size_t>(n));
+    offers_left_.resize(static_cast<std::size_t>(n));
+    live_tokens_.assign(static_cast<std::size_t>(n), 0);
     seen_.resize(static_cast<std::size_t>(n));
     next_offer_.assign(static_cast<std::size_t>(n), 0);
     if (config_.schedule == ScheduleKind::permuted) {
@@ -422,6 +599,10 @@ class GossipKernel final : public AlgorithmKernel {
                       ? config_.ladder
                       : clog2(static_cast<std::uint64_t>(
                             env.n > 1 ? env.n : 2));
+        offer_budget_ = config_.quiesce ? (config_.quiesce_calls > 0
+                                               ? config_.quiesce_calls
+                                               : 4 * ladder_)
+                                        : -1;
       }
       if (env.initial_message.kind == MessageKind::data &&
           env.initial_message.source == v) {
@@ -441,17 +622,42 @@ class GossipKernel final : public AlgorithmKernel {
   void on_round_batch(int round, TxBatch& out, std::span<Rng> rngs) override {
     const bool fixed = config_.schedule == ScheduleKind::fixed;
     const int shared_index = fixed ? fixed_decay_index(round, ladder_) : 0;
-    for (const int v : holders_) {
-      const std::size_t i = static_cast<std::size_t>(v);
-      const int index =
-          fixed ? shared_index
-                : permuted_decay_index(private_bits_[i], round, ladder_);
-      if (!rngs[i].coin_pow2(index)) continue;
-      const std::vector<Message>& held = held_[i];
-      Message m = held[next_offer_[i] % held.size()];
-      ++next_offer_[i];
-      m.source = v;  // gossip relays re-originate (receiver credits token)
-      out.transmit(v, std::move(m));
+    const bool quiescing = offer_budget_ >= 0;
+    for (int b = 0; b < holder_bits_.blocks(); ++b) {
+      const std::uint64_t word = holder_bits_.word(b);
+      if (word == 0) continue;
+      const int base = b * 64;
+      // In word mode the block ladder is shared by every holder in the
+      // block; construction draws nothing, so silent blocks stay free.
+      std::optional<Pow2MaskLadder> coins;
+      if (word_coins_) coins.emplace(block_rngs_[static_cast<std::size_t>(b)]);
+      for_each_bit(word, base, [&](int v, std::uint64_t lane) {
+        const std::size_t i = static_cast<std::size_t>(v);
+        if (quiescing && !any_active(i)) return;  // silent: no coin spent
+        const int index =
+            fixed ? shared_index
+                  : permuted_decay_index(private_bits_[i], round, ladder_);
+        const bool hit = coins ? (coins->mask(index) & lane) != 0
+                               : rngs[i].coin_pow2(index);
+        if (!hit) return;
+        std::size_t slot;
+        if (quiescing) {
+          // The O(tokens) scratch gather runs only on a coin hit (state
+          // cannot change between the coin and here, so draws and slot
+          // choices are identical to gathering first).
+          active_tokens(i);
+          slot = active_scratch_[next_offer_[i] % active_scratch_.size()];
+          if (--offers_left_[i][slot] == 0) {
+            --live_tokens_[i];  // this token just retired
+          }
+        } else {
+          slot = next_offer_[i] % held_[i].size();
+        }
+        ++next_offer_[i];
+        Message m = held_[i][slot];
+        m.source = v;  // gossip relays re-originate (receiver credits token)
+        out.transmit(v, std::move(m));
+      });
     }
   }
 
@@ -469,11 +675,22 @@ class GossipKernel final : public AlgorithmKernel {
   double transmit_probability(int v, int round) const override {
     const std::size_t i = static_cast<std::size_t>(v);
     if (held_[i].empty()) return 0.0;
+    if (offer_budget_ >= 0 && !any_active(i)) return 0.0;
     const int index =
         config_.schedule == ScheduleKind::fixed
             ? fixed_decay_index(round, ladder_)
             : permuted_decay_index(private_bits_[i], round, ladder_);
     return pow2_neg(index);
+  }
+
+  double expected_transmitters(int round) const override {
+    double sum = 0.0;
+    for (int b = 0; b < holder_bits_.blocks(); ++b) {
+      for_each_bit(holder_bits_.word(b), b * 64, [&](int v, std::uint64_t) {
+        sum += transmit_probability(v, round);
+      });
+    }
+    return sum;
   }
 
  private:
@@ -484,17 +701,36 @@ class GossipKernel final : public AlgorithmKernel {
       return;
     }
     seen_[i].push_back(m.payload);
-    if (held_[i].empty()) insert_sorted(holders_, v);
+    if (held_[i].empty()) holder_bits_.set(v);
     held_[i].push_back(m);
+    offers_left_[i].push_back(offer_budget_);  // -1 (unbounded) or > 0
+    ++live_tokens_[i];
+  }
+
+  /// O(1) via the live-token counter, so expected_transmitters stays
+  /// O(holders) as the AlgorithmKernel contract advertises.
+  bool any_active(std::size_t i) const { return live_tokens_[i] > 0; }
+
+  void active_tokens(std::size_t i) {
+    active_scratch_.clear();
+    for (std::size_t t = 0; t < offers_left_[i].size(); ++t) {
+      if (offers_left_[i][t] != 0) active_scratch_.push_back(t);
+    }
   }
 
   GossipConfig config_;
   int ladder_ = 0;
-  std::vector<int> holders_;  ///< nodes with a non-empty held set, ascending
+  int offer_budget_ = -1;  ///< per-token offer budget; -1 = unbounded
+  bool word_coins_ = false;
+  std::span<Rng> block_rngs_;
+  NodeBitmap holder_bits_;  ///< nodes with a non-empty held set
   std::vector<std::vector<Message>> held_;
+  std::vector<std::vector<int>> offers_left_;
+  std::vector<int> live_tokens_;  ///< per node: tokens with offers_left != 0
   std::vector<std::vector<std::uint64_t>> seen_;
   std::vector<std::size_t> next_offer_;
   std::vector<BitString> private_bits_;
+  std::vector<std::size_t> active_scratch_;
 };
 
 // ---------------------------------------------------------------------------

@@ -7,13 +7,19 @@
 // participants), so a round touches only the nodes that can act instead of
 // dispatching n virtual calls.
 //
-// Every kernel is draw-for-draw compatible with its scalar algorithm: for
-// each node and round it consumes exactly the values the scalar
-// init/on_round/on_feedback would consume from that node's forked stream,
-// so the batch engine replays bit-identically against Execution (enforced
-// by tests/test_sim_kernel_engine.cpp and the catalog-wide scenario
-// equality test). When changing a scalar algorithm, change its kernel in
-// lock step.
+// Every kernel is draw-for-draw compatible with its scalar algorithm in the
+// engine's default per-node RNG mode: for each node and round it consumes
+// exactly the values the scalar init/on_round/on_feedback would consume
+// from that node's forked stream, so the batch engine replays
+// bit-identically against Execution (enforced by
+// tests/test_sim_kernel_engine.cpp and the catalog-wide scenario equality
+// test). When changing a scalar algorithm, change its kernel in lock step.
+//
+// Under RngMode::word (KernelSetup::rng_mode) the decay/gossip kernels
+// instead draw their per-round transmit coins word-parallel — one
+// Pow2MaskLadder per 64-node holder-bitmap block — trading byte parity for
+// up to 64/ladder fewer RNG draws at identical per-trial distribution
+// (validated by tests/test_rng_word_mode.cpp).
 
 #include "core/geo_local.hpp"
 #include "core/global_decay.hpp"

@@ -3,48 +3,31 @@
 #include <algorithm>
 
 #include "adversary/dense_sparse.hpp"
+#include "sim/kernel_execution.hpp"
 #include "sim/problem.hpp"
 #include "util/assert.hpp"
 
 namespace dualcast {
 
 BroadcastReductionPlayer::BroadcastReductionPlayer(ReductionConfig config,
-                                                   ProcessFactory factory)
+                                                   ProcessFactory factory,
+                                                   KernelFactory kernel)
     : config_(config),
       factory_(std::move(factory)),
+      kernel_(std::move(kernel)),
       net_(dual_clique_without_bridge(2 * config.beta)) {
   DC_EXPECTS(config.beta >= 2);
   DC_EXPECTS(config.threshold_factor > 0.0);
   DC_EXPECTS(factory_ != nullptr);
 }
 
-ReductionOutcome BroadcastReductionPlayer::play(HittingGame& game) {
-  DC_EXPECTS_MSG(game.beta() == config_.beta,
-                 "game size must match the configured beta");
+/// The guessing loop of Theorem 3.1, over either engine (they expose the
+/// same step/round/history surface, and replay bit-identically, so the
+/// played game does not depend on the engine choice).
+template <typename Exec>
+ReductionOutcome BroadcastReductionPlayer::play_with(
+    Exec& exec, HittingGame& game, const std::vector<char>& round_labels) {
   const int beta = config_.beta;
-  const int n = 2 * beta;
-
-  // Roles per the proof: global -> source is node 0 (side A); local -> all of
-  // side A is the broadcast set.
-  std::shared_ptr<Problem> problem;
-  if (config_.problem == ReductionProblem::global_broadcast) {
-    problem = std::make_shared<AssignmentProblem>(n, 0, std::vector<int>{});
-  } else {
-    problem = std::make_shared<AssignmentProblem>(n, -1, net_.side_a);
-  }
-
-  auto adversary = std::make_unique<DenseSparseOnline>(
-      DenseSparseConfig{config_.threshold_factor});
-  auto* adversary_ptr = adversary.get();
-
-  ExecutionConfig exec_cfg;
-  exec_cfg.seed = config_.seed;
-  exec_cfg.max_rounds = config_.max_sim_rounds > 0
-                            ? config_.max_sim_rounds
-                            : std::min(4 * n * n, 1 << 20);
-  Execution exec(net_.net, factory_, std::move(problem), std::move(adversary),
-                 exec_cfg);
-
   const int guess_budget = beta * beta;
   ReductionOutcome out;
 
@@ -53,7 +36,7 @@ ReductionOutcome BroadcastReductionPlayer::play(HittingGame& game) {
     exec.step();
     ++out.sim_rounds;
     const int r = exec.round() - 1;
-    const bool dense = adversary_ptr->labels()[static_cast<std::size_t>(r)] != 0;
+    const bool dense = round_labels[static_cast<std::size_t>(r)] != 0;
     const auto& transmitters = exec.history().round(r).transmitters;
     (dense ? out.dense_rounds : out.sparse_rounds) += 1;
 
@@ -84,6 +67,43 @@ ReductionOutcome BroadcastReductionPlayer::play(HittingGame& game) {
   }
   out.game_rounds = game.rounds();
   return out;
+}
+
+ReductionOutcome BroadcastReductionPlayer::play(HittingGame& game) {
+  DC_EXPECTS_MSG(game.beta() == config_.beta,
+                 "game size must match the configured beta");
+  const int beta = config_.beta;
+  const int n = 2 * beta;
+
+  // Roles per the proof: global -> source is node 0 (side A); local -> all of
+  // side A is the broadcast set.
+  std::shared_ptr<Problem> problem;
+  if (config_.problem == ReductionProblem::global_broadcast) {
+    problem = std::make_shared<AssignmentProblem>(n, 0, std::vector<int>{});
+  } else {
+    problem = std::make_shared<AssignmentProblem>(n, -1, net_.side_a);
+  }
+
+  auto adversary = std::make_unique<DenseSparseOnline>(
+      DenseSparseConfig{config_.threshold_factor});
+  auto* adversary_ptr = adversary.get();
+
+  ExecutionConfig exec_cfg;
+  exec_cfg.seed = config_.seed;
+  exec_cfg.max_rounds = config_.max_sim_rounds > 0
+                            ? config_.max_sim_rounds
+                            : std::min(4 * n * n, 1 << 20);
+
+  if (kernel_) {
+    // Batch engine: the kernel drives the nodes; the problem (assignment
+    // only) is batch-compatible, so no scalar adapter is needed.
+    KernelExecution exec(net_.net, factory_, kernel_(), std::move(problem),
+                         std::move(adversary), exec_cfg);
+    return play_with(exec, game, adversary_ptr->labels());
+  }
+  Execution exec(net_.net, factory_, std::move(problem), std::move(adversary),
+                 exec_cfg);
+  return play_with(exec, game, adversary_ptr->labels());
 }
 
 }  // namespace dualcast

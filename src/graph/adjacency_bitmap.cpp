@@ -1,37 +1,89 @@
 #include "graph/adjacency_bitmap.hpp"
 
+#include <algorithm>
+
 #include "graph/graph.hpp"
 #include "util/assert.hpp"
 
 namespace dualcast {
 
 AdjacencyBitmap::AdjacencyBitmap(const Graph& graph)
-    : n_(graph.n()), words_((graph.n() + 63) / 64) {
-  DC_EXPECTS(graph.finalized());
-  bits_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(words_),
-               0);
-  for (int v = 0; v < n_; ++v) {
-    for (const int u : graph.neighbors(v)) set_edge(v, u);
-  }
-}
+    : AdjacencyBitmap(graph.n(), graph.csr_offsets(),
+                      graph.csr_neighbors()) {}
 
 AdjacencyBitmap::AdjacencyBitmap(int n,
-                                 std::span<const std::pair<int, int>> edges)
+                                 std::span<const std::int64_t> offsets,
+                                 std::span<const int> neighbors,
+                                 std::int64_t blocks)
     : n_(n), words_((n + 63) / 64) {
-  DC_EXPECTS(n >= 1);
-  bits_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(words_),
-               0);
-  for (const auto& [u, v] : edges) {
-    DC_EXPECTS(u >= 0 && u < n_ && v >= 0 && v < n_ && u != v);
-    set_edge(u, v);
-    set_edge(v, u);
+  DC_EXPECTS(n >= 1 &&
+             offsets.size() == static_cast<std::size_t>(n) + 1);
+  const std::int64_t total =
+      blocks >= 0 ? blocks : count_blocks(offsets, neighbors);
+  row_offsets_.reserve(static_cast<std::size_t>(n_) + 1);
+  block_index_.reserve(static_cast<std::size_t>(total));
+  block_bits_.reserve(static_cast<std::size_t>(total));
+  row_offsets_.push_back(0);
+  for (int v = 0; v < n_; ++v) {
+    pack_row(v, neighbors.subspan(
+                    static_cast<std::size_t>(offsets[static_cast<std::size_t>(v)]),
+                    static_cast<std::size_t>(
+                        offsets[static_cast<std::size_t>(v) + 1] -
+                        offsets[static_cast<std::size_t>(v)])));
+    row_offsets_.push_back(static_cast<std::int64_t>(block_bits_.size()));
   }
 }
 
-void AdjacencyBitmap::set_edge(int u, int v) {
-  bits_[static_cast<std::size_t>(u) * static_cast<std::size_t>(words_) +
-        static_cast<std::size_t>(v) / 64] |=
-      std::uint64_t{1} << (static_cast<std::size_t>(v) % 64);
+std::int64_t AdjacencyBitmap::count_blocks(
+    std::span<const std::int64_t> offsets, std::span<const int> neighbors) {
+  // Rows are sorted, so every change of the u/64 word index along a row is
+  // one block.
+  std::int64_t total = 0;
+  const int n = static_cast<int>(offsets.size()) - 1;
+  for (int v = 0; v < n; ++v) {
+    int last_word = -1;
+    for (std::int64_t k = offsets[static_cast<std::size_t>(v)];
+         k < offsets[static_cast<std::size_t>(v) + 1]; ++k) {
+      const int w = neighbors[static_cast<std::size_t>(k)] / 64;
+      if (w != last_word) {
+        ++total;
+        last_word = w;
+      }
+    }
+  }
+  return total;
+}
+
+void AdjacencyBitmap::pack_row(int /*v*/,
+                               std::span<const int> sorted_neighbors) {
+  int current_word = -1;
+  std::uint64_t current_bits = 0;
+  for (const int u : sorted_neighbors) {
+    const int w = u / 64;
+    if (w != current_word) {
+      if (current_word >= 0) {
+        block_index_.push_back(current_word);
+        block_bits_.push_back(current_bits);
+      }
+      current_word = w;
+      current_bits = 0;
+    }
+    current_bits |= std::uint64_t{1} << (static_cast<unsigned>(u) % 64);
+  }
+  if (current_word >= 0) {
+    block_index_.push_back(current_word);
+    block_bits_.push_back(current_bits);
+  }
+}
+
+bool AdjacencyBitmap::test(int v, int u) const {
+  const RowView r = row(v);
+  const std::int32_t w = u / 64;
+  const auto it = std::lower_bound(r.index.begin(), r.index.end(), w);
+  if (it == r.index.end() || *it != w) return false;
+  return (r.bits[static_cast<std::size_t>(it - r.index.begin())] >>
+          (static_cast<unsigned>(u) % 64)) &
+         1u;
 }
 
 }  // namespace dualcast

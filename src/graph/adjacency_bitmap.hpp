@@ -1,22 +1,28 @@
 #pragma once
 
-// Blocked adjacency bitmaps: each vertex's neighbor set as a row of n bits
-// packed into 64-bit words. This is the substrate for the engine's
-// word-parallel delivery resolver — given the round's transmitter set as a
-// bit vector T, a listener's contending-transmitter count is
+// Blocked adjacency bitmaps: each vertex's neighbor set as the *non-empty*
+// 64-bit blocks of its n-bit row, stored CSR-style (row offsets into one
+// flat block-index array + one flat block-bits array). This is the
+// substrate for the engine's word-parallel delivery resolver — given the
+// round's transmitter set as a bit vector T, a listener's
+// contending-transmitter count is
 //
-//   sum_w popcount(row(u)[w] & T[w])
+//   sum over u's stored blocks k of popcount(bits[k] & T[index[k]])
 //
-// i.e. O(n/64) per listener instead of one scalar visit per (transmitter,
-// neighbor) pair. On dense rounds (many transmitters, e.g. the first rungs
-// of a Decay ladder on a clique-like network) this beats the CSR sweep by up
-// to the word width; sparse rounds keep using CSR (see DeliveryResolver).
+// i.e. O(nnz blocks of row u) per listener instead of one scalar visit per
+// (transmitter, neighbor) pair — and, unlike the flat n x n/64 layout this
+// replaces, independent of n for sparse rows. Dense rows (cliques) store
+// ~n/64 blocks and keep the old flat-row cost; sparse rows (grids, lines)
+// store O(degree) blocks, so the dense-round path stays affordable at
+// n >= 16k where a flat bitmap would cost n^2/8 bytes.
 //
-// Memory is n^2/8 bytes per layer, so DualGraph only materializes bitmaps up
-// to a size cap; consumers must handle their absence.
+// Memory is ~12 bytes per non-empty block; DualGraph materializes the pair
+// of bitmaps only while their combined footprint fits a byte budget (see
+// DualGraph::kBitmapMaxBytes); consumers must handle their absence.
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace dualcast {
@@ -25,41 +31,76 @@ class Graph;
 
 class AdjacencyBitmap {
  public:
-  /// Builds the bitmap rows from a finalized graph's adjacency.
+  /// Builds the blocked rows from a finalized graph's adjacency.
   explicit AdjacencyBitmap(const Graph& graph);
 
-  /// Builds rows from an explicit undirected edge list over n vertices
-  /// (both orientations are set). Used for the G'-only overlay, whose edges
-  /// live in DualGraph rather than a Graph object.
-  AdjacencyBitmap(int n, std::span<const std::pair<int, int>> edges);
+  /// Builds rows from any CSR adjacency (offsets of size n+1, per-row
+  /// sorted neighbors). Used for the G'-only overlay, whose CSR lives in
+  /// DualGraph rather than a Graph object. Callers that already ran
+  /// count_blocks (the DualGraph byte-budget check) pass the result as
+  /// `blocks` to skip the recount; -1 counts internally.
+  AdjacencyBitmap(int n, std::span<const std::int64_t> offsets,
+                  std::span<const int> neighbors, std::int64_t blocks = -1);
+
+  /// Number of non-empty blocks the rows of a CSR adjacency pack into —
+  /// the dominant term of the built bitmap's footprint (see
+  /// approx_bytes_for), computable without allocating anything. One pass;
+  /// requires per-row sorted neighbors.
+  static std::int64_t count_blocks(std::span<const std::int64_t> offsets,
+                                   std::span<const int> neighbors);
+
+  /// Heap bytes a bitmap with `blocks` blocks over n vertices occupies.
+  static std::size_t approx_bytes_for(int n, std::int64_t blocks) {
+    return (static_cast<std::size_t>(n) + 1) * sizeof(std::int64_t) +
+           static_cast<std::size_t>(blocks) *
+               (sizeof(std::int32_t) + sizeof(std::uint64_t));
+  }
 
   int n() const { return n_; }
-  /// Words per row: ceil(n / 64).
+  /// Words per full row: ceil(n / 64) — the size of the transmitter bit
+  /// vector the stored block indices address into.
   int words_per_row() const { return words_; }
 
-  /// Row of vertex v: words_per_row() packed words, bit u of word u/64 set
-  /// iff {v, u} is an edge.
-  std::span<const std::uint64_t> row(int v) const {
-    return {bits_.data() + static_cast<std::size_t>(v) *
-                               static_cast<std::size_t>(words_),
-            static_cast<std::size_t>(words_)};
+  /// One row's non-empty blocks: ascending word indices + the block bits.
+  struct RowView {
+    std::span<const std::int32_t> index;  ///< word index of each block
+    std::span<const std::uint64_t> bits;  ///< the 64 bits of each block
+  };
+  RowView row(int v) const {
+    const std::size_t begin =
+        static_cast<std::size_t>(row_offsets_[static_cast<std::size_t>(v)]);
+    const std::size_t count =
+        static_cast<std::size_t>(
+            row_offsets_[static_cast<std::size_t>(v) + 1]) -
+        begin;
+    return {{block_index_.data() + begin, count},
+            {block_bits_.data() + begin, count}};
   }
 
-  bool test(int v, int u) const {
-    return (row(v)[static_cast<std::size_t>(u) / 64] >>
-            (static_cast<std::size_t>(u) % 64)) &
-           1u;
+  bool test(int v, int u) const;
+
+  /// Total non-empty blocks over all rows — the exact word count of one
+  /// full resolver scan, used by DeliveryResolver's cost heuristic.
+  std::int64_t total_blocks() const {
+    return static_cast<std::int64_t>(block_bits_.size());
   }
 
-  /// Heap footprint in bytes (for the DualGraph size cap and diagnostics).
-  std::size_t approx_bytes() const { return bits_.size() * sizeof(std::uint64_t); }
+  /// Heap footprint in bytes (for the DualGraph byte budget / diagnostics).
+  std::size_t approx_bytes() const {
+    return row_offsets_.size() * sizeof(std::int64_t) +
+           block_index_.size() * sizeof(std::int32_t) +
+           block_bits_.size() * sizeof(std::uint64_t);
+  }
 
  private:
-  void set_edge(int u, int v);
+  /// Packs one row from its sorted neighbor list.
+  void pack_row(int v, std::span<const int> sorted_neighbors);
 
   int n_ = 0;
   int words_ = 0;
-  std::vector<std::uint64_t> bits_;  ///< n rows x words_, row-major
+  std::vector<std::int64_t> row_offsets_;   ///< n + 1
+  std::vector<std::int32_t> block_index_;   ///< per block: word index in row
+  std::vector<std::uint64_t> block_bits_;   ///< per block: the packed bits
 };
 
 }  // namespace dualcast

@@ -6,7 +6,7 @@
 
 namespace dualcast {
 
-DualGraph::DualGraph(Graph g, Graph gprime)
+DualGraph::DualGraph(Graph g, Graph gprime, BitmapPolicy bitmaps)
     : g_(std::move(g)), gp_(std::move(gprime)) {
   DC_EXPECTS(g_.finalized() && gp_.finalized());
   DC_EXPECTS_MSG(g_.n() == gp_.n(), "G and G' must share a vertex set");
@@ -33,31 +33,61 @@ DualGraph::DualGraph(Graph g, Graph gprime)
   }
   gp_only_neighbors_.resize(
       static_cast<std::size_t>(2 * gp_only_edges_.size()));
+  gp_only_edge_index_.resize(gp_only_neighbors_.size());
   std::vector<std::int64_t> cursor(gp_only_offsets_.begin(),
                                    gp_only_offsets_.end() - 1);
-  for (const auto& [u, v] : gp_only_edges_) {
-    gp_only_neighbors_[static_cast<std::size_t>(
-        cursor[static_cast<std::size_t>(u)]++)] = v;
-    gp_only_neighbors_[static_cast<std::size_t>(
-        cursor[static_cast<std::size_t>(v)]++)] = u;
+  for (std::size_t e = 0; e < gp_only_edges_.size(); ++e) {
+    const auto& [u, v] = gp_only_edges_[e];
+    const std::size_t iu =
+        static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++);
+    const std::size_t iv =
+        static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++);
+    gp_only_neighbors_[iu] = v;
+    gp_only_neighbors_[iv] = u;
+    gp_only_edge_index_[iu] = static_cast<std::int32_t>(e);
+    gp_only_edge_index_[iv] = static_cast<std::int32_t>(e);
   }
+  // Per-row sort by neighbor id, co-sorting the edge indices (rows are
+  // short; construction cost only).
+  std::vector<std::pair<int, std::int32_t>> row_scratch;
   for (int v = 0; v < n(); ++v) {
-    std::sort(gp_only_neighbors_.begin() +
-                  static_cast<std::ptrdiff_t>(
-                      gp_only_offsets_[static_cast<std::size_t>(v)]),
-              gp_only_neighbors_.begin() +
-                  static_cast<std::ptrdiff_t>(
-                      gp_only_offsets_[static_cast<std::size_t>(v) + 1]));
+    const std::size_t begin =
+        static_cast<std::size_t>(gp_only_offsets_[static_cast<std::size_t>(v)]);
+    const std::size_t end = static_cast<std::size_t>(
+        gp_only_offsets_[static_cast<std::size_t>(v) + 1]);
+    row_scratch.clear();
+    for (std::size_t k = begin; k < end; ++k) {
+      row_scratch.emplace_back(gp_only_neighbors_[k], gp_only_edge_index_[k]);
+    }
+    std::sort(row_scratch.begin(), row_scratch.end());
+    for (std::size_t k = begin; k < end; ++k) {
+      gp_only_neighbors_[k] = row_scratch[k - begin].first;
+      gp_only_edge_index_[k] = row_scratch[k - begin].second;
+    }
   }
 
   gp_max_degree_ = gp_.max_degree();
   gp_complete_ = (gp_.edge_count() ==
                   static_cast<std::int64_t>(n()) * (n() - 1) / 2);
 
-  if (n() >= 1 && n() <= kBitmapMaxN) {
-    g_bitmap_ = std::make_shared<const AdjacencyBitmap>(g_);
-    gp_only_bitmap_ = std::make_shared<const AdjacencyBitmap>(
-        n(), std::span<const std::pair<int, int>>(gp_only_edges_));
+  if (bitmaps == BitmapPolicy::automatic && n() >= 1) {
+    // Exact footprint check before any allocation: both layers' CSR rows
+    // are already sorted, so counting the non-empty blocks is one cheap
+    // pass, and over-budget (dense, huge-n) graphs skip construction
+    // entirely. Rough estimates won't do — they over-count dense rows by
+    // up to 64x, exactly where the bitmaps matter most.
+    const std::int64_t g_blocks = AdjacencyBitmap::count_blocks(
+        g_.csr_offsets(), g_.csr_neighbors());
+    const std::int64_t gp_blocks = AdjacencyBitmap::count_blocks(
+        gp_only_offsets_, gp_only_neighbors_);
+    if (AdjacencyBitmap::approx_bytes_for(n(), g_blocks) +
+            AdjacencyBitmap::approx_bytes_for(n(), gp_blocks) <=
+        kBitmapMaxBytes) {
+      g_bitmap_ = std::make_shared<const AdjacencyBitmap>(
+          n(), g_.csr_offsets(), g_.csr_neighbors(), g_blocks);
+      gp_only_bitmap_ = std::make_shared<const AdjacencyBitmap>(
+          n(), gp_only_offsets_, gp_only_neighbors_, gp_blocks);
+    }
   }
 }
 

@@ -24,6 +24,12 @@ namespace dualcast {
 
 class DualGraph {
  public:
+  /// Whether to materialize the blocked adjacency bitmaps for the
+  /// word-parallel delivery resolver. `automatic` builds them and keeps the
+  /// pair while it fits kBitmapMaxBytes; `never` skips them (tests of the
+  /// no-bitmap fallback, memory-constrained embedders).
+  enum class BitmapPolicy : std::uint8_t { automatic, never };
+
   /// Empty dual graph (n == 0); useful as a placeholder before assignment.
   DualGraph() = default;
 
@@ -33,7 +39,8 @@ class DualGraph {
   /// problems; that is checked by the Problem, not here, so lower-bound
   /// constructions (e.g. the bridgeless dual clique used by the reduction
   /// player) can be represented too.
-  DualGraph(Graph g, Graph gprime);
+  explicit DualGraph(Graph g, Graph gprime,
+                     BitmapPolicy bitmaps = BitmapPolicy::automatic);
 
   /// The protocol (static) model: G' == G, i.e. no unreliable links.
   static DualGraph protocol(Graph g);
@@ -62,17 +69,27 @@ class DualGraph {
   std::span<const int> gp_only_csr_neighbors() const {
     return gp_only_neighbors_;
   }
+  /// Parallel to gp_only_csr_neighbors(): the gp_only_edges() index of each
+  /// CSR entry. Lets per-transmitter walks test "is this G'-only edge
+  /// active this round" against an adversary's selected-index set without
+  /// touching the flat edge list.
+  std::span<const std::int32_t> gp_only_csr_edge_indices() const {
+    return gp_only_edge_index_;
+  }
 
   /// True if G' is the complete graph — enables the engine's O(1) dense-round
   /// fast path on clique-like lower-bound networks.
   bool gprime_complete() const { return gp_complete_; }
 
   /// Blocked adjacency bitmaps of G and the G'-only overlay, for the
-  /// word-parallel delivery resolver. Materialized at construction for
-  /// networks up to kBitmapMaxN vertices (n^2/4 bytes for the pair);
-  /// nullptr above the cap — callers must fall back to the CSR sweep.
-  /// Shared between copies of the dual graph (they are immutable).
-  static constexpr int kBitmapMaxN = 4096;
+  /// word-parallel delivery resolver. Materialized at construction
+  /// (~12 bytes per non-empty 64-bit block — O(E) on sparse layers, n^2/64
+  /// blocks on dense ones) and kept while the pair's combined footprint
+  /// fits kBitmapMaxBytes; nullptr otherwise (or under BitmapPolicy::never)
+  /// — callers must fall back to the CSR sweep. Shared between copies of
+  /// the dual graph (they are immutable). The budget admits sparse layers
+  /// at any simulated n and dense (clique-like) layers up to n ≈ 37k.
+  static constexpr std::size_t kBitmapMaxBytes = 256u << 20;
   const AdjacencyBitmap* g_bitmap() const { return g_bitmap_.get(); }
   const AdjacencyBitmap* gp_only_bitmap() const {
     return gp_only_bitmap_.get();
@@ -84,6 +101,7 @@ class DualGraph {
   std::vector<std::pair<int, int>> gp_only_edges_;
   std::vector<std::int64_t> gp_only_offsets_;
   std::vector<int> gp_only_neighbors_;
+  std::vector<std::int32_t> gp_only_edge_index_;
   std::shared_ptr<const AdjacencyBitmap> g_bitmap_;
   std::shared_ptr<const AdjacencyBitmap> gp_only_bitmap_;
   int gp_max_degree_ = 0;

@@ -223,8 +223,17 @@ RoundRobinConfig parse_round_robin(const SpecArgs& args) {
 }
 
 GossipConfig parse_gossip(const SpecArgs& args) {
-  args.expect_count(0, 0);
-  return GossipConfig{};
+  args.expect_count(0, 1);
+  GossipConfig cfg;
+  const std::string mode = args.str_or(0, "saturate");
+  if (mode == "quiesce") {
+    cfg.quiesce = true;
+  } else if (mode != "saturate") {
+    throw ScenarioError(str("spec \"", args.spec(),
+                            "\": mode must be \"saturate\" or "
+                            "\"quiesce\", got \"", mode, "\""));
+  }
+  return cfg;
 }
 
 RobustMixConfig parse_robust_mix(const SpecArgs& args) {
@@ -254,7 +263,9 @@ void add_algorithms(AlgorithmRegistry& r) {
         [](const SpecArgs& args) {
           return round_robin_factory(parse_round_robin(args));
         });
-  r.add("gossip", "decay-style k-gossip rumor spreading: gossip()",
+  r.add("gossip",
+        "decay-style k-gossip rumor spreading: gossip([saturate|quiesce]) — "
+        "quiesce retires each token after its decay-call budget",
         [](const SpecArgs& args) {
           return gossip_factory(parse_gossip(args));
         });
@@ -283,9 +294,10 @@ void add_kernels(KernelRegistry& r) {
         [](const SpecArgs& args) {
           return round_robin_kernel_factory(parse_round_robin(args));
         });
-  r.add("gossip", "batch kernel of gossip()", [](const SpecArgs& args) {
-    return gossip_kernel_factory(parse_gossip(args));
-  });
+  r.add("gossip", "batch kernel of gossip([saturate|quiesce])",
+        [](const SpecArgs& args) {
+          return gossip_kernel_factory(parse_gossip(args));
+        });
   r.add("robust_mix", "batch kernel of robust_mix()",
         [](const SpecArgs& args) {
           return robust_mix_kernel_factory(parse_robust_mix(args));

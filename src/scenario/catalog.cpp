@@ -450,6 +450,33 @@ void add_extensions(ScenarioCatalog& c) {
   }
   {
     ScenarioSpec s;
+    s.name = "ext/gossip-quiesce";
+    s.title = "Extension: quiescing k-gossip — retiring tokens vs saturation";
+    s.paper_claim =
+        "windowed relaying (the DecayGlobal call budget, applied per token) "
+        "thins clique saturation";
+    s.note =
+        "saturating gossip keeps every holder relaying every token forever "
+        "(the ext/gossip-k note); gossip(quiesce) retires each token after "
+        "its decay-call budget, so steady-state contention decays and the "
+        "bridge stops being out-shouted. expectation: quiesce at or below "
+        "the saturating column at k >= 2, and still solving.";
+    s.topology = "dual_clique(128)";
+    s.problem = "gossip({x})";
+    s.axis = "k";
+    s.sweep = {2, 4, 8};
+    s.trials = 7;
+    s.base_seed = 180;
+    s.max_rounds = "3000*x+20000";
+    s.columns = {
+        {"saturate+iid(0.5)", "gossip", "iid(0.5)", ""},
+        {"quiesce+iid(0.5)", "gossip(quiesce)", "iid(0.5)", ""},
+        {"quiesce+dense/sparse", "gossip(quiesce)", "dense_sparse(0.5)", ""},
+    };
+    c.add(s);
+  }
+  {
+    ScenarioSpec s;
     s.name = "ext/gossip-n";
     s.title = "Extension: k-gossip in the dual graph model — network sweep";
     s.paper_claim = "k = 4 tokens, growing dual cliques";
@@ -633,6 +660,79 @@ void add_examples(ScenarioCatalog& c) {
   }
 }
 
+// The large-n scaling tier: the regimes where Figure 1's asymptotic
+// separations become visually unambiguous, and where the engine's blocked
+// bitmaps + word-parallel RNG earn their keep. These specs are
+// throughput-oriented companions to bench/sim_throughput.cpp's scale/ cases
+// (same names, fixed round caps there); full sweeps here measure actual
+// completion at scale, and --smoke keeps them tiny for ctest. The dual
+// clique stops at n = 4096: its complete G' layer costs O(n^2) CSR ints, so
+// larger clique sizes need an implicit-clique representation first (see
+// ROADMAP).
+void add_scale(ScenarioCatalog& c) {
+  {
+    ScenarioSpec s;
+    s.name = "scale/jgrid-iid";
+    s.title = "Scale tier: local decay on jittered grids, n = 4k / 16k / 64k";
+    s.paper_claim =
+        "Theta(log n log Delta)-style local broadcast stays polylog as n "
+        "grows 16x per point";
+    s.note =
+        "expectation: median rounds grow ~log n while n grows 16x per "
+        "point — the separation from the adaptive rows' linear growth is "
+        "unmistakable at this scale.";
+    s.topology = "jgrid({x},{x},0.5,0.05,2.0)";
+    s.problem = "local(every(3))";
+    s.axis = "side";
+    s.sweep = {64, 128, 256};  // n = 4096, 16384, 65536
+    s.smoke_x = 8;
+    s.trials = 3;
+    s.base_seed = 400;
+    s.topology_seed = 17;
+    s.max_rounds = "20000";
+    s.columns = {{"decay+iid(0.3)", "decay_local", "iid(0.3)", ""}};
+    c.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "scale/dual-clique-attack";
+    s.title =
+        "Scale tier: persistent decay vs online dense/sparse, n = 4096";
+    s.paper_claim =
+        "Omega(n / log n) at a size where the linear blow-up dwarfs polylog";
+    s.topology = "dual_clique({x})";
+    s.problem = "global(1)";
+    s.sweep = {4096};
+    s.smoke_x = 64;
+    s.trials = 3;
+    s.base_seed = 410;
+    s.max_rounds = "300*n";
+    s.columns = {
+        {"decay+dense/sparse", "decay_global(fixed,persistent)",
+         "dense_sparse(0.5)", ""},
+    };
+    c.add(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "scale/dual-clique-collider";
+    s.title =
+        "Scale tier: persistent decay vs offline collider, n = 4096";
+    s.paper_claim = "Omega(n) offline adaptive lower bound at scale";
+    s.topology = "dual_clique({x})";
+    s.problem = "global(1)";
+    s.sweep = {4096};
+    s.smoke_x = 64;
+    s.trials = 3;
+    s.base_seed = 420;
+    s.max_rounds = "600*n";
+    s.columns = {
+        {"decay+collider", "decay_global(fixed,persistent)", "collider", ""},
+    };
+    c.add(s);
+  }
+}
+
 }  // namespace
 
 void register_builtin_scenarios(ScenarioCatalog& catalog) {
@@ -643,6 +743,7 @@ void register_builtin_scenarios(ScenarioCatalog& catalog) {
   add_extensions(catalog);
   add_summary(catalog);
   add_examples(catalog);
+  add_scale(catalog);
 }
 
 }  // namespace dualcast::scenario

@@ -37,6 +37,11 @@ void print_usage(std::ostream& os, const char* binary) {
         "                kernels, scalar-adapter fallback for algorithms\n"
         "                without a port) or \"scalar\" (reference engine).\n"
         "                Results are byte-identical for both\n"
+        "  --rng M       kernel-path coin streams: \"per-node\" (default;\n"
+        "                byte-identical to the scalar engine) or \"word\"\n"
+        "                (word-parallel block streams, 64 coins per draw\n"
+        "                ladder; same distribution, different sample paths;\n"
+        "                requires --engine kernel)\n"
         "  --trials N    override each scenario's trial count\n";
 }
 
@@ -123,6 +128,23 @@ int run_main(int argc, char** argv,
           throw ScenarioError(
               str("--engine: expected \"kernel\" or \"scalar\", got \"",
                   value, "\""));
+        }
+      } else if (arg == "--rng" || arg.rfind("--rng=", 0) == 0) {
+        std::string value;
+        if (arg == "--rng") {
+          if (++i >= argc) throw ScenarioError("--rng requires a value");
+          value = argv[i];
+        } else {
+          value = arg.substr(std::string("--rng=").size());
+        }
+        if (value == "per-node") {
+          options.rng = RngMode::per_node;
+        } else if (value == "word") {
+          options.rng = RngMode::word;
+        } else {
+          throw ScenarioError(
+              str("--rng: expected \"per-node\" or \"word\", got \"", value,
+                  "\""));
         }
       } else if (arg == "--trials") {
         options.trials_override =

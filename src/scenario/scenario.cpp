@@ -82,11 +82,12 @@ struct PointPlan {
 double run_one_trial(const Topology& topo, const CellPlan& cell,
                      const Metric& metric, int watch_node, std::uint64_t seed,
                      int max_rounds, HistoryPolicy history,
-                     EnginePath engine) {
+                     EnginePath engine, RngMode rng_mode) {
   const ExecutionConfig config = ExecutionConfig{}
                                      .with_seed(seed)
                                      .with_max_rounds(max_rounds)
-                                     .with_history_policy(history);
+                                     .with_history_policy(history)
+                                     .with_rng_mode(rng_mode);
   if (engine == EnginePath::scalar) {
     Execution exec(topo.net(), cell.factory, cell.problem(), cell.adversary(),
                    config);
@@ -143,6 +144,11 @@ struct ScenarioPlan {
 ScenarioSpec apply_options(const ScenarioSpec& original,
                            const RunOptions& options) {
   ScenarioSpec spec = original;
+  if (options.rng == RngMode::word && options.engine == EnginePath::scalar) {
+    throw ScenarioError(
+        "rng mode \"word\" requires the kernel engine (the scalar engine "
+        "has no word-parallel coin path)");
+  }
   if (spec.sweep.empty()) {
     throw ScenarioError(
         str("scenario \"", spec.name, "\": sweep must be non-empty"));
@@ -205,7 +211,8 @@ double measure(const ScenarioSpec& spec, const Metric& metric,
   const CellPlan& cell = point.cells[static_cast<std::size_t>(col)];
   return run_one_trial(point.topo, cell, metric, point.watch_node,
                        spec.base_seed + static_cast<std::uint64_t>(trial),
-                       point.max_rounds, options.history, options.engine);
+                       point.max_rounds, options.history, options.engine,
+                       options.rng);
 }
 
 PointResult make_point_result(const ScenarioSpec& spec, double x,

@@ -119,6 +119,12 @@ struct RunOptions {
   /// declare needs_history(), so this is always safe and never changes
   /// measured results.
   HistoryPolicy history = HistoryPolicy::lean;
+  /// RNG stream discipline for kernel-path trials (see RngMode in
+  /// util/rng.hpp). `per_node` (default) replays byte-identically against
+  /// the scalar engine; `word` batches 64 transmit coins per draw ladder —
+  /// same per-trial distribution, different sample paths, so medians may
+  /// shift within trial noise. Requires engine == kernel.
+  RngMode rng = RngMode::per_node;
   int trials_override = 0; ///< > 0 replaces spec.trials
   bool smoke = false;      ///< single tiny sweep point, 1 trial, capped budget
   int smoke_max_rounds = 50000;

@@ -16,7 +16,8 @@ void DeliveryResolver::reset(const DualGraph* net, bool collision_detection) {
   last_tx_index_.assign(n, -1);
   touched_.clear();
   colliders_.clear();
-  tx_bits_.assign((n + 63) / 64, 0);
+  tx_bits_.resize(static_cast<std::int64_t>(n));
+  edge_bits_.resize(static_cast<std::int64_t>(net->gp_only_edges().size()));
 }
 
 void DeliveryResolver::resolve(const std::vector<int>& tx_index_of,
@@ -68,12 +69,11 @@ void DeliveryResolver::resolve(const std::vector<int>& tx_index_of,
                         gp_off[static_cast<std::size_t>(v)];
       }
     }
-    // Bitmap cost: one (or two, with the overlay) row scans of n/64 words
-    // per node. The early exit at 2 contenders makes this an upper bound.
-    const std::int64_t bitmap_words =
-        static_cast<std::int64_t>(n) *
-        static_cast<std::int64_t>(net_->g_bitmap()->words_per_row()) *
-        (overlay ? 2 : 1);
+    // Bitmap cost: one scan over every row's stored (non-empty) blocks —
+    // exactly total_blocks() words per active layer. The early exit at 2
+    // contenders makes this an upper bound.
+    std::int64_t bitmap_words = net_->g_bitmap()->total_blocks();
+    if (overlay) bitmap_words += net_->gp_only_bitmap()->total_blocks();
     use_bitmap = sweep_visits > bitmap_words;
   }
 
@@ -98,7 +98,7 @@ void DeliveryResolver::resolve_sweep(const std::vector<int>& tx_index_of,
       for (const int u : net_->gp_only_neighbors(v)) bump(u, v, ti);
     }
   }
-  apply_sparse_edges(tx_index_of, edges);
+  apply_sparse_edges(tx_index_of, edges, transmitters);
   finalize(tx_index_of, record);
 }
 
@@ -109,35 +109,36 @@ void DeliveryResolver::resolve_bitmap(const std::vector<int>& tx_index_of,
   const AdjacencyBitmap* g_rows = net_->g_bitmap();
   const AdjacencyBitmap* gp_rows = net_->gp_only_bitmap();
   const bool overlay = edges.kind == EdgeSet::Kind::all;
-  const int words = g_rows->words_per_row();
 
-  for (std::uint64_t& w : tx_bits_) w = 0;
-  for (const int v : record.transmitters) {
-    tx_bits_[static_cast<std::size_t>(v) / 64] |=
-        std::uint64_t{1} << (static_cast<std::size_t>(v) % 64);
-  }
+  tx_bits_.reset_all();
+  for (const int v : record.transmitters) tx_bits_.set(v);
 
   for (int u = 0; u < n; ++u) {
     if (tx_index_of[static_cast<std::size_t>(u)] >= 0) continue;
-    const std::uint64_t* grow = g_rows->row(u).data();
-    const std::uint64_t* prow = overlay ? gp_rows->row(u).data() : nullptr;
     int count = 0;
     std::uint64_t hit_word = 0;
     int hit_index = 0;
-    for (int w = 0; w < words; ++w) {
-      std::uint64_t m = grow[w] & tx_bits_[static_cast<std::size_t>(w)];
-      if (overlay) m |= prow[w] & tx_bits_[static_cast<std::size_t>(w)];
-      if (m == 0) continue;
-      count += std::popcount(m);
-      hit_word = m;
-      hit_index = w;
-      // Counts are only consumed as {0, 1, >= 2} (delivery / collision), so
-      // cap at 2: later sparse bumps can only push the count further up.
-      if (count >= 2) {
-        count = 2;
-        break;
+    // Scan only the row's stored blocks; with the overlay on, walk both
+    // layers' blocks (a transmitter adjacent in both layers is counted once
+    // per §2 — G and the G'-only overlay partition E', so their rows are
+    // disjoint and the counts add).
+    const auto scan = [&](const AdjacencyBitmap::RowView& row) {
+      for (std::size_t k = 0; k < row.bits.size(); ++k) {
+        const std::uint64_t m = row.bits[k] & tx_bits_.word(row.index[k]);
+        if (m == 0) continue;
+        count += std::popcount(m);
+        hit_word = m;
+        hit_index = row.index[k];
+        // Counts are only consumed as {0, 1, >= 2} (delivery / collision),
+        // so cap at 2: later sparse bumps can only push the count up.
+        if (count >= 2) {
+          count = 2;
+          return;
+        }
       }
-    }
+    };
+    scan(g_rows->row(u));
+    if (overlay && count < 2) scan(gp_rows->row(u));
     if (count == 0) continue;
     hear_count_[static_cast<std::size_t>(u)] = count;
     touched_.push_back(u);
@@ -148,14 +149,65 @@ void DeliveryResolver::resolve_bitmap(const std::vector<int>& tx_index_of,
           tx_index_of[static_cast<std::size_t>(sender)];
     }
   }
-  apply_sparse_edges(tx_index_of, edges);
+  apply_sparse_edges(tx_index_of, edges, record.transmitters);
   finalize(tx_index_of, record);
 }
 
 void DeliveryResolver::apply_sparse_edges(const std::vector<int>& tx_index_of,
-                                          const EdgeSet& edges) {
+                                          const EdgeSet& edges,
+                                          const std::vector<int>& transmitters) {
   if (edges.kind != EdgeSet::Kind::some) return;
   const auto& gp_only = net_->gp_only_edges();
+
+  // Two equivalent strategies (same delivery set; only the bump order, and
+  // thus record.deliveries order, differs — no consumer depends on it):
+  //
+  //   per-edge — visit each selected edge and bump across it when an
+  //              endpoint transmits. O(|selected|) with three random
+  //              accesses per edge.
+  //   walk     — mark the selected edge indices in a persistent bitset
+  //              (kept all-zero between rounds; exactly the set bits are
+  //              cleared afterwards, so there is no O(edges/64) wipe), then
+  //              walk each *transmitter's* G'-only CSR row testing the bit.
+  //              O(|selected| + Σ gp_deg(tx)) — the win whenever
+  //              transmitters are sparse against a heavy overlay (decay
+  //              tails under i.i.d. loss).
+  //
+  // The choice is a deterministic function of the round's transmitter set
+  // and selection size, so replays stay bit-identical.
+  std::int64_t walk_visits = 0;
+  const auto gp_off = net_->gp_only_csr_offsets();
+  for (const int v : transmitters) {
+    walk_visits += gp_off[static_cast<std::size_t>(v) + 1] -
+                   gp_off[static_cast<std::size_t>(v)];
+  }
+  if (walk_visits < static_cast<std::int64_t>(edges.indices.size())) {
+    const auto gp_neighbors = net_->gp_only_csr_neighbors();
+    const auto gp_edge_idx = net_->gp_only_csr_edge_indices();
+    for (const std::int32_t idx : edges.indices) {
+      DC_EXPECTS(idx >= 0 && idx < static_cast<std::int32_t>(gp_only.size()));
+      edge_bits_.set(idx);
+    }
+    for (int ti = 0; ti < static_cast<int>(transmitters.size()); ++ti) {
+      const int v = transmitters[static_cast<std::size_t>(ti)];
+      const std::size_t begin =
+          static_cast<std::size_t>(gp_off[static_cast<std::size_t>(v)]);
+      const std::size_t end =
+          static_cast<std::size_t>(gp_off[static_cast<std::size_t>(v) + 1]);
+      for (std::size_t k = begin; k < end; ++k) {
+        if (edge_bits_.test(gp_edge_idx[k])) bump(gp_neighbors[k], v, ti);
+      }
+    }
+    // Restore the all-zero invariant the cheaper way: per-bit clearing for
+    // small selections against a large overlay, one block wipe otherwise.
+    if (static_cast<std::int64_t>(edges.indices.size()) <
+        static_cast<std::int64_t>(edge_bits_.blocks())) {
+      for (const std::int32_t idx : edges.indices) edge_bits_.clear(idx);
+    } else {
+      edge_bits_.reset_all();
+    }
+    return;
+  }
   for (const std::int32_t idx : edges.indices) {
     DC_EXPECTS(idx >= 0 && idx < static_cast<std::int32_t>(gp_only.size()));
     const auto [a, b] = gp_only[static_cast<std::size_t>(idx)];

@@ -14,8 +14,9 @@
 //   bitmap — build the round's transmitter set as an n-bit vector T and
 //            compute every listener's contending-transmitter count as
 //            popcount(row(u) & T) over the blocked adjacency bitmaps.
-//            O(n·n/64) with early exit at 2 contenders; wins on dense
-//            rounds, where the sweep's scalar visits exceed n²/64.
+//            O(total non-empty row blocks) with early exit at 2 contenders;
+//            wins on dense rounds, where the sweep's scalar visits exceed
+//            the blocked word count.
 //
 // The per-round heuristic compares the sweep's exact visit count (Σ over
 // transmitters of their active-layer degree) against the bitmap's word
@@ -32,6 +33,7 @@
 #include "graph/dual_graph.hpp"
 #include "sim/edge_set.hpp"
 #include "sim/history.hpp"
+#include "util/bitset64.hpp"
 
 namespace dualcast {
 
@@ -60,7 +62,8 @@ class DeliveryResolver {
   const std::vector<int>& colliders() const { return colliders_; }
 
   /// Test hook: pin the strategy. bitmap requires the network to have
-  /// adjacency bitmaps (n <= DualGraph::kBitmapMaxN).
+  /// adjacency bitmaps (within DualGraph::kBitmapMaxBytes, not
+  /// BitmapPolicy::never).
   void force_path(Path path) { forced_ = path; }
   /// The strategy taken by the last resolve() call (diagnostics/tests).
   Path last_path() const { return last_; }
@@ -81,7 +84,8 @@ class DeliveryResolver {
   void resolve_bitmap(const std::vector<int>& tx_index_of,
                       const EdgeSet& edges, RoundRecord& record);
   void apply_sparse_edges(const std::vector<int>& tx_index_of,
-                          const EdgeSet& edges);
+                          const EdgeSet& edges,
+                          const std::vector<int>& transmitters);
   void finalize(const std::vector<int>& tx_index_of, RoundRecord& record);
 
   const DualGraph* net_ = nullptr;
@@ -95,7 +99,10 @@ class DeliveryResolver {
   std::vector<int> last_tx_index_;
   std::vector<int> touched_;
   std::vector<int> colliders_;
-  std::vector<std::uint64_t> tx_bits_;  ///< bitmap path: transmitter set
+  Bitset64 tx_bits_;    ///< bitmap path: the round's transmitter set
+  Bitset64 edge_bits_;  ///< sparse-edge walk: selected G'-only edge indices
+                        ///< (kept all-zero between rounds; the walk clears
+                        ///< exactly the bits it set)
 };
 
 }  // namespace dualcast

@@ -51,6 +51,11 @@ struct ExecutionConfig {
   /// see the trace they are entitled to. Execution::history_policy()
   /// reports the effective choice.
   HistoryPolicy history_policy = HistoryPolicy::full;
+  /// RNG stream discipline for the batch engine's kernels (see RngMode in
+  /// util/rng.hpp). `per_node` is the byte-identical-parity default; `word`
+  /// batches 64 coin flips per draw ladder on per-block streams. The scalar
+  /// engine has no word path and ignores this field.
+  RngMode rng_mode = RngMode::per_node;
 
   // Named-field construction, so call sites never depend on member order:
   //   ExecutionConfig{}.with_seed(7).with_max_rounds(4000)
@@ -73,6 +78,10 @@ struct ExecutionConfig {
   }
   ExecutionConfig& with_history_policy(HistoryPolicy policy) {
     history_policy = policy;
+    return *this;
+  }
+  ExecutionConfig& with_rng_mode(RngMode mode) {
+    rng_mode = mode;
     return *this;
   }
 };

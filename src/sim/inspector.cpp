@@ -31,6 +31,12 @@ double StateInspector::transmit_probability(int v, int round) const {
 }
 
 double StateInspector::expected_transmitters(int round) const {
+  if (kernel_ != nullptr) {
+    // Kernels with SoA actor lists produce the sum in O(actors); the value
+    // is bit-identical to the scan below (see AlgorithmKernel contract).
+    const double batched = kernel_->expected_transmitters(round);
+    if (batched >= 0.0) return batched;
+  }
   double sum = 0.0;
   for (int v = 0; v < n(); ++v) sum += transmit_probability(v, round);
   return sum;

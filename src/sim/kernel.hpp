@@ -40,11 +40,24 @@
 
 namespace dualcast {
 
-/// Everything a kernel sees at construction time: the network and each
-/// node's resolved environment (env_override already applied).
+/// Everything a kernel sees at construction time: the network, each node's
+/// resolved environment (env_override already applied), and the RNG stream
+/// discipline for per-round coins.
+///
+/// `rng_mode == word` offers kernels one extra stream per 64-node block
+/// (`block_rngs[v / 64]`): a kernel that supports the mode draws its
+/// per-round transmit coins word-parallel from the block streams
+/// (bernoulli_pow2_mask / Pow2MaskLadder — same distribution, ~64/ladder
+/// fewer draws), while everything else (init-time seed material, feedback)
+/// stays on the per-node streams. Kernels without a word path simply keep
+/// drawing per node — the modes then coincide. In per_node mode
+/// `block_rngs` is empty and the byte-identical scalar-parity contract of
+/// the header comment applies in full.
 struct KernelSetup {
   const DualGraph* net = nullptr;
   std::span<const ProcessEnv> envs;
+  RngMode rng_mode = RngMode::per_node;
+  std::span<Rng> block_rngs;  ///< one per 64-node block; word mode only
 };
 
 /// Sink for a round's transmissions, writing straight into the engine's
@@ -100,6 +113,15 @@ class AlgorithmKernel {
   /// probability, given v's state at the start of `round`, that v will
   /// transmit. What adaptive adversaries condition on (Theorem 3.1).
   virtual double transmit_probability(int v, int round) const = 0;
+
+  /// E[|X| | S] for the whole network: sum of transmit_probability over all
+  /// nodes, the quantity online adaptive adversaries recompute every round.
+  /// Kernels that can produce it in O(actors) — summing their non-zero
+  /// contributors in ascending node order, which is bit-identical to the
+  /// full 0..n-1 scan because adding 0.0 is exact — override this; the
+  /// default returns a negative sentinel and the StateInspector falls back
+  /// to the per-node scan.
+  virtual double expected_transmitters(int /*round*/) const { return -1.0; }
 
   /// Non-null when the kernel is backed by real Process objects (the
   /// scalar compatibility adapter). Lets problems that predate the batch

@@ -58,6 +58,16 @@ KernelExecution::KernelExecution(const DualGraph& net, ProcessFactory factory,
     node_rngs_.push_back(master.fork(static_cast<std::uint64_t>(v)));
   }
   adversary_rng_ = master.fork("link-process");
+  if (config_.rng_mode == RngMode::word) {
+    // Word mode: one extra stream per 64-node block, forked after the
+    // scalar-parity streams (each fork advances the master's fork counter,
+    // so these are independent of every node/adversary stream).
+    const int blocks = (n + 63) / 64;
+    block_rngs_.reserve(static_cast<std::size_t>(blocks));
+    for (int b = 0; b < blocks; ++b) {
+      block_rngs_.push_back(master.fork(static_cast<std::uint64_t>(b)));
+    }
+  }
 
   std::vector<ProcessEnv> envs(static_cast<std::size_t>(n));
   for (int v = 0; v < n; ++v) {
@@ -74,6 +84,8 @@ KernelExecution::KernelExecution(const DualGraph& net, ProcessFactory factory,
   KernelSetup setup;
   setup.net = net_;
   setup.envs = envs;
+  setup.rng_mode = config_.rng_mode;
+  setup.block_rngs = block_rngs_;
   kernel_->init(setup, node_rngs_);
 
   state_view_ = std::make_unique<KernelStateView>(kernel_.get(), n);

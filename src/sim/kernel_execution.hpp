@@ -72,6 +72,11 @@ class KernelExecution {
     return first_receive_round_;
   }
 
+  /// Test/diagnostic hook: the engine's delivery resolver (force_path /
+  /// last_path). Forcing a strategy changes performance only, never the
+  /// delivery sets.
+  DeliveryResolver& resolver() { return resolver_; }
+
  private:
   class KernelStateView;
 
@@ -87,6 +92,7 @@ class KernelExecution {
   std::unique_ptr<KernelStateView> state_view_;
 
   std::vector<Rng> node_rngs_;
+  std::vector<Rng> block_rngs_;  ///< word RNG mode: one per 64-node block
   Rng adversary_rng_;
   StateInspector inspector_;
   ExecutionHistory history_;

@@ -84,6 +84,16 @@ class Rng {
     return next_u64() >> (64 - k);
   }
 
+  /// 64 independent Bernoulli(2^-i) trials packed into one word: bit j of
+  /// the result is set with probability exactly 2^-i, independently across
+  /// bits (the AND of i raw words sets a bit iff all i of its fair bits came
+  /// up 1). Costs i draws for 64 trials — the word-parallel form of 64
+  /// coin_pow2(i) calls, and the depth-i rung of a Pow2MaskLadder (the one
+  /// implementation; this is a convenience wrapper for callers whose whole
+  /// block shares a single index). i == 0 yields all-ones. Requires
+  /// 0 <= i <= 63.
+  std::uint64_t bernoulli_pow2_mask(int i);
+
   /// Derives an independent child stream. Distinct tags (or successive calls
   /// with the same tag) give statistically independent streams; forking does
   /// not perturb this stream's own sequence.
@@ -104,5 +114,56 @@ class Rng {
   std::uint64_t fork_counter_ = 0;
   std::array<std::uint64_t, 4> s_{};
 };
+
+/// Which streams the batch engine's kernels draw their per-round coins from.
+///
+///   per_node — every node draws from its own forked stream, consuming
+///              exactly the draws its scalar algorithm would: the batch
+///              engine replays *byte-identically* against the scalar engine
+///              (the default, and what the equality test suite pins).
+///   word     — kernels that support it draw one mask per 64-node block from
+///              a per-block stream (bernoulli_pow2_mask / Pow2MaskLadder),
+///              cutting RNG cost by up to 64/ladder. Same per-trial
+///              distribution, different sample path: validated by the
+///              distributional differential tests, not byte equality.
+enum class RngMode : std::uint8_t { per_node, word };
+
+/// The ladder-aware mask trick: lazily extended prefix masks over one
+/// stream, mask(i) = AND of the first i raw words (mask(0) is all-ones), so
+/// bit j of mask(i) is a Bernoulli(2^-i) trial. One 64-node block whose
+/// nodes sit on *divergent* decay-ladder indices shares a single ladder:
+/// node v consumes bit (v mod 64) of mask(i_v). Bits of nested masks are
+/// correlated down the ladder but distinct bit lanes are independent, so the
+/// contract is: consume at most one mask per bit lane per ladder lifetime
+/// (one object per block per round). Total cost: max consumed index draws
+/// per block, vs one draw per node.
+class Pow2MaskLadder {
+ public:
+  /// Binds to the block's stream; draws lazily as deeper masks are asked for.
+  explicit Pow2MaskLadder(Rng& rng) : rng_(&rng) { masks_[0] = ~std::uint64_t{0}; }
+
+  /// Prefix mask of depth i. Requires 0 <= i <= 63.
+  std::uint64_t mask(int i) {
+    DC_EXPECTS(i >= 0 && i <= 63);
+    while (depth_ < i) {
+      masks_[depth_ + 1] = masks_[depth_] & rng_->next_u64();
+      ++depth_;
+    }
+    return masks_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  Rng* rng_;
+  int depth_ = 0;
+  /// Entries above depth_ are never read; only masks_[0] needs a value
+  /// (set in the constructor), so no zero-initialization — one ladder is
+  /// constructed per block per round on the word-mode hot path.
+  std::array<std::uint64_t, 64> masks_;
+};
+
+inline std::uint64_t Rng::bernoulli_pow2_mask(int i) {
+  Pow2MaskLadder ladder(*this);
+  return ladder.mask(i);
+}
 
 }  // namespace dualcast

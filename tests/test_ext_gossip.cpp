@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <utility>
+
 #include "adversary/dense_sparse.hpp"
 #include "adversary/static_adversaries.hpp"
 #include "core/gossip.hpp"
@@ -10,6 +13,7 @@
 #include "sim/execution.hpp"
 #include "test_support.hpp"
 #include "util/assert.hpp"
+#include "util/mathutil.hpp"
 
 namespace dualcast {
 namespace {
@@ -130,6 +134,67 @@ TEST(Gossip, SolvesUnderObliviousUnreliability) {
     solved += result.solved ? 1 : 0;
   }
   EXPECT_GE(solved, 5);
+}
+
+GossipConfig quiesce_config() {
+  GossipConfig cfg;
+  cfg.quiesce = true;
+  return cfg;
+}
+
+TEST(GossipQuiesce, StillSolvesUnderUnreliability) {
+  // Retiring tokens must not break completion: fresh receivers restart each
+  // token's window, so every token keeps moving until everyone has it.
+  const DualCliqueNet dc = dual_clique(32);
+  int solved = 0;
+  for (int i = 0; i < 6; ++i) {
+    const RunResult result = run_gossip(
+        dc.net, {1, 17}, std::make_unique<RandomIidEdges>(0.5),
+        700 + static_cast<std::uint64_t>(i), 60000, quiesce_config());
+    solved += result.solved ? 1 : 0;
+  }
+  EXPECT_GE(solved, 5);
+}
+
+TEST(GossipQuiesce, HoldersFallSilentAfterBudgetsDrain) {
+  // Saturating gossip relays forever; quiescing gossip spends at most
+  // `offer budget` transmissions per (node, token) and then goes quiet. We
+  // drive past the gossip solve point with the never-solving assignment
+  // problem (broadcast-set members seed distinct payloads, i.e. tokens) and
+  // compare tail activity plus the per-token transmission bound.
+  const DualGraph net = DualGraph::protocol(complete_graph(16));
+  const int ladder = clog2(16);
+  const int budget = 4 * ladder;  // the derived default
+  const auto run_tail = [&](GossipConfig cfg) {
+    Execution exec(net, gossip_factory(cfg),
+                   std::make_shared<AssignmentProblem>(
+                       16, -1, std::vector<int>{0, 8}),
+                   std::make_unique<NoExtraEdges>(), {21, 6000, {}});
+    exec.run();
+    std::int64_t tail = 0;
+    std::map<std::pair<int, std::uint64_t>, int> per_node_token;
+    const auto& records = exec.history().records();
+    for (std::size_t r = 0; r < records.size(); ++r) {
+      for (std::size_t i = 0; i < records[r].transmitters.size(); ++i) {
+        const int v = records[r].transmitters[i];
+        per_node_token[{v, records[r].sent[i].payload}] += 1;
+      }
+      if (r + 1000 >= records.size()) {
+        tail += static_cast<std::int64_t>(records[r].transmitters.size());
+      }
+    }
+    int max_per_token = 0;
+    for (const auto& [key, count] : per_node_token) {
+      max_per_token = std::max(max_per_token, count);
+    }
+    return std::pair(tail, max_per_token);
+  };
+  const auto [saturating_tail, saturating_max] = run_tail(GossipConfig{});
+  EXPECT_GT(saturating_tail, 0);
+  EXPECT_GT(saturating_max, budget);  // unbounded relaying, visibly so
+  const auto [quiesce_tail, quiesce_max] = run_tail(quiesce_config());
+  EXPECT_EQ(quiesce_tail, 0);  // everyone drained well before the horizon
+  EXPECT_LE(quiesce_max, budget);
 }
 
 TEST(Gossip, FairSchedulerKeepsEveryTokenCirculating) {

@@ -9,6 +9,7 @@
 
 #include "adversary/dense_sparse.hpp"
 #include "core/factories.hpp"
+#include "core/kernels.hpp"
 #include "game/reduction_player.hpp"
 #include "graph/generators.hpp"
 #include "sim/execution.hpp"
@@ -106,6 +107,42 @@ TEST(ReductionPlayer, SparseRoundsDominateForDecay) {
   ASSERT_TRUE(outcome.won);
   EXPECT_GT(outcome.sparse_rounds, 0);
   EXPECT_GT(outcome.dense_rounds, 0);
+}
+
+TEST(ReductionPlayer, KernelEngineReplaysScalarPlayerExactly) {
+  // The batch-engine port: with the algorithm's kernel supplied, the inner
+  // simulation runs on KernelExecution. Engines replay bit-identically, so
+  // the whole played game — labels, guesses, win round — must match the
+  // scalar player outcome for outcome.
+  const int beta = 48;
+  Rng rng(23);
+  for (int t = 0; t < 6; ++t) {
+    const int target = static_cast<int>(rng.uniform_int(0, beta - 1));
+    ReductionConfig cfg;
+    cfg.beta = beta;
+    cfg.problem = t % 2 == 0 ? ReductionProblem::global_broadcast
+                             : ReductionProblem::local_broadcast;
+    cfg.seed = 600 + static_cast<std::uint64_t>(t);
+
+    HittingGame scalar_game(beta, target);
+    BroadcastReductionPlayer scalar_player(
+        cfg, decay_global_factory(persistent_decay(ScheduleKind::fixed)));
+    const ReductionOutcome scalar_outcome = scalar_player.play(scalar_game);
+
+    HittingGame kernel_game(beta, target);
+    BroadcastReductionPlayer kernel_player(
+        cfg, decay_global_factory(persistent_decay(ScheduleKind::fixed)),
+        decay_global_kernel_factory(persistent_decay(ScheduleKind::fixed)));
+    const ReductionOutcome kernel_outcome = kernel_player.play(kernel_game);
+
+    EXPECT_EQ(scalar_outcome.won, kernel_outcome.won) << "trial " << t;
+    EXPECT_EQ(scalar_outcome.game_rounds, kernel_outcome.game_rounds);
+    EXPECT_EQ(scalar_outcome.sim_rounds, kernel_outcome.sim_rounds);
+    EXPECT_EQ(scalar_outcome.dense_rounds, kernel_outcome.dense_rounds);
+    EXPECT_EQ(scalar_outcome.sparse_rounds, kernel_outcome.sparse_rounds);
+    EXPECT_EQ(scalar_outcome.max_guesses_in_a_round,
+              kernel_outcome.max_guesses_in_a_round);
+  }
 }
 
 TEST(ReductionPlayer, RejectsMismatchedGame) {

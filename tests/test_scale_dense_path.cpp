@@ -1,0 +1,86 @@
+// The large-n acceptance surface of the blocked-bitmap resolver: at
+// n = 16384 (4x the old flat-row kBitmapMaxN cap) a jgrid+iid scenario must
+// run start-to-solve entirely on the dense (bitmap) path — no fallback to
+// the CSR sweep — and produce exactly the sweep path's execution.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "scenario/registries.hpp"
+#include "sim/kernel_execution.hpp"
+
+namespace dualcast {
+namespace {
+
+using scenario::Topology;
+
+KernelExecution make_exec(const Topology& topo, int max_rounds) {
+  const ProcessFactory factory =
+      scenario::algorithms().build("decay_local");
+  const KernelFactory kernel = scenario::build_kernel_or_null("decay_local");
+  std::shared_ptr<Problem> problem =
+      scenario::problems().build("local(every(3))", topo)();
+  std::unique_ptr<AlgorithmKernel> k =
+      scenario::select_kernel(kernel, *problem, factory);
+  return KernelExecution(topo.net(), factory, std::move(k),
+                         std::move(problem),
+                         scenario::adversaries().build("iid(0.3)", topo)(),
+                         ExecutionConfig{}
+                             .with_seed(11)
+                             .with_max_rounds(max_rounds)
+                             .with_history_policy(HistoryPolicy::full));
+}
+
+TEST(ScaleDensePath, JgridAt16kCompletesOnBlockedBitmapsExactly) {
+  // The scale/jgrid-iid point at side 128: n = 16384.
+  const Topology topo =
+      scenario::topologies().build("jgrid(128,128,0.5,0.05,2.0)", 3);
+  ASSERT_EQ(topo.n(), 16384);
+  // Blocked bitmaps exist past the old n = 4096 flat-row cap...
+  ASSERT_NE(topo.net().g_bitmap(), nullptr);
+  ASSERT_NE(topo.net().gp_only_bitmap(), nullptr);
+  EXPECT_EQ(topo.net().g_bitmap()->n(), 16384);
+
+  // ...and the dense path can carry a whole execution to completion.
+  const int budget = 4000;
+  KernelExecution bitmap_exec = make_exec(topo, budget);
+  bitmap_exec.resolver().force_path(DeliveryResolver::Path::bitmap);
+  const RunResult bitmap_result = bitmap_exec.run();
+  EXPECT_TRUE(bitmap_result.solved) << "censored at " << budget;
+  EXPECT_EQ(bitmap_exec.resolver().last_path(),
+            DeliveryResolver::Path::bitmap);
+
+  // The forced-sweep replay is byte-identical: same solve round, same
+  // transmitters, same delivery sets (order may differ between strategies).
+  KernelExecution sweep_exec = make_exec(topo, budget);
+  sweep_exec.resolver().force_path(DeliveryResolver::Path::sweep);
+  const RunResult sweep_result = sweep_exec.run();
+  ASSERT_EQ(bitmap_result.solved, sweep_result.solved);
+  ASSERT_EQ(bitmap_result.rounds, sweep_result.rounds);
+  EXPECT_EQ(bitmap_exec.first_receive_round(),
+            sweep_exec.first_receive_round());
+
+  const auto& b_records = bitmap_exec.history().records();
+  const auto& s_records = sweep_exec.history().records();
+  ASSERT_EQ(b_records.size(), s_records.size());
+  for (std::size_t r = 0; r < b_records.size(); ++r) {
+    ASSERT_EQ(b_records[r].transmitters, s_records[r].transmitters)
+        << "round " << r;
+    const auto key = [](const Delivery& d) {
+      return std::tuple(d.receiver, d.sender, d.transmitter_index);
+    };
+    std::vector<std::tuple<int, int, int>> db;
+    std::vector<std::tuple<int, int, int>> ds;
+    for (const Delivery& d : b_records[r].deliveries) db.push_back(key(d));
+    for (const Delivery& d : s_records[r].deliveries) ds.push_back(key(d));
+    std::sort(db.begin(), db.end());
+    std::sort(ds.begin(), ds.end());
+    ASSERT_EQ(db, ds) << "round " << r;
+  }
+}
+
+}  // namespace
+}  // namespace dualcast

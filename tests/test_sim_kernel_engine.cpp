@@ -136,6 +136,11 @@ TEST(KernelEngineEquivalence, RobustMixAndGossip) {
                          31);
     expect_engines_agree(
         {"line_overlay(32,3)", "gossip", adversary, "gossip(4)", 2500}, 32);
+    // Quiescing gossip: the expiry windows gate both the coins and the
+    // offer rotation, so the parity contract covers them too.
+    expect_engines_agree(
+        {"dual_clique(32)", "gossip(quiesce)", adversary, "gossip(2)", 2500},
+        33);
   }
 }
 

@@ -193,12 +193,17 @@ TEST(DeliveryResolverHeuristic, AutoSelectsBitmapOnDenseRounds) {
   EXPECT_EQ(resolver.last_path(), DeliveryResolver::Path::sweep);
 }
 
-TEST(DeliveryResolverHeuristic, LargeNetworksFallBackToSweep) {
-  // Above the bitmap cap no bitmaps exist; auto must keep working.
-  Graph g(DualGraph::kBitmapMaxN + 1);
-  for (int v = 0; v + 1 <= DualGraph::kBitmapMaxN; ++v) g.add_edge(v, v + 1);
+TEST(DeliveryResolverHeuristic, BitmaplessNetworksFallBackToSweep) {
+  // Under BitmapPolicy::never (and for graphs whose blocked bitmaps exceed
+  // DualGraph::kBitmapMaxBytes) no bitmaps exist; auto must keep working.
+  const int n = 5000;
+  Graph g(n);
+  for (int v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
   g.finalize();
-  const DualGraph net = DualGraph::protocol(std::move(g));
+  Graph gp = g;
+  gp.finalize();
+  const DualGraph net(std::move(g), std::move(gp),
+                      DualGraph::BitmapPolicy::never);
   EXPECT_EQ(net.g_bitmap(), nullptr);
   DeliveryResolver resolver;
   resolver.reset(&net, false);
@@ -210,6 +215,67 @@ TEST(DeliveryResolverHeuristic, LargeNetworksFallBackToSweep) {
   EXPECT_EQ(resolver.last_path(), DeliveryResolver::Path::sweep);
   ASSERT_EQ(record.deliveries.size(), 1u);
   EXPECT_EQ(record.deliveries[0].receiver, 1);
+}
+
+// The blocked bitmaps past the old flat-row n = 4096 cap: on a large sparse
+// dual graph the dense path must exist and agree with the CSR sweep on
+// random rounds of every density and edge kind (the first-principles
+// reference is quadratic, so the sweep — itself validated against it above
+// — is the oracle at this size).
+TEST(DeliveryResolverDifferential, BlockedBitmapsAgreeWithSweepPast4096) {
+  Rng rng(77);
+  const int n = 8192;
+  Graph g(n);
+  for (int v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  // Sparse random chords in G plus a random unreliable overlay.
+  for (int e = 0; e < 2 * n; ++e) {
+    const int u = static_cast<int>(rng.uniform_int(0, n - 1));
+    const int v = static_cast<int>(rng.uniform_int(0, n - 1));
+    if (u != v) g.add_edge(u, v);
+  }
+  g.finalize();
+  Graph gp = g;
+  for (int e = 0; e < 2 * n; ++e) {
+    const int u = static_cast<int>(rng.uniform_int(0, n - 1));
+    const int v = static_cast<int>(rng.uniform_int(0, n - 1));
+    if (u != v) gp.add_edge(u, v);
+  }
+  gp.finalize();
+  const DualGraph net(std::move(g), std::move(gp));
+  ASSERT_NE(net.g_bitmap(), nullptr);
+  ASSERT_NE(net.gp_only_bitmap(), nullptr);
+  EXPECT_EQ(net.g_bitmap()->n(), n);
+
+  const std::int64_t m_extra =
+      static_cast<std::int64_t>(net.gp_only_edges().size());
+  for (int round = 0; round < 10; ++round) {
+    const double p_tx = rng.uniform01();
+    std::vector<int> transmitters;
+    for (int v = 0; v < n; ++v) {
+      if (rng.bernoulli(p_tx)) transmitters.push_back(v);
+    }
+    EdgeSet edges;
+    const int kind = round % 3;
+    if (kind == 1) {
+      edges = EdgeSet::all();
+    } else if (kind == 2 && m_extra > 0) {
+      std::vector<std::int32_t> idx;
+      for (std::int64_t e = 0; e < m_extra; ++e) {
+        if (rng.bernoulli(0.4)) idx.push_back(static_cast<std::int32_t>(e));
+      }
+      edges = EdgeSet::some(std::move(idx));
+    }
+    for (const bool collision : {false, true}) {
+      const Resolved sweep = resolve_with(DeliveryResolver::Path::sweep, net,
+                                          transmitters, edges, collision);
+      const Resolved bitmap = resolve_with(DeliveryResolver::Path::bitmap,
+                                           net, transmitters, edges,
+                                           collision);
+      ASSERT_EQ(bitmap.deliveries, sweep.deliveries)
+          << "round=" << round << " collision=" << collision;
+      ASSERT_EQ(bitmap.colliders, sweep.colliders);
+    }
+  }
 }
 
 }  // namespace
