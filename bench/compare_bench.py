@@ -14,14 +14,23 @@ Supports both artifact formats produced by this repository's CI bench job:
 
 Usage:
   compare_bench.py BASELINE CURRENT [--threshold 0.15]
+                   [--threshold KEY_PREFIX=PCT ...]
 
-Exits nonzero when any key regresses by more than the threshold
-(default 15%). One-sided keys never fail the comparison: scenarios and
-bench cases come and go across PRs (a new scale/ tier, a renamed case), so
-keys present in only one artifact are warned about and skipped, as are
-rows that do not parse. An unreadable or malformed *baseline* also only
-warns (there is nothing sound to diff against — same as the no-baseline
-first run); an unreadable *current* artifact is a real failure.
+Exits nonzero when any key regresses by more than its threshold. The bare
+form sets the global default (15%); the KEY_PREFIX=PCT form (repeatable)
+overrides it for every key starting with KEY_PREFIX — the longest matching
+prefix wins — so noisy rows (e.g. the scale/ throughput tier on shared CI
+runners) can carry a looser bound than the rest of the artifact:
+
+  compare_bench.py base.json curr.json --threshold 0.15 \
+      --threshold scale/=0.5
+
+One-sided keys never fail the comparison: scenarios and bench cases come
+and go across PRs (a new scale/ tier, a renamed case), so keys present in
+only one artifact are warned about and skipped, as are rows that do not
+parse. An unreadable or malformed *baseline* also only warns (there is
+nothing sound to diff against — same as the no-baseline first run); an
+unreadable *current* artifact is a real failure.
 """
 
 import argparse
@@ -53,13 +62,47 @@ def keyed_metrics(rows):
     return out
 
 
+def parse_thresholds(entries):
+    """Splits --threshold entries into (default, {prefix: pct})."""
+    default = 0.15
+    overrides = {}
+    for entry in entries:
+        if "=" in entry:
+            prefix, _, pct = entry.rpartition("=")
+            if not prefix:
+                raise ValueError(f"--threshold {entry!r}: empty key prefix")
+            overrides[prefix] = float(pct)
+        else:
+            default = float(entry)
+    return default, overrides
+
+
+def threshold_for(key, default, overrides):
+    """Longest matching prefix override, else the global default."""
+    best = None
+    for prefix, pct in overrides.items():
+        if key.startswith(prefix) and (best is None or len(prefix) > best[0]):
+            best = (len(prefix), pct)
+    return best[1] if best else default
+
+
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("baseline")
     parser.add_argument("current")
-    parser.add_argument("--threshold", type=float, default=0.15,
-                        help="relative regression threshold (default 0.15)")
+    parser.add_argument("--threshold", action="append", default=[],
+                        metavar="PCT|KEY_PREFIX=PCT",
+                        help="global threshold (bare number, default 0.15) "
+                             "or a per-key-prefix override; repeatable, "
+                             "longest matching prefix wins")
     args = parser.parse_args()
+    try:
+        default_threshold, overrides = parse_thresholds(args.threshold)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     try:
         base = keyed_metrics(load_rows(args.baseline))
@@ -90,11 +133,12 @@ def main():
             print(f"  warning: zero baseline (skipped)     {key}")
             continue
         compared += 1
+        threshold = threshold_for(key, default_threshold, overrides)
         change = (curr_value - base_value) / base_value
-        regressed = change < -args.threshold if higher_is_better \
-            else change > args.threshold
-        improved = change > args.threshold if higher_is_better \
-            else change < -args.threshold
+        regressed = change < -threshold if higher_is_better \
+            else change > threshold
+        improved = change > threshold if higher_is_better \
+            else change < -threshold
         line = f"{key}: {base_value:g} -> {curr_value:g} ({change:+.1%})"
         if regressed:
             regressions.append(line)
@@ -110,7 +154,9 @@ def main():
           f"({skipped} one-sided/unusable key(s) skipped): "
           f"{len(regressions)} regression(s), "
           f"{len(improvements)} improvement(s) beyond "
-          f"{args.threshold:.0%}")
+          f"{default_threshold:.0%}"
+          + (f" (+{len(overrides)} per-key override(s))" if overrides
+             else ""))
     if regressions:
         print("FAIL: regressions above threshold", file=sys.stderr)
         return 1

@@ -15,11 +15,13 @@
 // "Performance".
 //
 // The scale/ cases mirror the catalog's scale/ scenario tier (blocked
-// bitmaps + word-parallel RNG at n >= 4096). They are measured on the
-// batch engine only, as {kernel, kernel-word} — the kernel-word /
-// kernel ratio is the word-RNG speedup the README quotes. The default run
-// includes the smallest (n = 4096) sizes so CI's BENCH artifact tracks the
-// regime; --scale adds the n = 16384 / 65536 grids.
+// bitmaps + word-parallel RNG at n >= 4096; implicit dual cliques through
+// n = 65536). They are measured on the batch engine only, as
+// {kernel, kernel-word} — the kernel-word / kernel ratio is the word-RNG
+// speedup the README quotes. The default run includes the n = 4096 sizes
+// and every implicit-representation dual clique (cheap at any n) so CI's
+// BENCH artifact tracks the regime; --scale adds the n = 16384 / 65536
+// grids, whose explicit geometry is expensive to construct.
 
 #include <chrono>
 #include <cstdio>
@@ -79,11 +81,26 @@ std::vector<BenchCase> bench_cases(bool include_heavy) {
        "iid(0.3)", "local(every(3))", 512, 11},
       // The scale/ tier (see the catalog's scale/ scenarios). Fixed round
       // caps keep a rep's cost bounded — throughput, not completion, is
-      // measured here.
+      // measured here. Every dual clique here runs on the implicit
+      // representation (the generator switches at n >= 2048 — including
+      // the n = 4096 rows, whose path changed accordingly), so even
+      // n = 65536 is cheap enough for the default (CI-uploaded) set.
       {"scale/dual_clique-decay-dense_sparse-n4096", "dual_clique(4096)",
        "decay_global(fixed,persistent)", "dense_sparse(0.5)", "assignment(0)",
        128, 7, true},
       {"scale/dual_clique-decay-collider-n4096", "dual_clique(4096)",
+       "decay_global(fixed,persistent)", "collider", "assignment(0)", 128, 7,
+       true},
+      {"scale/dual_clique-decay-dense_sparse-n16384", "dual_clique(16384)",
+       "decay_global(fixed,persistent)", "dense_sparse(0.5)", "assignment(0)",
+       128, 7, true},
+      {"scale/dual_clique-decay-collider-n16384", "dual_clique(16384)",
+       "decay_global(fixed,persistent)", "collider", "assignment(0)", 128, 7,
+       true},
+      {"scale/dual_clique-decay-dense_sparse-n65536", "dual_clique(65536)",
+       "decay_global(fixed,persistent)", "dense_sparse(0.5)", "assignment(0)",
+       128, 7, true},
+      {"scale/dual_clique-decay-collider-n65536", "dual_clique(65536)",
        "decay_global(fixed,persistent)", "collider", "assignment(0)", 128, 7,
        true},
       {"scale/jgrid-decay-iid-n4096", "jgrid(64,64,0.5,0.05,2.0)",

@@ -76,12 +76,16 @@ void BraceletPresimOblivious::on_execution_start(const ExecutionSetup& setup,
   }
 }
 
-EdgeSet BraceletPresimOblivious::choose_oblivious(int round, Rng& /*rng*/) {
-  if (round < static_cast<int>(dense_.size())) {
-    return dense_[static_cast<std::size_t>(round)] ? EdgeSet::all()
-                                                   : EdgeSet::none();
+void BraceletPresimOblivious::choose_oblivious(int round, Rng& /*rng*/,
+                                               EdgeSet& out) {
+  const bool dense = round < static_cast<int>(dense_.size())
+                         ? dense_[static_cast<std::size_t>(round)] != 0
+                         : !config_.fallback_none;
+  if (dense) {
+    out.set_all();
+  } else {
+    out.set_none();
   }
-  return config_.fallback_none ? EdgeSet::none() : EdgeSet::all();
 }
 
 }  // namespace dualcast

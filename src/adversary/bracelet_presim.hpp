@@ -46,7 +46,7 @@ class BraceletPresimOblivious final : public LinkProcess {
     return AdversaryClass::oblivious;
   }
   void on_execution_start(const ExecutionSetup& setup, Rng& rng) override;
-  EdgeSet choose_oblivious(int round, Rng& rng) override;
+  void choose_oblivious(int round, Rng& rng, EdgeSet& out) override;
 
   /// The committed dense labels for the prediction window (diagnostics).
   const std::vector<char>& dense_schedule() const { return dense_; }

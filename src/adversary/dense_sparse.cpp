@@ -17,14 +17,18 @@ void DenseSparseOnline::on_execution_start(const ExecutionSetup& setup,
                    setup.net->n() > 1 ? setup.net->n() : 2)));
 }
 
-EdgeSet DenseSparseOnline::choose_online(int round,
-                                         const ExecutionHistory& /*history*/,
-                                         const StateInspector& inspector,
-                                         Rng& /*rng*/) {
+void DenseSparseOnline::choose_online(int round,
+                                      const ExecutionHistory& /*history*/,
+                                      const StateInspector& inspector,
+                                      Rng& /*rng*/, EdgeSet& out) {
   const double expected = inspector.expected_transmitters(round);
   const bool dense = expected > threshold_;
   labels_.push_back(dense ? 1 : 0);
-  return dense ? EdgeSet::all() : EdgeSet::none();
+  if (dense) {
+    out.set_all();
+  } else {
+    out.set_none();
+  }
 }
 
 }  // namespace dualcast

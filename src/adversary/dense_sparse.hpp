@@ -36,8 +36,9 @@ class DenseSparseOnline final : public LinkProcess {
   void on_execution_start(const ExecutionSetup& setup, Rng& rng) override;
   /// Reads only the StateInspector (E[|X| | S]), never the stored trace.
   bool needs_history() const override { return false; }
-  EdgeSet choose_online(int round, const ExecutionHistory& history,
-                        const StateInspector& inspector, Rng& rng) override;
+  void choose_online(int round, const ExecutionHistory& history,
+                     const StateInspector& inspector, Rng& rng,
+                     EdgeSet& out) override;
 
   /// Per-round labels (true = dense), filled as rounds execute.
   const std::vector<char>& labels() const { return labels_; }

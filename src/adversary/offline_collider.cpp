@@ -2,11 +2,15 @@
 
 namespace dualcast {
 
-EdgeSet GreedyColliderOffline::choose_offline(
+void GreedyColliderOffline::choose_offline(
     int /*round*/, const ExecutionHistory& /*history*/,
     const StateInspector& /*inspector*/, const RoundActions& actions,
-    Rng& /*rng*/) {
-  return actions.transmitters->size() >= 2 ? EdgeSet::all() : EdgeSet::none();
+    Rng& /*rng*/, EdgeSet& out) {
+  if (actions.transmitters->size() >= 2) {
+    out.set_all();
+  } else {
+    out.set_none();
+  }
 }
 
 }  // namespace dualcast

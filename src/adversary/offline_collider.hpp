@@ -23,9 +23,10 @@ class GreedyColliderOffline final : public LinkProcess {
   }
   /// Reads only the round's actions, never the stored trace.
   bool needs_history() const override { return false; }
-  EdgeSet choose_offline(int round, const ExecutionHistory& history,
-                         const StateInspector& inspector,
-                         const RoundActions& actions, Rng& rng) override;
+  void choose_offline(int round, const ExecutionHistory& history,
+                      const StateInspector& inspector,
+                      const RoundActions& actions, Rng& rng,
+                      EdgeSet& out) override;
 };
 
 }  // namespace dualcast

@@ -18,9 +18,13 @@ void ScheduleAttackOblivious::on_execution_start(const ExecutionSetup& setup,
                    setup.net->n() > 1 ? setup.net->n() : 2)));
 }
 
-EdgeSet ScheduleAttackOblivious::choose_oblivious(int round, Rng& /*rng*/) {
-  return config_.predicted_transmitters(round) > threshold_ ? EdgeSet::all()
-                                                            : EdgeSet::none();
+void ScheduleAttackOblivious::choose_oblivious(int round, Rng& /*rng*/,
+                                               EdgeSet& out) {
+  if (config_.predicted_transmitters(round) > threshold_) {
+    out.set_all();
+  } else {
+    out.set_none();
+  }
 }
 
 }  // namespace dualcast

@@ -40,7 +40,7 @@ class ScheduleAttackOblivious final : public LinkProcess {
     return AdversaryClass::oblivious;
   }
   void on_execution_start(const ExecutionSetup& setup, Rng& rng) override;
-  EdgeSet choose_oblivious(int round, Rng& rng) override;
+  void choose_oblivious(int round, Rng& rng, EdgeSet& out) override;
 
   double threshold() const { return threshold_; }
 

@@ -7,12 +7,14 @@
 
 namespace dualcast {
 
-EdgeSet NoExtraEdges::choose_oblivious(int /*round*/, Rng& /*rng*/) {
-  return EdgeSet::none();
+void NoExtraEdges::choose_oblivious(int /*round*/, Rng& /*rng*/,
+                                    EdgeSet& out) {
+  out.set_none();
 }
 
-EdgeSet AllExtraEdges::choose_oblivious(int /*round*/, Rng& /*rng*/) {
-  return EdgeSet::all();
+void AllExtraEdges::choose_oblivious(int /*round*/, Rng& /*rng*/,
+                                     EdgeSet& out) {
+  out.set_all();
 }
 
 RandomIidEdges::RandomIidEdges(double p) : p_(p) {
@@ -30,16 +32,19 @@ RandomIidEdges::RandomIidEdges(double p) : p_(p) {
 
 void RandomIidEdges::on_execution_start(const ExecutionSetup& setup,
                                         Rng& /*rng*/) {
-  edge_count_ = static_cast<std::int64_t>(setup.net->gp_only_edges().size());
+  edge_count_ = setup.net->gp_only_edge_count();
 }
 
-EdgeSet RandomIidEdges::choose_oblivious(int /*round*/, Rng& rng) {
-  if (p_ <= 0.0) return EdgeSet::none();
-  if (p_ >= 1.0) return EdgeSet::all();
-  if (edge_count_ <= 0) return EdgeSet::some({});
-  std::vector<std::int32_t> selected;
-  selected.reserve(
-      static_cast<std::size_t>(p_ * static_cast<double>(edge_count_)) + 8);
+void RandomIidEdges::choose_oblivious(int /*round*/, Rng& rng, EdgeSet& out) {
+  if (p_ <= 0.0 || edge_count_ <= 0) {
+    out.set_none();
+    return;
+  }
+  if (p_ >= 1.0) {
+    out.set_all();
+    return;
+  }
+  out.begin_mask_overwrite(edge_count_);  // the loop writes every word
   for (std::int64_t base = 0; base < edge_count_; base += 64) {
     const int lanes = static_cast<int>(std::min<std::int64_t>(
         64, edge_count_ - base));
@@ -61,13 +66,9 @@ EdgeSet RandomIidEdges::choose_oblivious(int /*round*/, Rng& rng) {
         undecided &= ~r;
       }
     }
-    while (present != 0) {
-      const int j = std::countr_zero(present);
-      selected.push_back(static_cast<std::int32_t>(base + j));
-      present &= present - 1;
-    }
+    out.set_word(static_cast<std::size_t>(base / 64), present);
   }
-  return EdgeSet::some(std::move(selected));
+  out.finish_mask();
 }
 
 FlickerEdges::FlickerEdges(int on_rounds, int off_rounds)
@@ -75,9 +76,13 @@ FlickerEdges::FlickerEdges(int on_rounds, int off_rounds)
   DC_EXPECTS(on_rounds >= 1 && off_rounds >= 1);
 }
 
-EdgeSet FlickerEdges::choose_oblivious(int round, Rng& /*rng*/) {
+void FlickerEdges::choose_oblivious(int round, Rng& /*rng*/, EdgeSet& out) {
   const int period = on_rounds_ + off_rounds_;
-  return (round % period) < on_rounds_ ? EdgeSet::all() : EdgeSet::none();
+  if ((round % period) < on_rounds_) {
+    out.set_all();
+  } else {
+    out.set_none();
+  }
 }
 
 }  // namespace dualcast

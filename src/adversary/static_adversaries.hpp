@@ -21,7 +21,7 @@ class NoExtraEdges final : public LinkProcess {
   AdversaryClass adversary_class() const override {
     return AdversaryClass::oblivious;
   }
-  EdgeSet choose_oblivious(int round, Rng& rng) override;
+  void choose_oblivious(int round, Rng& rng, EdgeSet& out) override;
 };
 
 /// Always activates every G'-only edge: the protocol model on G'.
@@ -30,7 +30,7 @@ class AllExtraEdges final : public LinkProcess {
   AdversaryClass adversary_class() const override {
     return AdversaryClass::oblivious;
   }
-  EdgeSet choose_oblivious(int round, Rng& rng) override;
+  void choose_oblivious(int round, Rng& rng, EdgeSet& out) override;
 };
 
 /// Each G'-only edge is present independently with probability p each round
@@ -45,6 +45,11 @@ class AllExtraEdges final : public LinkProcess {
 /// per selected edge under geometric skip sampling, and the per-edge
 /// distribution is *exactly* Bernoulli(p) (p's expansion is finite: it is
 /// a double).
+///
+/// The sampled 64-lane blocks are emitted directly as the EdgeSet's mask
+/// words — no index expansion, no per-round allocation (the engine's
+/// scratch EdgeSet recycles its buffer), and a round that samples no edge
+/// collapses to Kind::none.
 class RandomIidEdges final : public LinkProcess {
  public:
   /// Requires 0 <= p <= 1.
@@ -54,7 +59,7 @@ class RandomIidEdges final : public LinkProcess {
     return AdversaryClass::oblivious;
   }
   void on_execution_start(const ExecutionSetup& setup, Rng& rng) override;
-  EdgeSet choose_oblivious(int round, Rng& rng) override;
+  void choose_oblivious(int round, Rng& rng, EdgeSet& out) override;
 
  private:
   double p_;
@@ -74,7 +79,7 @@ class FlickerEdges final : public LinkProcess {
   AdversaryClass adversary_class() const override {
     return AdversaryClass::oblivious;
   }
-  EdgeSet choose_oblivious(int round, Rng& rng) override;
+  void choose_oblivious(int round, Rng& rng, EdgeSet& out) override;
 
  private:
   int on_rounds_;

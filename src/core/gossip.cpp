@@ -16,7 +16,7 @@ namespace dualcast {
 GossipProblem::GossipProblem(const DualGraph& net, std::vector<int> sources)
     : sources_(std::move(sources)), n_(net.n()) {
   DC_EXPECTS_MSG(!sources_.empty(), "gossip needs at least one token");
-  DC_EXPECTS_MSG(net.g().is_connected(), "gossip requires a connected G");
+  DC_EXPECTS_MSG(net.g_connected(), "gossip requires a connected G");
   for (const int v : sources_) DC_EXPECTS(v >= 0 && v < n_);
   known_.assign(static_cast<std::size_t>(n_) * sources_.size(), 0);
   missing_ = static_cast<std::int64_t>(n_) * static_cast<std::int64_t>(

@@ -9,6 +9,7 @@
 #include "util/assert.hpp"
 #include "util/bitset64.hpp"
 #include "util/mathutil.hpp"
+#include "util/simd.hpp"
 
 // Each kernel below is a line-by-line port of its scalar algorithm's
 // init/on_round/on_feedback, restructured around flat state arrays and
@@ -150,14 +151,23 @@ class DecayLocalKernel final : public AlgorithmKernel {
                          out.transmit(v, message_[static_cast<std::size_t>(v)]);
                        });
         } else {
-          // Divergent per-node indices: each holder reads its own lane of
-          // the lazily deepened prefix-mask ladder.
-          for_each_bit(holders, base, [&](int v, std::uint64_t lane) {
+          // Divergent per-node indices: compute each holder lane's index,
+          // deepen the ladder once to the max (the same draw sequence the
+          // lazy per-lane reads would consume), then gather every lane's
+          // bit word-parallel (AVX2 where available; identical results).
+          std::uint8_t lane_index[64] = {};
+          int max_index = 0;
+          for_each_bit(holders, base, [&](int v, std::uint64_t) {
             const int index = permuted_decay_index(
                 private_bits_[static_cast<std::size_t>(v)], round, ladder_);
-            if (coins.mask(index) & lane) {
-              out.transmit(v, message_[static_cast<std::size_t>(v)]);
-            }
+            lane_index[v - base] = static_cast<std::uint8_t>(index);
+            max_index = std::max(max_index, index);
+          });
+          coins.mask(max_index);
+          const std::uint64_t tx =
+              simd::gather_ladder_bits(coins.levels(), lane_index, holders);
+          for_each_bit(holders & tx, base, [&](int v, std::uint64_t) {
+            out.transmit(v, message_[static_cast<std::size_t>(v)]);
           });
         }
         continue;
@@ -349,11 +359,21 @@ struct DecayGlobalState {
       if (word == 0) continue;
       const int base = b * 64;
       if (word_coins) {
+        // Same lane-gather shape as the decay kernel's divergent path:
+        // indices first, one deepening, one word-parallel select.
         Pow2MaskLadder coins(block_rngs[static_cast<std::size_t>(b)]);
-        for_each_bit(word, base, [&](int v, std::uint64_t lane) {
-          if (coins.mask(schedule_index(v, round)) & lane) {
-            emit(v, message[static_cast<std::size_t>(v)]);
-          }
+        std::uint8_t lane_index[64] = {};
+        int max_index = 0;
+        for_each_bit(word, base, [&](int v, std::uint64_t) {
+          const int index = schedule_index(v, round);
+          lane_index[v - base] = static_cast<std::uint8_t>(index);
+          max_index = std::max(max_index, index);
+        });
+        coins.mask(max_index);
+        const std::uint64_t tx =
+            simd::gather_ladder_bits(coins.levels(), lane_index, word);
+        for_each_bit(word & tx, base, [&](int v, std::uint64_t) {
+          emit(v, message[static_cast<std::size_t>(v)]);
         });
         continue;
       }

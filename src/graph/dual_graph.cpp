@@ -10,6 +10,7 @@ DualGraph::DualGraph(Graph g, Graph gprime, BitmapPolicy bitmaps)
     : g_(std::move(g)), gp_(std::move(gprime)) {
   DC_EXPECTS(g_.finalized() && gp_.finalized());
   DC_EXPECTS_MSG(g_.n() == gp_.n(), "G and G' must share a vertex set");
+  n_ = g_.n();
 
   for (int u = 0; u < n(); ++u) {
     for (const int v : g_.neighbors(u)) {
@@ -19,6 +20,7 @@ DualGraph::DualGraph(Graph g, Graph gprime, BitmapPolicy bitmaps)
       if (u < v && !g_.has_edge(u, v)) gp_only_edges_.emplace_back(u, v);
     }
   }
+  gp_only_edge_count_ = static_cast<std::int64_t>(gp_only_edges_.size());
 
   // Pack the G'-only adjacency into CSR: degree pass, prefix sums, scatter,
   // then sort each row (rows are short; construction cost only).
@@ -67,10 +69,10 @@ DualGraph::DualGraph(Graph g, Graph gprime, BitmapPolicy bitmaps)
   }
 
   gp_max_degree_ = gp_.max_degree();
-  gp_complete_ = (gp_.edge_count() ==
-                  static_cast<std::int64_t>(n()) * (n() - 1) / 2);
+  detect_structure();
 
-  if (bitmaps == BitmapPolicy::automatic && n() >= 1) {
+  if (bitmaps == BitmapPolicy::automatic && n() >= 1 &&
+      structure_ != Structure::dual_clique) {
     // Exact footprint check before any allocation: both layers' CSR rows
     // are already sorted, so counting the non-empty blocks is one cheap
     // pass, and over-budget (dense, huge-n) graphs skip construction
@@ -91,17 +93,215 @@ DualGraph::DualGraph(Graph g, Graph gprime, BitmapPolicy bitmaps)
   }
 }
 
+void DualGraph::detect_structure() {
+  const std::int64_t all_pairs = static_cast<std::int64_t>(n()) * (n() - 1) / 2;
+  if (n() < 1 || gp_.edge_count() != all_pairs) {
+    structure_ = Structure::general;
+    return;
+  }
+  structure_ = Structure::gprime_complete;
+
+  // Dual-clique shape: an even split [0, h) / [h, n) into two cliques plus
+  // at most one cross (bridge) edge. Only the generator's even split is
+  // recognized; anything else stays a plain complete-G' network.
+  if (n() < 4 || n() % 2 != 0) return;
+  const int h = n() / 2;
+  const std::int64_t clique_edges =
+      2 * (static_cast<std::int64_t>(h) * (h - 1) / 2);
+  const std::int64_t m = g_.edge_count();
+  if (m != clique_edges && m != clique_edges + 1) return;
+  int ta = -1;
+  int tb = -1;
+  for (int u = 0; u < n(); ++u) {
+    const int lo = u < h ? 0 : h;
+    const int hi = lo + h;
+    int in_side = 0;
+    int cross = -1;
+    for (const int w : g_.neighbors(u)) {
+      if (w >= lo && w < hi) {
+        ++in_side;
+      } else if (cross == -1) {
+        cross = w;
+      } else {
+        return;  // two cross edges at one vertex: not a dual clique
+      }
+    }
+    // in_side == h-1 with distinct non-self values inside the side pins the
+    // row to exactly side \ {u}.
+    if (in_side != h - 1) return;
+    if (cross != -1) {
+      const int a = u < h ? u : cross;
+      const int b = u < h ? cross : u;
+      if ((ta != -1 && (ta != a || tb != b))) return;  // two distinct bridges
+      ta = a;
+      tb = b;
+    }
+  }
+  if ((m == clique_edges) != (ta == -1)) return;
+  structure_ = Structure::dual_clique;
+  half_ = h;
+  bridge_a_ = ta;
+  bridge_b_ = tb;
+}
+
 DualGraph DualGraph::protocol(Graph g) {
   Graph copy = g;
   return DualGraph(std::move(g), std::move(copy));
 }
 
+DualGraph DualGraph::implicit_dual_clique(int n, int bridge_index,
+                                          bool with_bridge) {
+  DC_EXPECTS_MSG(n >= 4 && n % 2 == 0, "dual clique needs an even n >= 4");
+  const int half = n / 2;
+  DC_EXPECTS(bridge_index >= 0 && bridge_index < half);
+  DualGraph d;
+  d.n_ = n;
+  d.rep_ = Rep::implicit_dual_clique;
+  d.structure_ = Structure::dual_clique;
+  d.half_ = half;
+  d.bridge_a_ = with_bridge ? bridge_index : -1;
+  d.bridge_b_ = with_bridge ? half + bridge_index : -1;
+  d.gp_only_edge_count_ = static_cast<std::int64_t>(half) * half -
+                          (with_bridge ? 1 : 0);
+  d.gp_max_degree_ = n - 1;
+  return d;
+}
+
+DualGraph DualGraph::implicit_complete_gprime(Graph g) {
+  DC_EXPECTS(g.finalized() && g.n() >= 1);
+  DualGraph d;
+  d.n_ = g.n();
+  d.rep_ = Rep::implicit_complete_gprime;
+  d.structure_ = Structure::gprime_complete;
+  d.g_ = std::move(g);
+  d.gp_max_degree_ = d.n_ - 1;
+  d.gp_only_edge_count_ =
+      static_cast<std::int64_t>(d.n_) * (d.n_ - 1) / 2 - d.g_.edge_count();
+  // Prefix counts of overlay edges keyed by their lower endpoint, for
+  // edge-index decode: row u contributes (n-1-u) pairs minus u's
+  // G-neighbors above u.
+  d.overlay_row_start_.assign(static_cast<std::size_t>(d.n_) + 1, 0);
+  for (int u = 0; u < d.n_; ++u) {
+    std::int64_t above = 0;
+    for (const int w : d.g_.neighbors(u)) above += w > u ? 1 : 0;
+    d.overlay_row_start_[static_cast<std::size_t>(u) + 1] =
+        d.overlay_row_start_[static_cast<std::size_t>(u)] +
+        (d.n_ - 1 - u - above);
+  }
+  return d;
+}
+
+const Graph& DualGraph::g() const {
+  DC_EXPECTS_MSG(rep_ != Rep::implicit_dual_clique,
+                 "g(): implicit dual clique has no materialized G; use "
+                 "g_layer()");
+  return g_;
+}
+
+const Graph& DualGraph::gprime() const {
+  DC_EXPECTS_MSG(rep_ == Rep::explicit_layers,
+                 "gprime(): implicit network has no materialized G'; use "
+                 "gprime_layer()");
+  return gp_;
+}
+
+LayerView DualGraph::g_layer() const {
+  if (rep_ == Rep::implicit_dual_clique) {
+    return LayerView::dual_cliques(n_, half_, bridge_a_, bridge_b_);
+  }
+  return LayerView::explicit_csr(n_, g_.csr_offsets(), g_.csr_neighbors());
+}
+
+LayerView DualGraph::gprime_layer() const {
+  if (rep_ == Rep::explicit_layers) {
+    return LayerView::explicit_csr(n_, gp_.csr_offsets(), gp_.csr_neighbors());
+  }
+  return LayerView::complete(n_);
+}
+
+LayerView DualGraph::gp_only_layer() const {
+  switch (rep_) {
+    case Rep::explicit_layers:
+      return LayerView::explicit_csr(n_, gp_only_offsets_, gp_only_neighbors_);
+    case Rep::implicit_dual_clique:
+      return LayerView::complete_bipartite(n_, half_, bridge_a_, bridge_b_);
+    case Rep::implicit_complete_gprime:
+      return LayerView::complement_of_sparse(n_, g_.csr_offsets(),
+                                             g_.csr_neighbors());
+  }
+  return {};
+}
+
+std::pair<int, int> DualGraph::gp_only_edge(std::int64_t idx) const {
+  DC_EXPECTS(idx >= 0 && idx < gp_only_edge_count_);
+  switch (rep_) {
+    case Rep::explicit_layers:
+      return gp_only_edges_[static_cast<std::size_t>(idx)];
+    case Rep::implicit_dual_clique: {
+      // Lexicographic over A × B, skipping the bridge pair — the order the
+      // explicit construction enumerates (u ascending, then v ascending).
+      const std::int64_t width = n_ - half_;
+      std::int64_t f = idx;
+      if (bridge_a_ >= 0) {
+        const std::int64_t hole =
+            static_cast<std::int64_t>(bridge_a_) * width + (bridge_b_ - half_);
+        if (f >= hole) ++f;
+      }
+      return {static_cast<int>(f / width),
+              half_ + static_cast<int>(f % width)};
+    }
+    case Rep::implicit_complete_gprime: {
+      // Find the lower endpoint by prefix search, then select the k-th
+      // non-G-neighbor above it by walking the gaps of its sorted row.
+      const auto it = std::upper_bound(overlay_row_start_.begin(),
+                                       overlay_row_start_.end(), idx);
+      const int u = static_cast<int>(it - overlay_row_start_.begin()) - 1;
+      std::int64_t k = idx - overlay_row_start_[static_cast<std::size_t>(u)];
+      int prev = u;
+      for (const int w : g_.neighbors(u)) {
+        if (w <= u) continue;
+        const std::int64_t gap = w - prev - 1;
+        if (k < gap) return {u, prev + 1 + static_cast<int>(k)};
+        k -= gap;
+        prev = w;
+      }
+      return {u, prev + 1 + static_cast<int>(k)};
+    }
+  }
+  return {-1, -1};
+}
+
+const std::vector<std::pair<int, int>>& DualGraph::gp_only_edges() const {
+  DC_EXPECTS_MSG(rep_ == Rep::explicit_layers,
+                 "gp_only_edges(): implicit networks never materialize the "
+                 "edge list; use gp_only_edge_count()/gp_only_edge()");
+  return gp_only_edges_;
+}
+
 std::span<const int> DualGraph::gp_only_neighbors(int v) const {
+  DC_EXPECTS(rep_ == Rep::explicit_layers);
   DC_EXPECTS(v >= 0 && v < n());
   const std::int64_t begin = gp_only_offsets_[static_cast<std::size_t>(v)];
   const std::int64_t end = gp_only_offsets_[static_cast<std::size_t>(v) + 1];
   return {gp_only_neighbors_.data() + begin,
           static_cast<std::size_t>(end - begin)};
+}
+
+bool DualGraph::g_connected() const {
+  if (rep_ == Rep::implicit_dual_clique) return bridge_a_ >= 0;
+  return g_.is_connected();
+}
+
+std::size_t DualGraph::approx_heap_bytes() const {
+  std::size_t bytes = g_.approx_heap_bytes() + gp_.approx_heap_bytes();
+  bytes += gp_only_edges_.capacity() * sizeof(std::pair<int, int>);
+  bytes += gp_only_offsets_.capacity() * sizeof(std::int64_t);
+  bytes += gp_only_neighbors_.capacity() * sizeof(int);
+  bytes += gp_only_edge_index_.capacity() * sizeof(std::int32_t);
+  bytes += overlay_row_start_.capacity() * sizeof(std::int64_t);
+  if (g_bitmap_) bytes += g_bitmap_->approx_bytes();
+  if (gp_only_bitmap_) bytes += gp_only_bitmap_->approx_bytes();
+  return bytes;
 }
 
 }  // namespace dualcast

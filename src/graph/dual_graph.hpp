@@ -5,11 +5,29 @@
 // E' \ E ("G'-only" edges) appear per round at the discretion of the link
 // process (the adversary).
 //
-// The class validates the containment at construction, indexes the G'-only
-// edges (adversaries select them by index), and caches structural facts the
-// engine uses for fast paths. The G'-only adjacency is stored in the same
-// flat CSR layout as Graph (one offsets array + one neighbors array), so the
-// engine's delivery sweep walks both layers cache-linearly.
+// Two storage representations behind one query surface:
+//
+//   explicit — both layers materialized as CSR Graphs plus an indexed
+//              G'-only overlay (flat CSR + edge list), exactly as the
+//              engine's sweep paths want them. Construction validates the
+//              containment and *detects structure*: a complete G' sets the
+//              gprime_complete tag, and a G made of two half cliques plus
+//              at most one bridge sets the dual_clique tag (enabling the
+//              resolver's O(transmitters) structured path even on
+//              explicitly-built lower-bound networks).
+//
+//   implicit — clique-family networks where explicit storage is O(n²): the
+//              §3 dual clique (implicit_dual_clique) and sparse-G/complete-
+//              G' overlays (implicit_complete_gprime). No layer is
+//              materialized; degree / neighbors / rows / edge-index decode
+//              are served arithmetically through LayerView, so
+//              dual_clique(65536) costs O(n) bytes instead of the ~48 GiB
+//              its explicit CSR would need.
+//
+// Consumers that can handle any representation use the LayerView accessors
+// (g_layer / gprime_layer / gp_only_layer) and the indexed-edge API
+// (gp_only_edge_count / gp_only_edge); the raw Graph / CSR accessors remain
+// for explicit-representation consumers and assert on implicit networks.
 
 #include <cstdint>
 #include <memory>
@@ -19,6 +37,7 @@
 
 #include "graph/adjacency_bitmap.hpp"
 #include "graph/graph.hpp"
+#include "graph/layer_view.hpp"
 
 namespace dualcast {
 
@@ -27,8 +46,19 @@ class DualGraph {
   /// Whether to materialize the blocked adjacency bitmaps for the
   /// word-parallel delivery resolver. `automatic` builds them and keeps the
   /// pair while it fits kBitmapMaxBytes; `never` skips them (tests of the
-  /// no-bitmap fallback, memory-constrained embedders).
+  /// no-bitmap fallback, memory-constrained embedders). Implicit networks
+  /// and detected dual cliques never build bitmaps — the structured
+  /// resolver path supersedes them there.
   enum class BitmapPolicy : std::uint8_t { automatic, never };
+
+  /// Recognized network structure, detected at construction (explicit
+  /// representation) or declared by the implicit factories. Generalizes the
+  /// old gprime_complete() flag.
+  enum class Structure : std::uint8_t {
+    general,          ///< nothing recognized
+    gprime_complete,  ///< G' == K_n
+    dual_clique,      ///< G' == K_n and G == two half cliques (+ <= 1 bridge)
+  };
 
   /// Empty dual graph (n == 0); useful as a placeholder before assignment.
   DualGraph() = default;
@@ -45,67 +75,141 @@ class DualGraph {
   /// The protocol (static) model: G' == G, i.e. no unreliable links.
   static DualGraph protocol(Graph g);
 
-  int n() const { return g_.n(); }
-  const Graph& g() const { return g_; }
-  const Graph& gprime() const { return gp_; }
+  /// The §3 dual clique without materializing either layer: cliques on
+  /// [0, n/2) and [n/2, n), G' = K_n, optional reliable bridge
+  /// (bridge_index, n/2 + bridge_index). Requires an even n >= 4. O(1)
+  /// construction and O(1) heap.
+  static DualGraph implicit_dual_clique(int n, int bridge_index,
+                                        bool with_bridge = true);
+
+  /// A sparse reliable layer under a complete G', without materializing G'
+  /// or the overlay: the G'-only layer is K_n minus `g` (LayerView
+  /// complement_of_sparse). Keeps O(n + |E(g)|) heap.
+  static DualGraph implicit_complete_gprime(Graph g);
+
+  int n() const { return n_; }
+
+  /// True when no explicit layer storage exists; the Graph/CSR accessors
+  /// below assert on such networks — use the LayerView surface instead.
+  bool is_implicit() const { return rep_ != Rep::explicit_layers; }
+
+  Structure structure() const { return structure_; }
+
+  /// The reliable layer as a materialized Graph. Explicit representation
+  /// only (also available for implicit_complete_gprime, which owns G).
+  const Graph& g() const;
+  /// The superset layer as a materialized Graph. Explicit representation
+  /// only.
+  const Graph& gprime() const;
+
+  /// Layer views valid under every representation. Views borrow this
+  /// object's storage and must not outlive it.
+  LayerView g_layer() const;
+  LayerView gprime_layer() const;
+  LayerView gp_only_layer() const;
 
   /// Δ: maximum degree in G' (known to processes per §2).
   int max_degree() const { return gp_max_degree_; }
 
-  /// The G'-only edges (E' \ E), indexed 0..count-1 with u < v.
-  const std::vector<std::pair<int, int>>& gp_only_edges() const {
-    return gp_only_edges_;
-  }
+  /// Number of G'-only edges (the adversary's edge index space).
+  std::int64_t gp_only_edge_count() const { return gp_only_edge_count_; }
 
-  /// Adjacency restricted to G'-only edges (used by the delivery sweep when
-  /// the adversary turns all unreliable links on). Served from one flat CSR
-  /// buffer.
+  /// Endpoints (u < v) of G'-only edge `idx`, under any representation.
+  /// O(1) explicit / implicit dual clique; O(degree) for
+  /// implicit_complete_gprime. The enumeration order matches what the
+  /// explicit construction would produce (ascending (u, v) lexicographic).
+  std::pair<int, int> gp_only_edge(std::int64_t idx) const;
+
+  /// The G'-only edges (E' \ E), indexed 0..count-1 with u < v. Explicit
+  /// representation only — implicit networks never materialize this list;
+  /// use gp_only_edge_count() / gp_only_edge().
+  const std::vector<std::pair<int, int>>& gp_only_edges() const;
+
+  /// Adjacency restricted to G'-only edges. Explicit representation only.
   std::span<const int> gp_only_neighbors(int v) const;
 
-  /// Raw CSR views of the G'-only overlay (offsets has size n+1).
+  /// Raw CSR views of the G'-only overlay (offsets has size n+1). Explicit
+  /// representation only.
   std::span<const std::int64_t> gp_only_csr_offsets() const {
     return gp_only_offsets_;
   }
   std::span<const int> gp_only_csr_neighbors() const {
     return gp_only_neighbors_;
   }
-  /// Parallel to gp_only_csr_neighbors(): the gp_only_edges() index of each
+  /// Parallel to gp_only_csr_neighbors(): the G'-only edge index of each
   /// CSR entry. Lets per-transmitter walks test "is this G'-only edge
-  /// active this round" against an adversary's selected-index set without
+  /// active this round" against an adversary's selected-edge mask without
   /// touching the flat edge list.
   std::span<const std::int32_t> gp_only_csr_edge_indices() const {
     return gp_only_edge_index_;
   }
 
-  /// True if G' is the complete graph — enables the engine's O(1) dense-round
-  /// fast path on clique-like lower-bound networks.
-  bool gprime_complete() const { return gp_complete_; }
+  /// True if G' is the complete graph — enables the engine's O(1)
+  /// dense-round fast path on clique-like lower-bound networks.
+  bool gprime_complete() const { return structure_ != Structure::general; }
+
+  /// Structured tag data, valid when structure() == dual_clique: the side
+  /// split [0, half) / [half, n) and the reliable bridge endpoints (-1 for
+  /// the bridgeless variant).
+  int dual_half() const { return half_; }
+  int dual_bridge_a() const { return bridge_a_; }
+  int dual_bridge_b() const { return bridge_b_; }
+
+  /// Whether G is connected, under any representation (the structural
+  /// answer for implicit dual cliques; BFS otherwise).
+  bool g_connected() const;
 
   /// Blocked adjacency bitmaps of G and the G'-only overlay, for the
   /// word-parallel delivery resolver. Materialized at construction
   /// (~12 bytes per non-empty 64-bit block — O(E) on sparse layers, n^2/64
   /// blocks on dense ones) and kept while the pair's combined footprint
-  /// fits kBitmapMaxBytes; nullptr otherwise (or under BitmapPolicy::never)
-  /// — callers must fall back to the CSR sweep. Shared between copies of
-  /// the dual graph (they are immutable). The budget admits sparse layers
-  /// at any simulated n and dense (clique-like) layers up to n ≈ 37k.
+  /// fits kBitmapMaxBytes; nullptr otherwise (under BitmapPolicy::never, on
+  /// implicit networks, and on detected dual cliques, whose structured
+  /// resolver path replaces them) — callers must fall back to the CSR
+  /// sweep. Shared between copies of the dual graph (they are immutable).
   static constexpr std::size_t kBitmapMaxBytes = 256u << 20;
   const AdjacencyBitmap* g_bitmap() const { return g_bitmap_.get(); }
   const AdjacencyBitmap* gp_only_bitmap() const {
     return gp_only_bitmap_.get();
   }
 
+  /// Heap footprint of this network's own storage, in bytes (layers,
+  /// overlay index, bitmaps). The implicit representations' O(n)-or-less
+  /// guarantee is asserted against this in tests.
+  std::size_t approx_heap_bytes() const;
+
  private:
+  enum class Rep : std::uint8_t {
+    explicit_layers,
+    implicit_dual_clique,
+    implicit_complete_gprime,
+  };
+
+  /// Explicit-representation constructor helper: recognizes the dual-clique
+  /// shape (two half cliques + at most one bridge under a complete G') and
+  /// fills the structure tag.
+  void detect_structure();
+
+  int n_ = 0;
+  Rep rep_ = Rep::explicit_layers;
+  Structure structure_ = Structure::general;
+  int half_ = 0;
+  int bridge_a_ = -1;
+  int bridge_b_ = -1;
+  std::int64_t gp_only_edge_count_ = 0;
+  int gp_max_degree_ = 0;
+
   Graph g_;
   Graph gp_;
   std::vector<std::pair<int, int>> gp_only_edges_;
   std::vector<std::int64_t> gp_only_offsets_;
   std::vector<int> gp_only_neighbors_;
   std::vector<std::int32_t> gp_only_edge_index_;
+  /// implicit_complete_gprime: prefix counts of overlay edges whose lower
+  /// endpoint is < u (size n+1), for O(log n + degree) edge-index decode.
+  std::vector<std::int64_t> overlay_row_start_;
   std::shared_ptr<const AdjacencyBitmap> g_bitmap_;
   std::shared_ptr<const AdjacencyBitmap> gp_only_bitmap_;
-  int gp_max_degree_ = 0;
-  bool gp_complete_ = false;
 };
 
 }  // namespace dualcast

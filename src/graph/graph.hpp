@@ -75,6 +75,14 @@ class Graph {
   std::span<const std::int64_t> csr_offsets() const;
   std::span<const int> csr_neighbors() const;
 
+  /// Heap footprint of the adjacency storage, in bytes (for the DualGraph
+  /// memory budget / diagnostics).
+  std::size_t approx_heap_bytes() const {
+    return pending_.capacity() * sizeof(std::pair<int, int>) +
+           offsets_.capacity() * sizeof(std::int64_t) +
+           neighbors_.capacity() * sizeof(int);
+  }
+
  private:
   void check_vertex(int v) const;
 

@@ -64,10 +64,14 @@ void add_topologies(TopologyRegistry& r) {
         [](const SpecArgs& args, std::uint64_t /*seed*/) {
           args.expect_count(1, 2);
           const int n = args.int_at(0);
-          Topology topo = with_clique_metadata(
-              dual_clique(n, args.int_or(1, n / 4)), args);
-          topo.net_holder = std::make_shared<DualGraph>(
-              DualGraph::protocol(topo.dual_clique->net.g()));
+          const int bridge_index = args.int_or(1, n / 4);
+          Topology topo =
+              with_clique_metadata(dual_clique(n, bridge_index), args);
+          // The protocol network needs a materialized G, which an implicit
+          // dual clique does not carry — build the reliable layer directly
+          // (explicit by nature: this topology *is* the G layer).
+          topo.net_holder = std::make_shared<DualGraph>(DualGraph::protocol(
+              dual_clique_reliable_graph(n, bridge_index)));
           return topo;
         });
   r.add("bracelet", "the §4.2 bracelet: bracelet(n_target[,clasp_index])",
@@ -107,6 +111,17 @@ void add_topologies(TopologyRegistry& r) {
           topo.spec = args.spec();
           topo.net_holder = std::make_shared<DualGraph>(
               with_random_gprime(line_graph(n), args.double_at(1) / n, rng));
+          return topo;
+        });
+  r.add("line_kn",
+        "path under a complete G' — maximal unreliability, served by the "
+        "implicit complement-of-sparse overlay: line_kn(n)",
+        [](const SpecArgs& args, std::uint64_t /*seed*/) {
+          args.expect_count(1, 1);
+          Topology topo;
+          topo.spec = args.spec();
+          topo.net_holder = std::make_shared<DualGraph>(
+              with_complete_gprime(line_graph(args.int_at(0))));
           return topo;
         });
   r.add("grid", "protocol-model 4-neighbor grid: grid(rows,cols)",

@@ -662,13 +662,15 @@ void add_examples(ScenarioCatalog& c) {
 
 // The large-n scaling tier: the regimes where Figure 1's asymptotic
 // separations become visually unambiguous, and where the engine's blocked
-// bitmaps + word-parallel RNG earn their keep. These specs are
-// throughput-oriented companions to bench/sim_throughput.cpp's scale/ cases
-// (same names, fixed round caps there); full sweeps here measure actual
-// completion at scale, and --smoke keeps them tiny for ctest. The dual
-// clique stops at n = 4096: its complete G' layer costs O(n^2) CSR ints, so
-// larger clique sizes need an implicit-clique representation first (see
-// ROADMAP).
+// bitmaps, word-parallel RNG, and implicit clique layers earn their keep.
+// These specs are throughput-oriented companions to
+// bench/sim_throughput.cpp's scale/ cases (same names, fixed round caps
+// there); full sweeps here measure actual completion at scale, and --smoke
+// keeps them tiny for ctest. The dual cliques all run on the implicit
+// representation (the generator switches at n >= 2048; structured resolver
+// path, no O(n^2) CSR) — the 16k/64k points are hour-scale completion
+// runs, priced for dedicated lower-bound measurement, not for casual
+// --all sessions.
 void add_scale(ScenarioCatalog& c) {
   {
     ScenarioSpec s;
@@ -697,12 +699,13 @@ void add_scale(ScenarioCatalog& c) {
     ScenarioSpec s;
     s.name = "scale/dual-clique-attack";
     s.title =
-        "Scale tier: persistent decay vs online dense/sparse, n = 4096";
+        "Scale tier: persistent decay vs online dense/sparse, "
+        "n = 4k / 16k / 64k";
     s.paper_claim =
-        "Omega(n / log n) at a size where the linear blow-up dwarfs polylog";
+        "Omega(n / log n) at sizes where the linear blow-up dwarfs polylog";
     s.topology = "dual_clique({x})";
     s.problem = "global(1)";
-    s.sweep = {4096};
+    s.sweep = {4096, 16384, 65536};
     s.smoke_x = 64;
     s.trials = 3;
     s.base_seed = 410;
@@ -717,11 +720,12 @@ void add_scale(ScenarioCatalog& c) {
     ScenarioSpec s;
     s.name = "scale/dual-clique-collider";
     s.title =
-        "Scale tier: persistent decay vs offline collider, n = 4096";
+        "Scale tier: persistent decay vs offline collider, "
+        "n = 4k / 16k / 64k";
     s.paper_claim = "Omega(n) offline adaptive lower bound at scale";
     s.topology = "dual_clique({x})";
     s.problem = "global(1)";
-    s.sweep = {4096};
+    s.sweep = {4096, 16384, 65536};
     s.smoke_x = 64;
     s.trials = 3;
     s.base_seed = 420;

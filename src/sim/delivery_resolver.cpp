@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "util/assert.hpp"
+#include "util/simd.hpp"
 
 namespace dualcast {
 
@@ -17,7 +18,6 @@ void DeliveryResolver::reset(const DualGraph* net, bool collision_detection) {
   touched_.clear();
   colliders_.clear();
   tx_bits_.resize(static_cast<std::int64_t>(n));
-  edge_bits_.resize(static_cast<std::int64_t>(net->gp_only_edges().size()));
 }
 
 void DeliveryResolver::resolve(const std::vector<int>& tx_index_of,
@@ -31,8 +31,10 @@ void DeliveryResolver::resolve(const std::vector<int>& tx_index_of,
 
   // Fast path: with all G'-only edges active on a complete G', either the
   // unique transmitter reaches everyone or >= 2 transmitters collide
-  // everywhere. This keeps dense-round attacks on clique networks O(1).
-  if (edges.kind == EdgeSet::Kind::all && net_->gprime_complete()) {
+  // everywhere. This keeps dense-round attacks on clique networks O(1) —
+  // under any representation (implicit networks always have a complete G').
+  if (forced_ == Path::auto_select && edges.kind == EdgeSet::Kind::all &&
+      net_->gprime_complete()) {
     last_ = Path::sweep;
     if (tx_count == 1) {
       const int v = transmitters[0];
@@ -50,38 +52,56 @@ void DeliveryResolver::resolve(const std::vector<int>& tx_index_of,
     return;
   }
 
+  const bool structured_ok =
+      net_->structure() == DualGraph::Structure::dual_clique;
+  bool use_structured = false;
   bool use_bitmap = false;
-  const bool overlay = edges.kind == EdgeSet::Kind::all;
-  if (forced_ == Path::bitmap) {
+  if (forced_ == Path::structured) {
+    DC_EXPECTS_MSG(structured_ok,
+                   "structured path forced on a network without a "
+                   "dual-clique structure tag");
+    use_structured = true;
+  } else if (forced_ == Path::bitmap) {
     DC_EXPECTS_MSG(net_->g_bitmap() != nullptr,
                    "bitmap path forced on a network without bitmaps");
     use_bitmap = true;
-  } else if (forced_ == Path::auto_select && net_->g_bitmap() != nullptr) {
-    // Exact sweep cost: scalar adjacency visits over the active layers.
-    std::int64_t sweep_visits = 0;
-    const auto g_off = net_->g().csr_offsets();
-    const auto gp_off = net_->gp_only_csr_offsets();
-    for (const int v : transmitters) {
-      sweep_visits += g_off[static_cast<std::size_t>(v) + 1] -
-                      g_off[static_cast<std::size_t>(v)];
-      if (overlay) {
-        sweep_visits += gp_off[static_cast<std::size_t>(v) + 1] -
-                        gp_off[static_cast<std::size_t>(v)];
+  } else if (forced_ == Path::auto_select) {
+    if (structured_ok) {
+      // Per-side counting beats both general strategies on clique sides at
+      // every density: O(tx + mask bits), O(n) only alongside O(n) output.
+      use_structured = true;
+    } else if (net_->g_bitmap() != nullptr) {
+      // Exact sweep cost: scalar adjacency visits over the active layers.
+      std::int64_t sweep_visits = 0;
+      const auto g_off = net_->g().csr_offsets();
+      const auto gp_off = net_->gp_only_csr_offsets();
+      const bool overlay = edges.kind == EdgeSet::Kind::all;
+      for (const int v : transmitters) {
+        sweep_visits += g_off[static_cast<std::size_t>(v) + 1] -
+                        g_off[static_cast<std::size_t>(v)];
+        if (overlay) {
+          sweep_visits += gp_off[static_cast<std::size_t>(v) + 1] -
+                          gp_off[static_cast<std::size_t>(v)];
+        }
       }
+      // Bitmap cost: one scan over every row's stored (non-empty) blocks —
+      // exactly total_blocks() words per active layer. The early exit at 2
+      // contenders makes this an upper bound.
+      std::int64_t bitmap_words = net_->g_bitmap()->total_blocks();
+      if (overlay) bitmap_words += net_->gp_only_bitmap()->total_blocks();
+      use_bitmap = sweep_visits > bitmap_words;
     }
-    // Bitmap cost: one scan over every row's stored (non-empty) blocks —
-    // exactly total_blocks() words per active layer. The early exit at 2
-    // contenders makes this an upper bound.
-    std::int64_t bitmap_words = net_->g_bitmap()->total_blocks();
-    if (overlay) bitmap_words += net_->gp_only_bitmap()->total_blocks();
-    use_bitmap = sweep_visits > bitmap_words;
   }
 
   touched_.clear();
-  last_ = use_bitmap ? Path::bitmap : Path::sweep;
-  if (use_bitmap) {
+  if (use_structured) {
+    last_ = Path::structured;
+    resolve_structured(tx_index_of, edges, record);
+  } else if (use_bitmap) {
+    last_ = Path::bitmap;
     resolve_bitmap(tx_index_of, edges, record);
   } else {
+    last_ = Path::sweep;
     resolve_sweep(tx_index_of, edges, record);
   }
 }
@@ -91,11 +111,13 @@ void DeliveryResolver::resolve_sweep(const std::vector<int>& tx_index_of,
                                      RoundRecord& record) {
   const std::vector<int>& transmitters = record.transmitters;
   const int tx_count = static_cast<int>(transmitters.size());
+  const LayerView g_view = net_->g_layer();
+  const LayerView overlay_view = net_->gp_only_layer();
   for (int ti = 0; ti < tx_count; ++ti) {
     const int v = transmitters[static_cast<std::size_t>(ti)];
-    for (const int u : net_->g().neighbors(v)) bump(u, v, ti);
+    g_view.for_each_neighbor(v, [&](int u) { bump(u, v, ti); });
     if (edges.kind == EdgeSet::Kind::all) {
-      for (const int u : net_->gp_only_neighbors(v)) bump(u, v, ti);
+      overlay_view.for_each_neighbor(v, [&](int u) { bump(u, v, ti); });
     }
   }
   apply_sparse_edges(tx_index_of, edges, transmitters);
@@ -112,33 +134,25 @@ void DeliveryResolver::resolve_bitmap(const std::vector<int>& tx_index_of,
 
   tx_bits_.reset_all();
   for (const int v : record.transmitters) tx_bits_.set(v);
+  const std::uint64_t* tx_words = tx_bits_.data();
 
   for (int u = 0; u < n; ++u) {
     if (tx_index_of[static_cast<std::size_t>(u)] >= 0) continue;
-    int count = 0;
     std::uint64_t hit_word = 0;
-    int hit_index = 0;
-    // Scan only the row's stored blocks; with the overlay on, walk both
-    // layers' blocks (a transmitter adjacent in both layers is counted once
-    // per §2 — G and the G'-only overlay partition E', so their rows are
-    // disjoint and the counts add).
-    const auto scan = [&](const AdjacencyBitmap::RowView& row) {
-      for (std::size_t k = 0; k < row.bits.size(); ++k) {
-        const std::uint64_t m = row.bits[k] & tx_bits_.word(row.index[k]);
-        if (m == 0) continue;
-        count += std::popcount(m);
-        hit_word = m;
-        hit_index = row.index[k];
-        // Counts are only consumed as {0, 1, >= 2} (delivery / collision),
-        // so cap at 2: later sparse bumps can only push the count up.
-        if (count >= 2) {
-          count = 2;
-          return;
-        }
-      }
-    };
-    scan(g_rows->row(u));
-    if (overlay && count < 2) scan(gp_rows->row(u));
+    std::int32_t hit_index = 0;
+    // Scan only the row's stored blocks (AND + popcount, capped at 2 —
+    // counts are only consumed as {0, 1, >= 2}); with the overlay on, walk
+    // both layers' blocks (a transmitter adjacent in both layers is counted
+    // once per §2 — G and the G'-only overlay partition E', so their rows
+    // are disjoint and the counts add).
+    const AdjacencyBitmap::RowView g_row = g_rows->row(u);
+    int count = simd::and_popcount_cap2(g_row.bits, g_row.index, tx_words, 0,
+                                        hit_word, hit_index);
+    if (overlay && count < 2) {
+      const AdjacencyBitmap::RowView gp_row = gp_rows->row(u);
+      count = simd::and_popcount_cap2(gp_row.bits, gp_row.index, tx_words,
+                                      count, hit_word, hit_index);
+    }
     if (count == 0) continue;
     hear_count_[static_cast<std::size_t>(u)] = count;
     touched_.push_back(u);
@@ -153,71 +167,178 @@ void DeliveryResolver::resolve_bitmap(const std::vector<int>& tx_index_of,
   finalize(tx_index_of, record);
 }
 
+void DeliveryResolver::resolve_structured(const std::vector<int>& tx_index_of,
+                                          const EdgeSet& edges,
+                                          RoundRecord& record) {
+  // G is two cliques on [0, h) / [h, n) plus an optional bridge: a
+  // listener's contender count is its side's transmitter total, plus the
+  // bridge and any mask-activated overlay edges, which are registered as
+  // ordinary bumps first. Per-side totals then resolve whole sides at once:
+  //
+  //   side total 0  — only bumped listeners can hear: the touched_ pass.
+  //   side total 1  — every side listener hears the side's transmitter,
+  //                   except bumped ones (>= 2 contenders): O(h), the same
+  //                   order as the deliveries produced.
+  //   side total >= 2 — everyone on the side collides; with collision
+  //                   detection off the side costs nothing at all.
+  //
+  // With Kind::all the network is effectively complete (G' = K_n), so both
+  // "sides" share the global transmitter total and the bridge adds nothing.
+  const int n = net_->n();
+  const int h = net_->dual_half();
+  const int ba = net_->dual_bridge_a();
+  const int bb = net_->dual_bridge_b();
+  const bool all = edges.kind == EdgeSet::Kind::all;
+  const std::vector<int>& transmitters = record.transmitters;
+
+  apply_sparse_edges(tx_index_of, edges, transmitters);
+  if (!all && ba >= 0) {
+    const int ta_idx = tx_index_of[static_cast<std::size_t>(ba)];
+    const int tb_idx = tx_index_of[static_cast<std::size_t>(bb)];
+    if (tb_idx >= 0) bump(ba, bb, tb_idx);
+    if (ta_idx >= 0) bump(bb, ba, ta_idx);
+  }
+
+  int tx_a = 0;
+  int tx_b = 0;
+  int first_a = -1;
+  int first_b = -1;
+  for (const int v : transmitters) {
+    if (v < h) {
+      if (tx_a == 0) first_a = v;
+      ++tx_a;
+    } else {
+      if (tx_b == 0) first_b = v;
+      ++tx_b;
+    }
+  }
+
+  struct Side {
+    int lo, hi, total, sender;
+  };
+  const int tx_total = tx_a + tx_b;
+  const int first_any = first_a >= 0 ? first_a : first_b;
+  const Side sides[2] = {
+      {0, h, all ? tx_total : tx_a, all ? first_any : first_a},
+      {h, n, all ? tx_total : tx_b, all ? first_any : first_b},
+  };
+  for (const Side& side : sides) {
+    if (side.total == 1) {
+      const int ti = tx_index_of[static_cast<std::size_t>(side.sender)];
+      for (int u = side.lo; u < side.hi; ++u) {
+        if (tx_index_of[static_cast<std::size_t>(u)] >= 0) continue;
+        if (hear_count_[static_cast<std::size_t>(u)] == 0) {
+          record.deliveries.push_back(Delivery{u, side.sender, ti});
+        } else if (collision_detection_) {
+          colliders_.push_back(u);
+        }
+      }
+    } else if (side.total >= 2 && collision_detection_) {
+      for (int u = side.lo; u < side.hi; ++u) {
+        if (tx_index_of[static_cast<std::size_t>(u)] < 0) {
+          colliders_.push_back(u);
+        }
+      }
+    }
+  }
+
+  // Bump-only listeners (their side total is 0), plus scratch reset.
+  for (const int u : touched_) {
+    const Side& side = sides[u < h ? 0 : 1];
+    if (side.total == 0 && tx_index_of[static_cast<std::size_t>(u)] < 0) {
+      if (hear_count_[static_cast<std::size_t>(u)] == 1) {
+        record.deliveries.push_back(
+            Delivery{u, last_sender_[static_cast<std::size_t>(u)],
+                     last_tx_index_[static_cast<std::size_t>(u)]});
+      } else if (collision_detection_) {
+        colliders_.push_back(u);
+      }
+    }
+    hear_count_[static_cast<std::size_t>(u)] = 0;
+    last_sender_[static_cast<std::size_t>(u)] = -1;
+    last_tx_index_[static_cast<std::size_t>(u)] = -1;
+  }
+}
+
 void DeliveryResolver::apply_sparse_edges(const std::vector<int>& tx_index_of,
                                           const EdgeSet& edges,
                                           const std::vector<int>& transmitters) {
-  if (edges.kind != EdgeSet::Kind::some) return;
-  const auto& gp_only = net_->gp_only_edges();
+  if (edges.kind != EdgeSet::Kind::mask) return;
+  const std::int64_t edge_count = net_->gp_only_edge_count();
+
+  // Validate the mask's range once, up front (not per bit, and before
+  // either strategy — the walk would otherwise silently skip invalid
+  // indices): find the highest set bit.
+  std::int64_t top = -1;
+  for (std::size_t w = edges.mask.size(); w-- > 0;) {
+    if (edges.mask[w] != 0) {
+      top = static_cast<std::int64_t>(w) * 64 + 63 -
+            std::countl_zero(edges.mask[w]);
+      break;
+    }
+  }
+  DC_EXPECTS_MSG(top < edge_count, "edge mask addresses past the G'-only "
+                                   "edge index space");
 
   // Two equivalent strategies (same delivery set; only the bump order, and
   // thus record.deliveries order, differs — no consumer depends on it):
   //
-  //   per-edge — visit each selected edge and bump across it when an
-  //              endpoint transmits. O(|selected|) with three random
-  //              accesses per edge.
-  //   walk     — mark the selected edge indices in a persistent bitset
-  //              (kept all-zero between rounds; exactly the set bits are
-  //              cleared afterwards, so there is no O(edges/64) wipe), then
-  //              walk each *transmitter's* G'-only CSR row testing the bit.
-  //              O(|selected| + Σ gp_deg(tx)) — the win whenever
-  //              transmitters are sparse against a heavy overlay (decay
-  //              tails under i.i.d. loss).
+  //   per-edge — visit each mask bit and bump across its edge when an
+  //              endpoint transmits. O(popcount) with an edge-index decode
+  //              and two tx lookups per edge.
+  //   walk     — walk each *transmitter's* G'-only CSR row testing its edge
+  //              indices against the mask words directly.
+  //              O(Σ gp_deg(tx)) — the win whenever transmitters are sparse
+  //              against a heavy overlay (decay tails under i.i.d. loss).
+  //              Explicit representation only (it needs the per-row edge
+  //              index arrays).
   //
   // The choice is a deterministic function of the round's transmitter set
   // and selection size, so replays stay bit-identical.
-  std::int64_t walk_visits = 0;
-  const auto gp_off = net_->gp_only_csr_offsets();
-  for (const int v : transmitters) {
-    walk_visits += gp_off[static_cast<std::size_t>(v) + 1] -
-                   gp_off[static_cast<std::size_t>(v)];
-  }
-  if (walk_visits < static_cast<std::int64_t>(edges.indices.size())) {
-    const auto gp_neighbors = net_->gp_only_csr_neighbors();
-    const auto gp_edge_idx = net_->gp_only_csr_edge_indices();
-    for (const std::int32_t idx : edges.indices) {
-      DC_EXPECTS(idx >= 0 && idx < static_cast<std::int32_t>(gp_only.size()));
-      edge_bits_.set(idx);
+  if (!net_->is_implicit()) {
+    std::int64_t walk_visits = 0;
+    const auto gp_off = net_->gp_only_csr_offsets();
+    for (const int v : transmitters) {
+      walk_visits += gp_off[static_cast<std::size_t>(v) + 1] -
+                     gp_off[static_cast<std::size_t>(v)];
     }
-    for (int ti = 0; ti < static_cast<int>(transmitters.size()); ++ti) {
-      const int v = transmitters[static_cast<std::size_t>(ti)];
-      const std::size_t begin =
-          static_cast<std::size_t>(gp_off[static_cast<std::size_t>(v)]);
-      const std::size_t end =
-          static_cast<std::size_t>(gp_off[static_cast<std::size_t>(v) + 1]);
-      for (std::size_t k = begin; k < end; ++k) {
-        if (edge_bits_.test(gp_edge_idx[k])) bump(gp_neighbors[k], v, ti);
+    if (walk_visits < edges.count) {
+      const auto gp_neighbors = net_->gp_only_csr_neighbors();
+      const auto gp_edge_idx = net_->gp_only_csr_edge_indices();
+      for (int ti = 0; ti < static_cast<int>(transmitters.size()); ++ti) {
+        const int v = transmitters[static_cast<std::size_t>(ti)];
+        const std::size_t begin =
+            static_cast<std::size_t>(gp_off[static_cast<std::size_t>(v)]);
+        const std::size_t end =
+            static_cast<std::size_t>(gp_off[static_cast<std::size_t>(v) + 1]);
+        for (std::size_t k = begin; k < end; ++k) {
+          if (edges.test(gp_edge_idx[k])) bump(gp_neighbors[k], v, ti);
+        }
       }
+      return;
     }
-    // Restore the all-zero invariant the cheaper way: per-bit clearing for
-    // small selections against a large overlay, one block wipe otherwise.
-    if (static_cast<std::int64_t>(edges.indices.size()) <
-        static_cast<std::int64_t>(edge_bits_.blocks())) {
-      for (const std::int32_t idx : edges.indices) edge_bits_.clear(idx);
-    } else {
-      edge_bits_.reset_all();
-    }
-    return;
   }
-  for (const std::int32_t idx : edges.indices) {
-    DC_EXPECTS(idx >= 0 && idx < static_cast<std::int32_t>(gp_only.size()));
-    const auto [a, b] = gp_only[static_cast<std::size_t>(idx)];
-    // tx_index_of maps each endpoint straight to its transmitter slot, so
-    // activating an edge costs O(1) instead of a scan over the round's
-    // transmitter list.
-    const int ta = tx_index_of[static_cast<std::size_t>(a)];
-    if (ta >= 0) bump(b, a, ta);
-    const int tb = tx_index_of[static_cast<std::size_t>(b)];
-    if (tb >= 0) bump(a, b, tb);
+  // tx_index_of maps each endpoint straight to its transmitter slot, so
+  // activating an edge costs O(1) instead of a scan over the round's
+  // transmitter list. One loop, two inlined decoders: the explicit
+  // representation indexes the flat edge list directly (the out-of-line
+  // gp_only_edge call is measurable at this edge rate); implicit networks
+  // decode arithmetically.
+  const auto apply_edges = [&](auto&& decode) {
+    for_each_mask_bit(edges.mask, [&](std::int64_t idx) {
+      const auto [a, b] = decode(idx);
+      const int ta = tx_index_of[static_cast<std::size_t>(a)];
+      if (ta >= 0) bump(b, a, ta);
+      const int tb = tx_index_of[static_cast<std::size_t>(b)];
+      if (tb >= 0) bump(a, b, tb);
+    });
+  };
+  if (!net_->is_implicit()) {
+    const auto& gp_only = net_->gp_only_edges();
+    apply_edges(
+        [&](std::int64_t idx) { return gp_only[static_cast<std::size_t>(idx)]; });
+  } else {
+    apply_edges([&](std::int64_t idx) { return net_->gp_only_edge(idx); });
   }
 }
 

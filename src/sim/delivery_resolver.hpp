@@ -6,26 +6,32 @@
 //   u receives m from v iff u listens, v transmits m, and v is the *only*
 //   transmitter among u's neighbors in G ∪ (selected G'-only edges).
 //
-// Two interchangeable strategies, selected per round:
+// Three interchangeable strategies, selected per round:
 //
-//   sweep  — walk each transmitter's CSR adjacency, bumping per-listener
-//            hear counts. O(Σ deg(t) + |activated edges|); optimal for
-//            sparse rounds (few transmitters).
-//   bitmap — build the round's transmitter set as an n-bit vector T and
-//            compute every listener's contending-transmitter count as
-//            popcount(row(u) & T) over the blocked adjacency bitmaps.
-//            O(total non-empty row blocks) with early exit at 2 contenders;
-//            wins on dense rounds, where the sweep's scalar visits exceed
-//            the blocked word count.
+//   sweep      — walk each transmitter's adjacency (through LayerView, so
+//                implicit layers iterate too), bumping per-listener hear
+//                counts. O(Σ deg(t) + |activated edges|); optimal for
+//                sparse rounds (few transmitters) on sparse layers.
+//   bitmap     — build the round's transmitter set as an n-bit vector T
+//                and compute every listener's contending-transmitter count
+//                as popcount(row(u) & T) over the blocked adjacency
+//                bitmaps (AVX2-gathered where the host supports it, scalar
+//                otherwise — identical results). O(total non-empty row
+//                blocks) with early exit at 2 contenders; wins on dense
+//                rounds over explicit layers.
+//   structured — dual-clique-structured networks only (implicit or
+//                detected): a listener's count is its side's transmitter
+//                total plus the bridge/mask extras, so a round costs
+//                O(transmitters + mask bits) — plus O(n) only when
+//                deliveries themselves are O(n). This is the path that
+//                carries clique-family networks past n = 4096.
 //
-// The per-round heuristic compares the sweep's exact visit count (Σ over
-// transmitters of their active-layer degree) against the bitmap's word
-// count, so the choice is a deterministic function of the round's
-// transmitter set and edge kind — replays stay bit-identical. Both paths
+// The strategy choice is a deterministic function of the round's
+// transmitter set and edge kind, so replays stay bit-identical. All paths
 // produce the same delivery set; only the order of record.deliveries may
-// differ (receiver-major for bitmap, transmitter-major for sweep), which no
-// consumer depends on (per-receiver feedback is unique because a delivery
-// requires a *sole* contender; the problem monitors are order-insensitive).
+// differ, which no consumer depends on (per-receiver feedback is unique
+// because a delivery requires a *sole* contender; the problem monitors are
+// order-insensitive).
 
 #include <cstdint>
 #include <vector>
@@ -41,8 +47,9 @@ class DeliveryResolver {
  public:
   enum class Path : std::uint8_t {
     auto_select,  ///< per-round cost heuristic (default)
-    sweep,        ///< force the CSR sweep (tests, no-bitmap graphs)
+    sweep,        ///< force the LayerView sweep (tests, no-bitmap graphs)
     bitmap,       ///< force the word-parallel path (tests; requires bitmaps)
+    structured,   ///< force the structured path (requires a dual-clique tag)
   };
 
   /// Binds the resolver to a network and sizes the scratch. Must be called
@@ -62,8 +69,7 @@ class DeliveryResolver {
   const std::vector<int>& colliders() const { return colliders_; }
 
   /// Test hook: pin the strategy. bitmap requires the network to have
-  /// adjacency bitmaps (within DualGraph::kBitmapMaxBytes, not
-  /// BitmapPolicy::never).
+  /// adjacency bitmaps; structured requires structure() == dual_clique.
   void force_path(Path path) { forced_ = path; }
   /// The strategy taken by the last resolve() call (diagnostics/tests).
   Path last_path() const { return last_; }
@@ -83,6 +89,8 @@ class DeliveryResolver {
                      RoundRecord& record);
   void resolve_bitmap(const std::vector<int>& tx_index_of,
                       const EdgeSet& edges, RoundRecord& record);
+  void resolve_structured(const std::vector<int>& tx_index_of,
+                          const EdgeSet& edges, RoundRecord& record);
   void apply_sparse_edges(const std::vector<int>& tx_index_of,
                           const EdgeSet& edges,
                           const std::vector<int>& transmitters);
@@ -99,10 +107,7 @@ class DeliveryResolver {
   std::vector<int> last_tx_index_;
   std::vector<int> touched_;
   std::vector<int> colliders_;
-  Bitset64 tx_bits_;    ///< bitmap path: the round's transmitter set
-  Bitset64 edge_bits_;  ///< sparse-edge walk: selected G'-only edge indices
-                        ///< (kept all-zero between rounds; the walk clears
-                        ///< exactly the bits it set)
+  Bitset64 tx_bits_;  ///< bitmap path: the round's transmitter set
 };
 
 }  // namespace dualcast

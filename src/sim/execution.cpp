@@ -75,29 +75,30 @@ const Process& Execution::process(int v) const {
   return *processes_[static_cast<std::size_t>(v)];
 }
 
-EdgeSet Execution::select_edges_pre_actions() {
+void Execution::select_edges_pre_actions() {
   // Only the online adaptive class chooses before seeing actions; its view is
   // history through round-1 plus start-of-round node state.
-  return link_process_->choose_online(round_, history_, inspector_,
-                                      adversary_rng_);
+  link_process_->choose_online(round_, history_, inspector_, adversary_rng_,
+                               edges_);
 }
 
-EdgeSet Execution::select_edges_post_actions(
+void Execution::select_edges_post_actions(
     const std::vector<Action>& actions, const std::vector<int>& transmitters) {
   switch (link_process_->adversary_class()) {
     case AdversaryClass::oblivious:
-      return link_process_->choose_oblivious(round_, adversary_rng_);
+      link_process_->choose_oblivious(round_, adversary_rng_, edges_);
+      return;
     case AdversaryClass::offline_adaptive: {
       RoundActions ra;
       ra.actions = &actions;
       ra.transmitters = &transmitters;
-      return link_process_->choose_offline(round_, history_, inspector_, ra,
-                                           adversary_rng_);
+      link_process_->choose_offline(round_, history_, inspector_, ra,
+                                    adversary_rng_, edges_);
+      return;
     }
     case AdversaryClass::online_adaptive:
       DC_ASSERT_MSG(false, "online edges must be chosen before actions");
   }
-  return EdgeSet::none();
 }
 
 void Execution::step() {
@@ -105,10 +106,10 @@ void Execution::step() {
   const int n = net_->n();
 
   // 1. Online adaptive adversaries commit before any coin is drawn.
-  EdgeSet edges;
+  edges_.set_none();
   const bool online =
       link_process_->adversary_class() == AdversaryClass::online_adaptive;
-  if (online) edges = select_edges_pre_actions();
+  if (online) select_edges_pre_actions();
 
   // 2. Draw actions. The round record's transmitter/message arrays are built
   // in the same pass, straight into the reusable scratch record.
@@ -129,19 +130,19 @@ void Execution::step() {
   }
 
   // 3. Oblivious / offline adaptive adversaries commit now.
-  if (!online) edges = select_edges_post_actions(actions_, record.transmitters);
+  if (!online) select_edges_post_actions(actions_, record.transmitters);
 
   // 4. Resolve deliveries under the §2 receive rule.
-  record.activated = edges.kind;
-  record.activated_count =
-      edges.kind == EdgeSet::Kind::all
-          ? static_cast<std::int64_t>(net_->gp_only_edges().size())
-          : static_cast<std::int64_t>(edges.indices.size());
-  resolver_.resolve(tx_index_of_, edges, record);
-  if (edges.kind == EdgeSet::Kind::some) {
-    // The EdgeSet is dead after delivery resolution: move the index vector
-    // into the record instead of copying it.
-    record.activated_indices = std::move(edges.indices);
+  record.activated = edges_.kind;
+  record.activated_count = edges_.kind == EdgeSet::Kind::all
+                               ? net_->gp_only_edge_count()
+                               : edges_.count;
+  resolver_.resolve(tx_index_of_, edges_, record);
+  if (edges_.kind == EdgeSet::Kind::mask) {
+    // The EdgeSet is dead after delivery resolution: swap the mask words
+    // into the record — the record's previous buffer rotates back for the
+    // adversary's next round.
+    record.activated_mask.swap(edges_.mask);
   }
 
   // 5. Feedback, bookkeeping, monitoring.

@@ -129,9 +129,9 @@ class Execution {
   const Process& process(int v) const;
 
  private:
-  EdgeSet select_edges_pre_actions();
-  EdgeSet select_edges_post_actions(const std::vector<Action>& actions,
-                                    const std::vector<int>& transmitters);
+  void select_edges_pre_actions();
+  void select_edges_post_actions(const std::vector<Action>& actions,
+                                 const std::vector<int>& transmitters);
 
   const DualGraph* net_;
   std::shared_ptr<Problem> problem_;
@@ -160,8 +160,13 @@ class Execution {
   /// or -1 when v listens. Replaces both the `transmitting_` bitmap and the
   /// per-endpoint linear transmitter scans in the sparse-edge path.
   std::vector<int> tx_index_of_;
-  /// The §2 receive rule (CSR sweep / word-parallel bitmap), shared with
-  /// the batch engine; owns the per-round hear-count scratch.
+  /// The adversary's per-round choice, filled in place by the choose_*
+  /// hooks. Its mask buffer rotates through record_.activated_mask (and,
+  /// under lean history, the history's reusable last-record), so mask
+  /// rounds allocate nothing in steady state.
+  EdgeSet edges_;
+  /// The §2 receive rule (CSR sweep / word-parallel bitmap / structured),
+  /// shared with the batch engine; owns the per-round hear-count scratch.
   DeliveryResolver resolver_;
 };
 

@@ -11,7 +11,7 @@ std::size_t record_bytes(const RoundRecord& rec) {
   return rec.transmitters.capacity() * sizeof(int) +
          rec.sent.capacity() * sizeof(Message) +
          rec.deliveries.capacity() * sizeof(Delivery) +
-         rec.activated_indices.capacity() * sizeof(std::int32_t) +
+         rec.activated_mask.capacity() * sizeof(std::uint64_t) +
          sizeof(RoundRecord);
 }
 

@@ -42,20 +42,26 @@ struct RoundRecord {
   std::vector<Delivery> deliveries;
   EdgeSet::Kind activated = EdgeSet::Kind::none;  ///< adversary's choice kind
   std::int64_t activated_count = 0;  ///< number of G'-only edges activated
-  /// Exact activated edge indices when activated == Kind::some (for `none`
-  /// and `all` the set is implicit). Lets tests recompute deliveries from
-  /// first principles.
-  std::vector<std::int32_t> activated_indices;
+  /// Exact activated edge set when activated == Kind::mask, as the
+  /// EdgeSet's blocked words over the G'-only edge index space (for `none`
+  /// and `all` the set is implicit, and the vector's contents are
+  /// unspecified scratch — the engine only swaps fresh words in on mask
+  /// rounds). Lets tests recompute deliveries from first principles;
+  /// iterate with for_each_mask_bit, gated on the kind.
+  std::vector<std::uint64_t> activated_mask;
 
   /// Resets to an empty record while keeping vector capacity, so the engine
   /// can refill the same buffers round after round without allocating.
+  /// activated_mask keeps its *size* too (not just capacity): the sized
+  /// buffer rotates back to the adversary's EdgeSet, whose
+  /// begin_mask_overwrite then skips the O(words) refill; the kind field
+  /// gates every read of it.
   void clear() {
     transmitters.clear();
     sent.clear();
     deliveries.clear();
     activated = EdgeSet::Kind::none;
     activated_count = 0;
-    activated_indices.clear();
   }
 };
 

@@ -125,33 +125,34 @@ bool KernelExecution::problem_solved() const {
                           : problem_->solved_batch(*state_view_);
 }
 
-EdgeSet KernelExecution::select_edges_post_actions() {
+void KernelExecution::select_edges_post_actions() {
   switch (link_process_->adversary_class()) {
     case AdversaryClass::oblivious:
-      return link_process_->choose_oblivious(round_, adversary_rng_);
+      link_process_->choose_oblivious(round_, adversary_rng_, edges_);
+      return;
     case AdversaryClass::offline_adaptive: {
       RoundActions ra;
       ra.actions = &actions_;
       ra.transmitters = &record_.transmitters;
-      return link_process_->choose_offline(round_, history_, inspector_, ra,
-                                           adversary_rng_);
+      link_process_->choose_offline(round_, history_, inspector_, ra,
+                                    adversary_rng_, edges_);
+      return;
     }
     case AdversaryClass::online_adaptive:
       DC_ASSERT_MSG(false, "online edges must be chosen before actions");
   }
-  return EdgeSet::none();
 }
 
 void KernelExecution::step() {
   DC_EXPECTS_MSG(!done(), "step() on a finished execution");
 
   // 1. Online adaptive adversaries commit before any coin is drawn.
-  EdgeSet edges;
+  edges_.set_none();
   const bool online =
       link_process_->adversary_class() == AdversaryClass::online_adaptive;
   if (online) {
-    edges = link_process_->choose_online(round_, history_, inspector_,
-                                         adversary_rng_);
+    link_process_->choose_online(round_, history_, inspector_, adversary_rng_,
+                                 edges_);
   }
 
   // 2. Draw actions into the (already reset) scratch with one batch call.
@@ -167,17 +168,16 @@ void KernelExecution::step() {
   }
 
   // 3. Oblivious / offline adaptive adversaries commit now.
-  if (!online) edges = select_edges_post_actions();
+  if (!online) select_edges_post_actions();
 
   // 4. Resolve deliveries under the §2 receive rule.
-  record.activated = edges.kind;
-  record.activated_count =
-      edges.kind == EdgeSet::Kind::all
-          ? static_cast<std::int64_t>(net_->gp_only_edges().size())
-          : static_cast<std::int64_t>(edges.indices.size());
-  resolver_.resolve(tx_index_of_, edges, record);
-  if (edges.kind == EdgeSet::Kind::some) {
-    record.activated_indices = std::move(edges.indices);
+  record.activated = edges_.kind;
+  record.activated_count = edges_.kind == EdgeSet::Kind::all
+                               ? net_->gp_only_edge_count()
+                               : edges_.count;
+  resolver_.resolve(tx_index_of_, edges_, record);
+  if (edges_.kind == EdgeSet::Kind::mask) {
+    record.activated_mask.swap(edges_.mask);
   }
 
   // 5. Feedback, bookkeeping, monitoring.

@@ -80,7 +80,7 @@ class KernelExecution {
  private:
   class KernelStateView;
 
-  EdgeSet select_edges_post_actions();
+  void select_edges_post_actions();
   bool problem_solved() const;
 
   const DualGraph* net_;
@@ -107,6 +107,9 @@ class KernelExecution {
   std::vector<Action> actions_;  ///< offline adaptive adversaries only
   RoundRecord record_;
   std::vector<int> tx_index_of_;
+  /// Adversary choice scratch; its mask buffer rotates through
+  /// record_.activated_mask (see Execution::edges_).
+  EdgeSet edges_;
   DeliveryResolver resolver_;
 };
 

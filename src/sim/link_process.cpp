@@ -19,26 +19,24 @@ const char* to_string(AdversaryClass cls) {
 void LinkProcess::on_execution_start(const ExecutionSetup& /*setup*/,
                                      Rng& /*rng*/) {}
 
-EdgeSet LinkProcess::choose_oblivious(int /*round*/, Rng& /*rng*/) {
+void LinkProcess::choose_oblivious(int /*round*/, Rng& /*rng*/,
+                                   EdgeSet& /*out*/) {
   DC_ASSERT_MSG(false, "oblivious adversary must override choose_oblivious");
-  return EdgeSet::none();
 }
 
-EdgeSet LinkProcess::choose_online(int /*round*/,
-                                   const ExecutionHistory& /*history*/,
-                                   const StateInspector& /*inspector*/,
-                                   Rng& /*rng*/) {
+void LinkProcess::choose_online(int /*round*/,
+                                const ExecutionHistory& /*history*/,
+                                const StateInspector& /*inspector*/,
+                                Rng& /*rng*/, EdgeSet& /*out*/) {
   DC_ASSERT_MSG(false, "online adversary must override choose_online");
-  return EdgeSet::none();
 }
 
-EdgeSet LinkProcess::choose_offline(int /*round*/,
-                                    const ExecutionHistory& /*history*/,
-                                    const StateInspector& /*inspector*/,
-                                    const RoundActions& /*actions*/,
-                                    Rng& /*rng*/) {
+void LinkProcess::choose_offline(int /*round*/,
+                                 const ExecutionHistory& /*history*/,
+                                 const StateInspector& /*inspector*/,
+                                 const RoundActions& /*actions*/,
+                                 Rng& /*rng*/, EdgeSet& /*out*/) {
   DC_ASSERT_MSG(false, "offline adversary must override choose_offline");
-  return EdgeSet::none();
 }
 
 }  // namespace dualcast

@@ -76,18 +76,26 @@ class LinkProcess {
   /// (independent of all node streams).
   virtual void on_execution_start(const ExecutionSetup& setup, Rng& rng);
 
+  // The choose_* hooks fill a caller-provided EdgeSet instead of returning
+  // one: the engine passes the same scratch object every round (its mask
+  // buffer rotating through the round record), so an adversary that builds
+  // a mask in place — out.begin_mask()/set_word()/finish_mask() — allocates
+  // nothing in steady state.
+
   /// Oblivious hook: may depend only on the round number, the setup, and the
   /// adversary's private coins (all fixed before the execution).
-  virtual EdgeSet choose_oblivious(int round, Rng& rng);
+  virtual void choose_oblivious(int round, Rng& rng, EdgeSet& out);
 
   /// Online adaptive hook: history through round-1 plus start-of-round state.
-  virtual EdgeSet choose_online(int round, const ExecutionHistory& history,
-                                const StateInspector& inspector, Rng& rng);
+  virtual void choose_online(int round, const ExecutionHistory& history,
+                             const StateInspector& inspector, Rng& rng,
+                             EdgeSet& out);
 
   /// Offline adaptive hook: everything online gets, plus the round's actions.
-  virtual EdgeSet choose_offline(int round, const ExecutionHistory& history,
-                                 const StateInspector& inspector,
-                                 const RoundActions& actions, Rng& rng);
+  virtual void choose_offline(int round, const ExecutionHistory& history,
+                              const StateInspector& inspector,
+                              const RoundActions& actions, Rng& rng,
+                              EdgeSet& out);
 };
 
 /// Factory signature so benches can instantiate a fresh adversary per trial.

@@ -28,7 +28,7 @@ bool Problem::solved_batch(const NodeStateView& /*nodes*/) const {
 GlobalBroadcastProblem::GlobalBroadcastProblem(const DualGraph& net, int source)
     : source_(source) {
   DC_EXPECTS(source >= 0 && source < net.n());
-  DC_EXPECTS_MSG(net.g().is_connected(),
+  DC_EXPECTS_MSG(net.g_connected(),
                  "global broadcast requires a connected G");
 }
 
@@ -97,9 +97,12 @@ Message AssignmentProblem::initial_message(int v) const {
 LocalBroadcastProblem::LocalBroadcastProblem(const DualGraph& net,
                                              std::vector<int> broadcast_set,
                                              ReceiverCredit credit)
-    : net_(&net), b_(std::move(broadcast_set)), credit_(credit) {
+    : net_(&net),
+      g_view_(net.g_layer()),
+      b_(std::move(broadcast_set)),
+      credit_(credit) {
   DC_EXPECTS_MSG(!b_.empty(), "broadcast set must be non-empty");
-  DC_EXPECTS_MSG(net.g().is_connected(),
+  DC_EXPECTS_MSG(net.g_connected(),
                  "local broadcast requires a connected G");
   in_b_.assign(static_cast<std::size_t>(net.n()), 0);
   for (const int v : b_) {
@@ -108,15 +111,14 @@ LocalBroadcastProblem::LocalBroadcastProblem(const DualGraph& net,
                    "broadcast set contains duplicates");
     in_b_[static_cast<std::size_t>(v)] = 1;
   }
-  // R: nodes with at least one G-neighbor in B.
+  // R: nodes with at least one G-neighbor in B (LayerView iteration, so
+  // implicit networks answer too).
   in_r_.assign(static_cast<std::size_t>(net.n()), 0);
   for (int v = 0; v < net.n(); ++v) {
-    for (const int w : net.g().neighbors(v)) {
-      if (in_b_[static_cast<std::size_t>(w)]) {
-        in_r_[static_cast<std::size_t>(v)] = 1;
-        r_.push_back(v);
-        break;
-      }
+    if (g_view_.any_neighbor(
+            v, [&](int w) { return in_b_[static_cast<std::size_t>(w)] != 0; })) {
+      in_r_[static_cast<std::size_t>(v)] = 1;
+      r_.push_back(v);
     }
   }
   satisfied_.assign(static_cast<std::size_t>(net.n()), 0);
@@ -150,7 +152,7 @@ void LocalBroadcastProblem::observe_round(
     if (m.kind != MessageKind::data) continue;
     if (!in_b_[static_cast<std::size_t>(d.sender)]) continue;
     if (credit_ == ReceiverCredit::g_neighbor_only &&
-        !net_->g().has_edge(d.receiver, d.sender)) {
+        !g_view_.has_edge(d.receiver, d.sender)) {
       continue;
     }
     satisfied_[static_cast<std::size_t>(d.receiver)] = 1;

@@ -162,6 +162,8 @@ class LocalBroadcastProblem final : public Problem {
 
  private:
   const DualGraph* net_;
+  /// Cached G view for the per-delivery g_neighbor_only credit check.
+  LayerView g_view_;
   std::vector<int> b_;
   std::vector<char> in_b_;
   std::vector<int> r_;

@@ -40,6 +40,9 @@ class Bitset64 {
   std::uint64_t word(int b) const {
     return words_[static_cast<std::size_t>(b)];
   }
+  /// Raw block storage, for word-parallel consumers (the resolver's
+  /// AND+popcount scan).
+  const std::uint64_t* data() const { return words_.data(); }
 
  private:
   std::vector<std::uint64_t> words_;

@@ -152,6 +152,12 @@ class Pow2MaskLadder {
     return masks_[static_cast<std::size_t>(i)];
   }
 
+  /// Raw mask table for word-parallel lane gathers
+  /// (simd::gather_ladder_bits): entries [0, depth] are valid after
+  /// mask(depth); deeper entries must not be addressed by any gathered
+  /// lane.
+  const std::uint64_t* levels() const { return masks_.data(); }
+
  private:
   Rng* rng_;
   int depth_ = 0;

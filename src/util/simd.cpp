@@ -1,0 +1,167 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <bit>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define DUALCAST_X86 1
+#include <immintrin.h>
+#else
+#define DUALCAST_X86 0
+#endif
+
+namespace dualcast::simd {
+namespace detail {
+
+bool avx2_supported() {
+#if DUALCAST_X86
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+int and_popcount_cap2_scalar(std::span<const std::uint64_t> bits,
+                             std::span<const std::int32_t> index,
+                             const std::uint64_t* tx_words, int count,
+                             std::uint64_t& hit_word,
+                             std::int32_t& hit_index) {
+  for (std::size_t k = 0; k < bits.size(); ++k) {
+    const std::uint64_t m =
+        bits[k] & tx_words[static_cast<std::size_t>(index[k])];
+    if (m == 0) continue;
+    count += std::popcount(m);
+    hit_word = m;
+    hit_index = index[k];
+    if (count >= 2) return 2;
+  }
+  return count;
+}
+
+std::uint64_t gather_ladder_bits_scalar(const std::uint64_t* masks,
+                                        const std::uint8_t* lane_index,
+                                        std::uint64_t lanes) {
+  std::uint64_t out = 0;
+  std::uint64_t rest = lanes;
+  while (rest != 0) {
+    const int j = std::countr_zero(rest);
+    out |= masks[lane_index[j]] & (std::uint64_t{1} << j);
+    rest &= rest - 1;
+  }
+  return out;
+}
+
+#if DUALCAST_X86
+
+__attribute__((target("avx2"))) int and_popcount_cap2_avx2(
+    std::span<const std::uint64_t> bits, std::span<const std::int32_t> index,
+    const std::uint64_t* tx_words, int count, std::uint64_t& hit_word,
+    std::int32_t& hit_index) {
+  std::size_t k = 0;
+  const std::size_t m = bits.size();
+  for (; k + 4 <= m; k += 4) {
+    const __m128i idx4 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(index.data() + k));
+    const __m256i tx4 = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(tx_words), idx4, 8);
+    const __m256i row4 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bits.data() + k));
+    const __m256i and4 = _mm256_and_si256(row4, tx4);
+    if (_mm256_testz_si256(and4, and4)) continue;
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), and4);
+    for (int j = 0; j < 4; ++j) {
+      if (lanes[j] == 0) continue;
+      count += std::popcount(lanes[j]);
+      hit_word = lanes[j];
+      hit_index = index[k + static_cast<std::size_t>(j)];
+      if (count >= 2) return 2;
+    }
+  }
+  return and_popcount_cap2_scalar(bits.subspan(k), index.subspan(k), tx_words,
+                                  count, hit_word, hit_index);
+}
+
+__attribute__((target("avx2"))) std::uint64_t gather_ladder_bits_avx2(
+    const std::uint64_t* masks, const std::uint8_t* lane_index,
+    std::uint64_t lanes) {
+  std::uint64_t out = 0;
+  const __m256i one = _mm256_set1_epi64x(1);
+  for (int j = 0; j < 64; j += 4) {
+    std::int32_t packed;
+    __builtin_memcpy(&packed, lane_index + j, 4);
+    const __m128i idx4 = _mm_cvtepu8_epi32(_mm_cvtsi32_si128(packed));
+    const __m256i mask4 = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(masks), idx4, 8);
+    const __m256i shift4 = _mm256_setr_epi64x(j, j + 1, j + 2, j + 3);
+    const __m256i bit4 =
+        _mm256_and_si256(_mm256_srlv_epi64(mask4, shift4), one);
+    alignas(32) std::uint64_t b[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(b), bit4);
+    out |= (b[0] << j) | (b[1] << (j + 1)) | (b[2] << (j + 2)) |
+           (b[3] << (j + 3));
+  }
+  return out & lanes;
+}
+
+#else  // !DUALCAST_X86
+
+int and_popcount_cap2_avx2(std::span<const std::uint64_t> bits,
+                           std::span<const std::int32_t> index,
+                           const std::uint64_t* tx_words, int count,
+                           std::uint64_t& hit_word, std::int32_t& hit_index) {
+  return and_popcount_cap2_scalar(bits, index, tx_words, count, hit_word,
+                                  hit_index);
+}
+
+std::uint64_t gather_ladder_bits_avx2(const std::uint64_t* masks,
+                                      const std::uint8_t* lane_index,
+                                      std::uint64_t lanes) {
+  return gather_ladder_bits_scalar(masks, lane_index, lanes);
+}
+
+#endif  // DUALCAST_X86
+
+}  // namespace detail
+
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+bool use_avx2() {
+  static const bool supported = detail::avx2_supported();
+  return supported && !g_force_scalar.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool avx2_active() { return use_avx2(); }
+
+void force_scalar(bool on) {
+  g_force_scalar.store(on, std::memory_order_relaxed);
+}
+
+int and_popcount_cap2(std::span<const std::uint64_t> bits,
+                      std::span<const std::int32_t> index,
+                      const std::uint64_t* tx_words, int count,
+                      std::uint64_t& hit_word, std::int32_t& hit_index) {
+  if (use_avx2()) {
+    return detail::and_popcount_cap2_avx2(bits, index, tx_words, count,
+                                          hit_word, hit_index);
+  }
+  return detail::and_popcount_cap2_scalar(bits, index, tx_words, count,
+                                          hit_word, hit_index);
+}
+
+std::uint64_t gather_ladder_bits(const std::uint64_t* masks,
+                                 const std::uint8_t* lane_index,
+                                 std::uint64_t lanes) {
+  // Sparse lane words lose to the fixed 16-gather cost; the cutover point
+  // is approximate (both paths produce identical bits).
+  if (use_avx2() && std::popcount(lanes) >= 16) {
+    return detail::gather_ladder_bits_avx2(masks, lane_index, lanes);
+  }
+  return detail::gather_ladder_bits_scalar(masks, lane_index, lanes);
+}
+
+}  // namespace dualcast::simd

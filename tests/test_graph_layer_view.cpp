@@ -1,0 +1,245 @@
+// LayerView and the implicit DualGraph representations: every implicit
+// variant must answer degree / neighbors / has_edge / row-synthesis /
+// edge-index queries exactly as the explicit construction it replaces, and
+// the explicit constructor must detect the dual-clique structure tag.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/layer_view.hpp"
+#include "util/rng.hpp"
+
+namespace dualcast {
+namespace {
+
+std::vector<int> neighbors_of(const LayerView& view, int v) {
+  std::vector<int> out;
+  view.for_each_neighbor(v, [&](int u) { out.push_back(u); });
+  return out;
+}
+
+std::vector<int> row_bits(const LayerView& view, int v) {
+  std::vector<std::uint64_t> words(
+      (static_cast<std::size_t>(view.n()) + 63) / 64);
+  view.synthesize_row(v, words);
+  std::vector<int> out;
+  for (int u = 0; u < view.n(); ++u) {
+    if ((words[static_cast<std::size_t>(u) / 64] >>
+         (static_cast<std::uint64_t>(u) % 64)) &
+        1u) {
+      out.push_back(u);
+    }
+  }
+  return out;
+}
+
+/// Asserts `view` describes exactly the same layer as the explicit `ref`.
+void expect_layer_equals(const LayerView& view, const LayerView& ref) {
+  ASSERT_EQ(view.n(), ref.n());
+  EXPECT_EQ(view.edge_count(), ref.edge_count());
+  EXPECT_EQ(view.max_degree(), ref.max_degree());
+  for (int v = 0; v < view.n(); ++v) {
+    EXPECT_EQ(view.degree(v), ref.degree(v)) << "v=" << v;
+    EXPECT_EQ(neighbors_of(view, v), neighbors_of(ref, v)) << "v=" << v;
+    EXPECT_EQ(row_bits(view, v), row_bits(ref, v)) << "v=" << v;
+    for (int u = 0; u < view.n(); ++u) {
+      EXPECT_EQ(view.has_edge(v, u), ref.has_edge(v, u))
+          << "v=" << v << " u=" << u;
+    }
+  }
+}
+
+TEST(LayerView, CompleteMatchesExplicitKn) {
+  const Graph kn = complete_graph(11);
+  expect_layer_equals(
+      LayerView::complete(11),
+      LayerView::explicit_csr(11, kn.csr_offsets(), kn.csr_neighbors()));
+}
+
+TEST(LayerView, DualCliquesMatchesExplicitConstruction) {
+  // Two cliques on [0,5) / [5,10) plus the bridge (2, 7).
+  Graph g(10);
+  for (int u = 0; u < 5; ++u) {
+    for (int v = u + 1; v < 5; ++v) {
+      g.add_edge(u, v);
+      g.add_edge(5 + u, 5 + v);
+    }
+  }
+  g.add_edge(2, 7);
+  g.finalize();
+  expect_layer_equals(
+      LayerView::dual_cliques(10, 5, 2, 7),
+      LayerView::explicit_csr(10, g.csr_offsets(), g.csr_neighbors()));
+}
+
+TEST(LayerView, CompleteBipartiteWithHoleMatchesExplicit) {
+  // A x B cross edges minus the hole (1, 6).
+  Graph g(9);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 4; b < 9; ++b) {
+      if (!(a == 1 && b == 6)) g.add_edge(a, b);
+    }
+  }
+  g.finalize();
+  expect_layer_equals(
+      LayerView::complete_bipartite(9, 4, 1, 6),
+      LayerView::explicit_csr(9, g.csr_offsets(), g.csr_neighbors()));
+}
+
+TEST(LayerView, ComplementOfSparseMatchesExplicitComplement) {
+  Rng rng(99);
+  Graph sparse(13);
+  for (int e = 0; e < 15; ++e) {
+    const int u = static_cast<int>(rng.uniform_int(0, 12));
+    const int v = static_cast<int>(rng.uniform_int(0, 12));
+    if (u != v) sparse.add_edge(u, v);
+  }
+  sparse.finalize();
+  Graph complement(13);
+  for (int u = 0; u < 13; ++u) {
+    for (int v = u + 1; v < 13; ++v) {
+      if (!sparse.has_edge(u, v)) complement.add_edge(u, v);
+    }
+  }
+  complement.finalize();
+  expect_layer_equals(
+      LayerView::complement_of_sparse(13, sparse.csr_offsets(),
+                                      sparse.csr_neighbors()),
+      LayerView::explicit_csr(13, complement.csr_offsets(),
+                              complement.csr_neighbors()));
+}
+
+// ---------------------------------------------------------------------------
+// Implicit DualGraph representations vs the explicit construction.
+// ---------------------------------------------------------------------------
+
+void expect_dual_graphs_equal(const DualGraph& a, const DualGraph& b) {
+  ASSERT_EQ(a.n(), b.n());
+  EXPECT_EQ(a.max_degree(), b.max_degree());
+  EXPECT_EQ(a.gprime_complete(), b.gprime_complete());
+  EXPECT_EQ(a.g_connected(), b.g_connected());
+  ASSERT_EQ(a.gp_only_edge_count(), b.gp_only_edge_count());
+  for (std::int64_t e = 0; e < a.gp_only_edge_count(); ++e) {
+    EXPECT_EQ(a.gp_only_edge(e), b.gp_only_edge(e)) << "edge " << e;
+  }
+  expect_layer_equals(a.g_layer(), b.g_layer());
+  expect_layer_equals(a.gprime_layer(), b.gprime_layer());
+  expect_layer_equals(a.gp_only_layer(), b.gp_only_layer());
+}
+
+TEST(ImplicitDualGraph, DualCliqueMatchesExplicitEdgeForEdge) {
+  for (const int bridge_index : {0, 3}) {
+    Graph g(16);
+    for (int u = 0; u < 8; ++u) {
+      for (int v = u + 1; v < 8; ++v) {
+        g.add_edge(u, v);
+        g.add_edge(8 + u, 8 + v);
+      }
+    }
+    g.add_edge(bridge_index, 8 + bridge_index);
+    g.finalize();
+    const DualGraph expl(std::move(g), complete_graph(16));
+    const DualGraph impl = DualGraph::implicit_dual_clique(16, bridge_index);
+    EXPECT_FALSE(expl.is_implicit());
+    EXPECT_TRUE(impl.is_implicit());
+    expect_dual_graphs_equal(impl, expl);
+  }
+}
+
+TEST(ImplicitDualGraph, BridgelessDualCliqueMatchesExplicit) {
+  Graph g(12);
+  for (int u = 0; u < 6; ++u) {
+    for (int v = u + 1; v < 6; ++v) {
+      g.add_edge(u, v);
+      g.add_edge(6 + u, 6 + v);
+    }
+  }
+  g.finalize();
+  const DualGraph expl(std::move(g), complete_graph(12));
+  const DualGraph impl =
+      DualGraph::implicit_dual_clique(12, 0, /*with_bridge=*/false);
+  expect_dual_graphs_equal(impl, expl);
+  EXPECT_FALSE(impl.g_connected());
+}
+
+TEST(ImplicitDualGraph, CompleteGprimeMatchesExplicit) {
+  Rng rng(5);
+  Graph g(14);
+  for (int v = 0; v + 1 < 14; ++v) g.add_edge(v, v + 1);
+  for (int e = 0; e < 8; ++e) {
+    const int u = static_cast<int>(rng.uniform_int(0, 13));
+    const int v = static_cast<int>(rng.uniform_int(0, 13));
+    if (u != v) g.add_edge(u, v);
+  }
+  g.finalize();
+  Graph g_copy = g;
+  const DualGraph expl(std::move(g_copy), complete_graph(14));
+  const DualGraph impl = with_complete_gprime(std::move(g));
+  EXPECT_TRUE(impl.is_implicit());
+  EXPECT_EQ(impl.structure(), DualGraph::Structure::gprime_complete);
+  expect_dual_graphs_equal(impl, expl);
+}
+
+// ---------------------------------------------------------------------------
+// Structure detection on the explicit representation.
+// ---------------------------------------------------------------------------
+
+TEST(StructureDetection, ExplicitDualCliqueIsTagged) {
+  const DualCliqueNet dc = dual_clique(24, 5);
+  ASSERT_FALSE(dc.net.is_implicit());
+  EXPECT_EQ(dc.net.structure(), DualGraph::Structure::dual_clique);
+  EXPECT_EQ(dc.net.dual_half(), 12);
+  EXPECT_EQ(dc.net.dual_bridge_a(), 5);
+  EXPECT_EQ(dc.net.dual_bridge_b(), 17);
+  // Structured networks skip bitmap materialization: the structured
+  // resolver path supersedes it.
+  EXPECT_EQ(dc.net.g_bitmap(), nullptr);
+}
+
+TEST(StructureDetection, BridgelessExplicitDualCliqueIsTagged) {
+  const DualCliqueNet dc = dual_clique_without_bridge(16);
+  EXPECT_EQ(dc.net.structure(), DualGraph::Structure::dual_clique);
+  EXPECT_EQ(dc.net.dual_bridge_a(), -1);
+  EXPECT_FALSE(dc.net.g_connected());
+}
+
+TEST(StructureDetection, CompleteGprimeWithoutCliqueShapeIsNotDualClique) {
+  const DualGraph net(line_graph(8), complete_graph(8));
+  EXPECT_EQ(net.structure(), DualGraph::Structure::gprime_complete);
+  EXPECT_TRUE(net.gprime_complete());
+}
+
+TEST(StructureDetection, TwoBridgesAreNotADualClique) {
+  Graph g(8);
+  for (int u = 0; u < 4; ++u) {
+    for (int v = u + 1; v < 4; ++v) {
+      g.add_edge(u, v);
+      g.add_edge(4 + u, 4 + v);
+    }
+  }
+  g.add_edge(0, 4);
+  g.add_edge(1, 5);
+  g.finalize();
+  const DualGraph net(std::move(g), complete_graph(8));
+  EXPECT_EQ(net.structure(), DualGraph::Structure::gprime_complete);
+}
+
+TEST(StructureDetection, GeneralNetworksStayUntagged) {
+  const GeoNet geo = [] {
+    Rng rng(3);
+    return jittered_grid_geo(4, 4, 0.6, 0.05, 2.0, rng);
+  }();
+  EXPECT_EQ(geo.net.structure(), DualGraph::Structure::general);
+  EXPECT_FALSE(geo.net.gprime_complete());
+}
+
+TEST(ImplicitDualGraph, GeneratorSwitchesRepresentationAtThreshold) {
+  EXPECT_FALSE(dual_clique(kDualCliqueImplicitMinN - 2, 1).net.is_implicit());
+  EXPECT_TRUE(dual_clique(kDualCliqueImplicitMinN, 1).net.is_implicit());
+}
+
+}  // namespace
+}  // namespace dualcast

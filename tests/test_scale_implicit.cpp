@@ -1,0 +1,79 @@
+// The large-n acceptance surface of the implicit layers: dual_clique(65536)
+// — whose explicit CSR layers would need ~32 GiB — must construct in O(n)
+// memory, report the right structure, and carry a global-broadcast
+// execution start-to-solve on the structured resolver path.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "scenario/registries.hpp"
+#include "sim/kernel_execution.hpp"
+
+namespace dualcast {
+namespace {
+
+using scenario::Topology;
+
+TEST(ScaleImplicit, DualClique65536StaysUnderMemoryBudget) {
+  const Topology topo = scenario::topologies().build("dual_clique(65536)", 3);
+  const DualGraph& net = topo.net();
+  ASSERT_EQ(net.n(), 65536);
+  EXPECT_TRUE(net.is_implicit());
+  EXPECT_EQ(net.structure(), DualGraph::Structure::dual_clique);
+  EXPECT_TRUE(net.gprime_complete());
+  EXPECT_EQ(net.max_degree(), 65535);
+  EXPECT_EQ(net.gp_only_edge_count(),
+            static_cast<std::int64_t>(32768) * 32768 - 1);
+
+  // Explicit storage: ~2^31 gp-only edges x (pair + 2 CSR entries + 2 edge
+  // indices) ≈ 32 GiB, plus the two Graph layers. The implicit
+  // representation must stay under a budget three orders of magnitude
+  // smaller (O(1) for the network itself; the topology's side_a/side_b
+  // metadata is O(n)).
+  EXPECT_LT(net.approx_heap_bytes(), std::size_t{8} << 20);
+
+  // Spot-check the edge-index decode at the extremes and around the
+  // bridge hole.
+  EXPECT_EQ(net.gp_only_edge(0), (std::pair<int, int>{0, 32768}));
+  EXPECT_EQ(net.gp_only_edge(net.gp_only_edge_count() - 1),
+            (std::pair<int, int>{32767, 65535}));
+  const int ta = net.dual_bridge_a();
+  const int tb = net.dual_bridge_b();
+  for (std::int64_t e = 0; e < net.gp_only_edge_count(); e += 104729) {
+    const auto [u, v] = net.gp_only_edge(e);
+    EXPECT_FALSE(u == ta && v == tb) << "bridge pair appeared at index " << e;
+  }
+}
+
+TEST(ScaleImplicit, DualCliqueGTopologyWorksPastImplicitThreshold) {
+  // dual_clique_g needs a materialized G layer; it must keep working at
+  // sizes where dual_clique() itself is implicit.
+  const Topology topo = scenario::topologies().build("dual_clique_g(2048)", 3);
+  EXPECT_FALSE(topo.net().is_implicit());
+  EXPECT_TRUE(topo.net().g_connected());
+  EXPECT_EQ(topo.net().gp_only_edge_count(), 0);  // protocol model: G' == G
+}
+
+TEST(ScaleImplicit, DualClique65536RunsStartToSolve) {
+  const Topology topo = scenario::topologies().build("dual_clique(65536)", 3);
+  const std::string algo = "decay_global(fixed,persistent)";
+  const ProcessFactory factory = scenario::algorithms().build(algo);
+  const KernelFactory kernel = scenario::build_kernel_or_null(algo);
+  std::shared_ptr<Problem> problem =
+      scenario::problems().build("global(1)", topo)();
+  std::unique_ptr<AlgorithmKernel> k =
+      scenario::select_kernel(kernel, *problem, factory);
+  KernelExecution exec(topo.net(), factory, std::move(k), std::move(problem),
+                       scenario::adversaries().build("none", topo)(),
+                       ExecutionConfig{}
+                           .with_seed(7)
+                           .with_max_rounds(6000)
+                           .with_history_policy(HistoryPolicy::lean));
+  const RunResult result = exec.run();
+  EXPECT_TRUE(result.solved) << "censored at " << result.rounds;
+  EXPECT_EQ(exec.resolver().last_path(), DeliveryResolver::Path::structured);
+}
+
+}  // namespace
+}  // namespace dualcast

@@ -28,23 +28,24 @@ class ProbeAdversary final : public LinkProcess {
 
   AdversaryClass adversary_class() const override { return cls_; }
 
-  EdgeSet choose_oblivious(int /*round*/, Rng& /*rng*/) override {
+  void choose_oblivious(int /*round*/, Rng& /*rng*/, EdgeSet& out) override {
     ++log_->oblivious;
-    return EdgeSet::none();
+    out.set_none();
   }
-  EdgeSet choose_online(int /*round*/, const ExecutionHistory& history,
-                        const StateInspector& /*inspector*/,
-                        Rng& /*rng*/) override {
+  void choose_online(int /*round*/, const ExecutionHistory& history,
+                     const StateInspector& /*inspector*/, Rng& /*rng*/,
+                     EdgeSet& out) override {
     ++log_->online;
     history_rounds_seen_ = history.rounds();
-    return EdgeSet::none();
+    out.set_none();
   }
-  EdgeSet choose_offline(int /*round*/, const ExecutionHistory& /*history*/,
-                         const StateInspector& /*inspector*/,
-                         const RoundActions& actions, Rng& /*rng*/) override {
+  void choose_offline(int /*round*/, const ExecutionHistory& /*history*/,
+                      const StateInspector& /*inspector*/,
+                      const RoundActions& actions, Rng& /*rng*/,
+                      EdgeSet& out) override {
     ++log_->offline;
     last_seen_transmitters_ = *actions.transmitters;
-    return EdgeSet::none();
+    out.set_none();
   }
 
   int history_rounds_seen_ = -1;

@@ -120,8 +120,8 @@ class SelectedEdges final : public LinkProcess {
   AdversaryClass adversary_class() const override {
     return AdversaryClass::oblivious;
   }
-  EdgeSet choose_oblivious(int /*round*/, Rng& /*rng*/) override {
-    return EdgeSet::some(indices_);
+  void choose_oblivious(int /*round*/, Rng& /*rng*/, EdgeSet& out) override {
+    out = EdgeSet::some(indices_);
   }
 
  private:

@@ -102,7 +102,7 @@ TEST(History, ActivatedAccountingPerKind) {
     exec.run();
     EXPECT_EQ(exec.history().round(0).activated, EdgeSet::Kind::none);
     EXPECT_EQ(exec.history().round(0).activated_count, 0);
-    EXPECT_TRUE(exec.history().round(0).activated_indices.empty());
+    EXPECT_TRUE(exec.history().round(0).activated_mask.empty());
   }
   {
     Execution exec(net, scripted_factory({{1}, {0}, {0}}), assign(3),
@@ -120,7 +120,7 @@ TEST(History, ActivatedAccountingPerKind) {
   }
 }
 
-TEST(History, SomeKindRecordsExactIndices) {
+TEST(History, MaskKindRecordsExactEdgeSet) {
   Graph g = line_graph(4);
   Graph gp = g;
   gp.add_edge(0, 2);
@@ -133,18 +133,48 @@ TEST(History, SomeKindRecordsExactIndices) {
     AdversaryClass adversary_class() const override {
       return AdversaryClass::oblivious;
     }
-    EdgeSet choose_oblivious(int, Rng&) override {
-      return EdgeSet::some({0});
+    void choose_oblivious(int, Rng&, EdgeSet& out) override {
+      out = EdgeSet::some({0});
     }
   };
   Execution exec(net, scripted_factory({{1}, {0}, {0}, {0}}), assign(4),
                  std::make_unique<PickFirst>(), {1, 1, {}});
   exec.run();
   const RoundRecord& rec = exec.history().round(0);
-  EXPECT_EQ(rec.activated, EdgeSet::Kind::some);
+  EXPECT_EQ(rec.activated, EdgeSet::Kind::mask);
   EXPECT_EQ(rec.activated_count, 1);
-  ASSERT_EQ(rec.activated_indices.size(), 1u);
-  EXPECT_EQ(rec.activated_indices[0], 0);
+  std::vector<std::int64_t> bits;
+  for_each_mask_bit(rec.activated_mask, [&](std::int64_t e) {
+    bits.push_back(e);
+  });
+  EXPECT_EQ(bits, (std::vector<std::int64_t>{0}));
+}
+
+TEST(History, EmptySelectionCollapsesToNone) {
+  // EdgeSet::some({}) — and any all-zero mask — must normalize to
+  // Kind::none, so no-op rounds take the resolver's no-overlay fast path.
+  Graph g = line_graph(4);
+  Graph gp = g;
+  gp.add_edge(0, 2);
+  gp.finalize();
+  const DualGraph net(std::move(g), std::move(gp));
+
+  class EmptySome final : public LinkProcess {
+   public:
+    AdversaryClass adversary_class() const override {
+      return AdversaryClass::oblivious;
+    }
+    void choose_oblivious(int, Rng&, EdgeSet& out) override {
+      out = EdgeSet::some({});
+    }
+  };
+  Execution exec(net, scripted_factory({{1}, {0}, {0}, {0}}), assign(4),
+                 std::make_unique<EmptySome>(), {1, 1, {}});
+  exec.run();
+  const RoundRecord& rec = exec.history().round(0);
+  EXPECT_EQ(rec.activated, EdgeSet::Kind::none);
+  EXPECT_EQ(rec.activated_count, 0);
+  EXPECT_TRUE(rec.activated_mask.empty());
 }
 
 TEST(History, EngineRejectsOutOfRangeEdgeIndices) {
@@ -159,8 +189,8 @@ TEST(History, EngineRejectsOutOfRangeEdgeIndices) {
     AdversaryClass adversary_class() const override {
       return AdversaryClass::oblivious;
     }
-    EdgeSet choose_oblivious(int, Rng&) override {
-      return EdgeSet::some({5});  // only index 0 exists
+    void choose_oblivious(int, Rng&, EdgeSet& out) override {
+      out = EdgeSet::some({5});  // only index 0 exists
     }
   };
   Execution exec(net, scripted_factory({{1}, {0}, {0}}), assign(3),
@@ -242,9 +272,9 @@ TEST(HistoryPolicyTest, AdaptiveAdversaryForcesFullFallback) {
     AdversaryClass adversary_class() const override {
       return AdversaryClass::online_adaptive;
     }
-    EdgeSet choose_online(int, const ExecutionHistory&, const StateInspector&,
-                          Rng&) override {
-      return EdgeSet::none();
+    void choose_online(int, const ExecutionHistory&, const StateInspector&,
+                       Rng&, EdgeSet& out) override {
+      out.set_none();
     }
   };
   const DualGraph net = ring_with_chords(6);

@@ -22,18 +22,21 @@ using testing::scripted_factory;
 /// Recomputes the deliveries of one recorded round per the §2 rule.
 std::set<std::pair<int, int>> reference_deliveries(const DualGraph& net,
                                                    const RoundRecord& record) {
-  // Build the round's topology adjacency test.
-  const auto& gp_only = net.gp_only_edges();
+  // Build the round's topology adjacency test (through the LayerView /
+  // indexed-edge surface, so implicit networks replay too).
   std::set<std::pair<int, int>> extra;
   if (record.activated == EdgeSet::Kind::all) {
-    for (const auto& [a, b] : gp_only) extra.insert({a, b});
-  } else if (record.activated == EdgeSet::Kind::some) {
-    for (const std::int32_t idx : record.activated_indices) {
-      extra.insert(gp_only[static_cast<std::size_t>(idx)]);
+    for (std::int64_t e = 0; e < net.gp_only_edge_count(); ++e) {
+      extra.insert(net.gp_only_edge(e));
     }
+  } else if (record.activated == EdgeSet::Kind::mask) {
+    for_each_mask_bit(record.activated_mask, [&](std::int64_t idx) {
+      extra.insert(net.gp_only_edge(idx));
+    });
   }
+  const LayerView g_view = net.g_layer();
   const auto connected = [&](int u, int v) {
-    if (net.g().has_edge(u, v)) return true;
+    if (g_view.has_edge(u, v)) return true;
     return extra.count({std::min(u, v), std::max(u, v)}) > 0;
   };
 

@@ -58,15 +58,18 @@ Resolved resolve_with(DeliveryResolver::Path path, const DualGraph& net,
 Resolved resolve_reference(const DualGraph& net,
                            const std::vector<int>& transmitters,
                            const EdgeSet& edges, bool collision_detection) {
+  const LayerView g_view = net.g_layer();
+  const LayerView gp_view = net.gprime_layer();
   const auto edge_active = [&](int u, int v) {
-    if (net.g().has_edge(u, v)) return true;
+    if (g_view.has_edge(u, v)) return true;
     if (edges.kind == EdgeSet::Kind::none) return false;
-    if (edges.kind == EdgeSet::Kind::all) return net.gprime().has_edge(u, v);
-    for (const std::int32_t idx : edges.indices) {
-      const auto [a, b] = net.gp_only_edges()[static_cast<std::size_t>(idx)];
-      if ((a == u && b == v) || (a == v && b == u)) return true;
-    }
-    return false;
+    if (edges.kind == EdgeSet::Kind::all) return gp_view.has_edge(u, v);
+    bool active = false;
+    for_each_mask_bit(edges.mask, [&](std::int64_t idx) {
+      const auto [a, b] = net.gp_only_edge(idx);
+      if ((a == u && b == v) || (a == v && b == u)) active = true;
+    });
+    return active;
   };
   std::vector<char> is_tx(static_cast<std::size_t>(net.n()), 0);
   for (const int v : transmitters) is_tx[static_cast<std::size_t>(v)] = 1;
@@ -215,6 +218,82 @@ TEST(DeliveryResolverHeuristic, BitmaplessNetworksFallBackToSweep) {
   EXPECT_EQ(resolver.last_path(), DeliveryResolver::Path::sweep);
   ASSERT_EQ(record.deliveries.size(), 1u);
   EXPECT_EQ(record.deliveries[0].receiver, 1);
+}
+
+// The structured path: on dual-clique-tagged networks (explicit-detected or
+// implicit) the per-side counting strategy must agree with the LayerView
+// sweep and the first-principles reference on random rounds of every
+// density and edge kind, with and without collision detection.
+TEST(DeliveryResolverDifferential, StructuredMatchesSweepAndReference) {
+  Rng rng(4242);
+  int rounds_checked = 0;
+  for (const bool with_bridge : {true, false}) {
+    for (const int n : {8, 12, 24}) {
+      const DualGraph explicit_net =
+          with_bridge ? dual_clique(n, n / 4).net
+                      : dual_clique_without_bridge(n).net;
+      const DualGraph implicit_net = DualGraph::implicit_dual_clique(
+          n, with_bridge ? n / 4 : 0, with_bridge);
+      for (const DualGraph* net : {&explicit_net, &implicit_net}) {
+        ASSERT_EQ(net->structure(), DualGraph::Structure::dual_clique);
+        const std::int64_t m_extra = net->gp_only_edge_count();
+        for (int round = 0; round < 12; ++round) {
+          const double p_tx = rng.uniform01();
+          std::vector<int> transmitters;
+          for (int v = 0; v < n; ++v) {
+            if (rng.bernoulli(p_tx)) transmitters.push_back(v);
+          }
+          EdgeSet edges;
+          const int kind = round % 3;
+          if (kind == 1) {
+            edges = EdgeSet::all();
+          } else if (kind == 2) {
+            std::vector<std::int32_t> idx;
+            for (std::int64_t e = 0; e < m_extra; ++e) {
+              if (rng.bernoulli(0.3)) idx.push_back(static_cast<std::int32_t>(e));
+            }
+            edges = EdgeSet::some(std::move(idx));
+          }
+          for (const bool collision : {false, true}) {
+            const Resolved reference =
+                resolve_reference(*net, transmitters, edges, collision);
+            const Resolved sweep =
+                resolve_with(DeliveryResolver::Path::sweep, *net,
+                             transmitters, edges, collision);
+            const Resolved structured =
+                resolve_with(DeliveryResolver::Path::structured, *net,
+                             transmitters, edges, collision);
+            ASSERT_EQ(sweep.deliveries, reference.deliveries)
+                << "sweep vs reference, n=" << n << " round=" << round
+                << " bridge=" << with_bridge;
+            ASSERT_EQ(sweep.colliders, reference.colliders);
+            ASSERT_EQ(structured.deliveries, reference.deliveries)
+                << "structured vs reference, n=" << n << " round=" << round
+                << " bridge=" << with_bridge
+                << " implicit=" << net->is_implicit();
+            ASSERT_EQ(structured.colliders, reference.colliders);
+            ++rounds_checked;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GE(rounds_checked, 200);
+}
+
+TEST(DeliveryResolverHeuristic, AutoSelectsStructuredOnDualCliques) {
+  const DualCliqueNet dc = dual_clique(32, 3);
+  DeliveryResolver resolver;
+  resolver.reset(&dc.net, false);
+  std::vector<int> tx_index_of(32, -1);
+  RoundRecord record;
+  record.transmitters = {1, 2, 5};
+  for (std::size_t i = 0; i < record.transmitters.size(); ++i) {
+    tx_index_of[static_cast<std::size_t>(record.transmitters[i])] =
+        static_cast<int>(i);
+  }
+  resolver.resolve(tx_index_of, EdgeSet::none(), record);
+  EXPECT_EQ(resolver.last_path(), DeliveryResolver::Path::structured);
 }
 
 // The blocked bitmaps past the old flat-row n = 4096 cap: on a large sparse
