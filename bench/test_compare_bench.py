@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Unit tests for compare_bench.py (wired into ctest as compare_bench_unit).
+
+Covers the contract CI leans on: a regression beyond threshold trips a
+nonzero exit, one-sided keys are warned about and skipped, direction
+depends on the artifact format (medians: lower is better; rounds_per_sec:
+higher is better), and --threshold KEY_PREFIX=PCT overrides apply with
+longest-prefix-wins.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "compare_bench.py")
+
+
+def median_row(scenario, column, x, median):
+    return {"scenario": scenario, "column": column, "x": x, "median": median}
+
+
+def throughput_row(scenario, engine, rps):
+    return {"scenario": scenario, "engine": engine, "rounds_per_sec": rps}
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory(prefix="compare_bench_")
+        self.addCleanup(self._dir.cleanup)
+
+    def artifact(self, name, rows):
+        path = os.path.join(self._dir.name, name)
+        with open(path, "w") as f:
+            json.dump(rows, f)
+        return path
+
+    def run_compare(self, baseline, current, *extra):
+        return subprocess.run(
+            [sys.executable, SCRIPT, baseline, current, *extra],
+            capture_output=True, text=True)
+
+    def test_identical_artifacts_pass(self):
+        rows = [median_row("fig1/a", "decay", 16, 100.0)]
+        result = self.run_compare(self.artifact("base.json", rows),
+                                  self.artifact("curr.json", rows))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("1 keys compared", result.stdout)
+
+    def test_median_regression_trips(self):
+        base = self.artifact("base.json",
+                             [median_row("fig1/a", "decay", 16, 100.0)])
+        curr = self.artifact("curr.json",
+                             [median_row("fig1/a", "decay", 16, 130.0)])
+        result = self.run_compare(base, curr)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSED", result.stdout)
+
+    def test_median_improvement_passes(self):
+        base = self.artifact("base.json",
+                             [median_row("fig1/a", "decay", 16, 130.0)])
+        curr = self.artifact("curr.json",
+                             [median_row("fig1/a", "decay", 16, 100.0)])
+        result = self.run_compare(base, curr)
+        self.assertEqual(result.returncode, 0)
+        self.assertIn("improved", result.stdout)
+
+    def test_throughput_direction_is_higher_is_better(self):
+        base = self.artifact("base.json",
+                             [throughput_row("scale/big", "kernel", 1000.0)])
+        slower = self.artifact("slower.json",
+                               [throughput_row("scale/big", "kernel", 700.0)])
+        faster = self.artifact("faster.json",
+                               [throughput_row("scale/big", "kernel", 1300.0)])
+        self.assertEqual(self.run_compare(base, slower).returncode, 1)
+        self.assertEqual(self.run_compare(base, faster).returncode, 0)
+
+    def test_one_sided_keys_are_skipped_not_failed(self):
+        base = self.artifact("base.json",
+                             [median_row("fig1/a", "decay", 16, 100.0),
+                              median_row("fig1/gone", "decay", 16, 50.0)])
+        curr = self.artifact("curr.json",
+                             [median_row("fig1/a", "decay", 16, 100.0),
+                              median_row("fig1/new", "decay", 16, 999.0)])
+        result = self.run_compare(base, curr)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("only in current", result.stdout)
+        self.assertIn("only in baseline", result.stdout)
+        self.assertIn("2 one-sided/unusable key(s) skipped", result.stdout)
+
+    def test_global_threshold_flag(self):
+        base = self.artifact("base.json",
+                             [median_row("fig1/a", "decay", 16, 100.0)])
+        curr = self.artifact("curr.json",
+                             [median_row("fig1/a", "decay", 16, 110.0)])
+        # +10% trips a 5% threshold but not the 15% default.
+        self.assertEqual(self.run_compare(base, curr).returncode, 0)
+        self.assertEqual(
+            self.run_compare(base, curr, "--threshold", "0.05").returncode, 1)
+
+    def test_prefix_override_loosens_one_tier_only(self):
+        base = self.artifact("base.json",
+                             [throughput_row("scale/big", "kernel", 1000.0),
+                              throughput_row("fig1/a", "kernel", 1000.0)])
+        curr = self.artifact("curr.json",
+                             [throughput_row("scale/big", "kernel", 700.0),
+                              throughput_row("fig1/a", "kernel", 1000.0)])
+        # -30% on scale/ fails the default but passes under a 50% override.
+        self.assertEqual(self.run_compare(base, curr).returncode, 1)
+        self.assertEqual(
+            self.run_compare(base, curr, "--threshold", "scale/=0.5")
+            .returncode, 0)
+        # ... while the same -30% under a fig1/ override still fails.
+        curr_fig1 = self.artifact("curr2.json",
+                                  [throughput_row("scale/big", "kernel",
+                                                  1000.0),
+                                   throughput_row("fig1/a", "kernel", 700.0)])
+        self.assertEqual(
+            self.run_compare(base, curr_fig1, "--threshold", "scale/=0.5")
+            .returncode, 1)
+
+    def test_longest_matching_prefix_wins(self):
+        base = self.artifact("base.json",
+                             [throughput_row("scale/big", "kernel", 1000.0)])
+        curr = self.artifact("curr.json",
+                             [throughput_row("scale/big", "kernel", 700.0)])
+        # The tight scale/ override would fail, but the longer, looser
+        # scale/big override shadows it.
+        result = self.run_compare(base, curr, "--threshold", "scale/=0.1",
+                                  "--threshold", "scale/big=0.5")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_unreadable_baseline_warns_and_passes(self):
+        curr = self.artifact("curr.json",
+                             [median_row("fig1/a", "decay", 16, 100.0)])
+        result = self.run_compare(
+            os.path.join(self._dir.name, "missing.json"), curr)
+        self.assertEqual(result.returncode, 0)
+        self.assertIn("skipping comparison", result.stdout)
+
+    def test_unreadable_current_fails(self):
+        base = self.artifact("base.json",
+                             [median_row("fig1/a", "decay", 16, 100.0)])
+        bad = os.path.join(self._dir.name, "bad.json")
+        with open(bad, "w") as f:
+            f.write("{not json")
+        result = self.run_compare(base, bad)
+        self.assertEqual(result.returncode, 2)
+
+    def test_bad_threshold_is_a_usage_error(self):
+        rows = [median_row("fig1/a", "decay", 16, 100.0)]
+        base = self.artifact("base.json", rows)
+        curr = self.artifact("curr.json", rows)
+        result = self.run_compare(base, curr, "--threshold", "=0.5")
+        self.assertEqual(result.returncode, 2)
+
+    def test_unparseable_rows_are_skipped(self):
+        base = self.artifact("base.json",
+                             [median_row("fig1/a", "decay", 16, 100.0)])
+        curr = self.artifact("curr.json",
+                             [median_row("fig1/a", "decay", 16, 100.0),
+                              {"median": "not-a-number", "scenario": "x"},
+                              {"unrelated": True}])
+        result = self.run_compare(base, curr)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

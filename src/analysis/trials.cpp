@@ -8,6 +8,19 @@
 #include "util/assert.hpp"
 
 namespace dualcast {
+namespace {
+
+std::atomic<std::uint64_t> g_trials_executed{0};
+
+}  // namespace
+
+std::uint64_t trials_executed() {
+  return g_trials_executed.load(std::memory_order_relaxed);
+}
+
+void note_trial_executed() {
+  g_trials_executed.fetch_add(1, std::memory_order_relaxed);
+}
 
 void run_tasks(int count, int threads, const std::function<void(int)>& fn) {
   DC_EXPECTS(count >= 0);

@@ -28,6 +28,16 @@ using TrialFn = std::function<double(std::uint64_t seed)>;
 /// runner's sweep-point-level scheduler.
 void run_tasks(int count, int threads, const std::function<void(int)>& fn);
 
+/// Process-wide count of trial executions performed through the scenario
+/// runner (any engine, any scheduler, any thread). The experiment
+/// service's result-cache guarantee is stated against this counter: a
+/// fully-cached serve leaves it untouched, so tests and the `serve`
+/// summary line can prove zero recomputation.
+std::uint64_t trials_executed();
+
+/// Increments trials_executed(); called once per trial by the runner.
+void note_trial_executed();
+
 /// Runs `count` trials with seeds base_seed, base_seed+1, ... and returns
 /// the raw fn values in seed order. `threads > 1` distributes trials over a
 /// pool; `fn` must then be safe to call concurrently (every Execution built

@@ -2,12 +2,13 @@
 
 #include <cerrno>
 #include <cstdlib>
-#include <fstream>
+#include <cstring>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <set>
 
-#include "scenario/scenario.hpp"
+#include "service/service_cli.hpp"
 #include "util/strfmt.hpp"
 
 namespace dualcast::scenario {
@@ -16,9 +17,12 @@ namespace {
 void print_usage(std::ostream& os, const char* binary) {
   os << "usage: " << binary
      << " [scenario-name-or-prefix ...] [options]\n"
+        "       " << binary
+     << " serve|worker|merge|status [subcommand options]\n"
         "\n"
         "options:\n"
-        "  --list        list registered scenarios and exit\n"
+        "  --list        list registered scenarios (grouped by catalog\n"
+        "                tier, with sweep sizes) and exit\n"
         "  --all         run every registered scenario\n"
         "  --smoke       tiny-scale run of the selection (default: all):\n"
         "                one small sweep point, 1 trial, capped rounds\n"
@@ -42,15 +46,52 @@ void print_usage(std::ostream& os, const char* binary) {
         "                (word-parallel block streams, 64 coins per draw\n"
         "                ladder; same distribution, different sample paths;\n"
         "                requires --engine kernel)\n"
-        "  --trials N    override each scenario's trial count\n";
+        "  --trials N    override each scenario's trial count\n"
+        "\n"
+        "experiment-service subcommands (see `" << binary
+     << " serve --help`):\n"
+        "  serve         cached/sharded run of a selection (persistent job\n"
+        "                store + result cache; byte-identical artifacts)\n"
+        "  worker        lease and measure shards of an existing job\n"
+        "  merge         reassemble a complete job into result rows\n"
+        "  status        report a job's shards, leases, and progress\n";
 }
 
 void print_list(std::ostream& os) {
-  os << "registered scenarios:\n";
+  // Grouped by catalog tier — the "tier/" prefix of the scenario name
+  // (fig1/, scale/, ext/, ...) — with each sweep's task volume spelled
+  // out, so `--list` doubles as a sizing sheet for service jobs.
+  std::vector<std::string> tiers;
+  std::map<std::string, std::vector<const ScenarioSpec*>> by_tier;
   for (const ScenarioSpec* spec : scenarios().all()) {
-    os << "  " << spec->name << "\n      " << spec->title << "\n";
+    const std::size_t slash = spec->name.find('/');
+    const std::string tier = slash == std::string::npos
+                                 ? std::string("(untiered)")
+                                 : spec->name.substr(0, slash + 1);
+    if (by_tier.find(tier) == by_tier.end()) tiers.push_back(tier);
+    by_tier[tier].push_back(spec);
+  }
+  os << "registered scenarios:\n";
+  for (const std::string& tier : tiers) {
+    const std::vector<const ScenarioSpec*>& specs = by_tier[tier];
+    os << "\n" << tier << "  (" << specs.size()
+       << (specs.size() == 1 ? " scenario)\n" : " scenarios)\n");
+    for (const ScenarioSpec* spec : specs) {
+      const long tasks = static_cast<long>(spec->sweep.size()) *
+                         static_cast<long>(spec->columns.size()) *
+                         static_cast<long>(spec->trials);
+      os << "  " << spec->name << "\n      " << spec->title << "\n      "
+         << spec->sweep.size() << " point"
+         << (spec->sweep.size() == 1 ? "" : "s") << " x "
+         << spec->columns.size() << " column"
+         << (spec->columns.size() == 1 ? "" : "s") << " x " << spec->trials
+         << " trial" << (spec->trials == 1 ? "" : "s") << " = " << tasks
+         << " tasks\n";
+    }
   }
 }
+
+}  // namespace
 
 int parse_int_flag(const std::string& flag, const char* value) {
   if (value == nullptr) {
@@ -66,10 +107,100 @@ int parse_int_flag(const std::string& flag, const char* value) {
   return static_cast<int>(parsed);
 }
 
-}  // namespace
+bool consume_run_option_flag(int argc, char** argv, int& i,
+                             RunOptions& options) {
+  const std::string arg = argv[i];
+  if (arg == "--smoke") {
+    options.smoke = true;
+  } else if (arg == "--threads") {
+    options.threads =
+        parse_int_flag("--threads", ++i < argc ? argv[i] : nullptr);
+  } else if (arg == "--sweep-threads") {
+    options.sweep_threads =
+        parse_int_flag("--sweep-threads", ++i < argc ? argv[i] : nullptr);
+  } else if (arg == "--history" || arg.rfind("--history=", 0) == 0) {
+    std::string value;
+    if (arg == "--history") {
+      if (++i >= argc) throw ScenarioError("--history requires a value");
+      value = argv[i];
+    } else {
+      value = arg.substr(std::string("--history=").size());
+    }
+    if (value == "full") {
+      options.history = HistoryPolicy::full;
+    } else if (value == "lean") {
+      options.history = HistoryPolicy::lean;
+    } else {
+      throw ScenarioError(
+          str("--history: expected \"full\" or \"lean\", got \"", value,
+              "\""));
+    }
+  } else if (arg == "--engine" || arg.rfind("--engine=", 0) == 0) {
+    std::string value;
+    if (arg == "--engine") {
+      if (++i >= argc) throw ScenarioError("--engine requires a value");
+      value = argv[i];
+    } else {
+      value = arg.substr(std::string("--engine=").size());
+    }
+    if (value == "kernel") {
+      options.engine = EnginePath::kernel;
+    } else if (value == "scalar") {
+      options.engine = EnginePath::scalar;
+    } else {
+      throw ScenarioError(
+          str("--engine: expected \"kernel\" or \"scalar\", got \"", value,
+              "\""));
+    }
+  } else if (arg == "--rng" || arg.rfind("--rng=", 0) == 0) {
+    std::string value;
+    if (arg == "--rng") {
+      if (++i >= argc) throw ScenarioError("--rng requires a value");
+      value = argv[i];
+    } else {
+      value = arg.substr(std::string("--rng=").size());
+    }
+    if (value == "per-node") {
+      options.rng = RngMode::per_node;
+    } else if (value == "word") {
+      options.rng = RngMode::word;
+    } else {
+      throw ScenarioError(
+          str("--rng: expected \"per-node\" or \"word\", got \"", value,
+              "\""));
+    }
+  } else if (arg == "--trials") {
+    options.trials_override =
+        parse_int_flag("--trials", ++i < argc ? argv[i] : nullptr);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<const ScenarioSpec*> resolve_selection(
+    const std::vector<std::string>& names) {
+  std::vector<const ScenarioSpec*> selection;
+  std::set<std::string> seen;
+  for (const std::string& name : names) {
+    const auto matched = scenarios().match(name);
+    if (matched.empty()) {
+      // get() throws with the list of known names.
+      scenarios().get(name);
+    }
+    for (const ScenarioSpec* spec : matched) {
+      if (seen.insert(spec->name).second) selection.push_back(spec);
+    }
+  }
+  return selection;
+}
 
 int run_main(int argc, char** argv,
              const std::vector<std::string>& default_names) {
+  if (argc >= 2 && service::is_service_command(argv[1])) {
+    return service::service_main(argc, argv);
+  }
+
   std::vector<std::string> names;
   std::string json_path;
   RunOptions options;
@@ -80,75 +211,15 @@ int run_main(int argc, char** argv,
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      if (arg == "--list") {
+      if (consume_run_option_flag(argc, argv, i, options)) {
+        continue;
+      } else if (arg == "--list") {
         list_only = true;
       } else if (arg == "--all") {
         run_all = true;
-      } else if (arg == "--smoke") {
-        options.smoke = true;
       } else if (arg == "--json") {
         if (++i >= argc) throw ScenarioError("--json requires a file path");
         json_path = argv[i];
-      } else if (arg == "--threads") {
-        options.threads =
-            parse_int_flag("--threads", ++i < argc ? argv[i] : nullptr);
-      } else if (arg == "--sweep-threads") {
-        options.sweep_threads =
-            parse_int_flag("--sweep-threads", ++i < argc ? argv[i] : nullptr);
-      } else if (arg == "--history" || arg.rfind("--history=", 0) == 0) {
-        std::string value;
-        if (arg == "--history") {
-          if (++i >= argc) throw ScenarioError("--history requires a value");
-          value = argv[i];
-        } else {
-          value = arg.substr(std::string("--history=").size());
-        }
-        if (value == "full") {
-          options.history = HistoryPolicy::full;
-        } else if (value == "lean") {
-          options.history = HistoryPolicy::lean;
-        } else {
-          throw ScenarioError(
-              str("--history: expected \"full\" or \"lean\", got \"", value,
-                  "\""));
-        }
-      } else if (arg == "--engine" || arg.rfind("--engine=", 0) == 0) {
-        std::string value;
-        if (arg == "--engine") {
-          if (++i >= argc) throw ScenarioError("--engine requires a value");
-          value = argv[i];
-        } else {
-          value = arg.substr(std::string("--engine=").size());
-        }
-        if (value == "kernel") {
-          options.engine = EnginePath::kernel;
-        } else if (value == "scalar") {
-          options.engine = EnginePath::scalar;
-        } else {
-          throw ScenarioError(
-              str("--engine: expected \"kernel\" or \"scalar\", got \"",
-                  value, "\""));
-        }
-      } else if (arg == "--rng" || arg.rfind("--rng=", 0) == 0) {
-        std::string value;
-        if (arg == "--rng") {
-          if (++i >= argc) throw ScenarioError("--rng requires a value");
-          value = argv[i];
-        } else {
-          value = arg.substr(std::string("--rng=").size());
-        }
-        if (value == "per-node") {
-          options.rng = RngMode::per_node;
-        } else if (value == "word") {
-          options.rng = RngMode::word;
-        } else {
-          throw ScenarioError(
-              str("--rng: expected \"per-node\" or \"word\", got \"", value,
-                  "\""));
-        }
-      } else if (arg == "--trials") {
-        options.trials_override =
-            parse_int_flag("--trials", ++i < argc ? argv[i] : nullptr);
       } else if (arg == "--help" || arg == "-h") {
         print_usage(std::cout, argv[0]);
         return 0;
@@ -167,25 +238,12 @@ int run_main(int argc, char** argv,
     // Resolve the selection: explicit names (by prefix), --all/--smoke
     // (everything), or the binary's defaults.
     std::vector<const ScenarioSpec*> selection;
-    std::set<std::string> seen;
-    const auto select = [&](const ScenarioSpec* spec) {
-      if (seen.insert(spec->name).second) selection.push_back(spec);
-    };
     if (!names.empty()) {
-      for (const std::string& name : names) {
-        const auto matched = scenarios().match(name);
-        if (matched.empty()) {
-          // get() throws with the list of known names.
-          scenarios().get(name);
-        }
-        for (const ScenarioSpec* spec : matched) select(spec);
-      }
+      selection = resolve_selection(names);
     } else if (run_all || (options.smoke && default_names.empty())) {
-      for (const ScenarioSpec* spec : scenarios().all()) select(spec);
+      selection = scenarios().all();
     } else {
-      for (const std::string& name : default_names) {
-        select(&scenarios().get(name));
-      }
+      selection = resolve_selection(default_names);
     }
     if (selection.empty()) {
       print_usage(std::cerr, argv[0]);
@@ -204,19 +262,10 @@ int run_main(int argc, char** argv,
       for (const ScenarioResult& result : results) {
         append_json_rows(result, json_rows);
       }
-    }
-
-    if (!json_path.empty()) {
-      std::ofstream out(json_path);
-      if (!out) {
+      if (!write_json_rows_file(json_path, json_rows)) {
         std::cerr << "error: cannot write " << json_path << "\n";
         return 1;
       }
-      out << "[";
-      for (std::size_t i = 0; i < json_rows.size(); ++i) {
-        out << (i > 0 ? ",\n " : "\n ") << json_rows[i];
-      }
-      out << "\n]\n";
       std::cout << "\nwrote " << json_rows.size() << " result rows to "
                 << json_path << "\n";
     }

@@ -1,0 +1,257 @@
+#include "scenario/plan.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "analysis/trials.hpp"
+#include "sim/execution.hpp"
+#include "sim/kernel_execution.hpp"
+#include "util/strfmt.hpp"
+
+namespace dualcast::scenario {
+namespace {
+
+/// Cross-scenario factory cache. Algorithm factories and their kernel
+/// counterparts depend only on the resolved spec string — never on the
+/// topology — so each is parsed and built once per process, however many
+/// sweep points, scenarios, or service jobs name it. (Adversary and
+/// problem factories receive the built Topology and stay per-point.)
+/// Guarded by a mutex because plans are prepared from service worker
+/// threads; std::map node stability keeps returned references valid.
+struct AlgorithmFactories {
+  ProcessFactory factory;
+  KernelFactory kernel;
+};
+
+const AlgorithmFactories& cached_algorithm(const std::string& spec) {
+  static std::mutex mutex;
+  static std::map<std::string, AlgorithmFactories> cache;
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(spec);
+  if (it == cache.end()) {
+    AlgorithmFactories built;
+    built.factory = algorithms().build(spec);
+    built.kernel = build_kernel_or_null(spec);
+    it = cache.emplace(spec, std::move(built)).first;
+  }
+  return it->second;
+}
+
+/// One trial's measurement, over either engine (they share the API the
+/// metric needs).
+template <typename Exec>
+double measure_execution(Exec& exec, const Metric& metric, int watch_node) {
+  if (!metric.first_receive) {
+    const RunResult result = exec.run();
+    return result.solved ? static_cast<double>(result.rounds) : -1.0;
+  }
+  const auto received = [&] {
+    return exec.first_receive_round()[static_cast<std::size_t>(watch_node)] >=
+           0;
+  };
+  while (!exec.done() && !received()) exec.step();
+  return received()
+             ? static_cast<double>(
+                   exec.first_receive_round()[static_cast<std::size_t>(
+                       watch_node)] +
+                   1)
+             : -1.0;
+}
+
+double run_one_trial(const Topology& topo, const CellPlan& cell,
+                     const Metric& metric, int watch_node, std::uint64_t seed,
+                     int max_rounds, HistoryPolicy history, EnginePath engine,
+                     RngMode rng_mode) {
+  note_trial_executed();
+  const ExecutionConfig config = ExecutionConfig{}
+                                     .with_seed(seed)
+                                     .with_max_rounds(max_rounds)
+                                     .with_history_policy(history)
+                                     .with_rng_mode(rng_mode);
+  if (engine == EnginePath::scalar) {
+    Execution exec(topo.net(), cell.factory, cell.problem(), cell.adversary(),
+                   config);
+    return measure_execution(exec, metric, watch_node);
+  }
+  std::shared_ptr<Problem> problem = cell.problem();
+  // Batch path: select_kernel picks the registered kernel or the
+  // scalar-adapter fallback (bit-identical either way; the adapter just
+  // carries real processes along).
+  std::unique_ptr<AlgorithmKernel> kernel =
+      select_kernel(cell.kernel, *problem, cell.factory);
+  KernelExecution exec(topo.net(), cell.factory, std::move(kernel),
+                       std::move(problem), cell.adversary(), config);
+  return measure_execution(exec, metric, watch_node);
+}
+
+}  // namespace
+
+PointPlan build_point_plan(const ScenarioSpec& spec, const Metric& metric,
+                           std::size_t i, const RunOptions& options) {
+  const double x = spec.sweep[i];
+  PointPlan point;
+  point.topo = topologies().build(
+      substitute_x(spec.topology, x),
+      spec.topology_seed + static_cast<std::uint64_t>(i));
+
+  std::map<std::string, double> vars;
+  vars["x"] = x;
+  vars["n"] = point.topo.n();
+  for (const auto& [name, value] : point.topo.marks) {
+    vars[name] = static_cast<double>(value);
+  }
+  point.max_rounds = resolve_rounds(spec.max_rounds, vars);
+  if (options.smoke && point.max_rounds > options.smoke_max_rounds) {
+    point.max_rounds = options.smoke_max_rounds;
+  }
+  point.watch_node = metric.first_receive ? point.topo.mark(metric.mark) : -1;
+
+  for (const ScenarioColumn& column : spec.columns) {
+    CellPlan cell;
+    const AlgorithmFactories& algo =
+        cached_algorithm(substitute_x(column.algorithm, x));
+    cell.factory = algo.factory;
+    cell.kernel = algo.kernel;
+    cell.adversary =
+        adversaries().build(substitute_x(column.adversary, x), point.topo);
+    cell.problem = problems().build(
+        substitute_x(column.problem.empty() ? spec.problem : column.problem,
+                     x),
+        point.topo);
+    point.cells.push_back(std::move(cell));
+  }
+  return point;
+}
+
+double measure_point_cell(const ScenarioSpec& spec, const Metric& metric,
+                          const PointPlan& point, int col, int trial,
+                          const RunOptions& options) {
+  const CellPlan& cell = point.cells[static_cast<std::size_t>(col)];
+  return run_one_trial(point.topo, cell, metric, point.watch_node,
+                       spec.base_seed + static_cast<std::uint64_t>(trial),
+                       point.max_rounds, options.history, options.engine,
+                       options.rng);
+}
+
+PointResult make_point_result(const ScenarioSpec& spec, double x,
+                              const PointPlan& planned,
+                              std::vector<std::vector<double>> raw_cells) {
+  PointResult point;
+  point.x = x;
+  point.n = planned.topo.n();
+  point.max_rounds = planned.max_rounds;
+  point.marks = planned.topo.marks;
+  for (std::size_t col = 0; col < spec.columns.size(); ++col) {
+    const CensoredTrials trials =
+        censor_trials(std::move(raw_cells[col]),
+                      static_cast<double>(planned.max_rounds));
+    CellResult cell;
+    cell.label = spec.columns[col].label;
+    cell.median = trials.median;
+    cell.p95 = trials.p95;
+    cell.failures = trials.failures;
+    cell.trials = trials.trials();
+    cell.values = trials.values;
+    point.cells.push_back(std::move(cell));
+  }
+  return point;
+}
+
+Metric parse_metric(const std::string& metric_spec) {
+  const SpecCall call = parse_call(metric_spec);
+  const SpecArgs args(call);
+  Metric metric;
+  if (call.name == "rounds") {
+    args.expect_count(0, 0);
+    return metric;
+  }
+  if (call.name == "first_receive") {
+    args.expect_count(1, 1);
+    metric.first_receive = true;
+    metric.mark = args.str_at(0);
+    return metric;
+  }
+  throw ScenarioError(str("metric \"", metric_spec,
+                          "\": expected \"rounds\" or "
+                          "\"first_receive(<mark>)\""));
+}
+
+PlanTask split_plan_task(int task, int n_cols, int trials) {
+  PlanTask out;
+  out.trial = task % trials;
+  out.col = (task / trials) % n_cols;
+  out.point = task / (trials * n_cols);
+  return out;
+}
+
+ScenarioSpec apply_options(const ScenarioSpec& original,
+                           const RunOptions& options) {
+  ScenarioSpec spec = original;
+  if (options.rng == RngMode::word && options.engine == EnginePath::scalar) {
+    throw ScenarioError(
+        "rng mode \"word\" requires the kernel engine (the scalar engine "
+        "has no word-parallel coin path)");
+  }
+  if (spec.sweep.empty()) {
+    throw ScenarioError(
+        str("scenario \"", spec.name, "\": sweep must be non-empty"));
+  }
+  if (spec.columns.empty()) {
+    throw ScenarioError(
+        str("scenario \"", spec.name, "\": columns must be non-empty"));
+  }
+  if (options.trials_override > 0) spec.trials = options.trials_override;
+  if (options.smoke) {
+    spec.sweep = {spec.smoke_x != 0.0 ? spec.smoke_x : spec.sweep.front()};
+    spec.trials = 1;
+    spec.fit.clear();
+  }
+  return spec;
+}
+
+void prepare_plan(ScenarioPlan& plan, ScenarioSpec applied_spec,
+                  const RunOptions& options) {
+  plan.spec = std::move(applied_spec);
+  plan.metric = parse_metric(plan.spec.metric);
+  plan.points.clear();
+  plan.points.reserve(plan.spec.sweep.size());
+  for (std::size_t i = 0; i < plan.spec.sweep.size(); ++i) {
+    plan.points.push_back(
+        build_point_plan(plan.spec, plan.metric, i, options));
+  }
+  plan.raw.assign(
+      plan.points.size(),
+      std::vector<std::vector<double>>(
+          static_cast<std::size_t>(plan.n_cols()),
+          std::vector<double>(static_cast<std::size_t>(plan.spec.trials))));
+}
+
+double measure_plan_task(const ScenarioPlan& plan, int task,
+                         const RunOptions& options) {
+  const PlanTask at = split_plan_task(task, plan.n_cols(), plan.spec.trials);
+  return measure_point_cell(plan.spec, plan.metric,
+                            plan.points[static_cast<std::size_t>(at.point)],
+                            at.col, at.trial, options);
+}
+
+void run_plan_task(ScenarioPlan& plan, int task, const RunOptions& options) {
+  const PlanTask at = split_plan_task(task, plan.n_cols(), plan.spec.trials);
+  plan.raw[static_cast<std::size_t>(at.point)][static_cast<std::size_t>(
+      at.col)][static_cast<std::size_t>(at.trial)] =
+      measure_plan_task(plan, task, options);
+}
+
+ScenarioResult assemble_plan(ScenarioPlan& plan) {
+  ScenarioResult result;
+  result.spec = plan.spec;
+  for (std::size_t p = 0; p < plan.points.size(); ++p) {
+    result.points.push_back(make_point_result(plan.spec, plan.spec.sweep[p],
+                                              plan.points[p],
+                                              std::move(plan.raw[p])));
+  }
+  return result;
+}
+
+}  // namespace dualcast::scenario

@@ -1,108 +1,18 @@
 #include "scenario/scenario.hpp"
 
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "analysis/fit.hpp"
 #include "analysis/table.hpp"
 #include "analysis/trials.hpp"
-#include "sim/execution.hpp"
-#include "sim/kernel_execution.hpp"
+#include "scenario/plan.hpp"
 #include "util/strfmt.hpp"
 
 namespace dualcast::scenario {
 namespace {
-
-/// The per-trial measurement, resolved from ScenarioSpec::metric.
-struct Metric {
-  bool first_receive = false;
-  std::string mark;  ///< mark name when first_receive
-};
-
-Metric parse_metric(const std::string& metric_spec) {
-  const SpecCall call = parse_call(metric_spec);
-  const SpecArgs args(call);
-  Metric metric;
-  if (call.name == "rounds") {
-    args.expect_count(0, 0);
-    return metric;
-  }
-  if (call.name == "first_receive") {
-    args.expect_count(1, 1);
-    metric.first_receive = true;
-    metric.mark = args.str_at(0);
-    return metric;
-  }
-  throw ScenarioError(str("metric \"", metric_spec,
-                          "\": expected \"rounds\" or "
-                          "\"first_receive(<mark>)\""));
-}
-
-/// One trial's measurement, over either engine (they share the API the
-/// metric needs).
-template <typename Exec>
-double measure_execution(Exec& exec, const Metric& metric, int watch_node) {
-  if (!metric.first_receive) {
-    const RunResult result = exec.run();
-    return result.solved ? static_cast<double>(result.rounds) : -1.0;
-  }
-  const auto received = [&] {
-    return exec.first_receive_round()[static_cast<std::size_t>(watch_node)] >=
-           0;
-  };
-  while (!exec.done() && !received()) exec.step();
-  return received()
-             ? static_cast<double>(
-                   exec.first_receive_round()[static_cast<std::size_t>(
-                       watch_node)] +
-                   1)
-             : -1.0;
-}
-
-/// One measured cell's resolved factories. Factories capture values and
-/// shared_ptrs only, so a plan is safe to consult from worker threads (and
-/// to relocate before they start).
-struct CellPlan {
-  ProcessFactory factory;
-  KernelFactory kernel;  ///< empty when no batch port is registered
-  LinkProcessFactory adversary;
-  ProblemFactory problem;
-};
-
-/// One sweep point's execution plan: its topology plus each column's
-/// resolved factories.
-struct PointPlan {
-  Topology topo;
-  int max_rounds = 0;
-  int watch_node = -1;
-  std::vector<CellPlan> cells;
-};
-
-double run_one_trial(const Topology& topo, const CellPlan& cell,
-                     const Metric& metric, int watch_node, std::uint64_t seed,
-                     int max_rounds, HistoryPolicy history,
-                     EnginePath engine, RngMode rng_mode) {
-  const ExecutionConfig config = ExecutionConfig{}
-                                     .with_seed(seed)
-                                     .with_max_rounds(max_rounds)
-                                     .with_history_policy(history)
-                                     .with_rng_mode(rng_mode);
-  if (engine == EnginePath::scalar) {
-    Execution exec(topo.net(), cell.factory, cell.problem(), cell.adversary(),
-                   config);
-    return measure_execution(exec, metric, watch_node);
-  }
-  std::shared_ptr<Problem> problem = cell.problem();
-  // Batch path: select_kernel picks the registered kernel or the
-  // scalar-adapter fallback (bit-identical either way; the adapter just
-  // carries real processes along).
-  std::unique_ptr<AlgorithmKernel> kernel =
-      select_kernel(cell.kernel, *problem, cell.factory);
-  KernelExecution exec(topo.net(), cell.factory, std::move(kernel),
-                       std::move(problem), cell.adversary(), config);
-  return measure_execution(exec, metric, watch_node);
-}
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -124,158 +34,17 @@ std::string json_number(double v) {
   return os.str();
 }
 
-/// A scenario after option overrides, with its parsed metric and (once
-/// prepared) its per-sweep-point execution plans and raw trial values.
-/// This is the unit both schedulers operate on: run_scenario fills one,
-/// run_scenarios fills a batch of them against a single shared queue.
-struct ScenarioPlan {
-  ScenarioSpec spec;
-  Metric metric;
-  std::vector<PointPlan> points;
-  /// raw[point][column][trial], filled by the schedulers in seed order.
-  std::vector<std::vector<std::vector<double>>> raw;
-
-  int n_cols() const { return static_cast<int>(spec.columns.size()); }
-  int tasks() const {
-    return static_cast<int>(points.size()) * n_cols() * spec.trials;
-  }
-};
-
-ScenarioSpec apply_options(const ScenarioSpec& original,
-                           const RunOptions& options) {
-  ScenarioSpec spec = original;
-  if (options.rng == RngMode::word && options.engine == EnginePath::scalar) {
-    throw ScenarioError(
-        "rng mode \"word\" requires the kernel engine (the scalar engine "
-        "has no word-parallel coin path)");
-  }
-  if (spec.sweep.empty()) {
-    throw ScenarioError(
-        str("scenario \"", spec.name, "\": sweep must be non-empty"));
-  }
-  if (spec.columns.empty()) {
-    throw ScenarioError(
-        str("scenario \"", spec.name, "\": columns must be non-empty"));
-  }
-  if (options.trials_override > 0) spec.trials = options.trials_override;
-  if (options.smoke) {
-    spec.sweep = {spec.smoke_x != 0.0 ? spec.smoke_x : spec.sweep.front()};
-    spec.trials = 1;
-    spec.fit.clear();
-  }
-  return spec;
+/// Length-prefixed field emitter for canonical_spec_string: "key:len:bytes;"
+/// is injective without any escaping, so two distinct specs can never
+/// canonicalize to the same string (which is what makes the hash a safe
+/// cache/job key).
+void canon_field(std::ostringstream& os, const char* key,
+                 const std::string& value) {
+  os << key << ':' << value.size() << ':' << value << ';';
 }
 
-PointPlan build_point(const ScenarioSpec& spec, const Metric& metric,
-                      std::size_t i, const RunOptions& options) {
-  const double x = spec.sweep[i];
-  PointPlan point;
-  point.topo = topologies().build(
-      substitute_x(spec.topology, x),
-      spec.topology_seed + static_cast<std::uint64_t>(i));
-
-  std::map<std::string, double> vars;
-  vars["x"] = x;
-  vars["n"] = point.topo.n();
-  for (const auto& [name, value] : point.topo.marks) {
-    vars[name] = static_cast<double>(value);
-  }
-  point.max_rounds = resolve_rounds(spec.max_rounds, vars);
-  if (options.smoke && point.max_rounds > options.smoke_max_rounds) {
-    point.max_rounds = options.smoke_max_rounds;
-  }
-  point.watch_node = metric.first_receive ? point.topo.mark(metric.mark) : -1;
-
-  for (const ScenarioColumn& column : spec.columns) {
-    CellPlan cell;
-    const std::string algorithm_spec = substitute_x(column.algorithm, x);
-    cell.factory = algorithms().build(algorithm_spec);
-    cell.kernel = build_kernel_or_null(algorithm_spec);
-    cell.adversary =
-        adversaries().build(substitute_x(column.adversary, x), point.topo);
-    cell.problem = problems().build(
-        substitute_x(column.problem.empty() ? spec.problem : column.problem,
-                     x),
-        point.topo);
-    point.cells.push_back(std::move(cell));
-  }
-  return point;
-}
-
-/// Measurement. Every trial is keyed by (point, column, seed) alone —
-/// never by scheduling order — so every scheduler produces bit-identical
-/// raw value vectors, and censoring goes through the one shared helper.
-double measure(const ScenarioSpec& spec, const Metric& metric,
-               const PointPlan& point, int col, int trial,
-               const RunOptions& options) {
-  const CellPlan& cell = point.cells[static_cast<std::size_t>(col)];
-  return run_one_trial(point.topo, cell, metric, point.watch_node,
-                       spec.base_seed + static_cast<std::uint64_t>(trial),
-                       point.max_rounds, options.history, options.engine,
-                       options.rng);
-}
-
-PointResult make_point_result(const ScenarioSpec& spec, double x,
-                              const PointPlan& planned,
-                              std::vector<std::vector<double>> raw_cells) {
-  PointResult point;
-  point.x = x;
-  point.n = planned.topo.n();
-  point.max_rounds = planned.max_rounds;
-  point.marks = planned.topo.marks;
-  for (std::size_t col = 0; col < spec.columns.size(); ++col) {
-    const CensoredTrials trials =
-        censor_trials(std::move(raw_cells[col]),
-                      static_cast<double>(planned.max_rounds));
-    CellResult cell;
-    cell.label = spec.columns[col].label;
-    cell.median = trials.median;
-    cell.p95 = trials.p95;
-    cell.failures = trials.failures;
-    cell.trials = trials.trials();
-    cell.values = trials.values;
-    point.cells.push_back(std::move(cell));
-  }
-  return point;
-}
-
-/// Builds every point plan up front (pool schedulers need them all alive)
-/// and sizes the raw value store.
-void prepare_points(ScenarioPlan& plan, const RunOptions& options) {
-  plan.points.reserve(plan.spec.sweep.size());
-  for (std::size_t i = 0; i < plan.spec.sweep.size(); ++i) {
-    plan.points.push_back(build_point(plan.spec, plan.metric, i, options));
-  }
-  plan.raw.resize(plan.points.size());
-  for (auto& point_raw : plan.raw) {
-    point_raw.assign(
-        static_cast<std::size_t>(plan.n_cols()),
-        std::vector<double>(static_cast<std::size_t>(plan.spec.trials)));
-  }
-}
-
-/// Executes flat task `task` of a prepared plan (trial-major order).
-void run_plan_task(ScenarioPlan& plan, int task, const RunOptions& options) {
-  const int n_trials = plan.spec.trials;
-  const int trial = task % n_trials;
-  const int col = (task / n_trials) % plan.n_cols();
-  const int p = task / (n_trials * plan.n_cols());
-  plan.raw[static_cast<std::size_t>(p)][static_cast<std::size_t>(col)]
-      [static_cast<std::size_t>(trial)] =
-          measure(plan.spec, plan.metric,
-                  plan.points[static_cast<std::size_t>(p)], col, trial,
-                  options);
-}
-
-ScenarioResult assemble(ScenarioPlan& plan) {
-  ScenarioResult result;
-  result.spec = plan.spec;
-  for (std::size_t p = 0; p < plan.points.size(); ++p) {
-    result.points.push_back(make_point_result(plan.spec, plan.spec.sweep[p],
-                                              plan.points[p],
-                                              std::move(plan.raw[p])));
-  }
-  return result;
+void canon_number(std::ostringstream& os, const char* key, double value) {
+  canon_field(os, key, json_number(value));
 }
 
 }  // namespace
@@ -284,42 +53,78 @@ const char* to_string(EnginePath engine) {
   return engine == EnginePath::kernel ? "kernel" : "scalar";
 }
 
+const char* to_string(RngMode rng) {
+  return rng == RngMode::word ? "word" : "per-node";
+}
+
+std::string canonical_spec_string(const ScenarioSpec& spec) {
+  std::ostringstream os;
+  canon_field(os, "name", spec.name);
+  canon_field(os, "topology", spec.topology);
+  canon_field(os, "problem", spec.problem);
+  canon_field(os, "metric", spec.metric);
+  canon_field(os, "axis", spec.axis);
+  std::ostringstream sweep;
+  for (const double x : spec.sweep) sweep << json_number(x) << ',';
+  canon_field(os, "sweep", sweep.str());
+  canon_number(os, "smoke_x", spec.smoke_x);
+  canon_number(os, "trials", spec.trials);
+  canon_number(os, "base_seed", static_cast<double>(spec.base_seed));
+  canon_number(os, "topology_seed", static_cast<double>(spec.topology_seed));
+  canon_field(os, "max_rounds", spec.max_rounds);
+  for (const ScenarioColumn& column : spec.columns) {
+    std::ostringstream col;
+    canon_field(col, "label", column.label);
+    canon_field(col, "algorithm", column.algorithm);
+    canon_field(col, "adversary", column.adversary);
+    canon_field(col, "problem", column.problem);
+    canon_field(os, "column", col.str());
+  }
+  return os.str();
+}
+
+std::uint64_t catalog_hash() {
+  std::uint64_t hash = kFnvOffsetBasis;
+  for (const ScenarioSpec* spec : scenarios().all()) {
+    hash = fnv1a64(canonical_spec_string(*spec), hash);
+  }
+  return hash;
+}
+
 ScenarioResult run_scenario(const ScenarioSpec& original,
                             const RunOptions& options) {
-  ScenarioPlan plan;
-  plan.spec = apply_options(original, options);
-  plan.metric = parse_metric(plan.spec.metric);
-
   ScenarioResult result;
   if (options.sweep_threads > 1) {
     // Sweep-point-level scheduler: one flat work queue over every
     // (point × column × trial), consumed by a shared pool.
-    prepare_points(plan, options);
+    ScenarioPlan plan;
+    prepare_plan(plan, apply_options(original, options), options);
     run_tasks(plan.tasks(), options.sweep_threads,
               [&](int task) { run_plan_task(plan, task, options); });
-    result = assemble(plan);
+    result = assemble_plan(plan);
   } else {
     // Sequential / per-cell trial-pool path: one point alive at a time, so
     // peak memory stays O(largest topology) however long the sweep is.
-    const ScenarioSpec& spec = plan.spec;
+    const ScenarioSpec spec = apply_options(original, options);
+    const Metric metric = parse_metric(spec.metric);
     result.spec = spec;
-    const int n_cols = plan.n_cols();
+    const int n_cols = static_cast<int>(spec.columns.size());
     for (std::size_t i = 0; i < spec.sweep.size(); ++i) {
-      const PointPlan point = build_point(spec, plan.metric, i, options);
+      const PointPlan point = build_point_plan(spec, metric, i, options);
       std::vector<std::vector<double>> raw_cells;
       raw_cells.reserve(static_cast<std::size_t>(n_cols));
       for (int col = 0; col < n_cols; ++col) {
         raw_cells.push_back(run_raw_trials(
             spec.trials, spec.base_seed,
             [&](std::uint64_t seed) {
-              return measure(spec, plan.metric, point, col,
-                             static_cast<int>(seed - spec.base_seed),
-                             options);
+              return measure_point_cell(
+                  spec, metric, point, col,
+                  static_cast<int>(seed - spec.base_seed), options);
             },
             options.threads));
       }
-      result.points.push_back(make_point_result(
-          spec, spec.sweep[i], point, std::move(raw_cells)));
+      result.points.push_back(make_point_result(spec, spec.sweep[i], point,
+                                                std::move(raw_cells)));
     }
   }
 
@@ -346,9 +151,7 @@ std::vector<ScenarioResult> run_scenarios(
   std::vector<ScenarioPlan> plans(specs.size());
   std::vector<int> task_offset(specs.size() + 1, 0);
   for (std::size_t s = 0; s < specs.size(); ++s) {
-    plans[s].spec = apply_options(*specs[s], options);
-    plans[s].metric = parse_metric(plans[s].spec.metric);
-    prepare_points(plans[s], options);
+    prepare_plan(plans[s], apply_options(*specs[s], options), options);
     task_offset[s + 1] = task_offset[s] + plans[s].tasks();
   }
   run_tasks(task_offset.back(), options.sweep_threads, [&](int task) {
@@ -359,7 +162,7 @@ std::vector<ScenarioResult> run_scenarios(
     run_plan_task(plans[s], task - task_offset[s], options);
   });
   for (std::size_t s = 0; s < specs.size(); ++s) {
-    results.push_back(assemble(plans[s]));
+    results.push_back(assemble_plan(plans[s]));
     if (options.out != nullptr) print_result(results.back(), *options.out);
   }
   return results;
@@ -438,6 +241,18 @@ void append_json_rows(const ScenarioResult& result,
       rows.push_back(os.str());
     }
   }
+}
+
+bool write_json_rows_file(const std::string& path,
+                          const std::vector<std::string>& rows) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << (i > 0 ? ",\n " : "\n ") << rows[i];
+  }
+  out << "\n]\n";
+  return static_cast<bool>(out);
 }
 
 void ScenarioCatalog::add(ScenarioSpec spec) {

@@ -98,6 +98,7 @@ struct ScenarioResult {
 enum class EnginePath : std::uint8_t { kernel, scalar };
 
 const char* to_string(EnginePath engine);
+const char* to_string(RngMode rng);
 
 struct RunOptions {
   int threads = 1;         ///< thread-pool width over trials (within one cell)
@@ -155,6 +156,24 @@ void print_result(const ScenarioResult& result, std::ostream& os);
 /// machine-readable form of the result, including raw per-trial values.
 void append_json_rows(const ScenarioResult& result,
                       std::vector<std::string>& rows);
+
+/// Writes rows as the one JSON-array file format every producer shares —
+/// the CLI's --json, the experiment service's merger, and its result
+/// cache all emit through here, so their artifacts are byte-comparable.
+/// Returns false when the file cannot be written.
+bool write_json_rows_file(const std::string& path,
+                          const std::vector<std::string>& rows);
+
+/// Deterministic, injective serialization of a spec (length-prefixed
+/// fields, no escaping ambiguity). Hashing it yields the spec's identity
+/// for the experiment service's job store and result cache.
+std::string canonical_spec_string(const ScenarioSpec& spec);
+
+/// FNV-1a over every registered scenario's canonical string, in
+/// registration order: the catalog's identity. Service jobs and cache
+/// entries record it so results computed against one catalog are never
+/// replayed against another.
+std::uint64_t catalog_hash();
 
 // ---------------------------------------------------------------------------
 // Scenario registry

@@ -27,6 +27,43 @@ bool valid_name_char(char c) {
 
 }  // namespace
 
+std::uint64_t fnv1a64(const std::string& text, std::uint64_t hash) {
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[hash & 0xf];
+    hash >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t parse_hash_hex(const std::string& text) {
+  if (text.empty() || text.size() > 16) {
+    throw ScenarioError(str("bad hash \"", text, "\""));
+  }
+  std::uint64_t hash = 0;
+  for (const char c : text) {
+    hash <<= 4;
+    if (c >= '0' && c <= '9') {
+      hash |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      hash |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      throw ScenarioError(str("bad hash \"", text, "\""));
+    }
+  }
+  return hash;
+}
+
 SpecCall parse_call(const std::string& text) {
   const std::string spec = trim(text);
   SpecCall call;

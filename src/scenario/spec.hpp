@@ -82,6 +82,26 @@ std::string format_x(double x);
 int resolve_rounds(const std::string& expr,
                    const std::map<std::string, double>& vars);
 
+// ---------------------------------------------------------------------------
+// Content hashing (experiment-service identities)
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64-bit offset basis — the `seed` for a fresh hash chain.
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+
+/// Folds `text` into an FNV-1a 64-bit hash chain. Chain calls to hash a
+/// sequence of strings order-sensitively:
+///   fnv1a64("b", fnv1a64("a"))  !=  fnv1a64("a", fnv1a64("b"))
+std::uint64_t fnv1a64(const std::string& text,
+                      std::uint64_t hash = kFnvOffsetBasis);
+
+/// Renders a hash as fixed-width lowercase hex (the file-name form used by
+/// the job store and result cache).
+std::string hash_hex(std::uint64_t hash);
+
+/// Inverse of hash_hex; throws ScenarioError on malformed input.
+std::uint64_t parse_hash_hex(const std::string& text);
+
 /// Comma-joins a projection of a container's elements — the "known: a, b, c"
 /// tail every unknown-name error message carries. "(none)" when empty.
 template <typename Container, typename NameOf>

@@ -1,0 +1,491 @@
+#include "service/job_store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "scenario/plan.hpp"
+#include "util/strfmt.hpp"
+
+namespace dualcast::service {
+namespace {
+
+namespace fs = std::filesystem;
+using scenario::ScenarioError;
+
+std::string join_path(const std::string& dir, const std::string& leaf) {
+  return (fs::path(dir) / leaf).string();
+}
+
+void ensure_dir(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    throw ScenarioError(str("cannot create directory ", dir, ": ",
+                            ec.message()));
+  }
+}
+
+/// fsync on a path (directories included) so renames/creates within it are
+/// durable before we acknowledge them.
+void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// Durable whole-file write: temp file in the same directory, fsync,
+/// rename over the target, fsync the directory. Readers never observe a
+/// partial file.
+void atomic_write_file(const std::string& path, const std::string& content) {
+  const std::string tmp = str(path, ".tmp.", static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw ScenarioError(str("cannot write ", tmp));
+  ssize_t off = 0;
+  while (off < static_cast<ssize_t>(content.size())) {
+    const ssize_t wrote =
+        ::write(fd, content.data() + off, content.size() - off);
+    if (wrote < 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw ScenarioError(str("write failed for ", tmp));
+    }
+    off += wrote;
+  }
+  ::fsync(fd);
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw ScenarioError(str("cannot rename ", tmp, " -> ", path));
+  }
+  fsync_path(fs::path(path).parent_path().string());
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+const char* history_name(HistoryPolicy history) {
+  return history == HistoryPolicy::full ? "full" : "lean";
+}
+
+std::uint64_t value_bits(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double bits_value(std::uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::string serialize_meta(const JobSpec& spec) {
+  std::ostringstream os;
+  os << "dualcast-job v1\n";
+  os << "key " << scenario::hash_hex(spec.key) << "\n";
+  os << "catalog " << scenario::hash_hex(spec.catalog) << "\n";
+  os << "engine " << scenario::to_string(spec.engine) << "\n";
+  os << "rng " << scenario::to_string(spec.rng) << "\n";
+  os << "history " << history_name(spec.history) << "\n";
+  os << "trials_override " << spec.trials_override << "\n";
+  os << "smoke " << (spec.smoke ? 1 : 0) << "\n";
+  os << "shard_tasks " << spec.shard_tasks << "\n";
+  os << "lease_ttl " << spec.lease_ttl_seconds << "\n";
+  for (const std::string& name : spec.scenario_names) {
+    os << "scenario " << name << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+JobSpec parse_meta(const std::string& text, const std::string& path) {
+  JobSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "dualcast-job v1") {
+    throw ScenarioError(str(path, ": not a dualcast job meta file"));
+  }
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      throw ScenarioError(str(path, ": malformed meta line \"", line, "\""));
+    }
+    const std::string field = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    if (field == "key") {
+      spec.key = scenario::parse_hash_hex(value);
+    } else if (field == "catalog") {
+      spec.catalog = scenario::parse_hash_hex(value);
+    } else if (field == "engine") {
+      if (value == "kernel") {
+        spec.engine = scenario::EnginePath::kernel;
+      } else if (value == "scalar") {
+        spec.engine = scenario::EnginePath::scalar;
+      } else {
+        throw ScenarioError(str(path, ": unknown engine \"", value, "\""));
+      }
+    } else if (field == "rng") {
+      if (value == "per-node") {
+        spec.rng = RngMode::per_node;
+      } else if (value == "word") {
+        spec.rng = RngMode::word;
+      } else {
+        throw ScenarioError(str(path, ": unknown rng \"", value, "\""));
+      }
+    } else if (field == "history") {
+      if (value == "lean") {
+        spec.history = HistoryPolicy::lean;
+      } else if (value == "full") {
+        spec.history = HistoryPolicy::full;
+      } else {
+        throw ScenarioError(str(path, ": unknown history \"", value, "\""));
+      }
+    } else if (field == "trials_override") {
+      spec.trials_override = std::stoi(value);
+    } else if (field == "smoke") {
+      spec.smoke = value == "1";
+    } else if (field == "shard_tasks") {
+      spec.shard_tasks = std::stoi(value);
+    } else if (field == "lease_ttl") {
+      spec.lease_ttl_seconds = std::stoi(value);
+    } else if (field == "scenario") {
+      spec.scenario_names.push_back(value);
+    } else {
+      // Unknown fields from a newer writer are skipped, not fatal.
+    }
+  }
+  if (!saw_end) {
+    throw ScenarioError(str(path, ": truncated meta file (no \"end\")"));
+  }
+  if (spec.scenario_names.empty()) {
+    throw ScenarioError(str(path, ": job has no scenarios"));
+  }
+  if (spec.shard_tasks < 1) {
+    throw ScenarioError(str(path, ": shard_tasks must be >= 1"));
+  }
+  return spec;
+}
+
+/// The flat task space: per-scenario offsets computed from the *applied*
+/// specs, identical to run_scenarios()'s queue layout.
+std::vector<int> compute_task_offsets(const JobSpec& spec) {
+  const scenario::RunOptions options = spec.run_options();
+  std::vector<int> offsets{0};
+  offsets.reserve(spec.scenario_names.size() + 1);
+  for (const std::string& name : spec.scenario_names) {
+    const scenario::ScenarioSpec applied =
+        scenario::apply_options(scenario::scenarios().get(name), options);
+    const int tasks = static_cast<int>(applied.sweep.size()) *
+                      static_cast<int>(applied.columns.size()) *
+                      applied.trials;
+    offsets.push_back(offsets.back() + tasks);
+  }
+  return offsets;
+}
+
+struct LeaseContent {
+  std::string owner;
+  std::int64_t expiry = 0;
+};
+
+std::optional<LeaseContent> parse_lease(const std::string& path) {
+  std::string text;
+  if (!read_file(path, text)) return std::nullopt;
+  LeaseContent lease;
+  std::istringstream in(text);
+  std::string field;
+  std::string owner;
+  long long expiry = 0;
+  if (!(in >> field >> owner) || field != "owner") return std::nullopt;
+  if (!(in >> field >> expiry) || field != "expiry") return std::nullopt;
+  lease.owner = owner;
+  lease.expiry = expiry;
+  return lease;
+}
+
+std::string lease_content(const std::string& owner, std::int64_t expiry) {
+  return str("owner ", owner, "\nexpiry ", expiry, "\n");
+}
+
+std::int64_t now_seconds() {
+  return static_cast<std::int64_t>(::time(nullptr));
+}
+
+}  // namespace
+
+scenario::RunOptions JobSpec::run_options() const {
+  scenario::RunOptions options;
+  options.engine = engine;
+  options.rng = rng;
+  options.history = history;
+  options.trials_override = trials_override;
+  options.smoke = smoke;
+  return options;
+}
+
+JobSpec make_job_spec(
+    const std::vector<const scenario::ScenarioSpec*>& selection,
+    const scenario::RunOptions& options, int shard_tasks,
+    int lease_ttl_seconds) {
+  if (selection.empty()) {
+    throw ScenarioError("job: empty scenario selection");
+  }
+  if (shard_tasks < 1) {
+    throw ScenarioError("job: shard_tasks must be >= 1");
+  }
+  JobSpec spec;
+  spec.engine = options.engine;
+  spec.rng = options.rng;
+  spec.history = options.history;
+  spec.trials_override = options.trials_override;
+  spec.smoke = options.smoke;
+  spec.shard_tasks = shard_tasks;
+  spec.lease_ttl_seconds = lease_ttl_seconds;
+  spec.catalog = scenario::catalog_hash();
+
+  // The job key covers everything that determines the merged bytes: the
+  // applied canonical spec of every selected scenario plus the engine and
+  // rng mode. (History retention and shard geometry never change results,
+  // so they stay out of the identity.)
+  std::uint64_t key = scenario::kFnvOffsetBasis;
+  key = scenario::fnv1a64(scenario::to_string(options.engine), key);
+  key = scenario::fnv1a64(scenario::to_string(options.rng), key);
+  for (const scenario::ScenarioSpec* original : selection) {
+    spec.scenario_names.push_back(original->name);
+    key = scenario::fnv1a64(
+        scenario::canonical_spec_string(
+            scenario::apply_options(*original, options)),
+        key);
+  }
+  spec.key = key;
+  return spec;
+}
+
+JobStore::JobStore(std::string dir, JobSpec spec)
+    : dir_(std::move(dir)), spec_(std::move(spec)) {
+  task_offset_ = compute_task_offsets(spec_);
+}
+
+JobStore JobStore::create_or_attach(const std::string& dir,
+                                    const JobSpec& spec) {
+  const std::string meta_path = join_path(dir, "job.meta");
+  if (fs::exists(meta_path)) {
+    JobStore store = open(dir);
+    if (store.spec().key != spec.key) {
+      throw ScenarioError(
+          str(dir, ": existing job ", scenario::hash_hex(store.spec().key),
+              " does not match requested job ", scenario::hash_hex(spec.key),
+              " (different selection, options, or catalog)"));
+    }
+    return store;
+  }
+  ensure_dir(dir);
+  ensure_dir(join_path(dir, "shards"));
+  ensure_dir(join_path(dir, "leases"));
+  atomic_write_file(meta_path, serialize_meta(spec));
+  return JobStore(dir, spec);
+}
+
+JobStore JobStore::open(const std::string& dir) {
+  const std::string meta_path = join_path(dir, "job.meta");
+  std::string text;
+  if (!read_file(meta_path, text)) {
+    throw ScenarioError(str(dir, ": no job here (missing job.meta)"));
+  }
+  JobSpec stored = parse_meta(text, meta_path);
+  // Re-derive the job key from this binary's catalog: every scenario must
+  // still exist and canonicalize to what the job was created against, or
+  // resumed shards would merge values from a different experiment.
+  std::vector<const scenario::ScenarioSpec*> selection;
+  for (const std::string& name : stored.scenario_names) {
+    selection.push_back(&scenario::scenarios().get(name));
+  }
+  const JobSpec fresh =
+      make_job_spec(selection, stored.run_options(), stored.shard_tasks,
+                    stored.lease_ttl_seconds);
+  if (fresh.key != stored.key) {
+    throw ScenarioError(str(
+        meta_path, ": job was created against a different catalog (stored "
+        "key ", scenario::hash_hex(stored.key), ", this binary derives ",
+        scenario::hash_hex(fresh.key), "); re-submit the job"));
+  }
+  ensure_dir(join_path(dir, "shards"));
+  ensure_dir(join_path(dir, "leases"));
+  return JobStore(dir, std::move(stored));
+}
+
+int JobStore::shard_count() const {
+  return (total_tasks() + spec_.shard_tasks - 1) / spec_.shard_tasks;
+}
+
+std::pair<int, int> JobStore::shard_range(int shard) const {
+  const int begin = shard * spec_.shard_tasks;
+  const int end = begin + spec_.shard_tasks;
+  return {begin, end < total_tasks() ? end : total_tasks()};
+}
+
+std::string JobStore::shard_log_path(int shard) const {
+  return join_path(dir_, str("shards/shard_", shard, ".log"));
+}
+
+std::string JobStore::shard_done_path(int shard) const {
+  return join_path(dir_, str("shards/shard_", shard, ".done"));
+}
+
+std::string JobStore::lease_path(int shard) const {
+  return join_path(dir_, str("leases/shard_", shard, ".lease"));
+}
+
+std::vector<TaskRecord> JobStore::read_shard_records(int shard) const {
+  std::vector<TaskRecord> records;
+  std::string text;
+  if (!read_file(shard_log_path(shard), text)) return records;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) break;  // torn trailing write: ignore
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    std::istringstream in(line);
+    int task = 0;
+    std::string bits_hex;
+    if (!(in >> task >> bits_hex)) continue;  // malformed line: skip
+    try {
+      records.push_back(
+          {task, bits_value(scenario::parse_hash_hex(bits_hex))});
+    } catch (const ScenarioError&) {
+      continue;
+    }
+  }
+  return records;
+}
+
+void JobStore::append_record(int shard, const TaskRecord& record) {
+  const std::string line =
+      str(record.task, " ", scenario::hash_hex(value_bits(record.value)), " ",
+          record.value, "\n");
+  const std::string path = shard_log_path(shard);
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) throw ScenarioError(str("cannot append to ", path));
+  // One write() per record: appends of this size are atomic on local
+  // filesystems, so two stealers interleaving never tear a line.
+  const ssize_t wrote = ::write(fd, line.data(), line.size());
+  const bool ok = wrote == static_cast<ssize_t>(line.size());
+  ::fsync(fd);
+  ::close(fd);
+  if (!ok) throw ScenarioError(str("short write to ", path));
+}
+
+void JobStore::mark_shard_done(int shard) {
+  atomic_write_file(shard_done_path(shard), "done\n");
+}
+
+bool JobStore::shard_done(int shard) const {
+  return fs::exists(shard_done_path(shard));
+}
+
+bool JobStore::try_lease(int shard, const std::string& owner) {
+  const std::string path = lease_path(shard);
+  const std::string content =
+      lease_content(owner, now_seconds() + spec_.lease_ttl_seconds);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd >= 0) {
+      const ssize_t wrote = ::write(fd, content.data(), content.size());
+      ::fsync(fd);
+      ::close(fd);
+      if (wrote != static_cast<ssize_t>(content.size())) {
+        ::unlink(path.c_str());
+        throw ScenarioError(str("short write to ", path));
+      }
+      // Confirm ownership: a concurrent stealer may have unlinked our
+      // fresh lease in the unlink/create race window. Losing here is
+      // safe — tasks are idempotent — but only one worker should keep it.
+      const auto lease = parse_lease(path);
+      return lease.has_value() && lease->owner == owner;
+    }
+    // Lease exists: honor it unless expired (or already ours).
+    const auto lease = parse_lease(path);
+    if (!lease.has_value()) {
+      // Unreadable/torn lease: treat as stale.
+      ::unlink(path.c_str());
+      continue;
+    }
+    if (lease->owner == owner) {
+      renew_lease(shard, owner);
+      return true;
+    }
+    // Valid strictly until its expiry second, so ttl 0 means "instantly
+    // stealable" (the crash-recovery tests' configuration).
+    if (lease->expiry > now_seconds()) return false;
+    ::unlink(path.c_str());
+  }
+  return false;
+}
+
+void JobStore::renew_lease(int shard, const std::string& owner) {
+  const std::string path = lease_path(shard);
+  const auto lease = parse_lease(path);
+  if (!lease.has_value() || lease->owner != owner) return;
+  atomic_write_file(
+      path, lease_content(owner, now_seconds() + spec_.lease_ttl_seconds));
+}
+
+void JobStore::release_lease(int shard, const std::string& owner) {
+  const std::string path = lease_path(shard);
+  const auto lease = parse_lease(path);
+  if (lease.has_value() && lease->owner == owner) ::unlink(path.c_str());
+}
+
+std::vector<ShardState> JobStore::scan() const {
+  std::vector<ShardState> out;
+  const int shards = shard_count();
+  out.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    ShardState state;
+    state.index = s;
+    std::tie(state.begin, state.end) = shard_range(s);
+    std::vector<bool> seen(static_cast<std::size_t>(state.end - state.begin),
+                           false);
+    for (const TaskRecord& record : read_shard_records(s)) {
+      if (record.task < state.begin || record.task >= state.end) continue;
+      const std::size_t i =
+          static_cast<std::size_t>(record.task - state.begin);
+      if (!seen[i]) {
+        seen[i] = true;
+        ++state.completed;
+      }
+    }
+    state.done = shard_done(s);
+    if (const auto lease = parse_lease(lease_path(s))) {
+      state.leased = true;
+      state.lease_owner = lease->owner;
+      state.lease_expiry = lease->expiry;
+    }
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+
+}  // namespace dualcast::service

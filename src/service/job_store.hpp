@@ -1,0 +1,156 @@
+#pragma once
+
+// Persistent job store for the experiment service.
+//
+// A *job* is a catalog selection plus the execution parameters that affect
+// results (engine, rng mode, trials override, smoke), frozen on disk so a
+// killed process — or a fleet of worker processes on a shared filesystem —
+// resumes exactly where it stopped. The job's unit of distribution is the
+// scenario runner's flat task space: the concatenation, in selection
+// order, of each scenario's (sweep point × column × trial) queue. That
+// space is cut into contiguous *shards*; workers lease shards, append one
+// fsync'd record per completed trial to the shard's log, and a merger
+// reassembles the records into JSON byte-identical to a single-process
+// run_scenarios() run (same plan, same censoring, same writer).
+//
+// On-disk layout under the job directory:
+//
+//   job.meta                  frozen JobSpec (versioned text; written once)
+//   shards/shard_<k>.log      append-only completion records, fsync'd:
+//                             "<task> <value-bits-hex> <value>\n" — the hex
+//                             field is the double's exact bit pattern, so
+//                             merged values are the measured values, not a
+//                             decimal round-trip
+//   shards/shard_<k>.done     marker: every task of the shard is recorded
+//   leases/shard_<k>.lease    "owner <token>\nexpiry <unix-seconds>\n",
+//                             created atomically (O_CREAT|O_EXCL); an
+//                             expired lease may be stolen
+//
+// Leases are a work-partitioning optimization, not a correctness
+// mechanism: tasks are deterministic functions of (spec, seed) and records
+// are idempotent, so the rare steal race that double-executes a task
+// appends two identical records, which the merger accepts (and it rejects
+// *conflicting* duplicates, which would indicate catalog drift).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace dualcast::service {
+
+/// Identity + execution parameters of a job. `catalog` and `key` pin the
+/// job to the exact catalog contents and applied specs it was created
+/// against; attach/resume refuses to run when either drifts.
+struct JobSpec {
+  std::vector<std::string> scenario_names;  ///< selection, in order
+  scenario::EnginePath engine = scenario::EnginePath::kernel;
+  RngMode rng = RngMode::per_node;
+  HistoryPolicy history = HistoryPolicy::lean;
+  int trials_override = 0;
+  bool smoke = false;
+  int shard_tasks = 16;        ///< flat tasks per shard
+  int lease_ttl_seconds = 60;  ///< lease lifetime; expired leases are stolen
+  std::uint64_t catalog = 0;   ///< catalog_hash() at creation
+  std::uint64_t key = 0;       ///< job identity (hash of catalog+specs+modes)
+
+  /// The RunOptions every executor of this job must use (threads and
+  /// output sinks are per-process and not part of the job identity).
+  scenario::RunOptions run_options() const;
+};
+
+/// Builds a job spec from a selection: applies `options` to each spec,
+/// canonicalizes, and derives the catalog/job hashes.
+JobSpec make_job_spec(
+    const std::vector<const scenario::ScenarioSpec*>& selection,
+    const scenario::RunOptions& options, int shard_tasks,
+    int lease_ttl_seconds);
+
+/// One completed trial: the flat task index and its measured raw value.
+struct TaskRecord {
+  int task = 0;
+  double value = 0.0;
+};
+
+/// A shard's current on-disk state, as read by status/lease scans.
+struct ShardState {
+  int index = 0;
+  int begin = 0;  ///< first flat task (inclusive)
+  int end = 0;    ///< last flat task (exclusive)
+  int completed = 0;  ///< distinct recorded tasks
+  bool done = false;  ///< done marker present
+  bool leased = false;
+  std::string lease_owner;
+  std::int64_t lease_expiry = 0;  ///< unix seconds
+};
+
+class JobStore {
+ public:
+  /// Creates the job directory (and meta) or attaches to an existing one.
+  /// Attaching verifies the stored key matches `spec` — resuming a job
+  /// with different parameters or against a drifted catalog is an error.
+  static JobStore create_or_attach(const std::string& dir,
+                                   const JobSpec& spec);
+
+  /// Attaches to an existing job directory; throws when absent/corrupt or
+  /// when the stored catalog hash does not match this binary's catalog.
+  static JobStore open(const std::string& dir);
+
+  const JobSpec& spec() const { return spec_; }
+  const std::string& dir() const { return dir_; }
+
+  int total_tasks() const { return task_offset_.back(); }
+  int shard_count() const;
+  /// Flat-task range [begin, end) of a shard.
+  std::pair<int, int> shard_range(int shard) const;
+  /// Per-scenario offsets into the flat task space (size = scenarios + 1).
+  const std::vector<int>& scenario_task_offsets() const {
+    return task_offset_;
+  }
+
+  // --- records ---------------------------------------------------------
+
+  /// Parses a shard's completion log. Torn trailing lines (a crash mid-
+  /// write) are ignored; complete records are returned in file order.
+  std::vector<TaskRecord> read_shard_records(int shard) const;
+
+  /// Appends one record to a shard's log and fsyncs it before returning —
+  /// after a crash, every acknowledged record is on disk.
+  void append_record(int shard, const TaskRecord& record);
+
+  /// Writes the shard's done marker (fsync'd) — the cheap "complete" scan
+  /// signal for status and lease skipping.
+  void mark_shard_done(int shard);
+  bool shard_done(int shard) const;
+
+  // --- leases ----------------------------------------------------------
+
+  /// Tries to acquire a shard's lease for `owner`: atomically creates the
+  /// lease file, or steals it when the current lease is expired. Returns
+  /// false when the shard is validly leased by someone else.
+  bool try_lease(int shard, const std::string& owner);
+
+  /// Extends an owned lease by the job's TTL from now.
+  void renew_lease(int shard, const std::string& owner);
+
+  /// Releases an owned lease (no-op when not held by `owner`).
+  void release_lease(int shard, const std::string& owner);
+
+  /// Reads every shard's state (records counted, lease parsed).
+  std::vector<ShardState> scan() const;
+
+ private:
+  JobStore(std::string dir, JobSpec spec);
+
+  std::string shard_log_path(int shard) const;
+  std::string shard_done_path(int shard) const;
+  std::string lease_path(int shard) const;
+
+  std::string dir_;
+  JobSpec spec_;
+  std::vector<int> task_offset_;
+};
+
+}  // namespace dualcast::service

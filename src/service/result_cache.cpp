@@ -1,0 +1,79 @@
+#include "service/result_cache.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/strfmt.hpp"
+
+namespace dualcast::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+}  // namespace
+
+std::uint64_t result_cache_key(const scenario::ScenarioSpec& applied_spec,
+                               const scenario::RunOptions& options) {
+  std::uint64_t key = scenario::kFnvOffsetBasis;
+  key = scenario::fnv1a64(scenario::hash_hex(scenario::catalog_hash()), key);
+  key = scenario::fnv1a64(scenario::canonical_spec_string(applied_spec), key);
+  key = scenario::fnv1a64(scenario::to_string(options.engine), key);
+  key = scenario::fnv1a64(scenario::to_string(options.rng), key);
+  return key;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string ResultCache::entry_path(std::uint64_t key) const {
+  return (fs::path(dir_) / (scenario::hash_hex(key) + ".rows")).string();
+}
+
+std::optional<std::vector<std::string>> ResultCache::lookup(
+    std::uint64_t key) const {
+  std::ifstream in(entry_path(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::string> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) rows.push_back(line);
+  }
+  return rows;
+}
+
+void ResultCache::store(std::uint64_t key,
+                        const std::vector<std::string>& rows,
+                        const std::string& description) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw scenario::ScenarioError(
+        str("cannot create cache directory ", dir_, ": ", ec.message()));
+  }
+  const auto atomic_write = [&](const std::string& path,
+                                const std::string& content) {
+    const std::string tmp =
+        str(path, ".tmp.", static_cast<long>(::getpid()));
+    {
+      std::ofstream out(tmp, std::ios::binary);
+      out << content;
+      if (!out) {
+        throw scenario::ScenarioError(str("cannot write ", tmp));
+      }
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+      ::unlink(tmp.c_str());
+      throw scenario::ScenarioError(str("cannot rename ", tmp, " -> ", path));
+    }
+  };
+  std::ostringstream body;
+  for (const std::string& row : rows) body << row << "\n";
+  const std::string path = entry_path(key);
+  atomic_write(path, body.str());
+  atomic_write(path.substr(0, path.size() - 5) + ".meta", description);
+}
+
+}  // namespace dualcast::service

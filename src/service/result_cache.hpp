@@ -1,0 +1,58 @@
+#pragma once
+
+// Content-addressed result cache for the experiment service.
+//
+// One entry per (catalog, scenario) computation, keyed by the hash of:
+//
+//   catalog hash          — every registered scenario's canonical spec, so
+//                           results computed against one catalog are never
+//                           replayed against another
+//   canonical spec string — the *applied* spec (after trials/smoke
+//                           overrides), which pins topology, columns, the
+//                           seed range (base_seed .. base_seed+trials-1),
+//                           and the round budgets
+//   engine / rng mode     — the execution modes that select sample paths
+//
+// The stored value is the scenario's JSON result rows, verbatim, so a
+// cache hit composes byte-identically into any artifact the runner would
+// have produced. Entries are written atomically (temp + rename) with a
+// human-readable sidecar (<key>.meta) stating the key inputs — a hit is
+// verifiable by recomputing the scenario live and diffing rows, which is
+// exactly what serve's --verify-cache does.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace dualcast::service {
+
+/// Cache key of one applied scenario under the current catalog and the
+/// given execution modes (see file comment for the hashed inputs).
+std::uint64_t result_cache_key(const scenario::ScenarioSpec& applied_spec,
+                               const scenario::RunOptions& options);
+
+class ResultCache {
+ public:
+  /// Opens (and creates, on first store) a cache directory.
+  explicit ResultCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Returns the stored JSON rows for a key, or nullopt on miss.
+  std::optional<std::vector<std::string>> lookup(std::uint64_t key) const;
+
+  /// Stores rows under a key (atomic; last writer wins) with a
+  /// description of the key's inputs in the sidecar.
+  void store(std::uint64_t key, const std::vector<std::string>& rows,
+             const std::string& description);
+
+ private:
+  std::string entry_path(std::uint64_t key) const;
+
+  std::string dir_;
+};
+
+}  // namespace dualcast::service

@@ -1,0 +1,248 @@
+#include "service/service_cli.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "scenario/cli.hpp"
+#include "service/service.hpp"
+#include "util/strfmt.hpp"
+
+namespace dualcast::service {
+namespace {
+
+using scenario::ScenarioError;
+
+// Shared default so `serve` runs and later `merge` invocations populate
+// and hit the same cache without plumbing.
+constexpr const char* kDefaultCacheDir = ".dualcast-cache";
+
+const char* flag_value(const std::string& flag, int argc, char** argv,
+                       int& i) {
+  if (++i >= argc) throw ScenarioError(str(flag, " requires a value"));
+  return argv[i];
+}
+
+/// Like parse_int_flag but admits 0 (for --workers 0 = submit-only and
+/// --crash-after 0 = crash before the first task).
+int parse_nonneg_flag(const std::string& flag, const char* value) {
+  if (value == nullptr) throw ScenarioError(str(flag, " requires a value"));
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || parsed < 0 ||
+      parsed > std::numeric_limits<int>::max()) {
+    throw ScenarioError(str(flag, ": bad value \"", value, "\""));
+  }
+  return static_cast<int>(parsed);
+}
+
+void print_service_usage(std::ostream& os, const char* binary) {
+  os << "experiment service subcommands:\n"
+        "\n"
+        "  " << binary
+     << " serve <names...> [run options] [serve options]\n"
+        "      Cached/sharded run of a scenario selection. Scenarios whose\n"
+        "      results are in the cache are served without recomputation;\n"
+        "      the rest become a persistent job measured by worker threads\n"
+        "      and merged into rows byte-identical to a plain run.\n"
+        "      Run options: --smoke --trials N --engine E --rng M\n"
+        "                   --history P (as in the plain driver)\n"
+        "      Serve options:\n"
+        "        --workers N      in-process worker threads (default 1);\n"
+        "                         0 = submit the job and exit (then run\n"
+        "                         `worker` processes + `merge`)\n"
+        "        --job-dir D      job directory (default\n"
+        "                         .dualcast-jobs/<job-key>)\n"
+        "        --cache-dir C    result cache (default " << kDefaultCacheDir
+     << ")\n"
+        "        --no-cache       disable the result cache\n"
+        "        --verify-cache   recompute cached scenarios and fail on\n"
+        "                         any row mismatch\n"
+        "        --shard-tasks K  flat tasks per shard (default 16)\n"
+        "        --lease-ttl S    lease lifetime in seconds (default 60)\n"
+        "        --json FILE      write merged result rows to FILE\n"
+        "\n"
+        "  " << binary
+     << " worker --job-dir D [--owner TOKEN] [--max-shards N]\n"
+        "      Lease and measure shards of an existing job until none is\n"
+        "      claimable. Any number of worker processes may run at once;\n"
+        "      a restarted worker resumes from the shard logs.\n"
+        "      --crash-after K  test hook: abandon abruptly (lease held)\n"
+        "                       after measuring K tasks\n"
+        "\n"
+        "  " << binary
+     << " merge --job-dir D [--json FILE] [--cache-dir C] [--no-cache]\n"
+        "      Reassemble a complete job's shard records into result rows\n"
+        "      (byte-identical to a single-process run) and populate the\n"
+        "      result cache.\n"
+        "\n"
+        "  " << binary
+     << " status --job-dir D\n"
+        "      Report the job's shards, leases, and progress.\n";
+}
+
+int serve_main(int argc, char** argv) {
+  std::vector<std::string> names;
+  scenario::RunOptions run_options;
+  ServeOptions options;
+  options.cache_dir = kDefaultCacheDir;
+  options.out = &std::cout;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (scenario::consume_run_option_flag(argc, argv, i, run_options)) {
+      continue;
+    } else if (arg == "--job-dir") {
+      options.job_dir = flag_value(arg, argc, argv, i);
+    } else if (arg == "--cache-dir") {
+      options.cache_dir = flag_value(arg, argc, argv, i);
+    } else if (arg == "--no-cache") {
+      options.cache_dir.clear();
+    } else if (arg == "--verify-cache") {
+      options.verify_cache = true;
+    } else if (arg == "--json") {
+      options.json_path = flag_value(arg, argc, argv, i);
+    } else if (arg == "--workers") {
+      options.workers =
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--shard-tasks") {
+      options.shard_tasks =
+          scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--lease-ttl") {
+      options.lease_ttl_seconds =
+          scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--help" || arg == "-h") {
+      print_service_usage(std::cout, argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw ScenarioError(str("serve: unknown option \"", arg, "\""));
+    } else {
+      names.push_back(arg);
+    }
+  }
+  if (names.empty()) {
+    throw ScenarioError("serve: name at least one scenario (or a prefix)");
+  }
+  serve(scenario::resolve_selection(names), run_options, options);
+  return 0;
+}
+
+int worker_main(int argc, char** argv) {
+  std::string job_dir;
+  WorkerOptions options;
+  options.log = &std::cout;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--job-dir") {
+      job_dir = flag_value(arg, argc, argv, i);
+    } else if (arg == "--owner") {
+      options.owner = flag_value(arg, argc, argv, i);
+    } else if (arg == "--max-shards") {
+      options.max_shards =
+          scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--crash-after") {
+      options.crash_after_tasks =
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--help" || arg == "-h") {
+      print_service_usage(std::cout, argv[0]);
+      return 0;
+    } else {
+      throw ScenarioError(str("worker: unknown argument \"", arg, "\""));
+    }
+  }
+  if (job_dir.empty()) throw ScenarioError("worker: --job-dir is required");
+  JobStore store = JobStore::open(job_dir);
+  const JobRuntime runtime(store);
+  const WorkerReport report = run_worker(store, runtime, options);
+  std::cout << "worker done: " << report.shards_completed
+            << " shard(s) completed, " << report.tasks_executed
+            << " task(s) measured, " << report.tasks_skipped
+            << " already recorded"
+            << (report.crashed ? " [crash hook fired]" : "") << "\n";
+  return 0;
+}
+
+int merge_main(int argc, char** argv) {
+  std::string job_dir;
+  std::string json_path;
+  std::string cache_dir = kDefaultCacheDir;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--job-dir") {
+      job_dir = flag_value(arg, argc, argv, i);
+    } else if (arg == "--json") {
+      json_path = flag_value(arg, argc, argv, i);
+    } else if (arg == "--cache-dir") {
+      cache_dir = flag_value(arg, argc, argv, i);
+    } else if (arg == "--no-cache") {
+      cache_dir.clear();
+    } else if (arg == "--help" || arg == "-h") {
+      print_service_usage(std::cout, argv[0]);
+      return 0;
+    } else {
+      throw ScenarioError(str("merge: unknown argument \"", arg, "\""));
+    }
+  }
+  if (job_dir.empty()) throw ScenarioError("merge: --job-dir is required");
+  JobStore store = JobStore::open(job_dir);
+  JobRuntime runtime(store);
+  ResultCache cache(cache_dir);
+  const std::vector<std::string> rows =
+      merge_job(store, runtime, cache_dir.empty() ? nullptr : &cache);
+  std::cout << "merged " << rows.size() << " result rows from "
+            << store.shard_count() << " shards\n";
+  if (!json_path.empty()) {
+    if (!scenario::write_json_rows_file(json_path, rows)) {
+      throw ScenarioError(str("cannot write ", json_path));
+    }
+    std::cout << "wrote " << rows.size() << " result rows to " << json_path
+              << "\n";
+  }
+  return 0;
+}
+
+int status_main(int argc, char** argv) {
+  std::string job_dir;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--job-dir") {
+      job_dir = flag_value(arg, argc, argv, i);
+    } else if (arg == "--help" || arg == "-h") {
+      print_service_usage(std::cout, argv[0]);
+      return 0;
+    } else {
+      throw ScenarioError(str("status: unknown argument \"", arg, "\""));
+    }
+  }
+  if (job_dir.empty()) throw ScenarioError("status: --job-dir is required");
+  const JobStore store = JobStore::open(job_dir);
+  print_job_status(store, std::cout);
+  return 0;
+}
+
+}  // namespace
+
+bool is_service_command(const char* arg) {
+  return std::strcmp(arg, "serve") == 0 || std::strcmp(arg, "worker") == 0 ||
+         std::strcmp(arg, "merge") == 0 || std::strcmp(arg, "status") == 0;
+}
+
+int service_main(int argc, char** argv) {
+  try {
+    const std::string command = argc >= 2 ? argv[1] : "";
+    if (command == "serve") return serve_main(argc, argv);
+    if (command == "worker") return worker_main(argc, argv);
+    if (command == "merge") return merge_main(argc, argv);
+    if (command == "status") return status_main(argc, argv);
+    throw ScenarioError(str("unknown service command \"", command, "\""));
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace dualcast::service

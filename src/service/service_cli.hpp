@@ -1,0 +1,25 @@
+#pragma once
+
+// CLI surface of the experiment service:
+//
+//   <bench> serve  <names...> [run options] [--workers N] [--job-dir D]
+//                  [--cache-dir C] [--no-cache] [--verify-cache]
+//                  [--shard-tasks K] [--lease-ttl S] [--json FILE]
+//   <bench> worker --job-dir D [--owner TOKEN] [--max-shards N]
+//                  [--crash-after K]
+//   <bench> merge  --job-dir D [--json FILE] [--cache-dir C] [--no-cache]
+//   <bench> status --job-dir D
+//
+// run_main() forwards here whenever argv[1] names a subcommand, so every
+// bench binary carries the full service.
+
+namespace dualcast::service {
+
+/// True when `arg` is "serve", "worker", "merge", or "status".
+bool is_service_command(const char* arg);
+
+/// Parses argv (argv[1] = subcommand) and runs it. Returns a process exit
+/// code; never throws.
+int service_main(int argc, char** argv);
+
+}  // namespace dualcast::service

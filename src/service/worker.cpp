@@ -1,0 +1,97 @@
+#include "service/worker.hpp"
+
+#include <unistd.h>
+
+#include <ostream>
+
+#include "util/strfmt.hpp"
+
+namespace dualcast::service {
+
+JobRuntime::JobRuntime(const JobStore& store) {
+  options_ = store.spec().run_options();
+  const std::vector<std::string>& names = store.spec().scenario_names;
+  plans_.resize(names.size());
+  offsets_.assign(1, 0);
+  for (std::size_t s = 0; s < names.size(); ++s) {
+    scenario::prepare_plan(
+        plans_[s],
+        scenario::apply_options(scenario::scenarios().get(names[s]),
+                                options_),
+        options_);
+    offsets_.push_back(offsets_.back() + plans_[s].tasks());
+  }
+}
+
+double JobRuntime::measure(int task) const {
+  std::size_t s = 0;
+  while (task >= offsets_[s + 1]) ++s;
+  return scenario::measure_plan_task(plans_[s], task - offsets_[s],
+                                     options_);
+}
+
+WorkerReport run_worker(JobStore& store, const JobRuntime& runtime,
+                        const WorkerOptions& options) {
+  WorkerReport report;
+  const std::string owner =
+      options.owner.empty() ? str("pid", static_cast<long>(::getpid()))
+                            : options.owner;
+  const int shards = store.shard_count();
+  for (;;) {
+    // Claim pass: first incomplete shard whose lease we can take. A full
+    // sweep with no claim means every remaining shard is done or validly
+    // leased to a live worker — this worker's job is over (a later `worker`
+    // invocation picks up anything an expired lease leaves behind).
+    int claimed = -1;
+    for (int s = 0; s < shards && claimed < 0; ++s) {
+      if (store.shard_done(s)) continue;
+      if (store.try_lease(s, owner)) claimed = s;
+    }
+    if (claimed < 0) break;
+
+    const auto [begin, end] = store.shard_range(claimed);
+    std::vector<bool> recorded(static_cast<std::size_t>(end - begin), false);
+    for (const TaskRecord& record : store.read_shard_records(claimed)) {
+      if (record.task >= begin && record.task < end) {
+        recorded[static_cast<std::size_t>(record.task - begin)] = true;
+      }
+    }
+    if (options.log != nullptr) {
+      *options.log << "worker " << owner << ": leased shard " << claimed
+                   << " [" << begin << "," << end << ")\n";
+    }
+    for (int task = begin; task < end; ++task) {
+      if (recorded[static_cast<std::size_t>(task - begin)]) {
+        ++report.tasks_skipped;
+        continue;
+      }
+      if (options.crash_after_tasks >= 0 &&
+          report.tasks_executed >= options.crash_after_tasks) {
+        // Simulated kill: abandon mid-shard with the lease still held.
+        report.crashed = true;
+        if (options.log != nullptr) {
+          *options.log << "worker " << owner << ": crash hook fired in shard "
+                       << claimed << " before task " << task << "\n";
+        }
+        return report;
+      }
+      store.append_record(claimed, {task, runtime.measure(task)});
+      ++report.tasks_executed;
+      store.renew_lease(claimed, owner);
+    }
+    store.mark_shard_done(claimed);
+    store.release_lease(claimed, owner);
+    ++report.shards_completed;
+    if (options.log != nullptr) {
+      *options.log << "worker " << owner << ": completed shard " << claimed
+                   << "\n";
+    }
+    if (options.max_shards >= 0 &&
+        report.shards_completed >= options.max_shards) {
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace dualcast::service

@@ -1,0 +1,74 @@
+#pragma once
+
+// Sharded workers for the experiment service.
+//
+// A JobRuntime holds the prepared scenario plans of one job — built once
+// per process (the cross-scenario factory cache dedupes algorithm builds)
+// and shared read-only by every worker thread. run_worker() is the lease
+// loop: claim a shard, replay its completion log to skip already-recorded
+// tasks (crash-safe resume), measure the rest in task order with one
+// fsync'd record per trial, mark the shard done, release, repeat until no
+// shard is claimable. Any number of worker processes/threads may run the
+// loop against one job directory; the merger accepts their union.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "scenario/plan.hpp"
+#include "service/job_store.hpp"
+
+namespace dualcast::service {
+
+/// The prepared, read-only execution state of a job in this process.
+class JobRuntime {
+ public:
+  /// Resolves every job scenario from the catalog, applies the job's
+  /// options, and builds all point plans (topologies + factories).
+  explicit JobRuntime(const JobStore& store);
+
+  const scenario::RunOptions& options() const { return options_; }
+  int total_tasks() const { return offsets_.back(); }
+
+  /// Measures one global flat task (concatenated scenario order). Safe to
+  /// call concurrently for distinct tasks.
+  double measure(int task) const;
+
+  /// The prepared plans, in job scenario order (the merger fills their raw
+  /// stores from records and assembles results from them).
+  std::vector<scenario::ScenarioPlan>& plans() { return plans_; }
+  const std::vector<int>& offsets() const { return offsets_; }
+
+ private:
+  scenario::RunOptions options_;
+  std::vector<scenario::ScenarioPlan> plans_;
+  std::vector<int> offsets_;
+};
+
+struct WorkerOptions {
+  /// Lease owner token; default "pid<pid>". Give in-process worker threads
+  /// distinct suffixes.
+  std::string owner;
+  /// Stop after completing this many shards (< 0 = run until no shard is
+  /// claimable).
+  int max_shards = -1;
+  /// Crash-injection test hook: after measuring this many tasks, abandon
+  /// abruptly — mid-shard, lease left held, no done marker — exactly like
+  /// a killed process (>= 0 enables; the fsync'd records stay behind).
+  int crash_after_tasks = -1;
+  std::ostream* log = nullptr;  ///< progress lines, when set
+};
+
+struct WorkerReport {
+  int shards_completed = 0;
+  int tasks_executed = 0;
+  int tasks_skipped = 0;  ///< found already recorded (resume)
+  bool crashed = false;   ///< stopped by the crash_after_tasks hook
+};
+
+/// The worker lease loop (see file comment).
+WorkerReport run_worker(JobStore& store, const JobRuntime& runtime,
+                        const WorkerOptions& options);
+
+}  // namespace dualcast::service

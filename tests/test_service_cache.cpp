@@ -1,0 +1,147 @@
+// Result cache: a repeated identical request is served entirely from the
+// cache with zero trial recomputation (proved by the global trial
+// counter), cache hits are byte-identical to live recomputes, and the
+// cache key is sensitive to every input that selects sample paths.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "analysis/trials.hpp"
+#include "service/service.hpp"
+
+namespace dualcast::service {
+namespace {
+
+namespace fs = std::filesystem;
+using scenario::RunOptions;
+using scenario::ScenarioSpec;
+
+const ScenarioSpec& mini_scenario() {
+  static const std::string name = "svc-test/cache-mini";
+  if (!scenario::scenarios().contains(name)) {
+    ScenarioSpec spec;
+    spec.name = name;
+    spec.title = "service cache mini";
+    spec.topology = "dual_clique({x})";
+    spec.problem = "global(1)";
+    spec.sweep = {8, 12};
+    spec.trials = 3;
+    spec.base_seed = 33;
+    spec.max_rounds = "200*n";
+    spec.columns = {
+        {"decay+iid", "decay_global(permuted,persistent)", "iid(0.5)", ""},
+        {"robin+collider", "round_robin", "collider", ""},
+    };
+    scenario::scenarios().add(spec);
+  }
+  return scenario::scenarios().get(name);
+}
+
+std::string fresh_dir(const std::string& tag) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("dualcast_" + tag);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+TEST(ServiceCache, RepeatRequestServedFromCacheWithZeroTrials) {
+  const std::string cache_dir = fresh_dir("cache_repeat");
+  ServeOptions options;
+  options.cache_dir = cache_dir;
+  options.workers = 2;
+  options.shard_tasks = 4;
+
+  // First serve computes (sharded) and populates the cache.
+  options.job_dir = fresh_dir("cache_repeat_job1");
+  const ServeSummary first = serve({&mini_scenario()}, {}, options);
+  EXPECT_EQ(first.computed, 1);
+  EXPECT_EQ(first.from_cache, 0);
+  EXPECT_EQ(first.trials_run, 12u);
+  ASSERT_EQ(first.rows.size(), 4u);
+
+  // The identical request again: 100% cache, zero trials executed — the
+  // trial counter is the proof there was no silent recomputation.
+  options.job_dir = fresh_dir("cache_repeat_job2");
+  const std::uint64_t trials_before = trials_executed();
+  const ServeSummary second = serve({&mini_scenario()}, {}, options);
+  EXPECT_EQ(second.from_cache, 1);
+  EXPECT_EQ(second.computed, 0);
+  EXPECT_EQ(second.trials_run, 0u);
+  EXPECT_EQ(trials_executed(), trials_before);
+  EXPECT_EQ(second.rows, first.rows);
+  EXPECT_TRUE(second.job_dir.empty());  // no job was ever created
+}
+
+TEST(ServiceCache, VerifyCacheRecomputesAndMatches) {
+  const std::string cache_dir = fresh_dir("cache_verify");
+  ServeOptions options;
+  options.cache_dir = cache_dir;
+  options.job_dir = fresh_dir("cache_verify_job1");
+  const ServeSummary first = serve({&mini_scenario()}, {}, options);
+  ASSERT_EQ(first.computed, 1);
+
+  // --verify-cache recomputes the cached scenario live and throws on any
+  // row drift; a clean return plus equal rows is the verifiability check.
+  options.verify_cache = true;
+  options.job_dir = fresh_dir("cache_verify_job2");
+  const ServeSummary verified = serve({&mini_scenario()}, {}, options);
+  EXPECT_EQ(verified.computed, 1);
+  EXPECT_GT(verified.trials_run, 0u);
+  EXPECT_EQ(verified.rows, first.rows);
+}
+
+TEST(ServiceCache, CachedRowsMatchDirectRunnerRows) {
+  const std::string cache_dir = fresh_dir("cache_vs_runner");
+  ServeOptions options;
+  options.cache_dir = cache_dir;
+  options.job_dir = fresh_dir("cache_vs_runner_job");
+  serve({&mini_scenario()}, {}, options);
+
+  std::vector<std::string> reference;
+  for (const scenario::ScenarioResult& result :
+       scenario::run_scenarios({&mini_scenario()}, {})) {
+    scenario::append_json_rows(result, reference);
+  }
+  const ResultCache cache(cache_dir);
+  const auto hit = cache.lookup(result_cache_key(
+      scenario::apply_options(mini_scenario(), {}), {}));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, reference);
+}
+
+TEST(ServiceCache, KeyIsSensitiveToEveryResultSelectingInput) {
+  const ScenarioSpec applied =
+      scenario::apply_options(mini_scenario(), {});
+  const std::uint64_t base = result_cache_key(applied, {});
+
+  RunOptions scalar;
+  scalar.engine = scenario::EnginePath::scalar;
+  EXPECT_NE(result_cache_key(applied, scalar), base);
+
+  RunOptions word;
+  word.rng = RngMode::word;
+  EXPECT_NE(result_cache_key(applied, word), base);
+
+  RunOptions fewer;
+  fewer.trials_override = 2;
+  EXPECT_NE(
+      result_cache_key(scenario::apply_options(mini_scenario(), fewer),
+                       fewer),
+      base);
+
+  ScenarioSpec reseeded = mini_scenario();
+  reseeded.base_seed += 1;
+  EXPECT_NE(result_cache_key(scenario::apply_options(reseeded, {}), {}),
+            base);
+
+  // Inputs that can NOT change results share the key: thread counts and
+  // history retention are execution details, not identity.
+  RunOptions threaded;
+  threaded.threads = 8;
+  threaded.sweep_threads = 4;
+  threaded.history = HistoryPolicy::full;
+  EXPECT_EQ(result_cache_key(applied, threaded), base);
+}
+
+}  // namespace
+}  // namespace dualcast::service

@@ -1,0 +1,145 @@
+// Crash-safe resume: a worker killed mid-shard (lease still held) loses no
+// acknowledged record; a restarted worker steals the stale lease, skips
+// everything recorded, measures only the remainder, and the merged JSON is
+// byte-identical to an uninterrupted single-process run.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "analysis/trials.hpp"
+#include "service/service.hpp"
+
+namespace dualcast::service {
+namespace {
+
+namespace fs = std::filesystem;
+using scenario::ScenarioError;
+using scenario::ScenarioSpec;
+
+const ScenarioSpec& mini_scenario() {
+  static const std::string name = "svc-test/resume-mini";
+  if (!scenario::scenarios().contains(name)) {
+    ScenarioSpec spec;
+    spec.name = name;
+    spec.title = "service resume mini";
+    spec.topology = "dual_clique({x})";
+    spec.problem = "global(1)";
+    spec.sweep = {8, 12};
+    spec.trials = 3;
+    spec.base_seed = 21;
+    spec.max_rounds = "200*n";
+    spec.columns = {
+        {"decay+iid", "decay_global(permuted,persistent)", "iid(0.5)", ""},
+        {"robin+collider", "round_robin", "collider", ""},
+    };
+    scenario::scenarios().add(spec);
+  }
+  return scenario::scenarios().get(name);
+}
+
+std::string fresh_dir(const std::string& tag) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("dualcast_" + tag);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::vector<std::string> reference_rows() {
+  std::vector<std::string> rows;
+  for (const scenario::ScenarioResult& result :
+       scenario::run_scenarios({&mini_scenario()}, {})) {
+    scenario::append_json_rows(result, rows);
+  }
+  return rows;
+}
+
+TEST(ServiceResume, KilledWorkerResumesByteIdentical) {
+  const std::vector<std::string> reference = reference_rows();
+  ASSERT_EQ(reference.size(), 4u);  // 2 points x 2 columns
+
+  // lease_ttl 0 so the killed worker's abandoned lease is instantly
+  // stealable; shard_tasks 3 cuts the 12 tasks into 4 shards.
+  const JobSpec job =
+      make_job_spec({&mini_scenario()}, {}, /*shard_tasks=*/3,
+                    /*lease_ttl_seconds=*/0);
+  JobStore store =
+      JobStore::create_or_attach(fresh_dir("resume_job"), job);
+  const JobRuntime runtime(store);
+  ASSERT_EQ(store.total_tasks(), 12);
+  ASSERT_EQ(store.shard_count(), 4);
+
+  // Worker 1 is killed mid-shard: one full shard plus one task of the
+  // next, then the crash hook abandons with the lease held.
+  WorkerOptions crash;
+  crash.owner = "victim";
+  crash.crash_after_tasks = 4;
+  const WorkerReport first = run_worker(store, runtime, crash);
+  EXPECT_TRUE(first.crashed);
+  EXPECT_EQ(first.tasks_executed, 4);
+  EXPECT_EQ(first.shards_completed, 1);
+
+  // Merging an incomplete job must refuse, not fabricate rows.
+  {
+    JobRuntime merge_runtime(store);
+    EXPECT_THROW(merge_job(store, merge_runtime, nullptr), ScenarioError);
+  }
+
+  // Worker 2 restarts cold: the done shard is never leased again, the
+  // stale lease on the partial shard is stolen, its 1 recorded task is
+  // skipped, and exactly the 8 missing tasks are measured.
+  const std::uint64_t trials_before = trials_executed();
+  WorkerOptions retry;
+  retry.owner = "recoverer";
+  const WorkerReport second = run_worker(store, runtime, retry);
+  EXPECT_FALSE(second.crashed);
+  EXPECT_EQ(second.tasks_skipped, 1);
+  EXPECT_EQ(second.tasks_executed, 8);
+  EXPECT_EQ(trials_executed() - trials_before, 8u);
+
+  JobRuntime merge_runtime(store);
+  EXPECT_EQ(merge_job(store, merge_runtime, nullptr), reference);
+}
+
+TEST(ServiceResume, TwoWorkersShardedRunIsByteIdentical) {
+  const std::vector<std::string> reference = reference_rows();
+  ServeOptions options;
+  options.job_dir = fresh_dir("resume_two_workers");
+  options.cache_dir.clear();  // isolate from the cache tests
+  options.workers = 2;
+  options.shard_tasks = 3;
+  const ServeSummary summary =
+      serve({&mini_scenario()}, {}, options);
+  EXPECT_EQ(summary.computed, 1);
+  EXPECT_EQ(summary.trials_run, 12u);
+  EXPECT_EQ(summary.rows, reference);
+}
+
+TEST(ServiceResume, ResumeAcrossSeparateServeCalls) {
+  // serve() itself resumes: crash a lone worker against the job dir, then
+  // point serve at the same directory — it attaches, finishes the
+  // remainder, and emits the reference rows.
+  const std::vector<std::string> reference = reference_rows();
+  const std::string dir = fresh_dir("resume_serve");
+  const JobSpec job = make_job_spec({&mini_scenario()}, {}, 3, 0);
+  {
+    JobStore store = JobStore::create_or_attach(dir, job);
+    const JobRuntime runtime(store);
+    WorkerOptions crash;
+    crash.owner = "victim";
+    crash.crash_after_tasks = 5;
+    ASSERT_TRUE(run_worker(store, runtime, crash).crashed);
+  }
+  ServeOptions options;
+  options.job_dir = dir;
+  options.cache_dir.clear();
+  options.shard_tasks = 3;
+  options.lease_ttl_seconds = 0;
+  const std::uint64_t trials_before = trials_executed();
+  const ServeSummary summary = serve({&mini_scenario()}, {}, options);
+  EXPECT_EQ(summary.rows, reference);
+  EXPECT_EQ(summary.trials_run, trials_executed() - trials_before);
+  EXPECT_EQ(summary.trials_run, 7u);  // 12 total - 5 already recorded
+}
+
+}  // namespace
+}  // namespace dualcast::service

@@ -1,0 +1,164 @@
+// JobStore mechanics: meta roundtrip, shard geometry, fsync'd completion
+// records (exact double bit patterns, torn-line tolerance), done markers,
+// and lease acquire/conflict/renew/release/steal semantics.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "service/job_store.hpp"
+
+namespace dualcast::service {
+namespace {
+
+namespace fs = std::filesystem;
+using scenario::ScenarioError;
+using scenario::ScenarioSpec;
+
+const ScenarioSpec& mini_scenario() {
+  static const std::string name = "svc-test/mini";
+  if (!scenario::scenarios().contains(name)) {
+    ScenarioSpec spec;
+    spec.name = name;
+    spec.title = "service store mini";
+    spec.topology = "dual_clique({x})";
+    spec.problem = "global(1)";
+    spec.sweep = {8, 12};
+    spec.trials = 3;
+    spec.base_seed = 5;
+    spec.max_rounds = "200*n";
+    spec.columns = {
+        {"decay+iid", "decay_global(permuted,persistent)", "iid(0.5)", ""},
+        {"robin+collider", "round_robin", "collider", ""},
+    };
+    scenario::scenarios().add(spec);
+  }
+  return scenario::scenarios().get(name);
+}
+
+std::string fresh_dir(const std::string& tag) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("dualcast_" + tag);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+JobSpec mini_job(int shard_tasks, int lease_ttl_seconds) {
+  return make_job_spec({&mini_scenario()}, scenario::RunOptions{},
+                       shard_tasks, lease_ttl_seconds);
+}
+
+TEST(JobStore, MetaRoundtripAndShardGeometry) {
+  const std::string dir = fresh_dir("store_meta");
+  const JobSpec job = mini_job(/*shard_tasks=*/5, /*lease_ttl_seconds=*/60);
+  JobStore created = JobStore::create_or_attach(dir, job);
+  // 2 points x 2 columns x 3 trials = 12 flat tasks, ceil(12/5) = 3 shards.
+  EXPECT_EQ(created.total_tasks(), 12);
+  EXPECT_EQ(created.shard_count(), 3);
+  EXPECT_EQ(created.shard_range(0), (std::pair<int, int>{0, 5}));
+  EXPECT_EQ(created.shard_range(2), (std::pair<int, int>{10, 12}));
+
+  const JobStore reopened = JobStore::open(dir);
+  EXPECT_EQ(reopened.spec().key, job.key);
+  EXPECT_EQ(reopened.spec().catalog, job.catalog);
+  EXPECT_EQ(reopened.spec().scenario_names, job.scenario_names);
+  EXPECT_EQ(reopened.spec().shard_tasks, 5);
+  EXPECT_EQ(reopened.spec().lease_ttl_seconds, 60);
+  EXPECT_EQ(reopened.total_tasks(), 12);
+
+  // Attaching with different execution parameters (a different job key)
+  // must refuse rather than mix experiments in one directory.
+  scenario::RunOptions other;
+  other.trials_override = 2;
+  const JobSpec different =
+      make_job_spec({&mini_scenario()}, other, 5, 60);
+  ASSERT_NE(different.key, job.key);
+  EXPECT_THROW(JobStore::create_or_attach(dir, different), ScenarioError);
+}
+
+TEST(JobStore, RecordsRoundTripExactlyAndIgnoreTornTail) {
+  const std::string dir = fresh_dir("store_records");
+  JobStore store = JobStore::create_or_attach(dir, mini_job(6, 60));
+  // Values chosen so decimal round-tripping would lose bits.
+  const double awkward = 0.1 + 0.2;
+  store.append_record(0, {0, awkward});
+  store.append_record(0, {3, -1.0});
+  store.append_record(0, {5, 12345678.875});
+
+  // Simulate a crash mid-append: a torn trailing line with no newline.
+  {
+    std::ofstream log(fs::path(dir) / "shards" / "shard_0.log",
+                      std::ios::app | std::ios::binary);
+    log << "4 deadbe";
+  }
+
+  const std::vector<TaskRecord> records = store.read_shard_records(0);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].task, 0);
+  EXPECT_EQ(records[0].value, awkward);  // bit-exact, not approximate
+  EXPECT_EQ(records[1].task, 3);
+  EXPECT_EQ(records[1].value, -1.0);
+  EXPECT_EQ(records[2].task, 5);
+  EXPECT_EQ(records[2].value, 12345678.875);
+
+  EXPECT_FALSE(store.shard_done(0));
+  store.mark_shard_done(0);
+  EXPECT_TRUE(store.shard_done(0));
+  EXPECT_TRUE(JobStore::open(dir).shard_done(0));
+}
+
+TEST(JobStore, LeaseAcquireConflictRenewRelease) {
+  const std::string dir = fresh_dir("store_lease");
+  JobStore store = JobStore::create_or_attach(dir, mini_job(4, 60));
+  EXPECT_TRUE(store.try_lease(0, "alice"));
+  EXPECT_FALSE(store.try_lease(0, "bob"));   // validly held
+  EXPECT_TRUE(store.try_lease(0, "alice"));  // re-entrant renew
+  EXPECT_TRUE(store.try_lease(1, "bob"));    // other shards independent
+  store.renew_lease(0, "alice");
+  store.release_lease(0, "alice");
+  EXPECT_TRUE(store.try_lease(0, "bob"));
+  // Releasing a lease someone else holds is a no-op, not a steal.
+  store.release_lease(0, "alice");
+  EXPECT_FALSE(store.try_lease(0, "carol"));
+}
+
+TEST(JobStore, ExpiredLeaseIsStolen) {
+  const std::string dir = fresh_dir("store_steal");
+  // TTL 0: every lease is expired the moment it is written — the
+  // crashed-worker recovery path, compressed to zero wait.
+  JobStore store = JobStore::create_or_attach(dir, mini_job(4, 0));
+  EXPECT_TRUE(store.try_lease(0, "crashed"));
+  EXPECT_TRUE(store.try_lease(0, "recoverer"));
+}
+
+TEST(JobStore, ScanReportsWatermarksAndLeases) {
+  const std::string dir = fresh_dir("store_scan");
+  JobStore store = JobStore::create_or_attach(dir, mini_job(6, 60));
+  store.append_record(0, {0, 1.0});
+  store.append_record(0, {1, 2.0});
+  store.append_record(0, {1, 2.0});  // idempotent duplicate: one distinct
+  store.append_record(1, {6, 3.0});
+  store.mark_shard_done(1);
+  ASSERT_TRUE(store.try_lease(0, "alice"));
+
+  const std::vector<ShardState> shards = store.scan();
+  ASSERT_EQ(shards.size(), 2u);
+  EXPECT_EQ(shards[0].completed, 2);
+  EXPECT_FALSE(shards[0].done);
+  EXPECT_TRUE(shards[0].leased);
+  EXPECT_EQ(shards[0].lease_owner, "alice");
+  EXPECT_EQ(shards[1].completed, 1);
+  EXPECT_TRUE(shards[1].done);
+  EXPECT_FALSE(shards[1].leased);
+}
+
+TEST(JobStore, OpenRejectsMissingOrCorruptMeta) {
+  EXPECT_THROW(JobStore::open(fresh_dir("store_absent")), ScenarioError);
+  const std::string dir = fresh_dir("store_corrupt");
+  fs::create_directories(dir);
+  std::ofstream(fs::path(dir) / "job.meta") << "not a job meta\n";
+  EXPECT_THROW(JobStore::open(dir), ScenarioError);
+}
+
+}  // namespace
+}  // namespace dualcast::service
