@@ -1,0 +1,172 @@
+#include "service/daemon.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <thread>
+
+#include "service/result_cache.hpp"
+#include "service/service.hpp"
+#include "service/worker.hpp"
+#include "util/strfmt.hpp"
+
+namespace dualcast::service {
+namespace {
+
+/// Per-job daemon state, kept across poll cycles so warnings fire once
+/// and runtimes (plan preparation is expensive) are reused.
+struct JobState {
+  std::unique_ptr<JobStore> store;
+  std::unique_ptr<JobRuntime> runtime;
+  bool warned = false;  ///< already complained about this directory
+  bool merged = false;  ///< completed + merged; skip from now on
+};
+
+bool stop_requested(const DaemonOptions& options) {
+  return options.stop != nullptr && options.stop->load();
+}
+
+/// Sleeps `ms` in small slices so a stop request never waits out a full
+/// backoff delay.
+void interruptible_sleep(int ms, const DaemonOptions& options) {
+  while (ms > 0 && !stop_requested(options)) {
+    const int slice = ms < 10 ? ms : 10;
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    ms -= slice;
+  }
+}
+
+bool all_shards_done(const JobStore& store) {
+  const int shards = store.shard_count();
+  for (int s = 0; s < shards; ++s) {
+    if (!store.shard_done(s)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DaemonReport run_daemon(const DaemonOptions& options, const StoreEnv& env) {
+  DaemonReport report;
+  if (options.jobs_dir.empty()) {
+    throw scenario::ScenarioError("daemon: jobs_dir is required");
+  }
+  util::Fs& fs = env.fs != nullptr ? *env.fs : util::real_fs();
+  const std::string owner =
+      options.owner.empty() ? str("pid", static_cast<long>(::getpid()), ".d")
+                            : options.owner;
+
+  // The cache is optional equipment: failure to open it (or, later, to
+  // write it — merge_job demotes that itself) must never stop job
+  // processing.
+  std::unique_ptr<ResultCache> cache;
+  if (!options.cache_dir.empty()) {
+    try {
+      cache = std::make_unique<ResultCache>(options.cache_dir,
+                                            options.cache_max_bytes, env.fs,
+                                            env.clock);
+    } catch (const util::IoError& error) {
+      if (options.log != nullptr) {
+        *options.log << "daemon: warning: cannot open result cache "
+                     << options.cache_dir << " (" << error.what()
+                     << "); running without caching\n";
+      }
+    }
+  }
+
+  std::map<std::string, JobState> jobs;
+  util::Backoff backoff(options.poll_initial_ms, options.poll_max_ms,
+                        scenario::fnv1a64(owner));
+  for (;;) {
+    if (stop_requested(options)) {
+      report.stopped = true;
+      break;
+    }
+    if (options.max_cycles >= 0 && report.cycles >= options.max_cycles) {
+      break;
+    }
+    ++report.cycles;
+    bool progress = false;
+    for (const std::string& name : fs.list(options.jobs_dir)) {
+      if (stop_requested(options)) break;
+      const std::string dir = str(options.jobs_dir, "/", name);
+      if (!fs.exists(str(dir, "/job.meta"))) continue;
+      JobState& job = jobs[dir];
+      if (job.merged) continue;
+      try {
+        if (job.store == nullptr) {
+          job.store =
+              std::make_unique<JobStore>(JobStore::open(dir, env));
+          ++report.jobs_seen;
+          if (options.log != nullptr) {
+            *options.log << "daemon: picked up job "
+                         << scenario::hash_hex(job.store->spec().key)
+                         << " in " << dir << " ("
+                         << job.store->total_tasks() << " tasks)\n";
+          }
+        }
+        if (job.runtime == nullptr) {
+          job.runtime = std::make_unique<JobRuntime>(*job.store);
+        }
+        WorkerOptions worker_options;
+        worker_options.owner = owner;
+        worker_options.stop = options.stop;
+        worker_options.log = options.log;
+        const WorkerReport worked =
+            run_worker(*job.store, *job.runtime, worker_options);
+        report.shards_completed += worked.shards_completed;
+        report.tasks_executed += worked.tasks_executed;
+        report.shards_quarantined += worked.shards_quarantined;
+        if (worked.shards_completed > 0 || worked.tasks_executed > 0 ||
+            worked.shards_quarantined > 0) {
+          progress = true;
+        }
+        if (worked.stopped) break;
+        if (all_shards_done(*job.store)) {
+          // Complete: merge into the cache so future serves hit, then
+          // drop the runtime (the records stay for `merge`/`status`).
+          merge_job(*job.store, *job.runtime, cache.get(), options.log);
+          job.merged = true;
+          job.runtime.reset();
+          ++report.jobs_completed;
+          progress = true;
+          if (options.log != nullptr) {
+            *options.log << "daemon: completed job in " << dir << "\n";
+          }
+        }
+      } catch (const scenario::ScenarioError& error) {
+        // A bad job directory (corrupt meta, catalog drift, conflicting
+        // records) is warned about once, then skipped — it must not wedge
+        // the daemon or starve other jobs.
+        if (!job.warned && options.log != nullptr) {
+          *options.log << "daemon: warning: skipping job " << dir << ": "
+                       << error.what() << "\n";
+        }
+        job.warned = true;
+      } catch (const util::IoError& error) {
+        // Exhausted-retries IO failure on this job; leave it for a later
+        // cycle (the store may heal — e.g. space freed after ENOSPC).
+        if (!job.warned && options.log != nullptr) {
+          *options.log << "daemon: warning: IO trouble on job " << dir
+                       << ": " << error.what() << "\n";
+        }
+        job.warned = true;
+      }
+    }
+    if (stop_requested(options)) {
+      report.stopped = true;
+      break;
+    }
+    if (progress) {
+      backoff.reset();
+    } else {
+      interruptible_sleep(backoff.next_ms(), options);
+    }
+  }
+  return report;
+}
+
+}  // namespace dualcast::service

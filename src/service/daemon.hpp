@@ -1,0 +1,65 @@
+#pragma once
+
+// Daemon mode for the experiment service.
+//
+// run_daemon() watches a jobs directory: every subdirectory containing a
+// job.meta is a dropped job. The daemon opens each job, runs the worker
+// lease loop against it (quarantining corrupt shards, resuming from
+// watermarks), and — once every shard is done — merges the results into
+// the result cache so later `serve` calls for the same scenarios are
+// zero-recompute. Polling is backoff-paced: cycles that make progress
+// poll again immediately, idle cycles back off (jittered exponential) up
+// to `poll_max_ms`.
+//
+// Degradation: a job directory that cannot be opened (corrupt meta,
+// catalog drift) is warned about once and skipped — it never wedges the
+// daemon or the other jobs. A cache directory that cannot be opened or
+// written (read-only filesystem, ENOSPC) drops the daemon to
+// compute-without-cache with a single warning; jobs still complete.
+//
+// Shutdown: a cooperative stop flag (wired to SIGTERM/SIGINT by the CLI)
+// exits cleanly at the next task boundary — shard records already
+// appended stay durable and all held leases are released, so a restarted
+// daemon (or any worker) picks up exactly where this one stopped.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "service/job_store.hpp"
+
+namespace dualcast::service {
+
+struct DaemonOptions {
+  std::string jobs_dir;        ///< directory whose subdirectories are jobs
+  std::string cache_dir;       ///< empty disables the result cache
+  std::uint64_t cache_max_bytes = 0;  ///< cache budget (0 = unbounded)
+  std::string owner;           ///< lease owner token; default "pid<pid>.d"
+  int poll_initial_ms = 100;   ///< idle backoff start
+  int poll_max_ms = 2000;      ///< idle backoff cap
+  /// Stop after this many poll cycles (< 0 = run until stopped) — the
+  /// bounded mode tests and one-shot drains use.
+  int max_cycles = -1;
+  /// Cooperative stop: when set and it becomes true, finish the current
+  /// task, release leases, and return.
+  const std::atomic<bool>* stop = nullptr;
+  std::ostream* log = nullptr;
+};
+
+struct DaemonReport {
+  int cycles = 0;
+  int jobs_seen = 0;       ///< distinct jobs opened
+  int jobs_completed = 0;  ///< jobs whose every shard finished under us
+  int shards_completed = 0;
+  int tasks_executed = 0;
+  int shards_quarantined = 0;
+  bool stopped = false;  ///< returned via the stop flag
+};
+
+/// Runs the daemon loop (see file comment). The env's fs/clock are used
+/// for job discovery and threaded into every store the daemon opens.
+DaemonReport run_daemon(const DaemonOptions& options,
+                        const StoreEnv& env = {});
+
+}  // namespace dualcast::service

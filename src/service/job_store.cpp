@@ -1,13 +1,10 @@
 #include "service/job_store.hpp"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <ctime>
-#include <filesystem>
-#include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "scenario/plan.hpp"
@@ -16,65 +13,10 @@
 namespace dualcast::service {
 namespace {
 
-namespace fs = std::filesystem;
 using scenario::ScenarioError;
 
 std::string join_path(const std::string& dir, const std::string& leaf) {
-  return (fs::path(dir) / leaf).string();
-}
-
-void ensure_dir(const std::string& dir) {
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
-    throw ScenarioError(str("cannot create directory ", dir, ": ",
-                            ec.message()));
-  }
-}
-
-/// fsync on a path (directories included) so renames/creates within it are
-/// durable before we acknowledge them.
-void fsync_path(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return;
-  ::fsync(fd);
-  ::close(fd);
-}
-
-/// Durable whole-file write: temp file in the same directory, fsync,
-/// rename over the target, fsync the directory. Readers never observe a
-/// partial file.
-void atomic_write_file(const std::string& path, const std::string& content) {
-  const std::string tmp = str(path, ".tmp.", static_cast<long>(::getpid()));
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) throw ScenarioError(str("cannot write ", tmp));
-  ssize_t off = 0;
-  while (off < static_cast<ssize_t>(content.size())) {
-    const ssize_t wrote =
-        ::write(fd, content.data() + off, content.size() - off);
-    if (wrote < 0) {
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      throw ScenarioError(str("write failed for ", tmp));
-    }
-    off += wrote;
-  }
-  ::fsync(fd);
-  ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    ::unlink(tmp.c_str());
-    throw ScenarioError(str("cannot rename ", tmp, " -> ", path));
-  }
-  fsync_path(fs::path(path).parent_path().string());
-}
-
-bool read_file(const std::string& path, std::string& out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  out = buf.str();
-  return true;
+  return str(dir, "/", leaf);
 }
 
 const char* history_name(HistoryPolicy history) {
@@ -92,6 +34,110 @@ double bits_value(std::uint64_t bits) {
   std::memcpy(&value, &bits, sizeof(value));
   return value;
 }
+
+std::string crc_hex(std::uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+// --- record encoding ---------------------------------------------------
+//
+// v2 (written): "r2 <len> <payload> <crc>\n" with payload
+// "<task> <bits-hex>", <len> the payload's byte length, <crc> its CRC32C
+// as 8 hex digits. Length-prefix + checksum turn any mid-file damage —
+// bit rot, a partially overwritten block, an interleaved foreign line —
+// into a detected corruption instead of silently merged garbage.
+// v1 (still read): "<task> <bits-hex> <decimal>", no checksum.
+
+std::string encode_record(const TaskRecord& record) {
+  const std::string payload =
+      str(record.task, " ", scenario::hash_hex(value_bits(record.value)));
+  return str("r2 ", payload.size(), " ", payload, " ",
+             crc_hex(util::crc32c(payload)), "\n");
+}
+
+bool parse_payload(const std::string& payload, TaskRecord& out) {
+  const std::size_t space = payload.find(' ');
+  if (space == std::string::npos || space == 0) return false;
+  const std::string task_text = payload.substr(0, space);
+  const std::string bits_text = payload.substr(space + 1);
+  errno = 0;
+  char* end = nullptr;
+  const long task = std::strtol(task_text.c_str(), &end, 10);
+  if (end == task_text.c_str() || *end != '\0' || errno == ERANGE ||
+      task < 0 || task > std::numeric_limits<int>::max()) {
+    return false;
+  }
+  try {
+    out.task = static_cast<int>(task);
+    out.value = bits_value(scenario::parse_hash_hex(bits_text));
+  } catch (const ScenarioError&) {
+    return false;
+  }
+  return true;
+}
+
+/// Parses one complete record line (v2 strict, v1 lenient). Returns false
+/// with `detail` set when the line is damaged.
+bool parse_record_line(const std::string& line, TaskRecord& out,
+                       std::string& detail) {
+  if (line.rfind("r2 ", 0) == 0) {
+    const std::size_t len_begin = 3;
+    const std::size_t len_end = line.find(' ', len_begin);
+    if (len_end == std::string::npos) {
+      detail = "v2 record missing length prefix";
+      return false;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const std::string len_text = line.substr(len_begin, len_end - len_begin);
+    const unsigned long len = std::strtoul(len_text.c_str(), &end, 10);
+    if (end == len_text.c_str() || *end != '\0' || errno == ERANGE) {
+      detail = "v2 record has malformed length prefix";
+      return false;
+    }
+    const std::size_t payload_begin = len_end + 1;
+    // Layout check: payload of exactly `len` bytes, one space, 8-hex crc.
+    if (payload_begin + len + 1 + 8 != line.size() ||
+        line[payload_begin + len] != ' ') {
+      detail = str("v2 record length prefix ", len,
+                   " does not match the line layout");
+      return false;
+    }
+    const std::string payload = line.substr(payload_begin, len);
+    const std::string crc_text = line.substr(payload_begin + len + 1);
+    errno = 0;
+    const unsigned long crc = std::strtoul(crc_text.c_str(), &end, 16);
+    if (end == crc_text.c_str() || *end != '\0' || errno == ERANGE) {
+      detail = "v2 record has malformed checksum";
+      return false;
+    }
+    if (static_cast<std::uint32_t>(crc) != util::crc32c(payload)) {
+      detail = str("checksum mismatch (stored ", crc_text, ", computed ",
+                   crc_hex(util::crc32c(payload)), ")");
+      return false;
+    }
+    if (!parse_payload(payload, out)) {
+      detail = "v2 record payload unparsable";
+      return false;
+    }
+    return true;
+  }
+  // v1 back-compat: "<task> <bits-hex>" with an ignored human-readable
+  // decimal tail; no checksum to validate.
+  std::istringstream in(line);
+  std::string task_text;
+  std::string bits_text;
+  if (!(in >> task_text >> bits_text) ||
+      !parse_payload(str(task_text, " ", bits_text), out)) {
+    detail = "record unparsable (neither v2 nor v1 syntax)";
+    return false;
+  }
+  return true;
+}
+
+// --- job.meta ----------------------------------------------------------
 
 std::string serialize_meta(const JobSpec& spec) {
   std::ostringstream os;
@@ -112,6 +158,22 @@ std::string serialize_meta(const JobSpec& spec) {
   return os.str();
 }
 
+/// Integer meta field with a field-level diagnostic — a corrupt job.meta
+/// must name what is wrong, not surface a generic std::stoi throw.
+int parse_int_field(const std::string& path, const std::string& field,
+                    const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
+      parsed < std::numeric_limits<int>::min() ||
+      parsed > std::numeric_limits<int>::max()) {
+    throw ScenarioError(str(path, ": field \"", field, "\": bad integer \"",
+                            value, "\""));
+  }
+  return static_cast<int>(parsed);
+}
+
 JobSpec parse_meta(const std::string& text, const std::string& path) {
   JobSpec spec;
   std::istringstream in(text);
@@ -120,6 +182,8 @@ JobSpec parse_meta(const std::string& text, const std::string& path) {
     throw ScenarioError(str(path, ": not a dualcast job meta file"));
   }
   bool saw_end = false;
+  bool saw_key = false;
+  bool saw_catalog = false;
   while (std::getline(in, line)) {
     if (line == "end") {
       saw_end = true;
@@ -133,8 +197,10 @@ JobSpec parse_meta(const std::string& text, const std::string& path) {
     const std::string value = line.substr(space + 1);
     if (field == "key") {
       spec.key = scenario::parse_hash_hex(value);
+      saw_key = true;
     } else if (field == "catalog") {
       spec.catalog = scenario::parse_hash_hex(value);
+      saw_catalog = true;
     } else if (field == "engine") {
       if (value == "kernel") {
         spec.engine = scenario::EnginePath::kernel;
@@ -160,13 +226,13 @@ JobSpec parse_meta(const std::string& text, const std::string& path) {
         throw ScenarioError(str(path, ": unknown history \"", value, "\""));
       }
     } else if (field == "trials_override") {
-      spec.trials_override = std::stoi(value);
+      spec.trials_override = parse_int_field(path, field, value);
     } else if (field == "smoke") {
       spec.smoke = value == "1";
     } else if (field == "shard_tasks") {
-      spec.shard_tasks = std::stoi(value);
+      spec.shard_tasks = parse_int_field(path, field, value);
     } else if (field == "lease_ttl") {
-      spec.lease_ttl_seconds = std::stoi(value);
+      spec.lease_ttl_seconds = parse_int_field(path, field, value);
     } else if (field == "scenario") {
       spec.scenario_names.push_back(value);
     } else {
@@ -175,6 +241,12 @@ JobSpec parse_meta(const std::string& text, const std::string& path) {
   }
   if (!saw_end) {
     throw ScenarioError(str(path, ": truncated meta file (no \"end\")"));
+  }
+  if (!saw_key) {
+    throw ScenarioError(str(path, ": missing required field \"key\""));
+  }
+  if (!saw_catalog) {
+    throw ScenarioError(str(path, ": missing required field \"catalog\""));
   }
   if (spec.scenario_names.empty()) {
     throw ScenarioError(str(path, ": job has no scenarios"));
@@ -202,32 +274,48 @@ std::vector<int> compute_task_offsets(const JobSpec& spec) {
   return offsets;
 }
 
+// --- leases ------------------------------------------------------------
+
 struct LeaseContent {
   std::string owner;
+  std::int64_t since = 0;
   std::int64_t expiry = 0;
 };
 
-std::optional<LeaseContent> parse_lease(const std::string& path) {
-  std::string text;
-  if (!read_file(path, text)) return std::nullopt;
+std::optional<LeaseContent> parse_lease_text(const std::string& text) {
   LeaseContent lease;
   std::istringstream in(text);
   std::string field;
-  std::string owner;
-  long long expiry = 0;
-  if (!(in >> field >> owner) || field != "owner") return std::nullopt;
-  if (!(in >> field >> expiry) || field != "expiry") return std::nullopt;
-  lease.owner = owner;
-  lease.expiry = expiry;
+  bool saw_owner = false;
+  bool saw_expiry = false;
+  while (in >> field) {
+    if (field == "owner") {
+      if (!(in >> lease.owner)) return std::nullopt;
+      saw_owner = true;
+    } else if (field == "since") {
+      if (!(in >> lease.since)) return std::nullopt;
+    } else if (field == "expiry") {
+      if (!(in >> lease.expiry)) return std::nullopt;
+      saw_expiry = true;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_owner || !saw_expiry) return std::nullopt;
   return lease;
 }
 
-std::string lease_content(const std::string& owner, std::int64_t expiry) {
-  return str("owner ", owner, "\nexpiry ", expiry, "\n");
+std::string lease_content(const std::string& owner, std::int64_t since,
+                          std::int64_t expiry) {
+  return str("owner ", owner, "\nsince ", since, "\nexpiry ", expiry, "\n");
 }
 
-std::int64_t now_seconds() {
-  return static_cast<std::int64_t>(::time(nullptr));
+util::Fs& resolve_fs(const StoreEnv& env) {
+  return env.fs != nullptr ? *env.fs : util::real_fs();
+}
+
+util::Clock& resolve_clock(const StoreEnv& env) {
+  return env.clock != nullptr ? *env.clock : util::system_clock();
 }
 
 }  // namespace
@@ -280,16 +368,21 @@ JobSpec make_job_spec(
   return spec;
 }
 
-JobStore::JobStore(std::string dir, JobSpec spec)
-    : dir_(std::move(dir)), spec_(std::move(spec)) {
+JobStore::JobStore(std::string dir, JobSpec spec, const StoreEnv& env)
+    : dir_(std::move(dir)),
+      spec_(std::move(spec)),
+      fs_(&resolve_fs(env)),
+      clock_(&resolve_clock(env)) {
   task_offset_ = compute_task_offsets(spec_);
 }
 
 JobStore JobStore::create_or_attach(const std::string& dir,
-                                    const JobSpec& spec) {
+                                    const JobSpec& spec,
+                                    const StoreEnv& env) {
+  util::Fs& fs = resolve_fs(env);
   const std::string meta_path = join_path(dir, "job.meta");
-  if (fs::exists(meta_path)) {
-    JobStore store = open(dir);
+  if (fs.exists(meta_path)) {
+    JobStore store = open(dir, env);
     if (store.spec().key != spec.key) {
       throw ScenarioError(
           str(dir, ": existing job ", scenario::hash_hex(store.spec().key),
@@ -298,17 +391,17 @@ JobStore JobStore::create_or_attach(const std::string& dir,
     }
     return store;
   }
-  ensure_dir(dir);
-  ensure_dir(join_path(dir, "shards"));
-  ensure_dir(join_path(dir, "leases"));
-  atomic_write_file(meta_path, serialize_meta(spec));
-  return JobStore(dir, spec);
+  fs.create_dirs(join_path(dir, "shards"));
+  fs.create_dirs(join_path(dir, "leases"));
+  fs.write_file_atomic(meta_path, serialize_meta(spec));
+  return JobStore(dir, spec, env);
 }
 
-JobStore JobStore::open(const std::string& dir) {
+JobStore JobStore::open(const std::string& dir, const StoreEnv& env) {
+  util::Fs& fs = resolve_fs(env);
   const std::string meta_path = join_path(dir, "job.meta");
   std::string text;
-  if (!read_file(meta_path, text)) {
+  if (!fs.read_file(meta_path, text)) {
     throw ScenarioError(str(dir, ": no job here (missing job.meta)"));
   }
   JobSpec stored = parse_meta(text, meta_path);
@@ -328,9 +421,9 @@ JobStore JobStore::open(const std::string& dir) {
         "key ", scenario::hash_hex(stored.key), ", this binary derives ",
         scenario::hash_hex(fresh.key), "); re-submit the job"));
   }
-  ensure_dir(join_path(dir, "shards"));
-  ensure_dir(join_path(dir, "leases"));
-  return JobStore(dir, std::move(stored));
+  fs.create_dirs(join_path(dir, "shards"));
+  fs.create_dirs(join_path(dir, "leases"));
+  return JobStore(dir, std::move(stored), env);
 }
 
 int JobStore::shard_count() const {
@@ -351,111 +444,180 @@ std::string JobStore::shard_done_path(int shard) const {
   return join_path(dir_, str("shards/shard_", shard, ".done"));
 }
 
+std::string JobStore::shard_quarantine_path(int shard) const {
+  return join_path(dir_, str("shards/shard_", shard, ".quarantine"));
+}
+
 std::string JobStore::lease_path(int shard) const {
   return join_path(dir_, str("leases/shard_", shard, ".lease"));
 }
 
-std::vector<TaskRecord> JobStore::read_shard_records(int shard) const {
-  std::vector<TaskRecord> records;
+ShardScan JobStore::scan_shard_log(int shard) const {
+  ShardScan scan;
   std::string text;
-  if (!read_file(shard_log_path(shard), text)) return records;
+  if (!fs_->read_file(shard_log_path(shard), text)) return scan;
   std::size_t pos = 0;
+  int line_no = 0;
   while (pos < text.size()) {
     const std::size_t eol = text.find('\n', pos);
     if (eol == std::string::npos) break;  // torn trailing write: ignore
+    ++line_no;
     const std::string line = text.substr(pos, eol - pos);
     pos = eol + 1;
-    std::istringstream in(line);
-    int task = 0;
-    std::string bits_hex;
-    if (!(in >> task >> bits_hex)) continue;  // malformed line: skip
-    try {
-      records.push_back(
-          {task, bits_value(scenario::parse_hash_hex(bits_hex))});
-    } catch (const ScenarioError&) {
-      continue;
+    TaskRecord record;
+    std::string detail;
+    if (!parse_record_line(line, record, detail)) {
+      // Damage mid-file: stop at the last good watermark and report. The
+      // records after the damage (if any) are NOT trusted — a corrupted
+      // region throws doubt on everything behind it.
+      scan.corrupt = true;
+      scan.bad_line = line_no;
+      scan.detail = detail;
+      scan.records.shrink_to_fit();
+      return scan;
     }
+    scan.records.push_back(record);
+    scan.good_bytes = pos;
   }
-  return records;
+  return scan;
+}
+
+std::vector<TaskRecord> JobStore::read_shard_records(int shard) const {
+  ShardScan scan = scan_shard_log(shard);
+  if (scan.corrupt) {
+    throw ScenarioError(str(
+        "shard ", shard, " record log corrupt at line ", scan.bad_line, ": ",
+        scan.detail, " — refusing to merge; run `dualcast_bench worker` (or "
+        "daemon) against this job to quarantine the log and recompute from "
+        "the last good watermark"));
+  }
+  return std::move(scan.records);
+}
+
+ShardScan JobStore::recover_shard(int shard) {
+  ShardScan scan = scan_shard_log(shard);
+  if (!scan.corrupt) {
+    // A torn trailing write (crash mid-append) is normal, but the stray
+    // partial line must go before anyone appends again — otherwise the
+    // next record concatenates onto it and becomes mid-file corruption.
+    const std::int64_t size = fs_->file_size(shard_log_path(shard));
+    if (size > static_cast<std::int64_t>(scan.good_bytes)) {
+      std::string content;
+      for (const TaskRecord& record : scan.records) {
+        content += encode_record(record);
+      }
+      if (content.empty()) {
+        fs_->unlink(shard_log_path(shard));
+      } else {
+        fs_->write_file_atomic(shard_log_path(shard), content);
+      }
+      fs_->sync_dir(join_path(dir_, "shards"));
+    }
+    return scan;
+  }
+  // Move the damaged log aside (evidence for the operator), rewrite the
+  // good prefix as a fresh log, and clear the done marker so the shard is
+  // re-leased and recomputed from the watermark.
+  fs_->rename(shard_log_path(shard), shard_quarantine_path(shard));
+  if (!scan.records.empty()) {
+    std::string content;
+    for (const TaskRecord& record : scan.records) {
+      content += encode_record(record);
+    }
+    fs_->write_file_atomic(shard_log_path(shard), content);
+  }
+  fs_->unlink(shard_done_path(shard));
+  fs_->sync_dir(join_path(dir_, "shards"));
+  // The returned scan keeps corrupt=true to report that a quarantine
+  // happened; records are the recovered watermark.
+  return scan;
+}
+
+std::vector<int> JobStore::recover_all() {
+  std::vector<int> quarantined;
+  const int shards = shard_count();
+  for (int s = 0; s < shards; ++s) {
+    if (recover_shard(s).corrupt) quarantined.push_back(s);
+  }
+  return quarantined;
 }
 
 void JobStore::append_record(int shard, const TaskRecord& record) {
-  const std::string line =
-      str(record.task, " ", scenario::hash_hex(value_bits(record.value)), " ",
-          record.value, "\n");
   const std::string path = shard_log_path(shard);
-  const int fd =
-      ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
-  if (fd < 0) throw ScenarioError(str("cannot append to ", path));
-  // One write() per record: appends of this size are atomic on local
-  // filesystems, so two stealers interleaving never tear a line.
-  const ssize_t wrote = ::write(fd, line.data(), line.size());
-  const bool ok = wrote == static_cast<ssize_t>(line.size());
-  ::fsync(fd);
-  ::close(fd);
-  if (!ok) throw ScenarioError(str("short write to ", path));
+  fs_->append(path, encode_record(record));
+  fs_->fsync_file(path);
 }
 
 void JobStore::mark_shard_done(int shard) {
-  atomic_write_file(shard_done_path(shard), "done\n");
+  fs_->write_file_atomic(shard_done_path(shard), "done\n");
 }
 
 bool JobStore::shard_done(int shard) const {
-  return fs::exists(shard_done_path(shard));
+  return fs_->exists(shard_done_path(shard));
 }
 
 bool JobStore::try_lease(int shard, const std::string& owner) {
   const std::string path = lease_path(shard);
-  const std::string content =
-      lease_content(owner, now_seconds() + spec_.lease_ttl_seconds);
   for (int attempt = 0; attempt < 2; ++attempt) {
-    const int fd =
-        ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
-    if (fd >= 0) {
-      const ssize_t wrote = ::write(fd, content.data(), content.size());
-      ::fsync(fd);
-      ::close(fd);
-      if (wrote != static_cast<ssize_t>(content.size())) {
-        ::unlink(path.c_str());
-        throw ScenarioError(str("short write to ", path));
+    std::string text;
+    if (fs_->read_file(path, text)) {
+      const auto lease = parse_lease_text(text);
+      if (!lease.has_value()) {
+        // Garbled lease: cannot happen through the link-publish protocol
+        // below, so treat it as debris and clear it.
+        fs_->unlink(path);
+      } else if (lease->owner == owner) {
+        renew_lease(shard, owner);
+        return true;
+      } else if (lease->expiry > clock_->now_seconds()) {
+        // Valid strictly until its expiry second, so ttl 0 means
+        // "instantly stealable" (the crash-recovery tests' configuration).
+        return false;
+      } else {
+        fs_->unlink(path);  // expired: clear it and contend below
       }
-      // Confirm ownership: a concurrent stealer may have unlinked our
-      // fresh lease in the unlink/create race window. Losing here is
-      // safe — tasks are idempotent — but only one worker should keep it.
-      const auto lease = parse_lease(path);
-      return lease.has_value() && lease->owner == owner;
     }
-    // Lease exists: honor it unless expired (or already ours).
-    const auto lease = parse_lease(path);
-    if (!lease.has_value()) {
-      // Unreadable/torn lease: treat as stale.
-      ::unlink(path.c_str());
-      continue;
-    }
-    if (lease->owner == owner) {
-      renew_lease(shard, owner);
-      return true;
-    }
-    // Valid strictly until its expiry second, so ttl 0 means "instantly
-    // stealable" (the crash-recovery tests' configuration).
-    if (lease->expiry > now_seconds()) return false;
-    ::unlink(path.c_str());
+    // Acquire: publish a fully-written lease file via link() — atomic
+    // create-if-absent with the content already in place, so a concurrent
+    // reader can never observe a half-written lease and "steal" a fresh
+    // one (the classic NFS-safe lockfile protocol).
+    const std::int64_t now = clock_->now_seconds();
+    const std::string tmp = str(path, ".", owner, ".tmp");
+    fs_->write_file(tmp,
+                    lease_content(owner, now, now + spec_.lease_ttl_seconds));
+    fs_->fsync_file(tmp);
+    const bool linked = fs_->link(tmp, path);
+    fs_->unlink(tmp);
+    if (!linked) continue;  // lost the race; reassess the new holder
+    // Verify-after-acquire: a stealer that read the *previous* expired
+    // lease may unlink ours in its clear window. Losing here is safe —
+    // tasks are idempotent — but only one worker should keep the shard.
+    std::string mine;
+    if (!fs_->read_file(path, mine)) return false;
+    const auto confirmed = parse_lease_text(mine);
+    return confirmed.has_value() && confirmed->owner == owner;
   }
   return false;
 }
 
 void JobStore::renew_lease(int shard, const std::string& owner) {
   const std::string path = lease_path(shard);
-  const auto lease = parse_lease(path);
+  std::string text;
+  if (!fs_->read_file(path, text)) return;
+  const auto lease = parse_lease_text(text);
   if (!lease.has_value() || lease->owner != owner) return;
-  atomic_write_file(
-      path, lease_content(owner, now_seconds() + spec_.lease_ttl_seconds));
+  const std::int64_t now = clock_->now_seconds();
+  const std::int64_t since = lease->since != 0 ? lease->since : now;
+  fs_->write_file_atomic(
+      path, lease_content(owner, since, now + spec_.lease_ttl_seconds));
 }
 
 void JobStore::release_lease(int shard, const std::string& owner) {
   const std::string path = lease_path(shard);
-  const auto lease = parse_lease(path);
-  if (lease.has_value() && lease->owner == owner) ::unlink(path.c_str());
+  std::string text;
+  if (!fs_->read_file(path, text)) return;
+  const auto lease = parse_lease_text(text);
+  if (lease.has_value() && lease->owner == owner) fs_->unlink(path);
 }
 
 std::vector<ShardState> JobStore::scan() const {
@@ -466,9 +628,12 @@ std::vector<ShardState> JobStore::scan() const {
     ShardState state;
     state.index = s;
     std::tie(state.begin, state.end) = shard_range(s);
+    const ShardScan scan = scan_shard_log(s);
+    state.corrupt = scan.corrupt;
+    state.quarantined = fs_->exists(shard_quarantine_path(s));
     std::vector<bool> seen(static_cast<std::size_t>(state.end - state.begin),
                            false);
-    for (const TaskRecord& record : read_shard_records(s)) {
+    for (const TaskRecord& record : scan.records) {
       if (record.task < state.begin || record.task >= state.end) continue;
       const std::size_t i =
           static_cast<std::size_t>(record.task - state.begin);
@@ -478,10 +643,14 @@ std::vector<ShardState> JobStore::scan() const {
       }
     }
     state.done = shard_done(s);
-    if (const auto lease = parse_lease(lease_path(s))) {
-      state.leased = true;
-      state.lease_owner = lease->owner;
-      state.lease_expiry = lease->expiry;
+    std::string text;
+    if (fs_->read_file(lease_path(s), text)) {
+      if (const auto lease = parse_lease_text(text)) {
+        state.leased = true;
+        state.lease_owner = lease->owner;
+        state.lease_since = lease->since;
+        state.lease_expiry = lease->expiry;
+      }
     }
     out.push_back(std::move(state));
   }

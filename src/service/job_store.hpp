@@ -13,18 +13,39 @@
 // reassembles the records into JSON byte-identical to a single-process
 // run_scenarios() run (same plan, same censoring, same writer).
 //
+// All IO goes through an injectable util::Fs and all time through an
+// injectable util::Clock (StoreEnv), so every durability claim below is
+// exercised by the fault-injection test matrix: crash at any syscall,
+// torn appends, EIO/ENOSPC, stale clocks.
+//
 // On-disk layout under the job directory:
 //
 //   job.meta                  frozen JobSpec (versioned text; written once)
-//   shards/shard_<k>.log      append-only completion records, fsync'd:
-//                             "<task> <value-bits-hex> <value>\n" — the hex
-//                             field is the double's exact bit pattern, so
-//                             merged values are the measured values, not a
-//                             decimal round-trip
+//   shards/shard_<k>.log      append-only completion records, fsync'd.
+//                             v2 record (what this version writes):
+//                               "r2 <len> <task> <bits-hex> <crc-hex>\n"
+//                             where <len> is the byte length of the
+//                             "<task> <bits-hex>" payload and <crc-hex>
+//                             its CRC32C — torn tails are ignored, any
+//                             checksum/length mismatch mid-file marks the
+//                             shard corrupt. v1 records
+//                             ("<task> <bits-hex> <value>") are still
+//                             readable (no checksum). The hex field is the
+//                             double's exact bit pattern, so merged values
+//                             are the measured values, not a decimal
+//                             round-trip.
+//   shards/shard_<k>.quarantine
+//                             a corrupt log, moved aside by recovery; the
+//                             fresh log is rewritten from the records
+//                             before the corruption (the last good
+//                             watermark) and the shard is re-leased to
+//                             recompute the rest. Never merged.
 //   shards/shard_<k>.done     marker: every task of the shard is recorded
-//   leases/shard_<k>.lease    "owner <token>\nexpiry <unix-seconds>\n",
-//                             created atomically (O_CREAT|O_EXCL); an
-//                             expired lease may be stolen
+//   leases/shard_<k>.lease    "owner <token>\nsince <unix>\nexpiry <unix>";
+//                             published atomically via link() of a fully
+//                             written temp file (no empty-file window); an
+//                             expired lease may be stolen. Holders renew
+//                             via heartbeats at TTL/3.
 //
 // Leases are a work-partitioning optimization, not a correctness
 // mechanism: tasks are deterministic functions of (spec, seed) and records
@@ -38,6 +59,8 @@
 #include <vector>
 
 #include "scenario/scenario.hpp"
+#include "util/clock.hpp"
+#include "util/io.hpp"
 
 namespace dualcast::service {
 
@@ -68,10 +91,28 @@ JobSpec make_job_spec(
     const scenario::RunOptions& options, int shard_tasks,
     int lease_ttl_seconds);
 
+/// Injectable environment of a store: null members resolve to the real
+/// filesystem and the system clock.
+struct StoreEnv {
+  util::Fs* fs = nullptr;
+  util::Clock* clock = nullptr;
+};
+
 /// One completed trial: the flat task index and its measured raw value.
 struct TaskRecord {
   int task = 0;
   double value = 0.0;
+};
+
+/// A shard log scan: the good record prefix plus, when the file is
+/// damaged mid-stream, where and how it went bad. A torn *trailing* line
+/// (crash mid-append) is normal and not corruption.
+struct ShardScan {
+  std::vector<TaskRecord> records;  ///< records before any corruption
+  bool corrupt = false;
+  int bad_line = 0;    ///< 1-based line of the first bad record
+  std::string detail;  ///< what failed (checksum, length, syntax)
+  std::size_t good_bytes = 0;  ///< log bytes up to the last good newline
 };
 
 /// A shard's current on-disk state, as read by status/lease scans.
@@ -81,8 +122,11 @@ struct ShardState {
   int end = 0;    ///< last flat task (exclusive)
   int completed = 0;  ///< distinct recorded tasks
   bool done = false;  ///< done marker present
+  bool corrupt = false;      ///< current log fails checksum validation
+  bool quarantined = false;  ///< a quarantined log sits beside this shard
   bool leased = false;
   std::string lease_owner;
+  std::int64_t lease_since = 0;   ///< unix seconds (0 = unknown / v1 lease)
   std::int64_t lease_expiry = 0;  ///< unix seconds
 };
 
@@ -91,15 +135,18 @@ class JobStore {
   /// Creates the job directory (and meta) or attaches to an existing one.
   /// Attaching verifies the stored key matches `spec` — resuming a job
   /// with different parameters or against a drifted catalog is an error.
-  static JobStore create_or_attach(const std::string& dir,
-                                   const JobSpec& spec);
+  static JobStore create_or_attach(const std::string& dir, const JobSpec& spec,
+                                   const StoreEnv& env = {});
 
-  /// Attaches to an existing job directory; throws when absent/corrupt or
-  /// when the stored catalog hash does not match this binary's catalog.
-  static JobStore open(const std::string& dir);
+  /// Attaches to an existing job directory; throws ScenarioError with a
+  /// field-level diagnostic when absent/corrupt, and when the stored
+  /// catalog hash does not match this binary's catalog.
+  static JobStore open(const std::string& dir, const StoreEnv& env = {});
 
   const JobSpec& spec() const { return spec_; }
   const std::string& dir() const { return dir_; }
+  util::Fs& fs() const { return *fs_; }
+  util::Clock& clock() const { return *clock_; }
 
   int total_tasks() const { return task_offset_.back(); }
   int shard_count() const;
@@ -112,9 +159,24 @@ class JobStore {
 
   // --- records ---------------------------------------------------------
 
-  /// Parses a shard's completion log. Torn trailing lines (a crash mid-
-  /// write) are ignored; complete records are returned in file order.
+  /// Parses a shard's completion log, validating checksums. Torn trailing
+  /// lines (a crash mid-write) are ignored; a damaged record mid-file
+  /// marks the scan corrupt and truncates it at the last good watermark.
+  ShardScan scan_shard_log(int shard) const;
+
+  /// Like scan_shard_log but throws ScenarioError on corruption — for
+  /// callers (the merger) that must never consume a damaged shard.
   std::vector<TaskRecord> read_shard_records(int shard) const;
+
+  /// Quarantines a corrupt shard log: the damaged file moves to
+  /// shard_<k>.quarantine, a fresh log is rewritten from the good record
+  /// prefix, and the done marker (if any) is cleared so workers re-lease
+  /// and recompute from the watermark. No-op when the log is healthy.
+  /// Returns the post-recovery scan.
+  ShardScan recover_shard(int shard);
+
+  /// Runs recover_shard over every shard; returns the quarantined ones.
+  std::vector<int> recover_all();
 
   /// Appends one record to a shard's log and fsyncs it before returning —
   /// after a crash, every acknowledged record is on disk.
@@ -127,12 +189,14 @@ class JobStore {
 
   // --- leases ----------------------------------------------------------
 
-  /// Tries to acquire a shard's lease for `owner`: atomically creates the
-  /// lease file, or steals it when the current lease is expired. Returns
-  /// false when the shard is validly leased by someone else.
+  /// Tries to acquire a shard's lease for `owner`: links a fully-written
+  /// lease file into place, or steals the current lease when it is
+  /// expired. Returns false when the shard is validly leased by someone
+  /// else (per this store's clock).
   bool try_lease(int shard, const std::string& owner);
 
-  /// Extends an owned lease by the job's TTL from now.
+  /// Extends an owned lease by the job's TTL from now (the heartbeat
+  /// path; preserves the lease's original `since`).
   void renew_lease(int shard, const std::string& owner);
 
   /// Releases an owned lease (no-op when not held by `owner`).
@@ -142,15 +206,18 @@ class JobStore {
   std::vector<ShardState> scan() const;
 
  private:
-  JobStore(std::string dir, JobSpec spec);
+  JobStore(std::string dir, JobSpec spec, const StoreEnv& env);
 
   std::string shard_log_path(int shard) const;
   std::string shard_done_path(int shard) const;
+  std::string shard_quarantine_path(int shard) const;
   std::string lease_path(int shard) const;
 
   std::string dir_;
   JobSpec spec_;
   std::vector<int> task_offset_;
+  util::Fs* fs_ = nullptr;
+  util::Clock* clock_ = nullptr;
 };
 
 }  // namespace dualcast::service

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <memory>
 #include <ostream>
 #include <thread>
 
@@ -48,7 +49,7 @@ void run_worker_pool(const JobStore& store, const JobRuntime& runtime,
 }  // namespace
 
 std::vector<std::string> merge_job(JobStore& store, JobRuntime& runtime,
-                                   ResultCache* cache) {
+                                   ResultCache* cache, std::ostream* log) {
   const std::vector<int>& offsets = runtime.offsets();
   std::vector<scenario::ScenarioPlan>& plans = runtime.plans();
   const int total = store.total_tasks();
@@ -104,9 +105,19 @@ std::vector<std::string> merge_job(JobStore& store, JobRuntime& runtime,
     scenario::ScenarioResult result = scenario::assemble_plan(plan);
     scenario::append_json_rows(result, scenario_rows);
     if (cache != nullptr) {
-      cache->store(result_cache_key(plan.spec, runtime.options()),
-                   scenario_rows,
-                   cache_description(plan.spec, runtime.options()));
+      try {
+        cache->store(result_cache_key(plan.spec, runtime.options()),
+                     scenario_rows,
+                     cache_description(plan.spec, runtime.options()));
+      } catch (const util::IoError& error) {
+        // Read-only / failing cache storage must never block a merge:
+        // warn once and finish uncached.
+        if (log != nullptr) {
+          *log << "warning: result cache unwritable (" << error.what()
+               << "); continuing without caching\n";
+        }
+        cache = nullptr;
+      }
     }
     rows.insert(rows.end(), scenario_rows.begin(), scenario_rows.end());
   }
@@ -121,13 +132,29 @@ ServeSummary serve(
   ServeSummary summary;
   summary.scenarios = static_cast<int>(selection.size());
 
+  // Open the cache once for the whole serve; an unopenable cache (e.g. a
+  // read-only directory) degrades to compute-without-cache with one
+  // warning rather than failing the run.
+  std::unique_ptr<ResultCache> cache;
+  if (!options.cache_dir.empty()) {
+    try {
+      cache = std::make_unique<ResultCache>(options.cache_dir,
+                                            options.cache_max_bytes);
+    } catch (const util::IoError& error) {
+      if (options.out != nullptr) {
+        *options.out << "warning: cannot open result cache "
+                     << options.cache_dir << " (" << error.what()
+                     << "); continuing without caching\n";
+      }
+    }
+  }
+
   // Cache pass: per-scenario lookups against the applied specs.
   std::vector<std::optional<std::vector<std::string>>> cached(
       selection.size());
-  if (!options.cache_dir.empty()) {
-    const ResultCache cache(options.cache_dir);
+  if (cache != nullptr) {
     for (std::size_t i = 0; i < selection.size(); ++i) {
-      cached[i] = cache.lookup(result_cache_key(
+      cached[i] = cache->lookup(result_cache_key(
           scenario::apply_options(*selection[i], run_options), run_options));
     }
   }
@@ -171,10 +198,8 @@ ServeSummary serve(
     }
     JobRuntime runtime(store);
     run_worker_pool(store, runtime, options.workers, options.out);
-    ResultCache cache(options.cache_dir.empty() ? std::string()
-                                                : options.cache_dir);
-    std::vector<std::string> merged = merge_job(
-        store, runtime, options.cache_dir.empty() ? nullptr : &cache);
+    std::vector<std::string> merged =
+        merge_job(store, runtime, cache.get(), options.out);
     summary.computed = static_cast<int>(to_compute.size());
     // Split the merged rows back per scenario for selection-order
     // composition with cache hits below.
@@ -248,6 +273,7 @@ void print_job_status(const JobStore& store, std::ostream& out) {
   for (const std::string& name : spec.scenario_names) out << " " << name;
   out << "\n";
   const std::vector<ShardState> shards = store.scan();
+  const std::int64_t now = store.clock().now_seconds();
   int completed_tasks = 0;
   int done_shards = 0;
   for (const ShardState& shard : shards) {
@@ -257,9 +283,17 @@ void print_job_status(const JobStore& store, std::ostream& out) {
         << shard.end << "): " << shard.completed << "/"
         << (shard.end - shard.begin);
     if (shard.done) out << " done";
+    if (shard.corrupt) out << " CORRUPT";
+    if (shard.quarantined) out << " quarantined";
     if (shard.leased) {
-      out << " leased by " << shard.lease_owner << " until "
-          << shard.lease_expiry;
+      out << " leased by " << shard.lease_owner << " (age ";
+      if (shard.lease_since > 0) {
+        out << (now - shard.lease_since) << "s";
+      } else {
+        out << "?";
+      }
+      out << ", expiry " << shard.lease_expiry << ")";
+      if (shard.lease_expiry <= now) out << " STALE";
     }
     out << "\n";
   }

@@ -34,6 +34,9 @@ struct ServeOptions {
   int workers = 1;
   int shard_tasks = 16;
   int lease_ttl_seconds = 60;
+  /// Result-cache byte budget (0 = unbounded): exceeding it evicts
+  /// least-recently-used entries.
+  std::uint64_t cache_max_bytes = 0;
   /// Recompute cached scenarios anyway and fail on any row mismatch — the
   /// cache-hit verifiability knob.
   bool verify_cache = false;
@@ -59,14 +62,18 @@ ServeSummary serve(const std::vector<const scenario::ScenarioSpec*>& selection,
 
 /// Reassembles a complete job's records into JSON rows (job scenario
 /// order) using the same plan/censoring/serialization path as the
-/// in-process runner — the byte-identical guarantee. Throws when tasks
-/// are missing (listing how many) or when two records for one task
-/// disagree (catalog drift). When `cache` is non-null, each scenario's
-/// rows are stored under its cache key on the way out.
+/// in-process runner — the byte-identical guarantee. Throws when a shard
+/// log is corrupt (never merges damaged records), when tasks are missing
+/// (listing how many), or when two records for one task disagree (catalog
+/// drift). When `cache` is non-null, each scenario's rows are stored
+/// under its cache key on the way out; an unwritable cache is demoted to
+/// a warning on `log` (merging continues uncached).
 std::vector<std::string> merge_job(JobStore& store, JobRuntime& runtime,
-                                   ResultCache* cache);
+                                   ResultCache* cache,
+                                   std::ostream* log = nullptr);
 
-/// Prints the job's meta, per-shard watermarks/leases, and progress.
+/// Prints the job's meta, per-shard watermarks/leases (with age, flagging
+/// stale ones), corruption/quarantine markers, and progress.
 void print_job_status(const JobStore& store, std::ostream& out);
 
 }  // namespace dualcast::service

@@ -1,14 +1,19 @@
 #include "service/service_cli.hpp"
 
+#include <atomic>
 #include <cerrno>
+#include <csignal>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "scenario/cli.hpp"
+#include "service/daemon.hpp"
 #include "service/service.hpp"
 #include "util/strfmt.hpp"
 
@@ -21,6 +26,12 @@ using scenario::ScenarioError;
 // and hit the same cache without plumbing.
 constexpr const char* kDefaultCacheDir = ".dualcast-cache";
 
+/// Set by the SIGTERM/SIGINT handler; polled by daemon/worker loops so a
+/// terminated daemon releases its leases instead of abandoning them.
+std::atomic<bool> g_stop{false};
+
+void request_stop(int) { g_stop.store(true); }
+
 const char* flag_value(const std::string& flag, int argc, char** argv,
                        int& i) {
   if (++i >= argc) throw ScenarioError(str(flag, " requires a value"));
@@ -28,7 +39,7 @@ const char* flag_value(const std::string& flag, int argc, char** argv,
 }
 
 /// Like parse_int_flag but admits 0 (for --workers 0 = submit-only and
-/// --crash-after 0 = crash before the first task).
+/// --fault-crash-op 0 = crash at the very first filesystem operation).
 int parse_nonneg_flag(const std::string& flag, const char* value) {
   if (value == nullptr) throw ScenarioError(str(flag, " requires a value"));
   errno = 0;
@@ -39,6 +50,19 @@ int parse_nonneg_flag(const std::string& flag, const char* value) {
     throw ScenarioError(str(flag, ": bad value \"", value, "\""));
   }
   return static_cast<int>(parsed);
+}
+
+/// Byte-sized flags (--cache-max-bytes) need the full unsigned range.
+std::uint64_t parse_u64_flag(const std::string& flag, const char* value) {
+  if (value == nullptr) throw ScenarioError(str(flag, " requires a value"));
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE ||
+      (value[0] == '-')) {
+    throw ScenarioError(str(flag, ": bad value \"", value, "\""));
+  }
+  return static_cast<std::uint64_t>(parsed);
 }
 
 void print_service_usage(std::ostream& os, const char* binary) {
@@ -61,29 +85,54 @@ void print_service_usage(std::ostream& os, const char* binary) {
         "        --cache-dir C    result cache (default " << kDefaultCacheDir
      << ")\n"
         "        --no-cache       disable the result cache\n"
+        "        --cache-max-bytes B\n"
+        "                         evict least-recently-used cache entries\n"
+        "                         past this budget (0 = unbounded)\n"
         "        --verify-cache   recompute cached scenarios and fail on\n"
         "                         any row mismatch\n"
         "        --shard-tasks K  flat tasks per shard (default 16)\n"
-        "        --lease-ttl S    lease lifetime in seconds (default 60)\n"
+        "        --lease-ttl S    lease lifetime in seconds (default 60;\n"
+        "                         0 = a dead worker is instantly stealable)\n"
         "        --json FILE      write merged result rows to FILE\n"
         "\n"
         "  " << binary
      << " worker --job-dir D [--owner TOKEN] [--max-shards N]\n"
         "      Lease and measure shards of an existing job until none is\n"
         "      claimable. Any number of worker processes may run at once;\n"
-        "      a restarted worker resumes from the shard logs.\n"
-        "      --crash-after K  test hook: abandon abruptly (lease held)\n"
-        "                       after measuring K tasks\n"
+        "      a restarted worker resumes from the shard logs and\n"
+        "      quarantines corrupt ones. Leases are heartbeat-renewed at\n"
+        "      TTL/3; transient IO errors are retried with backoff.\n"
+        "      --fault-crash-op N  test hook: die (uncatchable, like\n"
+        "                          kill -9) at the N-th filesystem\n"
+        "                          operation this worker performs\n"
+        "\n"
+        "  " << binary
+     << " daemon --jobs-dir D [daemon options]\n"
+        "      Watch D for dropped job directories, work them to\n"
+        "      completion, and merge results into the cache. Polling\n"
+        "      backs off while idle. SIGTERM/SIGINT stop cleanly with\n"
+        "      all leases released.\n"
+        "        --cache-dir C / --no-cache / --cache-max-bytes B\n"
+        "                         as in serve (unwritable cache degrades\n"
+        "                         to compute-without-cache with a warning)\n"
+        "        --owner TOKEN    lease owner token\n"
+        "        --poll-ms M      idle backoff start (default 100)\n"
+        "        --max-poll-ms M  idle backoff cap (default 2000)\n"
+        "        --max-cycles N   exit after N poll cycles (default: run\n"
+        "                         until signalled)\n"
         "\n"
         "  " << binary
      << " merge --job-dir D [--json FILE] [--cache-dir C] [--no-cache]\n"
+        "        [--cache-max-bytes B]\n"
         "      Reassemble a complete job's shard records into result rows\n"
         "      (byte-identical to a single-process run) and populate the\n"
-        "      result cache.\n"
+        "      result cache. Exits nonzero, naming the shard and line, if\n"
+        "      any shard log is corrupt or the job is incomplete.\n"
         "\n"
         "  " << binary
      << " status --job-dir D\n"
-        "      Report the job's shards, leases, and progress.\n";
+        "      Report the job's shards, leases (with age; STALE when\n"
+        "      expired), quarantines, and progress.\n";
 }
 
 int serve_main(int argc, char** argv) {
@@ -102,6 +151,9 @@ int serve_main(int argc, char** argv) {
       options.cache_dir = flag_value(arg, argc, argv, i);
     } else if (arg == "--no-cache") {
       options.cache_dir.clear();
+    } else if (arg == "--cache-max-bytes") {
+      options.cache_max_bytes =
+          parse_u64_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--verify-cache") {
       options.verify_cache = true;
     } else if (arg == "--json") {
@@ -113,8 +165,10 @@ int serve_main(int argc, char** argv) {
       options.shard_tasks =
           scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--lease-ttl") {
+      // 0 is meaningful: a dead worker's lease is instantly stealable —
+      // what crash-drill jobs want, since resume never waits out a TTL.
       options.lease_ttl_seconds =
-          scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--help" || arg == "-h") {
       print_service_usage(std::cout, argv[0]);
       return 0;
@@ -133,6 +187,7 @@ int serve_main(int argc, char** argv) {
 
 int worker_main(int argc, char** argv) {
   std::string job_dir;
+  int fault_crash_op = -1;
   WorkerOptions options;
   options.log = &std::cout;
   for (int i = 2; i < argc; ++i) {
@@ -144,8 +199,8 @@ int worker_main(int argc, char** argv) {
     } else if (arg == "--max-shards") {
       options.max_shards =
           scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
-    } else if (arg == "--crash-after") {
-      options.crash_after_tasks =
+    } else if (arg == "--fault-crash-op") {
+      fault_crash_op =
           parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--help" || arg == "-h") {
       print_service_usage(std::cout, argv[0]);
@@ -155,14 +210,88 @@ int worker_main(int argc, char** argv) {
     }
   }
   if (job_dir.empty()) throw ScenarioError("worker: --job-dir is required");
-  JobStore store = JobStore::open(job_dir);
+  // The fault hook wraps this process's real filesystem in a FaultyFs so
+  // the injected death is indistinguishable (to the job directory) from a
+  // kill at that syscall — the CI fault matrix drives this flag.
+  std::unique_ptr<util::FaultyFs> faulty;
+  StoreEnv env;
+  if (fault_crash_op >= 0) {
+    faulty = std::make_unique<util::FaultyFs>(util::real_fs());
+    util::InjectedFault fault;
+    fault.kind = util::InjectedFault::Kind::crash;
+    fault.at = fault_crash_op;
+    faulty->inject(fault);
+    env.fs = faulty.get();
+  }
+  JobStore store = JobStore::open(job_dir, env);
   const JobRuntime runtime(store);
+  std::signal(SIGTERM, request_stop);
+  std::signal(SIGINT, request_stop);
+  options.stop = &g_stop;
   const WorkerReport report = run_worker(store, runtime, options);
   std::cout << "worker done: " << report.shards_completed
             << " shard(s) completed, " << report.tasks_executed
             << " task(s) measured, " << report.tasks_skipped
-            << " already recorded"
-            << (report.crashed ? " [crash hook fired]" : "") << "\n";
+            << " already recorded";
+  if (report.shards_quarantined > 0) {
+    std::cout << ", " << report.shards_quarantined
+              << " corrupt shard(s) quarantined";
+  }
+  if (report.stopped) std::cout << " [stopped by signal]";
+  std::cout << "\n";
+  return 0;
+}
+
+int daemon_main(int argc, char** argv) {
+  DaemonOptions options;
+  options.cache_dir = kDefaultCacheDir;
+  options.log = &std::cout;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs-dir") {
+      options.jobs_dir = flag_value(arg, argc, argv, i);
+    } else if (arg == "--cache-dir") {
+      options.cache_dir = flag_value(arg, argc, argv, i);
+    } else if (arg == "--no-cache") {
+      options.cache_dir.clear();
+    } else if (arg == "--cache-max-bytes") {
+      options.cache_max_bytes =
+          parse_u64_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--owner") {
+      options.owner = flag_value(arg, argc, argv, i);
+    } else if (arg == "--poll-ms") {
+      options.poll_initial_ms =
+          scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--max-poll-ms") {
+      options.poll_max_ms =
+          scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--max-cycles") {
+      options.max_cycles =
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--help" || arg == "-h") {
+      print_service_usage(std::cout, argv[0]);
+      return 0;
+    } else {
+      throw ScenarioError(str("daemon: unknown argument \"", arg, "\""));
+    }
+  }
+  if (options.jobs_dir.empty()) {
+    throw ScenarioError("daemon: --jobs-dir is required");
+  }
+  std::signal(SIGTERM, request_stop);
+  std::signal(SIGINT, request_stop);
+  options.stop = &g_stop;
+  const DaemonReport report = run_daemon(options);
+  std::cout << "daemon exit: " << report.cycles << " cycle(s), "
+            << report.jobs_seen << " job(s) seen, " << report.jobs_completed
+            << " completed, " << report.tasks_executed
+            << " task(s) measured";
+  if (report.shards_quarantined > 0) {
+    std::cout << ", " << report.shards_quarantined
+              << " corrupt shard(s) quarantined";
+  }
+  if (report.stopped) std::cout << " [stopped by signal]";
+  std::cout << "\n";
   return 0;
 }
 
@@ -170,6 +299,7 @@ int merge_main(int argc, char** argv) {
   std::string job_dir;
   std::string json_path;
   std::string cache_dir = kDefaultCacheDir;
+  std::uint64_t cache_max_bytes = 0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--job-dir") {
@@ -180,6 +310,8 @@ int merge_main(int argc, char** argv) {
       cache_dir = flag_value(arg, argc, argv, i);
     } else if (arg == "--no-cache") {
       cache_dir.clear();
+    } else if (arg == "--cache-max-bytes") {
+      cache_max_bytes = parse_u64_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--help" || arg == "-h") {
       print_service_usage(std::cout, argv[0]);
       return 0;
@@ -190,9 +322,17 @@ int merge_main(int argc, char** argv) {
   if (job_dir.empty()) throw ScenarioError("merge: --job-dir is required");
   JobStore store = JobStore::open(job_dir);
   JobRuntime runtime(store);
-  ResultCache cache(cache_dir);
+  std::unique_ptr<ResultCache> cache;
+  if (!cache_dir.empty()) {
+    try {
+      cache = std::make_unique<ResultCache>(cache_dir, cache_max_bytes);
+    } catch (const util::IoError& error) {
+      std::cout << "warning: cannot open result cache " << cache_dir << " ("
+                << error.what() << "); merging without caching\n";
+    }
+  }
   const std::vector<std::string> rows =
-      merge_job(store, runtime, cache_dir.empty() ? nullptr : &cache);
+      merge_job(store, runtime, cache.get(), &std::cout);
   std::cout << "merged " << rows.size() << " result rows from "
             << store.shard_count() << " shards\n";
   if (!json_path.empty()) {
@@ -228,7 +368,8 @@ int status_main(int argc, char** argv) {
 
 bool is_service_command(const char* arg) {
   return std::strcmp(arg, "serve") == 0 || std::strcmp(arg, "worker") == 0 ||
-         std::strcmp(arg, "merge") == 0 || std::strcmp(arg, "status") == 0;
+         std::strcmp(arg, "daemon") == 0 || std::strcmp(arg, "merge") == 0 ||
+         std::strcmp(arg, "status") == 0;
 }
 
 int service_main(int argc, char** argv) {
@@ -236,6 +377,7 @@ int service_main(int argc, char** argv) {
     const std::string command = argc >= 2 ? argv[1] : "";
     if (command == "serve") return serve_main(argc, argv);
     if (command == "worker") return worker_main(argc, argv);
+    if (command == "daemon") return daemon_main(argc, argv);
     if (command == "merge") return merge_main(argc, argv);
     if (command == "status") return status_main(argc, argv);
     throw ScenarioError(str("unknown service command \"", command, "\""));

@@ -3,19 +3,25 @@
 // CLI surface of the experiment service:
 //
 //   <bench> serve  <names...> [run options] [--workers N] [--job-dir D]
-//                  [--cache-dir C] [--no-cache] [--verify-cache]
-//                  [--shard-tasks K] [--lease-ttl S] [--json FILE]
+//                  [--cache-dir C] [--no-cache] [--cache-max-bytes B]
+//                  [--verify-cache] [--shard-tasks K] [--lease-ttl S]
+//                  [--json FILE]
 //   <bench> worker --job-dir D [--owner TOKEN] [--max-shards N]
-//                  [--crash-after K]
+//                  [--fault-crash-op N]
+//   <bench> daemon --jobs-dir D [--cache-dir C] [--no-cache]
+//                  [--cache-max-bytes B] [--owner TOKEN] [--poll-ms M]
+//                  [--max-poll-ms M] [--max-cycles N]
 //   <bench> merge  --job-dir D [--json FILE] [--cache-dir C] [--no-cache]
+//                  [--cache-max-bytes B]
 //   <bench> status --job-dir D
 //
 // run_main() forwards here whenever argv[1] names a subcommand, so every
-// bench binary carries the full service.
+// bench binary carries the full service. worker and daemon install
+// SIGTERM/SIGINT handlers for a clean stop (leases released).
 
 namespace dualcast::service {
 
-/// True when `arg` is "serve", "worker", "merge", or "status".
+/// True when `arg` is "serve", "worker", "daemon", "merge", or "status".
 bool is_service_command(const char* arg);
 
 /// Parses argv (argv[1] = subcommand) and runs it. Returns a process exit

@@ -2,11 +2,85 @@
 
 #include <unistd.h>
 
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <ostream>
+#include <thread>
 
 #include "util/strfmt.hpp"
 
 namespace dualcast::service {
+namespace {
+
+/// RAII lease heartbeat: a background thread renews `shard`'s lease for
+/// `owner` whenever TTL/3 seconds (per the store's clock) have elapsed
+/// since the last renewal. With a frozen FakeClock the thread stays
+/// quiescent — renewal never becomes due — which keeps fault-injection op
+/// traces single-threaded and deterministic. Renewal failures are
+/// swallowed: a missed heartbeat only risks a (safe, idempotent) steal,
+/// and the thread must never terminate the process mid-unwind.
+class LeaseHeartbeat {
+ public:
+  LeaseHeartbeat(JobStore& store, int shard, std::string owner)
+      : store_(store),
+        shard_(shard),
+        owner_(std::move(owner)),
+        interval_(store.spec().lease_ttl_seconds / 3 > 1
+                      ? store.spec().lease_ttl_seconds / 3
+                      : 1),
+        last_(store.clock().now_seconds()),
+        thread_([this] { run(); }) {}
+
+  LeaseHeartbeat(const LeaseHeartbeat&) = delete;
+  LeaseHeartbeat& operator=(const LeaseHeartbeat&) = delete;
+
+  ~LeaseHeartbeat() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      // Short quanta so destruction (worker done, crashed, or stopping)
+      // never waits a full heartbeat interval.
+      cv_.wait_for(lock, std::chrono::milliseconds(20));
+      if (stop_) break;
+      const std::int64_t now = store_.clock().now_seconds();
+      if (now - last_ < interval_) continue;
+      last_ = now;
+      lock.unlock();
+      try {
+        store_.renew_lease(shard_, owner_);
+      } catch (...) {
+        // Best-effort (see class comment).
+      }
+      lock.lock();
+    }
+  }
+
+  JobStore& store_;
+  const int shard_;
+  const std::string owner_;
+  const std::int64_t interval_;
+  std::int64_t last_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+bool stop_requested(const WorkerOptions& options) {
+  return options.stop != nullptr && options.stop->load();
+}
+
+}  // namespace
 
 JobRuntime::JobRuntime(const JobStore& store) {
   options_ = store.spec().run_options();
@@ -36,8 +110,45 @@ WorkerReport run_worker(JobStore& store, const JobRuntime& runtime,
   const std::string owner =
       options.owner.empty() ? str("pid", static_cast<long>(::getpid()))
                             : options.owner;
+  util::Backoff backoff(options.backoff_initial_ms, options.backoff_max_ms,
+                        scenario::fnv1a64(owner));
+  // Retry transient IO errors (EIO, ENOSPC, ...) with jittered backoff;
+  // anything else — including InjectedCrash, which is not an IoError by
+  // design — propagates and unwinds the worker like a kill.
+  const auto with_retry = [&](const auto& io_op) {
+    for (int attempt = 0;; ++attempt) {
+      try {
+        io_op();
+        backoff.reset();
+        return;
+      } catch (const util::IoError& e) {
+        if (!e.transient() || attempt >= options.io_retries) throw;
+        if (options.log != nullptr) {
+          *options.log << "worker " << owner << ": transient IO error ("
+                       << e.what() << "), retrying\n";
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoff.next_ms()));
+      }
+    }
+  };
+
+  // Corrupt shard logs block both workers (bad watermark) and the merger;
+  // quarantine them up front so this run recomputes from the good prefix.
+  for (const int shard : store.recover_all()) {
+    ++report.shards_quarantined;
+    if (options.log != nullptr) {
+      *options.log << "worker " << owner << ": quarantined corrupt shard "
+                   << shard << " log; recomputing from watermark\n";
+    }
+  }
+
   const int shards = store.shard_count();
   for (;;) {
+    if (stop_requested(options)) {
+      report.stopped = true;
+      break;
+    }
     // Claim pass: first incomplete shard whose lease we can take. A full
     // sweep with no claim means every remaining shard is done or validly
     // leased to a live worker — this worker's job is over (a later `worker`
@@ -60,26 +171,32 @@ WorkerReport run_worker(JobStore& store, const JobRuntime& runtime,
       *options.log << "worker " << owner << ": leased shard " << claimed
                    << " [" << begin << "," << end << ")\n";
     }
-    for (int task = begin; task < end; ++task) {
-      if (recorded[static_cast<std::size_t>(task - begin)]) {
-        ++report.tasks_skipped;
-        continue;
-      }
-      if (options.crash_after_tasks >= 0 &&
-          report.tasks_executed >= options.crash_after_tasks) {
-        // Simulated kill: abandon mid-shard with the lease still held.
-        report.crashed = true;
-        if (options.log != nullptr) {
-          *options.log << "worker " << owner << ": crash hook fired in shard "
-                       << claimed << " before task " << task << "\n";
+    {
+      const LeaseHeartbeat heartbeat(store, claimed, owner);
+      for (int task = begin; task < end; ++task) {
+        if (recorded[static_cast<std::size_t>(task - begin)]) {
+          ++report.tasks_skipped;
+          continue;
         }
-        return report;
+        if (stop_requested(options)) {
+          // Clean abandon: records appended so far are fsync'd and stay;
+          // releasing the lease hands the rest of the shard to the next
+          // worker without waiting out the TTL.
+          store.release_lease(claimed, owner);
+          report.stopped = true;
+          if (options.log != nullptr) {
+            *options.log << "worker " << owner << ": stop requested; "
+                         << "released shard " << claimed << " before task "
+                         << task << "\n";
+          }
+          return report;
+        }
+        const TaskRecord record{task, runtime.measure(task)};
+        with_retry([&] { store.append_record(claimed, record); });
+        ++report.tasks_executed;
       }
-      store.append_record(claimed, {task, runtime.measure(task)});
-      ++report.tasks_executed;
-      store.renew_lease(claimed, owner);
+      with_retry([&] { store.mark_shard_done(claimed); });
     }
-    store.mark_shard_done(claimed);
     store.release_lease(claimed, owner);
     ++report.shards_completed;
     if (options.log != nullptr) {

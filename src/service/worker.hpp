@@ -5,12 +5,23 @@
 // A JobRuntime holds the prepared scenario plans of one job — built once
 // per process (the cross-scenario factory cache dedupes algorithm builds)
 // and shared read-only by every worker thread. run_worker() is the lease
-// loop: claim a shard, replay its completion log to skip already-recorded
-// tasks (crash-safe resume), measure the rest in task order with one
-// fsync'd record per trial, mark the shard done, release, repeat until no
-// shard is claimable. Any number of worker processes/threads may run the
-// loop against one job directory; the merger accepts their union.
+// loop: quarantine any corrupt shard logs, then claim a shard, replay its
+// completion log to skip already-recorded tasks (crash-safe resume),
+// measure the rest in task order with one fsync'd record per trial, mark
+// the shard done, release, repeat until no shard is claimable. Any number
+// of worker processes/threads may run the loop against one job directory;
+// the merger accepts their union.
+//
+// Robustness mechanics:
+//   * a background heartbeat renews the held lease at TTL/3, so a healthy
+//     worker on a slow shard is never stolen from;
+//   * transient IO errors (EIO, ENOSPC, ...) are retried with jittered
+//     exponential backoff before giving up;
+//   * a cooperative stop flag (the daemon's SIGTERM path) abandons the
+//     current shard cleanly: records already appended stay durable, the
+//     lease is released so another worker picks the shard up immediately.
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -53,18 +64,23 @@ struct WorkerOptions {
   /// Stop after completing this many shards (< 0 = run until no shard is
   /// claimable).
   int max_shards = -1;
-  /// Crash-injection test hook: after measuring this many tasks, abandon
-  /// abruptly — mid-shard, lease left held, no done marker — exactly like
-  /// a killed process (>= 0 enables; the fsync'd records stay behind).
-  int crash_after_tasks = -1;
+  /// Cooperative stop: when set and it becomes true, the worker abandons
+  /// work at the next task boundary, releases its lease, and returns.
+  const std::atomic<bool>* stop = nullptr;
+  /// Retry budget for transient IO errors per operation.
+  int io_retries = 4;
+  /// Backoff window for those retries (jittered exponential).
+  int backoff_initial_ms = 10;
+  int backoff_max_ms = 1000;
   std::ostream* log = nullptr;  ///< progress lines, when set
 };
 
 struct WorkerReport {
   int shards_completed = 0;
+  int shards_quarantined = 0;  ///< corrupt logs recovered before working
   int tasks_executed = 0;
   int tasks_skipped = 0;  ///< found already recorded (resume)
-  bool crashed = false;   ///< stopped by the crash_after_tasks hook
+  bool stopped = false;   ///< returned early via the stop flag
 };
 
 /// The worker lease loop (see file comment).

@@ -1,0 +1,356 @@
+#include "util/io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "util/rng.hpp"
+
+namespace dualcast::util {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+[[noreturn]] void throw_errno(const std::string& what, int err) {
+  throw IoError(what + ": " + std::strerror(err), err);
+}
+
+/// Full write() loop on an open fd; throws (with errno) on failure.
+void write_all(int fd, const std::string& path, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t wrote = ::write(fd, data.data() + off, data.size() - off);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write " + path, errno);
+    }
+    off += static_cast<std::size_t>(wrote);
+  }
+}
+
+class RealFs final : public Fs {
+ public:
+  bool exists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  bool read_file(const std::string& path, std::string& out) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) return false;
+      throw_errno("open " + path, errno);
+    }
+    out.clear();
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t got = ::read(fd, buf, sizeof(buf));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        const int err = errno;
+        ::close(fd);
+        throw_errno("read " + path, err);
+      }
+      if (got == 0) break;
+      out.append(buf, static_cast<std::size_t>(got));
+    }
+    ::close(fd);
+    return true;
+  }
+
+  void write_file(const std::string& path, std::string_view data) override {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) throw_errno("create " + path, errno);
+    try {
+      write_all(fd, path, data);
+    } catch (...) {
+      ::close(fd);
+      throw;
+    }
+    ::close(fd);
+  }
+
+  void append(const std::string& path, std::string_view data) override {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+    if (fd < 0) throw_errno("open " + path + " for append", errno);
+    // One write() call: appends of record size are atomic on local
+    // filesystems, so concurrent appenders never interleave mid-line.
+    const ssize_t wrote = ::write(fd, data.data(), data.size());
+    const int err = errno;
+    ::close(fd);
+    if (wrote < 0) throw_errno("append " + path, err);
+    if (wrote != static_cast<ssize_t>(data.size())) {
+      throw IoError("short append to " + path, ENOSPC);
+    }
+  }
+
+  void fsync_file(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) throw_errno("open " + path + " for fsync", errno);
+    if (::fsync(fd) != 0) {
+      const int err = errno;
+      ::close(fd);
+      throw_errno("fsync " + path, err);
+    }
+    ::close(fd);
+  }
+
+  bool link(const std::string& existing,
+            const std::string& link_path) override {
+    if (::link(existing.c_str(), link_path.c_str()) == 0) return true;
+    if (errno == EEXIST) return false;
+    throw_errno("link " + existing + " -> " + link_path, errno);
+  }
+
+  void rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      throw_errno("rename " + from + " -> " + to, errno);
+    }
+  }
+
+  bool unlink(const std::string& path) override {
+    if (::unlink(path.c_str()) == 0) return true;
+    if (errno == ENOENT) return false;
+    throw_errno("unlink " + path, errno);
+  }
+
+  std::vector<std::string> list(const std::string& dir) override {
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto& entry : stdfs::directory_iterator(dir, ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+    if (ec && ec != std::errc::no_such_file_or_directory) {
+      throw IoError("list " + dir + ": " + ec.message(), ec.value());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  void create_dirs(const std::string& dir) override {
+    std::error_code ec;
+    stdfs::create_directories(dir, ec);
+    if (ec) {
+      throw IoError("mkdir " + dir + ": " + ec.message(), ec.value());
+    }
+  }
+
+  void sync_dir(const std::string& dir) override {
+    // Lenient on open failure: some filesystems refuse directory fds; the
+    // durability loss is theirs, not a program error.
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return;
+    ::fsync(fd);
+    ::close(fd);
+  }
+
+  std::int64_t file_size(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) return -1;
+      throw_errno("stat " + path, errno);
+    }
+    return static_cast<std::int64_t>(st.st_size);
+  }
+};
+
+}  // namespace
+
+bool IoError::transient() const {
+  return code_ == EIO || code_ == EAGAIN || code_ == EINTR ||
+         code_ == ENOSPC;
+}
+
+void Fs::write_file_atomic(const std::string& path, std::string_view data) {
+  static std::atomic<unsigned> seq{0};
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(static_cast<long>(::getpid())) +
+                          "." + std::to_string(seq.fetch_add(1));
+  try {
+    write_file(tmp, data);
+    fsync_file(tmp);
+    rename(tmp, path);
+  } catch (...) {
+    try {
+      unlink(tmp);
+    } catch (...) {
+      // Best-effort cleanup; the original failure is what matters.
+    }
+    throw;
+  }
+  const std::size_t slash = path.find_last_of('/');
+  sync_dir(slash == std::string::npos ? std::string(".")
+                                      : path.substr(0, slash));
+}
+
+Fs& real_fs() {
+  static RealFs fs;
+  return fs;
+}
+
+std::uint32_t crc32c(std::string_view data) {
+  // CRC32C (Castagnoli), reflected polynomial 0x82F63B78 — the checksum
+  // used by iSCSI/ext4; distinct from zlib's CRC32 so accidental reuse of
+  // the wrong implementation shows up immediately in tests.
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : data) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<unsigned char>(c)) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void FaultyFs::inject(InjectedFault fault) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  faults_.push_back(Armed{std::move(fault), 0, false});
+}
+
+int FaultyFs::ops() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ops_;
+}
+
+int FaultyFs::faults_fired() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return fired_;
+}
+
+std::vector<std::pair<std::string, std::string>> FaultyFs::trace() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return trace_;
+}
+
+std::optional<std::size_t> FaultyFs::check(const char* op,
+                                           const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const int index = ops_++;
+  trace_.emplace_back(op, path);
+  for (Armed& armed : faults_) {
+    if (armed.fired && !armed.fault.sticky) continue;
+    if (!armed.fault.op.empty() && armed.fault.op != op) continue;
+    if (!armed.fault.path_substr.empty() &&
+        path.find(armed.fault.path_substr) == std::string::npos) {
+      continue;
+    }
+    const int match = armed.seen++;
+    if (match < armed.fault.at) continue;
+    armed.fired = true;
+    ++fired_;
+    const std::string where = std::string(op) + " " + path + " (op " +
+                              std::to_string(index) + ")";
+    switch (armed.fault.kind) {
+      case InjectedFault::Kind::error:
+        throw IoError("injected fault at " + where, armed.fault.err);
+      case InjectedFault::Kind::torn:
+        if (std::string_view(op) == "append") return armed.fault.keep_bytes;
+        [[fallthrough]];
+      case InjectedFault::Kind::crash:
+        throw InjectedCrash("injected crash at " + where);
+    }
+  }
+  return std::nullopt;
+}
+
+bool FaultyFs::exists(const std::string& path) {
+  check("exists", path);
+  return base_.exists(path);
+}
+
+bool FaultyFs::read_file(const std::string& path, std::string& out) {
+  check("read", path);
+  return base_.read_file(path, out);
+}
+
+void FaultyFs::write_file(const std::string& path, std::string_view data) {
+  check("write", path);
+  base_.write_file(path, data);
+}
+
+void FaultyFs::append(const std::string& path, std::string_view data) {
+  const std::optional<std::size_t> torn = check("append", path);
+  if (torn.has_value()) {
+    // Torn write: persist a prefix, then die — exactly what a crash in the
+    // middle of a non-atomic append leaves on disk.
+    base_.append(path, data.substr(0, std::min(*torn, data.size())));
+    throw InjectedCrash("injected torn append to " + path);
+  }
+  base_.append(path, data);
+}
+
+void FaultyFs::fsync_file(const std::string& path) {
+  check("fsync", path);
+  base_.fsync_file(path);
+}
+
+bool FaultyFs::link(const std::string& existing,
+                    const std::string& link_path) {
+  check("link", link_path);
+  return base_.link(existing, link_path);
+}
+
+void FaultyFs::rename(const std::string& from, const std::string& to) {
+  check("rename", to);
+  base_.rename(from, to);
+}
+
+bool FaultyFs::unlink(const std::string& path) {
+  check("unlink", path);
+  return base_.unlink(path);
+}
+
+std::vector<std::string> FaultyFs::list(const std::string& dir) {
+  check("list", dir);
+  return base_.list(dir);
+}
+
+void FaultyFs::create_dirs(const std::string& dir) {
+  check("mkdir", dir);
+  base_.create_dirs(dir);
+}
+
+void FaultyFs::sync_dir(const std::string& dir) {
+  check("syncdir", dir);
+  base_.sync_dir(dir);
+}
+
+std::int64_t FaultyFs::file_size(const std::string& path) {
+  check("size", path);
+  return base_.file_size(path);
+}
+
+Backoff::Backoff(int initial_ms, int max_ms, std::uint64_t seed)
+    : initial_ms_(initial_ms < 1 ? 1 : initial_ms),
+      max_ms_(max_ms < initial_ms_ ? initial_ms_ : max_ms),
+      base_ms_(initial_ms_),
+      state_(seed != 0 ? seed : 0x9E3779B97F4A7C15ull) {}
+
+int Backoff::next_ms() {
+  const int base = base_ms_;
+  base_ms_ = base_ms_ > max_ms_ / 2 ? max_ms_ : base_ms_ * 2;
+  const int half = base / 2;
+  if (half == 0) return base;
+  const std::uint64_t draw = splitmix64(state_);
+  return base - half +
+         static_cast<int>(draw % (static_cast<std::uint64_t>(half) + 1));
+}
+
+void Backoff::reset() { base_ms_ = initial_ms_; }
+
+}  // namespace dualcast::util

@@ -1,0 +1,207 @@
+#pragma once
+
+// Injectable filesystem seam + deterministic fault injection.
+//
+// All service-layer IO (job store, result cache, worker, daemon) goes
+// through the `Fs` interface below: one virtual call per filesystem
+// operation, with `real_fs()` as the production implementation. That seam
+// is what makes the service's durability claims *testable* — `FaultyFs`
+// wraps any Fs and injects, at a scheduled operation index:
+//
+//   * crashes (an `InjectedCrash` is thrown before the syscall runs —
+//     the in-process equivalent of `kill -9` at that exact instant),
+//   * torn writes (an append persists only a prefix, then "crashes"),
+//   * IO errors (EIO, ENOSPC, ... as a thrown `IoError`).
+//
+// Because workers, the store, and the merger are deterministic given a
+// frozen clock, an op index fully identifies an injection point: the fault
+// matrix test replays the same run once per point and proves the resumed
+// output byte-identical to the uninterrupted one.
+//
+// Layering: this header is pure util — it knows nothing about scenarios
+// or the service. Callers translate `IoError` into their own error types
+// where appropriate.
+
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dualcast::util {
+
+/// A filesystem operation failed. Carries the errno-style code so callers
+/// can distinguish transient faults (worth a backoff + retry) from
+/// structural ones (missing directory, read-only filesystem).
+class IoError : public std::runtime_error {
+ public:
+  IoError(const std::string& what, int code)
+      : std::runtime_error(what), code_(code) {}
+
+  int code() const { return code_; }
+  /// Transient = a retry after a short backoff may succeed (EIO, EAGAIN,
+  /// EINTR, ENOSPC — an operator can free space while workers back off).
+  bool transient() const;
+
+ private:
+  int code_;
+};
+
+/// Thrown by FaultyFs to simulate the process dying at a syscall: not an
+/// IoError on purpose — no retry loop may catch it, it must unwind the
+/// whole worker exactly like a kill would (leases left held, partial
+/// files left behind).
+class InjectedCrash : public std::exception {
+ public:
+  explicit InjectedCrash(std::string what) : what_(std::move(what)) {}
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  std::string what_;
+};
+
+/// Thin filesystem interface: one virtual call == one injectable (and
+/// traceable) operation. Paths are plain strings; implementations must be
+/// safe to call from multiple threads.
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  virtual bool exists(const std::string& path) = 0;
+  /// Reads the whole file. Returns false when absent; throws on IO error.
+  virtual bool read_file(const std::string& path, std::string& out) = 0;
+  /// Creates/truncates and writes the whole file (no fsync).
+  virtual void write_file(const std::string& path, std::string_view data) = 0;
+  /// Appends in a single write() (O_APPEND | O_CREAT; no fsync).
+  virtual void append(const std::string& path, std::string_view data) = 0;
+  /// fsyncs the file's current contents.
+  virtual void fsync_file(const std::string& path) = 0;
+  /// Hard-links `existing` to `link_path`. Returns false when `link_path`
+  /// already exists — the portable atomic create-if-absent primitive that
+  /// publishes a fully-written file (unlike O_EXCL create + write, which
+  /// exposes an empty-file window to concurrent readers; link() is also
+  /// the classic NFS-safe lockfile technique).
+  virtual bool link(const std::string& existing,
+                    const std::string& link_path) = 0;
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+  /// Returns false when the path was already absent.
+  virtual bool unlink(const std::string& path) = 0;
+  /// Entry names (not paths) in `dir`, sorted. Empty when `dir` is absent.
+  virtual std::vector<std::string> list(const std::string& dir) = 0;
+  virtual void create_dirs(const std::string& dir) = 0;
+  /// fsyncs a directory so renames/creates inside it are durable.
+  virtual void sync_dir(const std::string& dir) = 0;
+  /// Size in bytes, or -1 when absent.
+  virtual std::int64_t file_size(const std::string& path) = 0;
+
+  // --- composed helpers (non-virtual: every step goes through the
+  //     virtuals above, so faults hit each constituent op) --------------
+
+  /// Durable atomic whole-file write: tmp in the same directory, fsync,
+  /// rename over the target, fsync the directory. Readers never observe a
+  /// partial file; a crash leaves either the old or the new content.
+  void write_file_atomic(const std::string& path, std::string_view data);
+};
+
+/// The process-wide real filesystem (what a null `Fs*` resolves to).
+Fs& real_fs();
+
+/// CRC32C (Castagnoli) of `data`, software table implementation.
+/// crc32c("123456789") == 0xE3069283.
+std::uint32_t crc32c(std::string_view data);
+
+/// One scheduled fault. `at` counts *matching* operations (0-based):
+/// with empty filters it is the global op index; with `op`/`path_substr`
+/// set it is the N-th append / N-th op touching a lease file / etc., which
+/// keeps test schedules stable against unrelated op-sequence changes.
+struct InjectedFault {
+  enum class Kind { crash, torn, error };
+
+  Kind kind = Kind::crash;
+  int at = 0;
+  std::string op;           ///< "" = any op name ("append", "fsync", ...)
+  std::string path_substr;  ///< "" = any path
+  int err = 0;              ///< errno for Kind::error (e.g. EIO, ENOSPC)
+  std::size_t keep_bytes = 0;  ///< prefix persisted by a torn append
+  bool sticky = false;  ///< fire on every matching op from `at` on
+                        ///< (models a persistently failing device /
+                        ///< read-only mount instead of a one-shot glitch)
+};
+
+/// Fault-injecting Fs decorator (see file comment). Deterministic: ops are
+/// counted in call order, so a single-threaded caller under a frozen
+/// FakeClock replays the same op sequence every run.
+class FaultyFs final : public Fs {
+ public:
+  explicit FaultyFs(Fs& base) : base_(base) {}
+
+  void inject(InjectedFault fault);
+
+  /// Total operations observed so far.
+  int ops() const;
+  /// Faults that have fired so far.
+  int faults_fired() const;
+  /// (op, path) per operation, in order — the fault matrix derives its
+  /// injection points from a fault-free run's trace.
+  std::vector<std::pair<std::string, std::string>> trace() const;
+
+  bool exists(const std::string& path) override;
+  bool read_file(const std::string& path, std::string& out) override;
+  void write_file(const std::string& path, std::string_view data) override;
+  void append(const std::string& path, std::string_view data) override;
+  void fsync_file(const std::string& path) override;
+  bool link(const std::string& existing,
+            const std::string& link_path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  bool unlink(const std::string& path) override;
+  std::vector<std::string> list(const std::string& dir) override;
+  void create_dirs(const std::string& dir) override;
+  void sync_dir(const std::string& dir) override;
+  std::int64_t file_size(const std::string& path) override;
+
+ private:
+  struct Armed {
+    InjectedFault fault;
+    int seen = 0;     ///< matching ops observed so far
+    bool fired = false;
+  };
+
+  /// Records the op, then fires any due fault: crash/error throw; a due
+  /// torn fault returns the byte count to keep, for `append` to execute
+  /// (prefix then crash). Only `append` can receive a torn fault; other
+  /// ops treat a due torn fault as a crash.
+  std::optional<std::size_t> check(const char* op, const std::string& path);
+
+  Fs& base_;
+  mutable std::mutex mutex_;
+  int ops_ = 0;
+  int fired_ = 0;
+  std::vector<Armed> faults_;
+  std::vector<std::pair<std::string, std::string>> trace_;
+};
+
+/// Jittered exponential backoff with a deterministic (seeded) jitter
+/// stream: delay grows initial, 2*initial, ... capped at `max_ms`, each
+/// drawn uniformly from [base/2, base] so contending fleet members desync
+/// instead of retrying in lockstep.
+class Backoff {
+ public:
+  Backoff(int initial_ms, int max_ms, std::uint64_t seed);
+
+  /// Next delay in milliseconds (advances the schedule).
+  int next_ms();
+  /// Back to the initial delay (call after progress).
+  void reset();
+
+ private:
+  int initial_ms_;
+  int max_ms_;
+  int base_ms_;
+  std::uint64_t state_;
+};
+
+}  // namespace dualcast::util

@@ -1,7 +1,10 @@
 // Crash-safe resume: a worker killed mid-shard (lease still held) loses no
 // acknowledged record; a restarted worker steals the stale lease, skips
 // everything recorded, measures only the remainder, and the merged JSON is
-// byte-identical to an uninterrupted single-process run.
+// byte-identical to an uninterrupted single-process run. The "kill" is an
+// injected filesystem fault: FaultyFs throws InjectedCrash at a scheduled
+// append, which no retry loop may catch — exactly a kill -9 at that
+// syscall.
 
 #include <gtest/gtest.h>
 
@@ -53,6 +56,32 @@ std::vector<std::string> reference_rows() {
   return rows;
 }
 
+/// Kills a fresh worker at the `crash_at_append`-th shard-log append (a
+/// crash mid-run with the lease left held); returns after the crash.
+void run_crashing_worker(const std::string& dir, int crash_at_append) {
+  util::FaultyFs faulty(util::real_fs());
+  util::InjectedFault fault;
+  fault.kind = util::InjectedFault::Kind::crash;
+  fault.at = crash_at_append;
+  fault.op = "append";
+  fault.path_substr = "shards/";
+  faulty.inject(fault);
+  StoreEnv env;
+  env.fs = &faulty;
+  JobStore store = JobStore::open(dir, env);
+  const JobRuntime runtime(store);
+  WorkerOptions options;
+  options.owner = "victim";
+  try {
+    run_worker(store, runtime, options);
+    FAIL() << "worker survived its injected crash";
+  } catch (const util::InjectedCrash&) {
+    // The expected death. The store object is gone with the "process";
+    // its fsync'd records and held lease remain on disk.
+  }
+  EXPECT_EQ(faulty.faults_fired(), 1);
+}
+
 TEST(ServiceResume, KilledWorkerResumesByteIdentical) {
   const std::vector<std::string> reference = reference_rows();
   ASSERT_EQ(reference.size(), 4u);  // 2 points x 2 columns
@@ -62,21 +91,19 @@ TEST(ServiceResume, KilledWorkerResumesByteIdentical) {
   const JobSpec job =
       make_job_spec({&mini_scenario()}, {}, /*shard_tasks=*/3,
                     /*lease_ttl_seconds=*/0);
-  JobStore store =
-      JobStore::create_or_attach(fresh_dir("resume_job"), job);
-  const JobRuntime runtime(store);
+  const std::string dir = fresh_dir("resume_job");
+  JobStore store = JobStore::create_or_attach(dir, job);
   ASSERT_EQ(store.total_tasks(), 12);
   ASSERT_EQ(store.shard_count(), 4);
 
-  // Worker 1 is killed mid-shard: one full shard plus one task of the
-  // next, then the crash hook abandons with the lease held.
-  WorkerOptions crash;
-  crash.owner = "victim";
-  crash.crash_after_tasks = 4;
-  const WorkerReport first = run_worker(store, runtime, crash);
-  EXPECT_TRUE(first.crashed);
-  EXPECT_EQ(first.tasks_executed, 4);
-  EXPECT_EQ(first.shards_completed, 1);
+  // Worker 1 dies at its 5th record append: shard 0 (3 tasks) completed,
+  // one record of shard 1 durable, the 5th append never lands — and the
+  // shard 1 lease is still held by the corpse.
+  run_crashing_worker(dir, /*crash_at_append=*/4);
+  EXPECT_EQ(store.scan_shard_log(0).records.size(), 3u);
+  EXPECT_TRUE(store.shard_done(0));
+  EXPECT_EQ(store.scan_shard_log(1).records.size(), 1u);
+  EXPECT_FALSE(store.shard_done(1));
 
   // Merging an incomplete job must refuse, not fabricate rows.
   {
@@ -88,10 +115,10 @@ TEST(ServiceResume, KilledWorkerResumesByteIdentical) {
   // stale lease on the partial shard is stolen, its 1 recorded task is
   // skipped, and exactly the 8 missing tasks are measured.
   const std::uint64_t trials_before = trials_executed();
+  const JobRuntime runtime(store);
   WorkerOptions retry;
   retry.owner = "recoverer";
   const WorkerReport second = run_worker(store, runtime, retry);
-  EXPECT_FALSE(second.crashed);
   EXPECT_EQ(second.tasks_skipped, 1);
   EXPECT_EQ(second.tasks_executed, 8);
   EXPECT_EQ(trials_executed() - trials_before, 8u);
@@ -121,14 +148,8 @@ TEST(ServiceResume, ResumeAcrossSeparateServeCalls) {
   const std::vector<std::string> reference = reference_rows();
   const std::string dir = fresh_dir("resume_serve");
   const JobSpec job = make_job_spec({&mini_scenario()}, {}, 3, 0);
-  {
-    JobStore store = JobStore::create_or_attach(dir, job);
-    const JobRuntime runtime(store);
-    WorkerOptions crash;
-    crash.owner = "victim";
-    crash.crash_after_tasks = 5;
-    ASSERT_TRUE(run_worker(store, runtime, crash).crashed);
-  }
+  JobStore::create_or_attach(dir, job);
+  run_crashing_worker(dir, /*crash_at_append=*/5);  // 5 records durable
   ServeOptions options;
   options.job_dir = dir;
   options.cache_dir.clear();

@@ -1,13 +1,21 @@
-// JobStore mechanics: meta roundtrip, shard geometry, fsync'd completion
-// records (exact double bit patterns, torn-line tolerance), done markers,
-// and lease acquire/conflict/renew/release/steal semantics.
+// JobStore mechanics: meta roundtrip (with field-level corruption
+// diagnostics), shard geometry, fsync'd CRC-checksummed completion records
+// (exact double bit patterns, torn-line tolerance, v1 back-compat,
+// mid-file corruption -> quarantine), done markers, and lease
+// acquire/conflict/renew/release/steal semantics — including a two-thread
+// steal race under skewed fake clocks.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
+#include "analysis/trials.hpp"
 #include "service/job_store.hpp"
+#include "service/service.hpp"
 
 namespace dualcast::service {
 namespace {
@@ -158,6 +166,190 @@ TEST(JobStore, OpenRejectsMissingOrCorruptMeta) {
   fs::create_directories(dir);
   std::ofstream(fs::path(dir) / "job.meta") << "not a job meta\n";
   EXPECT_THROW(JobStore::open(dir), ScenarioError);
+}
+
+/// Expects `body` to throw ScenarioError whose message contains `needle`
+/// — corrupt job directories must produce *named* diagnostics, not a
+/// generic integer-parse throw.
+template <typename Body>
+void expect_error_mentioning(const std::string& needle, Body body) {
+  try {
+    body();
+    FAIL() << "expected a ScenarioError mentioning \"" << needle << "\"";
+  } catch (const ScenarioError& error) {
+    EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+        << "diagnostic was: " << error.what();
+  }
+}
+
+TEST(JobStore, MetaDiagnosticsNameTheProblem) {
+  // A malformed integer field names the field, not just "stoi".
+  {
+    const std::string dir = fresh_dir("store_meta_badint");
+    fs::create_directories(dir);
+    std::ofstream(fs::path(dir) / "job.meta")
+        << "dualcast-job v1\nkey 0000000000000001\n"
+           "catalog 0000000000000002\nshard_tasks banana\n"
+           "scenario svc-test/mini\nend\n";
+    expect_error_mentioning("shard_tasks", [&] { JobStore::open(dir); });
+  }
+  // A missing required field is reported as such.
+  {
+    const std::string dir = fresh_dir("store_meta_nokey");
+    fs::create_directories(dir);
+    std::ofstream(fs::path(dir) / "job.meta")
+        << "dualcast-job v1\ncatalog 0000000000000002\n"
+           "scenario svc-test/mini\nend\n";
+    expect_error_mentioning("key", [&] { JobStore::open(dir); });
+  }
+  // A truncated file (no "end") is distinguished from an empty job.
+  {
+    const std::string dir = fresh_dir("store_meta_trunc");
+    fs::create_directories(dir);
+    std::ofstream(fs::path(dir) / "job.meta")
+        << "dualcast-job v1\nkey 0000000000000001\n"
+           "catalog 0000000000000002\n";
+    expect_error_mentioning("truncated", [&] { JobStore::open(dir); });
+  }
+}
+
+TEST(JobStore, V1RecordsRemainReadable) {
+  const std::string dir = fresh_dir("store_v1");
+  JobStore store = JobStore::create_or_attach(dir, mini_job(6, 60));
+  const double value = 0.1 + 0.2;
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  // The PR-6 record format: "<task> <bits-hex> <decimal>", no checksum.
+  std::ofstream(fs::path(dir) / "shards" / "shard_0.log", std::ios::binary)
+      << "2 " << scenario::hash_hex(bits) << " 0.30000000000000004\n";
+  const std::vector<TaskRecord> records = store.read_shard_records(0);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].task, 2);
+  EXPECT_EQ(records[0].value, value);
+}
+
+TEST(JobStore, MidFileCorruptionIsDetectedQuarantinedAndRecovered) {
+  const std::string dir = fresh_dir("store_quarantine");
+  JobStore store = JobStore::create_or_attach(dir, mini_job(6, 60));
+  store.append_record(0, {0, 1.5});
+  store.append_record(0, {1, 2.5});
+  store.append_record(0, {2, 3.5});
+  store.mark_shard_done(0);
+
+  // Flip one byte in the middle record — bit rot the checksum must catch.
+  const fs::path log = fs::path(dir) / "shards" / "shard_0.log";
+  std::string text;
+  {
+    std::ifstream in(log, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  const std::size_t second_line = text.find('\n') + 1;
+  const std::size_t flip = text.find(' ', second_line + 3) + 1;
+  text[flip] = text[flip] == '0' ? '1' : '0';
+  std::ofstream(log, std::ios::binary) << text;
+
+  // Detection: the scan truncates at the watermark; the strict reader
+  // (the merger's path) refuses outright.
+  const ShardScan scan = store.scan_shard_log(0);
+  EXPECT_TRUE(scan.corrupt);
+  EXPECT_EQ(scan.bad_line, 2);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].value, 1.5);
+  expect_error_mentioning("corrupt", [&] { store.read_shard_records(0); });
+  EXPECT_TRUE(store.scan()[0].corrupt);
+
+  // Recovery: damaged log moved aside, good prefix rewritten, done marker
+  // cleared so the shard is recomputed from the watermark.
+  EXPECT_TRUE(store.recover_shard(0).corrupt);
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "shards" / "shard_0.quarantine"));
+  EXPECT_FALSE(store.shard_done(0));
+  const std::vector<TaskRecord> recovered = store.read_shard_records(0);
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].task, 0);
+  EXPECT_EQ(recovered[0].value, 1.5);
+  const std::vector<ShardState> states = store.scan();
+  EXPECT_FALSE(states[0].corrupt);
+  EXPECT_TRUE(states[0].quarantined);
+  // Recovery is idempotent: a healthy log is left alone.
+  EXPECT_FALSE(store.recover_shard(0).corrupt);
+  EXPECT_TRUE(store.recover_all().empty());
+}
+
+TEST(JobStore, StealRaceUnderClockSkewHasOneWinner) {
+  const std::string dir = fresh_dir("store_skew_race");
+  const JobSpec job = mini_job(/*shard_tasks=*/4, /*lease_ttl_seconds=*/60);
+  // Plant a lease from a dead worker at t=100 (expires 160).
+  util::FakeClock dead_clock(100);
+  StoreEnv dead_env;
+  dead_env.clock = &dead_clock;
+  JobStore dead = JobStore::create_or_attach(dir, job, dead_env);
+  ASSERT_TRUE(dead.try_lease(0, "dead"));
+
+  // Two racers with skewed clocks (skew 26s < TTL 60s): the lease is
+  // expired for "ahead" (161 >= 160) but still valid for "behind" (135).
+  // A fresh lease taken by either racer is always valid for the other —
+  // skew below the TTL is exactly the regime the lease protocol promises
+  // one winner in.
+  util::FakeClock ahead_clock(161);
+  util::FakeClock behind_clock(135);
+  StoreEnv ahead_env;
+  ahead_env.clock = &ahead_clock;
+  StoreEnv behind_env;
+  behind_env.clock = &behind_clock;
+  JobStore ahead = JobStore::open(dir, ahead_env);
+  JobStore behind = JobStore::open(dir, behind_env);
+
+  std::atomic<int> ahead_wins{0};
+  std::atomic<int> behind_wins{0};
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<bool> a_won{false};
+    std::atomic<bool> b_won{false};
+    std::thread a([&] { a_won = ahead.try_lease(0, "ahead"); });
+    std::thread b([&] { b_won = behind.try_lease(0, "behind"); });
+    a.join();
+    b.join();
+    // The protocol's promise under skew < TTL: EXACTLY one winner. (Which
+    // one is racy in round 0 — stealing the dead lease opens an absence
+    // window between unlink and link-publish, and either racer may take
+    // it; that is legitimate. Two winners never are.)
+    EXPECT_NE(a_won.load(), b_won.load()) << "round " << round;
+    if (a_won) ahead_wins.fetch_add(1);
+    if (b_won) behind_wins.fetch_add(1);
+  }
+  // Ownership is sticky: round 0's winner renews its own lease every
+  // round after, and its lease is never expired for the other racer.
+  EXPECT_EQ(ahead_wins.load() + behind_wins.load(), 50);
+  EXPECT_TRUE(ahead_wins.load() == 50 || behind_wins.load() == 50)
+      << "ownership flapped: ahead " << ahead_wins.load() << ", behind "
+      << behind_wins.load();
+
+  // No double-execution either: run both skewed workers concurrently over
+  // the whole job; every task is measured exactly once (leases held by
+  // one are valid to the other, so nobody steals live work).
+  if (ahead_wins.load() == 50) {
+    ahead.release_lease(0, "ahead");
+  } else {
+    behind.release_lease(0, "behind");
+  }
+  const JobRuntime runtime(ahead);
+  const std::uint64_t trials_before = trials_executed();
+  std::thread wa([&] {
+    WorkerOptions options;
+    options.owner = "ahead";
+    run_worker(ahead, runtime, options);
+  });
+  std::thread wb([&] {
+    WorkerOptions options;
+    options.owner = "behind";
+    run_worker(behind, runtime, options);
+  });
+  wa.join();
+  wb.join();
+  EXPECT_EQ(trials_executed() - trials_before,
+            static_cast<std::uint64_t>(ahead.total_tasks()));
+  JobRuntime merge_runtime(ahead);
+  EXPECT_EQ(merge_job(ahead, merge_runtime, nullptr).size(), 4u);
 }
 
 }  // namespace

@@ -1,0 +1,184 @@
+// The filesystem/fault-injection seam itself: CRC32C vectors, RealFs
+// roundtrips, atomic whole-file writes, FaultyFs crash/torn/error
+// schedules (one-shot and sticky, with op/path filters and trace), the
+// fake clock, and jittered backoff bounds/determinism.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <filesystem>
+
+#include "util/clock.hpp"
+#include "util/io.hpp"
+
+namespace dualcast::util {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+std::string fresh_dir(const std::string& tag) {
+  const stdfs::path dir =
+      stdfs::path(::testing::TempDir()) / ("dualcast_io_" + tag);
+  stdfs::remove_all(dir);
+  stdfs::create_directories(dir);
+  return dir.string();
+}
+
+TEST(Crc32c, KnownVectors) {
+  // The canonical CRC32C check value distinguishes Castagnoli from the
+  // zlib polynomial.
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(crc32c(""), 0x00000000u);
+  EXPECT_NE(crc32c("123456789"), crc32c("123456780"));
+  EXPECT_NE(crc32c("a"), crc32c("b"));
+}
+
+TEST(RealFs, RoundTripAppendListUnlink) {
+  const std::string dir = fresh_dir("roundtrip");
+  Fs& fs = real_fs();
+  const std::string path = dir + "/file.txt";
+  EXPECT_FALSE(fs.exists(path));
+  std::string content;
+  EXPECT_FALSE(fs.read_file(path, content));
+  fs.write_file(path, "alpha\n");
+  fs.append(path, "beta\n");
+  fs.fsync_file(path);
+  ASSERT_TRUE(fs.read_file(path, content));
+  EXPECT_EQ(content, "alpha\nbeta\n");
+  EXPECT_EQ(fs.file_size(path), 11);
+  EXPECT_EQ(fs.file_size(dir + "/absent"), -1);
+  EXPECT_EQ(fs.list(dir), std::vector<std::string>{"file.txt"});
+  EXPECT_TRUE(fs.list(dir + "/no_such_dir").empty());
+  EXPECT_TRUE(fs.unlink(path));
+  EXPECT_FALSE(fs.unlink(path));  // second unlink: already gone
+}
+
+TEST(RealFs, LinkIsCreateIfAbsent) {
+  const std::string dir = fresh_dir("link");
+  Fs& fs = real_fs();
+  fs.write_file(dir + "/a", "A");
+  fs.write_file(dir + "/b", "B");
+  EXPECT_TRUE(fs.link(dir + "/a", dir + "/lock"));
+  // Second publisher loses: the path exists, content stays the winner's.
+  EXPECT_FALSE(fs.link(dir + "/b", dir + "/lock"));
+  std::string content;
+  ASSERT_TRUE(fs.read_file(dir + "/lock", content));
+  EXPECT_EQ(content, "A");
+}
+
+TEST(RealFs, WriteFileAtomicReplacesAndLeavesNoTemp) {
+  const std::string dir = fresh_dir("atomic");
+  Fs& fs = real_fs();
+  const std::string path = dir + "/target";
+  fs.write_file_atomic(path, "one");
+  fs.write_file_atomic(path, "two");
+  std::string content;
+  ASSERT_TRUE(fs.read_file(path, content));
+  EXPECT_EQ(content, "two");
+  EXPECT_EQ(fs.list(dir).size(), 1u);  // no .tmp.* debris
+}
+
+TEST(FaultyFs, CrashAtScheduledOpWithFilters) {
+  const std::string dir = fresh_dir("faulty_crash");
+  FaultyFs fs(real_fs());
+  InjectedFault fault;
+  fault.kind = InjectedFault::Kind::crash;
+  fault.at = 1;  // the *second* matching op
+  fault.op = "write";
+  fault.path_substr = "victim";
+  fs.inject(fault);
+
+  fs.write_file(dir + "/bystander", "x");  // op filter: not a "victim"
+  fs.write_file(dir + "/victim1", "x");    // match 0: passes
+  EXPECT_THROW(fs.write_file(dir + "/victim2", "x"), InjectedCrash);
+  // One-shot: after firing the schedule is spent.
+  fs.write_file(dir + "/victim3", "x");
+  EXPECT_EQ(fs.faults_fired(), 1);
+
+  const auto trace = fs.trace();
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[0].first, "write");
+  EXPECT_EQ(trace[2].second, dir + "/victim2");
+  EXPECT_EQ(fs.ops(), 4);
+}
+
+TEST(FaultyFs, TornAppendPersistsPrefixThenCrashes) {
+  const std::string dir = fresh_dir("faulty_torn");
+  FaultyFs fs(real_fs());
+  const std::string path = dir + "/log";
+  fs.append(path, "first\n");
+  InjectedFault fault;
+  fault.kind = InjectedFault::Kind::torn;
+  fault.at = 0;  // `at` counts *matching* ops from injection onward
+  fault.op = "append";
+  fault.keep_bytes = 3;
+  fs.inject(fault);
+  EXPECT_THROW(fs.append(path, "second\n"), InjectedCrash);
+  std::string content;
+  ASSERT_TRUE(real_fs().read_file(path, content));
+  EXPECT_EQ(content, "first\nsec");  // the torn prefix survived
+}
+
+TEST(FaultyFs, ErrorFaultsAreTypedAndStickyFaultsRepeat) {
+  const std::string dir = fresh_dir("faulty_err");
+  FaultyFs fs(real_fs());
+  InjectedFault eio;
+  eio.kind = InjectedFault::Kind::error;
+  eio.at = 0;
+  eio.op = "fsync";
+  eio.err = EIO;
+  eio.sticky = true;
+  fs.inject(eio);
+  fs.write_file(dir + "/f", "x");
+  for (int i = 0; i < 2; ++i) {
+    try {
+      fs.fsync_file(dir + "/f");
+      FAIL() << "expected injected EIO";
+    } catch (const IoError& error) {
+      EXPECT_EQ(error.code(), EIO);
+      EXPECT_TRUE(error.transient());
+    }
+  }
+  EXPECT_EQ(fs.faults_fired(), 2);  // sticky: fires every matching op
+  // Unrelated ops still pass through.
+  std::string content;
+  EXPECT_TRUE(fs.read_file(dir + "/f", content));
+}
+
+TEST(IoErrorClass, TransientCodes) {
+  EXPECT_TRUE(IoError("x", EIO).transient());
+  EXPECT_TRUE(IoError("x", ENOSPC).transient());
+  EXPECT_TRUE(IoError("x", EAGAIN).transient());
+  EXPECT_FALSE(IoError("x", EROFS).transient());
+  EXPECT_FALSE(IoError("x", ENOENT).transient());
+}
+
+TEST(FakeClockTest, SetAndAdvance) {
+  FakeClock clock(100);
+  EXPECT_EQ(clock.now_seconds(), 100);
+  clock.advance(60);
+  EXPECT_EQ(clock.now_seconds(), 160);
+  clock.set(5);
+  EXPECT_EQ(clock.now_seconds(), 5);
+}
+
+TEST(BackoffTest, JitteredDoublingWithinBoundsAndDeterministic) {
+  Backoff a(10, 1000, /*seed=*/7);
+  Backoff b(10, 1000, /*seed=*/7);
+  int base = 10;
+  for (int i = 0; i < 12; ++i) {
+    const int next_a = a.next_ms();
+    EXPECT_EQ(next_a, b.next_ms());  // same seed, same schedule
+    EXPECT_GE(next_a, base / 2);
+    EXPECT_LE(next_a, base);
+    base = base >= 1000 ? 1000 : base * 2;
+    if (base > 1000) base = 1000;
+  }
+  a.reset();
+  const int restarted = a.next_ms();
+  EXPECT_GE(restarted, 5);
+  EXPECT_LE(restarted, 10);
+}
+
+}  // namespace
+}  // namespace dualcast::util
