@@ -7,22 +7,26 @@
 #include <memory>
 #include <ostream>
 #include <thread>
+#include <vector>
 
 #include "service/result_cache.hpp"
 #include "service/service.hpp"
 #include "service/worker.hpp"
+#include "util/rng.hpp"
 #include "util/strfmt.hpp"
 
 namespace dualcast::service {
 namespace {
 
-/// Per-job daemon state, kept across poll cycles so warnings fire once
-/// and runtimes (plan preparation is expensive) are reused.
+/// Per-job daemon state, kept across poll cycles so warnings fire once,
+/// runtimes (plan preparation is expensive) are reused, and fair
+/// placement's aging counter survives between claims.
 struct JobState {
   std::unique_ptr<JobStore> store;
   std::unique_ptr<JobRuntime> runtime;
   bool warned = false;  ///< already complained about this directory
   bool merged = false;  ///< completed + merged; skip from now on
+  int age = 0;          ///< claim rounds waited (fair placement)
 };
 
 bool stop_requested(const DaemonOptions& options) {
@@ -47,6 +51,19 @@ bool all_shards_done(const JobStore& store) {
   return true;
 }
 
+/// A rotation of [0, shards) starting at a seeded offset: contending
+/// fleet members scan from different starting shards instead of all
+/// hammering shard 0's lease.
+std::vector<int> jittered_order(int shards, std::uint64_t& rng) {
+  std::vector<int> order(static_cast<std::size_t>(shards));
+  const int start =
+      shards > 0 ? static_cast<int>(splitmix64(rng) %
+                                    static_cast<std::uint64_t>(shards))
+                 : 0;
+  for (int i = 0; i < shards; ++i) order[i] = (start + i) % shards;
+  return order;
+}
+
 }  // namespace
 
 DaemonReport run_daemon(const DaemonOptions& options, const StoreEnv& env) {
@@ -55,9 +72,13 @@ DaemonReport run_daemon(const DaemonOptions& options, const StoreEnv& env) {
     throw scenario::ScenarioError("daemon: jobs_dir is required");
   }
   util::Fs& fs = env.fs != nullptr ? *env.fs : util::real_fs();
+  util::Clock& clock =
+      env.clock != nullptr ? *env.clock : util::system_clock();
   const std::string owner =
       options.owner.empty() ? str("pid", static_cast<long>(::getpid()), ".d")
                             : options.owner;
+  std::uint64_t rng =
+      options.seed != 0 ? options.seed : scenario::fnv1a64(owner);
 
   // The cache is optional equipment: failure to open it (or, later, to
   // write it — merge_job demotes that itself) must never stop job
@@ -77,6 +98,53 @@ DaemonReport run_daemon(const DaemonOptions& options, const StoreEnv& env) {
     }
   }
 
+  // Fleet membership: publish at startup, renew at TTL/3 alongside the
+  // automatic gc sweep. Best-effort — a read-only fleet dir costs the
+  // fleet view, not job progress.
+  FleetRegistry fleet(options.jobs_dir, env);
+  MemberRecord member;
+  member.id = owner;
+  member.pid = static_cast<long>(::getpid());
+  member.placement = to_string(options.placement);
+  member.ttl_seconds = options.member_ttl_seconds;
+  member.started = clock.now_seconds();
+  bool member_warned = false;
+  const auto publish_member = [&] {
+    member.cycles = report.cycles;
+    member.tasks = report.tasks_executed;
+    member.shards = report.shards_completed;
+    member.steals = report.leases_stolen;
+    try {
+      fleet.publish(member);
+    } catch (const util::IoError& error) {
+      if (!member_warned && options.log != nullptr) {
+        *options.log << "daemon: warning: cannot publish membership ("
+                     << error.what() << "); fleet view will not list us\n";
+      }
+      member_warned = true;
+    }
+  };
+  const auto sweep = [&] {
+    try {
+      const GcReport swept = gc_sweep(options.jobs_dir, env, options.log);
+      report.members_reaped += swept.members_reaped;
+      report.leases_reclaimed += swept.leases_reclaimed;
+      report.quarantines_removed += swept.quarantines_removed;
+    } catch (const util::IoError& error) {
+      if (options.log != nullptr) {
+        *options.log << "daemon: warning: gc sweep failed ("
+                     << error.what() << ")\n";
+      }
+    }
+  };
+  const std::int64_t beat_interval =
+      options.member_ttl_seconds / 3 > 1 ? options.member_ttl_seconds / 3 : 1;
+  std::int64_t last_beat = clock.now_seconds();
+  publish_member();
+  // A startup sweep: after a kill -9 + restart, the replacement reclaims
+  // its predecessor's debris immediately instead of a heartbeat later.
+  sweep();
+
   std::map<std::string, JobState> jobs;
   util::Backoff backoff(options.poll_initial_ms, options.poll_max_ms,
                         scenario::fnv1a64(owner));
@@ -89,23 +157,99 @@ DaemonReport run_daemon(const DaemonOptions& options, const StoreEnv& env) {
       break;
     }
     ++report.cycles;
-    bool progress = false;
+    const std::int64_t now = clock.now_seconds();
+    if (now - last_beat >= beat_interval) {
+      last_beat = now;
+      publish_member();
+      sweep();
+    }
+
+    // Discovery: every subdirectory with a job.meta, in fs.list order
+    // (the fifo order). Opening is lazy and warned-once; a job that fails
+    // this cycle is retried next cycle (the store may heal).
+    std::vector<std::string> dirs;
     for (const std::string& name : fs.list(options.jobs_dir)) {
-      if (stop_requested(options)) break;
       const std::string dir = str(options.jobs_dir, "/", name);
-      if (!fs.exists(str(dir, "/job.meta"))) continue;
-      JobState& job = jobs[dir];
-      if (job.merged) continue;
+      if (fs.exists(str(dir, "/job.meta"))) dirs.push_back(dir);
+    }
+
+    bool progress = false;
+    // Claim rounds: each round picks one job per the placement policy and
+    // drains one unit from it — the whole job under fifo, a single shard
+    // under fair/random. A job that yields nothing claimable is exhausted
+    // for the rest of this cycle; the cycle ends when every job is.
+    std::map<std::string, bool> exhausted;
+    for (;;) {
+      if (stop_requested(options)) break;
+      std::vector<std::string> candidates;
+      for (const std::string& dir : dirs) {
+        if (exhausted[dir]) continue;
+        if (jobs.count(dir) != 0 && jobs[dir].merged) continue;
+        candidates.push_back(dir);
+      }
+      if (candidates.empty()) break;
+
+      // --- pick a candidate per the placement policy ---
+      std::string picked = candidates.front();
+      if (options.placement == Placement::random) {
+        picked = candidates[static_cast<std::size_t>(
+            splitmix64(rng) % candidates.size())];
+      } else if (options.placement == Placement::fair) {
+        // Oldest-waiting job first, preferring jobs under the fleet-wide
+        // in-flight cap. An unopened job has no in-flight work from anyone
+        // we can see, so it counts as under the cap. The cap is soft: when
+        // every candidate is at or over it, fall back to pure aging — the
+        // cap spreads the fleet, it never starves a job.
+        const auto pick_oldest = [&](bool capped) {
+          std::string best;
+          int best_age = -1;
+          for (const std::string& dir : candidates) {
+            JobState& job = jobs[dir];
+            if (capped && job.store != nullptr) {
+              try {
+                if (job.store->active_lease_count() >= options.inflight_cap) {
+                  continue;
+                }
+              } catch (const util::IoError&) {
+                continue;
+              }
+            }
+            if (job.age > best_age) {
+              best_age = job.age;
+              best = dir;
+            }
+          }
+          return best;
+        };
+        std::string best = pick_oldest(/*capped=*/true);
+        if (best.empty()) best = pick_oldest(/*capped=*/false);
+        if (!best.empty()) picked = best;
+        for (const std::string& dir : candidates) ++jobs[dir].age;
+        jobs[picked].age = 0;
+      }
+
+      // --- drain one unit from the picked job ---
+      JobState& job = jobs[picked];
       try {
         if (job.store == nullptr) {
           job.store =
-              std::make_unique<JobStore>(JobStore::open(dir, env));
+              std::make_unique<JobStore>(JobStore::open(picked, env));
           ++report.jobs_seen;
           if (options.log != nullptr) {
             *options.log << "daemon: picked up job "
                          << scenario::hash_hex(job.store->spec().key)
-                         << " in " << dir << " ("
+                         << " in " << picked << " ("
                          << job.store->total_tasks() << " tasks)\n";
+          }
+          // Pickup recovery: quarantine corrupt logs once here (and in
+          // the gc-cadence sweeps) instead of on every worker call.
+          for (const int shard : job.store->recover_all()) {
+            ++report.shards_quarantined;
+            progress = true;
+            if (options.log != nullptr) {
+              *options.log << "daemon: quarantined corrupt shard " << shard
+                           << " log in " << picked << "\n";
+            }
           }
         }
         if (job.runtime == nullptr) {
@@ -115,45 +259,73 @@ DaemonReport run_daemon(const DaemonOptions& options, const StoreEnv& env) {
         worker_options.owner = owner;
         worker_options.stop = options.stop;
         worker_options.log = options.log;
+        worker_options.recover = false;  // recovered at pickup + sweeps
+        if (options.placement != Placement::fifo) {
+          worker_options.max_shards = 1;
+          worker_options.shard_order =
+              jittered_order(job.store->shard_count(), rng);
+        }
         const WorkerReport worked =
             run_worker(*job.store, *job.runtime, worker_options);
         report.shards_completed += worked.shards_completed;
         report.tasks_executed += worked.tasks_executed;
         report.shards_quarantined += worked.shards_quarantined;
+        report.leases_stolen += worked.leases_stolen;
+        report.quarantines_removed += worked.quarantines_cleared;
         if (worked.shards_completed > 0 || worked.tasks_executed > 0 ||
             worked.shards_quarantined > 0) {
           progress = true;
         }
         if (worked.stopped) break;
         if (all_shards_done(*job.store)) {
-          // Complete: merge into the cache so future serves hit, then
-          // drop the runtime (the records stay for `merge`/`status`).
-          merge_job(*job.store, *job.runtime, cache.get(), options.log);
-          job.merged = true;
-          job.runtime.reset();
-          ++report.jobs_completed;
-          progress = true;
-          if (options.log != nullptr) {
-            *options.log << "daemon: completed job in " << dir << "\n";
+          // Pre-merge integrity pass: anything that went corrupt since
+          // pickup is quarantined now (clearing its done marker), and the
+          // merge waits for the recompute instead of failing.
+          const std::vector<int> rotten = job.store->recover_all();
+          if (!rotten.empty()) {
+            report.shards_quarantined += static_cast<int>(rotten.size());
+            progress = true;
+            if (options.log != nullptr) {
+              *options.log << "daemon: pre-merge check quarantined "
+                           << rotten.size() << " shard log(s) in " << picked
+                           << "; recomputing before merge\n";
+            }
+          } else {
+            // Complete: merge into the cache so future serves hit, then
+            // drop the runtime (the records stay for `merge`/`status`).
+            merge_job(*job.store, *job.runtime, cache.get(), options.log);
+            job.merged = true;
+            job.runtime.reset();
+            ++report.jobs_completed;
+            progress = true;
+            if (options.log != nullptr) {
+              *options.log << "daemon: completed job in " << picked << "\n";
+            }
           }
+        } else if (worked.shards_completed == 0) {
+          // Nothing claimable right now: every remaining shard is validly
+          // leased elsewhere. Revisit next cycle.
+          exhausted[picked] = true;
         }
       } catch (const scenario::ScenarioError& error) {
         // A bad job directory (corrupt meta, catalog drift, conflicting
         // records) is warned about once, then skipped — it must not wedge
         // the daemon or starve other jobs.
         if (!job.warned && options.log != nullptr) {
-          *options.log << "daemon: warning: skipping job " << dir << ": "
+          *options.log << "daemon: warning: skipping job " << picked << ": "
                        << error.what() << "\n";
         }
         job.warned = true;
+        exhausted[picked] = true;
       } catch (const util::IoError& error) {
         // Exhausted-retries IO failure on this job; leave it for a later
         // cycle (the store may heal — e.g. space freed after ENOSPC).
         if (!job.warned && options.log != nullptr) {
-          *options.log << "daemon: warning: IO trouble on job " << dir
+          *options.log << "daemon: warning: IO trouble on job " << picked
                        << ": " << error.what() << "\n";
         }
         job.warned = true;
+        exhausted[picked] = true;
       }
     }
     if (stop_requested(options)) {
@@ -165,6 +337,13 @@ DaemonReport run_daemon(const DaemonOptions& options, const StoreEnv& env) {
     } else {
       interruptible_sleep(backoff.next_ms(), options);
     }
+  }
+
+  // Clean exit: deregister so the fleet view drops us immediately instead
+  // of after a TTL. Best-effort, like every membership operation.
+  try {
+    fleet.remove(owner);
+  } catch (const util::IoError&) {
   }
   return report;
 }

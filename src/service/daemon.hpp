@@ -3,30 +3,43 @@
 // Daemon mode for the experiment service.
 //
 // run_daemon() watches a jobs directory: every subdirectory containing a
-// job.meta is a dropped job. The daemon opens each job, runs the worker
-// lease loop against it (quarantining corrupt shards, resuming from
+// job.meta is a dropped job. The daemon opens each job, claims shards via
+// the worker lease loop (quarantining corrupt shards, resuming from
 // watermarks), and — once every shard is done — merges the results into
 // the result cache so later `serve` calls for the same scenarios are
 // zero-recompute. Polling is backoff-paced: cycles that make progress
 // poll again immediately, idle cycles back off (jittered exponential) up
 // to `poll_max_ms`.
 //
+// Fleet behavior: the daemon publishes a membership file under
+// `<jobs_dir>/fleet/` and renews its heartbeat at TTL/3; at the same
+// cadence it runs a gc sweep (reap stale members, reclaim their expired
+// lease debris, delete superseded quarantines). Shard acquisition across
+// concurrent jobs follows the `placement` policy — fifo drains jobs in
+// discovery order, fair interleaves one shard at a time with
+// anti-starvation aging and a fleet-wide per-job in-flight cap, random
+// decorrelates big fleets (see fleet.hpp).
+//
 // Degradation: a job directory that cannot be opened (corrupt meta,
 // catalog drift) is warned about once and skipped — it never wedges the
 // daemon or the other jobs. A cache directory that cannot be opened or
 // written (read-only filesystem, ENOSPC) drops the daemon to
 // compute-without-cache with a single warning; jobs still complete.
+// Membership publishing is best-effort: it is an observability and
+// placement aid, never a correctness gate.
 //
 // Shutdown: a cooperative stop flag (wired to SIGTERM/SIGINT by the CLI)
 // exits cleanly at the next task boundary — shard records already
-// appended stay durable and all held leases are released, so a restarted
-// daemon (or any worker) picks up exactly where this one stopped.
+// appended stay durable, all held leases are released, and the
+// membership file is removed, so a restarted daemon (or any worker)
+// picks up exactly where this one stopped.
 
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 
+#include "service/fleet.hpp"
 #include "service/job_store.hpp"
 
 namespace dualcast::service {
@@ -41,6 +54,18 @@ struct DaemonOptions {
   /// Stop after this many poll cycles (< 0 = run until stopped) — the
   /// bounded mode tests and one-shot drains use.
   int max_cycles = -1;
+  /// Shard acquisition policy across concurrent jobs (see fleet.hpp).
+  Placement placement = Placement::fifo;
+  /// Under `fair`: prefer jobs with fewer than this many unexpired leases
+  /// fleet-wide. Soft cap — when every candidate is at or over it, the
+  /// oldest-waiting job is claimed anyway (no starvation).
+  int inflight_cap = 2;
+  /// Membership heartbeat TTL; a daemon silent for this long is stale and
+  /// gets reaped (with its expired leases) by any member's gc sweep.
+  int member_ttl_seconds = 15;
+  /// Seed for placement jitter (claim-order rotation, random job picks).
+  /// 0 derives one from the owner token.
+  std::uint64_t seed = 0;
   /// Cooperative stop: when set and it becomes true, finish the current
   /// task, release leases, and return.
   const std::atomic<bool>* stop = nullptr;
@@ -54,11 +79,16 @@ struct DaemonReport {
   int shards_completed = 0;
   int tasks_executed = 0;
   int shards_quarantined = 0;
+  int leases_stolen = 0;       ///< expired foreign leases evicted on claim
+  int members_reaped = 0;      ///< stale fleet members removed by our sweeps
+  int leases_reclaimed = 0;    ///< expired lease debris removed by our sweeps
+  int quarantines_removed = 0; ///< quarantine files GC'd (sweeps + workers)
   bool stopped = false;  ///< returned via the stop flag
 };
 
 /// Runs the daemon loop (see file comment). The env's fs/clock are used
-/// for job discovery and threaded into every store the daemon opens.
+/// for job discovery, membership, and threaded into every store the
+/// daemon opens.
 DaemonReport run_daemon(const DaemonOptions& options,
                         const StoreEnv& env = {});
 

@@ -1,0 +1,299 @@
+#include "service/fleet.hpp"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/strfmt.hpp"
+
+namespace dualcast::service {
+namespace {
+
+using scenario::ScenarioError;
+
+util::Fs& resolve_fs(const StoreEnv& env) {
+  return env.fs != nullptr ? *env.fs : util::real_fs();
+}
+
+util::Clock& resolve_clock(const StoreEnv& env) {
+  return env.clock != nullptr ? *env.clock : util::system_clock();
+}
+
+/// Member ids double as file names; anything path-hostile is flattened so
+/// a creative owner token cannot escape the fleet directory.
+std::string sanitize_id(const std::string& id) {
+  std::string out = id.empty() ? std::string("anon") : id;
+  for (char& c : out) {
+    if (c == '/' || c == '\\' || c == '.') c = '_';
+  }
+  return out;
+}
+
+std::string serialize_member(const MemberRecord& record) {
+  std::ostringstream os;
+  os << "dualcast-member v1\n";
+  os << "id " << record.id << "\n";
+  os << "pid " << record.pid << "\n";
+  if (!record.placement.empty()) os << "placement " << record.placement << "\n";
+  os << "started " << record.started << "\n";
+  os << "heartbeat " << record.heartbeat << "\n";
+  os << "ttl " << record.ttl_seconds << "\n";
+  os << "cycles " << record.cycles << "\n";
+  os << "tasks " << record.tasks << "\n";
+  os << "shards " << record.shards << "\n";
+  os << "steals " << record.steals << "\n";
+  os << "end\n";
+  return os.str();
+}
+
+bool parse_member(const std::string& text, MemberRecord& out) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "dualcast-member v1") return false;
+  bool saw_end = false;
+  bool saw_id = false;
+  while (std::getline(in, line)) {
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) return false;
+    const std::string field = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    try {
+      if (field == "id") {
+        out.id = value;
+        saw_id = true;
+      } else if (field == "pid") {
+        out.pid = std::stol(value);
+      } else if (field == "placement") {
+        out.placement = value;
+      } else if (field == "started") {
+        out.started = std::stoll(value);
+      } else if (field == "heartbeat") {
+        out.heartbeat = std::stoll(value);
+      } else if (field == "ttl") {
+        out.ttl_seconds = std::stoi(value);
+      } else if (field == "cycles") {
+        out.cycles = std::stoll(value);
+      } else if (field == "tasks") {
+        out.tasks = std::stoll(value);
+      } else if (field == "shards") {
+        out.shards = std::stoll(value);
+      } else if (field == "steals") {
+        out.steals = std::stoll(value);
+      }
+      // Unknown fields from a newer writer are skipped, not fatal.
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return saw_end && saw_id;
+}
+
+/// Job subdirectories of a jobs dir (sorted by fs.list), identified by a
+/// present job.meta. The fleet directory itself never qualifies.
+std::vector<std::string> job_dirs(const std::string& jobs_dir, util::Fs& fs) {
+  std::vector<std::string> out;
+  for (const std::string& name : fs.list(jobs_dir)) {
+    if (name == "fleet") continue;
+    const std::string dir = str(jobs_dir, "/", name);
+    if (fs.exists(str(dir, "/job.meta"))) out.push_back(dir);
+  }
+  return out;
+}
+
+}  // namespace
+
+Placement parse_placement(const std::string& text) {
+  if (text == "fifo") return Placement::fifo;
+  if (text == "fair") return Placement::fair;
+  if (text == "random") return Placement::random;
+  throw ScenarioError(
+      str("unknown placement \"", text, "\" (expected fifo|fair|random)"));
+}
+
+const char* to_string(Placement placement) {
+  switch (placement) {
+    case Placement::fifo: return "fifo";
+    case Placement::fair: return "fair";
+    case Placement::random: return "random";
+  }
+  return "?";
+}
+
+FleetRegistry::FleetRegistry(const std::string& jobs_dir, const StoreEnv& env)
+    : fleet_dir_(str(jobs_dir, "/fleet")),
+      fs_(&resolve_fs(env)),
+      clock_(&resolve_clock(env)) {}
+
+std::string FleetRegistry::member_path(const std::string& id) const {
+  return str(fleet_dir_, "/", sanitize_id(id));
+}
+
+void FleetRegistry::publish(MemberRecord record) {
+  fs_->create_dirs(fleet_dir_);
+  record.heartbeat = clock_->now_seconds();
+  if (record.started == 0) record.started = record.heartbeat;
+  fs_->write_file_atomic(member_path(record.id), serialize_member(record));
+}
+
+void FleetRegistry::remove(const std::string& id) {
+  fs_->unlink(member_path(id));
+}
+
+std::vector<MemberState> FleetRegistry::scan() const {
+  std::vector<MemberState> out;
+  const std::int64_t now = clock_->now_seconds();
+  for (const std::string& name : fs_->list(fleet_dir_)) {
+    std::string text;
+    if (!fs_->read_file(str(fleet_dir_, "/", name), text)) continue;
+    MemberState state;
+    if (!parse_member(text, state.record)) continue;
+    state.age = now - state.record.heartbeat;
+    state.stale = state.record.heartbeat + state.record.ttl_seconds <= now;
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+
+std::vector<std::string> FleetRegistry::reap_stale() {
+  std::vector<std::string> reaped;
+  for (const MemberState& member : scan()) {
+    if (!member.stale) continue;
+    fs_->unlink(member_path(member.record.id));
+    reaped.push_back(member.record.id);
+  }
+  return reaped;
+}
+
+GcReport gc_sweep(const std::string& jobs_dir, const StoreEnv& env,
+                  std::ostream* log) {
+  GcReport report;
+  util::Fs& fs = resolve_fs(env);
+
+  // Stale daemons first: their ids feed the per-job lease reclamation, so
+  // debris left by a kill -9'd daemon clears in the same pass that
+  // detects its death.
+  FleetRegistry fleet(jobs_dir, env);
+  report.reaped_ids = fleet.reap_stale();
+  report.members_reaped = static_cast<int>(report.reaped_ids.size());
+  if (log != nullptr) {
+    for (const std::string& id : report.reaped_ids) {
+      *log << "gc: reaped stale fleet member " << id << "\n";
+    }
+  }
+
+  for (const std::string& dir : job_dirs(jobs_dir, fs)) {
+    try {
+      JobStore store = JobStore::open(dir, env);
+      ++report.jobs_swept;
+      const int leases = store.gc_expired_leases(report.reaped_ids);
+      const int quarantines = store.gc_quarantines();
+      report.leases_reclaimed += leases;
+      report.quarantines_removed += quarantines;
+      if (log != nullptr && (leases > 0 || quarantines > 0)) {
+        *log << "gc: job " << dir << ": reclaimed " << leases
+             << " expired lease(s), removed " << quarantines
+             << " verified quarantine(s)\n";
+      }
+    } catch (const ScenarioError& error) {
+      if (log != nullptr) {
+        *log << "gc: skipping job " << dir << ": " << error.what() << "\n";
+      }
+    } catch (const util::IoError& error) {
+      if (log != nullptr) {
+        *log << "gc: IO trouble on job " << dir << ": " << error.what()
+             << "\n";
+      }
+    }
+  }
+  return report;
+}
+
+void print_fleet_status(const std::string& jobs_dir, const StoreEnv& env,
+                        std::ostream& out) {
+  util::Fs& fs = resolve_fs(env);
+  util::Clock& clock = resolve_clock(env);
+  const std::int64_t now = clock.now_seconds();
+
+  // Held leases per owner, aggregated across every job in the directory.
+  std::map<std::string, int> held;
+  struct JobLine {
+    std::string dir;
+    std::string text;
+  };
+  std::vector<JobLine> jobs;
+  for (const std::string& dir : job_dirs(jobs_dir, fs)) {
+    JobLine line{dir, ""};
+    try {
+      const JobStore store = JobStore::open(dir, env);
+      int completed = 0;
+      int done = 0;
+      int corrupt = 0;
+      int quarantined = 0;
+      const std::vector<ShardState> shards = store.scan();
+      for (const ShardState& shard : shards) {
+        completed += shard.completed;
+        if (shard.done) ++done;
+        if (shard.corrupt) ++corrupt;
+        if (shard.quarantined) ++quarantined;
+      }
+      int live_leases = 0;
+      int stale_leases = 0;
+      for (const LeaseState& lease : store.scan_leases()) {
+        ++held[lease.owner];
+        if (lease.expired) {
+          ++stale_leases;
+        } else {
+          ++live_leases;
+        }
+      }
+      std::ostringstream os;
+      os << "job " << scenario::hash_hex(store.spec().key) << ": "
+         << completed << "/" << store.total_tasks() << " tasks, " << done
+         << "/" << shards.size() << " shards done, " << live_leases
+         << " leased";
+      if (stale_leases > 0) os << " (+" << stale_leases << " stale)";
+      if (corrupt > 0) os << ", " << corrupt << " CORRUPT";
+      if (quarantined > 0) os << ", " << quarantined << " quarantined";
+      line.text = os.str();
+    } catch (const std::exception& error) {
+      line.text = str("unreadable (", error.what(), ")");
+    }
+    jobs.push_back(std::move(line));
+  }
+
+  FleetRegistry fleet(jobs_dir, env);
+  const std::vector<MemberState> members = fleet.scan();
+  out << "fleet of " << jobs_dir << ": " << members.size()
+      << " member(s), " << jobs.size() << " job(s)\n";
+  for (const MemberState& member : members) {
+    const MemberRecord& r = member.record;
+    const std::int64_t uptime = now - r.started;
+    const double rate =
+        uptime > 0 ? static_cast<double>(r.shards) /
+                         static_cast<double>(uptime)
+                   : static_cast<double>(r.shards);
+    out << "  daemon " << r.id << " [" << (member.stale ? "STALE" : "live")
+        << "]: pid " << r.pid;
+    if (!r.placement.empty()) out << ", placement " << r.placement;
+    out << ", up " << uptime << "s, heartbeat " << member.age << "s ago (ttl "
+        << r.ttl_seconds << "s), " << r.tasks << " tasks, " << r.shards
+        << " shards (" << rate << "/s), " << r.steals << " steal(s), "
+        << held[r.id] << " lease(s) held\n";
+    held.erase(r.id);
+  }
+  // Lease owners with no membership file: plain `worker` processes, or
+  // daemons whose stale entry was already reaped.
+  for (const auto& [owner, count] : held) {
+    out << "  non-member owner " << owner << ": " << count
+        << " lease(s) held\n";
+  }
+  for (const JobLine& job : jobs) {
+    out << "  " << job.text << "  (" << job.dir << ")\n";
+  }
+}
+
+}  // namespace dualcast::service

@@ -556,8 +556,69 @@ bool JobStore::shard_done(int shard) const {
   return fs_->exists(shard_done_path(shard));
 }
 
-bool JobStore::try_lease(int shard, const std::string& owner) {
+bool JobStore::shard_verified_complete(int shard) const {
+  const ShardScan scan = scan_shard_log(shard);
+  if (scan.corrupt) return false;
+  const auto [begin, end] = shard_range(shard);
+  std::vector<bool> seen(static_cast<std::size_t>(end - begin), false);
+  int distinct = 0;
+  for (const TaskRecord& record : scan.records) {
+    if (record.task < begin || record.task >= end) continue;
+    const std::size_t i = static_cast<std::size_t>(record.task - begin);
+    if (!seen[i]) {
+      seen[i] = true;
+      ++distinct;
+    }
+  }
+  return distinct == end - begin;
+}
+
+bool JobStore::gc_quarantine(int shard) {
+  const std::string quarantine = shard_quarantine_path(shard);
+  if (!fs_->exists(quarantine)) return false;
+  // Only drop the evidence once the *recomputed* log checks out in full:
+  // every record re-validated against its CRC and every task of the shard
+  // covered. An incomplete or re-damaged log keeps its quarantine.
+  if (!shard_verified_complete(shard)) return false;
+  fs_->unlink(quarantine);
+  fs_->sync_dir(join_path(dir_, "shards"));
+  return true;
+}
+
+int JobStore::gc_quarantines() {
+  int removed = 0;
+  const int shards = shard_count();
+  for (int s = 0; s < shards; ++s) {
+    if (gc_quarantine(s)) ++removed;
+  }
+  return removed;
+}
+
+int JobStore::gc_expired_leases(const std::vector<std::string>& stale_owners) {
+  int removed = 0;
+  const std::int64_t now = clock_->now_seconds();
+  const int shards = shard_count();
+  for (int s = 0; s < shards; ++s) {
+    const std::string path = lease_path(s);
+    std::string text;
+    if (!fs_->read_file(path, text)) continue;
+    const auto lease = parse_lease_text(text);
+    if (!lease.has_value()) continue;  // garbled: try_lease clears those
+    if (lease->expiry > now) continue;  // live lease: never reclaimed here
+    bool reclaim = shard_done(s);
+    for (const std::string& stale : stale_owners) {
+      if (lease->owner == stale) reclaim = true;
+    }
+    if (!reclaim) continue;
+    if (fs_->unlink(path)) ++removed;
+  }
+  return removed;
+}
+
+bool JobStore::try_lease(int shard, const std::string& owner, bool* stole) {
+  if (stole != nullptr) *stole = false;
   const std::string path = lease_path(shard);
+  bool evicted_foreign = false;
   for (int attempt = 0; attempt < 2; ++attempt) {
     std::string text;
     if (fs_->read_file(path, text)) {
@@ -575,6 +636,7 @@ bool JobStore::try_lease(int shard, const std::string& owner) {
         return false;
       } else {
         fs_->unlink(path);  // expired: clear it and contend below
+        evicted_foreign = true;
       }
     }
     // Acquire: publish a fully-written lease file via link() — atomic
@@ -595,7 +657,9 @@ bool JobStore::try_lease(int shard, const std::string& owner) {
     std::string mine;
     if (!fs_->read_file(path, mine)) return false;
     const auto confirmed = parse_lease_text(mine);
-    return confirmed.has_value() && confirmed->owner == owner;
+    const bool won = confirmed.has_value() && confirmed->owner == owner;
+    if (won && evicted_foreign && stole != nullptr) *stole = true;
+    return won;
   }
   return false;
 }
@@ -623,6 +687,7 @@ void JobStore::release_lease(int shard, const std::string& owner) {
 std::vector<ShardState> JobStore::scan() const {
   std::vector<ShardState> out;
   const int shards = shard_count();
+  const std::int64_t now = clock_->now_seconds();
   out.reserve(static_cast<std::size_t>(shards));
   for (int s = 0; s < shards; ++s) {
     ShardState state;
@@ -650,11 +715,41 @@ std::vector<ShardState> JobStore::scan() const {
         state.lease_owner = lease->owner;
         state.lease_since = lease->since;
         state.lease_expiry = lease->expiry;
+        state.lease_age = lease->since > 0 ? now - lease->since : -1;
+        state.lease_stale = lease->expiry <= now;
       }
     }
     out.push_back(std::move(state));
   }
   return out;
+}
+
+std::vector<LeaseState> JobStore::scan_leases() const {
+  std::vector<LeaseState> out;
+  const std::int64_t now = clock_->now_seconds();
+  const int shards = shard_count();
+  for (int s = 0; s < shards; ++s) {
+    std::string text;
+    if (!fs_->read_file(lease_path(s), text)) continue;
+    const auto lease = parse_lease_text(text);
+    if (!lease.has_value()) continue;
+    LeaseState state;
+    state.shard = s;
+    state.owner = lease->owner;
+    state.since = lease->since;
+    state.expiry = lease->expiry;
+    state.expired = lease->expiry <= now;
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+
+int JobStore::active_lease_count() const {
+  int active = 0;
+  for (const LeaseState& lease : scan_leases()) {
+    if (!lease.expired) ++active;
+  }
+  return active;
 }
 
 }  // namespace dualcast::service

@@ -115,7 +115,11 @@ struct ShardScan {
   std::size_t good_bytes = 0;  ///< log bytes up to the last good newline
 };
 
-/// A shard's current on-disk state, as read by status/lease scans.
+/// A shard's current on-disk state, as read by status/lease scans. The
+/// lease age and staleness are computed against the *store's* clock at
+/// scan time, so an injected FakeClock makes the STALE classification
+/// fully deterministic — display code must consume these fields instead
+/// of re-deriving them from the real clock.
 struct ShardState {
   int index = 0;
   int begin = 0;  ///< first flat task (inclusive)
@@ -128,6 +132,18 @@ struct ShardState {
   std::string lease_owner;
   std::int64_t lease_since = 0;   ///< unix seconds (0 = unknown / v1 lease)
   std::int64_t lease_expiry = 0;  ///< unix seconds
+  std::int64_t lease_age = -1;    ///< now - since per the store clock (-1 = unknown)
+  bool lease_stale = false;       ///< expiry <= now per the store clock
+};
+
+/// A lease file's parsed content, from the cheap lease-only scan (no shard
+/// logs are read) — what fleet status and placement caps consume.
+struct LeaseState {
+  int shard = 0;
+  std::string owner;
+  std::int64_t since = 0;
+  std::int64_t expiry = 0;
+  bool expired = false;  ///< per the store clock
 };
 
 class JobStore {
@@ -187,13 +203,37 @@ class JobStore {
   void mark_shard_done(int shard);
   bool shard_done(int shard) const;
 
+  /// True when the shard's current log passes full CRC validation and
+  /// covers every task of the shard — the gate for quarantine GC.
+  bool shard_verified_complete(int shard) const;
+
+  // --- garbage collection ----------------------------------------------
+
+  /// Deletes the shard's quarantined log once the recomputed live log
+  /// passes CRC verification and covers the whole shard. (At most one
+  /// quarantine file exists per shard by construction — a re-quarantine
+  /// renames over the previous one, keeping only the newest.) Returns
+  /// true when a quarantine file was removed.
+  bool gc_quarantine(int shard);
+  /// gc_quarantine over every shard; returns how many were removed.
+  int gc_quarantines();
+
+  /// Reclaims lease debris: unlinks any *expired* lease whose shard is
+  /// already done, or whose owner is one of `stale_owners` (a daemon whose
+  /// fleet membership heartbeat went stale). Unexpired leases are never
+  /// touched — expiry stays the sole safety mechanism. Returns the number
+  /// of leases removed.
+  int gc_expired_leases(const std::vector<std::string>& stale_owners = {});
+
   // --- leases ----------------------------------------------------------
 
   /// Tries to acquire a shard's lease for `owner`: links a fully-written
   /// lease file into place, or steals the current lease when it is
   /// expired. Returns false when the shard is validly leased by someone
-  /// else (per this store's clock).
-  bool try_lease(int shard, const std::string& owner);
+  /// else (per this store's clock). When `stole` is non-null it is set to
+  /// whether this acquisition evicted another owner's expired lease — the
+  /// fleet's observable "lease steal" event.
+  bool try_lease(int shard, const std::string& owner, bool* stole = nullptr);
 
   /// Extends an owned lease by the job's TTL from now (the heartbeat
   /// path; preserves the lease's original `since`).
@@ -204,6 +244,14 @@ class JobStore {
 
   /// Reads every shard's state (records counted, lease parsed).
   std::vector<ShardState> scan() const;
+
+  /// Reads only the lease files (no shard logs): one entry per currently
+  /// published lease, with expiry classified against the store clock.
+  std::vector<LeaseState> scan_leases() const;
+
+  /// Count of unexpired leases (per the store clock) — the placement
+  /// policy's per-job in-flight measure across the whole fleet.
+  int active_lease_count() const;
 
  private:
   JobStore(std::string dir, JobSpec spec, const StoreEnv& env);

@@ -25,9 +25,9 @@ std::string cache_description(const scenario::ScenarioSpec& applied,
 /// Runs `workers` in-process lease loops against one store/runtime (each
 /// opens its own JobStore view so appends never share an fd).
 void run_worker_pool(const JobStore& store, const JobRuntime& runtime,
-                     int workers, std::ostream* out) {
+                     int workers, const StoreEnv& env, std::ostream* out) {
   const auto worker_body = [&](int index) {
-    JobStore view = JobStore::open(store.dir());
+    JobStore view = JobStore::open(store.dir(), env);
     WorkerOptions options;
     options.owner =
         str("pid", static_cast<long>(::getpid()), ".t", index);
@@ -139,7 +139,9 @@ ServeSummary serve(
   if (!options.cache_dir.empty()) {
     try {
       cache = std::make_unique<ResultCache>(options.cache_dir,
-                                            options.cache_max_bytes);
+                                            options.cache_max_bytes,
+                                            options.env.fs,
+                                            options.env.clock);
     } catch (const util::IoError& error) {
       if (options.out != nullptr) {
         *options.out << "warning: cannot open result cache "
@@ -178,7 +180,8 @@ ServeSummary serve(
         options.job_dir.empty()
             ? str(".dualcast-jobs/", scenario::hash_hex(job.key))
             : options.job_dir;
-    JobStore store = JobStore::create_or_attach(summary.job_dir, job);
+    JobStore store =
+        JobStore::create_or_attach(summary.job_dir, job, options.env);
     if (options.out != nullptr) {
       *options.out << "job " << scenario::hash_hex(job.key) << " in "
                    << summary.job_dir << ": " << store.total_tasks()
@@ -197,7 +200,8 @@ ServeSummary serve(
       return summary;
     }
     JobRuntime runtime(store);
-    run_worker_pool(store, runtime, options.workers, options.out);
+    run_worker_pool(store, runtime, options.workers, options.env,
+                    options.out);
     std::vector<std::string> merged =
         merge_job(store, runtime, cache.get(), options.out);
     summary.computed = static_cast<int>(to_compute.size());
@@ -272,8 +276,10 @@ void print_job_status(const JobStore& store, std::ostream& out) {
   out << "  scenarios (" << spec.scenario_names.size() << "):";
   for (const std::string& name : spec.scenario_names) out << " " << name;
   out << "\n";
+  // Lease age/staleness come from the scan itself (classified against the
+  // store's clock at scan time), so this renders deterministically under a
+  // FakeClock instead of re-deriving from wall time here.
   const std::vector<ShardState> shards = store.scan();
-  const std::int64_t now = store.clock().now_seconds();
   int completed_tasks = 0;
   int done_shards = 0;
   for (const ShardState& shard : shards) {
@@ -287,13 +293,13 @@ void print_job_status(const JobStore& store, std::ostream& out) {
     if (shard.quarantined) out << " quarantined";
     if (shard.leased) {
       out << " leased by " << shard.lease_owner << " (age ";
-      if (shard.lease_since > 0) {
-        out << (now - shard.lease_since) << "s";
+      if (shard.lease_age >= 0) {
+        out << shard.lease_age << "s";
       } else {
         out << "?";
       }
       out << ", expiry " << shard.lease_expiry << ")";
-      if (shard.lease_expiry <= now) out << " STALE";
+      if (shard.lease_stale) out << " STALE";
     }
     out << "\n";
   }

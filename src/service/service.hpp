@@ -40,6 +40,10 @@ struct ServeOptions {
   /// Recompute cached scenarios anyway and fail on any row mismatch — the
   /// cache-hit verifiability knob.
   bool verify_cache = false;
+  /// Injectable fs/clock seams, threaded into the cache, the job store,
+  /// and every worker view this serve opens (tests pin a FaultyFs or a
+  /// FakeClock here; production leaves the defaults).
+  StoreEnv env;
   std::ostream* out = nullptr;  ///< progress + summary lines, when set
 };
 

@@ -15,6 +15,7 @@
 #include "scenario/cli.hpp"
 #include "service/daemon.hpp"
 #include "service/service.hpp"
+#include "service/soak.hpp"
 #include "util/strfmt.hpp"
 
 namespace dualcast::service {
@@ -110,16 +111,33 @@ void print_service_usage(std::ostream& os, const char* binary) {
      << " daemon --jobs-dir D [daemon options]\n"
         "      Watch D for dropped job directories, work them to\n"
         "      completion, and merge results into the cache. Polling\n"
-        "      backs off while idle. SIGTERM/SIGINT stop cleanly with\n"
-        "      all leases released.\n"
+        "      backs off while idle. The daemon publishes a fleet\n"
+        "      membership file under D/fleet/ (heartbeat at TTL/3) and\n"
+        "      runs a gc sweep at the same cadence. SIGTERM/SIGINT stop\n"
+        "      cleanly with all leases released and the member file\n"
+        "      removed.\n"
         "        --cache-dir C / --no-cache / --cache-max-bytes B\n"
         "                         as in serve (unwritable cache degrades\n"
         "                         to compute-without-cache with a warning)\n"
-        "        --owner TOKEN    lease owner token\n"
+        "        --owner TOKEN    lease owner token == fleet member id\n"
         "        --poll-ms M      idle backoff start (default 100)\n"
         "        --max-poll-ms M  idle backoff cap (default 2000)\n"
         "        --max-cycles N   exit after N poll cycles (default: run\n"
         "                         until signalled)\n"
+        "        --placement P    fifo | fair | random (default fifo):\n"
+        "                         how shard claims spread across jobs;\n"
+        "                         fair interleaves one shard at a time\n"
+        "                         with aging + a per-job in-flight cap\n"
+        "        --inflight-cap N under fair: prefer jobs holding fewer\n"
+        "                         than N unexpired leases fleet-wide\n"
+        "                         (default 2; soft — never starves)\n"
+        "        --member-ttl S   membership heartbeat TTL (default 15)\n"
+        "        --seed S         placement jitter seed (default: derived\n"
+        "                         from the owner token)\n"
+        "        --fault-crash-op N\n"
+        "                         test hook: die (uncatchable, like\n"
+        "                         kill -9) at the N-th filesystem\n"
+        "                         operation this daemon performs\n"
         "\n"
         "  " << binary
      << " merge --job-dir D [--json FILE] [--cache-dir C] [--no-cache]\n"
@@ -130,9 +148,42 @@ void print_service_usage(std::ostream& os, const char* binary) {
         "      any shard log is corrupt or the job is incomplete.\n"
         "\n"
         "  " << binary
-     << " status --job-dir D\n"
-        "      Report the job's shards, leases (with age; STALE when\n"
-        "      expired), quarantines, and progress.\n";
+     << " status --job-dir D | --jobs-dir D\n"
+        "      --job-dir: report one job's shards, leases (with age;\n"
+        "      STALE when expired), quarantines, and progress.\n"
+        "      --jobs-dir: the fleet view — every member daemon\n"
+        "      (live/STALE, heartbeat age, shards/sec, held leases) and\n"
+        "      every job's progress.\n"
+        "\n"
+        "  " << binary
+     << " gc --jobs-dir D\n"
+        "      One garbage-collection sweep: reap stale fleet members,\n"
+        "      reclaim expired lease debris (done shards or stale\n"
+        "      owners), delete quarantined shard logs whose recomputed\n"
+        "      replacement passed CRC verification. Daemons run this\n"
+        "      sweep automatically at heartbeat cadence.\n"
+        "\n"
+        "  " << binary
+     << " soak [--daemons N] [--kill-seed S] [soak options]\n"
+        "      Fleet kill-storm drill: drop one big + several small jobs\n"
+        "      in a fresh directory, spawn N real daemon processes, and\n"
+        "      SIGKILL/restart them on a seeded schedule while they\n"
+        "      drain. Exits nonzero unless every job completes, every\n"
+        "      merge is byte-identical to a single-process run, and (when\n"
+        "      kills happened) at least one lease steal was observed.\n"
+        "        --daemons N / --kills N / --kill-interval-ms M\n"
+        "        --kill-seed S    seeds the victim sequence (replayable)\n"
+        "        --placement P    fleet placement policy (default fair)\n"
+        "        --small-jobs N / --big-trials T / --small-trials T\n"
+        "        --shard-tasks K / --lease-ttl S / --member-ttl S\n"
+        "        --dir D          working directory (default\n"
+        "                         .dualcast-soak; wiped at start)\n"
+        "        --timeout S      liveness deadline (default 300)\n"
+        "        --fault-crash-op N\n"
+        "                         also arm each first-generation daemon\n"
+        "                         with the FaultyFs crash hook\n"
+        "        --no-require-steal\n"
+        "                         don't fail when kills produced no steal\n";
 }
 
 int serve_main(int argc, char** argv) {
@@ -246,6 +297,7 @@ int daemon_main(int argc, char** argv) {
   DaemonOptions options;
   options.cache_dir = kDefaultCacheDir;
   options.log = &std::cout;
+  int fault_crash_op = -1;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--jobs-dir") {
@@ -268,6 +320,20 @@ int daemon_main(int argc, char** argv) {
     } else if (arg == "--max-cycles") {
       options.max_cycles =
           parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--placement") {
+      options.placement =
+          parse_placement(flag_value(arg, argc, argv, i));
+    } else if (arg == "--inflight-cap") {
+      options.inflight_cap =
+          scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--member-ttl") {
+      options.member_ttl_seconds =
+          scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--seed") {
+      options.seed = parse_u64_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--fault-crash-op") {
+      fault_crash_op =
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--help" || arg == "-h") {
       print_service_usage(std::cout, argv[0]);
       return 0;
@@ -278,10 +344,25 @@ int daemon_main(int argc, char** argv) {
   if (options.jobs_dir.empty()) {
     throw ScenarioError("daemon: --jobs-dir is required");
   }
+  // Unbuffered progress: a SIGKILLed daemon (the soak harness's whole
+  // point) must not take its logged steal/claim evidence down with it.
+  std::cout << std::unitbuf;
+  // The fault hook mirrors the worker's: wrap the real filesystem so the
+  // injected death is indistinguishable from a kill at that syscall.
+  std::unique_ptr<util::FaultyFs> faulty;
+  StoreEnv env;
+  if (fault_crash_op >= 0) {
+    faulty = std::make_unique<util::FaultyFs>(util::real_fs());
+    util::InjectedFault fault;
+    fault.kind = util::InjectedFault::Kind::crash;
+    fault.at = fault_crash_op;
+    faulty->inject(fault);
+    env.fs = faulty.get();
+  }
   std::signal(SIGTERM, request_stop);
   std::signal(SIGINT, request_stop);
   options.stop = &g_stop;
-  const DaemonReport report = run_daemon(options);
+  const DaemonReport report = run_daemon(options, env);
   std::cout << "daemon exit: " << report.cycles << " cycle(s), "
             << report.jobs_seen << " job(s) seen, " << report.jobs_completed
             << " completed, " << report.tasks_executed
@@ -290,9 +371,98 @@ int daemon_main(int argc, char** argv) {
     std::cout << ", " << report.shards_quarantined
               << " corrupt shard(s) quarantined";
   }
+  if (report.leases_stolen > 0) {
+    std::cout << ", " << report.leases_stolen << " lease(s) stolen";
+  }
+  if (report.members_reaped > 0 || report.leases_reclaimed > 0 ||
+      report.quarantines_removed > 0) {
+    std::cout << ", gc " << report.members_reaped << "/"
+              << report.leases_reclaimed << "/"
+              << report.quarantines_removed
+              << " member(s)/lease(s)/quarantine(s)";
+  }
   if (report.stopped) std::cout << " [stopped by signal]";
   std::cout << "\n";
   return 0;
+}
+
+int gc_main(int argc, char** argv) {
+  std::string jobs_dir;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs-dir") {
+      jobs_dir = flag_value(arg, argc, argv, i);
+    } else if (arg == "--help" || arg == "-h") {
+      print_service_usage(std::cout, argv[0]);
+      return 0;
+    } else {
+      throw ScenarioError(str("gc: unknown argument \"", arg, "\""));
+    }
+  }
+  if (jobs_dir.empty()) throw ScenarioError("gc: --jobs-dir is required");
+  const GcReport report = gc_sweep(jobs_dir, {}, &std::cout);
+  std::cout << "gc: " << report.jobs_swept << " job(s) swept, "
+            << report.members_reaped << " stale member(s) reaped, "
+            << report.leases_reclaimed << " expired lease(s) reclaimed, "
+            << report.quarantines_removed << " quarantine(s) removed\n";
+  return 0;
+}
+
+int soak_main(int argc, char** argv) {
+  SoakOptions options;
+  options.log = &std::cout;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--daemons") {
+      options.daemons =
+          scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--kill-seed") {
+      options.kill_seed =
+          parse_u64_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--kills") {
+      options.kills = parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--kill-interval-ms") {
+      options.kill_interval_ms =
+          scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--placement") {
+      options.placement = parse_placement(flag_value(arg, argc, argv, i));
+    } else if (arg == "--small-jobs") {
+      options.small_jobs =
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--big-trials") {
+      options.big_trials =
+          scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--small-trials") {
+      options.small_trials =
+          scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--shard-tasks") {
+      options.shard_tasks =
+          scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--lease-ttl") {
+      options.lease_ttl_seconds =
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--member-ttl") {
+      options.member_ttl_seconds =
+          scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--dir") {
+      options.dir = flag_value(arg, argc, argv, i);
+    } else if (arg == "--timeout") {
+      options.timeout_seconds =
+          scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--fault-crash-op") {
+      options.fault_crash_op =
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--no-require-steal") {
+      options.require_steal = false;
+    } else if (arg == "--help" || arg == "-h") {
+      print_service_usage(std::cout, argv[0]);
+      return 0;
+    } else {
+      throw ScenarioError(str("soak: unknown argument \"", arg, "\""));
+    }
+  }
+  const SoakReport report = run_soak(options);
+  return report.ok ? 0 : 1;
 }
 
 int merge_main(int argc, char** argv) {
@@ -347,10 +517,13 @@ int merge_main(int argc, char** argv) {
 
 int status_main(int argc, char** argv) {
   std::string job_dir;
+  std::string jobs_dir;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--job-dir") {
       job_dir = flag_value(arg, argc, argv, i);
+    } else if (arg == "--jobs-dir") {
+      jobs_dir = flag_value(arg, argc, argv, i);
     } else if (arg == "--help" || arg == "-h") {
       print_service_usage(std::cout, argv[0]);
       return 0;
@@ -358,7 +531,13 @@ int status_main(int argc, char** argv) {
       throw ScenarioError(str("status: unknown argument \"", arg, "\""));
     }
   }
-  if (job_dir.empty()) throw ScenarioError("status: --job-dir is required");
+  if (!jobs_dir.empty()) {
+    print_fleet_status(jobs_dir, {}, std::cout);
+    return 0;
+  }
+  if (job_dir.empty()) {
+    throw ScenarioError("status: --job-dir or --jobs-dir is required");
+  }
   const JobStore store = JobStore::open(job_dir);
   print_job_status(store, std::cout);
   return 0;
@@ -369,7 +548,8 @@ int status_main(int argc, char** argv) {
 bool is_service_command(const char* arg) {
   return std::strcmp(arg, "serve") == 0 || std::strcmp(arg, "worker") == 0 ||
          std::strcmp(arg, "daemon") == 0 || std::strcmp(arg, "merge") == 0 ||
-         std::strcmp(arg, "status") == 0;
+         std::strcmp(arg, "status") == 0 || std::strcmp(arg, "gc") == 0 ||
+         std::strcmp(arg, "soak") == 0;
 }
 
 int service_main(int argc, char** argv) {
@@ -380,6 +560,8 @@ int service_main(int argc, char** argv) {
     if (command == "daemon") return daemon_main(argc, argv);
     if (command == "merge") return merge_main(argc, argv);
     if (command == "status") return status_main(argc, argv);
+    if (command == "gc") return gc_main(argc, argv);
+    if (command == "soak") return soak_main(argc, argv);
     throw ScenarioError(str("unknown service command \"", command, "\""));
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";

@@ -10,10 +10,14 @@
 //                  [--fault-crash-op N]
 //   <bench> daemon --jobs-dir D [--cache-dir C] [--no-cache]
 //                  [--cache-max-bytes B] [--owner TOKEN] [--poll-ms M]
-//                  [--max-poll-ms M] [--max-cycles N]
+//                  [--max-poll-ms M] [--max-cycles N] [--placement P]
+//                  [--inflight-cap N] [--member-ttl S] [--seed S]
+//                  [--fault-crash-op N]
 //   <bench> merge  --job-dir D [--json FILE] [--cache-dir C] [--no-cache]
 //                  [--cache-max-bytes B]
-//   <bench> status --job-dir D
+//   <bench> status --job-dir D | --jobs-dir D
+//   <bench> gc     --jobs-dir D
+//   <bench> soak   [--daemons N] [--kill-seed S] [--kills N] [...]
 //
 // run_main() forwards here whenever argv[1] names a subcommand, so every
 // bench binary carries the full service. worker and daemon install
@@ -21,7 +25,8 @@
 
 namespace dualcast::service {
 
-/// True when `arg` is "serve", "worker", "daemon", "merge", or "status".
+/// True when `arg` is "serve", "worker", "daemon", "merge", "status",
+/// "gc", or "soak".
 bool is_service_command(const char* arg);
 
 /// Parses argv (argv[1] = subcommand) and runs it. Returns a process exit

@@ -1,0 +1,83 @@
+#pragma once
+
+// Kill-storm soak harness for the daemon fleet.
+//
+// run_soak() is the end-to-end robustness drill behind
+// `dualcast_bench soak`: it lays down one big job and several small jobs
+// in a fresh jobs directory, spawns N *real* daemon processes (fork +
+// exec of this binary) against it, and drives a seeded SIGKILL/restart
+// schedule while they drain the work. Dead daemons are respawned; the
+// storm can additionally arm each first-generation daemon with the
+// `--fault-crash-op` FaultyFs crash hook so injected filesystem deaths
+// compose with external kills.
+//
+// The verdict is the service's whole contract at once:
+//   * liveness — every job's every shard completes within the timeout
+//     despite the kills (leases expire, survivors steal, respawns rejoin);
+//   * safety — re-merging each job in-process yields rows byte-identical
+//     to a single-process run_scenarios() of the same selection;
+//   * the mechanism actually fired — at least one "stole expired lease"
+//     event was observed across the daemon logs (when kills happened and
+//     `require_steal` is set).
+//
+// Determinism note: the kill *schedule* (victim sequence) is a pure
+// function of `kill_seed`, so a failing storm can be replayed; wall-clock
+// interleaving of course is not, which is exactly what the byte-identical
+// check is for.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "service/fleet.hpp"
+
+namespace dualcast::service {
+
+struct SoakOptions {
+  /// Bench binary to exec for daemon processes; empty = this binary
+  /// (/proc/self/exe).
+  std::string binary;
+  /// Working directory (wiped at start): jobs/, logs/, per-run artifacts.
+  std::string dir = ".dualcast-soak";
+  int daemons = 4;
+  /// Jobs = one big job (big_trials) + this many small ones
+  /// (small_trials, small_trials+1, ... — distinct keys).
+  int small_jobs = 2;
+  int big_trials = 40;
+  int small_trials = 4;
+  int shard_tasks = 5;
+  int lease_ttl_seconds = 2;    ///< short: steals happen within the storm
+  int member_ttl_seconds = 4;   ///< stale detection well inside the run
+  Placement placement = Placement::fair;
+  std::uint64_t kill_seed = 7;  ///< seeds the victim sequence
+  int kills = 6;                ///< SIGKILLs delivered across the storm
+  int kill_interval_ms = 600;
+  /// Also arm each first-generation daemon with `--fault-crash-op N`
+  /// (respawns run clean, so an early injected death cannot crash-loop).
+  int fault_crash_op = -1;
+  int timeout_seconds = 300;
+  /// Fail the verdict when kills happened but no lease steal was observed.
+  bool require_steal = true;
+  std::ostream* log = nullptr;
+};
+
+struct SoakReport {
+  int jobs = 0;
+  int total_tasks = 0;    ///< across all jobs
+  int kills = 0;          ///< SIGKILLs actually delivered
+  int crashes = 0;        ///< daemons that died on their own (fault hook)
+  int restarts = 0;       ///< respawns after kills/crashes
+  int steals = 0;         ///< "stole expired lease" lines across logs
+  bool completed = false; ///< every shard of every job done in time
+  bool identical = false; ///< every merge matched its reference bytes
+  bool ok = false;        ///< overall verdict (incl. require_steal)
+  std::vector<std::string> failures;  ///< human-readable verdict details
+};
+
+/// Runs the storm (see file comment). Throws ScenarioError on setup
+/// errors (bad options, catalog trouble); storm-phase trouble lands in
+/// the report instead.
+SoakReport run_soak(const SoakOptions& options);
+
+}  // namespace dualcast::service

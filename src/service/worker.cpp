@@ -135,11 +135,13 @@ WorkerReport run_worker(JobStore& store, const JobRuntime& runtime,
 
   // Corrupt shard logs block both workers (bad watermark) and the merger;
   // quarantine them up front so this run recomputes from the good prefix.
-  for (const int shard : store.recover_all()) {
-    ++report.shards_quarantined;
-    if (options.log != nullptr) {
-      *options.log << "worker " << owner << ": quarantined corrupt shard "
-                   << shard << " log; recomputing from watermark\n";
+  if (options.recover) {
+    for (const int shard : store.recover_all()) {
+      ++report.shards_quarantined;
+      if (options.log != nullptr) {
+        *options.log << "worker " << owner << ": quarantined corrupt shard "
+                     << shard << " log; recomputing from watermark\n";
+      }
     }
   }
 
@@ -149,20 +151,49 @@ WorkerReport run_worker(JobStore& store, const JobRuntime& runtime,
       report.stopped = true;
       break;
     }
-    // Claim pass: first incomplete shard whose lease we can take. A full
-    // sweep with no claim means every remaining shard is done or validly
-    // leased to a live worker — this worker's job is over (a later `worker`
-    // invocation picks up anything an expired lease leaves behind).
+    // Claim pass: first incomplete shard (in claim order) whose lease we
+    // can take. A full sweep with no claim means every remaining shard is
+    // done or validly leased to a live worker — this worker's job is over
+    // (a later `worker` invocation picks up anything an expired lease
+    // leaves behind).
     int claimed = -1;
-    for (int s = 0; s < shards && claimed < 0; ++s) {
-      if (store.shard_done(s)) continue;
-      if (store.try_lease(s, owner)) claimed = s;
+    bool stole = false;
+    const auto try_claim = [&](int s) {
+      if (s < 0 || s >= shards || store.shard_done(s)) return;
+      if (store.try_lease(s, owner, &stole)) claimed = s;
+    };
+    if (options.shard_order.empty()) {
+      for (int s = 0; s < shards && claimed < 0; ++s) try_claim(s);
+    } else {
+      for (std::size_t i = 0;
+           i < options.shard_order.size() && claimed < 0; ++i) {
+        try_claim(options.shard_order[i]);
+      }
     }
     if (claimed < 0) break;
+    if (stole) {
+      ++report.leases_stolen;
+      if (options.log != nullptr) {
+        *options.log << "worker " << owner
+                     << ": stole expired lease on shard " << claimed << "\n";
+      }
+    }
 
+    // Replay the claimed shard's log for the resume watermark. A log that
+    // went corrupt since the entry sweep self-heals here — we hold the
+    // lease, so quarantining and rewriting the good prefix is race-free.
+    ShardScan scan = store.scan_shard_log(claimed);
+    if (scan.corrupt) {
+      scan = store.recover_shard(claimed);
+      ++report.shards_quarantined;
+      if (options.log != nullptr) {
+        *options.log << "worker " << owner << ": quarantined corrupt shard "
+                     << claimed << " log; recomputing from watermark\n";
+      }
+    }
     const auto [begin, end] = store.shard_range(claimed);
     std::vector<bool> recorded(static_cast<std::size_t>(end - begin), false);
-    for (const TaskRecord& record : store.read_shard_records(claimed)) {
+    for (const TaskRecord& record : scan.records) {
       if (record.task >= begin && record.task < end) {
         recorded[static_cast<std::size_t>(record.task - begin)] = true;
       }
@@ -196,6 +227,26 @@ WorkerReport run_worker(JobStore& store, const JobRuntime& runtime,
         ++report.tasks_executed;
       }
       with_retry([&] { store.mark_shard_done(claimed); });
+    }
+    // The shard is complete: if a quarantined log sits beside it, the
+    // recompute has superseded it — drop it once the fresh log passes CRC
+    // verification. Advisory cleanup: an IO failure here must not fail
+    // the shard (InjectedCrash is not an IoError and still unwinds).
+    try {
+      if (store.gc_quarantine(claimed)) {
+        ++report.quarantines_cleared;
+        if (options.log != nullptr) {
+          *options.log << "worker " << owner
+                       << ": cleared quarantine for shard " << claimed
+                       << " (recomputed log verified)\n";
+        }
+      }
+    } catch (const util::IoError& error) {
+      if (options.log != nullptr) {
+        *options.log << "worker " << owner << ": quarantine GC on shard "
+                     << claimed << " failed (" << error.what()
+                     << "); leaving it for the next sweep\n";
+      }
     }
     store.release_lease(claimed, owner);
     ++report.shards_completed;

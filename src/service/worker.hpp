@@ -64,6 +64,16 @@ struct WorkerOptions {
   /// Stop after completing this many shards (< 0 = run until no shard is
   /// claimable).
   int max_shards = -1;
+  /// Claim preference order over shard indices (empty = natural order).
+  /// The daemon's placement layer passes jittered rotations here so
+  /// contending fleet members do not all hammer shard 0; out-of-range
+  /// entries are skipped.
+  std::vector<int> shard_order;
+  /// Run the full corrupt-log recovery sweep before claiming (the plain
+  /// `worker` CLI default). The daemon turns this off — it recovers at
+  /// job pickup and in its gc sweep instead, and every claim re-validates
+  /// (and self-heals) its own shard log regardless.
+  bool recover = true;
   /// Cooperative stop: when set and it becomes true, the worker abandons
   /// work at the next task boundary, releases its lease, and returns.
   const std::atomic<bool>* stop = nullptr;
@@ -79,8 +89,11 @@ struct WorkerReport {
   int shards_completed = 0;
   int shards_quarantined = 0;  ///< corrupt logs recovered before working
   int tasks_executed = 0;
-  int tasks_skipped = 0;  ///< found already recorded (resume)
-  bool stopped = false;   ///< returned early via the stop flag
+  int tasks_skipped = 0;   ///< found already recorded (resume)
+  int leases_stolen = 0;   ///< expired foreign leases evicted on acquire
+  int quarantines_cleared = 0;  ///< quarantine files GC'd after verified
+                                ///< recompute of their shard
+  bool stopped = false;    ///< returned early via the stop flag
 };
 
 /// The worker lease loop (see file comment).

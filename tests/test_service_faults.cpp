@@ -248,14 +248,17 @@ TEST(ServiceFaultMatrix, CorruptShardIsNeverMergedAndRecomputesIdentical) {
   }
 
   // A worker quarantines, recomputes from the watermark, and the merge is
-  // byte-identical again (the quarantined log is kept as evidence).
+  // byte-identical again. The quarantined log is evidence only while the
+  // recompute is pending: once the fresh log passes CRC verification the
+  // worker GCs it, so quarantine files never accumulate.
   const std::uint64_t trials_before = trials_executed();
   WorkerOptions recover;
   recover.owner = "recoverer";
   const WorkerReport report = run_worker(store, runtime, recover);
   EXPECT_EQ(report.shards_quarantined, 1);
+  EXPECT_EQ(report.quarantines_cleared, 1);
   EXPECT_GT(trials_executed() - trials_before, 0u);
-  EXPECT_TRUE(fs::exists(fs::path(dir) / "shards" / "shard_1.quarantine"));
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "shards" / "shard_1.quarantine"));
   JobRuntime merge_runtime(store);
   EXPECT_EQ(merge_job(store, merge_runtime, nullptr), reference_rows());
 }

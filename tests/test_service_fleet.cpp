@@ -1,0 +1,363 @@
+// Fleet coordination: membership publish/scan/stale/reap (deterministic
+// under a FakeClock), the gc sweep's orphan lifecycle (stale members'
+// lease debris, superseded quarantines), the fleet status view, placement
+// policies (fair finishes a small job before a concurrent big one; fifo
+// does not), and the two-daemon contract: concurrent daemons on one jobs
+// directory drain disjoint shard sets with no duplicate trial execution.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "analysis/trials.hpp"
+#include "service/daemon.hpp"
+#include "service/fleet.hpp"
+#include "service/service.hpp"
+
+namespace dualcast::service {
+namespace {
+
+namespace fs = std::filesystem;
+using scenario::ScenarioSpec;
+using util::FakeClock;
+
+const ScenarioSpec& mini_scenario() {
+  static const std::string name = "svc-test/fleet-mini";
+  if (!scenario::scenarios().contains(name)) {
+    ScenarioSpec spec;
+    spec.name = name;
+    spec.title = "service fleet mini";
+    spec.topology = "dual_clique({x})";
+    spec.problem = "global(1)";
+    spec.sweep = {8, 12};
+    spec.trials = 3;
+    spec.base_seed = 66;
+    spec.max_rounds = "200*n";
+    spec.columns = {
+        {"decay+iid", "decay_global(permuted,persistent)", "iid(0.5)", ""},
+        {"robin+collider", "round_robin", "collider", ""},
+    };
+    scenario::scenarios().add(spec);
+  }
+  return scenario::scenarios().get(name);
+}
+
+std::string fresh_dir(const std::string& tag) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / ("dualcast_fleet_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// Drops a job for the mini scenario with `trials` (the job-identity
+/// knob) into `jobs_dir`/`name`.
+std::string drop_job(const std::string& jobs_dir, const std::string& name,
+                     int trials, int shard_tasks = 4,
+                     int lease_ttl_seconds = 60) {
+  scenario::RunOptions run_options;
+  run_options.trials_override = trials;
+  const JobSpec job = make_job_spec({&mini_scenario()}, run_options,
+                                    shard_tasks, lease_ttl_seconds);
+  const std::string dir = jobs_dir + "/" + name;
+  JobStore::create_or_attach(dir, job);
+  return dir;
+}
+
+TEST(FleetRegistry, PublishScanStaleReapUnderFakeClock) {
+  const std::string jobs_dir = fresh_dir("registry");
+  FakeClock clock(1000);
+  StoreEnv env;
+  env.clock = &clock;
+  FleetRegistry fleet(jobs_dir, env);
+
+  MemberRecord a;
+  a.id = "alpha";
+  a.pid = 11;
+  a.placement = "fair";
+  a.ttl_seconds = 10;
+  MemberRecord b;
+  b.id = "beta";
+  b.pid = 22;
+  b.ttl_seconds = 10;
+  fleet.publish(a);
+  fleet.publish(b);
+
+  std::vector<MemberState> members = fleet.scan();
+  ASSERT_EQ(members.size(), 2u);
+  for (const MemberState& member : members) {
+    EXPECT_FALSE(member.stale);
+    EXPECT_EQ(member.age, 0);
+    EXPECT_EQ(member.record.heartbeat, 1000);
+  }
+
+  // alpha renews at t=1006; at t=1011 beta (heartbeat 1000, ttl 10) is
+  // exactly stale (1000 + 10 <= 1011) while alpha is 5s fresh. Pure
+  // FakeClock arithmetic — no sleeping, no wall-clock flake.
+  clock.advance(6);
+  fleet.publish(a);
+  clock.advance(5);
+  members = fleet.scan();
+  ASSERT_EQ(members.size(), 2u);
+  for (const MemberState& member : members) {
+    if (member.record.id == "alpha") {
+      EXPECT_FALSE(member.stale);
+      EXPECT_EQ(member.age, 5);
+      EXPECT_EQ(member.record.placement, "fair");
+    } else {
+      EXPECT_TRUE(member.stale);
+      EXPECT_EQ(member.age, 11);
+    }
+  }
+
+  const std::vector<std::string> reaped = fleet.reap_stale();
+  ASSERT_EQ(reaped.size(), 1u);
+  EXPECT_EQ(reaped[0], "beta");
+  EXPECT_EQ(fleet.scan().size(), 1u);
+
+  // Clean deregistration removes the file; a second remove is a no-op.
+  fleet.remove("alpha");
+  fleet.remove("alpha");
+  EXPECT_TRUE(fleet.scan().empty());
+}
+
+TEST(FleetGc, SweepReclaimsStaleOwnerLeasesAndVerifiedQuarantines) {
+  const std::string jobs_dir = fresh_dir("gc");
+  FakeClock clock(5000);
+  StoreEnv env;
+  env.clock = &clock;
+  const std::string job_dir =
+      drop_job(jobs_dir, "job1", /*trials=*/3, /*shard_tasks=*/4,
+               /*lease_ttl_seconds=*/30);
+
+  // A daemon "ghost" leases shard 0, heartbeats its membership once, and
+  // vanishes. Its lease expires at 5030, its membership at 5010.
+  JobStore store = JobStore::open(job_dir, env);
+  ASSERT_TRUE(store.try_lease(0, "ghost"));
+  FleetRegistry fleet(jobs_dir, env);
+  MemberRecord ghost;
+  ghost.id = "ghost";
+  ghost.ttl_seconds = 10;
+  fleet.publish(ghost);
+
+  // Before anything expires the sweep must touch nothing: the lease is
+  // live (expiry is the sole safety mechanism) and the member is fresh.
+  GcReport untouched = gc_sweep(jobs_dir, env);
+  EXPECT_EQ(untouched.jobs_swept, 1);
+  EXPECT_EQ(untouched.members_reaped, 0);
+  EXPECT_EQ(untouched.leases_reclaimed, 0);
+  ASSERT_EQ(store.scan_leases().size(), 1u);
+
+  // One sweep after both went stale: the member is reaped AND its expired
+  // lease reclaimed in the same pass — the reaped ids feed straight into
+  // per-job lease reclamation, which is why daemons sweep at heartbeat
+  // cadence (membership outlives the lease TTL it vouches for).
+  clock.advance(35);  // member stale at 5010, lease expired at 5030
+  GcReport reaped = gc_sweep(jobs_dir, env);
+  EXPECT_EQ(reaped.members_reaped, 1);
+  EXPECT_EQ(reaped.leases_reclaimed, 1);
+  EXPECT_TRUE(store.scan_leases().empty());
+
+  // Done-shard debris needs no membership hint: complete the job, park an
+  // expired lease of an unknown owner on a done shard, and the sweep
+  // removes it (the shard's records are final; the lease guards nothing).
+  const JobRuntime runtime(store);
+  WorkerOptions finish;
+  finish.owner = "live";
+  run_worker(store, runtime, finish);
+  ASSERT_TRUE(store.try_lease(1, "straggler"));
+  clock.advance(40);
+  GcReport cleaned = gc_sweep(jobs_dir, env);
+  EXPECT_EQ(cleaned.leases_reclaimed, 1);
+  EXPECT_TRUE(store.scan_leases().empty());
+
+  // Quarantine GC: a quarantine file beside a shard whose live log
+  // verifies is superseded evidence — the sweep deletes it.
+  const fs::path quarantine =
+      fs::path(job_dir) / "shards" / "shard_0.quarantine";
+  std::ofstream(quarantine) << "old rotten log\n";
+  GcReport swept = gc_sweep(jobs_dir, env);
+  EXPECT_EQ(swept.quarantines_removed, 1);
+  EXPECT_FALSE(fs::exists(quarantine));
+}
+
+TEST(FleetStatus, RendersMembersAndJobsDeterministicallyUnderFakeClock) {
+  const std::string jobs_dir = fresh_dir("status");
+  FakeClock clock(9000);
+  StoreEnv env;
+  env.clock = &clock;
+  const std::string job_dir = drop_job(jobs_dir, "job1", /*trials=*/3);
+
+  JobStore store = JobStore::open(job_dir, env);
+  ASSERT_TRUE(store.try_lease(0, "live-d"));
+
+  FleetRegistry fleet(jobs_dir, env);
+  MemberRecord live;
+  live.id = "live-d";
+  live.placement = "fair";
+  live.ttl_seconds = 15;
+  fleet.publish(live);
+  MemberRecord dead;
+  dead.id = "dead-d";
+  dead.ttl_seconds = 15;
+  fleet.publish(dead);
+  clock.advance(20);
+  fleet.publish(live);  // renews; dead-d's heartbeat is now 20s old
+
+  std::ostringstream out;
+  print_fleet_status(jobs_dir, env, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("daemon live-d [live]"), std::string::npos) << text;
+  EXPECT_NE(text.find("daemon dead-d [STALE]"), std::string::npos) << text;
+  EXPECT_NE(text.find("heartbeat 20s ago"), std::string::npos) << text;
+  EXPECT_NE(text.find("placement fair"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 lease(s) held"), std::string::npos) << text;
+  EXPECT_NE(text.find("0/12 tasks"), std::string::npos) << text;
+
+  // Deterministic: the same fake instant renders the same bytes.
+  std::ostringstream again;
+  print_fleet_status(jobs_dir, env, again);
+  EXPECT_EQ(text, again.str());
+}
+
+TEST(FleetStatus, JobStatusStaleLabelIsClockDeterministic) {
+  // Satellite of the fleet view: single-job `status` derives lease age
+  // and STALE from the *store's* clock at scan time, so a FakeClock pins
+  // the rendered bytes.
+  const std::string jobs_dir = fresh_dir("jobstatus");
+  FakeClock clock(100);
+  StoreEnv env;
+  env.clock = &clock;
+  const std::string job_dir =
+      drop_job(jobs_dir, "job1", /*trials=*/3, /*shard_tasks=*/4,
+               /*lease_ttl_seconds=*/30);
+  JobStore store = JobStore::open(job_dir, env);
+  ASSERT_TRUE(store.try_lease(0, "ager"));
+
+  clock.advance(7);
+  std::ostringstream young;
+  print_job_status(store, young);
+  EXPECT_NE(young.str().find("leased by ager (age 7s"), std::string::npos)
+      << young.str();
+  EXPECT_EQ(young.str().find("STALE"), std::string::npos) << young.str();
+
+  clock.advance(25);  // age 32 > ttl 30: expired, rendered STALE
+  std::ostringstream stale;
+  print_job_status(store, stale);
+  EXPECT_NE(stale.str().find("leased by ager (age 32s"), std::string::npos)
+      << stale.str();
+  EXPECT_NE(stale.str().find("STALE"), std::string::npos) << stale.str();
+}
+
+TEST(FleetPlacement, FairFinishesSmallJobBeforeBigAndFifoDoesNot) {
+  // a_big sorts (and is discovered) before b_small. Under fifo the daemon
+  // full-drains a_big first; under fair the one-shard b_small interleaves
+  // and completes while a_big is still being worked.
+  const auto run_once = [&](Placement placement, const std::string& tag) {
+    const std::string jobs_dir = fresh_dir("placement_" + tag);
+    const std::string big_dir =
+        drop_job(jobs_dir, "a_big", /*trials=*/9, /*shard_tasks=*/4);
+    const std::string small_dir =
+        drop_job(jobs_dir, "b_small", /*trials=*/1, /*shard_tasks=*/4);
+    std::ostringstream log;
+    DaemonOptions options;
+    options.jobs_dir = jobs_dir;
+    options.cache_dir.clear();
+    options.owner = "placement-" + tag;
+    options.placement = placement;
+    options.max_cycles = 10;
+    options.poll_initial_ms = 1;
+    options.poll_max_ms = 2;
+    options.log = &log;
+    const DaemonReport report = run_daemon(options);
+    EXPECT_EQ(report.jobs_completed, 2) << log.str();
+    const std::string text = log.str();
+    const std::size_t big_done = text.find("completed job in " + big_dir);
+    const std::size_t small_done =
+        text.find("completed job in " + small_dir);
+    EXPECT_NE(big_done, std::string::npos) << text;
+    EXPECT_NE(small_done, std::string::npos) << text;
+    return std::make_pair(big_done, small_done);
+  };
+
+  const auto [fifo_big, fifo_small] = run_once(Placement::fifo, "fifo");
+  EXPECT_LT(fifo_big, fifo_small)
+      << "fifo must drain the first-discovered (big) job first";
+  const auto [fair_big, fair_small] = run_once(Placement::fair, "fair");
+  EXPECT_LT(fair_small, fair_big)
+      << "fair must complete the small job before the big drain finishes";
+}
+
+TEST(FleetDaemons, TwoDaemonsDrainDisjointShardSetsWithNoDuplicateWork) {
+  const std::string jobs_dir = fresh_dir("twodaemons");
+  const std::string dir_a =
+      drop_job(jobs_dir, "job_a", /*trials=*/6, /*shard_tasks=*/3);
+  const std::string dir_b =
+      drop_job(jobs_dir, "job_b", /*trials=*/5, /*shard_tasks=*/3);
+  const std::uint64_t trials_before = trials_executed();
+
+  const auto daemon_body = [&](const std::string& owner,
+                               DaemonReport* report,
+                               std::ostringstream* log) {
+    DaemonOptions options;
+    options.jobs_dir = jobs_dir;
+    options.cache_dir.clear();
+    options.owner = owner;
+    options.placement = Placement::fair;
+    options.max_cycles = 40;
+    options.poll_initial_ms = 1;
+    options.poll_max_ms = 5;
+    options.log = log;
+    *report = run_daemon(options);
+  };
+  DaemonReport a;
+  DaemonReport b;
+  std::ostringstream log_a;
+  std::ostringstream log_b;
+  std::thread thread_a(daemon_body, "fleet-a", &a, &log_a);
+  std::thread thread_b(daemon_body, "fleet-b", &b, &log_b);
+  thread_a.join();
+  thread_b.join();
+
+  // Leases partition the shards: every task ran exactly once across the
+  // two daemons — the global trial counter moved by exactly the task
+  // total, and the daemons' executed-task counts sum to it.
+  const int total_tasks = JobStore::open(dir_a).total_tasks() +
+                          JobStore::open(dir_b).total_tasks();
+  EXPECT_EQ(trials_executed() - trials_before,
+            static_cast<std::uint64_t>(total_tasks))
+      << log_a.str() << log_b.str();
+  EXPECT_EQ(a.tasks_executed + b.tasks_executed, total_tasks);
+  EXPECT_EQ(a.leases_stolen + b.leases_stolen, 0)
+      << "live daemons' leases must never be stolen";
+
+  // Per-shard record counts are exact — no shard holds duplicate records.
+  for (const std::string& dir : {dir_a, dir_b}) {
+    const JobStore store = JobStore::open(dir);
+    for (const ShardState& shard : store.scan()) {
+      EXPECT_TRUE(shard.done);
+      EXPECT_EQ(static_cast<int>(store.read_shard_records(shard.index)
+                                     .size()),
+                shard.end - shard.begin)
+          << dir << " shard " << shard.index;
+    }
+  }
+
+  // And the merges reproduce the single-process bytes.
+  for (const std::string& dir : {dir_a, dir_b}) {
+    JobStore store = JobStore::open(dir);
+    JobRuntime runtime(store);
+    std::vector<std::string> reference;
+    for (const scenario::ScenarioResult& result : scenario::run_scenarios(
+             {&mini_scenario()}, store.spec().run_options())) {
+      scenario::append_json_rows(result, reference);
+    }
+    EXPECT_EQ(merge_job(store, runtime, nullptr), reference) << dir;
+  }
+}
+
+}  // namespace
+}  // namespace dualcast::service

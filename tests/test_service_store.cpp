@@ -352,5 +352,116 @@ TEST(JobStore, StealRaceUnderClockSkewHasOneWinner) {
   EXPECT_EQ(merge_job(ahead, merge_runtime, nullptr).size(), 4u);
 }
 
+TEST(JobStore, TryLeaseReportsStealsDistinctly) {
+  const std::string dir = fresh_dir("store_steal_flag");
+  // TTL 0: foreign leases are instantly expired, so every takeover of a
+  // foreign lease is observable as a steal.
+  JobStore store = JobStore::create_or_attach(dir, mini_job(4, 0));
+  bool stole = true;
+  EXPECT_TRUE(store.try_lease(0, "alice", &stole));
+  EXPECT_FALSE(stole) << "fresh acquisition is not a steal";
+  EXPECT_TRUE(store.try_lease(0, "alice", &stole));
+  EXPECT_FALSE(stole) << "re-entrant renewal is not a steal";
+  EXPECT_TRUE(store.try_lease(0, "bob", &stole));
+  EXPECT_TRUE(stole) << "evicting an expired foreign lease is THE steal";
+  store.release_lease(0, "bob");
+  stole = true;
+  EXPECT_TRUE(store.try_lease(0, "carol", &stole));
+  EXPECT_FALSE(stole) << "acquiring after a clean release is not a steal";
+}
+
+TEST(JobStore, ScanClassifiesLeaseAgeAndStalenessAgainstStoreClock) {
+  const std::string dir = fresh_dir("store_scan_age");
+  util::FakeClock clock(200);
+  StoreEnv env;
+  env.clock = &clock;
+  JobStore store = JobStore::create_or_attach(dir, mini_job(4, 30), env);
+  ASSERT_TRUE(store.try_lease(0, "ager"));
+
+  std::vector<ShardState> shards = store.scan();
+  EXPECT_EQ(shards[0].lease_age, 0);
+  EXPECT_FALSE(shards[0].lease_stale);
+  EXPECT_EQ(shards[1].lease_age, -1) << "unleased shards have no age";
+  EXPECT_FALSE(shards[1].lease_stale);
+
+  clock.advance(10);
+  shards = store.scan();
+  EXPECT_EQ(shards[0].lease_age, 10);
+  EXPECT_FALSE(shards[0].lease_stale);
+
+  clock.advance(25);  // t=235 >= expiry 230: stale, age keeps counting
+  shards = store.scan();
+  EXPECT_EQ(shards[0].lease_age, 35);
+  EXPECT_TRUE(shards[0].lease_stale);
+}
+
+TEST(JobStore, QuarantineIsGcedOnlyAfterVerifiedRecompute) {
+  const std::string dir = fresh_dir("store_gc_quarantine");
+  // shard_tasks=3: shard 0 is exactly tasks {0,1,2}, so the three appends
+  // below cover it and "verified complete" is reachable.
+  JobStore store = JobStore::create_or_attach(dir, mini_job(3, 60));
+  store.append_record(0, {0, 1.5});
+  store.append_record(0, {1, 2.5});
+  store.append_record(0, {2, 3.5});
+  const fs::path log = fs::path(dir) / "shards" / "shard_0.log";
+  std::string text;
+  {
+    std::ifstream in(log, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  const std::size_t second_line = text.find('\n') + 1;
+  const std::size_t flip = text.find(' ', second_line + 3) + 1;
+  text[flip] = text[flip] == '0' ? '1' : '0';
+  std::ofstream(log, std::ios::binary) << text;
+  store.recover_shard(0);
+  const fs::path quarantine =
+      fs::path(dir) / "shards" / "shard_0.quarantine";
+  ASSERT_TRUE(fs::exists(quarantine));
+
+  // The shard is incomplete (records 1 and 2 lost to the rot): the
+  // quarantine is still the only evidence and must not be collected.
+  EXPECT_FALSE(store.shard_verified_complete(0));
+  EXPECT_FALSE(store.gc_quarantine(0));
+  EXPECT_EQ(store.gc_quarantines(), 0);
+  EXPECT_TRUE(fs::exists(quarantine));
+
+  // Recompute the lost records; once the live log passes CRC verification
+  // and covers the shard, the quarantine is superseded and collected.
+  store.append_record(0, {1, 2.5});
+  store.append_record(0, {2, 3.5});
+  EXPECT_TRUE(store.shard_verified_complete(0));
+  EXPECT_TRUE(store.gc_quarantine(0));
+  EXPECT_FALSE(fs::exists(quarantine));
+  EXPECT_FALSE(store.gc_quarantine(0)) << "second collection is a no-op";
+}
+
+TEST(JobStore, GcExpiredLeasesNeverTouchesLiveOrUnattributedWork) {
+  const std::string dir = fresh_dir("store_gc_leases");
+  util::FakeClock clock(300);
+  StoreEnv env;
+  env.clock = &clock;
+  JobStore store = JobStore::create_or_attach(dir, mini_job(4, 30), env);
+  ASSERT_TRUE(store.try_lease(0, "dead-daemon"));
+  ASSERT_TRUE(store.try_lease(1, "quiet-worker"));
+
+  // Unexpired leases survive gc even when their owner is known-stale:
+  // expiry is the sole safety mechanism, membership only a hint.
+  EXPECT_EQ(store.gc_expired_leases({"dead-daemon"}), 0);
+  ASSERT_EQ(store.scan_leases().size(), 2u);
+
+  clock.advance(40);  // both leases expired
+  // Expired + unattributed + shard not done: left for claim-time stealing
+  // (a plain worker with no membership may be mid-recovery on it).
+  EXPECT_EQ(store.gc_expired_leases({}), 0);
+  ASSERT_EQ(store.scan_leases().size(), 2u);
+  // Expired + stale owner: reclaimed. The quiet worker's lease stays.
+  EXPECT_EQ(store.gc_expired_leases({"dead-daemon"}), 1);
+  const std::vector<LeaseState> left = store.scan_leases();
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_EQ(left[0].owner, "quiet-worker");
+  EXPECT_TRUE(left[0].expired);
+}
+
 }  // namespace
 }  // namespace dualcast::service

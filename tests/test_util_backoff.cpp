@@ -1,0 +1,117 @@
+// Property tests for util::Backoff, the jittered exponential backoff
+// every retry loop in the service leans on (worker IO retries, daemon
+// idle polling). Across a grid of seeds and (initial, cap) shapes:
+//   * every delay lies in [base - base/2, base] for the documented base
+//     schedule base_k = min(initial * 2^k, cap) — never 0, never above
+//     the cap;
+//   * the mean delay per attempt is non-decreasing (the exponential
+//     envelope) until the cap flattens it;
+//   * reset() returns the schedule to the initial window;
+//   * the jitter stream is deterministic per seed (replayable) and
+//     seed-dependent (contending owners desynchronize).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/io.hpp"
+
+namespace dualcast::util {
+namespace {
+
+/// The documented base schedule: initial, doubling, pinned at the cap
+/// (mirrors Backoff's update rule: past cap/2, the next base is the cap).
+std::vector<int> base_schedule(int initial, int cap, int attempts) {
+  std::vector<int> bases;
+  int base = initial < 1 ? 1 : initial;
+  const int max = cap < initial ? initial : cap;
+  for (int k = 0; k < attempts; ++k) {
+    bases.push_back(base);
+    base = base > max / 2 ? max : base * 2;
+  }
+  return bases;
+}
+
+TEST(UtilBackoff, DelaysStayWithinTheJitterWindowAcrossSeedGrid) {
+  const int attempts = 12;
+  const struct {
+    int initial;
+    int cap;
+  } shapes[] = {{1, 8}, {5, 5}, {10, 1000}, {7, 640}, {100, 100000}};
+  for (const auto& shape : shapes) {
+    const std::vector<int> bases =
+        base_schedule(shape.initial, shape.cap, attempts);
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+      Backoff backoff(shape.initial, shape.cap, seed * 7919u);
+      for (int k = 0; k < attempts; ++k) {
+        const int delay = backoff.next_ms();
+        const int base = bases[static_cast<std::size_t>(k)];
+        EXPECT_GE(delay, base - base / 2)
+            << "seed " << seed << " attempt " << k << " shape ("
+            << shape.initial << "," << shape.cap << ")";
+        EXPECT_LE(delay, base) << "seed " << seed << " attempt " << k;
+        EXPECT_GE(delay, 1) << "a zero delay would spin the retry loop";
+      }
+    }
+  }
+}
+
+TEST(UtilBackoff, MeanDelayIsNonDecreasingUntilTheCap) {
+  const int attempts = 10;
+  const int seeds = 400;
+  std::vector<double> mean(static_cast<std::size_t>(attempts), 0.0);
+  for (int s = 1; s <= seeds; ++s) {
+    Backoff backoff(10, 1000, static_cast<std::uint64_t>(s) * 2654435761u);
+    for (int k = 0; k < attempts; ++k) {
+      mean[static_cast<std::size_t>(k)] +=
+          static_cast<double>(backoff.next_ms()) / seeds;
+    }
+  }
+  // While the base is still doubling, consecutive means are ~2x apart
+  // and sampling noise over 400 seeds cannot close that gap. Once the
+  // cap pins the base, the means are statistically equal — noise makes
+  // a plain >= flaky there, so the growth claim stops at the cap.
+  const std::vector<int> bases = base_schedule(10, 1000, attempts);
+  for (int k = 0; k + 1 < attempts; ++k) {
+    const auto i = static_cast<std::size_t>(k);
+    if (bases[i + 1] > bases[i]) {
+      EXPECT_GT(mean[i + 1], mean[i]) << "attempt " << k;
+    } else {
+      // Both attempts draw from the same capped window: means within 5%.
+      EXPECT_NEAR(mean[i + 1], mean[i], 0.05 * bases[i]) << "attempt " << k;
+    }
+  }
+  // And the envelope really is exponential early on: attempt 3's mean
+  // must clearly exceed attempt 0's whole window.
+  EXPECT_GT(mean[3], 10.0);
+}
+
+TEST(UtilBackoff, ResetReturnsToTheInitialWindowAndReplaysPerSeed) {
+  Backoff first(10, 1000, 42);
+  std::vector<int> sequence;
+  for (int k = 0; k < 6; ++k) sequence.push_back(first.next_ms());
+  first.reset();
+  const int after_reset = first.next_ms();
+  EXPECT_LE(after_reset, 10) << "reset must re-open the initial window";
+  EXPECT_GE(after_reset, 5);
+
+  // Same seed → the same six delays (replayable retries); a different
+  // seed must diverge somewhere (contending owners desync).
+  Backoff replay(10, 1000, 42);
+  std::vector<int> replayed;
+  for (int k = 0; k < 6; ++k) replayed.push_back(replay.next_ms());
+  EXPECT_EQ(sequence, replayed);
+
+  bool diverged = false;
+  Backoff other(10, 1000, 43);
+  for (int k = 0; k < 6; ++k) {
+    if (other.next_ms() != sequence[static_cast<std::size_t>(k)]) {
+      diverged = true;
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+}  // namespace
+}  // namespace dualcast::util
