@@ -102,6 +102,14 @@ DaemonReport run_daemon(const DaemonOptions& options, const StoreEnv& env) {
   // automatic gc sweep. Best-effort — a read-only fleet dir costs the
   // fleet view, not job progress.
   FleetRegistry fleet(options.jobs_dir, env);
+  // Resource-aware placement: publish what this machine is (host, cores,
+  // load) and size the fair claim budget from its headroom. Injected
+  // resources are used verbatim (deterministic tests); otherwise probe at
+  // startup and re-sample load at every heartbeat.
+  const bool probe_resources =
+      options.resources.cores == 0 && options.resources.host.empty();
+  HostResources resources =
+      probe_resources ? probe_host_resources() : options.resources;
   MemberRecord member;
   member.id = owner;
   member.pid = static_cast<long>(::getpid());
@@ -110,6 +118,10 @@ DaemonReport run_daemon(const DaemonOptions& options, const StoreEnv& env) {
   member.started = clock.now_seconds();
   bool member_warned = false;
   const auto publish_member = [&] {
+    if (probe_resources) resources.load100 = probe_host_resources().load100;
+    member.host = resources.host;
+    member.cores = resources.cores;
+    member.load100 = resources.load100;
     member.cycles = report.cycles;
     member.tasks = report.tasks_executed;
     member.shards = report.shards_completed;
@@ -188,6 +200,7 @@ DaemonReport run_daemon(const DaemonOptions& options, const StoreEnv& env) {
         candidates.push_back(dir);
       }
       if (candidates.empty()) break;
+      ++report.claim_rounds;
 
       // --- pick a candidate per the placement policy ---
       std::string picked = candidates.front();
@@ -242,8 +255,9 @@ DaemonReport run_daemon(const DaemonOptions& options, const StoreEnv& env) {
                          << job.store->total_tasks() << " tasks)\n";
           }
           // Pickup recovery: quarantine corrupt logs once here (and in
-          // the gc-cadence sweeps) instead of on every worker call.
-          for (const int shard : job.store->recover_all()) {
+          // the gc-cadence sweeps) instead of on every worker call. Owned:
+          // rewrites only happen under a per-shard lease on shared mounts.
+          for (const int shard : job.store->recover_all(owner)) {
             ++report.shards_quarantined;
             progress = true;
             if (options.log != nullptr) {
@@ -261,7 +275,14 @@ DaemonReport run_daemon(const DaemonOptions& options, const StoreEnv& env) {
         worker_options.log = options.log;
         worker_options.recover = false;  // recovered at pickup + sweeps
         if (options.placement != Placement::fifo) {
-          worker_options.max_shards = 1;
+          // Fair placement sizes each drain by the host's headroom: a
+          // mostly-idle 8-core box takes several shards per round, a
+          // saturated or unknown box one at a time (random stays at one —
+          // its whole point is fine-grained decorrelation).
+          worker_options.max_shards =
+              options.placement == Placement::fair
+                  ? fair_claim_budget(resources.cores, resources.load100)
+                  : 1;
           worker_options.shard_order =
               jittered_order(job.store->shard_count(), rng);
         }
@@ -281,7 +302,7 @@ DaemonReport run_daemon(const DaemonOptions& options, const StoreEnv& env) {
           // Pre-merge integrity pass: anything that went corrupt since
           // pickup is quarantined now (clearing its done marker), and the
           // merge waits for the recompute instead of failing.
-          const std::vector<int> rotten = job.store->recover_all();
+          const std::vector<int> rotten = job.store->recover_all(owner);
           if (!rotten.empty()) {
             report.shards_quarantined += static_cast<int>(rotten.size());
             progress = true;

@@ -66,6 +66,11 @@ struct DaemonOptions {
   /// Seed for placement jitter (claim-order rotation, random job picks).
   /// 0 derives one from the owner token.
   std::uint64_t seed = 0;
+  /// Host resources published in the member record and feeding the fair
+  /// claim budget. All-zero (the default) probes the machine at startup
+  /// and re-samples load at each heartbeat; tests inject fixed values for
+  /// deterministic budgets.
+  HostResources resources;
   /// Cooperative stop: when set and it becomes true, finish the current
   /// task, release leases, and return.
   const std::atomic<bool>* stop = nullptr;
@@ -74,6 +79,10 @@ struct DaemonOptions {
 
 struct DaemonReport {
   int cycles = 0;
+  /// Placement rounds that picked a job (fair/random drain one budget's
+  /// worth of shards per round, so rounds ≈ ceil(shards / claim budget)
+  /// for a lone daemon — the observable the budget tests pin down).
+  int claim_rounds = 0;
   int jobs_seen = 0;       ///< distinct jobs opened
   int jobs_completed = 0;  ///< jobs whose every shard finished under us
   int shards_completed = 0;

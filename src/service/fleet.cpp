@@ -1,8 +1,13 @@
 #include "service/fleet.hpp"
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "util/strfmt.hpp"
 
@@ -35,6 +40,11 @@ std::string serialize_member(const MemberRecord& record) {
   os << "id " << record.id << "\n";
   os << "pid " << record.pid << "\n";
   if (!record.placement.empty()) os << "placement " << record.placement << "\n";
+  if (!record.host.empty()) os << "host " << record.host << "\n";
+  if (record.cores > 0) {
+    os << "cores " << record.cores << "\n";
+    os << "load100 " << record.load100 << "\n";
+  }
   os << "started " << record.started << "\n";
   os << "heartbeat " << record.heartbeat << "\n";
   os << "ttl " << record.ttl_seconds << "\n";
@@ -69,6 +79,12 @@ bool parse_member(const std::string& text, MemberRecord& out) {
         out.pid = std::stol(value);
       } else if (field == "placement") {
         out.placement = value;
+      } else if (field == "host") {
+        out.host = value;
+      } else if (field == "cores") {
+        out.cores = std::stoi(value);
+      } else if (field == "load100") {
+        out.load100 = std::stoi(value);
       } else if (field == "started") {
         out.started = std::stoll(value);
       } else if (field == "heartbeat") {
@@ -90,6 +106,31 @@ bool parse_member(const std::string& text, MemberRecord& out) {
     }
   }
   return saw_end && saw_id;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Fixed three-decimal rate so JSON output is byte-deterministic under a
+/// frozen clock (ostream double formatting varies with magnitude).
+std::string format_rate(double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", rate);
+  return std::string(buf);
+}
+
+double shards_per_second(const MemberRecord& record, std::int64_t now) {
+  const std::int64_t uptime = now - record.started;
+  return uptime > 0
+             ? static_cast<double>(record.shards) / static_cast<double>(uptime)
+             : static_cast<double>(record.shards);
 }
 
 /// Job subdirectories of a jobs dir (sorted by fs.list), identified by a
@@ -123,6 +164,27 @@ const char* to_string(Placement placement) {
   return "?";
 }
 
+HostResources probe_host_resources() {
+  HostResources resources;
+  char name[256] = {0};
+  if (::gethostname(name, sizeof(name) - 1) == 0 && name[0] != '\0') {
+    resources.host = name;
+  }
+  resources.cores = static_cast<int>(std::thread::hardware_concurrency());
+  double load[1] = {0.0};
+  if (::getloadavg(load, 1) >= 1 && load[0] >= 0.0) {
+    resources.load100 = static_cast<int>(load[0] * 100.0);
+  }
+  return resources;
+}
+
+int fair_claim_budget(int cores, int load100) {
+  if (cores <= 0) return 1;
+  const int busy_cores = load100 > 0 ? load100 / 100 : 0;
+  const int headroom = cores - busy_cores;
+  return headroom > 1 ? headroom : 1;
+}
+
 FleetRegistry::FleetRegistry(const std::string& jobs_dir, const StoreEnv& env)
     : fleet_dir_(str(jobs_dir, "/fleet")),
       fs_(&resolve_fs(env)),
@@ -148,7 +210,10 @@ std::vector<MemberState> FleetRegistry::scan() const {
   const std::int64_t now = clock_->now_seconds();
   for (const std::string& name : fs_->list(fleet_dir_)) {
     std::string text;
-    if (!fs_->read_file(str(fleet_dir_, "/", name), text)) continue;
+    if (!util::read_file_retry_estale(*fs_, str(fleet_dir_, "/", name),
+                                      text)) {
+      continue;
+    }
     MemberState state;
     if (!parse_member(text, state.record)) continue;
     state.age = now - state.record.heartbeat;
@@ -158,30 +223,51 @@ std::vector<MemberState> FleetRegistry::scan() const {
   return out;
 }
 
-std::vector<std::string> FleetRegistry::reap_stale() {
+std::vector<std::string> FleetRegistry::reap_stale(bool dry_run) {
   std::vector<std::string> reaped;
   for (const MemberState& member : scan()) {
     if (!member.stale) continue;
-    fs_->unlink(member_path(member.record.id));
+    if (dry_run) {
+      reaped.push_back(member.record.id);
+      continue;
+    }
+    // Re-verify on a fresh read before the unlink: on a shared mount the
+    // stale classification above may rest on a cached member file whose
+    // heartbeat renewal simply had not reached this machine yet. (A false
+    // reap is only an observability wound — the daemon republishes on its
+    // next beat — but there is no reason to inflict it.)
+    const std::string path = member_path(member.record.id);
+    fs_->invalidate(path);
+    std::string text;
+    MemberRecord fresh;
+    if (util::read_file_retry_estale(*fs_, path, text) &&
+        parse_member(text, fresh) &&
+        fresh.heartbeat + fresh.ttl_seconds > clock_->now_seconds()) {
+      continue;  // renewed under our stale view
+    }
+    fs_->unlink(path);
     reaped.push_back(member.record.id);
   }
   return reaped;
 }
 
 GcReport gc_sweep(const std::string& jobs_dir, const StoreEnv& env,
-                  std::ostream* log) {
+                  std::ostream* log, bool dry_run) {
   GcReport report;
+  report.dry_run = dry_run;
   util::Fs& fs = resolve_fs(env);
 
   // Stale daemons first: their ids feed the per-job lease reclamation, so
   // debris left by a kill -9'd daemon clears in the same pass that
   // detects its death.
   FleetRegistry fleet(jobs_dir, env);
-  report.reaped_ids = fleet.reap_stale();
+  report.reaped_ids = fleet.reap_stale(dry_run);
   report.members_reaped = static_cast<int>(report.reaped_ids.size());
   if (log != nullptr) {
     for (const std::string& id : report.reaped_ids) {
-      *log << "gc: reaped stale fleet member " << id << "\n";
+      *log << (dry_run ? "gc: would reap stale fleet member "
+                       : "gc: reaped stale fleet member ")
+           << id << "\n";
     }
   }
 
@@ -189,13 +275,15 @@ GcReport gc_sweep(const std::string& jobs_dir, const StoreEnv& env,
     try {
       JobStore store = JobStore::open(dir, env);
       ++report.jobs_swept;
-      const int leases = store.gc_expired_leases(report.reaped_ids);
-      const int quarantines = store.gc_quarantines();
+      const int leases = store.gc_expired_leases(report.reaped_ids, dry_run);
+      const int quarantines = store.gc_quarantines(dry_run);
       report.leases_reclaimed += leases;
       report.quarantines_removed += quarantines;
       if (log != nullptr && (leases > 0 || quarantines > 0)) {
-        *log << "gc: job " << dir << ": reclaimed " << leases
-             << " expired lease(s), removed " << quarantines
+        *log << "gc: job " << dir << (dry_run ? ": would reclaim "
+                                              : ": reclaimed ")
+             << leases << " expired lease(s), "
+             << (dry_run ? "would remove " : "removed ") << quarantines
              << " verified quarantine(s)\n";
       }
     } catch (const ScenarioError& error) {
@@ -272,13 +360,16 @@ void print_fleet_status(const std::string& jobs_dir, const StoreEnv& env,
   for (const MemberState& member : members) {
     const MemberRecord& r = member.record;
     const std::int64_t uptime = now - r.started;
-    const double rate =
-        uptime > 0 ? static_cast<double>(r.shards) /
-                         static_cast<double>(uptime)
-                   : static_cast<double>(r.shards);
+    const double rate = shards_per_second(r, now);
     out << "  daemon " << r.id << " [" << (member.stale ? "STALE" : "live")
         << "]: pid " << r.pid;
     if (!r.placement.empty()) out << ", placement " << r.placement;
+    if (!r.host.empty()) out << ", host " << r.host;
+    if (r.cores > 0) {
+      out << ", " << r.cores << " cores (load " << r.load100 / 100 << "."
+          << (r.load100 % 100) / 10 << ", budget "
+          << fair_claim_budget(r.cores, r.load100) << ")";
+    }
     out << ", up " << uptime << "s, heartbeat " << member.age << "s ago (ttl "
         << r.ttl_seconds << "s), " << r.tasks << " tasks, " << r.shards
         << " shards (" << rate << "/s), " << r.steals << " steal(s), "
@@ -294,6 +385,93 @@ void print_fleet_status(const std::string& jobs_dir, const StoreEnv& env,
   for (const JobLine& job : jobs) {
     out << "  " << job.text << "  (" << job.dir << ")\n";
   }
+}
+
+std::string fleet_status_json(const std::string& jobs_dir,
+                              const StoreEnv& env) {
+  util::Fs& fs = resolve_fs(env);
+  util::Clock& clock = resolve_clock(env);
+  const std::int64_t now = clock.now_seconds();
+
+  // Held leases per owner across every job; std::map keeps owners sorted,
+  // fs.list keeps jobs and members sorted — the whole document is ordered
+  // by construction, so a frozen clock makes it byte-deterministic.
+  std::map<std::string, int> held;
+  std::ostringstream jobs_json;
+  bool first_job = true;
+  for (const std::string& dir : job_dirs(jobs_dir, fs)) {
+    jobs_json << (first_job ? "" : ",") << "{\"dir\":\"" << json_escape(dir)
+              << "\"";
+    first_job = false;
+    try {
+      const JobStore store = JobStore::open(dir, env);
+      int completed = 0;
+      int done = 0;
+      int corrupt = 0;
+      int quarantined = 0;
+      const std::vector<ShardState> shards = store.scan();
+      for (const ShardState& shard : shards) {
+        completed += shard.completed;
+        if (shard.done) ++done;
+        if (shard.corrupt) ++corrupt;
+        if (shard.quarantined) ++quarantined;
+      }
+      int live_leases = 0;
+      int stale_leases = 0;
+      for (const LeaseState& lease : store.scan_leases()) {
+        ++held[lease.owner];
+        if (lease.expired) {
+          ++stale_leases;
+        } else {
+          ++live_leases;
+        }
+      }
+      jobs_json << ",\"key\":\"" << scenario::hash_hex(store.spec().key)
+                << "\",\"tasks_total\":" << store.total_tasks()
+                << ",\"tasks_completed\":" << completed
+                << ",\"shards_total\":" << shards.size()
+                << ",\"shards_done\":" << done
+                << ",\"leases_live\":" << live_leases
+                << ",\"leases_stale\":" << stale_leases
+                << ",\"shards_corrupt\":" << corrupt
+                << ",\"shards_quarantined\":" << quarantined << "}";
+    } catch (const std::exception& error) {
+      jobs_json << ",\"error\":\"" << json_escape(error.what()) << "\"}";
+    }
+  }
+
+  FleetRegistry fleet(jobs_dir, env);
+  std::ostringstream os;
+  os << "{\"jobs_dir\":\"" << json_escape(jobs_dir) << "\",\"now\":" << now
+     << ",\"members\":[";
+  bool first = true;
+  for (const MemberState& member : fleet.scan()) {
+    const MemberRecord& r = member.record;
+    os << (first ? "" : ",") << "{\"id\":\"" << json_escape(r.id)
+       << "\",\"live\":" << (member.stale ? "false" : "true")
+       << ",\"pid\":" << r.pid << ",\"placement\":\""
+       << json_escape(r.placement) << "\",\"host\":\"" << json_escape(r.host)
+       << "\",\"cores\":" << r.cores << ",\"load100\":" << r.load100
+       << ",\"claim_budget\":" << fair_claim_budget(r.cores, r.load100)
+       << ",\"uptime_seconds\":" << now - r.started
+       << ",\"heartbeat_age_seconds\":" << member.age
+       << ",\"ttl_seconds\":" << r.ttl_seconds << ",\"cycles\":" << r.cycles
+       << ",\"tasks\":" << r.tasks << ",\"shards\":" << r.shards
+       << ",\"shards_per_second\":" << format_rate(shards_per_second(r, now))
+       << ",\"steals\":" << r.steals << ",\"leases_held\":" << held[r.id]
+       << "}";
+    first = false;
+    held.erase(r.id);
+  }
+  os << "],\"non_member_owners\":[";
+  first = true;
+  for (const auto& [owner, count] : held) {
+    os << (first ? "" : ",") << "{\"owner\":\"" << json_escape(owner)
+       << "\",\"leases_held\":" << count << "}";
+    first = false;
+  }
+  os << "],\"jobs\":[" << jobs_json.str() << "]}\n";
+  return os.str();
 }
 
 }  // namespace dualcast::service

@@ -60,6 +60,9 @@ struct MemberRecord {
   std::string id;         ///< daemon id == its lease owner token
   long pid = 0;
   std::string placement;  ///< policy name, for the fleet view
+  std::string host;       ///< machine name (multi-box fleets)
+  int cores = 0;          ///< hardware threads on the host (0 = unknown)
+  int load100 = 0;        ///< host 1-min loadavg × 100 at last heartbeat
   std::int64_t started = 0;
   std::int64_t heartbeat = 0;
   int ttl_seconds = 15;   ///< stale once heartbeat + ttl <= now
@@ -68,6 +71,25 @@ struct MemberRecord {
   std::int64_t shards = 0;  ///< shards completed
   std::int64_t steals = 0;  ///< expired leases stolen
 };
+
+/// What a daemon learns about the machine it runs on. Published in its
+/// member record and consumed by resource-aware `fair` placement.
+struct HostResources {
+  std::string host;
+  int cores = 0;
+  int load100 = 0;  ///< 1-min loadavg × 100 (integer, so records stay
+                    ///< whole-number text like every other field)
+};
+
+/// Samples this machine: gethostname, hardware_concurrency, getloadavg.
+/// Fields that cannot be determined stay at their zero defaults.
+HostResources probe_host_resources();
+
+/// How many shards a `fair` daemon should claim per placement cycle given
+/// its host: headroom = cores minus whole cores of load, floored at 1 so
+/// a saturated box still makes progress (one shard at a time). Unknown
+/// cores (0) also yields 1 — the pre-resource-awareness behavior.
+int fair_claim_budget(int cores, int load100);
 
 /// A scanned member, classified against the registry's clock.
 struct MemberState {
@@ -99,8 +121,11 @@ class FleetRegistry {
   std::vector<MemberState> scan() const;
 
   /// Deletes every stale member's file; returns the reaped ids (the set
-  /// gc_sweep feeds into per-job lease reclamation).
-  std::vector<std::string> reap_stale();
+  /// gc_sweep feeds into per-job lease reclamation). Each unlink is
+  /// preceded by an invalidate + fresh re-read so a heartbeat that had
+  /// not propagated to this machine's view yet is honored. Under
+  /// `dry_run` nothing is unlinked; the return is who *would* be reaped.
+  std::vector<std::string> reap_stale(bool dry_run = false);
 
  private:
   std::string member_path(const std::string& id) const;
@@ -117,6 +142,7 @@ struct GcReport {
   int members_reaped = 0;
   int leases_reclaimed = 0;
   int quarantines_removed = 0;
+  bool dry_run = false;  ///< counts are "would reclaim", nothing mutated
   std::vector<std::string> reaped_ids;
 };
 
@@ -124,13 +150,22 @@ struct GcReport {
 /// members, then for every job reclaim expired lease debris (done shards
 /// or stale owners) and delete quarantines whose recomputed shard logs
 /// verify. Jobs that cannot be opened are skipped with a note on `log`.
+/// With `dry_run`, every count reports what would be reclaimed and the
+/// filesystem is left untouched (`gc --dry-run`).
 GcReport gc_sweep(const std::string& jobs_dir, const StoreEnv& env = {},
-                  std::ostream* log = nullptr);
+                  std::ostream* log = nullptr, bool dry_run = false);
 
 /// The fleet view behind `status --jobs-dir`: members (live/stale, age,
 /// shards/sec, held-lease counts aggregated across every job) followed by
 /// a per-job progress summary. Times come from the env clock.
 void print_fleet_status(const std::string& jobs_dir, const StoreEnv& env,
                         std::ostream& out);
+
+/// The same fleet view as one machine-readable JSON document (`status
+/// --jobs-dir --json FILE`). Deterministic: members, lease owners, and
+/// jobs are emitted in sorted order and every number derives from the env
+/// clock, so a frozen FakeClock yields byte-identical output.
+std::string fleet_status_json(const std::string& jobs_dir,
+                              const StoreEnv& env = {});
 
 }  // namespace dualcast::service

@@ -401,7 +401,7 @@ JobStore JobStore::open(const std::string& dir, const StoreEnv& env) {
   util::Fs& fs = resolve_fs(env);
   const std::string meta_path = join_path(dir, "job.meta");
   std::string text;
-  if (!fs.read_file(meta_path, text)) {
+  if (!util::read_file_retry_estale(fs, meta_path, text)) {
     throw ScenarioError(str(dir, ": no job here (missing job.meta)"));
   }
   JobSpec stored = parse_meta(text, meta_path);
@@ -455,7 +455,9 @@ std::string JobStore::lease_path(int shard) const {
 ShardScan JobStore::scan_shard_log(int shard) const {
   ShardScan scan;
   std::string text;
-  if (!fs_->read_file(shard_log_path(shard), text)) return scan;
+  if (!util::read_file_retry_estale(*fs_, shard_log_path(shard), text)) {
+    return scan;
+  }
   std::size_t pos = 0;
   int line_no = 0;
   while (pos < text.size()) {
@@ -482,8 +484,13 @@ ShardScan JobStore::scan_shard_log(int shard) const {
   return scan;
 }
 
+ShardScan JobStore::fresh_scan_shard_log(int shard) const {
+  fs_->invalidate(shard_log_path(shard));
+  return scan_shard_log(shard);
+}
+
 std::vector<TaskRecord> JobStore::read_shard_records(int shard) const {
-  ShardScan scan = scan_shard_log(shard);
+  ShardScan scan = fresh_scan_shard_log(shard);
   if (scan.corrupt) {
     throw ScenarioError(str(
         "shard ", shard, " record log corrupt at line ", scan.bad_line, ": ",
@@ -495,7 +502,9 @@ std::vector<TaskRecord> JobStore::read_shard_records(int shard) const {
 }
 
 ShardScan JobStore::recover_shard(int shard) {
-  ShardScan scan = scan_shard_log(shard);
+  // The scan below decides whether to rewrite the log; that decision must
+  // be made against the server state, never a stale client view.
+  ShardScan scan = fresh_scan_shard_log(shard);
   if (!scan.corrupt) {
     // A torn trailing write (crash mid-append) is normal, but the stray
     // partial line must go before anyone appends again — otherwise the
@@ -533,11 +542,30 @@ ShardScan JobStore::recover_shard(int shard) {
   return scan;
 }
 
-std::vector<int> JobStore::recover_all() {
+std::vector<int> JobStore::recover_all(const std::string& owner) {
   std::vector<int> quarantined;
   const int shards = shard_count();
   for (int s = 0; s < shards; ++s) {
-    if (recover_shard(s).corrupt) quarantined.push_back(s);
+    if (owner.empty()) {
+      // Unleased single-machine mode: rewrite freely.
+      if (recover_shard(s).corrupt) quarantined.push_back(s);
+      continue;
+    }
+    // Peek first (a stale read only costs a skipped repair this pass):
+    // healthy logs with no torn tail need nothing, and taking a lease per
+    // shard just to look would serialize the whole fleet on recovery.
+    const ShardScan peek = fresh_scan_shard_log(s);
+    const std::int64_t size = fs_->file_size(shard_log_path(s));
+    if (!peek.corrupt && size <= static_cast<std::int64_t>(peek.good_bytes)) {
+      continue;
+    }
+    // Damage found: the rewrite replaces the log file, so it runs only
+    // under the shard's lease — otherwise a stale snapshot could clobber
+    // records a live appender on another machine wrote since.
+    if (!try_lease(s, owner)) continue;  // valid holder self-heals
+    const bool corrupt = recover_shard(s).corrupt;
+    release_lease(s, owner);
+    if (corrupt) quarantined.push_back(s);
   }
   return quarantined;
 }
@@ -573,43 +601,58 @@ bool JobStore::shard_verified_complete(int shard) const {
   return distinct == end - begin;
 }
 
-bool JobStore::gc_quarantine(int shard) {
+bool JobStore::gc_quarantine(int shard, bool dry_run) {
   const std::string quarantine = shard_quarantine_path(shard);
   if (!fs_->exists(quarantine)) return false;
   // Only drop the evidence once the *recomputed* log checks out in full:
   // every record re-validated against its CRC and every task of the shard
-  // covered. An incomplete or re-damaged log keeps its quarantine.
+  // covered. An incomplete or re-damaged log keeps its quarantine. The
+  // verification scan reads fresh — dropping evidence on the strength of
+  // a stale "complete" view would be irreversible.
+  fs_->invalidate(shard_log_path(shard));
   if (!shard_verified_complete(shard)) return false;
+  if (dry_run) return true;
   fs_->unlink(quarantine);
   fs_->sync_dir(join_path(dir_, "shards"));
   return true;
 }
 
-int JobStore::gc_quarantines() {
+int JobStore::gc_quarantines(bool dry_run) {
   int removed = 0;
   const int shards = shard_count();
   for (int s = 0; s < shards; ++s) {
-    if (gc_quarantine(s)) ++removed;
+    if (gc_quarantine(s, dry_run)) ++removed;
   }
   return removed;
 }
 
-int JobStore::gc_expired_leases(const std::vector<std::string>& stale_owners) {
+int JobStore::gc_expired_leases(const std::vector<std::string>& stale_owners,
+                                bool dry_run) {
   int removed = 0;
-  const std::int64_t now = clock_->now_seconds();
   const int shards = shard_count();
   for (int s = 0; s < shards; ++s) {
     const std::string path = lease_path(s);
     std::string text;
-    if (!fs_->read_file(path, text)) continue;
-    const auto lease = parse_lease_text(text);
+    if (!util::read_file_retry_estale(*fs_, path, text)) continue;
+    auto lease = parse_lease_text(text);
     if (!lease.has_value()) continue;  // garbled: try_lease clears those
-    if (lease->expiry > now) continue;  // live lease: never reclaimed here
+    if (lease->expiry > clock_->now_seconds()) continue;  // live: keep
     bool reclaim = shard_done(s);
     for (const std::string& stale : stale_owners) {
       if (lease->owner == stale) reclaim = true;
     }
     if (!reclaim) continue;
+    if (dry_run) {
+      ++removed;
+      continue;
+    }
+    // Re-verify on a fresh read before unlinking: the expiry above may be
+    // a stale cached view while the holder's renewal simply had not
+    // propagated to this machine yet.
+    fs_->invalidate(path);
+    if (!util::read_file_retry_estale(*fs_, path, text)) continue;
+    lease = parse_lease_text(text);
+    if (lease.has_value() && lease->expiry > clock_->now_seconds()) continue;
     if (fs_->unlink(path)) ++removed;
   }
   return removed;
@@ -621,7 +664,7 @@ bool JobStore::try_lease(int shard, const std::string& owner, bool* stole) {
   bool evicted_foreign = false;
   for (int attempt = 0; attempt < 2; ++attempt) {
     std::string text;
-    if (fs_->read_file(path, text)) {
+    if (util::read_file_retry_estale(*fs_, path, text)) {
       const auto lease = parse_lease_text(text);
       if (!lease.has_value()) {
         // Garbled lease: cannot happen through the link-publish protocol
@@ -635,7 +678,19 @@ bool JobStore::try_lease(int shard, const std::string& owner, bool* stole) {
         // "instantly stealable" (the crash-recovery tests' configuration).
         return false;
       } else {
-        fs_->unlink(path);  // expired: clear it and contend below
+        // Steal path. Re-verify on a fresh read before the unlink: the
+        // expired lease we just read may be a stale cached view while the
+        // holder's heartbeat renewal is simply not visible here yet.
+        fs_->invalidate(path);
+        std::string current;
+        if (util::read_file_retry_estale(*fs_, path, current)) {
+          const auto fresh = parse_lease_text(current);
+          if (fresh.has_value() && fresh->owner != owner &&
+              fresh->expiry > clock_->now_seconds()) {
+            return false;  // renewed under our stale view: not stealable
+          }
+        }
+        fs_->unlink(path);  // expired for real: clear it and contend below
         evicted_foreign = true;
       }
     }
@@ -654,8 +709,9 @@ bool JobStore::try_lease(int shard, const std::string& owner, bool* stole) {
     // Verify-after-acquire: a stealer that read the *previous* expired
     // lease may unlink ours in its clear window. Losing here is safe —
     // tasks are idempotent — but only one worker should keep the shard.
+    // Our own link() dropped any cached entry, so this read is fresh.
     std::string mine;
-    if (!fs_->read_file(path, mine)) return false;
+    if (!util::read_file_retry_estale(*fs_, path, mine)) return false;
     const auto confirmed = parse_lease_text(mine);
     const bool won = confirmed.has_value() && confirmed->owner == owner;
     if (won && evicted_foreign && stole != nullptr) *stole = true;
@@ -666,8 +722,13 @@ bool JobStore::try_lease(int shard, const std::string& owner, bool* stole) {
 
 void JobStore::renew_lease(int shard, const std::string& owner) {
   const std::string path = lease_path(shard);
+  // The ownership check below gates a republish: renewing off a stale
+  // view that still shows our old lease would overwrite a thief's live
+  // one, leaving two workers each believing they hold the shard. Read
+  // fresh; a heartbeat can afford the extra revalidation.
+  fs_->invalidate(path);
   std::string text;
-  if (!fs_->read_file(path, text)) return;
+  if (!util::read_file_retry_estale(*fs_, path, text)) return;
   const auto lease = parse_lease_text(text);
   if (!lease.has_value() || lease->owner != owner) return;
   const std::int64_t now = clock_->now_seconds();
@@ -678,8 +739,11 @@ void JobStore::renew_lease(int shard, const std::string& owner) {
 
 void JobStore::release_lease(int shard, const std::string& owner) {
   const std::string path = lease_path(shard);
+  // Fresh read for the same reason as renew_lease: unlinking on a stale
+  // view that still shows our lease would destroy a thief's live one.
+  fs_->invalidate(path);
   std::string text;
-  if (!fs_->read_file(path, text)) return;
+  if (!util::read_file_retry_estale(*fs_, path, text)) return;
   const auto lease = parse_lease_text(text);
   if (lease.has_value() && lease->owner == owner) fs_->unlink(path);
 }
@@ -709,7 +773,7 @@ std::vector<ShardState> JobStore::scan() const {
     }
     state.done = shard_done(s);
     std::string text;
-    if (fs_->read_file(lease_path(s), text)) {
+    if (util::read_file_retry_estale(*fs_, lease_path(s), text)) {
       if (const auto lease = parse_lease_text(text)) {
         state.leased = true;
         state.lease_owner = lease->owner;
@@ -730,7 +794,7 @@ std::vector<LeaseState> JobStore::scan_leases() const {
   const int shards = shard_count();
   for (int s = 0; s < shards; ++s) {
     std::string text;
-    if (!fs_->read_file(lease_path(s), text)) continue;
+    if (!util::read_file_retry_estale(*fs_, lease_path(s), text)) continue;
     const auto lease = parse_lease_text(text);
     if (!lease.has_value()) continue;
     LeaseState state;

@@ -180,8 +180,14 @@ class JobStore {
   /// marks the scan corrupt and truncates it at the last good watermark.
   ShardScan scan_shard_log(int shard) const;
 
+  /// scan_shard_log after invalidating the log's client-side cache —
+  /// for decisions that must see the shared (server) state, not this
+  /// machine's possibly-stale view of it.
+  ShardScan fresh_scan_shard_log(int shard) const;
+
   /// Like scan_shard_log but throws ScenarioError on corruption — for
   /// callers (the merger) that must never consume a damaged shard.
+  /// Always reads fresh: merge output must reflect the server state.
   std::vector<TaskRecord> read_shard_records(int shard) const;
 
   /// Quarantines a corrupt shard log: the damaged file moves to
@@ -192,7 +198,15 @@ class JobStore {
   ShardScan recover_shard(int shard);
 
   /// Runs recover_shard over every shard; returns the quarantined ones.
-  std::vector<int> recover_all();
+  ///
+  /// With an `owner`, the destructive rewrite paths run only under that
+  /// owner's shard lease (acquired per damaged shard, released after):
+  /// on a shared filesystem an unleased rewrite could act on a *stale*
+  /// snapshot of a log another machine is actively appending to and
+  /// clobber its fresh records. Shards whose lease is validly held by
+  /// someone else are skipped — the holder self-heals on its next claim.
+  /// An empty owner keeps the unleased single-machine behavior.
+  std::vector<int> recover_all(const std::string& owner = "");
 
   /// Appends one record to a shard's log and fsyncs it before returning —
   /// after a crash, every acknowledged record is on disk.
@@ -214,16 +228,23 @@ class JobStore {
   /// quarantine file exists per shard by construction — a re-quarantine
   /// renames over the previous one, keeping only the newest.) Returns
   /// true when a quarantine file was removed.
-  bool gc_quarantine(int shard);
-  /// gc_quarantine over every shard; returns how many were removed.
-  int gc_quarantines();
+  /// With `dry_run`, reports whether the quarantine *would* be removed
+  /// without touching the filesystem.
+  bool gc_quarantine(int shard, bool dry_run = false);
+  /// gc_quarantine over every shard; returns how many were removed
+  /// (or, under `dry_run`, how many would be).
+  int gc_quarantines(bool dry_run = false);
 
   /// Reclaims lease debris: unlinks any *expired* lease whose shard is
   /// already done, or whose owner is one of `stale_owners` (a daemon whose
   /// fleet membership heartbeat went stale). Unexpired leases are never
-  /// touched — expiry stays the sole safety mechanism. Returns the number
-  /// of leases removed.
-  int gc_expired_leases(const std::vector<std::string>& stale_owners = {});
+  /// touched — expiry stays the sole safety mechanism — and each unlink
+  /// is preceded by an invalidate + fresh re-read so a heartbeat renewal
+  /// that simply had not reached this machine's view yet is honored.
+  /// Returns the number of leases removed (under `dry_run`, nothing is
+  /// unlinked and the count is how many would be).
+  int gc_expired_leases(const std::vector<std::string>& stale_owners = {},
+                        bool dry_run = false);
 
   // --- leases ----------------------------------------------------------
 

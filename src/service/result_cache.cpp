@@ -65,7 +65,7 @@ void ResultCache::load_index() {
   entries_.clear();
   std::map<std::string, std::int64_t> last_used;
   std::string text;
-  if (fs_->read_file(index_path(), text)) {
+  if (util::read_file_retry_estale(*fs_, index_path(), text)) {
     std::istringstream in(text);
     std::string line;
     std::getline(in, line);  // header; tolerate anything (best-effort)
@@ -122,7 +122,9 @@ void ResultCache::persist_index() {
 std::optional<std::vector<std::string>> ResultCache::lookup(
     std::uint64_t key) {
   std::string text;
-  if (!fs_->read_file(entry_path(key), text)) return std::nullopt;
+  if (!util::read_file_retry_estale(*fs_, entry_path(key), text)) {
+    return std::nullopt;
+  }
   std::vector<std::string> rows;
   std::istringstream in(text);
   std::string line;

@@ -16,6 +16,8 @@
 #include "service/daemon.hpp"
 #include "service/service.hpp"
 #include "service/soak.hpp"
+#include "util/clock.hpp"
+#include "util/fs_sim.hpp"
 #include "util/strfmt.hpp"
 
 namespace dualcast::service {
@@ -52,6 +54,60 @@ int parse_nonneg_flag(const std::string& flag, const char* value) {
   }
   return static_cast<int>(parsed);
 }
+
+/// Signed flags (--clock-skew may be negative — a box whose clock runs
+/// behind the fleet is exactly the interesting case).
+int parse_signed_flag(const std::string& flag, const char* value) {
+  if (value == nullptr) throw ScenarioError(str(flag, " requires a value"));
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE ||
+      parsed < std::numeric_limits<int>::min() ||
+      parsed > std::numeric_limits<int>::max()) {
+    throw ScenarioError(str(flag, ": bad value \"", value, "\""));
+  }
+  return static_cast<int>(parsed);
+}
+
+/// The worker/daemon test-decorator stack, outermost first:
+/// FaultyFs (injected death) → SharedFsSim (this process as one NFS
+/// client view) → the real filesystem; plus an optional skewed clock.
+/// Members exist only when the corresponding flag was given; `env` points
+/// at the outermost layer of whatever was built.
+struct EnvStack {
+  std::unique_ptr<util::SharedFsSim> sim;
+  std::unique_ptr<util::FaultyFs> faulty;
+  std::unique_ptr<util::OffsetClock> clock;
+  StoreEnv env;
+
+  void build(bool fs_sim, std::uint64_t fs_sim_seed, int fs_sim_stale_ops,
+             int fault_crash_op, int clock_skew_seconds) {
+    util::Fs* fs = &util::real_fs();
+    if (fs_sim) {
+      util::SharedFsSimConfig config;
+      config.seed = fs_sim_seed;
+      config.attr_stale_ops = fs_sim_stale_ops;
+      config.dir_stale_ops = fs_sim_stale_ops;
+      sim = std::make_unique<util::SharedFsSim>(*fs, config);
+      fs = sim.get();
+    }
+    if (fault_crash_op >= 0) {
+      faulty = std::make_unique<util::FaultyFs>(*fs);
+      util::InjectedFault fault;
+      fault.kind = util::InjectedFault::Kind::crash;
+      fault.at = fault_crash_op;
+      faulty->inject(fault);
+      fs = faulty.get();
+    }
+    if (fs != &util::real_fs()) env.fs = fs;
+    if (clock_skew_seconds != 0) {
+      clock = std::make_unique<util::OffsetClock>(util::system_clock(),
+                                                  clock_skew_seconds);
+      env.clock = clock.get();
+    }
+  }
+};
 
 /// Byte-sized flags (--cache-max-bytes) need the full unsigned range.
 std::uint64_t parse_u64_flag(const std::string& flag, const char* value) {
@@ -106,6 +162,13 @@ void print_service_usage(std::ostream& os, const char* binary) {
         "      --fault-crash-op N  test hook: die (uncatchable, like\n"
         "                          kill -9) at the N-th filesystem\n"
         "                          operation this worker performs\n"
+        "      --fs-sim-seed S     test hook: run behind a SharedFsSim\n"
+        "                          NFS-client view (seeded staleness\n"
+        "                          windows, delayed directory entries,\n"
+        "                          ESTALE on unlinked-under-handle reads)\n"
+        "      --fs-sim-stale-ops N\n"
+        "                          max staleness window in view ops\n"
+        "                          (default 6)\n"
         "\n"
         "  " << binary
      << " daemon --jobs-dir D [daemon options]\n"
@@ -134,10 +197,20 @@ void print_service_usage(std::ostream& os, const char* binary) {
         "        --member-ttl S   membership heartbeat TTL (default 15)\n"
         "        --seed S         placement jitter seed (default: derived\n"
         "                         from the owner token)\n"
+        "        --cores N        advertise N cores in the member record\n"
+        "                         (default: probe the machine); feeds the\n"
+        "                         fair-placement claim budget\n"
+        "        --load100 L      advertise load average x100 (default:\n"
+        "                         probe, re-sampled at each heartbeat)\n"
+        "        --clock-skew S   test hook: offset this daemon's wall\n"
+        "                         clock by S seconds (negative allowed)\n"
         "        --fault-crash-op N\n"
         "                         test hook: die (uncatchable, like\n"
         "                         kill -9) at the N-th filesystem\n"
         "                         operation this daemon performs\n"
+        "        --fs-sim-seed S / --fs-sim-stale-ops N\n"
+        "                         test hook: run behind a SharedFsSim\n"
+        "                         NFS-client view, as in worker\n"
         "\n"
         "  " << binary
      << " merge --job-dir D [--json FILE] [--cache-dir C] [--no-cache]\n"
@@ -148,20 +221,24 @@ void print_service_usage(std::ostream& os, const char* binary) {
         "      any shard log is corrupt or the job is incomplete.\n"
         "\n"
         "  " << binary
-     << " status --job-dir D | --jobs-dir D\n"
+     << " status --job-dir D | --jobs-dir D [--json FILE]\n"
         "      --job-dir: report one job's shards, leases (with age;\n"
         "      STALE when expired), quarantines, and progress.\n"
         "      --jobs-dir: the fleet view — every member daemon\n"
-        "      (live/STALE, heartbeat age, shards/sec, held leases) and\n"
-        "      every job's progress.\n"
+        "      (live/STALE, heartbeat age, host/cores/load, shards/sec,\n"
+        "      held leases) and every job's progress.\n"
+        "      --json FILE: with --jobs-dir, also write the fleet view as\n"
+        "      deterministic machine-readable JSON (\"-\" = stdout).\n"
         "\n"
         "  " << binary
-     << " gc --jobs-dir D\n"
+     << " gc --jobs-dir D [--dry-run]\n"
         "      One garbage-collection sweep: reap stale fleet members,\n"
         "      reclaim expired lease debris (done shards or stale\n"
         "      owners), delete quarantined shard logs whose recomputed\n"
         "      replacement passed CRC verification. Daemons run this\n"
         "      sweep automatically at heartbeat cadence.\n"
+        "      --dry-run: print what would be reclaimed without mutating\n"
+        "      anything.\n"
         "\n"
         "  " << binary
      << " soak [--daemons N] [--kill-seed S] [soak options]\n"
@@ -182,6 +259,14 @@ void print_service_usage(std::ostream& os, const char* binary) {
         "        --fault-crash-op N\n"
         "                         also arm each first-generation daemon\n"
         "                         with the FaultyFs crash hook\n"
+        "        --sim            run every daemon behind its own\n"
+        "                         SharedFsSim NFS-client view of the jobs\n"
+        "                         directory (respawns get cold caches)\n"
+        "        --fs-sim-seed S / --fs-sim-stale-ops N\n"
+        "                         view-skew base seed / max staleness\n"
+        "                         window (both imply --sim)\n"
+        "        --clock-skew S   spread daemon wall clocks across\n"
+        "                         [-S, +S] seconds\n"
         "        --no-require-steal\n"
         "                         don't fail when kills produced no steal\n";
 }
@@ -239,6 +324,9 @@ int serve_main(int argc, char** argv) {
 int worker_main(int argc, char** argv) {
   std::string job_dir;
   int fault_crash_op = -1;
+  bool fs_sim = false;
+  std::uint64_t fs_sim_seed = 1;
+  int fs_sim_stale_ops = 6;
   WorkerOptions options;
   options.log = &std::cout;
   for (int i = 2; i < argc; ++i) {
@@ -253,6 +341,12 @@ int worker_main(int argc, char** argv) {
     } else if (arg == "--fault-crash-op") {
       fault_crash_op =
           parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--fs-sim-seed") {
+      fs_sim = true;
+      fs_sim_seed = parse_u64_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--fs-sim-stale-ops") {
+      fs_sim_stale_ops =
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--help" || arg == "-h") {
       print_service_usage(std::cout, argv[0]);
       return 0;
@@ -261,19 +355,15 @@ int worker_main(int argc, char** argv) {
     }
   }
   if (job_dir.empty()) throw ScenarioError("worker: --job-dir is required");
-  // The fault hook wraps this process's real filesystem in a FaultyFs so
-  // the injected death is indistinguishable (to the job directory) from a
-  // kill at that syscall — the CI fault matrix drives this flag.
-  std::unique_ptr<util::FaultyFs> faulty;
-  StoreEnv env;
-  if (fault_crash_op >= 0) {
-    faulty = std::make_unique<util::FaultyFs>(util::real_fs());
-    util::InjectedFault fault;
-    fault.kind = util::InjectedFault::Kind::crash;
-    fault.at = fault_crash_op;
-    faulty->inject(fault);
-    env.fs = faulty.get();
-  }
+  // Test decorators: --fault-crash-op wraps this process's filesystem in
+  // a FaultyFs so the injected death is indistinguishable (to the job
+  // directory) from a kill at that syscall; --fs-sim-seed additionally
+  // puts the process behind its own simulated NFS-client view — the CI
+  // fault matrix and shared-fs smokes drive these flags.
+  EnvStack stack;
+  stack.build(fs_sim, fs_sim_seed, fs_sim_stale_ops, fault_crash_op,
+              /*clock_skew_seconds=*/0);
+  const StoreEnv& env = stack.env;
   JobStore store = JobStore::open(job_dir, env);
   const JobRuntime runtime(store);
   std::signal(SIGTERM, request_stop);
@@ -298,6 +388,10 @@ int daemon_main(int argc, char** argv) {
   options.cache_dir = kDefaultCacheDir;
   options.log = &std::cout;
   int fault_crash_op = -1;
+  bool fs_sim = false;
+  std::uint64_t fs_sim_seed = 1;
+  int fs_sim_stale_ops = 6;
+  int clock_skew_seconds = 0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--jobs-dir") {
@@ -331,8 +425,23 @@ int daemon_main(int argc, char** argv) {
           scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--seed") {
       options.seed = parse_u64_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--cores") {
+      options.resources.cores =
+          scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--load100") {
+      options.resources.load100 =
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--clock-skew") {
+      clock_skew_seconds =
+          parse_signed_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--fault-crash-op") {
       fault_crash_op =
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--fs-sim-seed") {
+      fs_sim = true;
+      fs_sim_seed = parse_u64_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--fs-sim-stale-ops") {
+      fs_sim_stale_ops =
           parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--help" || arg == "-h") {
       print_service_usage(std::cout, argv[0]);
@@ -347,18 +456,15 @@ int daemon_main(int argc, char** argv) {
   // Unbuffered progress: a SIGKILLed daemon (the soak harness's whole
   // point) must not take its logged steal/claim evidence down with it.
   std::cout << std::unitbuf;
-  // The fault hook mirrors the worker's: wrap the real filesystem so the
-  // injected death is indistinguishable from a kill at that syscall.
-  std::unique_ptr<util::FaultyFs> faulty;
-  StoreEnv env;
-  if (fault_crash_op >= 0) {
-    faulty = std::make_unique<util::FaultyFs>(util::real_fs());
-    util::InjectedFault fault;
-    fault.kind = util::InjectedFault::Kind::crash;
-    fault.at = fault_crash_op;
-    faulty->inject(fault);
-    env.fs = faulty.get();
-  }
+  // Test decorators, mirroring the worker's: FaultyFs so the injected
+  // death is indistinguishable from a kill at that syscall, SharedFsSim
+  // so this daemon runs behind one simulated NFS-client view of the jobs
+  // directory, and OffsetClock so its wall clock disagrees with the
+  // fleet's by a fixed skew.
+  EnvStack stack;
+  stack.build(fs_sim, fs_sim_seed, fs_sim_stale_ops, fault_crash_op,
+              clock_skew_seconds);
+  const StoreEnv& env = stack.env;
   std::signal(SIGTERM, request_stop);
   std::signal(SIGINT, request_stop);
   options.stop = &g_stop;
@@ -388,10 +494,13 @@ int daemon_main(int argc, char** argv) {
 
 int gc_main(int argc, char** argv) {
   std::string jobs_dir;
+  bool dry_run = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--jobs-dir") {
       jobs_dir = flag_value(arg, argc, argv, i);
+    } else if (arg == "--dry-run") {
+      dry_run = true;
     } else if (arg == "--help" || arg == "-h") {
       print_service_usage(std::cout, argv[0]);
       return 0;
@@ -400,11 +509,19 @@ int gc_main(int argc, char** argv) {
     }
   }
   if (jobs_dir.empty()) throw ScenarioError("gc: --jobs-dir is required");
-  const GcReport report = gc_sweep(jobs_dir, {}, &std::cout);
-  std::cout << "gc: " << report.jobs_swept << " job(s) swept, "
-            << report.members_reaped << " stale member(s) reaped, "
-            << report.leases_reclaimed << " expired lease(s) reclaimed, "
-            << report.quarantines_removed << " quarantine(s) removed\n";
+  const GcReport report = gc_sweep(jobs_dir, {}, &std::cout, dry_run);
+  if (dry_run) {
+    std::cout << "gc (dry run): " << report.jobs_swept
+              << " job(s) swept, would reap " << report.members_reaped
+              << " stale member(s), reclaim " << report.leases_reclaimed
+              << " expired lease(s), remove " << report.quarantines_removed
+              << " quarantine(s)\n";
+  } else {
+    std::cout << "gc: " << report.jobs_swept << " job(s) swept, "
+              << report.members_reaped << " stale member(s) reaped, "
+              << report.leases_reclaimed << " expired lease(s) reclaimed, "
+              << report.quarantines_removed << " quarantine(s) removed\n";
+  }
   return 0;
 }
 
@@ -451,6 +568,19 @@ int soak_main(int argc, char** argv) {
           scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--fault-crash-op") {
       options.fault_crash_op =
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--sim") {
+      options.sim = true;
+    } else if (arg == "--fs-sim-seed") {
+      options.sim = true;
+      options.fs_sim_seed =
+          parse_u64_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--fs-sim-stale-ops") {
+      options.sim = true;
+      options.fs_sim_stale_ops =
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--clock-skew") {
+      options.clock_skew_seconds =
           parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--no-require-steal") {
       options.require_steal = false;
@@ -518,12 +648,15 @@ int merge_main(int argc, char** argv) {
 int status_main(int argc, char** argv) {
   std::string job_dir;
   std::string jobs_dir;
+  std::string json_path;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--job-dir") {
       job_dir = flag_value(arg, argc, argv, i);
     } else if (arg == "--jobs-dir") {
       jobs_dir = flag_value(arg, argc, argv, i);
+    } else if (arg == "--json") {
+      json_path = flag_value(arg, argc, argv, i);
     } else if (arg == "--help" || arg == "-h") {
       print_service_usage(std::cout, argv[0]);
       return 0;
@@ -532,8 +665,21 @@ int status_main(int argc, char** argv) {
     }
   }
   if (!jobs_dir.empty()) {
+    if (!json_path.empty()) {
+      const std::string json = fleet_status_json(jobs_dir);
+      if (json_path == "-") {
+        std::cout << json;
+      } else {
+        util::real_fs().write_file_atomic(json_path, json);
+        std::cout << "wrote fleet status JSON to " << json_path << "\n";
+      }
+      return 0;
+    }
     print_fleet_status(jobs_dir, {}, std::cout);
     return 0;
+  }
+  if (!json_path.empty()) {
+    throw ScenarioError("status: --json requires --jobs-dir");
   }
   if (job_dir.empty()) {
     throw ScenarioError("status: --job-dir or --jobs-dir is required");

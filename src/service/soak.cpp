@@ -187,6 +187,30 @@ SoakReport run_soak(const SoakOptions& options) {
       args.push_back("--fault-crash-op");
       args.push_back(str(options.fault_crash_op));
     }
+    if (options.sim) {
+      // Each daemon mounts the jobs directory through its own SharedFsSim
+      // view. The seed folds in slot *and* generation: a respawn is a
+      // rebooted client whose cache starts cold and whose staleness
+      // schedule differs from its predecessor's.
+      args.push_back("--fs-sim-seed");
+      args.push_back(str(options.fs_sim_seed * 1000003ull +
+                         static_cast<std::uint64_t>(slot) * 131ull +
+                         static_cast<std::uint64_t>(generation) + 1));
+      args.push_back("--fs-sim-stale-ops");
+      args.push_back(str(options.fs_sim_stale_ops));
+    }
+    if (options.clock_skew_seconds != 0) {
+      // Spread wall-clock offsets deterministically across
+      // [-skew, +skew]: the fastest and slowest clocks in the fleet
+      // disagree by the full 2*skew, so lease-expiry judgments genuinely
+      // diverge between daemons.
+      const int skew = options.clock_skew_seconds;
+      const int offset = options.daemons > 1
+                             ? -skew + (2 * skew * slot) / (options.daemons - 1)
+                             : skew;
+      args.push_back("--clock-skew");
+      args.push_back(str(offset));
+    }
     return args;
   };
   std::vector<Slot> slots(static_cast<std::size_t>(options.daemons));
@@ -201,7 +225,15 @@ SoakReport run_soak(const SoakOptions& options) {
   if (log != nullptr) {
     *log << "soak: " << options.daemons << " daemon(s) up, placement "
          << to_string(options.placement) << ", kill seed "
-         << options.kill_seed << ", " << options.kills << " kill(s) due\n";
+         << options.kill_seed << ", " << options.kills << " kill(s) due";
+    if (options.sim) {
+      *log << ", fs-sim seed " << options.fs_sim_seed << " (stale-ops "
+           << options.fs_sim_stale_ops << ")";
+    }
+    if (options.clock_skew_seconds != 0) {
+      *log << ", clock skew +/-" << options.clock_skew_seconds << "s";
+    }
+    *log << "\n";
   }
 
   // The storm: seeded victim sequence at a fixed cadence, dead slots

@@ -56,6 +56,17 @@ struct SoakOptions {
   /// Also arm each first-generation daemon with `--fault-crash-op N`
   /// (respawns run clean, so an early injected death cannot crash-loop).
   int fault_crash_op = -1;
+  /// Multi-box simulation: run every daemon behind its own SharedFsSim
+  /// view of the jobs directory (`--fs-sim-seed`, derived per slot and
+  /// generation — a respawn is a rebooted client with a cold cache), so
+  /// the storm exercises NFS weak semantics on a local filesystem.
+  bool sim = false;
+  std::uint64_t fs_sim_seed = 1;  ///< base seed for the per-slot views
+  int fs_sim_stale_ops = 6;       ///< max staleness window, in view ops
+  /// Per-daemon wall-clock skew: slot i runs `--clock-skew` with an
+  /// offset spread deterministically across [-skew, +skew] seconds
+  /// (0 = everyone agrees). Composes with `sim` or stands alone.
+  int clock_skew_seconds = 0;
   int timeout_seconds = 300;
   /// Fail the verdict when kills happened but no lease steal was observed.
   bool require_steal = true;

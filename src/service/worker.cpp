@@ -136,7 +136,9 @@ WorkerReport run_worker(JobStore& store, const JobRuntime& runtime,
   // Corrupt shard logs block both workers (bad watermark) and the merger;
   // quarantine them up front so this run recomputes from the good prefix.
   if (options.recover) {
-    for (const int shard : store.recover_all()) {
+    // Owned recovery: rewrites run under a per-shard lease so a stale
+    // view of a log another machine is appending to can't be clobbered.
+    for (const int shard : store.recover_all(owner)) {
       ++report.shards_quarantined;
       if (options.log != nullptr) {
         *options.log << "worker " << owner << ": quarantined corrupt shard "
@@ -179,12 +181,13 @@ WorkerReport run_worker(JobStore& store, const JobRuntime& runtime,
       }
     }
 
-    // Replay the claimed shard's log for the resume watermark. A log that
-    // went corrupt since the entry sweep self-heals here — we hold the
-    // lease, so quarantining and rewriting the good prefix is race-free.
-    ShardScan scan = store.scan_shard_log(claimed);
+    // Replay the claimed shard's log for the resume watermark. We hold the
+    // lease, so recover_shard is race-free here: it reads fresh (a stale
+    // cached view could miss a crashed worker's torn tail, and the next
+    // append would concatenate onto the partial line), trims any torn
+    // tail, and quarantines a log that went corrupt since the entry sweep.
+    const ShardScan scan = store.recover_shard(claimed);
     if (scan.corrupt) {
-      scan = store.recover_shard(claimed);
       ++report.shards_quarantined;
       if (options.log != nullptr) {
         *options.log << "worker " << owner << ": quarantined corrupt shard "

@@ -37,6 +37,23 @@ inline Clock& system_clock() {
   return clock;
 }
 
+/// A fixed-offset view of another clock: one fleet member's skewed wall
+/// clock (`daemon --clock-skew`). The offset may be negative; whether
+/// lease TTLs tolerate it is exactly what the multi-box drills probe.
+class OffsetClock final : public Clock {
+ public:
+  OffsetClock(Clock& base, std::int64_t offset_seconds)
+      : base_(base), offset_(offset_seconds) {}
+
+  std::int64_t now_seconds() override {
+    return base_.now_seconds() + offset_;
+  }
+
+ private:
+  Clock& base_;
+  std::int64_t offset_;
+};
+
 /// Test clock: time is an atomic counter that only moves when the test
 /// moves it. Two FakeClocks started at different values model clock skew
 /// between fleet members; a frozen FakeClock keeps background heartbeats

@@ -1,0 +1,234 @@
+#include "util/fs_sim.hpp"
+
+#include <cerrno>
+
+#include "util/rng.hpp"
+
+namespace dualcast::util {
+
+void SharedFsSim::hold(std::string path_substr, int ops) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  holds_.push_back(Hold{std::move(path_substr), ticks_ + ops});
+}
+
+int SharedFsSim::ops() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(ticks_);
+}
+
+int SharedFsSim::stale_serves() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stale_serves_;
+}
+
+int SharedFsSim::estale_thrown() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return estale_;
+}
+
+std::int64_t SharedFsSim::tick() { return ++ticks_; }
+
+std::int64_t SharedFsSim::draw_window(int max_ops) {
+  if (max_ops <= 0) return 0;
+  return static_cast<std::int64_t>(
+      splitmix64(state_) % (static_cast<std::uint64_t>(max_ops) + 1));
+}
+
+bool SharedFsSim::held(const std::string& path, std::int64_t now) const {
+  for (const Hold& hold : holds_) {
+    if (now > hold.until_tick) continue;
+    if (path.find(hold.path_substr) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void SharedFsSim::drop_entry(const std::string& path) { files_.erase(path); }
+
+void SharedFsSim::drop_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return;
+  dirs_.erase(path.substr(0, slash));
+}
+
+bool SharedFsSim::exists(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::int64_t now = tick();
+  const auto it = files_.find(path);
+  if (it != files_.end() &&
+      (now <= it->second.valid_until || held(path, now))) {
+    ++stale_serves_;
+    return it->second.exists;
+  }
+  // Attribute revalidation: one stat at the server covers both existence
+  // and size, and the new window starts now.
+  FileSnap snap;
+  snap.size = base_.file_size(path);
+  snap.exists = snap.size >= 0;
+  snap.valid_until = now + draw_window(config_.attr_stale_ops);
+  const bool result = snap.exists;
+  files_[path] = std::move(snap);
+  return result;
+}
+
+bool SharedFsSim::read_file(const std::string& path, std::string& out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::int64_t now = tick();
+  const auto it = files_.find(path);
+  if (it != files_.end() &&
+      (now <= it->second.valid_until || held(path, now))) {
+    // An attributes-only snapshot (from exists/file_size) has no content
+    // to serve; fall through to revalidation unless it says "absent".
+    if (!it->second.exists) {
+      ++stale_serves_;
+      return false;
+    }
+    if (it->second.content_valid) {
+      ++stale_serves_;
+      out = it->second.content;
+      return true;
+    }
+  }
+  std::string fresh;
+  const bool fresh_exists = base_.read_file(path, fresh);
+  if (!fresh_exists && it != files_.end() && it->second.exists &&
+      config_.estale) {
+    // The file this view still considered open/extant was unlinked at
+    // the server: the stale-handle case. One throw per event — the entry
+    // is dropped, so a retry revalidates to a clean miss.
+    files_.erase(it);
+    ++estale_;
+    throw IoError("stale file handle (ESTALE): " + path, ESTALE);
+  }
+  FileSnap snap;
+  snap.exists = fresh_exists;
+  snap.content_valid = true;
+  snap.content = fresh;
+  snap.size = fresh_exists ? static_cast<std::int64_t>(fresh.size()) : -1;
+  snap.valid_until = now + draw_window(config_.attr_stale_ops);
+  files_[path] = std::move(snap);
+  out = std::move(fresh);
+  return fresh_exists;
+}
+
+void SharedFsSim::write_file(const std::string& path, std::string_view data) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tick();
+  base_.write_file(path, data);
+  // Own writes flush through (close-to-open: the write_file call brackets
+  // open..close); dropping our own entries keeps this view read-your-writes
+  // consistent — the next read revalidates at the server.
+  drop_entry(path);
+  drop_parent_dir(path);
+}
+
+void SharedFsSim::append(const std::string& path, std::string_view data) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tick();
+  base_.append(path, data);
+  drop_entry(path);
+  drop_parent_dir(path);
+}
+
+void SharedFsSim::fsync_file(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tick();
+  base_.fsync_file(path);
+}
+
+bool SharedFsSim::link(const std::string& existing,
+                       const std::string& link_path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tick();
+  // Executed at the server, result reported truthfully: link(2) is a
+  // server-side atomic create-if-absent even on NFS — the property the
+  // lease protocol stands on. Only *visibility* to other views lags.
+  const bool linked = base_.link(existing, link_path);
+  drop_entry(link_path);
+  drop_parent_dir(link_path);
+  return linked;
+}
+
+void SharedFsSim::rename(const std::string& from, const std::string& to) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tick();
+  base_.rename(from, to);
+  drop_entry(from);
+  drop_entry(to);
+  drop_parent_dir(from);
+  drop_parent_dir(to);
+}
+
+bool SharedFsSim::unlink(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tick();
+  const bool removed = base_.unlink(path);
+  drop_entry(path);
+  drop_parent_dir(path);
+  return removed;
+}
+
+std::vector<std::string> SharedFsSim::list(const std::string& dir) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::int64_t now = tick();
+  const auto it = dirs_.find(dir);
+  if (it != dirs_.end() &&
+      (now <= it->second.valid_until || held(dir, now))) {
+    ++stale_serves_;
+    return it->second.names;
+  }
+  DirSnap snap;
+  snap.names = base_.list(dir);
+  snap.valid_until = now + draw_window(config_.dir_stale_ops);
+  std::vector<std::string> names = snap.names;
+  dirs_[dir] = std::move(snap);
+  return names;
+}
+
+void SharedFsSim::create_dirs(const std::string& dir) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tick();
+  base_.create_dirs(dir);
+  // Every ancestor may have gained an entry; drop any cached list that is
+  // a prefix of (or equals) the created path.
+  for (auto it = dirs_.begin(); it != dirs_.end();) {
+    if (dir.rfind(it->first, 0) == 0) {
+      it = dirs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SharedFsSim::sync_dir(const std::string& dir) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tick();
+  base_.sync_dir(dir);
+}
+
+std::int64_t SharedFsSim::file_size(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::int64_t now = tick();
+  const auto it = files_.find(path);
+  if (it != files_.end() &&
+      (now <= it->second.valid_until || held(path, now))) {
+    ++stale_serves_;
+    return it->second.exists ? it->second.size : -1;
+  }
+  FileSnap snap;
+  snap.size = base_.file_size(path);
+  snap.exists = snap.size >= 0;
+  snap.valid_until = now + draw_window(config_.attr_stale_ops);
+  const std::int64_t size = snap.exists ? snap.size : -1;
+  files_[path] = std::move(snap);
+  return size;
+}
+
+void SharedFsSim::invalidate(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tick();
+  drop_entry(path);
+  dirs_.erase(path);  // in case the path is a cached directory listing
+  base_.invalidate(path);
+}
+
+}  // namespace dualcast::util

@@ -1,0 +1,143 @@
+#pragma once
+
+// Deterministic NFS-client-view simulation over the Fs seam.
+//
+// A `SharedFsSim` decorates a base Fs the way one NFS *client's* kernel
+// cache sits between one machine and the shared server: the base Fs is
+// the server (ground truth), each SharedFsSim instance is one client's
+// view of it. Give every daemon/worker its own view over the same base —
+// in one process over a shared temp directory, or one view per process
+// over a real shared mount — and the fleet experiences the weak
+// semantics real NFS deployments have:
+//
+//   * attribute/content staleness: reads within a seeded per-entry
+//     validity window are served from the view's cache, so another
+//     view's write/unlink/rename stays invisible until the window
+//     lapses (the actimeo model);
+//   * delayed directory-entry visibility: list() serves a cached name
+//     set inside its own window — files created or removed by other
+//     views appear/disappear late;
+//   * close-to-open consistency: this view's own mutations pass through
+//     to the base synchronously and invalidate its own cache, so a
+//     client always sees its own writes (and a *first* open of a file
+//     is always fresh — exactly the CTO guarantee, no more);
+//   * non-atomic cross-view rename/link visibility: a rename is atomic
+//     at the server but each path's visibility to another view flips
+//     independently as that view's per-path windows lapse, so the
+//     observer may transiently see both names or neither;
+//   * ESTALE: when a revalidation discovers that a file this view still
+//     had cached as existing was unlinked at the server — the "file
+//     handle went stale under us" case — read_file throws IoError with
+//     code ESTALE once, then drops the entry so a retry resolves
+//     freshly (IoError::transient() admits ESTALE for this reason).
+//
+// Two things are deliberately *not* simulated: link() and rename() are
+// executed at the server synchronously and report the server's truth —
+// on real NFS these are server-side atomic operations, which is exactly
+// why the lease protocol is built on link(2). Leases stay truth;
+// everything layered on reads must tolerate staleness.
+//
+// Determinism: windows are drawn from a seeded splitmix64 stream at
+// revalidation time and measured in this view's own operation ticks, so
+// a single-threaded caller replays the same staleness schedule every
+// run — the same property that makes FaultyFs op indices coordinates.
+// `hold()` additionally pins matching cached entries for a span of ops,
+// the targeted-schedule hook tests use to force a specific stale read
+// at a specific moment.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/io.hpp"
+
+namespace dualcast::util {
+
+struct SharedFsSimConfig {
+  std::uint64_t seed = 1;
+  /// Max validity window, in this view's op ticks, drawn per file-entry
+  /// revalidation (uniform in [0, attr_stale_ops]). 0 = always fresh.
+  int attr_stale_ops = 6;
+  /// Same for directory name-list entries.
+  int dir_stale_ops = 6;
+  /// Throw ESTALE (once per event) when a cached-existing file turns out
+  /// to have been unlinked at the server.
+  bool estale = true;
+};
+
+class SharedFsSim final : public Fs {
+ public:
+  SharedFsSim(Fs& base, const SharedFsSimConfig& config)
+      : base_(base),
+        config_(config),
+        state_(config.seed != 0 ? config.seed : 0x9E3779B97F4A7C15ull) {}
+
+  /// Pin cached entries whose path contains `path_substr`: for the next
+  /// `ops` view-operations they are served from cache without
+  /// revalidation (if cached). Forces a stale read deterministically.
+  void hold(std::string path_substr, int ops);
+
+  /// Total operations this view has performed.
+  int ops() const;
+  /// Reads/lists served from this view's cache (possibly stale).
+  int stale_serves() const;
+  /// ESTALE events thrown so far.
+  int estale_thrown() const;
+
+  bool exists(const std::string& path) override;
+  bool read_file(const std::string& path, std::string& out) override;
+  void write_file(const std::string& path, std::string_view data) override;
+  void append(const std::string& path, std::string_view data) override;
+  void fsync_file(const std::string& path) override;
+  bool link(const std::string& existing,
+            const std::string& link_path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  bool unlink(const std::string& path) override;
+  std::vector<std::string> list(const std::string& dir) override;
+  void create_dirs(const std::string& dir) override;
+  void sync_dir(const std::string& dir) override;
+  std::int64_t file_size(const std::string& path) override;
+  void invalidate(const std::string& path) override;
+
+ private:
+  /// One cached file snapshot. `content_valid` distinguishes a snapshot
+  /// taken by read_file (content present) from one taken by
+  /// exists/file_size (attributes only).
+  struct FileSnap {
+    bool exists = false;
+    bool content_valid = false;
+    std::string content;
+    std::int64_t size = -1;
+    std::int64_t valid_until = 0;  ///< last view-op tick served from cache
+  };
+  struct DirSnap {
+    std::vector<std::string> names;
+    std::int64_t valid_until = 0;
+  };
+  struct Hold {
+    std::string path_substr;
+    std::int64_t until_tick = 0;
+  };
+
+  std::int64_t tick();               // under lock
+  std::int64_t draw_window(int max_ops);  // under lock
+  bool held(const std::string& path, std::int64_t now) const;  // under lock
+  void drop_entry(const std::string& path);      // under lock
+  void drop_parent_dir(const std::string& path); // under lock
+
+  Fs& base_;
+  const SharedFsSimConfig config_;
+  mutable std::mutex mutex_;
+  std::uint64_t state_;
+  std::int64_t ticks_ = 0;
+  int stale_serves_ = 0;
+  int estale_ = 0;
+  std::map<std::string, FileSnap> files_;
+  std::map<std::string, DirSnap> dirs_;
+  std::vector<Hold> holds_;
+};
+
+}  // namespace dualcast::util

@@ -159,13 +159,31 @@ class RealFs final : public Fs {
     }
     return static_cast<std::int64_t>(st.st_size);
   }
+
+  void invalidate(const std::string& path) override {
+    // On a close-to-open NFS mount an open()+close() cycle revalidates
+    // the client's cached attributes against the server; on a local
+    // filesystem it is a harmless no-op. Absent files need nothing.
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) ::close(fd);
+  }
 };
 
 }  // namespace
 
 bool IoError::transient() const {
   return code_ == EIO || code_ == EAGAIN || code_ == EINTR ||
-         code_ == ENOSPC;
+         code_ == ENOSPC || code_ == ESTALE;
+}
+
+bool read_file_retry_estale(Fs& fs, const std::string& path,
+                            std::string& out) {
+  try {
+    return fs.read_file(path, out);
+  } catch (const IoError& error) {
+    if (error.code() != ESTALE) throw;
+    return fs.read_file(path, out);
+  }
 }
 
 void Fs::write_file_atomic(const std::string& path, std::string_view data) {
@@ -333,6 +351,11 @@ void FaultyFs::sync_dir(const std::string& dir) {
 std::int64_t FaultyFs::file_size(const std::string& path) {
   check("size", path);
   return base_.file_size(path);
+}
+
+void FaultyFs::invalidate(const std::string& path) {
+  check("invalidate", path);
+  base_.invalidate(path);
 }
 
 Backoff::Backoff(int initial_ms, int max_ms, std::uint64_t seed)

@@ -44,7 +44,9 @@ class IoError : public std::runtime_error {
 
   int code() const { return code_; }
   /// Transient = a retry after a short backoff may succeed (EIO, EAGAIN,
-  /// EINTR, ENOSPC — an operator can free space while workers back off).
+  /// EINTR, ENOSPC — an operator can free space while workers back off —
+  /// and ESTALE: a reopen rebinds a handle that went stale under an NFS
+  /// client's cache).
   bool transient() const;
 
  private:
@@ -97,6 +99,13 @@ class Fs {
   virtual void sync_dir(const std::string& dir) = 0;
   /// Size in bytes, or -1 when absent.
   virtual std::int64_t file_size(const std::string& path) = 0;
+  /// Drops any client-side caching for `path`, so the next read observes
+  /// the shared (server) state — the re-verify hook the lease/steal and
+  /// recovery paths call before acting on a read that must be current.
+  /// Local filesystems are always current (default no-op); RealFs
+  /// open+closes the file so an NFS close-to-open mount revalidates;
+  /// SharedFsSim drops its simulated view cache.
+  virtual void invalidate(const std::string& path) { (void)path; }
 
   // --- composed helpers (non-virtual: every step goes through the
   //     virtuals above, so faults hit each constituent op) --------------
@@ -109,6 +118,13 @@ class Fs {
 
 /// The process-wide real filesystem (what a null `Fs*` resolves to).
 Fs& real_fs();
+
+/// read_file with a single retry on ESTALE. The first attempt's failure
+/// already dropped the stale binding (SharedFsSim erases the cache entry;
+/// a real NFS client rebinds on reopen), so one retry resolves to the
+/// current file or a clean miss. Other IoErrors propagate untouched.
+bool read_file_retry_estale(Fs& fs, const std::string& path,
+                            std::string& out);
 
 /// CRC32C (Castagnoli) of `data`, software table implementation.
 /// crc32c("123456789") == 0xE3069283.
@@ -162,6 +178,7 @@ class FaultyFs final : public Fs {
   void create_dirs(const std::string& dir) override;
   void sync_dir(const std::string& dir) override;
   std::int64_t file_size(const std::string& path) override;
+  void invalidate(const std::string& path) override;
 
  private:
   struct Armed {

@@ -291,6 +291,175 @@ TEST(FleetPlacement, FairFinishesSmallJobBeforeBigAndFifoDoesNot) {
       << "fair must complete the small job before the big drain finishes";
 }
 
+TEST(FleetPlacement, FairClaimBudgetScalesWithHeadroom) {
+  // budget = max(1, cores - floor(load)): an idle box takes its core
+  // count, load eats into it one whole core at a time, and the floor is
+  // always 1 (a saturated or unknown box still makes progress).
+  EXPECT_EQ(fair_claim_budget(0, 0), 1) << "unknown cores";
+  EXPECT_EQ(fair_claim_budget(-1, 50), 1);
+  EXPECT_EQ(fair_claim_budget(1, 0), 1);
+  EXPECT_EQ(fair_claim_budget(4, 0), 4);
+  EXPECT_EQ(fair_claim_budget(4, 99), 4) << "load rounds down";
+  EXPECT_EQ(fair_claim_budget(4, 100), 3);
+  EXPECT_EQ(fair_claim_budget(4, 350), 1);
+  EXPECT_EQ(fair_claim_budget(4, 900), 1) << "overload clamps to 1";
+  EXPECT_EQ(fair_claim_budget(8, 250), 6);
+}
+
+TEST(FleetRegistry, MemberRecordRoundTripsHostResources) {
+  const std::string jobs_dir = fresh_dir("resources");
+  FakeClock clock(3000);
+  StoreEnv env;
+  env.clock = &clock;
+  FleetRegistry fleet(jobs_dir, env);
+
+  MemberRecord rich;
+  rich.id = "rich";
+  rich.pid = 7;
+  rich.placement = "fair";
+  rich.ttl_seconds = 10;
+  rich.host = "box-a";
+  rich.cores = 16;
+  rich.load100 = 275;
+  MemberRecord bare;  // a pre-resources record: fields stay at defaults
+  bare.id = "bare";
+  bare.ttl_seconds = 10;
+  fleet.publish(rich);
+  fleet.publish(bare);
+
+  for (const MemberState& member : fleet.scan()) {
+    if (member.record.id == "rich") {
+      EXPECT_EQ(member.record.host, "box-a");
+      EXPECT_EQ(member.record.cores, 16);
+      EXPECT_EQ(member.record.load100, 275);
+    } else {
+      EXPECT_TRUE(member.record.host.empty());
+      EXPECT_EQ(member.record.cores, 0);
+      EXPECT_EQ(member.record.load100, 0);
+    }
+  }
+}
+
+TEST(FleetPlacement, FairClaimRoundsFollowTheInjectedBudget) {
+  // One 6-shard job, one daemon. With cores=3/load=1.00 the budget is 2,
+  // so the fair drain takes ceil(6/2) = 3 claim rounds; with cores=1 the
+  // budget floor of 1 takes 6. claim_rounds is the observable — wall
+  // clock and worker interleaving never enter the count.
+  const auto rounds_with = [&](int cores, int load100,
+                               const std::string& tag) {
+    const std::string jobs_dir = fresh_dir("budget_" + tag);
+    drop_job(jobs_dir, "job", /*trials=*/6, /*shard_tasks=*/4);
+    DaemonOptions options;
+    options.jobs_dir = jobs_dir;
+    options.cache_dir.clear();
+    options.owner = "budget-" + tag;
+    options.placement = Placement::fair;
+    options.resources = {"testbox", cores, load100};
+    options.max_cycles = 5;
+    options.poll_initial_ms = 1;
+    options.poll_max_ms = 2;
+    const DaemonReport report = run_daemon(options);
+    EXPECT_EQ(report.jobs_completed, 1) << tag;
+    return report.claim_rounds;
+  };
+  EXPECT_EQ(rounds_with(3, 100, "headroom2"), 3);
+  EXPECT_EQ(rounds_with(1, 0, "floor"), 6);
+}
+
+TEST(FleetStatus, JsonIsByteDeterministicUnderFakeClock) {
+  const std::string jobs_dir = fresh_dir("json");
+  FakeClock clock(9000);
+  StoreEnv env;
+  env.clock = &clock;
+  const std::string job_dir = drop_job(jobs_dir, "job1", /*trials=*/3);
+  JobStore store = JobStore::open(job_dir, env);
+  ASSERT_TRUE(store.try_lease(0, "live-d"));
+
+  FleetRegistry fleet(jobs_dir, env);
+  MemberRecord live;
+  live.id = "live-d";
+  live.pid = 42;
+  live.placement = "fair";
+  live.ttl_seconds = 15;
+  live.host = "box-a";
+  live.cores = 4;
+  live.load100 = 150;
+  fleet.publish(live);
+  clock.advance(5);
+
+  const std::string json = fleet_status_json(jobs_dir, env);
+  EXPECT_EQ(json, fleet_status_json(jobs_dir, env))
+      << "same fake instant, same bytes";
+  EXPECT_NE(json.find("\"id\":\"live-d\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"host\":\"box-a\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cores\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"load100\":150"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"claim_budget\":3"), std::string::npos)
+      << "cores 4, load 1.50 -> budget 3: " << json;
+  EXPECT_NE(json.find("\"heartbeat_age_seconds\":5"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"leases_held\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tasks_total\":12"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shards_done\":0"), std::string::npos) << json;
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(FleetGc, DryRunReportsEverythingAndMutatesNothing) {
+  const std::string jobs_dir = fresh_dir("dryrun");
+  FakeClock clock(5000);
+  StoreEnv env;
+  env.clock = &clock;
+  const std::string job_dir =
+      drop_job(jobs_dir, "job1", /*trials=*/3, /*shard_tasks=*/4,
+               /*lease_ttl_seconds=*/30);
+
+  // The full debris menagerie: a stale member, its expired lease, and a
+  // superseded quarantine beside a verified-complete shard.
+  JobStore store = JobStore::open(job_dir, env);
+  ASSERT_TRUE(store.try_lease(0, "ghost"));
+  FleetRegistry fleet(jobs_dir, env);
+  MemberRecord ghost;
+  ghost.id = "ghost";
+  ghost.ttl_seconds = 10;
+  fleet.publish(ghost);
+  const JobRuntime runtime(store);
+  WorkerOptions finish;
+  finish.owner = "live";
+  run_worker(store, runtime, finish);
+  const fs::path quarantine =
+      fs::path(job_dir) / "shards" / "shard_1.quarantine";
+  std::ofstream(quarantine) << "old rotten log\n";
+  clock.advance(35);  // member stale at 5010, ghost lease expired at 5030
+
+  std::ostringstream log;
+  const GcReport dry = gc_sweep(jobs_dir, env, &log, /*dry_run=*/true);
+  EXPECT_TRUE(dry.dry_run);
+  EXPECT_EQ(dry.members_reaped, 1);
+  EXPECT_EQ(dry.leases_reclaimed, 1);
+  EXPECT_EQ(dry.quarantines_removed, 1);
+  EXPECT_NE(log.str().find("would"), std::string::npos) << log.str();
+
+  // Nothing moved: the member file, the lease, and the quarantine are
+  // all still on disk, and a second dry run reports the same counts.
+  EXPECT_EQ(fleet.scan().size(), 1u);
+  EXPECT_EQ(store.scan_leases().size(), 1u);
+  EXPECT_TRUE(fs::exists(quarantine));
+  const GcReport again = gc_sweep(jobs_dir, env, nullptr, /*dry_run=*/true);
+  EXPECT_EQ(again.members_reaped, 1);
+  EXPECT_EQ(again.leases_reclaimed, 1);
+  EXPECT_EQ(again.quarantines_removed, 1);
+
+  // The real sweep then reclaims exactly what the dry run promised.
+  const GcReport wet = gc_sweep(jobs_dir, env);
+  EXPECT_FALSE(wet.dry_run);
+  EXPECT_EQ(wet.members_reaped, dry.members_reaped);
+  EXPECT_EQ(wet.leases_reclaimed, dry.leases_reclaimed);
+  EXPECT_EQ(wet.quarantines_removed, dry.quarantines_removed);
+  EXPECT_TRUE(fleet.scan().empty());
+  EXPECT_TRUE(store.scan_leases().empty());
+  EXPECT_FALSE(fs::exists(quarantine));
+}
+
 TEST(FleetDaemons, TwoDaemonsDrainDisjointShardSetsWithNoDuplicateWork) {
   const std::string jobs_dir = fresh_dir("twodaemons");
   const std::string dir_a =

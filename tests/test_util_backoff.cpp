@@ -87,6 +87,46 @@ TEST(UtilBackoff, MeanDelayIsNonDecreasingUntilTheCap) {
   EXPECT_GT(mean[3], 10.0);
 }
 
+TEST(UtilBackoff, ExtremeAttemptCountsStayPinnedAtTheCapWithoutOverflow) {
+  // A wedged retry loop can call next_ms() thousands of times. Past the
+  // cap the base must stay pinned there — never wrap negative, never
+  // exceed the cap, never collapse to 0 — including when the cap itself
+  // sits near INT_MAX (where a naive base*2 would overflow).
+  struct Shape {
+    int initial;
+    int cap;
+  };
+  for (const Shape shape : {Shape{10, 1000},
+                            Shape{1, 1},
+                            Shape{1000, 1 << 30},
+                            Shape{3, 2147483647}}) {
+    Backoff backoff(shape.initial, shape.cap, /*seed=*/99);
+    for (int attempt = 0; attempt < 5000; ++attempt) {
+      const int delay = backoff.next_ms();
+      ASSERT_GE(delay, 1) << "shape (" << shape.initial << ", "
+                          << shape.cap << ") attempt " << attempt;
+      ASSERT_LE(delay, shape.cap < shape.initial ? shape.initial
+                                                 : shape.cap)
+          << "shape (" << shape.initial << ", " << shape.cap
+          << ") attempt " << attempt;
+    }
+    // Deep in the schedule the window is the capped base: jitter keeps
+    // delays in [cap - cap/2, cap], so the mean sits near 3/4 cap — a
+    // spot check that the schedule is pinned *at* the cap, not stuck at
+    // some overflowed remnant.
+    if (shape.cap >= 4) {
+      int at_least_half_cap = 0;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        if (backoff.next_ms() >= shape.cap - shape.cap / 2) {
+          ++at_least_half_cap;
+        }
+      }
+      EXPECT_EQ(at_least_half_cap, 64)
+          << "shape (" << shape.initial << ", " << shape.cap << ")";
+    }
+  }
+}
+
 TEST(UtilBackoff, ResetReturnsToTheInitialWindowAndReplaysPerSeed) {
   Backoff first(10, 1000, 42);
   std::vector<int> sequence;

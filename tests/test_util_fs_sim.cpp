@@ -1,0 +1,199 @@
+// SharedFsSim — the NFS-client-view simulator. Each test runs two views
+// ("machine A" and "machine B") over one backing directory and checks one
+// simulated weak-semantics contract: read-your-writes within a view,
+// stale content/attribute serves across views, delayed directory-entry
+// visibility, ESTALE on files unlinked under a cached handle (and the
+// one-retry helper that absorbs it), invalidate() forcing freshness,
+// link() reporting server truth through a stale view, and same-seed
+// schedule determinism.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/fs_sim.hpp"
+#include "util/io.hpp"
+
+namespace dualcast::util {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+std::string fresh_dir(const std::string& tag) {
+  const stdfs::path dir =
+      stdfs::path(::testing::TempDir()) / ("dualcast_fssim_" + tag);
+  stdfs::remove_all(dir);
+  stdfs::create_directories(dir);
+  return dir.string();
+}
+
+SharedFsSimConfig always_fresh() {
+  SharedFsSimConfig config;
+  config.attr_stale_ops = 0;
+  config.dir_stale_ops = 0;
+  return config;
+}
+
+TEST(SharedFsSim, OwnWritesAlwaysVisible) {
+  const std::string dir = fresh_dir("own_writes");
+  SharedFsSimConfig config;
+  config.attr_stale_ops = 1000;  // huge windows: only CTO keeps us honest
+  config.dir_stale_ops = 1000;
+  SharedFsSim view(real_fs(), config);
+  const std::string path = dir + "/f";
+
+  EXPECT_FALSE(view.exists(path));  // caches the negative
+  view.write_file(path, "one");
+  std::string got;
+  ASSERT_TRUE(view.read_file(path, got));
+  EXPECT_EQ(got, "one");
+  view.append(path, "+two");
+  ASSERT_TRUE(view.read_file(path, got));
+  EXPECT_EQ(got, "one+two");
+  EXPECT_EQ(view.file_size(path), 7);
+  view.unlink(path);
+  EXPECT_FALSE(view.exists(path));
+}
+
+TEST(SharedFsSim, CrossViewContentStalenessUntilInvalidate) {
+  const std::string dir = fresh_dir("stale_content");
+  SharedFsSim a(real_fs(), always_fresh());
+  SharedFsSim b(real_fs(), always_fresh());
+  const std::string path = dir + "/lease";
+
+  a.write_file(path, "v1");
+  std::string got;
+  ASSERT_TRUE(b.read_file(path, got));
+  EXPECT_EQ(got, "v1");
+
+  // Pin B's cache, then update the file from A: B keeps serving v1.
+  b.hold("lease", 100);
+  a.write_file(path, "v2");
+  ASSERT_TRUE(b.read_file(path, got));
+  EXPECT_EQ(got, "v1");
+  EXPECT_GE(b.stale_serves(), 1);
+  EXPECT_EQ(b.file_size(path), 2);  // stale attributes too
+
+  // invalidate() drops the pinned entry: the next read is server-fresh.
+  b.invalidate(path);
+  ASSERT_TRUE(b.read_file(path, got));
+  EXPECT_EQ(got, "v2");
+}
+
+TEST(SharedFsSim, DirectoryEntryVisibilityDelayed) {
+  const std::string dir = fresh_dir("dir_delay");
+  SharedFsSim a(real_fs(), always_fresh());
+  SharedFsSim b(real_fs(), always_fresh());
+
+  EXPECT_TRUE(b.list(dir).empty());  // caches the empty listing
+  b.hold(dir, 100);
+  a.write_file(dir + "/job.meta", "m");
+  EXPECT_TRUE(b.list(dir).empty());  // creation not visible yet
+  EXPECT_GE(b.stale_serves(), 1);
+
+  b.invalidate(dir);
+  EXPECT_EQ(b.list(dir), std::vector<std::string>{"job.meta"});
+}
+
+TEST(SharedFsSim, EstaleOnUnlinkUnderCachedHandle) {
+  const std::string dir = fresh_dir("estale");
+  SharedFsSim a(real_fs(), always_fresh());
+  SharedFsSim b(real_fs(), always_fresh());
+  const std::string path = dir + "/shard.log";
+
+  a.write_file(path, "records");
+  std::string got;
+  ASSERT_TRUE(b.read_file(path, got));  // B caches "exists"
+  a.unlink(path);
+
+  // Revalidation discovers the server-side unlink: one ESTALE, marked
+  // transient, then the entry is dropped and the retry is a clean miss.
+  try {
+    b.read_file(path, got);
+    FAIL() << "expected ESTALE";
+  } catch (const IoError& error) {
+    EXPECT_EQ(error.code(), ESTALE);
+    EXPECT_TRUE(error.transient());
+  }
+  EXPECT_EQ(b.estale_thrown(), 1);
+  EXPECT_FALSE(b.read_file(path, got));
+  EXPECT_EQ(b.estale_thrown(), 1);  // one throw per event, not per read
+}
+
+TEST(SharedFsSim, ReadRetryHelperAbsorbsEstale) {
+  const std::string dir = fresh_dir("estale_retry");
+  SharedFsSim a(real_fs(), always_fresh());
+  SharedFsSim b(real_fs(), always_fresh());
+  const std::string path = dir + "/member";
+
+  a.write_file(path, "rec");
+  std::string got;
+  ASSERT_TRUE(b.read_file(path, got));
+  a.unlink(path);
+  EXPECT_FALSE(read_file_retry_estale(b, path, got));
+  EXPECT_EQ(b.estale_thrown(), 1);
+}
+
+TEST(SharedFsSim, EstaleCanBeDisabled) {
+  const std::string dir = fresh_dir("estale_off");
+  SharedFsSimConfig config = always_fresh();
+  config.estale = false;
+  SharedFsSim a(real_fs(), always_fresh());
+  SharedFsSim b(real_fs(), config);
+  const std::string path = dir + "/f";
+
+  a.write_file(path, "x");
+  std::string got;
+  ASSERT_TRUE(b.read_file(path, got));
+  a.unlink(path);
+  EXPECT_FALSE(b.read_file(path, got));  // quiet miss instead of a throw
+  EXPECT_EQ(b.estale_thrown(), 0);
+}
+
+TEST(SharedFsSim, LinkReportsServerTruthThroughStaleView) {
+  const std::string dir = fresh_dir("lease_truth");
+  SharedFsSim a(real_fs(), always_fresh());
+  SharedFsSim b(real_fs(), always_fresh());
+  const std::string lease = dir + "/shard0.lease";
+
+  // B caches "no lease" and pins it; A then publishes one via link(2).
+  EXPECT_FALSE(b.exists(lease));
+  b.hold("shard0.lease", 100);
+  a.write_file(dir + "/a.tmp", "owner a");
+  ASSERT_TRUE(a.link(dir + "/a.tmp", lease));
+
+  // B's *view* still says absent — but the acquisition attempt goes to
+  // the server and loses. Leases stay truth; reads merely advise.
+  EXPECT_FALSE(b.exists(lease));
+  b.write_file(dir + "/b.tmp", "owner b");
+  EXPECT_FALSE(b.link(dir + "/b.tmp", lease));
+}
+
+TEST(SharedFsSim, SameSeedSameStalenessSchedule) {
+  const auto run = [](const std::string& dir, std::uint64_t seed) {
+    SharedFsSimConfig config;
+    config.seed = seed;
+    config.attr_stale_ops = 4;
+    SharedFsSim view(real_fs(), config);
+    const std::string path = dir + "/f";
+    std::vector<std::string> observed;
+    for (int i = 0; i < 40; ++i) {
+      real_fs().write_file(path, "v" + std::to_string(i));
+      std::string got;
+      observed.push_back(view.read_file(path, got) ? got : "<absent>");
+    }
+    observed.push_back("stale=" + std::to_string(view.stale_serves()));
+    return observed;
+  };
+  const auto first = run(fresh_dir("det_a"), 42);
+  const auto second = run(fresh_dir("det_b"), 42);
+  EXPECT_EQ(first, second);
+  // With 40 writes racing a 4-op window, some reads must have been stale.
+  EXPECT_NE(first.back(), "stale=0");
+}
+
+}  // namespace
+}  // namespace dualcast::util
