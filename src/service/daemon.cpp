@@ -116,6 +116,30 @@ DaemonReport run_daemon(const DaemonOptions& options, const StoreEnv& env) {
   member.placement = to_string(options.placement);
   member.ttl_seconds = options.member_ttl_seconds;
   member.started = clock.now_seconds();
+  // Disk-pressure ladder state (see file comment). The probe goes through
+  // the Fs seam: either statvfs on the jobs dir or, for harnesses, a
+  // decimal free-bytes file re-read fresh every cycle.
+  DiskPressure pressure = DiskPressure::ok;
+  std::int64_t last_free = -1;
+  const bool ladder_on =
+      options.min_free_bytes > 0 || !options.free_bytes_file.empty();
+  const auto probe_free_bytes = [&]() -> std::int64_t {
+    try {
+      if (!options.free_bytes_file.empty()) {
+        fs.invalidate(options.free_bytes_file);
+        std::string text;
+        if (!util::read_file_retry_estale(fs, options.free_bytes_file, text)) {
+          return -1;
+        }
+        return std::stoll(text);
+      }
+      return fs.free_bytes(options.jobs_dir);
+    } catch (const util::IoError&) {
+      return -1;
+    } catch (const std::exception&) {
+      return -1;  // unparsable free-bytes file reads as unknown
+    }
+  };
   bool member_warned = false;
   const auto publish_member = [&] {
     if (probe_resources) resources.load100 = probe_host_resources().load100;
@@ -126,6 +150,8 @@ DaemonReport run_daemon(const DaemonOptions& options, const StoreEnv& env) {
     member.tasks = report.tasks_executed;
     member.shards = report.shards_completed;
     member.steals = report.leases_stolen;
+    member.pressure = to_string(pressure);
+    member.free_bytes = last_free;
     try {
       fleet.publish(member);
     } catch (const util::IoError& error) {
@@ -174,6 +200,46 @@ DaemonReport run_daemon(const DaemonOptions& options, const StoreEnv& env) {
       last_beat = now;
       publish_member();
       sweep();
+    }
+
+    if (ladder_on) {
+      last_free = probe_free_bytes();
+      const DiskPressure next =
+          classify_disk_pressure(last_free, options.min_free_bytes);
+      if (next != pressure) {
+        ++report.pressure_transitions;
+        if (options.log != nullptr) {
+          *options.log << "daemon: disk pressure " << to_string(pressure)
+                       << " -> " << to_string(next) << " (free " << last_free
+                       << ", watermark " << options.min_free_bytes << ")\n";
+        }
+        const bool was_ok = pressure == DiskPressure::ok;
+        pressure = next;
+        publish_member();
+        if (was_ok && pressure != DiskPressure::ok && cache != nullptr) {
+          // Entering the ladder sheds the whole result cache: evicting
+          // entries is the one immediate way this daemon can hand disk
+          // space back (cached rows are recomputable by definition).
+          try {
+            cache->shed(0);
+            if (options.log != nullptr) {
+              *options.log << "daemon: disk pressure shed result cache\n";
+            }
+          } catch (const util::IoError& error) {
+            if (options.log != nullptr) {
+              *options.log << "daemon: warning: cache shed failed ("
+                           << error.what() << ")\n";
+            }
+          }
+        }
+      }
+    }
+    if (pressure == DiskPressure::parked) {
+      // Parked: too little space to safely append even a record. Nothing
+      // but the re-probe (and the heartbeat above) runs until space
+      // recovers.
+      interruptible_sleep(backoff.next_ms(), options);
+      continue;
     }
 
     // Discovery: every subdirectory with a job.meta, in fs.list order
@@ -269,30 +335,40 @@ DaemonReport run_daemon(const DaemonOptions& options, const StoreEnv& env) {
         if (job.runtime == nullptr) {
           job.runtime = std::make_unique<JobRuntime>(*job.store);
         }
-        WorkerOptions worker_options;
-        worker_options.owner = owner;
-        worker_options.stop = options.stop;
-        worker_options.log = options.log;
-        worker_options.recover = false;  // recovered at pickup + sweeps
-        if (options.placement != Placement::fifo) {
-          // Fair placement sizes each drain by the host's headroom: a
-          // mostly-idle 8-core box takes several shards per round, a
-          // saturated or unknown box one at a time (random stays at one —
-          // its whole point is fine-grained decorrelation).
-          worker_options.max_shards =
-              options.placement == Placement::fair
-                  ? fair_claim_budget(resources.cores, resources.load100)
-                  : 1;
-          worker_options.shard_order =
-              jittered_order(job.store->shard_count(), rng);
+        WorkerReport worked;
+        if (pressure != DiskPressure::no_new_claims) {
+          WorkerOptions worker_options;
+          worker_options.owner = owner;
+          worker_options.stop = options.stop;
+          worker_options.log = options.log;
+          worker_options.recover = false;  // recovered at pickup + sweeps
+          worker_options.op_deadline_seconds = options.op_deadline_seconds;
+          worker_options.deadline_fs = options.deadline_fs;
+          if (options.placement != Placement::fifo) {
+            // Fair placement sizes each drain by the host's headroom: a
+            // mostly-idle 8-core box takes several shards per round, a
+            // saturated or unknown box one at a time (random stays at one —
+            // its whole point is fine-grained decorrelation).
+            worker_options.max_shards =
+                options.placement == Placement::fair
+                    ? fair_claim_budget(resources.cores, resources.load100)
+                    : 1;
+            worker_options.shard_order =
+                jittered_order(job.store->shard_count(), rng);
+          }
+          worked = run_worker(*job.store, *job.runtime, worker_options);
         }
-        const WorkerReport worked =
-            run_worker(*job.store, *job.runtime, worker_options);
+        // Under no-new-claims, nothing was claimed — but a job whose
+        // shards all finished (here or elsewhere) still merges below:
+        // merging reads records and writes one result file, the step that
+        // frees the most follow-on work per byte.
         report.shards_completed += worked.shards_completed;
         report.tasks_executed += worked.tasks_executed;
         report.shards_quarantined += worked.shards_quarantined;
         report.leases_stolen += worked.leases_stolen;
         report.quarantines_removed += worked.quarantines_cleared;
+        report.shards_fenced += worked.shards_fenced;
+        report.heartbeats_skipped += worked.heartbeats_skipped;
         if (worked.shards_completed > 0 || worked.tasks_executed > 0 ||
             worked.shards_quarantined > 0) {
           progress = true;
@@ -314,7 +390,11 @@ DaemonReport run_daemon(const DaemonOptions& options, const StoreEnv& env) {
           } else {
             // Complete: merge into the cache so future serves hit, then
             // drop the runtime (the records stay for `merge`/`status`).
-            merge_job(*job.store, *job.runtime, cache.get(), options.log);
+            // Any degraded pressure rung stops cache writes — the merge
+            // itself still happens, uncached.
+            merge_job(*job.store, *job.runtime,
+                      pressure == DiskPressure::ok ? cache.get() : nullptr,
+                      options.log);
             job.merged = true;
             job.runtime.reset();
             ++report.jobs_completed;
@@ -366,6 +446,7 @@ DaemonReport run_daemon(const DaemonOptions& options, const StoreEnv& env) {
     fleet.remove(owner);
   } catch (const util::IoError&) {
   }
+  report.pressure = to_string(pressure);
   return report;
 }
 

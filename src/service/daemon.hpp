@@ -28,6 +28,15 @@
 // Membership publishing is best-effort: it is an observability and
 // placement aid, never a correctness gate.
 //
+// Disk pressure: with `min_free_bytes` set, every cycle probes free space
+// on the jobs-dir filesystem (through the Fs seam, so tests inject it)
+// and walks the degradation ladder ok -> cache-shed (evict the result
+// cache, stop cache writes) -> no-new-claims (finish and merge in-flight
+// work, claim nothing new) -> parked (only re-probe). Each state is
+// published in the member record and rendered by `status`; transitions
+// are logged and counted. The ladder is stateless in the probe value, so
+// freed space walks the daemon back up the same rungs.
+//
 // Shutdown: a cooperative stop flag (wired to SIGTERM/SIGINT by the CLI)
 // exits cleanly at the next task boundary — shard records already
 // appended stay durable, all held leases are released, and the
@@ -71,6 +80,19 @@ struct DaemonOptions {
   /// and re-samples load at each heartbeat; tests inject fixed values for
   /// deterministic budgets.
   HostResources resources;
+  /// Disk-pressure degradation ladder watermark (bytes of free space on
+  /// the jobs-dir filesystem). 0 disables the ladder. Rungs engage as
+  /// free space shrinks: < 4x = cache-shed, < 2x = no-new-claims, < 1x =
+  /// parked (see fleet.hpp's classify_disk_pressure).
+  std::int64_t min_free_bytes = 0;
+  /// Test/soak hook: read free bytes from this file (decimal text,
+  /// re-read through the Fs seam every cycle) instead of statvfs, so
+  /// harnesses can shrink and restore a "disk" deterministically.
+  std::string free_bytes_file;
+  /// Per-logical-op IO deadline threaded to every worker call (see
+  /// WorkerOptions::op_deadline_seconds / deadline_fs).
+  std::int64_t op_deadline_seconds = 0;
+  util::DeadlineFs* deadline_fs = nullptr;
   /// Cooperative stop: when set and it becomes true, finish the current
   /// task, release leases, and return.
   const std::atomic<bool>* stop = nullptr;
@@ -92,6 +114,10 @@ struct DaemonReport {
   int members_reaped = 0;      ///< stale fleet members removed by our sweeps
   int leases_reclaimed = 0;    ///< expired lease debris removed by our sweeps
   int quarantines_removed = 0; ///< quarantine files GC'd (sweeps + workers)
+  int shards_fenced = 0;       ///< workers fenced off after a lapsed lease
+  int heartbeats_skipped = 0;  ///< renewals withheld by the progress gate
+  int pressure_transitions = 0;  ///< disk-pressure ladder state changes
+  std::string pressure = "ok";   ///< ladder state at exit
   bool stopped = false;  ///< returned via the stop flag
 };
 

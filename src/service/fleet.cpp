@@ -52,6 +52,8 @@ std::string serialize_member(const MemberRecord& record) {
   os << "tasks " << record.tasks << "\n";
   os << "shards " << record.shards << "\n";
   os << "steals " << record.steals << "\n";
+  if (!record.pressure.empty()) os << "pressure " << record.pressure << "\n";
+  if (record.free_bytes >= 0) os << "free_bytes " << record.free_bytes << "\n";
   os << "end\n";
   return os.str();
 }
@@ -99,6 +101,10 @@ bool parse_member(const std::string& text, MemberRecord& out) {
         out.shards = std::stoll(value);
       } else if (field == "steals") {
         out.steals = std::stoll(value);
+      } else if (field == "pressure") {
+        out.pressure = value;
+      } else if (field == "free_bytes") {
+        out.free_bytes = std::stoll(value);
       }
       // Unknown fields from a newer writer are skipped, not fatal.
     } catch (const std::exception&) {
@@ -162,6 +168,25 @@ const char* to_string(Placement placement) {
     case Placement::random: return "random";
   }
   return "?";
+}
+
+const char* to_string(DiskPressure pressure) {
+  switch (pressure) {
+    case DiskPressure::ok: return "ok";
+    case DiskPressure::cache_shed: return "cache-shed";
+    case DiskPressure::no_new_claims: return "no-new-claims";
+    case DiskPressure::parked: return "parked";
+  }
+  return "?";
+}
+
+DiskPressure classify_disk_pressure(std::int64_t free_bytes,
+                                    std::int64_t min_free_bytes) {
+  if (free_bytes < 0 || min_free_bytes <= 0) return DiskPressure::ok;
+  if (free_bytes < min_free_bytes) return DiskPressure::parked;
+  if (free_bytes < 2 * min_free_bytes) return DiskPressure::no_new_claims;
+  if (free_bytes < 4 * min_free_bytes) return DiskPressure::cache_shed;
+  return DiskPressure::ok;
 }
 
 HostResources probe_host_resources() {
@@ -311,10 +336,11 @@ void print_fleet_status(const std::string& jobs_dir, const StoreEnv& env,
   struct JobLine {
     std::string dir;
     std::string text;
+    std::vector<std::string> leases;
   };
   std::vector<JobLine> jobs;
   for (const std::string& dir : job_dirs(jobs_dir, fs)) {
-    JobLine line{dir, ""};
+    JobLine line{dir, "", {}};
     try {
       const JobStore store = JobStore::open(dir, env);
       int completed = 0;
@@ -337,6 +363,19 @@ void print_fleet_status(const std::string& jobs_dir, const StoreEnv& env,
         } else {
           ++live_leases;
         }
+        // Per-lease detail: the progress age is the fail-slow telltale —
+        // a live lease whose progress stopped advancing is a stalled
+        // holder one TTL away from being stolen from.
+        std::ostringstream ls;
+        ls << "lease shard " << lease.shard << ": owner " << lease.owner
+           << ", age " << (lease.since > 0 ? now - lease.since : -1) << "s";
+        if (lease.progress_age >= 0) {
+          ls << ", progress " << lease.progress_age << "s ago";
+        } else {
+          ls << ", progress unknown";
+        }
+        if (lease.expired) ls << " [EXPIRED]";
+        line.leases.push_back(ls.str());
       }
       std::ostringstream os;
       os << "job " << scenario::hash_hex(store.spec().key) << ": "
@@ -373,7 +412,9 @@ void print_fleet_status(const std::string& jobs_dir, const StoreEnv& env,
     out << ", up " << uptime << "s, heartbeat " << member.age << "s ago (ttl "
         << r.ttl_seconds << "s), " << r.tasks << " tasks, " << r.shards
         << " shards (" << rate << "/s), " << r.steals << " steal(s), "
-        << held[r.id] << " lease(s) held\n";
+        << "pressure " << (r.pressure.empty() ? "ok" : r.pressure);
+    if (r.free_bytes >= 0) out << " (free " << r.free_bytes << "B)";
+    out << ", " << held[r.id] << " lease(s) held\n";
     held.erase(r.id);
   }
   // Lease owners with no membership file: plain `worker` processes, or
@@ -384,6 +425,9 @@ void print_fleet_status(const std::string& jobs_dir, const StoreEnv& env,
   }
   for (const JobLine& job : jobs) {
     out << "  " << job.text << "  (" << job.dir << ")\n";
+    for (const std::string& lease : job.leases) {
+      out << "    " << lease << "\n";
+    }
   }
 }
 
@@ -418,6 +462,8 @@ std::string fleet_status_json(const std::string& jobs_dir,
       }
       int live_leases = 0;
       int stale_leases = 0;
+      std::ostringstream leases_json;
+      bool first_lease = true;
       for (const LeaseState& lease : store.scan_leases()) {
         ++held[lease.owner];
         if (lease.expired) {
@@ -425,6 +471,14 @@ std::string fleet_status_json(const std::string& jobs_dir,
         } else {
           ++live_leases;
         }
+        leases_json << (first_lease ? "" : ",") << "{\"shard\":" << lease.shard
+                    << ",\"owner\":\"" << json_escape(lease.owner)
+                    << "\",\"age_seconds\":"
+                    << (lease.since > 0 ? now - lease.since : -1)
+                    << ",\"progress_age_seconds\":" << lease.progress_age
+                    << ",\"expired\":" << (lease.expired ? "true" : "false")
+                    << "}";
+        first_lease = false;
       }
       jobs_json << ",\"key\":\"" << scenario::hash_hex(store.spec().key)
                 << "\",\"tasks_total\":" << store.total_tasks()
@@ -434,7 +488,8 @@ std::string fleet_status_json(const std::string& jobs_dir,
                 << ",\"leases_live\":" << live_leases
                 << ",\"leases_stale\":" << stale_leases
                 << ",\"shards_corrupt\":" << corrupt
-                << ",\"shards_quarantined\":" << quarantined << "}";
+                << ",\"shards_quarantined\":" << quarantined
+                << ",\"leases\":[" << leases_json.str() << "]}";
     } catch (const std::exception& error) {
       jobs_json << ",\"error\":\"" << json_escape(error.what()) << "\"}";
     }
@@ -458,8 +513,10 @@ std::string fleet_status_json(const std::string& jobs_dir,
        << ",\"ttl_seconds\":" << r.ttl_seconds << ",\"cycles\":" << r.cycles
        << ",\"tasks\":" << r.tasks << ",\"shards\":" << r.shards
        << ",\"shards_per_second\":" << format_rate(shards_per_second(r, now))
-       << ",\"steals\":" << r.steals << ",\"leases_held\":" << held[r.id]
-       << "}";
+       << ",\"steals\":" << r.steals << ",\"pressure\":\""
+       << json_escape(r.pressure.empty() ? "ok" : r.pressure)
+       << "\",\"free_bytes\":" << r.free_bytes
+       << ",\"leases_held\":" << held[r.id] << "}";
     first = false;
     held.erase(r.id);
   }

@@ -70,7 +70,28 @@ struct MemberRecord {
   std::int64_t tasks = 0;   ///< tasks executed
   std::int64_t shards = 0;  ///< shards completed
   std::int64_t steals = 0;  ///< expired leases stolen
+  std::string pressure = "ok";   ///< degradation-ladder state name
+  std::int64_t free_bytes = -1;  ///< last probed free space (-1 = unknown)
 };
+
+// --- disk-pressure degradation ladder ----------------------------------
+
+/// The daemon's disk-pressure states, most to least healthy. Each rung
+/// sheds more load: `cache_shed` evicts the result cache and stops cache
+/// writes, `no_new_claims` additionally refuses new shard claims (finishes
+/// in-flight work and merges), `parked` does nothing but re-probe — the
+/// jobs-dir filesystem is too full to safely append records.
+enum class DiskPressure { ok, cache_shed, no_new_claims, parked };
+
+const char* to_string(DiskPressure pressure);
+
+/// Classifies probed free space against the operator's min-free watermark
+/// `min_free_bytes` (the `parked` threshold; the upper rungs engage at 2x
+/// and 4x). Stateless and monotone in `free_bytes`, so a daemon walks the
+/// ladder down and back up as space shrinks and recovers. Unknown free
+/// space (< 0) or an unset watermark (<= 0) reads as `ok`.
+DiskPressure classify_disk_pressure(std::int64_t free_bytes,
+                                    std::int64_t min_free_bytes);
 
 /// What a daemon learns about the machine it runs on. Published in its
 /// member record and consumed by resource-aware `fair` placement.

@@ -280,6 +280,7 @@ struct LeaseContent {
   std::string owner;
   std::int64_t since = 0;
   std::int64_t expiry = 0;
+  std::int64_t progress = 0;  ///< last progress stamp (0 = pre-progress lease)
 };
 
 std::optional<LeaseContent> parse_lease_text(const std::string& text) {
@@ -297,6 +298,8 @@ std::optional<LeaseContent> parse_lease_text(const std::string& text) {
     } else if (field == "expiry") {
       if (!(in >> lease.expiry)) return std::nullopt;
       saw_expiry = true;
+    } else if (field == "progress") {
+      if (!(in >> lease.progress)) return std::nullopt;
     } else {
       return std::nullopt;
     }
@@ -306,8 +309,9 @@ std::optional<LeaseContent> parse_lease_text(const std::string& text) {
 }
 
 std::string lease_content(const std::string& owner, std::int64_t since,
-                          std::int64_t expiry) {
-  return str("owner ", owner, "\nsince ", since, "\nexpiry ", expiry, "\n");
+                          std::int64_t expiry, std::int64_t progress) {
+  return str("owner ", owner, "\nsince ", since, "\nexpiry ", expiry,
+             "\nprogress ", progress, "\n");
 }
 
 util::Fs& resolve_fs(const StoreEnv& env) {
@@ -700,8 +704,8 @@ bool JobStore::try_lease(int shard, const std::string& owner, bool* stole) {
     // one (the classic NFS-safe lockfile protocol).
     const std::int64_t now = clock_->now_seconds();
     const std::string tmp = str(path, ".", owner, ".tmp");
-    fs_->write_file(tmp,
-                    lease_content(owner, now, now + spec_.lease_ttl_seconds));
+    fs_->write_file(tmp, lease_content(owner, now,
+                                       now + spec_.lease_ttl_seconds, now));
     fs_->fsync_file(tmp);
     const bool linked = fs_->link(tmp, path);
     fs_->unlink(tmp);
@@ -733,8 +737,11 @@ void JobStore::renew_lease(int shard, const std::string& owner) {
   if (!lease.has_value() || lease->owner != owner) return;
   const std::int64_t now = clock_->now_seconds();
   const std::int64_t since = lease->since != 0 ? lease->since : now;
+  // The progress stamp tracks renewals: the heartbeat only renews after
+  // the worker advanced its record watermark, so renewal time is a faithful
+  // (conservative) last-progress bound visible to every fleet member.
   fs_->write_file_atomic(
-      path, lease_content(owner, since, now + spec_.lease_ttl_seconds));
+      path, lease_content(owner, since, now + spec_.lease_ttl_seconds, now));
 }
 
 void JobStore::release_lease(int shard, const std::string& owner) {
@@ -780,6 +787,8 @@ std::vector<ShardState> JobStore::scan() const {
         state.lease_since = lease->since;
         state.lease_expiry = lease->expiry;
         state.lease_age = lease->since > 0 ? now - lease->since : -1;
+        state.lease_progress_age =
+            lease->progress > 0 ? now - lease->progress : -1;
         state.lease_stale = lease->expiry <= now;
       }
     }
@@ -802,6 +811,8 @@ std::vector<LeaseState> JobStore::scan_leases() const {
     state.owner = lease->owner;
     state.since = lease->since;
     state.expiry = lease->expiry;
+    state.progress = lease->progress;
+    state.progress_age = lease->progress > 0 ? now - lease->progress : -1;
     state.expired = lease->expiry <= now;
     out.push_back(std::move(state));
   }

@@ -133,6 +133,10 @@ struct ShardState {
   std::int64_t lease_since = 0;   ///< unix seconds (0 = unknown / v1 lease)
   std::int64_t lease_expiry = 0;  ///< unix seconds
   std::int64_t lease_age = -1;    ///< now - since per the store clock (-1 = unknown)
+  /// now - last recorded progress stamp (-1 = unknown / pre-progress
+  /// lease). A large value against a live expiry is the fail-slow
+  /// signature: a holder that keeps the lease while advancing nothing.
+  std::int64_t lease_progress_age = -1;
   bool lease_stale = false;       ///< expiry <= now per the store clock
 };
 
@@ -143,6 +147,8 @@ struct LeaseState {
   std::string owner;
   std::int64_t since = 0;
   std::int64_t expiry = 0;
+  std::int64_t progress = 0;      ///< last progress stamp (0 = unknown)
+  std::int64_t progress_age = -1;  ///< now - progress (-1 = unknown)
   bool expired = false;  ///< per the store clock
 };
 

@@ -171,6 +171,27 @@ std::uint64_t ResultCache::total_bytes() const {
   return total;
 }
 
+void ResultCache::shed(std::uint64_t target_bytes) {
+  bool changed = false;
+  while (total_bytes() > target_bytes && !entries_.empty()) {
+    // Same LRU victim rule as evict(), but no keep entry and no budget
+    // check — shedding may empty the cache entirely.
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used ||
+          (it->second.last_used == victim->second.last_used &&
+           it->first < victim->first)) {
+        victim = it;
+      }
+    }
+    fs_->unlink(str(dir_, "/", victim->first, ".rows"));
+    fs_->unlink(str(dir_, "/", victim->first, ".meta"));
+    entries_.erase(victim);
+    changed = true;
+  }
+  if (changed) persist_index();
+}
+
 void ResultCache::evict(const std::string& keep_hex) {
   if (max_bytes_ == 0) return;
   while (total_bytes() > max_bytes_ && entries_.size() > 1) {

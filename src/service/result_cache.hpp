@@ -76,6 +76,12 @@ class ResultCache {
   void store(std::uint64_t key, const std::vector<std::string>& rows,
              const std::string& description);
 
+  /// Evicts least-recently-used entries until total_bytes() is at or
+  /// below `target_bytes`, regardless of the configured budget — the
+  /// daemon's cache-shed disk-pressure rung hands space back with
+  /// shed(0). Persists the index when anything was evicted.
+  void shed(std::uint64_t target_bytes);
+
   /// Tracked size of all entries (rows + sidecars), per the index.
   std::uint64_t total_bytes() const;
   std::size_t entry_count() const { return entries_.size(); }

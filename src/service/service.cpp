@@ -298,6 +298,9 @@ void print_job_status(const JobStore& store, std::ostream& out) {
       } else {
         out << "?";
       }
+      if (shard.lease_progress_age >= 0) {
+        out << ", progress " << shard.lease_progress_age << "s ago";
+      }
       out << ", expiry " << shard.lease_expiry << ")";
       if (shard.lease_stale) out << " STALE";
     }

@@ -71,39 +71,77 @@ int parse_signed_flag(const std::string& flag, const char* value) {
 }
 
 /// The worker/daemon test-decorator stack, outermost first:
-/// FaultyFs (injected death) → SharedFsSim (this process as one NFS
-/// client view) → the real filesystem; plus an optional skewed clock.
+/// DeadlineFs (per-op IO budget) → FaultyFs (injected death / targeted
+/// stall) → SlowFs (uniform latency) → SharedFsSim (this process as one
+/// NFS client view) → the real filesystem; plus an optional skewed clock.
 /// Members exist only when the corresponding flag was given; `env` points
-/// at the outermost layer of whatever was built.
+/// at the outermost layer of whatever was built. Layer order matters:
+/// FaultyFs counts ops before SlowFs slows them (schedules stay stable
+/// under latency), and DeadlineFs sits outside everything so an injected
+/// stall is charged against the op budget like a real hung mount.
 struct EnvStack {
+  struct Params {
+    bool fs_sim = false;
+    std::uint64_t fs_sim_seed = 1;
+    int fs_sim_stale_ops = 6;
+    int fault_crash_op = -1;
+    int clock_skew_seconds = 0;
+    int slow_fs_ms = 0;
+    int stall_append = -1;  ///< stall the N-th append to a shards/ file
+    int stall_ms = 0;
+    std::int64_t op_deadline_seconds = 0;
+  };
+
   std::unique_ptr<util::SharedFsSim> sim;
+  std::unique_ptr<util::SlowFs> slow;
   std::unique_ptr<util::FaultyFs> faulty;
+  std::unique_ptr<util::DeadlineFs> deadline;
   std::unique_ptr<util::OffsetClock> clock;
   StoreEnv env;
 
-  void build(bool fs_sim, std::uint64_t fs_sim_seed, int fs_sim_stale_ops,
-             int fault_crash_op, int clock_skew_seconds) {
+  void build(const Params& p) {
     util::Fs* fs = &util::real_fs();
-    if (fs_sim) {
+    if (p.fs_sim) {
       util::SharedFsSimConfig config;
-      config.seed = fs_sim_seed;
-      config.attr_stale_ops = fs_sim_stale_ops;
-      config.dir_stale_ops = fs_sim_stale_ops;
+      config.seed = p.fs_sim_seed;
+      config.attr_stale_ops = p.fs_sim_stale_ops;
+      config.dir_stale_ops = p.fs_sim_stale_ops;
       sim = std::make_unique<util::SharedFsSim>(*fs, config);
       fs = sim.get();
     }
-    if (fault_crash_op >= 0) {
+    if (p.slow_fs_ms > 0) {
+      slow = std::make_unique<util::SlowFs>(*fs, p.slow_fs_ms);
+      fs = slow.get();
+    }
+    if (p.fault_crash_op >= 0 || p.stall_append >= 0) {
       faulty = std::make_unique<util::FaultyFs>(*fs);
-      util::InjectedFault fault;
-      fault.kind = util::InjectedFault::Kind::crash;
-      fault.at = fault_crash_op;
-      faulty->inject(fault);
+      if (p.fault_crash_op >= 0) {
+        util::InjectedFault fault;
+        fault.kind = util::InjectedFault::Kind::crash;
+        fault.at = p.fault_crash_op;
+        faulty->inject(fault);
+      }
+      if (p.stall_append >= 0) {
+        // A shard-record append only happens while holding that shard's
+        // lease, so this stall is guaranteed to be a *mid-lease* hang.
+        util::InjectedFault fault;
+        fault.kind = util::InjectedFault::Kind::delay;
+        fault.at = p.stall_append;
+        fault.op = "append";
+        fault.path_substr = "shards/";
+        fault.delay_ms = p.stall_ms;
+        faulty->inject(fault);
+      }
       fs = faulty.get();
     }
+    if (p.op_deadline_seconds > 0) {
+      deadline = std::make_unique<util::DeadlineFs>(*fs);
+      fs = deadline.get();
+    }
     if (fs != &util::real_fs()) env.fs = fs;
-    if (clock_skew_seconds != 0) {
+    if (p.clock_skew_seconds != 0) {
       clock = std::make_unique<util::OffsetClock>(util::system_clock(),
-                                                  clock_skew_seconds);
+                                                  p.clock_skew_seconds);
       env.clock = clock.get();
     }
   }
@@ -159,9 +197,17 @@ void print_service_usage(std::ostream& os, const char* binary) {
         "      a restarted worker resumes from the shard logs and\n"
         "      quarantines corrupt ones. Leases are heartbeat-renewed at\n"
         "      TTL/3; transient IO errors are retried with backoff.\n"
+        "      --op-deadline S     per-logical-op IO budget in seconds:\n"
+        "                          an op still unfinished past it becomes\n"
+        "                          a transient ETIMEDOUT (0 = unbounded)\n"
         "      --fault-crash-op N  test hook: die (uncatchable, like\n"
         "                          kill -9) at the N-th filesystem\n"
         "                          operation this worker performs\n"
+        "      --stall-append N --stall-ms M\n"
+        "                          test hook: the N-th append to a shard\n"
+        "                          record (i.e. mid-lease) hangs for M ms\n"
+        "      --slow-fs-ms M      test hook: every filesystem op takes an\n"
+        "                          extra M ms (a uniformly slow mount)\n"
         "      --fs-sim-seed S     test hook: run behind a SharedFsSim\n"
         "                          NFS-client view (seeded staleness\n"
         "                          windows, delayed directory entries,\n"
@@ -202,12 +248,25 @@ void print_service_usage(std::ostream& os, const char* binary) {
         "                         fair-placement claim budget\n"
         "        --load100 L      advertise load average x100 (default:\n"
         "                         probe, re-sampled at each heartbeat)\n"
+        "        --min-free-bytes B\n"
+        "                         disk-pressure ladder watermark: as free\n"
+        "                         space on the jobs-dir filesystem shrinks\n"
+        "                         below 4x/2x/1x B the daemon sheds its\n"
+        "                         cache, stops claiming, then parks; freed\n"
+        "                         space walks it back up (0 = off)\n"
+        "        --free-bytes-file F\n"
+        "                         test hook: probe free bytes from file F\n"
+        "                         instead of statvfs\n"
+        "        --op-deadline S  per-logical-op IO budget, as in worker\n"
         "        --clock-skew S   test hook: offset this daemon's wall\n"
         "                         clock by S seconds (negative allowed)\n"
         "        --fault-crash-op N\n"
         "                         test hook: die (uncatchable, like\n"
         "                         kill -9) at the N-th filesystem\n"
         "                         operation this daemon performs\n"
+        "        --stall-append N --stall-ms M / --slow-fs-ms M\n"
+        "                         test hooks: mid-lease hang / uniformly\n"
+        "                         slow mount, as in worker\n"
         "        --fs-sim-seed S / --fs-sim-stale-ops N\n"
         "                         test hook: run behind a SharedFsSim\n"
         "                         NFS-client view, as in worker\n"
@@ -222,11 +281,14 @@ void print_service_usage(std::ostream& os, const char* binary) {
         "\n"
         "  " << binary
      << " status --job-dir D | --jobs-dir D [--json FILE]\n"
-        "      --job-dir: report one job's shards, leases (with age;\n"
-        "      STALE when expired), quarantines, and progress.\n"
+        "      --job-dir: report one job's shards, leases (with age and\n"
+        "      last-progress age — a big gap on a live lease is a\n"
+        "      fail-slow holder; STALE when expired), quarantines, and\n"
+        "      progress.\n"
         "      --jobs-dir: the fleet view — every member daemon\n"
         "      (live/STALE, heartbeat age, host/cores/load, shards/sec,\n"
-        "      held leases) and every job's progress.\n"
+        "      disk-pressure state, held leases) and every job's progress\n"
+        "      with per-lease owner/age/progress lines.\n"
         "      --json FILE: with --jobs-dir, also write the fleet view as\n"
         "      deterministic machine-readable JSON (\"-\" = stdout).\n"
         "\n"
@@ -267,6 +329,20 @@ void print_service_usage(std::ostream& os, const char* binary) {
         "                         window (both imply --sim)\n"
         "        --clock-skew S   spread daemon wall clocks across\n"
         "                         [-S, +S] seconds\n"
+        "        --slow [--slow-fs-ms M]\n"
+        "                         run every daemon behind a uniformly slow\n"
+        "                         mount (default 2ms per op)\n"
+        "        --stall-seed S [--stall-ms M]\n"
+        "                         arm one seeded mid-lease append hang per\n"
+        "                         daemon generation, long enough (default\n"
+        "                         lease TTL + 1s) that the lease lapses, a\n"
+        "                         peer steals it, and the holder fences\n"
+        "                         itself on waking\n"
+        "        --disk-pressure [--min-free-bytes B]\n"
+        "                         squeeze a shared free-bytes file to zero\n"
+        "                         mid-storm and restore it; every daemon\n"
+        "                         must walk the degradation ladder down\n"
+        "                         and back up\n"
         "        --no-require-steal\n"
         "                         don't fail when kills produced no steal\n";
 }
@@ -323,10 +399,7 @@ int serve_main(int argc, char** argv) {
 
 int worker_main(int argc, char** argv) {
   std::string job_dir;
-  int fault_crash_op = -1;
-  bool fs_sim = false;
-  std::uint64_t fs_sim_seed = 1;
-  int fs_sim_stale_ops = 6;
+  EnvStack::Params stack_params;
   WorkerOptions options;
   options.log = &std::cout;
   for (int i = 2; i < argc; ++i) {
@@ -338,14 +411,27 @@ int worker_main(int argc, char** argv) {
     } else if (arg == "--max-shards") {
       options.max_shards =
           scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--op-deadline") {
+      stack_params.op_deadline_seconds =
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--fault-crash-op") {
-      fault_crash_op =
+      stack_params.fault_crash_op =
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--slow-fs-ms") {
+      stack_params.slow_fs_ms =
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--stall-append") {
+      stack_params.stall_append =
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--stall-ms") {
+      stack_params.stall_ms =
           parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--fs-sim-seed") {
-      fs_sim = true;
-      fs_sim_seed = parse_u64_flag(arg, flag_value(arg, argc, argv, i));
+      stack_params.fs_sim = true;
+      stack_params.fs_sim_seed =
+          parse_u64_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--fs-sim-stale-ops") {
-      fs_sim_stale_ops =
+      stack_params.fs_sim_stale_ops =
           parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--help" || arg == "-h") {
       print_service_usage(std::cout, argv[0]);
@@ -357,12 +443,15 @@ int worker_main(int argc, char** argv) {
   if (job_dir.empty()) throw ScenarioError("worker: --job-dir is required");
   // Test decorators: --fault-crash-op wraps this process's filesystem in
   // a FaultyFs so the injected death is indistinguishable (to the job
-  // directory) from a kill at that syscall; --fs-sim-seed additionally
-  // puts the process behind its own simulated NFS-client view — the CI
-  // fault matrix and shared-fs smokes drive these flags.
+  // directory) from a kill at that syscall; --stall-append/--stall-ms arm
+  // a mid-lease hang instead; --slow-fs-ms taxes every op; --op-deadline
+  // bounds each logical op; --fs-sim-seed additionally puts the process
+  // behind its own simulated NFS-client view — the CI fault matrix and
+  // shared-fs/fail-slow smokes drive these flags.
   EnvStack stack;
-  stack.build(fs_sim, fs_sim_seed, fs_sim_stale_ops, fault_crash_op,
-              /*clock_skew_seconds=*/0);
+  stack.build(stack_params);
+  options.op_deadline_seconds = stack_params.op_deadline_seconds;
+  options.deadline_fs = stack.deadline.get();
   const StoreEnv& env = stack.env;
   JobStore store = JobStore::open(job_dir, env);
   const JobRuntime runtime(store);
@@ -387,11 +476,7 @@ int daemon_main(int argc, char** argv) {
   DaemonOptions options;
   options.cache_dir = kDefaultCacheDir;
   options.log = &std::cout;
-  int fault_crash_op = -1;
-  bool fs_sim = false;
-  std::uint64_t fs_sim_seed = 1;
-  int fs_sim_stale_ops = 6;
-  int clock_skew_seconds = 0;
+  EnvStack::Params stack_params;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--jobs-dir") {
@@ -432,16 +517,34 @@ int daemon_main(int argc, char** argv) {
       options.resources.load100 =
           parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--clock-skew") {
-      clock_skew_seconds =
+      stack_params.clock_skew_seconds =
           parse_signed_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--min-free-bytes") {
+      options.min_free_bytes = static_cast<std::int64_t>(
+          parse_u64_flag(arg, flag_value(arg, argc, argv, i)));
+    } else if (arg == "--free-bytes-file") {
+      options.free_bytes_file = flag_value(arg, argc, argv, i);
+    } else if (arg == "--op-deadline") {
+      stack_params.op_deadline_seconds =
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--fault-crash-op") {
-      fault_crash_op =
+      stack_params.fault_crash_op =
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--slow-fs-ms") {
+      stack_params.slow_fs_ms =
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--stall-append") {
+      stack_params.stall_append =
+          parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--stall-ms") {
+      stack_params.stall_ms =
           parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--fs-sim-seed") {
-      fs_sim = true;
-      fs_sim_seed = parse_u64_flag(arg, flag_value(arg, argc, argv, i));
+      stack_params.fs_sim = true;
+      stack_params.fs_sim_seed =
+          parse_u64_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--fs-sim-stale-ops") {
-      fs_sim_stale_ops =
+      stack_params.fs_sim_stale_ops =
           parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
     } else if (arg == "--help" || arg == "-h") {
       print_service_usage(std::cout, argv[0]);
@@ -457,13 +560,15 @@ int daemon_main(int argc, char** argv) {
   // point) must not take its logged steal/claim evidence down with it.
   std::cout << std::unitbuf;
   // Test decorators, mirroring the worker's: FaultyFs so the injected
-  // death is indistinguishable from a kill at that syscall, SharedFsSim
-  // so this daemon runs behind one simulated NFS-client view of the jobs
-  // directory, and OffsetClock so its wall clock disagrees with the
-  // fleet's by a fixed skew.
+  // death (or mid-lease stall) is indistinguishable from a kill or hung
+  // mount at that syscall, SlowFs for uniform latency, DeadlineFs for
+  // per-op budgets, SharedFsSim so this daemon runs behind one simulated
+  // NFS-client view of the jobs directory, and OffsetClock so its wall
+  // clock disagrees with the fleet's by a fixed skew.
   EnvStack stack;
-  stack.build(fs_sim, fs_sim_seed, fs_sim_stale_ops, fault_crash_op,
-              clock_skew_seconds);
+  stack.build(stack_params);
+  options.op_deadline_seconds = stack_params.op_deadline_seconds;
+  options.deadline_fs = stack.deadline.get();
   const StoreEnv& env = stack.env;
   std::signal(SIGTERM, request_stop);
   std::signal(SIGINT, request_stop);
@@ -479,6 +584,17 @@ int daemon_main(int argc, char** argv) {
   }
   if (report.leases_stolen > 0) {
     std::cout << ", " << report.leases_stolen << " lease(s) stolen";
+  }
+  if (report.shards_fenced > 0) {
+    std::cout << ", " << report.shards_fenced << " shard(s) fenced";
+  }
+  if (report.heartbeats_skipped > 0) {
+    std::cout << ", " << report.heartbeats_skipped
+              << " heartbeat(s) withheld";
+  }
+  if (report.pressure_transitions > 0) {
+    std::cout << ", " << report.pressure_transitions
+              << " pressure transition(s) (final " << report.pressure << ")";
   }
   if (report.members_reaped > 0 || report.leases_reclaimed > 0 ||
       report.quarantines_removed > 0) {
@@ -582,6 +698,23 @@ int soak_main(int argc, char** argv) {
     } else if (arg == "--clock-skew") {
       options.clock_skew_seconds =
           parse_nonneg_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--slow") {
+      // Default slow-mount tax; --slow-fs-ms overrides the amount.
+      if (options.slow_fs_ms == 0) options.slow_fs_ms = 2;
+    } else if (arg == "--slow-fs-ms") {
+      options.slow_fs_ms =
+          scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--stall-seed") {
+      options.stall_seed =
+          parse_u64_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--stall-ms") {
+      options.stall_ms =
+          scenario::parse_int_flag(arg, flag_value(arg, argc, argv, i));
+    } else if (arg == "--disk-pressure") {
+      options.disk_pressure = true;
+    } else if (arg == "--min-free-bytes") {
+      options.min_free_bytes = static_cast<std::int64_t>(
+          parse_u64_flag(arg, flag_value(arg, argc, argv, i)));
     } else if (arg == "--no-require-steal") {
       options.require_steal = false;
     } else if (arg == "--help" || arg == "-h") {

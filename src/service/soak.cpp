@@ -175,6 +175,23 @@ SoakReport run_soak(const SoakOptions& options) {
   // The owner token includes the generation — a respawn is a *new* fleet
   // member (as a real restart's fresh pid would be), so a predecessor's
   // leftover lease is foreign to it and must be stolen, not resumed.
+  // Fail-slow knobs resolved once: the stall must comfortably outlive the
+  // lease TTL or no lapse (and no steal) is guaranteed.
+  const int stall_ms = options.stall_ms > 0
+                           ? options.stall_ms
+                           : (options.lease_ttl_seconds + 1) * 1000;
+  const std::string free_file = str(options.dir, "/free_bytes");
+  const std::int64_t free_high = options.min_free_bytes * 10;
+  const auto write_free_bytes = [&](std::int64_t value) {
+    // Temp + rename: daemons re-read this file through their Fs seam
+    // every cycle and must never observe a half-written number.
+    const std::string tmp = str(free_file, ".tmp");
+    std::ofstream out(tmp, std::ios::trunc);
+    out << value << "\n";
+    out.close();
+    stdfs::rename(tmp, free_file);
+  };
+  if (options.disk_pressure) write_free_bytes(free_high);
   const auto daemon_args = [&](int slot, int generation) {
     std::vector<std::string> args{
         "daemon",       "--jobs-dir",  jobs_dir,
@@ -186,6 +203,29 @@ SoakReport run_soak(const SoakOptions& options) {
     if (options.fault_crash_op >= 0 && generation == 0) {
       args.push_back("--fault-crash-op");
       args.push_back(str(options.fault_crash_op));
+    }
+    if (options.slow_fs_ms > 0) {
+      args.push_back("--slow-fs-ms");
+      args.push_back(str(options.slow_fs_ms));
+    }
+    if (options.stall_seed != 0) {
+      // One mid-lease hang per daemon generation: the N-th append to a
+      // shards/ file stalls for longer than the lease TTL. The victim op
+      // varies by slot and generation so stalls land at different points
+      // of different daemons' claim sequences.
+      std::uint64_t x = options.stall_seed * 1000003ull +
+                        static_cast<std::uint64_t>(slot) * 131ull +
+                        static_cast<std::uint64_t>(generation);
+      args.push_back("--stall-append");
+      args.push_back(str(1 + splitmix64(x) % 4));
+      args.push_back("--stall-ms");
+      args.push_back(str(stall_ms));
+    }
+    if (options.disk_pressure) {
+      args.push_back("--min-free-bytes");
+      args.push_back(str(options.min_free_bytes));
+      args.push_back("--free-bytes-file");
+      args.push_back(free_file);
     }
     if (options.sim) {
       // Each daemon mounts the jobs directory through its own SharedFsSim
@@ -233,6 +273,17 @@ SoakReport run_soak(const SoakOptions& options) {
     if (options.clock_skew_seconds != 0) {
       *log << ", clock skew +/-" << options.clock_skew_seconds << "s";
     }
+    if (options.slow_fs_ms > 0) {
+      *log << ", slow-fs " << options.slow_fs_ms << "ms/op";
+    }
+    if (options.stall_seed != 0) {
+      *log << ", stall seed " << options.stall_seed << " (" << stall_ms
+           << "ms vs " << options.lease_ttl_seconds << "s lease)";
+    }
+    if (options.disk_pressure) {
+      *log << ", disk-pressure drill (watermark " << options.min_free_bytes
+           << "B)";
+    }
     *log << "\n";
   }
 
@@ -243,9 +294,29 @@ SoakReport run_soak(const SoakOptions& options) {
   const std::int64_t deadline =
       now_ms() + static_cast<std::int64_t>(options.timeout_seconds) * 1000;
   std::int64_t next_kill = now_ms() + options.kill_interval_ms;
+  // Disk-pressure schedule: let the fleet get going, squeeze the shared
+  // "disk" to zero (every daemon must park), hold, then restore (every
+  // daemon must walk back up and finish the drain).
+  const std::int64_t squeeze_at = now_ms() + 1000;
+  const std::int64_t restore_at = squeeze_at + 1500;
+  bool squeezed = false;
+  bool restored = false;
   int kills_done = 0;
   bool all_done = false;
   while (now_ms() < deadline) {
+    if (options.disk_pressure && !squeezed && now_ms() >= squeeze_at) {
+      write_free_bytes(0);
+      squeezed = true;
+      if (log != nullptr) *log << "soak: squeezed free bytes to 0\n";
+    }
+    if (options.disk_pressure && squeezed && !restored &&
+        now_ms() >= restore_at) {
+      write_free_bytes(free_high);
+      restored = true;
+      if (log != nullptr) {
+        *log << "soak: restored free bytes to " << free_high << "\n";
+      }
+    }
     // Reap: a slot that died without our SIGKILL hit the fault hook (or
     // a real bug — the merge check decides which).
     for (Slot& slot : slots) {
@@ -269,7 +340,10 @@ SoakReport run_soak(const SoakOptions& options) {
         break;
       }
     }
-    if (all_done) break;
+    // Under the disk-pressure drill, hold the fleet up through the full
+    // squeeze-and-restore cycle even if the drain already finished — the
+    // ladder walk is part of the verdict, and idle daemons still probe.
+    if (all_done && (!options.disk_pressure || restored)) break;
     for (int i = 0; i < options.daemons; ++i) {
       if (!slots[static_cast<std::size_t>(i)].alive) {
         ++slots[static_cast<std::size_t>(i)].generation;
@@ -333,9 +407,10 @@ SoakReport run_soak(const SoakOptions& options) {
   // buffered lines, but the *stealer* survives by definition — and the
   // daemon CLI runs unbuffered anyway).
   for (int i = 0; i < options.daemons; ++i) {
-    report.steals +=
-        count_occurrences(str(logs_dir, "/soak-d", i, ".log"),
-                          "stole expired lease");
+    const std::string log_path = str(logs_dir, "/soak-d", i, ".log");
+    report.steals += count_occurrences(log_path, "stole expired lease");
+    report.fences += count_occurrences(log_path, "fenced off shard");
+    report.pressure_events += count_occurrences(log_path, "disk pressure");
   }
 
   // Safety: every job re-merged in-process must reproduce its reference
@@ -360,17 +435,26 @@ SoakReport run_soak(const SoakOptions& options) {
   }
 
   report.ok = report.completed && report.identical;
-  if (options.require_steal && report.kills > 0 && report.steals == 0) {
+  const bool steal_required = report.kills > 0 || options.stall_seed != 0;
+  if (options.require_steal && steal_required && report.steals == 0) {
     report.ok = false;
     report.failures.push_back(
-        "mechanism: kills happened but no lease steal was observed");
+        "mechanism: kills/stalls happened but no lease steal was observed");
+  }
+  if (options.disk_pressure && report.pressure_events < 2) {
+    // A full drill is at least one down transition and one back up.
+    report.ok = false;
+    report.failures.push_back(
+        "mechanism: disk-pressure drill produced no ladder walk");
   }
   if (log != nullptr) {
     *log << "soak: " << (report.ok ? "OK" : "FAILED") << " — "
          << report.jobs << " job(s)/" << report.total_tasks << " task(s), "
          << report.kills << " kill(s), " << report.crashes
          << " crash(es), " << report.restarts << " restart(s), "
-         << report.steals << " steal(s), merges "
+         << report.steals << " steal(s), " << report.fences
+         << " fence(s), " << report.pressure_events
+         << " pressure transition(s), merges "
          << (report.identical ? "byte-identical" : "DIVERGENT") << "\n";
     for (const std::string& failure : report.failures) {
       *log << "soak:   " << failure << "\n";

@@ -11,6 +11,14 @@
 // `--fault-crash-op` FaultyFs crash hook so injected filesystem deaths
 // compose with external kills.
 //
+// Fail-slow storms compose the same way: `--slow` mounts every daemon
+// behind a uniform-latency SlowFs, `--stall-seed` arms one seeded
+// mid-lease append stall per daemon generation — long enough that the
+// holder's progress-gated heartbeat lets the lease lapse, a peer steals
+// it, and the holder fences itself on waking — and `--disk-pressure`
+// squeezes a shared free-bytes file to zero mid-run and restores it,
+// walking the whole fleet down and back up the degradation ladder.
+//
 // The verdict is the service's whole contract at once:
 //   * liveness — every job's every shard completes within the timeout
 //     despite the kills (leases expire, survivors steal, respawns rejoin);
@@ -67,8 +75,26 @@ struct SoakOptions {
   /// offset spread deterministically across [-skew, +skew] seconds
   /// (0 = everyone agrees). Composes with `sim` or stands alone.
   int clock_skew_seconds = 0;
+  /// Slow-mount storm (`soak --slow`): every daemon runs behind a SlowFs
+  /// adding this many real milliseconds to every filesystem op (0 = off).
+  int slow_fs_ms = 0;
+  /// Fail-slow storm (`--stall-seed`): each daemon generation arms one
+  /// `Kind::delay` fault on a seeded N-th append to a shards/ file —
+  /// i.e. while it demonstrably holds that shard's lease — stalling it
+  /// for `stall_ms`. With stall_ms > lease TTL the stalled daemon's
+  /// progress-gated heartbeat lets the lease lapse, a peer must steal,
+  /// and the holder must fence itself on waking. 0 = off.
+  std::uint64_t stall_seed = 0;
+  /// Stall length in real ms; 0 derives (lease_ttl_seconds + 1) * 1000.
+  int stall_ms = 0;
+  /// Disk-pressure drill (`--disk-pressure`): daemons run the degradation
+  /// ladder against a shared free-bytes file the storm squeezes to zero
+  /// mid-run and then restores, requiring a full down-and-back-up walk.
+  bool disk_pressure = false;
+  std::int64_t min_free_bytes = 1 << 20;  ///< ladder watermark for the drill
   int timeout_seconds = 300;
-  /// Fail the verdict when kills happened but no lease steal was observed.
+  /// Fail the verdict when a steal was required (kills or stalls armed)
+  /// but none was observed.
   bool require_steal = true;
   std::ostream* log = nullptr;
 };
@@ -80,6 +106,8 @@ struct SoakReport {
   int crashes = 0;        ///< daemons that died on their own (fault hook)
   int restarts = 0;       ///< respawns after kills/crashes
   int steals = 0;         ///< "stole expired lease" lines across logs
+  int fences = 0;         ///< "fenced off shard" lines (wake-after-steal)
+  int pressure_events = 0;  ///< "disk pressure" transition lines across logs
   bool completed = false; ///< every shard of every job done in time
   bool identical = false; ///< every merge matched its reference bytes
   bool ok = false;        ///< overall verdict (incl. require_steal)

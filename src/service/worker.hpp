@@ -13,10 +13,17 @@
 // the merger accepts their union.
 //
 // Robustness mechanics:
-//   * a background heartbeat renews the held lease at TTL/3, so a healthy
-//     worker on a slow shard is never stolen from;
-//   * transient IO errors (EIO, ENOSPC, ...) are retried with jittered
-//     exponential backoff before giving up;
+//   * a background heartbeat renews the held lease at TTL/3 — but only
+//     while the worker keeps advancing its record watermark. A healthy
+//     worker on a slow shard is never stolen from; a fail-slow worker
+//     (hung IO, wedged compute) stops earning renewals, its lease lapses
+//     within one TTL, and a peer steals the shard. On waking, the worker
+//     fences itself: it re-verifies ownership before any further append
+//     and abandons the shard if a thief holds (or completed) it;
+//   * transient IO errors (EIO, ENOSPC, ETIMEDOUT, ...) are retried with
+//     jittered exponential backoff; with an op deadline configured, a
+//     DeadlineFs turns hung ops into ETIMEDOUT and the retry loop's whole
+//     budget (sleeps included) is clamped to the deadline;
 //   * a cooperative stop flag (the daemon's SIGTERM path) abandons the
 //     current shard cleanly: records already appended stay durable, the
 //     lease is released so another worker picks the shard up immediately.
@@ -82,6 +89,15 @@ struct WorkerOptions {
   /// Backoff window for those retries (jittered exponential).
   int backoff_initial_ms = 10;
   int backoff_max_ms = 1000;
+  /// Per-logical-op IO deadline in clock seconds (0 = none): each store
+  /// operation (append, done-marker) gets this budget across all its
+  /// retry attempts, and backoff sleeps never run past it.
+  std::int64_t op_deadline_seconds = 0;
+  /// When the caller's Fs stack includes a DeadlineFs, pass it here so
+  /// the worker can install the per-op budget on it (a hung syscall then
+  /// surfaces as transient IoError(ETIMEDOUT) instead of stalling
+  /// forever).
+  util::DeadlineFs* deadline_fs = nullptr;
   std::ostream* log = nullptr;  ///< progress lines, when set
 };
 
@@ -93,6 +109,9 @@ struct WorkerReport {
   int leases_stolen = 0;   ///< expired foreign leases evicted on acquire
   int quarantines_cleared = 0;  ///< quarantine files GC'd after verified
                                 ///< recompute of their shard
+  int shards_fenced = 0;   ///< abandoned after waking to a lapsed lease
+  int heartbeats_skipped = 0;  ///< due renewals withheld by the progress
+                               ///< gate (a fail-slow signature)
   bool stopped = false;    ///< returned early via the stop flag
 };
 

@@ -223,6 +223,14 @@ std::int64_t SharedFsSim::file_size(const std::string& path) {
   return size;
 }
 
+std::int64_t SharedFsSim::free_bytes(const std::string& path) {
+  // Capacity is a server-side attribute; the simulated client view never
+  // caches it, so pass straight through (no tick: this is a probe, not a
+  // data op, and keeping it out of the op count keeps stale-window draws
+  // stable for existing seeds).
+  return base_.free_bytes(path);
+}
+
 void SharedFsSim::invalidate(const std::string& path) {
   const std::lock_guard<std::mutex> lock(mutex_);
   tick();

@@ -100,6 +100,7 @@ class SharedFsSim final : public Fs {
   void create_dirs(const std::string& dir) override;
   void sync_dir(const std::string& dir) override;
   std::int64_t file_size(const std::string& path) override;
+  std::int64_t free_bytes(const std::string& path) override;
   void invalidate(const std::string& path) override;
 
  private:

@@ -2,14 +2,17 @@
 
 #include <fcntl.h>
 #include <sys/stat.h>
+#include <sys/statvfs.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <array>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <thread>
 
 #include "util/rng.hpp"
 
@@ -82,13 +85,22 @@ class RealFs final : public Fs {
     if (fd < 0) throw_errno("open " + path + " for append", errno);
     // One write() call: appends of record size are atomic on local
     // filesystems, so concurrent appenders never interleave mid-line.
+    struct stat st;
+    const std::int64_t before =
+        ::fstat(fd, &st) == 0 ? static_cast<std::int64_t>(st.st_size) : -1;
     const ssize_t wrote = ::write(fd, data.data(), data.size());
     const int err = errno;
-    ::close(fd);
-    if (wrote < 0) throw_errno("append " + path, err);
-    if (wrote != static_cast<ssize_t>(data.size())) {
+    if (wrote >= 0 && wrote != static_cast<ssize_t>(data.size())) {
+      // Short write: the prefix is already on disk as a torn line. Undo it
+      // before reporting the (transient) failure — otherwise the caller's
+      // backoff-retry appends the full record *after* the torn bytes and
+      // the log carries a permanently garbled line.
+      if (before >= 0) ::ftruncate(fd, static_cast<off_t>(before));
+      ::close(fd);
       throw IoError("short append to " + path, ENOSPC);
     }
+    ::close(fd);
+    if (wrote < 0) throw_errno("append " + path, err);
   }
 
   void fsync_file(const std::string& path) override {
@@ -160,6 +172,13 @@ class RealFs final : public Fs {
     return static_cast<std::int64_t>(st.st_size);
   }
 
+  std::int64_t free_bytes(const std::string& path) override {
+    struct statvfs vfs;
+    if (::statvfs(path.c_str(), &vfs) != 0) return -1;
+    return static_cast<std::int64_t>(vfs.f_bavail) *
+           static_cast<std::int64_t>(vfs.f_frsize);
+  }
+
   void invalidate(const std::string& path) override {
     // On a close-to-open NFS mount an open()+close() cycle revalidates
     // the client's cached attributes against the server; on a local
@@ -173,7 +192,7 @@ class RealFs final : public Fs {
 
 bool IoError::transient() const {
   return code_ == EIO || code_ == EAGAIN || code_ == EINTR ||
-         code_ == ENOSPC || code_ == ESTALE;
+         code_ == ENOSPC || code_ == ESTALE || code_ == ETIMEDOUT;
 }
 
 bool read_file_retry_estale(Fs& fs, const std::string& path,
@@ -250,6 +269,21 @@ int FaultyFs::faults_fired() const {
   return fired_;
 }
 
+int FaultyFs::stalls() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stalls_;
+}
+
+void FaultyFs::set_tick_clock(FakeClock* clock) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tick_clock_ = clock;
+}
+
+void FaultyFs::set_on_stall(std::function<void()> hook) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  on_stall_ = std::move(hook);
+}
+
 std::vector<std::pair<std::string, std::string>> FaultyFs::trace() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return trace_;
@@ -257,33 +291,80 @@ std::vector<std::pair<std::string, std::string>> FaultyFs::trace() const {
 
 std::optional<std::size_t> FaultyFs::check(const char* op,
                                            const std::string& path) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const int index = ops_++;
-  trace_.emplace_back(op, path);
-  for (Armed& armed : faults_) {
-    if (armed.fired && !armed.fault.sticky) continue;
-    if (!armed.fault.op.empty() && armed.fault.op != op) continue;
-    if (!armed.fault.path_substr.empty() &&
-        path.find(armed.fault.path_substr) == std::string::npos) {
-      continue;
+  // Phase 1 (locked): record the op, decide what fires. Delay faults only
+  // accumulate here; the stall itself runs after the lock is dropped so
+  // the on_stall hook may do filesystem work (a peer stealing the stalled
+  // worker's lease) without deadlocking against this FaultyFs.
+  int delay_ms = 0;
+  std::int64_t delay_ticks = 0;
+  std::optional<std::size_t> torn;
+  enum class Throw { none, error, crash } pending = Throw::none;
+  int error_code = 0;
+  std::string where;
+  FakeClock* tick_clock = nullptr;
+  std::function<void()> on_stall;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const int index = ops_++;
+    trace_.emplace_back(op, path);
+    for (Armed& armed : faults_) {
+      if (armed.fired && !armed.fault.sticky) continue;
+      if (!armed.fault.op.empty() && armed.fault.op != op) continue;
+      if (!armed.fault.path_substr.empty() &&
+          path.find(armed.fault.path_substr) == std::string::npos) {
+        continue;
+      }
+      const int match = armed.seen++;
+      if (match < armed.fault.at) continue;
+      armed.fired = true;
+      ++fired_;
+      where = std::string(op) + " " + path + " (op " + std::to_string(index) +
+              ")";
+      if (armed.fault.kind == InjectedFault::Kind::delay) {
+        delay_ms += armed.fault.delay_ms;
+        delay_ticks += armed.fault.delay_ticks;
+        continue;  // composable: a later crash/error may also be due
+      }
+      switch (armed.fault.kind) {
+        case InjectedFault::Kind::error:
+          pending = Throw::error;
+          error_code = armed.fault.err;
+          break;
+        case InjectedFault::Kind::torn:
+          if (std::string_view(op) == "append") {
+            torn = armed.fault.keep_bytes;
+            break;
+          }
+          [[fallthrough]];
+        case InjectedFault::Kind::crash:
+        case InjectedFault::Kind::delay:  // unreachable; silences -Wswitch
+          pending = Throw::crash;
+          break;
+      }
+      break;  // first throwing/torn fault wins, as before
     }
-    const int match = armed.seen++;
-    if (match < armed.fault.at) continue;
-    armed.fired = true;
-    ++fired_;
-    const std::string where = std::string(op) + " " + path + " (op " +
-                              std::to_string(index) + ")";
-    switch (armed.fault.kind) {
-      case InjectedFault::Kind::error:
-        throw IoError("injected fault at " + where, armed.fault.err);
-      case InjectedFault::Kind::torn:
-        if (std::string_view(op) == "append") return armed.fault.keep_bytes;
-        [[fallthrough]];
-      case InjectedFault::Kind::crash:
-        throw InjectedCrash("injected crash at " + where);
-    }
+    tick_clock = tick_clock_;
+    on_stall = on_stall_;
   }
-  return std::nullopt;
+  // Phase 2 (unlocked): execute the stall, then any scheduled failure.
+  if (delay_ms > 0 || delay_ticks > 0) {
+    if (tick_clock != nullptr && delay_ticks > 0) {
+      tick_clock->advance(delay_ticks);
+    }
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    if (on_stall) on_stall();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stalls_;
+  }
+  if (pending == Throw::error) {
+    throw IoError("injected fault at " + where, error_code);
+  }
+  if (pending == Throw::crash) {
+    throw InjectedCrash("injected crash at " + where);
+  }
+  return torn;
 }
 
 bool FaultyFs::exists(const std::string& path) {
@@ -353,9 +434,188 @@ std::int64_t FaultyFs::file_size(const std::string& path) {
   return base_.file_size(path);
 }
 
+std::int64_t FaultyFs::free_bytes(const std::string& path) {
+  check("statvfs", path);
+  return base_.free_bytes(path);
+}
+
 void FaultyFs::invalidate(const std::string& path) {
   check("invalidate", path);
   base_.invalidate(path);
+}
+
+void SlowFs::stall() {
+  if (tick_clock_ != nullptr && tick_seconds_ > 0) {
+    tick_clock_->advance(tick_seconds_);
+  }
+  if (delay_ms_ > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
+  }
+}
+
+bool SlowFs::exists(const std::string& path) {
+  stall();
+  return base_.exists(path);
+}
+
+bool SlowFs::read_file(const std::string& path, std::string& out) {
+  stall();
+  return base_.read_file(path, out);
+}
+
+void SlowFs::write_file(const std::string& path, std::string_view data) {
+  stall();
+  base_.write_file(path, data);
+}
+
+void SlowFs::append(const std::string& path, std::string_view data) {
+  stall();
+  base_.append(path, data);
+}
+
+void SlowFs::fsync_file(const std::string& path) {
+  stall();
+  base_.fsync_file(path);
+}
+
+bool SlowFs::link(const std::string& existing, const std::string& link_path) {
+  stall();
+  return base_.link(existing, link_path);
+}
+
+void SlowFs::rename(const std::string& from, const std::string& to) {
+  stall();
+  base_.rename(from, to);
+}
+
+bool SlowFs::unlink(const std::string& path) {
+  stall();
+  return base_.unlink(path);
+}
+
+std::vector<std::string> SlowFs::list(const std::string& dir) {
+  stall();
+  return base_.list(dir);
+}
+
+void SlowFs::create_dirs(const std::string& dir) {
+  stall();
+  base_.create_dirs(dir);
+}
+
+void SlowFs::sync_dir(const std::string& dir) {
+  stall();
+  base_.sync_dir(dir);
+}
+
+std::int64_t SlowFs::file_size(const std::string& path) {
+  stall();
+  return base_.file_size(path);
+}
+
+std::int64_t SlowFs::free_bytes(const std::string& path) {
+  stall();
+  return base_.free_bytes(path);
+}
+
+void SlowFs::invalidate(const std::string& path) {
+  stall();
+  base_.invalidate(path);
+}
+
+void DeadlineFs::set_deadline(Deadline deadline) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  deadline_ = deadline;
+}
+
+void DeadlineFs::check_deadline(const char* op, const std::string& path) {
+  Deadline deadline;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    deadline = deadline_;
+  }
+  if (deadline.expired()) {
+    throw IoError("io deadline exceeded at " + std::string(op) + " " + path,
+                  ETIMEDOUT);
+  }
+}
+
+bool DeadlineFs::exists(const std::string& path) {
+  const bool found = base_.exists(path);
+  check_deadline("exists", path);
+  return found;
+}
+
+bool DeadlineFs::read_file(const std::string& path, std::string& out) {
+  const bool found = base_.read_file(path, out);
+  check_deadline("read", path);
+  return found;
+}
+
+void DeadlineFs::write_file(const std::string& path, std::string_view data) {
+  base_.write_file(path, data);
+  check_deadline("write", path);
+}
+
+void DeadlineFs::append(const std::string& path, std::string_view data) {
+  base_.append(path, data);
+  check_deadline("append", path);
+}
+
+void DeadlineFs::fsync_file(const std::string& path) {
+  base_.fsync_file(path);
+  check_deadline("fsync", path);
+}
+
+bool DeadlineFs::link(const std::string& existing,
+                      const std::string& link_path) {
+  const bool linked = base_.link(existing, link_path);
+  check_deadline("link", link_path);
+  return linked;
+}
+
+void DeadlineFs::rename(const std::string& from, const std::string& to) {
+  base_.rename(from, to);
+  check_deadline("rename", to);
+}
+
+bool DeadlineFs::unlink(const std::string& path) {
+  const bool removed = base_.unlink(path);
+  check_deadline("unlink", path);
+  return removed;
+}
+
+std::vector<std::string> DeadlineFs::list(const std::string& dir) {
+  std::vector<std::string> names = base_.list(dir);
+  check_deadline("list", dir);
+  return names;
+}
+
+void DeadlineFs::create_dirs(const std::string& dir) {
+  base_.create_dirs(dir);
+  check_deadline("mkdir", dir);
+}
+
+void DeadlineFs::sync_dir(const std::string& dir) {
+  base_.sync_dir(dir);
+  check_deadline("syncdir", dir);
+}
+
+std::int64_t DeadlineFs::file_size(const std::string& path) {
+  const std::int64_t size = base_.file_size(path);
+  check_deadline("size", path);
+  return size;
+}
+
+std::int64_t DeadlineFs::free_bytes(const std::string& path) {
+  const std::int64_t free = base_.free_bytes(path);
+  check_deadline("statvfs", path);
+  return free;
+}
+
+void DeadlineFs::invalidate(const std::string& path) {
+  base_.invalidate(path);
+  check_deadline("invalidate", path);
 }
 
 Backoff::Backoff(int initial_ms, int max_ms, std::uint64_t seed)
@@ -372,6 +632,12 @@ int Backoff::next_ms() {
   const std::uint64_t draw = splitmix64(state_);
   return base - half +
          static_cast<int>(draw % (static_cast<std::uint64_t>(half) + 1));
+}
+
+int Backoff::next_ms(std::int64_t remaining_ms) {
+  const int drawn = next_ms();
+  if (remaining_ms <= 0) return 0;
+  return drawn <= remaining_ms ? drawn : static_cast<int>(remaining_ms);
 }
 
 void Backoff::reset() { base_ms_ = initial_ms_; }

@@ -11,7 +11,10 @@
 //   * crashes (an `InjectedCrash` is thrown before the syscall runs —
 //     the in-process equivalent of `kill -9` at that exact instant),
 //   * torn writes (an append persists only a prefix, then "crashes"),
-//   * IO errors (EIO, ENOSPC, ... as a thrown `IoError`).
+//   * IO errors (EIO, ENOSPC, ... as a thrown `IoError`),
+//   * delays (the op stalls for scheduled fake-clock ticks and/or real
+//     milliseconds, then proceeds — the gray-failure injection the
+//     fail-slow tests storm with).
 //
 // Because workers, the store, and the merger are deterministic given a
 // frozen clock, an op index fully identifies an injection point: the fault
@@ -24,6 +27,7 @@
 
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -31,6 +35,8 @@
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/clock.hpp"
 
 namespace dualcast::util {
 
@@ -45,8 +51,9 @@ class IoError : public std::runtime_error {
   int code() const { return code_; }
   /// Transient = a retry after a short backoff may succeed (EIO, EAGAIN,
   /// EINTR, ENOSPC — an operator can free space while workers back off —
-  /// and ESTALE: a reopen rebinds a handle that went stale under an NFS
-  /// client's cache).
+  /// ESTALE: a reopen rebinds a handle that went stale under an NFS
+  /// client's cache — and ETIMEDOUT: a per-op deadline fired on a hung
+  /// mount that may come back).
   bool transient() const;
 
  private:
@@ -99,6 +106,13 @@ class Fs {
   virtual void sync_dir(const std::string& dir) = 0;
   /// Size in bytes, or -1 when absent.
   virtual std::int64_t file_size(const std::string& path) = 0;
+  /// Free bytes on the filesystem holding `path` (statvfs), or -1 when
+  /// unknown. The daemon's disk-pressure ladder probes through this seam
+  /// so tests can shrink a disk without filling one.
+  virtual std::int64_t free_bytes(const std::string& path) {
+    (void)path;
+    return -1;
+  }
   /// Drops any client-side caching for `path`, so the next read observes
   /// the shared (server) state — the re-verify hook the lease/steal and
   /// recovery paths call before acting on a read that must be current.
@@ -135,7 +149,7 @@ std::uint32_t crc32c(std::string_view data);
 /// set it is the N-th append / N-th op touching a lease file / etc., which
 /// keeps test schedules stable against unrelated op-sequence changes.
 struct InjectedFault {
-  enum class Kind { crash, torn, error };
+  enum class Kind { crash, torn, error, delay };
 
   Kind kind = Kind::crash;
   int at = 0;
@@ -146,6 +160,9 @@ struct InjectedFault {
   bool sticky = false;  ///< fire on every matching op from `at` on
                         ///< (models a persistently failing device /
                         ///< read-only mount instead of a one-shot glitch)
+  int delay_ms = 0;     ///< Kind::delay: real milliseconds to stall
+  std::int64_t delay_ticks = 0;  ///< Kind::delay: FakeClock seconds to
+                                 ///< advance on the tick clock (if set)
 };
 
 /// Fault-injecting Fs decorator (see file comment). Deterministic: ops are
@@ -157,10 +174,21 @@ class FaultyFs final : public Fs {
 
   void inject(InjectedFault fault);
 
+  /// Kind::delay support: the clock a firing delay advances by
+  /// `delay_ticks` (a stalled op *is* time passing — lease expiries move
+  /// under a frozen-clock test without any real sleeping), and a hook run
+  /// while the op is stalled (outside the FaultyFs lock, so it may do IO
+  /// through another Fs — this is how a test makes a peer steal the
+  /// stalled worker's lease mid-hang).
+  void set_tick_clock(FakeClock* clock);
+  void set_on_stall(std::function<void()> hook);
+
   /// Total operations observed so far.
   int ops() const;
   /// Faults that have fired so far.
   int faults_fired() const;
+  /// Delay faults that have completed their stall so far.
+  int stalls() const;
   /// (op, path) per operation, in order — the fault matrix derives its
   /// injection points from a fault-free run's trace.
   std::vector<std::pair<std::string, std::string>> trace() const;
@@ -178,6 +206,7 @@ class FaultyFs final : public Fs {
   void create_dirs(const std::string& dir) override;
   void sync_dir(const std::string& dir) override;
   std::int64_t file_size(const std::string& path) override;
+  std::int64_t free_bytes(const std::string& path) override;
   void invalidate(const std::string& path) override;
 
  private:
@@ -190,15 +219,101 @@ class FaultyFs final : public Fs {
   /// Records the op, then fires any due fault: crash/error throw; a due
   /// torn fault returns the byte count to keep, for `append` to execute
   /// (prefix then crash). Only `append` can receive a torn fault; other
-  /// ops treat a due torn fault as a crash.
+  /// ops treat a due torn fault as a crash. A due delay fault stalls
+  /// *before* the op runs — tick clock advanced, real sleep, on_stall hook
+  /// — all outside the lock, then the op proceeds normally.
   std::optional<std::size_t> check(const char* op, const std::string& path);
 
   Fs& base_;
   mutable std::mutex mutex_;
   int ops_ = 0;
   int fired_ = 0;
+  int stalls_ = 0;
   std::vector<Armed> faults_;
   std::vector<std::pair<std::string, std::string>> trace_;
+  FakeClock* tick_clock_ = nullptr;
+  std::function<void()> on_stall_;
+};
+
+/// Uniform per-op latency decorator: every operation sleeps `delay_ms`
+/// (real time) and/or advances `tick_clock` by `tick_seconds` before
+/// running. Models a uniformly slow mount (cold NFS server, saturated
+/// disk) as opposed to FaultyFs's targeted single-op stalls; `soak --slow`
+/// runs whole daemons behind one of these.
+class SlowFs final : public Fs {
+ public:
+  SlowFs(Fs& base, int delay_ms, FakeClock* tick_clock = nullptr,
+         std::int64_t tick_seconds = 0)
+      : base_(base),
+        delay_ms_(delay_ms),
+        tick_clock_(tick_clock),
+        tick_seconds_(tick_seconds) {}
+
+  bool exists(const std::string& path) override;
+  bool read_file(const std::string& path, std::string& out) override;
+  void write_file(const std::string& path, std::string_view data) override;
+  void append(const std::string& path, std::string_view data) override;
+  void fsync_file(const std::string& path) override;
+  bool link(const std::string& existing,
+            const std::string& link_path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  bool unlink(const std::string& path) override;
+  std::vector<std::string> list(const std::string& dir) override;
+  void create_dirs(const std::string& dir) override;
+  void sync_dir(const std::string& dir) override;
+  std::int64_t file_size(const std::string& path) override;
+  std::int64_t free_bytes(const std::string& path) override;
+  void invalidate(const std::string& path) override;
+
+ private:
+  void stall();
+
+  Fs& base_;
+  int delay_ms_;
+  FakeClock* tick_clock_;
+  std::int64_t tick_seconds_;
+};
+
+/// Per-op IO deadline decorator: after each operation returns, checks a
+/// shared `Deadline` and converts a blown budget into a *typed, transient*
+/// `IoError(ETIMEDOUT)` — a hung append/link/read surfaces as an error the
+/// retry loop can see instead of an indefinite stall. Cooperative on
+/// purpose: the op itself is never interrupted (no signals, no second
+/// thread), so a slow-but-successful op still completed on disk — callers
+/// must treat a timed-out op as *maybe done*, which the record layer's
+/// idempotent appends already do. The deadline is per-worker-op, set via
+/// `set_deadline` before each logical operation.
+class DeadlineFs final : public Fs {
+ public:
+  explicit DeadlineFs(Fs& base) : base_(base) {}
+
+  /// Installs the budget the following ops are checked against. An
+  /// inactive (default) Deadline disables checking.
+  void set_deadline(Deadline deadline);
+  /// Times out (throws IoError(ETIMEDOUT)) if the current deadline has
+  /// expired. Public so retry loops can re-check between attempts.
+  void check_deadline(const char* op, const std::string& path);
+
+  bool exists(const std::string& path) override;
+  bool read_file(const std::string& path, std::string& out) override;
+  void write_file(const std::string& path, std::string_view data) override;
+  void append(const std::string& path, std::string_view data) override;
+  void fsync_file(const std::string& path) override;
+  bool link(const std::string& existing,
+            const std::string& link_path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  bool unlink(const std::string& path) override;
+  std::vector<std::string> list(const std::string& dir) override;
+  void create_dirs(const std::string& dir) override;
+  void sync_dir(const std::string& dir) override;
+  std::int64_t file_size(const std::string& path) override;
+  std::int64_t free_bytes(const std::string& path) override;
+  void invalidate(const std::string& path) override;
+
+ private:
+  Fs& base_;
+  mutable std::mutex mutex_;
+  Deadline deadline_;
 };
 
 /// Jittered exponential backoff with a deterministic (seeded) jitter
@@ -211,6 +326,10 @@ class Backoff {
 
   /// Next delay in milliseconds (advances the schedule).
   int next_ms();
+  /// Deadline-aware variant: the drawn delay is clamped to
+  /// `remaining_ms` so a retry loop never sleeps past its budget
+  /// (returns 0 when the budget is gone).
+  int next_ms(std::int64_t remaining_ms);
   /// Back to the initial delay (call after progress).
   void reset();
 

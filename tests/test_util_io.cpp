@@ -1,7 +1,8 @@
 // The filesystem/fault-injection seam itself: CRC32C vectors, RealFs
-// roundtrips, atomic whole-file writes, FaultyFs crash/torn/error
+// roundtrips, atomic whole-file writes, FaultyFs crash/torn/error/delay
 // schedules (one-shot and sticky, with op/path filters and trace), the
-// fake clock, and jittered backoff bounds/determinism.
+// SlowFs and DeadlineFs decorators, free-space probing, the fake clock,
+// and jittered backoff bounds/determinism/deadline clamping.
 
 #include <gtest/gtest.h>
 
@@ -214,10 +215,138 @@ TEST(FaultyFs, ErrorFaultsAreTypedAndStickyFaultsRepeat) {
   EXPECT_TRUE(fs.read_file(dir + "/f", content));
 }
 
+TEST(FaultyFs, DelayFaultStallsAdvancesTickClockAndRunsHook) {
+  const std::string dir = fresh_dir("faulty_delay");
+  FakeClock ticks(1000);
+  FaultyFs fs(real_fs());
+  fs.set_tick_clock(&ticks);
+  int hook_runs = 0;
+  std::string seen_during_stall;
+  fs.set_on_stall([&] {
+    ++hook_runs;
+    // The hook runs outside the FaultyFs lock, so it can do IO through
+    // *another* Fs — the stall-then-steal tests' whole mechanism.
+    real_fs().write_file(dir + "/from_hook", "peer was here");
+    real_fs().read_file(dir + "/from_hook", seen_during_stall);
+  });
+  InjectedFault fault;
+  fault.kind = InjectedFault::Kind::delay;
+  fault.at = 1;  // second matching append
+  fault.op = "append";
+  fault.path_substr = "log";
+  fault.delay_ticks = 30;
+  fs.inject(fault);
+
+  const std::string path = dir + "/log";
+  fs.append(path, "one\n");  // match 0: passes untouched
+  EXPECT_EQ(ticks.now_seconds(), 1000);
+  fs.append(path, "two\n");  // match 1: stalls, then completes
+  EXPECT_EQ(ticks.now_seconds(), 1030);  // the stall *was* time passing
+  EXPECT_EQ(hook_runs, 1);
+  EXPECT_EQ(seen_during_stall, "peer was here");
+  EXPECT_EQ(fs.stalls(), 1);
+  EXPECT_EQ(fs.faults_fired(), 1);
+  // The stalled op itself succeeded — a hang is not a failure.
+  std::string content;
+  ASSERT_TRUE(real_fs().read_file(path, content));
+  EXPECT_EQ(content, "one\ntwo\n");
+  fs.append(path, "three\n");  // one-shot: schedule spent
+  EXPECT_EQ(fs.stalls(), 1);
+}
+
+TEST(FaultyFs, DelayComposesWithErrorSchedule) {
+  // A delay and an error scheduled on the same op: the op stalls *and*
+  // then fails — a hung-then-dead mount, the nastiest gray failure.
+  const std::string dir = fresh_dir("faulty_delay_err");
+  FakeClock ticks(0);
+  FaultyFs fs(real_fs());
+  fs.set_tick_clock(&ticks);
+  InjectedFault delay;
+  delay.kind = InjectedFault::Kind::delay;
+  delay.at = 0;
+  delay.op = "fsync";
+  delay.delay_ticks = 7;
+  fs.inject(delay);
+  InjectedFault err;
+  err.kind = InjectedFault::Kind::error;
+  err.at = 0;
+  err.op = "fsync";
+  err.err = EIO;
+  fs.inject(err);
+  fs.write_file(dir + "/f", "x");
+  EXPECT_THROW(fs.fsync_file(dir + "/f"), IoError);
+  EXPECT_EQ(ticks.now_seconds(), 7);  // stalled first, then threw
+  EXPECT_EQ(fs.stalls(), 1);
+  EXPECT_EQ(fs.faults_fired(), 2);
+}
+
+TEST(SlowFs, TaxesEveryOpOnTheTickClock) {
+  const std::string dir = fresh_dir("slowfs");
+  FakeClock ticks(0);
+  SlowFs fs(real_fs(), /*delay_ms=*/0, &ticks, /*tick_seconds=*/2);
+  fs.write_file(dir + "/f", "x");
+  std::string content;
+  ASSERT_TRUE(fs.read_file(dir + "/f", content));
+  EXPECT_EQ(content, "x");
+  fs.append(dir + "/f", "y");
+  EXPECT_EQ(ticks.now_seconds(), 6);  // three ops, 2 ticks each
+  EXPECT_EQ(fs.file_size(dir + "/f"), 2);
+  EXPECT_EQ(ticks.now_seconds(), 8);
+}
+
+TEST(DeadlineFs, ExpiredBudgetTurnsOpsIntoTransientTimeouts) {
+  const std::string dir = fresh_dir("deadline");
+  FakeClock clock(100);
+  DeadlineFs fs(real_fs());
+  // Inactive deadline (the default): everything passes.
+  fs.write_file(dir + "/f", "x");
+  fs.set_deadline(Deadline(clock, 10));
+  fs.append(dir + "/f", "y");  // 0s elapsed: within budget
+  clock.advance(10);
+  // The op *completes* on disk, then reports timeout — "maybe done",
+  // which idempotent record appends absorb.
+  try {
+    fs.append(dir + "/f", "z");
+    FAIL() << "expected ETIMEDOUT";
+  } catch (const IoError& error) {
+    EXPECT_EQ(error.code(), ETIMEDOUT);
+    EXPECT_TRUE(error.transient());
+  }
+  std::string content;
+  ASSERT_TRUE(real_fs().read_file(dir + "/f", content));
+  EXPECT_EQ(content, "xyz");
+  // Clearing the deadline re-opens the seam.
+  fs.set_deadline(Deadline());
+  fs.append(dir + "/f", "w");
+  EXPECT_EQ(fs.file_size(dir + "/f"), 4);
+}
+
+TEST(DeadlineTest, RemainingAndExpiry) {
+  FakeClock clock(50);
+  Deadline none;
+  EXPECT_FALSE(none.active());
+  EXPECT_FALSE(none.expired());
+  EXPECT_GT(none.remaining_ms(), 1'000'000'000LL);  // effectively forever
+  Deadline d(clock, 5);
+  EXPECT_TRUE(d.active());
+  EXPECT_EQ(d.remaining_seconds(), 5);
+  EXPECT_EQ(d.remaining_ms(), 5000);
+  clock.advance(5);
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), 0);
+}
+
+TEST(RealFs, FreeBytesProbesTheFilesystem) {
+  const std::string dir = fresh_dir("statvfs");
+  EXPECT_GT(real_fs().free_bytes(dir), 0);
+  EXPECT_EQ(real_fs().free_bytes(dir + "/no/such/path"), -1);
+}
+
 TEST(IoErrorClass, TransientCodes) {
   EXPECT_TRUE(IoError("x", EIO).transient());
   EXPECT_TRUE(IoError("x", ENOSPC).transient());
   EXPECT_TRUE(IoError("x", EAGAIN).transient());
+  EXPECT_TRUE(IoError("x", ETIMEDOUT).transient());
   EXPECT_FALSE(IoError("x", EROFS).transient());
   EXPECT_FALSE(IoError("x", ENOENT).transient());
 }
@@ -247,6 +376,19 @@ TEST(BackoffTest, JitteredDoublingWithinBoundsAndDeterministic) {
   const int restarted = a.next_ms();
   EXPECT_GE(restarted, 5);
   EXPECT_LE(restarted, 10);
+}
+
+TEST(BackoffTest, NextMsClampsToRemainingBudget) {
+  Backoff backoff(100, 1000, /*seed=*/3);
+  // A huge remaining budget never clamps; the draw stays in-bounds.
+  const int unclamped = backoff.next_ms(1'000'000);
+  EXPECT_GE(unclamped, 50);
+  EXPECT_LE(unclamped, 100);
+  // A 1ms budget clamps any draw down to it; a spent budget to zero —
+  // the retry loop must never sleep past its op deadline.
+  EXPECT_EQ(backoff.next_ms(1), 1);
+  EXPECT_EQ(backoff.next_ms(0), 0);
+  EXPECT_EQ(backoff.next_ms(-5), 0);
 }
 
 }  // namespace
